@@ -1,0 +1,69 @@
+//! Ablation benchmarks called out in `DESIGN.md`: the cost of the completion
+//! step, the solver choice (log-domain gradient descent vs barrier Newton) and
+//! the design-set choice (eigen-queries vs the wavelet basis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mm_core::design_set::{weighted_design_strategy, DesignWeightingOptions};
+use mm_core::{eigen_design, EigenDesignOptions};
+use mm_opt::{solve_barrier_newton, solve_log_gd, BarrierOptions, GdOptions, WeightingProblem};
+use mm_strategies::wavelet::haar_matrix;
+use mm_workload::range::AllRangeWorkload;
+use mm_workload::{Domain, Workload};
+
+fn bench_completion(c: &mut Criterion) {
+    let gram = AllRangeWorkload::new(Domain::one_dim(64)).gram();
+    let mut group = c.benchmark_group("ablation_completion");
+    group.sample_size(10);
+    group.bench_function("with_completion", |b| {
+        b.iter(|| eigen_design(&gram, &EigenDesignOptions::fast()).unwrap());
+    });
+    group.bench_function("without_completion", |b| {
+        let opts = EigenDesignOptions {
+            completion: false,
+            ..EigenDesignOptions::fast()
+        };
+        b.iter(|| eigen_design(&gram, &opts).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    // A moderate weighting problem shared by both solvers.
+    let w = AllRangeWorkload::new(Domain::one_dim(48));
+    let gram = w.gram();
+    let eig = mm_linalg::decomp::SymmetricEigen::new(&gram).unwrap();
+    let q = eig.eigenvector_rows();
+    let costs: Vec<f64> = eig.eigenvalues().iter().map(|&l| l.max(0.0)).collect();
+    let problem = WeightingProblem::from_design_queries(&q, costs).unwrap();
+    let mut group = c.benchmark_group("ablation_solver");
+    group.sample_size(10);
+    group.bench_function("log_domain_gd", |b| {
+        b.iter(|| solve_log_gd(&problem, &GdOptions::fast()).unwrap());
+    });
+    group.bench_function("barrier_newton", |b| {
+        b.iter(|| solve_barrier_newton(&problem, &BarrierOptions::default()).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_design_sets(c: &mut Criterion) {
+    let w = AllRangeWorkload::new(Domain::one_dim(64));
+    let gram = w.gram();
+    let wavelet_design = haar_matrix(64);
+    let mut group = c.benchmark_group("ablation_design_set");
+    group.sample_size(10);
+    group.bench_function("eigen_design_set", |b| {
+        b.iter(|| eigen_design(&gram, &EigenDesignOptions::fast()).unwrap());
+    });
+    group.bench_function("wavelet_design_set", |b| {
+        let opts = DesignWeightingOptions {
+            solver: GdOptions::fast(),
+            completion: true,
+        };
+        b.iter(|| weighted_design_strategy("w", &gram, &wavelet_design, &opts).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_completion, bench_solvers, bench_design_sets);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks for the linear algebra substrate: the operations
+//! that dominate strategy selection (matrix products, Cholesky solves and the
+//! symmetric eigendecomposition of the workload gram matrix).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_linalg::decomp::{Cholesky, SymmetricEigen};
+use mm_linalg::{ops, Matrix};
+
+fn test_matrix(n: usize, seed: u64) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        let v = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((j as u64).wrapping_mul(1442695040888963407))
+            .wrapping_add(seed);
+        ((v >> 33) % 1000) as f64 / 500.0 - 1.0
+    })
+}
+
+fn spd_matrix(n: usize) -> Matrix {
+    let b = test_matrix(n, 7);
+    let mut g = ops::gram(&b);
+    for i in 0..n {
+        g[(i, i)] += n as f64;
+    }
+    g
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let a = test_matrix(n, 1);
+        let b = test_matrix(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| ops::matmul(&a, &b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let a = spd_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| Cholesky::new(&a).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric_eigen");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let a = spd_matrix(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| SymmetricEigen::new(&a).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_kron(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kron");
+    group.sample_size(10);
+    let a = test_matrix(32, 3);
+    let b = test_matrix(32, 4);
+    group.bench_function("32x32_kron_32x32", |bench| {
+        bench.iter(|| ops::kron(&a, &b));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matmul, bench_cholesky, bench_eigen, bench_kron);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of running the mechanism itself: noisy strategy
+//! answers plus least-squares inference (the per-database cost once a strategy
+//! has been selected), and the analytic error evaluation of Prop. 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_core::error::rms_workload_error;
+use mm_core::mechanism::MatrixMechanism;
+use mm_core::PrivacyParams;
+use mm_strategies::hierarchical::binary_hierarchical_1d;
+use mm_strategies::wavelet::wavelet_1d;
+use mm_workload::range::AllRangeWorkload;
+use mm_workload::{Domain, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_mechanism_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matrix_mechanism_run");
+    group.sample_size(10);
+    for &n in &[64usize, 256, 512] {
+        let strategy = wavelet_1d(n);
+        let mech = MatrixMechanism::new(strategy, PrivacyParams::paper_default()).unwrap();
+        let x: Vec<f64> = (0..n).map(|i| (i % 17) as f64 * 3.0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            let mut rng = StdRng::seed_from_u64(1);
+            bench.iter(|| mech.run(&x, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_error_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prop4_error_evaluation");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let w = AllRangeWorkload::new(Domain::one_dim(n));
+        let gram = w.gram();
+        let m = w.query_count();
+        let strategy = binary_hierarchical_1d(n);
+        let privacy = PrivacyParams::paper_default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| rms_workload_error(&gram, m, &strategy, &privacy).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_workload_gram(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_range_gram_closed_form");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| AllRangeWorkload::new(Domain::one_dim(n)).gram());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mechanism_run, bench_error_evaluation, bench_workload_gram);
+criterion_main!(benches);

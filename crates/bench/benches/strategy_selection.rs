@@ -1,0 +1,57 @@
+//! Criterion benchmarks of strategy selection: the full Eigen-Design algorithm
+//! and the two Sec. 4 performance optimizations (the Fig. 4 trade-off, in
+//! timing form, at bench-friendly sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_core::principal::{principal_vectors, PrincipalOptions};
+use mm_core::separation::{eigen_separation, SeparationOptions};
+use mm_core::{eigen_design, EigenDesignOptions};
+use mm_workload::range::AllRangeWorkload;
+use mm_workload::{Domain, Workload};
+
+fn bench_eigen_design(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigen_design_all_ranges");
+    group.sample_size(10);
+    for &n in &[32usize, 64, 128] {
+        let gram = AllRangeWorkload::new(Domain::one_dim(n)).gram();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| eigen_design(&gram, &EigenDesignOptions::fast()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_separation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigen_separation_all_ranges_128");
+    group.sample_size(10);
+    let gram = AllRangeWorkload::new(Domain::one_dim(128)).gram();
+    for &group_size in &[8usize, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(group_size),
+            &group_size,
+            |bench, _| {
+                bench.iter(|| {
+                    eigen_separation(&gram, &SeparationOptions::with_group_size(group_size)).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_principal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("principal_vectors_all_ranges_128");
+    group.sample_size(10);
+    let gram = AllRangeWorkload::new(Domain::one_dim(128)).gram();
+    for &count in &[8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(count), &count, |bench, _| {
+            bench.iter(|| {
+                principal_vectors(&gram, &PrincipalOptions::with_principal_count(count)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigen_design, bench_separation, bench_principal);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Reproduces Fig. 3(a): absolute (workload RMS) error on range workloads —
+//! all range queries and random range queries — across the Fig. 3 domain
+//! family, comparing Hierarchical, Wavelet, the Eigen-Design strategy and the
+//! singular value lower bound.
+
+use mm_bench::report::fmt;
+use mm_bench::runs::{eigen_strategy_for, figure3_domains, Comparison, Method};
+use mm_bench::{ExperimentTable, RunConfig};
+use mm_strategies::hierarchical::binary_hierarchical;
+use mm_strategies::wavelet::wavelet_strategy;
+use mm_workload::range::{AllRangeWorkload, RandomRangeWorkload};
+use mm_workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = RunConfig::from_args();
+    let privacy = cfg.privacy();
+    let random_queries = if cfg.paper_scale { 2000 } else { 500 };
+
+    let mut table = ExperimentTable::new(
+        format!("Fig. 3(a) — absolute error on range workloads ({} cells)", cfg.cells),
+        &[
+            "domain",
+            "workload",
+            "Hierarchical",
+            "Wavelet",
+            "Eigen Design",
+            "Lower Bound",
+            "eigen/bound",
+        ],
+    );
+
+    for domain in figure3_domains(cfg.cells) {
+        let hierarchical = binary_hierarchical(&domain);
+        let wavelet = wavelet_strategy(&domain);
+
+        // All range queries.
+        let all = AllRangeWorkload::new(domain.clone());
+        let eigen = eigen_strategy_for(&all);
+        let cmp = Comparison::evaluate(
+            &all.gram(),
+            all.query_count(),
+            &privacy,
+            &[
+                Method::new("Hierarchical", hierarchical.clone()),
+                Method::new("Wavelet", wavelet.clone()),
+                Method::new("Eigen Design", eigen),
+            ],
+        );
+        push_comparison(&mut table, &domain.to_string(), "all range", &cmp);
+
+        // Random range queries.
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let random = RandomRangeWorkload::sample(domain.clone(), random_queries, &mut rng);
+        let eigen_r = eigen_strategy_for(&random);
+        let cmp_r = Comparison::evaluate(
+            &random.gram(),
+            random.query_count(),
+            &privacy,
+            &[
+                Method::new("Hierarchical", hierarchical),
+                Method::new("Wavelet", wavelet),
+                Method::new("Eigen Design", eigen_r),
+            ],
+        );
+        push_comparison(&mut table, &domain.to_string(), "random range", &cmp_r);
+    }
+    table.emit(&cfg);
+    println!(
+        "Expected shape (paper): Eigen Design <= Wavelet/Hierarchical on every domain,\n\
+         with a 1.2x-2.1x reduction and eigen/bound <= 1.3."
+    );
+}
+
+fn push_comparison(table: &mut ExperimentTable, domain: &str, workload: &str, cmp: &Comparison) {
+    let eigen = cmp.error_of("Eigen Design").unwrap_or(f64::NAN);
+    table.push_row(vec![
+        domain.to_string(),
+        workload.to_string(),
+        fmt(cmp.error_of("Hierarchical").unwrap_or(f64::NAN)),
+        fmt(cmp.error_of("Wavelet").unwrap_or(f64::NAN)),
+        fmt(eigen),
+        fmt(cmp.lower_bound),
+        fmt(eigen / cmp.lower_bound),
+    ]);
+}

@@ -1,0 +1,22 @@
+//! # mm-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (Sec. 5).  Each `repro_*` binary regenerates one artifact and
+//! prints the same rows/series the paper reports; Criterion benches under
+//! `benches/` time the individual components.
+//!
+//! Every binary accepts:
+//!
+//! * `--paper` — run at the paper's domain sizes (2048 cells, 8192 for Fig. 4);
+//!   slower but closest to the original setup;
+//! * `--cells N` — override the target cell count (default: a quick scale of
+//!   256 cells that preserves every qualitative conclusion, see
+//!   `EXPERIMENTS.md`);
+//! * `--json PATH` — additionally write the rows as JSON.
+
+#![forbid(unsafe_code)]
+
+pub mod report;
+pub mod runs;
+
+pub use report::{ExperimentTable, RunConfig};

@@ -1,0 +1,226 @@
+//! Table formatting, JSON output and command-line configuration shared by the
+//! reproduction binaries.
+
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Command-line configuration for a reproduction binary.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Target number of cells (per experiment, interpreted by each binary).
+    pub cells: usize,
+    /// Whether the paper-scale sizes were requested.
+    pub paper_scale: bool,
+    /// Optional JSON output path.
+    pub json_path: Option<String>,
+    /// Privacy parameter ε used for workload error.
+    pub epsilon: f64,
+    /// Privacy parameter δ.
+    pub delta: f64,
+    /// Trials for Monte-Carlo (relative error) experiments.
+    pub trials: usize,
+    /// Seed for all randomised components.
+    pub seed: u64,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            cells: 256,
+            paper_scale: false,
+            json_path: None,
+            epsilon: 0.5,
+            delta: 1e-4,
+            trials: 3,
+            seed: 20120216, // the paper's arXiv submission date
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parses configuration from `std::env::args()`.
+    pub fn from_args() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses configuration from an explicit argument iterator (for tests).
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cfg = RunConfig::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--paper" => {
+                    cfg.paper_scale = true;
+                    cfg.cells = 2048;
+                }
+                "--cells" => {
+                    if let Some(v) = iter.next().and_then(|s| s.parse().ok()) {
+                        cfg.cells = v;
+                    }
+                }
+                "--json" => cfg.json_path = iter.next(),
+                "--epsilon" => {
+                    if let Some(v) = iter.next().and_then(|s| s.parse().ok()) {
+                        cfg.epsilon = v;
+                    }
+                }
+                "--delta" => {
+                    if let Some(v) = iter.next().and_then(|s| s.parse().ok()) {
+                        cfg.delta = v;
+                    }
+                }
+                "--trials" => {
+                    if let Some(v) = iter.next().and_then(|s| s.parse().ok()) {
+                        cfg.trials = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = iter.next().and_then(|s| s.parse().ok()) {
+                        cfg.seed = v;
+                    }
+                }
+                other => eprintln!("ignoring unknown argument `{other}`"),
+            }
+        }
+        cfg
+    }
+
+    /// The privacy parameters implied by this configuration.
+    pub fn privacy(&self) -> mm_core::PrivacyParams {
+        mm_core::PrivacyParams::new(self.epsilon, self.delta)
+    }
+}
+
+/// A printable experiment table (one per figure/table of the paper).
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentTable {
+    /// Table title (which paper artifact it reproduces).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ExperimentTable {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        ExperimentTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "\n== {} ==", self.title);
+        let mut header_line = String::new();
+        for (h, w) in self.headers.iter().zip(widths.iter()) {
+            let _ = write!(header_line, "{h:<w$}  ");
+        }
+        let _ = writeln!(out, "{}", header_line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(header_line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(widths.iter()) {
+                let _ = write!(line, "{c:<w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Prints the table to stdout and optionally writes it as JSON.
+    pub fn emit(&self, cfg: &RunConfig) {
+        println!("{}", self.render());
+        if let Some(path) = &cfg.json_path {
+            match serde_json::to_string_pretty(self) {
+                Ok(json) => {
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("failed to write {path}: {e}");
+                    }
+                }
+                Err(e) => eprintln!("failed to serialise table: {e}"),
+            }
+        }
+    }
+}
+
+/// Formats a float with three significant decimals for table cells.
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".to_string();
+    }
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_parsing() {
+        let cfg = RunConfig::from_iter(
+            ["--cells", "512", "--epsilon", "1.0", "--trials", "7", "--json", "/tmp/x.json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(cfg.cells, 512);
+        assert_eq!(cfg.epsilon, 1.0);
+        assert_eq!(cfg.trials, 7);
+        assert_eq!(cfg.json_path.as_deref(), Some("/tmp/x.json"));
+        let paper = RunConfig::from_iter(["--paper".to_string()]);
+        assert!(paper.paper_scale);
+        assert_eq!(paper.cells, 2048);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let mut t = ExperimentTable::new("Test", &["a", "method"]);
+        t.push_row(vec!["1".into(), "wavelet".into()]);
+        t.push_row(vec!["2".into(), "eigen".into()]);
+        let s = t.render();
+        assert!(s.contains("Test"));
+        assert!(s.contains("wavelet"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(1.23456), "1.235");
+        assert_eq!(fmt(0.012345), "0.0123");
+        assert_eq!(fmt(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = ExperimentTable::new("x", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,183 @@
+//! High-level adaptive mechanism API.
+//!
+//! [`AdaptiveMechanism`] ties the pieces together for the common case: hand it
+//! a workload and a data vector and it (1) selects a near-optimal strategy
+//! with the Eigen-Design algorithm, (2) runs the (ε,δ)-matrix mechanism with
+//! that strategy, and (3) returns consistent noisy answers to every workload
+//! query together with the analytically predicted error.
+//!
+//! For relative-error objectives (Sec. 3.4) select the strategy on the
+//! *normalised* variant of the workload (every workload family in
+//! `mm-workload` offers one) and answer the original workload with
+//! [`AdaptiveMechanism::answer_with_strategy`].
+
+use crate::eigen_design::{eigen_design, EigenDesignOptions, EigenDesignResult};
+use crate::error::rms_workload_error;
+use crate::mechanism::matrix::{MatrixMechanism, MechanismRun};
+use crate::privacy::PrivacyParams;
+use mm_strategies::Strategy;
+use mm_workload::Workload;
+use rand::Rng;
+
+/// Options of the high-level mechanism.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveOptions {
+    /// Options passed to the Eigen-Design algorithm.
+    pub eigen: EigenDesignOptions,
+}
+
+/// The adaptive matrix mechanism: Eigen-Design strategy selection plus the
+/// (ε,δ)-matrix mechanism.
+#[derive(Debug, Clone)]
+pub struct AdaptiveMechanism {
+    privacy: PrivacyParams,
+    options: AdaptiveOptions,
+}
+
+/// Everything produced by one run of the adaptive mechanism.
+#[derive(Debug, Clone)]
+pub struct AdaptiveAnswer {
+    /// Noisy (but mutually consistent) answers to every workload query, in
+    /// the workload's evaluation order.
+    pub answers: Vec<f64>,
+    /// The noisy estimate of the data vector the answers derive from.
+    pub estimate: Vec<f64>,
+    /// The strategy selected for the workload.
+    pub strategy: Strategy,
+    /// The analytically predicted RMS workload error (Prop. 4 / Def. 5).
+    pub expected_rms_error: f64,
+}
+
+impl AdaptiveMechanism {
+    /// Creates the mechanism with default Eigen-Design options.
+    pub fn new(privacy: PrivacyParams) -> Self {
+        AdaptiveMechanism {
+            privacy,
+            options: AdaptiveOptions::default(),
+        }
+    }
+
+    /// Creates the mechanism with explicit options.
+    pub fn with_options(privacy: PrivacyParams, options: AdaptiveOptions) -> Self {
+        AdaptiveMechanism { privacy, options }
+    }
+
+    /// The configured privacy parameters.
+    pub fn privacy(&self) -> &PrivacyParams {
+        &self.privacy
+    }
+
+    /// Selects a strategy for the workload with the Eigen-Design algorithm.
+    ///
+    /// Strategy selection only depends on the workload (not the data), so the
+    /// result can be cached and reused across databases (Sec. 1).
+    pub fn select_strategy<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+    ) -> crate::Result<EigenDesignResult> {
+        eigen_design(&workload.gram(), &self.options.eigen)
+    }
+
+    /// Predicted RMS error of answering `workload` with `strategy` under this
+    /// mechanism's privacy parameters.
+    pub fn expected_rms_error<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+        strategy: &Strategy,
+    ) -> crate::Result<f64> {
+        rms_workload_error(
+            &workload.gram(),
+            workload.query_count(),
+            strategy,
+            &self.privacy,
+        )
+    }
+
+    /// Selects a strategy and answers the workload on the data vector `x`.
+    pub fn answer<W: Workload + ?Sized, R: Rng + ?Sized>(
+        &self,
+        workload: &W,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<AdaptiveAnswer> {
+        let selection = self.select_strategy(workload)?;
+        self.answer_with_strategy(workload, selection.strategy, x, rng)
+    }
+
+    /// Answers the workload with a caller-provided strategy (e.g. one selected
+    /// on a normalised workload for relative-error objectives, or a cached one).
+    pub fn answer_with_strategy<W: Workload + ?Sized, R: Rng + ?Sized>(
+        &self,
+        workload: &W,
+        strategy: Strategy,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<AdaptiveAnswer> {
+        let expected = self.expected_rms_error(workload, &strategy)?;
+        let mechanism = MatrixMechanism::new(strategy, self.privacy)?;
+        let (answers, run): (Vec<f64>, MechanismRun) =
+            mechanism.answer_workload(workload, x, rng)?;
+        Ok(AdaptiveAnswer {
+            answers,
+            estimate: run.estimate,
+            strategy: mechanism.strategy().clone(),
+            expected_rms_error: expected,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::approx_eq;
+    use mm_workload::example::fig1_workload;
+    use mm_workload::range::AllRangeWorkload;
+    use mm_workload::{Domain, Workload};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn end_to_end_answers_have_predicted_error() {
+        let w = AllRangeWorkload::new(Domain::new(&[16]));
+        let x: Vec<f64> = (0..16).map(|i| 100.0 + (i as f64) * 5.0).collect();
+        let mech = AdaptiveMechanism::new(PrivacyParams::paper_default());
+        let mut rng = StdRng::seed_from_u64(21);
+        let truth = w.evaluate(&x);
+        let expected = {
+            let sel = mech.select_strategy(&w).unwrap();
+            mech.expected_rms_error(&w, &sel.strategy).unwrap()
+        };
+        let trials = 60;
+        let mut total_sq = 0.0;
+        for _ in 0..trials {
+            let ans = mech.answer(&w, &x, &mut rng).unwrap();
+            for (a, t) in ans.answers.iter().zip(truth.iter()) {
+                total_sq += (a - t).powi(2);
+            }
+        }
+        let empirical = (total_sq / (trials as f64 * w.query_count() as f64)).sqrt();
+        assert!(
+            (empirical - expected).abs() / expected < 0.15,
+            "empirical {empirical} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn answer_consistency_and_reuse() {
+        let w = fig1_workload();
+        let x = vec![20.0, 5.0, 12.0, 9.0, 31.0, 7.0, 3.0, 11.0];
+        let mech = AdaptiveMechanism::new(PrivacyParams::paper_default());
+        let mut rng = StdRng::seed_from_u64(9);
+        let ans = mech.answer(&w, &x, &mut rng).unwrap();
+        assert_eq!(ans.answers.len(), 8);
+        assert_eq!(ans.estimate.len(), 8);
+        // Consistency: q3 = q1 - q2 exactly.
+        assert!(approx_eq(ans.answers[2], ans.answers[0] - ans.answers[1], 1e-9));
+        assert!(ans.expected_rms_error > 0.0);
+        // The selected strategy can be reused with answer_with_strategy.
+        let again = mech
+            .answer_with_strategy(&w, ans.strategy.clone(), &x, &mut rng)
+            .unwrap();
+        assert!(approx_eq(again.expected_rms_error, ans.expected_rms_error, 1e-12));
+    }
+}

@@ -1,0 +1,161 @@
+//! Lower bounds on achievable error and the approximation ratio of the
+//! Eigen-Design algorithm.
+//!
+//! Theorem 2 (the *singular value bound* of Li & Miklau, "Measuring the
+//! achievable error of query sets under differential privacy"): for any
+//! workload `W` with `WᵀW` eigenvalues `σ₁ ≥ … ≥ σ_n`,
+//!
+//! ```text
+//!     svdb(W) = (1/n) (√σ₁ + … + √σ_n)²
+//!     OptTSE(W) ≥ P(ε,δ) · svdb(W)
+//! ```
+//!
+//! where `OptTSE` is the optimal total squared error over all strategies.
+//! Theorem 3 bounds the approximation ratio of Program 2 by
+//! `(n σ₁ / svdb(W))^{1/4}`.
+
+use crate::privacy::PrivacyParams;
+use mm_linalg::decomp::SymmetricEigen;
+use mm_linalg::Matrix;
+
+/// Eigenvalues of a workload gram matrix, clamped at zero and sorted
+/// descending (tiny negative values from floating point noise are clipped).
+pub fn workload_eigenvalues(workload_gram: &Matrix) -> crate::Result<Vec<f64>> {
+    let eig = SymmetricEigen::new(workload_gram)?;
+    Ok(eig
+        .eigenvalues()
+        .iter()
+        .map(|&l| if l > 0.0 { l } else { 0.0 })
+        .collect())
+}
+
+/// The singular value bound `svdb(W) = (1/n)(Σ√σᵢ)²` computed from the
+/// workload's gram-matrix eigenvalues.
+pub fn svd_bound_value(eigenvalues: &[f64]) -> f64 {
+    let n = eigenvalues.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let s: f64 = eigenvalues.iter().map(|&l| l.max(0.0).sqrt()).sum();
+    s * s / n as f64
+}
+
+/// Lower bound on the total squared error of *any* strategy for the workload.
+pub fn total_squared_error_bound(eigenvalues: &[f64], privacy: &PrivacyParams) -> f64 {
+    privacy.gaussian_error_constant() * svd_bound_value(eigenvalues)
+}
+
+/// Lower bound on the workload RMS error (Def. 5) of any strategy:
+/// `√(P · svdb / m)`.
+pub fn rms_error_bound(eigenvalues: &[f64], query_count: usize, privacy: &PrivacyParams) -> f64 {
+    assert!(query_count > 0, "workload must have at least one query");
+    (total_squared_error_bound(eigenvalues, privacy) / query_count as f64).sqrt()
+}
+
+/// Convenience: RMS lower bound straight from a workload gram matrix.
+pub fn rms_error_bound_from_gram(
+    workload_gram: &Matrix,
+    query_count: usize,
+    privacy: &PrivacyParams,
+) -> crate::Result<f64> {
+    let ev = workload_eigenvalues(workload_gram)?;
+    Ok(rms_error_bound(&ev, query_count, privacy))
+}
+
+/// The Theorem-3 approximation-ratio bound `(n σ₁ / svdb)^{1/4}` for the
+/// Eigen-Design algorithm on a workload with the given eigenvalues.
+pub fn approximation_ratio_bound(eigenvalues: &[f64]) -> f64 {
+    let n = eigenvalues.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let svdb = svd_bound_value(eigenvalues);
+    if svdb <= 0.0 {
+        return 1.0;
+    }
+    let sigma1 = eigenvalues.iter().fold(0.0_f64, |m, &l| m.max(l));
+    ((n as f64) * sigma1 / svdb).powf(0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::approx_eq;
+    use mm_workload::example::fig1_workload;
+    use mm_workload::range::AllRangeWorkload;
+    use mm_workload::{Domain, IdentityWorkload, TotalWorkload, Workload};
+
+    #[test]
+    fn identity_workload_bound_is_achieved_by_identity_strategy() {
+        let w = IdentityWorkload::new(12);
+        let p = PrivacyParams::paper_default();
+        let ev = workload_eigenvalues(&w.gram()).unwrap();
+        assert!(approx_eq(svd_bound_value(&ev), 12.0, 1e-9));
+        let bound = rms_error_bound(&ev, w.query_count(), &p);
+        let err = crate::error::rms_workload_error(
+            &w.gram(),
+            w.query_count(),
+            &mm_strategies::identity::identity_strategy(12),
+            &p,
+        )
+        .unwrap();
+        assert!(approx_eq(bound, err, 1e-9), "identity is optimal for identity workload");
+    }
+
+    #[test]
+    fn total_workload_bound() {
+        let w = TotalWorkload::new(9);
+        let ev = workload_eigenvalues(&w.gram()).unwrap();
+        // Eigenvalues of J_n: one n, rest 0 -> svdb = n/n = 1.
+        assert!(approx_eq(svd_bound_value(&ev), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn bound_below_known_strategies_for_ranges() {
+        let domain = Domain::new(&[32]);
+        let w = AllRangeWorkload::new(domain);
+        let p = PrivacyParams::paper_default();
+        let ev = workload_eigenvalues(&w.gram()).unwrap();
+        let bound = rms_error_bound(&ev, w.query_count(), &p);
+        for strategy in [
+            mm_strategies::identity::identity_strategy(32),
+            mm_strategies::wavelet::wavelet_1d(32),
+            mm_strategies::hierarchical::binary_hierarchical_1d(32),
+        ] {
+            let err =
+                crate::error::rms_workload_error(&w.gram(), w.query_count(), &strategy, &p).unwrap();
+            assert!(
+                err >= bound * (1.0 - 1e-9),
+                "{} error {err} below the lower bound {bound}",
+                strategy.name()
+            );
+        }
+    }
+
+    #[test]
+    fn approximation_ratio_bound_properties() {
+        // Identity workload: all eigenvalues equal -> ratio bound 1.
+        let ev = vec![1.0; 8];
+        assert!(approx_eq(approximation_ratio_bound(&ev), 1.0, 1e-12));
+        // More skewed spectra have larger bounds.
+        let skewed = vec![100.0, 1.0, 1.0, 1.0];
+        assert!(approximation_ratio_bound(&skewed) > 1.0);
+        assert!(approximation_ratio_bound(&[]) == 1.0);
+    }
+
+    #[test]
+    fn fig1_bound_below_best_strategy() {
+        let w = fig1_workload();
+        let p = PrivacyParams::paper_default();
+        let bound = rms_error_bound_from_gram(&w.gram(), w.query_count(), &p).unwrap();
+        let wav = crate::error::rms_workload_error(
+            &w.gram(),
+            w.query_count(),
+            &mm_strategies::wavelet::wavelet_1d(8),
+            &p,
+        )
+        .unwrap();
+        assert!(bound <= wav);
+        assert!(bound > 0.0);
+    }
+}

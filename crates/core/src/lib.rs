@@ -1,0 +1,108 @@
+//! # mm-core
+//!
+//! The adaptive matrix mechanism of Li & Miklau (VLDB 2012) under
+//! (ε,δ)-differential privacy.
+//!
+//! The crate provides, on top of the substrates `mm-linalg`, `mm-opt`,
+//! `mm-workload` and `mm-strategies`:
+//!
+//! * [`privacy`] — privacy parameters, the Gaussian/Laplace noise calibration
+//!   and the error constant `P(ε,δ)`;
+//! * [`sensitivity`] — L1/L2 query-matrix sensitivity (Prop. 1);
+//! * [`mechanism`] — the Gaussian, Laplace and matrix mechanisms (Props. 2–3),
+//!   including the least-squares inference step;
+//! * [`error`] — the analytic workload error of Prop. 4 / Def. 5;
+//! * [`bounds`] — the singular value lower bound (Thm. 2) and the
+//!   approximation ratio bound (Thm. 3);
+//! * [`eigen_design`] — the Eigen-Design algorithm (Program 2);
+//! * [`design_set`] — Program 1 over arbitrary design sets (wavelet, Fourier,
+//!   workload rows, …), used by the Fig. 5 comparison;
+//! * [`separation`] and [`principal`] — the eigen-query separation and
+//!   principal-vector performance optimizations (Sec. 4.2);
+//! * [`pure_dp`] — the ε-differential-privacy (L1) variant of optimal query
+//!   weighting (Sec. 3.5);
+//! * [`adaptive`] — a high-level `AdaptiveMechanism` API tying it all
+//!   together: give it a workload and a data vector, get private answers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod bounds;
+pub mod design_set;
+pub mod eigen_design;
+pub mod error;
+pub mod mechanism;
+pub mod principal;
+pub mod privacy;
+pub mod pure_dp;
+pub mod sensitivity;
+pub mod separation;
+
+pub use adaptive::{AdaptiveMechanism, AdaptiveOptions};
+pub use eigen_design::{eigen_design, EigenDesignOptions, EigenDesignResult};
+pub use error::{rms_workload_error, total_squared_error};
+pub use privacy::PrivacyParams;
+
+/// Error type shared by the mechanism-level routines.
+#[derive(Debug)]
+pub enum MechanismError {
+    /// A linear-algebra step failed.
+    Linalg(mm_linalg::LinalgError),
+    /// The optimization step failed.
+    Opt(mm_opt::OptError),
+    /// The requested operation needs an explicit strategy matrix that is not
+    /// available (the strategy was too large to materialise).
+    StrategyNotMaterialized(String),
+    /// Invalid argument supplied by the caller.
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for MechanismError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MechanismError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            MechanismError::Opt(e) => write!(f, "optimization error: {e}"),
+            MechanismError::StrategyNotMaterialized(name) => {
+                write!(f, "strategy `{name}` has no explicit matrix available")
+            }
+            MechanismError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MechanismError {}
+
+impl From<mm_linalg::LinalgError> for MechanismError {
+    fn from(e: mm_linalg::LinalgError) -> Self {
+        MechanismError::Linalg(e)
+    }
+}
+
+impl From<mm_opt::OptError> for MechanismError {
+    fn from(e: mm_opt::OptError) -> Self {
+        MechanismError::Opt(e)
+    }
+}
+
+/// Result alias for mechanism-level routines.
+pub type Result<T> = std::result::Result<T, MechanismError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e: MechanismError = mm_linalg::LinalgError::Empty.into();
+        assert!(e.to_string().contains("linear algebra"));
+        let e: MechanismError = mm_opt::OptError::InvalidProblem("p".into()).into();
+        assert!(e.to_string().contains("optimization"));
+        assert!(MechanismError::StrategyNotMaterialized("w".into())
+            .to_string()
+            .contains("w"));
+        assert!(MechanismError::InvalidArgument("arg".into())
+            .to_string()
+            .contains("arg"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The (ε,δ)-matrix mechanism (Prop. 3).
+//!
+//! Given a full-rank strategy `A`, the mechanism (1) answers the strategy
+//! queries with the Gaussian mechanism, (2) estimates the data vector by least
+//! squares, `x̂ = A⁺ y`, and (3) answers every workload query from `x̂`.  The
+//! answers are consistent (they all derive from one estimate of the data
+//! vector) and their error is governed by Prop. 4.
+
+use crate::mechanism::noise::gaussian_noise;
+use crate::privacy::PrivacyParams;
+use crate::MechanismError;
+use mm_linalg::decomp::Cholesky;
+use mm_linalg::Matrix;
+use mm_strategies::Strategy;
+use mm_workload::Workload;
+use rand::Rng;
+
+/// The matrix mechanism configured with a strategy and privacy parameters.
+#[derive(Debug, Clone)]
+pub struct MatrixMechanism {
+    strategy: Strategy,
+    privacy: PrivacyParams,
+}
+
+/// The result of one run of the matrix mechanism.
+#[derive(Debug, Clone)]
+pub struct MechanismRun {
+    /// The noisy estimate `x̂` of the data vector.
+    pub estimate: Vec<f64>,
+    /// The noisy strategy-query answers the estimate was derived from.
+    pub strategy_answers: Vec<f64>,
+}
+
+impl MatrixMechanism {
+    /// Creates the mechanism.  The strategy must carry an explicit matrix
+    /// (strategies too large to materialise cannot be *run*, although their
+    /// error can still be computed analytically).
+    pub fn new(strategy: Strategy, privacy: PrivacyParams) -> crate::Result<Self> {
+        if strategy.matrix().is_none() {
+            return Err(MechanismError::StrategyNotMaterialized(
+                strategy.name().to_string(),
+            ));
+        }
+        if !privacy.is_approximate() {
+            return Err(MechanismError::InvalidArgument(
+                "the (eps, delta)-matrix mechanism requires delta > 0".into(),
+            ));
+        }
+        Ok(MatrixMechanism { strategy, privacy })
+    }
+
+    /// The configured strategy.
+    pub fn strategy(&self) -> &Strategy {
+        &self.strategy
+    }
+
+    /// The privacy parameters.
+    pub fn privacy(&self) -> &PrivacyParams {
+        &self.privacy
+    }
+
+    /// Runs the mechanism once: answers the strategy queries privately and
+    /// derives the least-squares estimate `x̂` of the data vector.
+    pub fn run<R: Rng + ?Sized>(&self, x: &[f64], rng: &mut R) -> crate::Result<MechanismRun> {
+        let a = self
+            .strategy
+            .matrix()
+            .expect("checked at construction time");
+        if x.len() != a.cols() {
+            return Err(MechanismError::InvalidArgument(format!(
+                "data vector has {} cells but the strategy covers {}",
+                x.len(),
+                a.cols()
+            )));
+        }
+        let sigma = self.privacy.gaussian_sigma(self.strategy.l2_sensitivity());
+        let mut y = a.matvec(x)?;
+        let noise = gaussian_noise(rng, sigma, y.len());
+        for (yi, ni) in y.iter_mut().zip(noise.iter()) {
+            *yi += ni;
+        }
+        // Least squares through the (pre-computed) gram matrix: x̂ = (AᵀA)⁻¹ Aᵀ y.
+        let aty = a.matvec_transposed(&y)?;
+        let chol = match Cholesky::new(self.strategy.gram()) {
+            Ok(c) => c,
+            Err(_) => {
+                let ridge = crate::error::RIDGE_FACTOR
+                    * self
+                        .strategy
+                        .gram()
+                        .diag()
+                        .iter()
+                        .fold(1.0_f64, |m, &d| m.max(d));
+                Cholesky::new_with_shift(self.strategy.gram(), ridge)?
+            }
+        };
+        let estimate = chol.solve_vec(&aty)?;
+        Ok(MechanismRun {
+            estimate,
+            strategy_answers: y,
+        })
+    }
+
+    /// Runs the mechanism and answers every query of `workload` from the
+    /// estimate, returning `(answers, run)`.
+    pub fn answer_workload<R: Rng + ?Sized, W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<(Vec<f64>, MechanismRun)> {
+        if workload.dim() != self.strategy.dim() {
+            return Err(MechanismError::InvalidArgument(format!(
+                "workload covers {} cells but the strategy covers {}",
+                workload.dim(),
+                self.strategy.dim()
+            )));
+        }
+        let run = self.run(x, rng)?;
+        let answers = workload.evaluate(&run.estimate);
+        Ok((answers, run))
+    }
+
+    /// Answers the workload of Prop. 3 directly from a query matrix `W`
+    /// (`MA(W, x) = W x̂`), for callers holding an explicit matrix.
+    pub fn answer_matrix<R: Rng + ?Sized>(
+        &self,
+        queries: &Matrix,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<Vec<f64>> {
+        let run = self.run(x, rng)?;
+        Ok(queries.matvec(&run.estimate)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::approx_eq;
+    use mm_strategies::identity::identity_strategy;
+    use mm_strategies::wavelet::wavelet_1d;
+    use mm_workload::example::fig1_workload;
+    use mm_workload::Workload;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_privacy() -> PrivacyParams {
+        PrivacyParams::paper_default()
+    }
+
+    #[test]
+    fn zero_noise_limit_recovers_exact_answers() {
+        // With a huge epsilon the noise is negligible and the mechanism
+        // reproduces the true workload answers.
+        let w = fig1_workload();
+        let x: Vec<f64> = (1..=8).map(|v| v as f64 * 10.0).collect();
+        let strategy = wavelet_1d(8);
+        let mech = MatrixMechanism::new(strategy, PrivacyParams::new(1e9, 1e-4)).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (answers, _) = mech.answer_workload(&w, &x, &mut rng).unwrap();
+        let truth = w.evaluate(&x);
+        for (a, t) in answers.iter().zip(truth.iter()) {
+            assert!(approx_eq(*a, *t, 1e-3), "{a} vs {t}");
+        }
+    }
+
+    #[test]
+    fn empirical_error_matches_analytic_prediction() {
+        // Monte-Carlo RMS error over repeated runs should match Prop. 4.
+        let w = fig1_workload();
+        let x: Vec<f64> = vec![50.0, 10.0, 30.0, 20.0, 60.0, 25.0, 15.0, 40.0];
+        let strategy = wavelet_1d(8);
+        let privacy = paper_privacy();
+        let predicted = crate::error::rms_workload_error(
+            &w.gram(),
+            w.query_count(),
+            &strategy,
+            &privacy,
+        )
+        .unwrap();
+        let mech = MatrixMechanism::new(strategy, privacy).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        let truth = w.evaluate(&x);
+        let trials = 300;
+        let mut total_sq = 0.0;
+        for _ in 0..trials {
+            let (answers, _) = mech.answer_workload(&w, &x, &mut rng).unwrap();
+            for (a, t) in answers.iter().zip(truth.iter()) {
+                total_sq += (a - t).powi(2);
+            }
+        }
+        let empirical = (total_sq / (trials as f64 * w.query_count() as f64)).sqrt();
+        assert!(
+            (empirical - predicted).abs() / predicted < 0.1,
+            "empirical {empirical} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn answers_are_consistent() {
+        // q3 = q1 - q2 holds exactly for the mechanism output because all
+        // answers derive from a single estimate x̂.
+        let w = fig1_workload();
+        let x = vec![5.0; 8];
+        let mech = MatrixMechanism::new(identity_strategy(8), paper_privacy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (answers, _) = mech.answer_workload(&w, &x, &mut rng).unwrap();
+        assert!(approx_eq(answers[2], answers[0] - answers[1], 1e-9));
+    }
+
+    #[test]
+    fn construction_errors() {
+        let s = mm_strategies::Strategy::from_parts(
+            "implicit",
+            None,
+            Matrix::identity(4),
+            1.0,
+            1.0,
+            4,
+        );
+        assert!(MatrixMechanism::new(s, paper_privacy()).is_err());
+        assert!(MatrixMechanism::new(identity_strategy(4), PrivacyParams::pure(1.0)).is_err());
+        let mech = MatrixMechanism::new(identity_strategy(4), paper_privacy()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(mech.run(&[1.0; 3], &mut rng).is_err());
+        assert!(mech
+            .answer_workload(&fig1_workload(), &[1.0; 8], &mut rng)
+            .is_err());
+    }
+}

@@ -1,0 +1,11 @@
+//! Differentially private mechanisms: Gaussian, Laplace, and the matrix
+//! mechanism with least-squares inference.
+
+pub mod gaussian;
+pub mod laplace;
+pub mod matrix;
+pub mod noise;
+
+pub use gaussian::GaussianMechanism;
+pub use laplace::LaplaceMechanism;
+pub use matrix::MatrixMechanism;

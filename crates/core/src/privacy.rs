@@ -1,0 +1,128 @@
+//! Privacy parameters and noise calibration.
+//!
+//! Approximate differential privacy (Def. 4) is achieved by adding Gaussian
+//! noise calibrated to the L2 sensitivity (Prop. 2); standard ε-differential
+//! privacy by Laplace noise calibrated to the L1 sensitivity.  The constant
+//! `P(ε,δ) = 2 ln(2/δ)/ε²` appears in every (ε,δ) error expression (Prop. 4)
+//! and cancels in all error *ratios*, which is why the paper fixes
+//! ε = 0.5, δ = 10⁻⁴ for the workload-error experiments.
+
+/// Privacy parameters (ε, δ).  `delta = 0` denotes pure ε-differential privacy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyParams {
+    /// The ε parameter (must be positive).
+    pub epsilon: f64,
+    /// The δ parameter (must lie in `[0, 1)`).
+    pub delta: f64,
+}
+
+impl PrivacyParams {
+    /// Creates (ε, δ) parameters; panics on invalid values.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!((0.0..1.0).contains(&delta), "delta must lie in [0, 1)");
+        PrivacyParams { epsilon, delta }
+    }
+
+    /// Pure ε-differential privacy (δ = 0).
+    pub fn pure(epsilon: f64) -> Self {
+        PrivacyParams::new(epsilon, 0.0)
+    }
+
+    /// The paper's default setting for workload-error experiments:
+    /// ε = 0.5, δ = 10⁻⁴.
+    pub fn paper_default() -> Self {
+        PrivacyParams::new(0.5, 1e-4)
+    }
+
+    /// True when δ > 0 (approximate differential privacy).
+    pub fn is_approximate(&self) -> bool {
+        self.delta > 0.0
+    }
+
+    /// The error constant `P(ε,δ) = 2 ln(2/δ) / ε²` of Prop. 4.
+    ///
+    /// Panics when δ = 0 (use [`PrivacyParams::laplace_error_constant`] for
+    /// pure differential privacy).
+    pub fn gaussian_error_constant(&self) -> f64 {
+        assert!(self.is_approximate(), "P(eps, delta) requires delta > 0");
+        2.0 * (2.0 / self.delta).ln() / (self.epsilon * self.epsilon)
+    }
+
+    /// The Gaussian noise scale `σ = Δ₂ √(2 ln(2/δ)) / ε` of Prop. 2 for a
+    /// query set of L2 sensitivity `l2_sensitivity`.
+    pub fn gaussian_sigma(&self, l2_sensitivity: f64) -> f64 {
+        assert!(self.is_approximate(), "the Gaussian mechanism requires delta > 0");
+        l2_sensitivity * (2.0 * (2.0 / self.delta).ln()).sqrt() / self.epsilon
+    }
+
+    /// Per-query noise variance of the Laplace mechanism for a query set of
+    /// L1 sensitivity `l1_sensitivity`: `2 (Δ₁/ε)²`.
+    pub fn laplace_variance(&self, l1_sensitivity: f64) -> f64 {
+        let b = l1_sensitivity / self.epsilon;
+        2.0 * b * b
+    }
+
+    /// The Laplace analogue of `P(ε,δ)`: the per-unit-sensitivity noise
+    /// variance `2/ε²` used by the ε-matrix-mechanism error expressions
+    /// (Sec. 3.5).
+    pub fn laplace_error_constant(&self) -> f64 {
+        2.0 / (self.epsilon * self.epsilon)
+    }
+
+    /// The Laplace noise scale `b = Δ₁/ε`.
+    pub fn laplace_scale(&self, l1_sensitivity: f64) -> f64 {
+        l1_sensitivity / self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::approx_eq;
+
+    #[test]
+    fn paper_default_constant() {
+        let p = PrivacyParams::paper_default();
+        // P = 2 ln(20000) / 0.25
+        let expected = 2.0 * (20000.0_f64).ln() / 0.25;
+        assert!(approx_eq(p.gaussian_error_constant(), expected, 1e-12));
+    }
+
+    #[test]
+    fn gaussian_sigma_scales_linearly_with_sensitivity() {
+        let p = PrivacyParams::new(1.0, 1e-5);
+        let s1 = p.gaussian_sigma(1.0);
+        let s3 = p.gaussian_sigma(3.0);
+        assert!(approx_eq(s3, 3.0 * s1, 1e-12));
+    }
+
+    #[test]
+    fn sigma_squared_equals_error_constant() {
+        // σ² for unit sensitivity equals P(ε,δ).
+        let p = PrivacyParams::new(0.7, 1e-6);
+        let sigma = p.gaussian_sigma(1.0);
+        assert!(approx_eq(sigma * sigma, p.gaussian_error_constant(), 1e-10));
+    }
+
+    #[test]
+    fn laplace_quantities() {
+        let p = PrivacyParams::pure(0.5);
+        assert!(!p.is_approximate());
+        assert!(approx_eq(p.laplace_scale(2.0), 4.0, 1e-12));
+        assert!(approx_eq(p.laplace_variance(2.0), 32.0, 1e-12));
+        assert!(approx_eq(p.laplace_error_constant(), 8.0, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "delta > 0")]
+    fn gaussian_constant_requires_delta() {
+        PrivacyParams::pure(1.0).gaussian_error_constant();
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be positive")]
+    fn invalid_epsilon_panics() {
+        PrivacyParams::new(0.0, 1e-4);
+    }
+}

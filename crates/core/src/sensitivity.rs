@@ -1,0 +1,65 @@
+//! Query-matrix sensitivity (Prop. 1).
+//!
+//! Because neighbouring databases differ in one tuple and cell conditions are
+//! disjoint, neighbouring data vectors differ by ±1 in a single component, so
+//! the Lp sensitivity of a query matrix is the maximum Lp norm of its columns.
+
+use mm_linalg::Matrix;
+
+/// L2 sensitivity `‖W‖₂`: the maximum L2 norm over columns (Prop. 1).
+pub fn l2_sensitivity(matrix: &Matrix) -> f64 {
+    matrix.max_col_norm_l2()
+}
+
+/// L1 sensitivity `‖W‖₁`: the maximum L1 norm over columns.
+pub fn l1_sensitivity(matrix: &Matrix) -> f64 {
+    matrix.max_col_norm_l1()
+}
+
+/// L2 sensitivity computed from a gram matrix `WᵀW`: the square root of the
+/// largest diagonal entry (the diagonal holds the squared column norms).
+pub fn l2_sensitivity_from_gram(gram: &Matrix) -> f64 {
+    gram.diag()
+        .iter()
+        .fold(0.0_f64, |m, &d| m.max(d))
+        .max(0.0)
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::{approx_eq, ops};
+    use mm_workload::example::fig1_workload;
+    use mm_workload::Workload;
+
+    #[test]
+    fn fig1_sensitivities() {
+        let w = fig1_workload().to_matrix().unwrap();
+        assert!(approx_eq(l2_sensitivity(&w), 5.0_f64.sqrt(), 1e-12));
+        assert!(approx_eq(l1_sensitivity(&w), 5.0, 1e-12));
+    }
+
+    #[test]
+    fn gram_based_sensitivity_matches() {
+        let w = fig1_workload();
+        let m = w.to_matrix().unwrap();
+        assert!(approx_eq(
+            l2_sensitivity_from_gram(&ops::gram(&m)),
+            l2_sensitivity(&m),
+            1e-12
+        ));
+        assert!(approx_eq(
+            l2_sensitivity_from_gram(&w.gram()),
+            5.0_f64.sqrt(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn identity_has_unit_sensitivity() {
+        let i = Matrix::identity(7);
+        assert_eq!(l2_sensitivity(&i), 1.0);
+        assert_eq!(l1_sensitivity(&i), 1.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Data vectors: per-cell counts over a domain (Def. 1).
+
+use mm_workload::Domain;
+
+/// A data vector `x` of nonnegative cell counts over a [`Domain`].
+#[derive(Debug, Clone)]
+pub struct DataVector {
+    domain: Domain,
+    counts: Vec<f64>,
+}
+
+impl DataVector {
+    /// Creates a data vector from explicit counts (must match the domain size
+    /// and be nonnegative and finite).
+    pub fn new(domain: Domain, counts: Vec<f64>) -> Self {
+        assert_eq!(
+            counts.len(),
+            domain.n_cells(),
+            "count vector length must equal the number of cells"
+        );
+        assert!(
+            counts.iter().all(|&c| c >= 0.0 && c.is_finite()),
+            "cell counts must be nonnegative and finite"
+        );
+        DataVector { domain, counts }
+    }
+
+    /// An all-zero data vector.
+    pub fn zeros(domain: Domain) -> Self {
+        let n = domain.n_cells();
+        DataVector {
+            domain,
+            counts: vec![0.0; n],
+        }
+    }
+
+    /// Builds a data vector by counting tuples (given as multi-indices).
+    pub fn from_tuples<'a>(domain: Domain, tuples: impl IntoIterator<Item = &'a [usize]>) -> Self {
+        let mut v = DataVector::zeros(domain);
+        for t in tuples {
+            let idx = v.domain.index_of(t);
+            v.counts[idx] += 1.0;
+        }
+        v
+    }
+
+    /// The underlying domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The cell counts.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Mutable access to the cell counts.
+    pub fn counts_mut(&mut self) -> &mut [f64] {
+        &mut self.counts
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total number of tuples (sum of counts).
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// The count of a single cell by multi-index.
+    pub fn count_at(&self, multi: &[usize]) -> f64 {
+        self.counts[self.domain.index_of(multi)]
+    }
+
+    /// Increments the count of a cell by multi-index.
+    pub fn add_tuple(&mut self, multi: &[usize]) {
+        let idx = self.domain.index_of(multi);
+        self.counts[idx] += 1.0;
+    }
+
+    /// Fraction of cells with zero count (sparsity).
+    pub fn sparsity(&self) -> f64 {
+        let zero = self.counts.iter().filter(|&&c| c == 0.0).count();
+        zero as f64 / self.counts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_totals() {
+        let d = Domain::new(&[2, 3]);
+        let v = DataVector::new(d, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(v.total(), 21.0);
+        assert_eq!(v.n_cells(), 6);
+        assert_eq!(v.count_at(&[1, 2]), 6.0);
+        assert_eq!(v.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn from_tuples_counts_correctly() {
+        let d = Domain::new(&[2, 2]);
+        let tuples: Vec<Vec<usize>> = vec![vec![0, 0], vec![0, 0], vec![1, 1]];
+        let refs: Vec<&[usize]> = tuples.iter().map(|t| t.as_slice()).collect();
+        let v = DataVector::from_tuples(d, refs);
+        assert_eq!(v.counts(), &[2.0, 0.0, 0.0, 1.0]);
+        assert_eq!(v.sparsity(), 0.5);
+    }
+
+    #[test]
+    fn add_tuple_increments() {
+        let mut v = DataVector::zeros(Domain::new(&[3]));
+        v.add_tuple(&[1]);
+        v.add_tuple(&[1]);
+        assert_eq!(v.counts(), &[0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal")]
+    fn wrong_length_panics() {
+        DataVector::new(Domain::new(&[2, 2]), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_count_panics() {
+        DataVector::new(Domain::new(&[2]), vec![-1.0, 0.0]);
+    }
+}

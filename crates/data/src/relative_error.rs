@@ -1,0 +1,184 @@
+//! Monte-Carlo relative-error evaluation harness.
+//!
+//! Workload error (Prop. 4) is data independent, but *relative* error is not:
+//! it depends on the magnitudes of the true answers.  The experiments of
+//! Figs. 3(b)/3(d) therefore run the mechanism end to end on a data vector and
+//! report the average relative error over all workload queries,
+//!
+//! ```text
+//!     (1/m) Σ_i |ŵᵢ − wᵢ| / max(|wᵢ|, floor)
+//! ```
+//!
+//! with a small floor (sanity bound) preventing division by zero on empty
+//! queries, averaged over repeated noise draws.
+
+use crate::data_vector::DataVector;
+use mm_core::mechanism::MatrixMechanism;
+use mm_core::PrivacyParams;
+use mm_strategies::Strategy;
+use mm_workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Options for the relative-error harness.
+#[derive(Debug, Clone)]
+pub struct RelativeErrorOptions {
+    /// Number of independent mechanism runs to average over.
+    pub trials: usize,
+    /// Relative-error floor: denominators are `max(|true answer|, floor)`.
+    pub floor: f64,
+    /// RNG seed (results are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for RelativeErrorOptions {
+    fn default() -> Self {
+        RelativeErrorOptions {
+            trials: 5,
+            floor: 1.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Summary statistics of a relative-error evaluation.
+#[derive(Debug, Clone)]
+pub struct RelativeErrorReport {
+    /// Mean relative error over queries and trials.
+    pub mean: f64,
+    /// Median (over queries) of the per-query mean relative error.
+    pub median: f64,
+    /// Number of trials.
+    pub trials: usize,
+    /// Number of workload queries.
+    pub queries: usize,
+}
+
+/// Evaluates the average relative error of answering `workload` on `data`
+/// with the matrix mechanism configured with `strategy`.
+pub fn average_relative_error<W: Workload + ?Sized>(
+    workload: &W,
+    strategy: &Strategy,
+    data: &DataVector,
+    privacy: &PrivacyParams,
+    opts: &RelativeErrorOptions,
+) -> mm_core::Result<RelativeErrorReport> {
+    if opts.trials == 0 {
+        return Err(mm_core::MechanismError::InvalidArgument(
+            "at least one trial is required".into(),
+        ));
+    }
+    let mechanism = MatrixMechanism::new(strategy.clone(), *privacy)?;
+    let x = data.counts();
+    let truth = workload.evaluate(x);
+    let m = truth.len();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut per_query = vec![0.0; m];
+    for _ in 0..opts.trials {
+        let (answers, _) = mechanism.answer_workload(workload, x, &mut rng)?;
+        for ((t, a), acc) in truth.iter().zip(answers.iter()).zip(per_query.iter_mut()) {
+            *acc += (a - t).abs() / t.abs().max(opts.floor);
+        }
+    }
+    for v in &mut per_query {
+        *v /= opts.trials as f64;
+    }
+    let mean = per_query.iter().sum::<f64>() / m as f64;
+    let mut sorted = per_query.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let median = if m % 2 == 1 {
+        sorted[m / 2]
+    } else {
+        0.5 * (sorted[m / 2 - 1] + sorted[m / 2])
+    };
+    Ok(RelativeErrorReport {
+        mean,
+        median,
+        trials: opts.trials,
+        queries: m,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::synthetic_histogram;
+    use mm_strategies::identity::identity_strategy;
+    use mm_strategies::wavelet::wavelet_strategy;
+    use mm_workload::range::AllRangeWorkload;
+    use mm_workload::Domain;
+
+    fn small_dataset() -> DataVector {
+        synthetic_histogram(&Domain::new(&[8, 8]), 100_000.0, 1.0, 3, 1)
+    }
+
+    #[test]
+    fn relative_error_decreases_with_epsilon() {
+        let data = small_dataset();
+        let w = AllRangeWorkload::new(data.domain().clone());
+        let strategy = wavelet_strategy(data.domain());
+        let opts = RelativeErrorOptions::default();
+        let loose = average_relative_error(
+            &w,
+            &strategy,
+            &data,
+            &PrivacyParams::new(2.0, 1e-4),
+            &opts,
+        )
+        .unwrap();
+        let tight = average_relative_error(
+            &w,
+            &strategy,
+            &data,
+            &PrivacyParams::new(0.1, 1e-4),
+            &opts,
+        )
+        .unwrap();
+        assert!(tight.mean > loose.mean, "tight {} loose {}", tight.mean, loose.mean);
+        assert_eq!(loose.queries, w.query_count());
+    }
+
+    #[test]
+    fn wavelet_beats_identity_on_ranges() {
+        let data = small_dataset();
+        let w = AllRangeWorkload::new(data.domain().clone());
+        let p = PrivacyParams::new(0.5, 1e-4);
+        let opts = RelativeErrorOptions {
+            trials: 3,
+            ..Default::default()
+        };
+        let wav = average_relative_error(&w, &wavelet_strategy(data.domain()), &data, &p, &opts)
+            .unwrap();
+        let id =
+            average_relative_error(&w, &identity_strategy(64), &data, &p, &opts).unwrap();
+        assert!(wav.mean < id.mean, "wavelet {} vs identity {}", wav.mean, id.mean);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = small_dataset();
+        let w = AllRangeWorkload::new(data.domain().clone());
+        let p = PrivacyParams::new(0.5, 1e-4);
+        let opts = RelativeErrorOptions {
+            trials: 2,
+            ..Default::default()
+        };
+        let s = wavelet_strategy(data.domain());
+        let a = average_relative_error(&w, &s, &data, &p, &opts).unwrap();
+        let b = average_relative_error(&w, &s, &data, &p, &opts).unwrap();
+        assert_eq!(a.mean, b.mean);
+        assert_eq!(a.median, b.median);
+    }
+
+    #[test]
+    fn zero_trials_rejected() {
+        let data = small_dataset();
+        let w = AllRangeWorkload::new(data.domain().clone());
+        let p = PrivacyParams::new(0.5, 1e-4);
+        let opts = RelativeErrorOptions {
+            trials: 0,
+            ..Default::default()
+        };
+        assert!(average_relative_error(&w, &identity_strategy(64), &data, &p, &opts).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Synthetic datasets standing in for the paper's evaluation data.
+//!
+//! Table 1 of the paper:
+//!
+//! | Dataset   | Dimensions    | # Tuples |
+//! |-----------|---------------|----------|
+//! | US Census | 8 × 16 × 16   | 15 M     |
+//! | Adult     | 8 × 8 × 16 × 2| 33 K     |
+//!
+//! We cannot redistribute IPUMS or UCI data, so [`census_like`] and
+//! [`adult_like`] generate histograms with the same domain shape and total
+//! count, heavy-tailed (Zipf-like) per-attribute marginals and positive
+//! inter-attribute correlation — the properties relative error actually
+//! depends on.  Generation samples cell *probabilities* (a correlated
+//! product-form mixture) and then distributes the tuple mass multinomially,
+//! so results are deterministic given the seed.
+
+use crate::data_vector::DataVector;
+use mm_workload::Domain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic dataset: a data vector plus descriptive metadata.
+#[derive(Debug, Clone)]
+pub struct SyntheticDataset {
+    /// Short name used in reports ("census-like", "adult-like").
+    pub name: String,
+    /// The generated data vector.
+    pub data: DataVector,
+}
+
+/// Per-attribute Zipf-like probability vector with exponent `s`, randomly
+/// permuted so that the heavy buckets are not always the first ones.
+fn zipf_weights<R: Rng + ?Sized>(d: usize, s: f64, rng: &mut R) -> Vec<f64> {
+    let mut w: Vec<f64> = (1..=d).map(|r| 1.0 / (r as f64).powf(s)).collect();
+    // Fisher–Yates shuffle.
+    for i in (1..d).rev() {
+        let j = rng.gen_range(0..=i);
+        w.swap(i, j);
+    }
+    let total: f64 = w.iter().sum();
+    w.iter_mut().for_each(|x| *x /= total);
+    w
+}
+
+/// Generates a skewed, correlated histogram over `domain` with roughly
+/// `total_tuples` tuples, deterministically from `seed`.
+///
+/// The cell distribution is a mixture of `num_components` product
+/// distributions, each with Zipf-like per-attribute marginals; the mixture
+/// induces correlation between attributes (a single product distribution
+/// would make all attributes independent).
+pub fn synthetic_histogram(
+    domain: &Domain,
+    total_tuples: f64,
+    skew: f64,
+    num_components: usize,
+    seed: u64,
+) -> DataVector {
+    assert!(total_tuples > 0.0 && total_tuples.is_finite());
+    assert!(num_components > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = domain.num_attributes();
+    let n = domain.n_cells();
+
+    // Mixture weights.
+    let mut mix: Vec<f64> = (0..num_components).map(|_| rng.gen_range(0.2..1.0)).collect();
+    let mix_total: f64 = mix.iter().sum();
+    mix.iter_mut().for_each(|x| *x /= mix_total);
+
+    // Per-component, per-attribute marginals.
+    let components: Vec<Vec<Vec<f64>>> = (0..num_components)
+        .map(|_| {
+            (0..k)
+                .map(|a| zipf_weights(domain.size(a), skew, &mut rng))
+                .collect()
+        })
+        .collect();
+
+    // Cell probabilities.
+    let mut probs = vec![0.0; n];
+    for (idx, p) in probs.iter_mut().enumerate() {
+        let multi = domain.multi_index(idx);
+        for (c, weights) in components.iter().enumerate() {
+            let mut prod = mix[c];
+            for (a, &v) in multi.iter().enumerate() {
+                prod *= weights[a][v];
+            }
+            *p += prod;
+        }
+    }
+
+    // Distribute the tuple mass: expected count plus a small stochastic
+    // remainder so counts are integral.
+    let mut counts = vec![0.0; n];
+    let mut allocated = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        let expected = p * total_tuples;
+        let floor = expected.floor();
+        counts[i] = floor;
+        allocated += floor;
+    }
+    let mut remaining = (total_tuples - allocated).round() as i64;
+    while remaining > 0 {
+        // Assign leftover tuples to cells proportionally to their probability.
+        let r: f64 = rng.gen_range(0.0..1.0);
+        let mut acc = 0.0;
+        for (i, &p) in probs.iter().enumerate() {
+            acc += p;
+            if r <= acc {
+                counts[i] += 1.0;
+                break;
+            }
+        }
+        remaining -= 1;
+    }
+    DataVector::new(domain.clone(), counts)
+}
+
+/// The census-like dataset: domain 8 × 16 × 16 (age × occupation × income
+/// buckets), ≈ 15 million tuples.
+pub fn census_like(seed: u64) -> SyntheticDataset {
+    let domain = Domain::new(&[8, 16, 16]);
+    SyntheticDataset {
+        name: "census-like".to_string(),
+        data: synthetic_histogram(&domain, 15_000_000.0, 1.1, 4, seed),
+    }
+}
+
+/// The adult-like dataset: domain 8 × 8 × 16 × 2 (age × work × education ×
+/// income), ≈ 33 thousand (weight-aggregated) tuples.
+pub fn adult_like(seed: u64) -> SyntheticDataset {
+    let domain = Domain::new(&[8, 8, 16, 2]);
+    SyntheticDataset {
+        name: "adult-like".to_string(),
+        data: synthetic_histogram(&domain, 33_000.0, 1.0, 3, seed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_like_shape_and_scale() {
+        let ds = census_like(7);
+        assert_eq!(ds.data.domain().sizes(), &[8, 16, 16]);
+        assert_eq!(ds.data.n_cells(), 2048);
+        let total = ds.data.total();
+        assert!((total - 15_000_000.0).abs() / 15_000_000.0 < 0.01, "total {total}");
+    }
+
+    #[test]
+    fn adult_like_shape_and_scale() {
+        let ds = adult_like(7);
+        assert_eq!(ds.data.domain().sizes(), &[8, 8, 16, 2]);
+        let total = ds.data.total();
+        assert!((total - 33_000.0).abs() / 33_000.0 < 0.05, "total {total}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = census_like(3);
+        let b = census_like(3);
+        assert_eq!(a.data.counts(), b.data.counts());
+        let c = census_like(4);
+        assert_ne!(a.data.counts(), c.data.counts());
+    }
+
+    #[test]
+    fn histogram_is_skewed() {
+        // Heavy-tailed: the largest cell should hold far more than the mean.
+        let ds = census_like(11);
+        let counts = ds.data.counts();
+        let mean = ds.data.total() / counts.len() as f64;
+        let max = counts.iter().fold(0.0_f64, |m, &c| m.max(c));
+        assert!(max > 5.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn attributes_are_correlated() {
+        // The mixture construction induces correlation: the joint distribution
+        // should differ from the product of its marginals.
+        let d = Domain::new(&[4, 4]);
+        let v = synthetic_histogram(&d, 100_000.0, 1.0, 3, 5);
+        let total = v.total();
+        // Marginals.
+        let mut m0 = vec![0.0; 4];
+        let mut m1 = vec![0.0; 4];
+        for i in 0..4 {
+            for j in 0..4 {
+                let c = v.counts()[i * 4 + j];
+                m0[i] += c;
+                m1[j] += c;
+            }
+        }
+        let mut max_dev: f64 = 0.0;
+        for i in 0..4 {
+            for j in 0..4 {
+                let joint = v.counts()[i * 4 + j] / total;
+                let indep = (m0[i] / total) * (m1[j] / total);
+                max_dev = max_dev.max((joint - indep).abs());
+            }
+        }
+        assert!(max_dev > 1e-3, "joint should deviate from independence, dev = {max_dev}");
+    }
+
+    #[test]
+    fn counts_are_integral() {
+        let d = Domain::new(&[5, 5]);
+        let v = synthetic_histogram(&d, 1000.0, 1.2, 2, 9);
+        assert!(v.counts().iter().all(|c| c.fract() == 0.0));
+        assert!((v.total() - 1000.0).abs() <= 25.0);
+    }
+}

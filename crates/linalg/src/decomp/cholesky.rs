@@ -1,0 +1,281 @@
+//! Cholesky factorization `A = L Lᵀ` of symmetric positive definite matrices.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// A Cholesky factorization holding the lower-triangular factor `L`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read. Returns
+    /// [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
+    /// positive.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        Self::new_with_shift(a, 0.0)
+    }
+
+    /// Factors `A + shift * I`.
+    ///
+    /// A small positive `shift` regularises nearly-singular gram matrices
+    /// (e.g. for rank-deficient workloads); callers decide the amount.
+    pub fn new_with_shift(a: &Matrix, shift: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal entry.
+            let mut d = a[(j, j)] + shift;
+            for k in 0..j {
+                let v = l[(j, k)];
+                d -= v * v;
+            }
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j, value: d });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Returns the lower-triangular factor `L`.
+    pub fn l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.l[(i, k)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Backward substitution: Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * y[k];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col)?;
+            for (i, v) in x.into_iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes the inverse `A⁻¹`.
+    pub fn inverse(&self) -> Matrix {
+        let n = self.dim();
+        self.solve_matrix(&Matrix::identity(n))
+            .expect("identity has matching shape")
+    }
+
+    /// Log-determinant of `A` (twice the sum of log diagonal entries of `L`).
+    pub fn log_det(&self) -> f64 {
+        2.0 * self.l.diag().iter().map(|d| d.ln()).sum::<f64>()
+    }
+
+    /// Determinant of `A`.
+    pub fn det(&self) -> f64 {
+        let p: f64 = self.l.diag().iter().product();
+        p * p
+    }
+
+    /// Computes `trace(G * A⁻¹)` where `A` is the factored matrix, without
+    /// forming the inverse explicitly.
+    ///
+    /// This is the Prop. 4 error expression `trace(WᵀW (AᵀA)⁻¹)` with
+    /// `G = WᵀW`, evaluated as the sum of entries of `G ∘ A⁻¹` column by
+    /// column via triangular solves.
+    pub fn trace_of_gram_times_inverse(&self, g: &Matrix) -> Result<f64> {
+        let n = self.dim();
+        if g.shape() != (n, n) {
+            return Err(LinalgError::ShapeMismatch {
+                op: "trace_of_gram_times_inverse",
+                left: (n, n),
+                right: g.shape(),
+            });
+        }
+        let mut total = 0.0;
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e.iter_mut().for_each(|v| *v = 0.0);
+            e[j] = 1.0;
+            let col = self.solve_vec(&e)?; // column j of A^{-1}
+            let mut acc = 0.0;
+            for (i, &v) in col.iter().enumerate() {
+                acc += g[(j, i)] * v;
+            }
+            total += acc;
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::ops::{gram, matmul};
+
+    fn spd_matrix(n: usize) -> Matrix {
+        // Build a random-ish SPD matrix as BᵀB + I.
+        let b = Matrix::from_fn(n + 2, n, |i, j| ((i * 7 + j * 13) % 9) as f64 / 4.0 - 1.0);
+        let mut g = gram(&b);
+        for i in 0..n {
+            g[(i, i)] += 1.0;
+        }
+        g
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        let a = spd_matrix(6);
+        let ch = Cholesky::new(&a).unwrap();
+        let rec = matmul(ch.l(), &ch.l().transpose()).unwrap();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!(approx_eq(rec[(i, j)], a[(i, j)], 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd_matrix(5);
+        let ch = Cholesky::new(&a).unwrap();
+        let x_true = vec![1.0, -2.0, 3.0, 0.5, -1.5];
+        let b = a.matvec(&x_true).unwrap();
+        let x = ch.solve_vec(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!(approx_eq(*xi, *ti, 1e-8));
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd_matrix(4);
+        let inv = Cholesky::new(&a).unwrap().inverse();
+        let prod = matmul(&a, &inv).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(prod[(i, j)], expect, 1e-8), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_positive_definite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap(); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_empty() {
+        assert!(Cholesky::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Cholesky::new(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn shift_regularises_singular_matrix() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap(); // rank 1
+        assert!(Cholesky::new(&a).is_err());
+        assert!(Cholesky::new_with_shift(&a, 1e-6).is_ok());
+    }
+
+    #[test]
+    fn determinants() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]).unwrap();
+        let ch = Cholesky::new(&a).unwrap();
+        assert!(approx_eq(ch.det(), 8.0, 1e-10));
+        assert!(approx_eq(ch.log_det(), 8.0_f64.ln(), 1e-10));
+    }
+
+    #[test]
+    fn solve_matrix_rhs() {
+        let a = spd_matrix(4);
+        let ch = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(4, 2, |i, j| (i + j) as f64);
+        let x = ch.solve_matrix(&b).unwrap();
+        let rec = matmul(&a, &x).unwrap();
+        for i in 0..4 {
+            for j in 0..2 {
+                assert!(approx_eq(rec[(i, j)], b[(i, j)], 1e-8));
+            }
+        }
+        assert!(ch.solve_matrix(&Matrix::zeros(3, 1)).is_err());
+        assert!(ch.solve_vec(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn trace_of_gram_times_inverse_matches_explicit() {
+        let a = spd_matrix(5);
+        let g = spd_matrix(5);
+        let ch = Cholesky::new(&a).unwrap();
+        let t = ch.trace_of_gram_times_inverse(&g).unwrap();
+        let explicit = matmul(&g, &ch.inverse()).unwrap().trace();
+        assert!(approx_eq(t, explicit, 1e-8));
+        assert!(ch.trace_of_gram_times_inverse(&Matrix::zeros(2, 2)).is_err());
+    }
+}

@@ -1,0 +1,554 @@
+//! Symmetric eigendecomposition.
+//!
+//! The Eigen-Design algorithm (Program 2 of the paper) diagonalises the
+//! workload gram matrix `WᵀW = Qᵀ D Q`; the rows of `Q` (the eigenvectors of
+//! `WᵀW`) become the *design queries* and the eigenvalues become the costs of
+//! the weighting program.  This module provides that decomposition via the
+//! classical two-phase algorithm:
+//!
+//! 1. Householder reduction to tridiagonal form (`tred2`),
+//! 2. implicit-shift QL iteration on the tridiagonal matrix with accumulation
+//!    of the transformations (`tql2`).
+//!
+//! A cyclic Jacobi implementation is also provided; it is slower but
+//! independent, and the test-suite uses it to cross-validate the QL results.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Maximum QL iterations per eigenvalue before reporting non-convergence.
+const MAX_QL_ITER: usize = 100;
+
+/// Eigendecomposition of a real symmetric matrix `A = V diag(λ) Vᵀ`.
+///
+/// Eigenvalues are sorted in descending order and `V`'s columns are the
+/// corresponding orthonormal eigenvectors.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    eigenvalues: Vec<f64>,
+    /// Matrix whose columns are eigenvectors (same order as `eigenvalues`).
+    eigenvectors: Matrix,
+}
+
+impl SymmetricEigen {
+    /// Computes the decomposition of a symmetric matrix using
+    /// Householder tridiagonalisation + implicit QL.
+    ///
+    /// The matrix is symmetrised (`(A+Aᵀ)/2`) first, so small asymmetries from
+    /// accumulated floating point error in gram computations are tolerated.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut z = a.clone();
+        z.symmetrize_mut();
+        let mut d = vec![0.0; n];
+        let mut e = vec![0.0; n];
+        tred2(&mut z, &mut d, &mut e);
+        tql2(&mut z, &mut d, &mut e)?;
+        // Sort eigenvalues (descending) and reorder eigenvector columns.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (new_j, &old_j) in order.iter().enumerate() {
+            for i in 0..n {
+                eigenvectors[(i, new_j)] = z[(i, old_j)];
+            }
+        }
+        Ok(SymmetricEigen {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Computes the decomposition with the cyclic Jacobi method.
+    ///
+    /// O(n³) per sweep with a larger constant than [`SymmetricEigen::new`];
+    /// intended for small matrices and cross-validation.
+    pub fn jacobi(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut m = a.clone();
+        m.symmetrize_mut();
+        let mut v = Matrix::identity(n);
+        let max_sweeps = 64;
+        for _sweep in 0..max_sweeps {
+            // Sum of off-diagonal magnitudes.
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    off += m[(i, j)].abs();
+                }
+            }
+            if off < 1e-14 * (1.0 + m.max_abs()) {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let apq = m[(p, q)];
+                    if apq.abs() < 1e-300 {
+                        continue;
+                    }
+                    let app = m[(p, p)];
+                    let aqq = m[(q, q)];
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = if theta >= 0.0 {
+                        1.0 / (theta + (1.0 + theta * theta).sqrt())
+                    } else {
+                        -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    // Apply the rotation to M on both sides.
+                    for k in 0..n {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(k, q)] = s * mkp + c * mkq;
+                    }
+                    for k in 0..n {
+                        let mpk = m[(p, k)];
+                        let mqk = m[(q, k)];
+                        m[(p, k)] = c * mpk - s * mqk;
+                        m[(q, k)] = s * mpk + c * mqk;
+                    }
+                    // Accumulate eigenvectors.
+                    for k in 0..n {
+                        let vkp = v[(k, p)];
+                        let vkq = v[(k, q)];
+                        v[(k, p)] = c * vkp - s * vkq;
+                        v[(k, q)] = s * vkp + c * vkq;
+                    }
+                }
+            }
+        }
+        let mut d: Vec<f64> = m.diag();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&i, &j| d[j].partial_cmp(&d[i]).unwrap_or(std::cmp::Ordering::Equal));
+        let mut eigenvectors = Matrix::zeros(n, n);
+        for (new_j, &old_j) in order.iter().enumerate() {
+            for i in 0..n {
+                eigenvectors[(i, new_j)] = v[(i, old_j)];
+            }
+        }
+        d = order.iter().map(|&i| m[(i, i)]).collect();
+        Ok(SymmetricEigen {
+            eigenvalues: d,
+            eigenvectors,
+        })
+    }
+
+    /// Eigenvalues in descending order.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Matrix whose columns are the eigenvectors (ordered like the eigenvalues).
+    pub fn eigenvectors(&self) -> &Matrix {
+        &self.eigenvectors
+    }
+
+    /// Returns the matrix `Q` whose **rows** are the eigenvectors, matching
+    /// the paper's convention `WᵀW = Qᵀ D Q`.
+    pub fn eigenvector_rows(&self) -> Matrix {
+        self.eigenvectors.transpose()
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Number of eigenvalues larger than `tol * max(|λ|)` — the numerical rank.
+    pub fn rank(&self, tol: f64) -> usize {
+        let max = self
+            .eigenvalues
+            .iter()
+            .fold(0.0_f64, |m, &x| m.max(x.abs()));
+        if max == 0.0 {
+            return 0;
+        }
+        self.eigenvalues
+            .iter()
+            .filter(|&&x| x.abs() > tol * max)
+            .count()
+    }
+
+    /// Reconstructs `V diag(λ) Vᵀ` (used by tests).
+    pub fn reconstruct(&self) -> Matrix {
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        for k in 0..n {
+            let lam = self.eigenvalues[k];
+            if lam == 0.0 {
+                continue;
+            }
+            for i in 0..n {
+                let vik = self.eigenvectors[(i, k)];
+                if vik == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] += lam * vik * self.eigenvectors[(j, k)];
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Householder reduction of the symmetric matrix stored in `z` to tridiagonal
+/// form, accumulating the orthogonal transformation in `z`.
+///
+/// On exit `d` holds the diagonal and `e[1..]` the sub-diagonal.
+fn tred2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) {
+    let n = z.rows();
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        if l > 0 {
+            let mut scale = 0.0;
+            for k in 0..=l {
+                scale += z[(i, k)].abs();
+            }
+            if scale == 0.0 {
+                e[i] = z[(i, l)];
+            } else {
+                for k in 0..=l {
+                    let v = z[(i, k)] / scale;
+                    z[(i, k)] = v;
+                    h += v * v;
+                }
+                let f = z[(i, l)];
+                let g = if f >= 0.0 { -h.sqrt() } else { h.sqrt() };
+                e[i] = scale * g;
+                h -= f * g;
+                z[(i, l)] = f - g;
+                let mut f_acc = 0.0;
+                for j in 0..=l {
+                    z[(j, i)] = z[(i, j)] / h;
+                    let mut g_acc = 0.0;
+                    for k in 0..=j {
+                        g_acc += z[(j, k)] * z[(i, k)];
+                    }
+                    for k in (j + 1)..=l {
+                        g_acc += z[(k, j)] * z[(i, k)];
+                    }
+                    e[j] = g_acc / h;
+                    f_acc += e[j] * z[(i, j)];
+                }
+                let hh = f_acc / (h + h);
+                for j in 0..=l {
+                    let fj = z[(i, j)];
+                    let gj = e[j] - hh * fj;
+                    e[j] = gj;
+                    for k in 0..=j {
+                        let delta = fj * e[k] + gj * z[(i, k)];
+                        z[(j, k)] -= delta;
+                    }
+                }
+            }
+        } else {
+            e[i] = z[(i, l)];
+        }
+        d[i] = h;
+    }
+    d[0] = 0.0;
+    e[0] = 0.0;
+    for i in 0..n {
+        if d[i] != 0.0 {
+            for j in 0..i {
+                let mut g = 0.0;
+                for k in 0..i {
+                    g += z[(i, k)] * z[(k, j)];
+                }
+                for k in 0..i {
+                    let delta = g * z[(k, i)];
+                    z[(k, j)] -= delta;
+                }
+            }
+        }
+        d[i] = z[(i, i)];
+        z[(i, i)] = 1.0;
+        for j in 0..i {
+            z[(j, i)] = 0.0;
+            z[(i, j)] = 0.0;
+        }
+    }
+}
+
+fn hypot(a: f64, b: f64) -> f64 {
+    a.hypot(b)
+}
+
+fn sign_of(a: f64, b: f64) -> f64 {
+    if b >= 0.0 {
+        a.abs()
+    } else {
+        -a.abs()
+    }
+}
+
+/// Implicit-shift QL iteration on a tridiagonal matrix (`d` diagonal, `e`
+/// sub-diagonal), accumulating eigenvectors into `z` (which must hold the
+/// orthogonal matrix produced by [`tred2`]).
+fn tql2(z: &mut Matrix, d: &mut [f64], e: &mut [f64]) -> Result<()> {
+    let n = d.len();
+    if n == 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+    // Absolute deflation floor: off-diagonals this small relative to the
+    // overall matrix scale are treated as zero even next to (numerically)
+    // zero eigenvalues, which otherwise stall the iteration on the highly
+    // degenerate spectra of structured workload gram matrices.
+    let scale = d
+        .iter()
+        .chain(e.iter())
+        .fold(0.0_f64, |m, &v| m.max(v.abs()));
+    let floor = f64::EPSILON * scale;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find a small sub-diagonal element to split the matrix.
+            let mut m = l;
+            while m < n - 1 {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd + floor {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_QL_ITER {
+                return Err(LinalgError::NonConvergence {
+                    algorithm: "tql2",
+                    iterations: iter,
+                });
+            }
+            // Form the implicit shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = hypot(g, 1.0);
+            g = d[m] - d[l] + e[l] / (g + sign_of(r, g));
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut underflow = false;
+            let mut i = m;
+            while i > l {
+                i -= 1;
+                let f = s * e[i];
+                let b = c * e[i];
+                r = hypot(f, g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the eigenvector matrix.
+                for k in 0..n {
+                    let fk = z[(k, i + 1)];
+                    z[(k, i + 1)] = s * z[(k, i)] + c * fk;
+                    z[(k, i)] = c * z[(k, i)] - s * fk;
+                }
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::ops::gram;
+
+    fn symmetric_test_matrix(n: usize, seed: u64) -> Matrix {
+        let b = Matrix::from_fn(n, n, |i, j| {
+            let v = (i as u64)
+                .wrapping_mul(2654435761)
+                .wrapping_add((j as u64).wrapping_mul(40503))
+                .wrapping_add(seed);
+            ((v % 1000) as f64) / 500.0 - 1.0
+        });
+        gram(&b)
+    }
+
+    fn check_decomposition(a: &Matrix, eig: &SymmetricEigen, tol: f64) {
+        let rec = eig.reconstruct();
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(
+                    approx_eq(rec[(i, j)], a[(i, j)], tol),
+                    "reconstruction mismatch at ({i},{j}): {} vs {}",
+                    rec[(i, j)],
+                    a[(i, j)]
+                );
+            }
+        }
+        // Orthonormality of eigenvectors.
+        let v = eig.eigenvectors();
+        let vtv = gram(v);
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                let e = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    approx_eq(vtv[(i, j)], e, 1e-8),
+                    "eigenvectors not orthonormal at ({i},{j})"
+                );
+            }
+        }
+        // Descending order.
+        for w in eig.eigenvalues().windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_diag(&[3.0, 1.0, 2.0]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let vals = eig.eigenvalues();
+        assert!(approx_eq(vals[0], 3.0, 1e-12));
+        assert!(approx_eq(vals[1], 2.0, 1e-12));
+        assert!(approx_eq(vals[2], 1.0, 1e-12));
+        check_decomposition(&a, &eig, 1e-10);
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert!(approx_eq(eig.eigenvalues()[0], 3.0, 1e-12));
+        assert!(approx_eq(eig.eigenvalues()[1], 1.0, 1e-12));
+        check_decomposition(&a, &eig, 1e-12);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = Matrix::from_diag(&[5.0]);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        assert_eq!(eig.eigenvalues(), &[5.0]);
+        assert_eq!(eig.eigenvectors()[(0, 0)].abs(), 1.0);
+    }
+
+    #[test]
+    fn random_symmetric_matrices_decompose() {
+        for &n in &[3usize, 5, 8, 16, 33] {
+            let a = symmetric_test_matrix(n, n as u64);
+            let eig = SymmetricEigen::new(&a).unwrap();
+            check_decomposition(&a, &eig, 1e-7 * (1.0 + a.max_abs()));
+        }
+    }
+
+    #[test]
+    fn psd_gram_has_nonnegative_eigenvalues() {
+        let a = symmetric_test_matrix(12, 7);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        for &l in eig.eigenvalues() {
+            assert!(l > -1e-8, "gram eigenvalue should be >= 0, got {l}");
+        }
+    }
+
+    #[test]
+    fn trace_and_frobenius_preserved() {
+        let a = symmetric_test_matrix(10, 3);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let sum: f64 = eig.eigenvalues().iter().sum();
+        assert!(approx_eq(sum, a.trace(), 1e-7));
+        let sq: f64 = eig.eigenvalues().iter().map(|x| x * x).sum();
+        assert!(approx_eq(sq, a.sum_of_squares(), 1e-6));
+    }
+
+    #[test]
+    fn ql_matches_jacobi() {
+        let a = symmetric_test_matrix(9, 42);
+        let ql = SymmetricEigen::new(&a).unwrap();
+        let ja = SymmetricEigen::jacobi(&a).unwrap();
+        for (x, y) in ql.eigenvalues().iter().zip(ja.eigenvalues().iter()) {
+            assert!(approx_eq(*x, *y, 1e-7), "{x} vs {y}");
+        }
+        check_decomposition(&a, &ja, 1e-7 * (1.0 + a.max_abs()));
+    }
+
+    #[test]
+    fn rank_of_rank_deficient_matrix() {
+        // Rank-2 PSD matrix in dimension 5.
+        let b = Matrix::from_fn(2, 5, |i, j| ((i + 1) * (j + 2)) as f64 % 7.0);
+        let g = gram(&b);
+        let eig = SymmetricEigen::new(&g).unwrap();
+        assert_eq!(eig.rank(1e-9), 2);
+    }
+
+    #[test]
+    fn eigenvector_rows_matches_transpose() {
+        let a = symmetric_test_matrix(6, 11);
+        let eig = SymmetricEigen::new(&a).unwrap();
+        let q = eig.eigenvector_rows();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(q[(i, j)], eig.eigenvectors()[(j, i)]);
+            }
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(SymmetricEigen::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(SymmetricEigen::new(&Matrix::zeros(0, 0)).is_err());
+        assert!(SymmetricEigen::jacobi(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn all_range_gram_eigen_structure() {
+        // Gram of the 1D all-range workload on 8 cells: G[i][j] = (min+1)(n-max).
+        let n = 8;
+        let g = Matrix::from_fn(n, n, |i, j| {
+            let lo = i.min(j) as f64;
+            let hi = i.max(j) as f64;
+            (lo + 1.0) * (n as f64 - hi)
+        });
+        let eig = SymmetricEigen::new(&g).unwrap();
+        check_decomposition(&g, &eig, 1e-8);
+        // All eigenvalues strictly positive (the workload has full rank).
+        assert!(eig.eigenvalues().iter().all(|&l| l > 1e-9));
+    }
+}

@@ -1,0 +1,224 @@
+//! LU factorization with partial pivoting for general square matrices.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// LU factorization `P A = L U` with partial (row) pivoting.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined storage: strictly lower part holds `L` (unit diagonal
+    /// implied), upper part holds `U`.
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1 or -1), used for the determinant.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factors a square matrix. Returns [`LinalgError::Singular`] when a pivot
+    /// is (numerically) zero.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Find pivot.
+            let mut p = k;
+            let mut max = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > max {
+                    max = v;
+                    p = i;
+                }
+            }
+            if max < f64::EPSILON * (n as f64) {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if p != k {
+                // Swap rows k and p.
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+                perm.swap(k, p);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve_vec(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                left: (n, n),
+                right: (b.len(), 1),
+            });
+        }
+        // Apply permutation.
+        let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
+        // Forward substitution with unit lower triangle.
+        for i in 0..n {
+            let mut s = y[i];
+            for k in 0..i {
+                s -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = s;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= self.lu[(i, k)] * y[k];
+            }
+            y[i] = s / self.lu[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side.
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                left: (n, n),
+                right: b.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(n, b.cols());
+        for j in 0..b.cols() {
+            let x = self.solve_vec(&b.col(j))?;
+            for (i, v) in x.into_iter().enumerate() {
+                out[(i, j)] = v;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Inverse of the factored matrix.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+            .expect("identity has matching shape")
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> f64 {
+        self.sign * self.lu.diag().iter().product::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::ops::matmul;
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ])
+        .unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve_vec(&[8.0, -11.0, -3.0]).unwrap();
+        // Known solution x = (2, 3, -1).
+        assert!(approx_eq(x[0], 2.0, 1e-10));
+        assert!(approx_eq(x[1], 3.0, 1e-10));
+        assert!(approx_eq(x[2], -1.0, 1e-10));
+    }
+
+    #[test]
+    fn determinant_with_pivoting() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        assert!(approx_eq(lu.det(), -1.0, 1e-12));
+
+        let b = Matrix::from_rows(&[vec![3.0, 8.0], vec![4.0, 6.0]]).unwrap();
+        assert!(approx_eq(Lu::new(&b).unwrap().det(), -14.0, 1e-10));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Matrix::from_fn(5, 5, |i, j| {
+            if i == j {
+                3.0
+            } else {
+                1.0 / ((i + j + 1) as f64)
+            }
+        });
+        let inv = Lu::new(&a).unwrap().inverse();
+        let prod = matmul(&a, &inv).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(prod[(i, j)], e, 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(Lu::new(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(Lu::new(&Matrix::zeros(2, 3)).is_err());
+        assert!(Lu::new(&Matrix::zeros(0, 0)).is_err());
+        let lu = Lu::new(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve_vec(&[1.0]).is_err());
+        assert!(lu.solve_matrix(&Matrix::zeros(3, 1)).is_err());
+    }
+
+    #[test]
+    fn solve_matrix_multiple_rhs() {
+        let a = Matrix::from_rows(&[vec![4.0, 3.0], vec![6.0, 3.0]]).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        let b = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let x = lu.solve_matrix(&b).unwrap();
+        let prod = matmul(&a, &x).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(prod[(i, j)], e, 1e-10));
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Householder QR factorization and least-squares solves.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// QR factorization `A = Q R` computed with Householder reflections.
+///
+/// `A` is `m x n` with `m >= n`; `Q` is `m x n` with orthonormal columns
+/// (thin QR) and `R` is `n x n` upper triangular.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    q: Matrix,
+    r: Matrix,
+}
+
+impl Qr {
+    /// Factors the matrix. Requires `rows >= cols` and a non-empty matrix.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::InvalidArgument(format!(
+                "QR requires rows >= cols, got {m}x{n}"
+            )));
+        }
+        let mut r = a.clone();
+        // Accumulate Q as a product of Householder reflectors applied to I.
+        let mut q_full = Matrix::identity(m);
+
+        let mut v = vec![0.0; m];
+        for k in 0..n {
+            // Build the Householder vector for column k.
+            let mut norm = 0.0;
+            for i in k..m {
+                let x = r[(i, k)];
+                norm += x * x;
+            }
+            let norm = norm.sqrt();
+            if norm < f64::EPSILON {
+                continue;
+            }
+            let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+            let mut vnorm2 = 0.0;
+            for i in k..m {
+                let x = if i == k { r[(i, k)] - alpha } else { r[(i, k)] };
+                v[i] = x;
+                vnorm2 += x * x;
+            }
+            if vnorm2 < f64::EPSILON * f64::EPSILON {
+                continue;
+            }
+            let beta = 2.0 / vnorm2;
+            // Apply the reflector to R: R <- (I - beta v vᵀ) R on rows k..m.
+            for j in k..n {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += v[i] * r[(i, j)];
+                }
+                let s = beta * dot;
+                for i in k..m {
+                    r[(i, j)] -= s * v[i];
+                }
+            }
+            // Apply the reflector to Q_full from the right: Q <- Q (I - beta v vᵀ).
+            for row in 0..m {
+                let mut dot = 0.0;
+                for i in k..m {
+                    dot += q_full[(row, i)] * v[i];
+                }
+                let s = beta * dot;
+                for i in k..m {
+                    q_full[(row, i)] -= s * v[i];
+                }
+            }
+        }
+        // Thin factors.
+        let q = q_full.submatrix(0, m, 0, n)?;
+        let r_thin = r.submatrix(0, n, 0, n)?;
+        Ok(Qr { q, r: r_thin })
+    }
+
+    /// The thin orthonormal factor `Q` (`m x n`).
+    pub fn q(&self) -> &Matrix {
+        &self.q
+    }
+
+    /// The upper-triangular factor `R` (`n x n`).
+    pub fn r(&self) -> &Matrix {
+        &self.r
+    }
+
+    /// Solves the least-squares problem `min_x ||A x - b||₂`.
+    ///
+    /// Returns [`LinalgError::Singular`] when `A` is (numerically) rank
+    /// deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let m = self.q.rows();
+        let n = self.q.cols();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr least squares",
+                left: (m, n),
+                right: (b.len(), 1),
+            });
+        }
+        // y = Qᵀ b
+        let y = self.q.matvec_transposed(b)?;
+        // Back-substitute R x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for k in (i + 1)..n {
+                s -= self.r[(i, k)] * x[k];
+            }
+            let d = self.r[(i, i)];
+            if d.abs() < 1e-12 {
+                return Err(LinalgError::Singular { pivot: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+
+    /// Numerical rank of `A` estimated from the diagonal of `R`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let max_diag = self
+            .r
+            .diag()
+            .iter()
+            .fold(0.0_f64, |m, &d| m.max(d.abs()));
+        if max_diag == 0.0 {
+            return 0;
+        }
+        self.r
+            .diag()
+            .iter()
+            .filter(|d| d.abs() > tol * max_diag)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::ops::{gram, matmul};
+
+    #[test]
+    fn qr_reconstructs_matrix() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j * 5) % 7) as f64 - 3.0);
+        let qr = Qr::new(&a).unwrap();
+        let rec = matmul(qr.q(), qr.r()).unwrap();
+        for i in 0..5 {
+            for j in 0..3 {
+                assert!(approx_eq(rec[(i, j)], a[(i, j)], 1e-9), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_fn(6, 4, |i, j| (i as f64 + 1.0) / (j as f64 + 1.0));
+        let qr = Qr::new(&a).unwrap();
+        let qtq = gram(qr.q());
+        for i in 0..4 {
+            for j in 0..4 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(qtq[(i, j)], e, 1e-9), "({i},{j}) = {}", qtq[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let a = Matrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+            vec![1.0, 4.0],
+        ])
+        .unwrap();
+        let b = vec![6.0, 5.0, 7.0, 10.0];
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve_least_squares(&b).unwrap();
+        // Known OLS solution: intercept 3.5, slope 1.4.
+        assert!(approx_eq(x[0], 3.5, 1e-9));
+        assert!(approx_eq(x[1], 1.4, 1e-9));
+    }
+
+    #[test]
+    fn exact_system_solved_exactly() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 4.0], vec![0.0, 0.0]]).unwrap();
+        let qr = Qr::new(&a).unwrap();
+        let x = qr.solve_least_squares(&[2.0, 8.0, 0.0]).unwrap();
+        assert!(approx_eq(x[0], 1.0, 1e-10));
+        assert!(approx_eq(x[1], 2.0, 1e-10));
+    }
+
+    #[test]
+    fn rank_detection() {
+        let full = Matrix::from_fn(4, 3, |i, j| if i == j { 1.0 } else { 0.1 * (i + j) as f64 });
+        assert_eq!(Qr::new(&full).unwrap().rank(1e-10), 3);
+
+        // Rank-1 matrix.
+        let rank1 = Matrix::from_fn(4, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+        assert_eq!(Qr::new(&rank1).unwrap().rank(1e-8), 1);
+    }
+
+    #[test]
+    fn rank_deficient_solve_rejected() {
+        let rank1 = Matrix::from_fn(4, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+        let qr = Qr::new(&rank1).unwrap();
+        assert!(qr.solve_least_squares(&[1.0, 2.0, 3.0, 4.0]).is_err());
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(Qr::new(&Matrix::zeros(0, 0)).is_err());
+        assert!(Qr::new(&Matrix::zeros(2, 3)).is_err());
+        let qr = Qr::new(&Matrix::identity(3)).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+}

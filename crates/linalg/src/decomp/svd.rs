@@ -1,0 +1,151 @@
+//! Singular value decomposition via the gram-matrix eigendecomposition.
+//!
+//! The matrix mechanism only needs singular values (for the singular value
+//! bound of Thm. 2 they are the square roots of the eigenvalues of `WᵀW`) and
+//! occasionally right singular vectors; both are obtained from the symmetric
+//! eigendecomposition of `AᵀA`, which is accurate enough for the
+//! well-conditioned gram matrices arising from counting-query workloads.
+
+use crate::decomp::eigen::SymmetricEigen;
+use crate::error::Result;
+use crate::matrix::Matrix;
+use crate::ops;
+
+/// Singular value decomposition `A = U diag(σ) Vᵀ` (thin form).
+#[derive(Debug, Clone)]
+pub struct Svd {
+    singular_values: Vec<f64>,
+    /// Right singular vectors as columns (`n x n`).
+    v: Matrix,
+}
+
+impl Svd {
+    /// Computes singular values and right singular vectors of `A` from the
+    /// eigendecomposition of `AᵀA`.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        let g = ops::gram(a);
+        Self::from_gram(&g)
+    }
+
+    /// Computes the SVD data directly from a precomputed gram matrix `AᵀA`.
+    ///
+    /// This is the entry point used by workloads that provide `WᵀW` in closed
+    /// form without materialising `W`.
+    pub fn from_gram(g: &Matrix) -> Result<Self> {
+        let eig = SymmetricEigen::new(g)?;
+        let singular_values = eig
+            .eigenvalues()
+            .iter()
+            .map(|&l| if l > 0.0 { l.sqrt() } else { 0.0 })
+            .collect();
+        Ok(Svd {
+            singular_values,
+            v: eig.eigenvectors().clone(),
+        })
+    }
+
+    /// Singular values in descending order.
+    pub fn singular_values(&self) -> &[f64] {
+        &self.singular_values
+    }
+
+    /// Right singular vectors as columns.
+    pub fn v(&self) -> &Matrix {
+        &self.v
+    }
+
+    /// Numerical rank: singular values above `tol * σ_max`.
+    pub fn rank(&self, tol: f64) -> usize {
+        let max = self.singular_values.first().copied().unwrap_or(0.0);
+        if max == 0.0 {
+            return 0;
+        }
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > tol * max)
+            .count()
+    }
+
+    /// Largest singular value (the spectral norm of `A`).
+    pub fn spectral_norm(&self) -> f64 {
+        self.singular_values.first().copied().unwrap_or(0.0)
+    }
+
+    /// Condition number σ_max / σ_min (infinite for singular matrices).
+    pub fn condition_number(&self) -> f64 {
+        let max = self.spectral_norm();
+        let min = self.singular_values.last().copied().unwrap_or(0.0);
+        if min <= 0.0 {
+            f64::INFINITY
+        } else {
+            max / min
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn diagonal_matrix_singular_values() {
+        let a = Matrix::from_diag(&[-3.0, 2.0, 1.0]);
+        let svd = Svd::new(&a).unwrap();
+        let s = svd.singular_values();
+        assert!(approx_eq(s[0], 3.0, 1e-9));
+        assert!(approx_eq(s[1], 2.0, 1e-9));
+        assert!(approx_eq(s[2], 1.0, 1e-9));
+        assert_eq!(svd.rank(1e-9), 3);
+    }
+
+    #[test]
+    fn rank_deficient() {
+        let a = Matrix::from_fn(4, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+        let svd = Svd::new(&a).unwrap();
+        assert_eq!(svd.rank(1e-7), 1);
+        assert!(svd.condition_number().is_infinite());
+    }
+
+    #[test]
+    fn spectral_norm_of_orthogonal_is_one() {
+        // 2x2 rotation matrix.
+        let theta = 0.7_f64;
+        let a = Matrix::from_rows(&[
+            vec![theta.cos(), -theta.sin()],
+            vec![theta.sin(), theta.cos()],
+        ])
+        .unwrap();
+        let svd = Svd::new(&a).unwrap();
+        assert!(approx_eq(svd.spectral_norm(), 1.0, 1e-9));
+        assert!(approx_eq(svd.condition_number(), 1.0, 1e-9));
+    }
+
+    #[test]
+    fn frobenius_identity() {
+        let a = Matrix::from_fn(5, 4, |i, j| ((i * 3 + j) % 7) as f64 - 3.0);
+        let svd = Svd::new(&a).unwrap();
+        let sq: f64 = svd.singular_values().iter().map(|s| s * s).sum();
+        assert!(approx_eq(sq, a.sum_of_squares(), 1e-7));
+    }
+
+    #[test]
+    fn from_gram_matches_new() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i * 5 + j * 2) % 9) as f64 / 3.0);
+        let s1 = Svd::new(&a).unwrap();
+        let s2 = Svd::from_gram(&crate::ops::gram(&a)).unwrap();
+        for (x, y) in s1
+            .singular_values()
+            .iter()
+            .zip(s2.singular_values().iter())
+        {
+            assert!(approx_eq(*x, *y, 1e-10));
+        }
+    }
+
+    #[test]
+    fn empty_and_nonsquare_gram_rejected() {
+        assert!(Svd::from_gram(&Matrix::zeros(0, 0)).is_err());
+        assert!(Svd::from_gram(&Matrix::zeros(2, 3)).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Error type shared by all linear algebra routines.
+
+use std::fmt;
+
+/// Result alias for linear algebra operations.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by the linear algebra routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Human readable description of the operation.
+        op: &'static str,
+        /// Shape of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// A square matrix was required.
+    NotSquare {
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// Cholesky factorization failed: the matrix is not positive definite.
+    NotPositiveDefinite {
+        /// Pivot index at which the failure was detected.
+        pivot: usize,
+        /// The value of the failing pivot.
+        value: f64,
+    },
+    /// The matrix is singular (or numerically singular) and cannot be inverted/solved.
+    Singular {
+        /// Pivot index at which the singularity was detected.
+        pivot: usize,
+    },
+    /// An iterative algorithm failed to converge.
+    NonConvergence {
+        /// Name of the algorithm.
+        algorithm: &'static str,
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// The requested operation needs a non-empty matrix.
+    Empty,
+    /// Invalid argument supplied by the caller.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinalgError::NotSquare { rows, cols } => {
+                write!(f, "expected a square matrix, got {rows}x{cols}")
+            }
+            LinalgError::NotPositiveDefinite { pivot, value } => write!(
+                f,
+                "matrix is not positive definite (pivot {pivot} = {value})"
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular (zero pivot at {pivot})")
+            }
+            LinalgError::NonConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinalgError::ShapeMismatch {
+            op: "matmul",
+            left: (2, 3),
+            right: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+    }
+
+    #[test]
+    fn display_not_positive_definite() {
+        let e = LinalgError::NotPositiveDefinite {
+            pivot: 3,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("positive definite"));
+    }
+
+    #[test]
+    fn display_singular_and_others() {
+        assert!(LinalgError::Singular { pivot: 1 }.to_string().contains("singular"));
+        assert!(LinalgError::Empty.to_string().contains("non-empty"));
+        assert!(LinalgError::NotSquare { rows: 2, cols: 3 }
+            .to_string()
+            .contains("square"));
+        assert!(LinalgError::NonConvergence {
+            algorithm: "eigen",
+            iterations: 30
+        }
+        .to_string()
+        .contains("converge"));
+        assert!(LinalgError::InvalidArgument("bad".into())
+            .to_string()
+            .contains("bad"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&LinalgError::Empty);
+    }
+}

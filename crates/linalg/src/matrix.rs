@@ -1,0 +1,830 @@
+//! Dense row-major matrix type.
+//!
+//! [`Matrix`] stores `f64` entries contiguously in row-major order.  It is the
+//! single matrix representation used across the workspace: workloads,
+//! strategies, gram matrices and factors are all `Matrix` values.  The type is
+//! deliberately simple — indexing, slicing by row, iteration, and elementwise
+//! arithmetic — with the heavier algorithms living in [`crate::ops`] and
+//! [`crate::decomp`].
+
+use crate::error::{LinalgError, Result};
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense, row-major matrix of `f64` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a square diagonal matrix from the given diagonal entries.
+    pub fn from_diag(diag: &[f64]) -> Self {
+        let n = diag.len();
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// Returns an error when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self> {
+        if data.len() != rows * cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "expected {} entries for a {}x{} matrix, got {}",
+                rows * cols,
+                rows,
+                cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from a slice of rows.
+    ///
+    /// Returns an error when rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
+        if rows.is_empty() {
+            return Ok(Matrix::zeros(0, 0));
+        }
+        let cols = rows[0].len();
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "row {i} has length {}, expected {cols}",
+                    r.len()
+                )));
+            }
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` for every entry.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// True when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable access to the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns the row-major data vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Gets entry `(i, j)`; returns `None` when out of bounds.
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        if i < self.rows && j < self.cols {
+            Some(self.data[i * self.cols + j])
+        } else {
+            None
+        }
+    }
+
+    /// Sets entry `(i, j)`. Panics when out of bounds.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j] = value;
+    }
+
+    /// Returns row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns row `i` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns column `j` as an owned vector.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Iterator over rows (as slices).
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f64]> {
+        self.data.chunks(self.cols.max(1)).take(self.rows)
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                t.data[j * self.rows + i] = v;
+            }
+        }
+        t
+    }
+
+    /// Returns the main diagonal as a vector.
+    pub fn diag(&self) -> Vec<f64> {
+        let n = self.rows.min(self.cols);
+        (0..n).map(|i| self[(i, i)]).collect()
+    }
+
+    /// Sum of the diagonal entries.
+    pub fn trace(&self) -> f64 {
+        self.diag().iter().sum()
+    }
+
+    /// Applies `f` to every entry, returning a new matrix.
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Scales every entry by `s` in place.
+    pub fn scale_mut(&mut self, s: f64) {
+        for x in &mut self.data {
+            *x *= s;
+        }
+    }
+
+    /// Returns the matrix scaled by `s`.
+    pub fn scaled(&self, s: f64) -> Matrix {
+        self.map(|x| x * s)
+    }
+
+    /// Frobenius norm: square root of the sum of squared entries.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Sum of squared entries (squared Frobenius norm).
+    pub fn sum_of_squares(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>()
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// L2 norm of column `j`.
+    pub fn col_norm_l2(&self, j: usize) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                let v = self[(i, j)];
+                v * v
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// L1 norm of column `j`.
+    pub fn col_norm_l1(&self, j: usize) -> f64 {
+        (0..self.rows).map(|i| self[(i, j)].abs()).sum::<f64>()
+    }
+
+    /// Vector of L2 norms of all columns.
+    pub fn col_norms_l2(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                sums[j] += v * v;
+            }
+        }
+        sums.into_iter().map(f64::sqrt).collect()
+    }
+
+    /// Vector of L1 norms of all columns.
+    pub fn col_norms_l1(&self) -> Vec<f64> {
+        let mut sums = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                sums[j] += v.abs();
+            }
+        }
+        sums
+    }
+
+    /// Maximum L2 column norm (the L2 sensitivity of a query matrix, Prop. 1).
+    pub fn max_col_norm_l2(&self) -> f64 {
+        self.col_norms_l2().into_iter().fold(0.0_f64, f64::max)
+    }
+
+    /// Maximum L1 column norm (the L1 sensitivity of a query matrix).
+    pub fn max_col_norm_l1(&self) -> f64 {
+        self.col_norms_l1().into_iter().fold(0.0_f64, f64::max)
+    }
+
+    /// True when the matrix is symmetric up to tolerance `tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self[(i, j)] - self[(j, i)]).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Symmetrises the matrix in place: `A <- (A + Aᵀ)/2`. Panics if not square.
+    pub fn symmetrize_mut(&mut self) {
+        assert!(self.is_square(), "symmetrize requires a square matrix");
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                let avg = 0.5 * (self[(i, j)] + self[(j, i)]);
+                self[(i, j)] = avg;
+                self[(j, i)] = avg;
+            }
+        }
+    }
+
+    /// Horizontally stacks `self` and `other` (same number of rows).
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.rows != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hstack",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(other.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Vertically stacks `self` on top of `other` (same number of columns).
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "vstack",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Returns the submatrix of the given row and column ranges.
+    pub fn submatrix(
+        &self,
+        row_start: usize,
+        row_end: usize,
+        col_start: usize,
+        col_end: usize,
+    ) -> Result<Matrix> {
+        if row_end > self.rows || col_end > self.cols || row_start > row_end || col_start > col_end
+        {
+            return Err(LinalgError::InvalidArgument(format!(
+                "submatrix range ({row_start}..{row_end}, {col_start}..{col_end}) out of bounds for {}x{}",
+                self.rows, self.cols
+            )));
+        }
+        let mut out = Matrix::zeros(row_end - row_start, col_end - col_start);
+        for i in row_start..row_end {
+            out.row_mut(i - row_start)
+                .copy_from_slice(&self.row(i)[col_start..col_end]);
+        }
+        Ok(out)
+    }
+
+    /// Returns a matrix with only the selected rows (in the given order).
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Matrix> {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (k, &i) in indices.iter().enumerate() {
+            if i >= self.rows {
+                return Err(LinalgError::InvalidArgument(format!(
+                    "row index {i} out of bounds for {} rows",
+                    self.rows
+                )));
+            }
+            out.row_mut(k).copy_from_slice(self.row(i));
+        }
+        Ok(out)
+    }
+
+    /// Returns a matrix with columns permuted so that new column `j` is old
+    /// column `perm[j]`.
+    pub fn permute_cols(&self, perm: &[usize]) -> Result<Matrix> {
+        if perm.len() != self.cols {
+            return Err(LinalgError::InvalidArgument(format!(
+                "permutation has length {}, expected {}",
+                perm.len(),
+                self.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let src = self.row(i);
+            let dst = out.row_mut(i);
+            for (j, &p) in perm.iter().enumerate() {
+                dst[j] = src[p];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &Matrix) -> Result<Matrix> {
+        if self.shape() != other.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "hadamard",
+                left: self.shape(),
+                right: other.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Multiplies the matrix by a column vector, returning `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: self.shape(),
+                right: (x.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = 0.0;
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += a * b;
+            }
+            out[i] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Multiplies the transpose by a vector, returning `Aᵀ y` without forming `Aᵀ`.
+    pub fn matvec_transposed(&self, y: &[f64]) -> Result<Vec<f64>> {
+        if y.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec_transposed",
+                left: (self.cols, self.rows),
+                right: (y.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let yi = y[i];
+            if yi == 0.0 {
+                continue;
+            }
+            for (j, &v) in row.iter().enumerate() {
+                out[j] += v * yi;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8;
+        for i in 0..self.rows.min(max_rows) {
+            write!(f, "  [")?;
+            for j in 0..self.cols.min(12) {
+                write!(f, "{:9.4}", self[(i, j)])?;
+                if j + 1 < self.cols.min(12) {
+                    write!(f, ", ")?;
+                }
+            }
+            if self.cols > 12 {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+
+    fn add(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix addition shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a -= b;
+        }
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.map(|x| -x)
+    }
+}
+
+impl Mul<f64> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, rhs: f64) -> Matrix {
+        self.scaled(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z = Matrix::zeros(2, 3);
+        assert_eq!(z.shape(), (2, 3));
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+
+        let i = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 2)], 0.0);
+        assert_eq!(i.trace(), 3.0);
+    }
+
+    #[test]
+    fn from_vec_shape_check() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]).is_err());
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn from_rows_ragged_rejected() {
+        assert!(Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]).is_err());
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.shape(), (2, 2));
+    }
+
+    #[test]
+    fn from_fn_builds_expected_entries() {
+        let m = Matrix::from_fn(3, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m[(2, 1)], 21.0);
+        assert_eq!(m[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i + 2 * j) as f64);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (4, 3));
+        assert_eq!(t[(3, 2)], m[(2, 3)]);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn diag_and_trace() {
+        let m = Matrix::from_diag(&[1.0, 2.0, 3.0]);
+        assert_eq!(m.diag(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.trace(), 6.0);
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![4.0, 1.0]]).unwrap();
+        assert!(approx_eq(m.col_norm_l2(0), 5.0, 1e-12));
+        assert!(approx_eq(m.col_norm_l1(0), 7.0, 1e-12));
+        assert!(approx_eq(m.max_col_norm_l2(), 5.0, 1e-12));
+        assert!(approx_eq(m.max_col_norm_l1(), 7.0, 1e-12));
+        assert!(approx_eq(m.frobenius_norm(), (26.0_f64).sqrt(), 1e-12));
+        assert!(approx_eq(m.sum_of_squares(), 26.0, 1e-12));
+        assert_eq!(m.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn col_norms_match_individual() {
+        let m = Matrix::from_fn(4, 3, |i, j| (i as f64) - (j as f64) * 0.5);
+        let norms = m.col_norms_l2();
+        for j in 0..3 {
+            assert!(approx_eq(norms[j], m.col_norm_l2(j), 1e-12));
+        }
+        let l1 = m.col_norms_l1();
+        for j in 0..3 {
+            assert!(approx_eq(l1[j], m.col_norm_l1(j), 1e-12));
+        }
+    }
+
+    #[test]
+    fn paper_workload_sensitivity_is_sqrt5() {
+        // The workload of Fig. 1(b) has L2 sensitivity sqrt(5).
+        let w = Matrix::from_rows(&[
+            vec![1., 1., 1., 1., 1., 1., 1., 1.],
+            vec![1., 1., 1., 1., 0., 0., 0., 0.],
+            vec![0., 0., 0., 0., 1., 1., 1., 1.],
+            vec![1., 1., 0., 0., 1., 1., 0., 0.],
+            vec![0., 0., 1., 1., 0., 0., 1., 1.],
+            vec![0., 0., 0., 0., 0., 0., 1., 1.],
+            vec![1., 1., 0., 0., 0., 0., 0., 0.],
+            vec![1., 1., 1., 1., -1., -1., -1., -1.],
+        ])
+        .unwrap();
+        assert!(approx_eq(w.max_col_norm_l2(), 5.0_f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn symmetric_check_and_symmetrize() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0 + 1e-12, 3.0]]).unwrap();
+        assert!(m.is_symmetric(1e-9));
+        m[(0, 1)] = 5.0;
+        assert!(!m.is_symmetric(1e-9));
+        m.symmetrize_mut();
+        assert!(m.is_symmetric(1e-15));
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 3.0);
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (2, 4));
+        assert_eq!(h[(0, 2)], 3.0);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (4, 2));
+        assert_eq!(v[(3, 1)], 3.0);
+        assert!(a.hstack(&Matrix::zeros(3, 1)).is_err());
+        assert!(a.vstack(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn submatrix_and_select_rows() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let s = m.submatrix(1, 3, 2, 4).unwrap();
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)], 6.0);
+        assert_eq!(s[(1, 1)], 11.0);
+        assert!(m.submatrix(0, 5, 0, 2).is_err());
+
+        let r = m.select_rows(&[3, 0]).unwrap();
+        assert_eq!(r[(0, 0)], 12.0);
+        assert_eq!(r[(1, 0)], 0.0);
+        assert!(m.select_rows(&[9]).is_err());
+    }
+
+    #[test]
+    fn permute_cols_applies_permutation() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0]]).unwrap();
+        let p = m.permute_cols(&[2, 0, 1]).unwrap();
+        assert_eq!(p.row(0), &[3.0, 1.0, 2.0]);
+        assert!(m.permute_cols(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn hadamard_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let h = a.hadamard(&b).unwrap();
+        assert_eq!(h[(1, 1)], 32.0);
+        assert!(a.hadamard(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn matvec_and_transposed() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let y = m.matvec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![6.0, 15.0]);
+        let z = m.matvec_transposed(&[1.0, 1.0]).unwrap();
+        assert_eq!(z, vec![5.0, 7.0, 9.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+        assert!(m.matvec_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let a = Matrix::identity(2);
+        let b = Matrix::filled(2, 2, 2.0);
+        let s = &a + &b;
+        assert_eq!(s[(0, 0)], 3.0);
+        let d = &s - &b;
+        assert_eq!(d, a);
+        let n = -&a;
+        assert_eq!(n[(0, 0)], -1.0);
+        let m = &a * 4.0;
+        assert_eq!(m[(1, 1)], 4.0);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c[(0, 1)], 2.0);
+        c -= &b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn map_and_scale() {
+        let m = Matrix::filled(2, 2, 2.0);
+        let sq = m.map(|x| x * x);
+        assert_eq!(sq[(0, 0)], 4.0);
+        let mut s = m.clone();
+        s.scale_mut(0.5);
+        assert_eq!(s[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn rows_iter_yields_all_rows() {
+        let m = Matrix::from_fn(3, 2, |i, _| i as f64);
+        let rows: Vec<&[f64]> = m.rows_iter().collect();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[2], &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn debug_format_is_bounded() {
+        let m = Matrix::zeros(100, 100);
+        let s = format!("{m:?}");
+        assert!(s.len() < 5000);
+    }
+
+    #[test]
+    fn get_and_set_bounds() {
+        let mut m = Matrix::zeros(2, 2);
+        assert!(m.get(2, 0).is_none());
+        assert_eq!(m.get(1, 1), Some(0.0));
+        m.set(1, 1, 7.0);
+        assert_eq!(m[(1, 1)], 7.0);
+    }
+
+    #[test]
+    fn empty_matrix_properties() {
+        let m = Matrix::zeros(0, 5);
+        assert!(m.is_empty());
+        assert_eq!(m.rows_iter().count(), 0);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (5, 0));
+    }
+}

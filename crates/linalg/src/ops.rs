@@ -1,0 +1,474 @@
+//! Matrix-level operations: products, gram matrices, Kronecker products.
+//!
+//! The inner loops are written in the cache-friendly `i-k-j` order so the
+//! innermost traversal is over contiguous rows of the right operand, and the
+//! larger products are parallelised over blocks of output rows with
+//! `std::thread::scope` (no external dependencies).
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Row count above which products are parallelised across threads.
+const PARALLEL_THRESHOLD: usize = 96;
+
+fn thread_count(rows: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(rows).max(1)
+}
+
+/// Computes the matrix product `A * B`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(out);
+    }
+    let work = m.saturating_mul(n).saturating_mul(k);
+    if m >= PARALLEL_THRESHOLD && work > 1_000_000 {
+        matmul_parallel(a, b, &mut out);
+    } else {
+        matmul_serial_range(a, b, out.as_mut_slice(), 0, m);
+    }
+    Ok(out)
+}
+
+fn matmul_serial_range(a: &Matrix, b: &Matrix, out: &mut [f64], row_start: usize, row_end: usize) {
+    let n = b.cols();
+    for i in row_start..row_end {
+        let a_row = a.row(i);
+        let out_row = &mut out[(i - row_start) * n..(i - row_start + 1) * n];
+        for (k, &aik) in a_row.iter().enumerate() {
+            if aik == 0.0 {
+                continue;
+            }
+            let b_row = b.row(k);
+            for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += aik * bkj;
+            }
+        }
+    }
+}
+
+fn matmul_parallel(a: &Matrix, b: &Matrix, out: &mut Matrix) {
+    let m = a.rows();
+    let n = b.cols();
+    let threads = thread_count(m);
+    let chunk = m.div_ceil(threads);
+    let out_data = out.as_mut_slice();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (t, out_chunk) in out_data.chunks_mut(chunk * n).enumerate() {
+            let row_start = t * chunk;
+            let row_end = (row_start + chunk).min(m);
+            if row_start >= row_end {
+                break;
+            }
+            handles.push(scope.spawn(move || {
+                matmul_serial_range(a, b, out_chunk, row_start, row_end);
+            }));
+        }
+        for h in handles {
+            h.join().expect("matmul worker thread panicked");
+        }
+    });
+}
+
+/// Computes `Aᵀ * B` without materialising `Aᵀ`.
+pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.rows() != b.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul_at_b",
+            left: (a.cols(), a.rows()),
+            right: b.shape(),
+        });
+    }
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = Matrix::zeros(m, n);
+    for r in 0..k {
+        let a_row = a.row(r);
+        let b_row = b.row(r);
+        for (i, &ari) in a_row.iter().enumerate() {
+            if ari == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for (o, &brj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += ari * brj;
+            }
+        }
+    }
+    let _ = n;
+    Ok(out)
+}
+
+/// Computes `A * Bᵀ` without materialising `Bᵀ`.
+pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if a.cols() != b.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "matmul_a_bt",
+            left: a.shape(),
+            right: (b.cols(), b.rows()),
+        });
+    }
+    let (m, n) = (a.rows(), b.rows());
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for j in 0..n {
+            let b_row = b.row(j);
+            let mut acc = 0.0;
+            for (x, y) in a_row.iter().zip(b_row.iter()) {
+                acc += x * y;
+            }
+            out_row[j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Computes the gram matrix `Aᵀ A` (always symmetric positive semidefinite).
+///
+/// Only the upper triangle is computed and then mirrored, which roughly halves
+/// the work compared to a general product.
+pub fn gram(a: &Matrix) -> Matrix {
+    let n = a.cols();
+    let mut g = Matrix::zeros(n, n);
+    for r in 0..a.rows() {
+        let row = a.row(r);
+        for i in 0..n {
+            let ri = row[i];
+            if ri == 0.0 {
+                continue;
+            }
+            let g_row = g.row_mut(i);
+            for (j, &rj) in row.iter().enumerate().skip(i) {
+                g_row[j] += ri * rj;
+            }
+        }
+    }
+    // Mirror the upper triangle.
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = g[(i, j)];
+            g[(j, i)] = v;
+        }
+    }
+    g
+}
+
+/// Computes the outer gram `A Aᵀ`.
+pub fn outer_gram(a: &Matrix) -> Matrix {
+    matmul_a_bt(a, a).expect("A * Aᵀ shapes always agree")
+}
+
+/// Kronecker product `A ⊗ B`.
+///
+/// Multi-dimensional workloads and strategies in the matrix mechanism are
+/// Kronecker products of their one-dimensional building blocks, so this is a
+/// core primitive for the workload crate.
+pub fn kron(a: &Matrix, b: &Matrix) -> Matrix {
+    let (ar, ac) = a.shape();
+    let (br, bc) = b.shape();
+    let mut out = Matrix::zeros(ar * br, ac * bc);
+    for i in 0..ar {
+        for j in 0..ac {
+            let aij = a[(i, j)];
+            if aij == 0.0 {
+                continue;
+            }
+            for p in 0..br {
+                let b_row = b.row(p);
+                let out_row = out.row_mut(i * br + p);
+                for (q, &bpq) in b_row.iter().enumerate() {
+                    out_row[j * bc + q] = aij * bpq;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Kronecker product of a sequence of matrices, `A₁ ⊗ A₂ ⊗ … ⊗ Aₖ`.
+///
+/// Returns the `1x1` identity for an empty sequence.
+pub fn kron_all(factors: &[Matrix]) -> Matrix {
+    let mut acc = Matrix::identity(1);
+    for f in factors {
+        acc = kron(&acc, f);
+    }
+    acc
+}
+
+/// Computes `trace(A * B)` without forming the product.
+///
+/// Both matrices must be square of the same size; the trace of a product is
+/// the sum of the elementwise products of `A` and `Bᵀ`.
+pub fn trace_of_product(a: &Matrix, b: &Matrix) -> Result<f64> {
+    if a.cols() != b.rows() || a.rows() != b.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "trace_of_product",
+            left: a.shape(),
+            right: b.shape(),
+        });
+    }
+    let mut acc = 0.0;
+    for i in 0..a.rows() {
+        let a_row = a.row(i);
+        for (j, &aij) in a_row.iter().enumerate() {
+            acc += aij * b[(j, i)];
+        }
+    }
+    Ok(acc)
+}
+
+/// Computes `diag(d) * A` (scales row `i` of `A` by `d[i]`).
+pub fn scale_rows(d: &[f64], a: &Matrix) -> Result<Matrix> {
+    if d.len() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "scale_rows",
+            left: (d.len(), d.len()),
+            right: a.shape(),
+        });
+    }
+    let mut out = a.clone();
+    for (i, &di) in d.iter().enumerate() {
+        for v in out.row_mut(i) {
+            *v *= di;
+        }
+    }
+    Ok(out)
+}
+
+/// Computes `A * diag(d)` (scales column `j` of `A` by `d[j]`).
+pub fn scale_cols(a: &Matrix, d: &[f64]) -> Result<Matrix> {
+    if d.len() != a.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "scale_cols",
+            left: a.shape(),
+            right: (d.len(), d.len()),
+        });
+    }
+    let mut out = a.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        for (v, &dj) in row.iter_mut().zip(d.iter()) {
+            *v *= dj;
+        }
+    }
+    Ok(out)
+}
+
+/// Computes the congruence `Qᵀ * D * Q` where `D = diag(d)` — the form of
+/// `AᵀA` for a strategy built from weighted design queries `A = diag(λ) Q`
+/// with `d = λ²`.
+pub fn congruence_diag(q: &Matrix, d: &[f64]) -> Result<Matrix> {
+    if d.len() != q.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "congruence_diag",
+            left: (d.len(), d.len()),
+            right: q.shape(),
+        });
+    }
+    let n = q.cols();
+    let mut out = Matrix::zeros(n, n);
+    for (r, &dr) in d.iter().enumerate() {
+        if dr == 0.0 {
+            continue;
+        }
+        let row = q.row(r);
+        for i in 0..n {
+            let s = dr * row[i];
+            if s == 0.0 {
+                continue;
+            }
+            let out_row = out.row_mut(i);
+            for (j, &rj) in row.iter().enumerate().skip(i) {
+                out_row[j] += s * rj;
+            }
+        }
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let v = out[(i, j)];
+            out[(j, i)] = v;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn assert_matrix_eq(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert!(
+                    approx_eq(a[(i, j)], b[(i, j)], tol),
+                    "mismatch at ({i},{j}): {} vs {}",
+                    a[(i, j)],
+                    b[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        let expected = Matrix::from_rows(&[vec![19.0, 22.0], vec![43.0, 50.0]]).unwrap();
+        assert_matrix_eq(&c, &expected, 1e-12);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(5, 5, |i, j| (i * j) as f64 + 1.0);
+        let c = matmul(&a, &Matrix::identity(5)).unwrap();
+        assert_matrix_eq(&c, &a, 1e-12);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_parallel_agrees_with_serial() {
+        let n = 150;
+        let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let par = matmul(&a, &b).unwrap();
+        // Serial reference.
+        let mut serial = Matrix::zeros(n, n);
+        for i in 0..n {
+            for k in 0..n {
+                for j in 0..n {
+                    serial[(i, j)] += a[(i, k)] * b[(k, j)];
+                }
+            }
+        }
+        assert_matrix_eq(&par, &serial, 1e-9);
+    }
+
+    #[test]
+    fn transposed_products_agree_with_explicit() {
+        let a = Matrix::from_fn(4, 3, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(4, 2, |i, j| (i as f64) - (j as f64));
+        let atb = matmul_at_b(&a, &b).unwrap();
+        let explicit = matmul(&a.transpose(), &b).unwrap();
+        assert_matrix_eq(&atb, &explicit, 1e-12);
+
+        let c = Matrix::from_fn(5, 3, |i, j| (2 * i + j) as f64);
+        let abt = matmul_a_bt(&a, &c).unwrap();
+        let explicit2 = matmul(&a, &c.transpose()).unwrap();
+        assert_matrix_eq(&abt, &explicit2, 1e-12);
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
+        let g = gram(&a);
+        let explicit = matmul(&a.transpose(), &a).unwrap();
+        assert_matrix_eq(&g, &explicit, 1e-12);
+        assert!(g.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn outer_gram_matches_explicit() {
+        let a = Matrix::from_fn(3, 5, |i, j| (i as f64) * 0.5 + (j as f64));
+        let g = outer_gram(&a);
+        let explicit = matmul(&a, &a.transpose()).unwrap();
+        assert_matrix_eq(&g, &explicit, 1e-12);
+    }
+
+    #[test]
+    fn kron_small_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![3.0], vec![4.0]]).unwrap();
+        let k = kron(&a, &b);
+        assert_eq!(k.shape(), (2, 2));
+        assert_eq!(k[(0, 0)], 3.0);
+        assert_eq!(k[(0, 1)], 6.0);
+        assert_eq!(k[(1, 0)], 4.0);
+        assert_eq!(k[(1, 1)], 8.0);
+    }
+
+    #[test]
+    fn kron_identity_sizes() {
+        let a = Matrix::identity(2);
+        let b = Matrix::identity(3);
+        let k = kron(&a, &b);
+        assert_matrix_eq(&k, &Matrix::identity(6), 1e-15);
+    }
+
+    #[test]
+    fn kron_mixed_product_property() {
+        // (A ⊗ B)(C ⊗ D) = (AC) ⊗ (BD)
+        let a = Matrix::from_fn(2, 2, |i, j| (i + 2 * j) as f64);
+        let b = Matrix::from_fn(3, 3, |i, j| (i as f64) - (j as f64));
+        let c = Matrix::from_fn(2, 2, |i, j| (i * j) as f64 + 1.0);
+        let d = Matrix::from_fn(3, 3, |i, j| ((i + j) % 3) as f64);
+        let lhs = matmul(&kron(&a, &b), &kron(&c, &d)).unwrap();
+        let rhs = kron(&matmul(&a, &c).unwrap(), &matmul(&b, &d).unwrap());
+        assert_matrix_eq(&lhs, &rhs, 1e-9);
+    }
+
+    #[test]
+    fn kron_all_of_empty_is_identity1() {
+        let k = kron_all(&[]);
+        assert_eq!(k.shape(), (1, 1));
+        assert_eq!(k[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn trace_of_product_matches_explicit() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i + j) as f64);
+        let b = Matrix::from_fn(4, 4, |i, j| (i as f64) * 2.0 - (j as f64));
+        let t = trace_of_product(&a, &b).unwrap();
+        let explicit = matmul(&a, &b).unwrap().trace();
+        assert!(approx_eq(t, explicit, 1e-12));
+        assert!(trace_of_product(&a, &Matrix::zeros(3, 3)).is_err());
+    }
+
+    #[test]
+    fn scale_rows_and_cols() {
+        let a = Matrix::filled(2, 3, 1.0);
+        let r = scale_rows(&[2.0, 3.0], &a).unwrap();
+        assert_eq!(r[(0, 0)], 2.0);
+        assert_eq!(r[(1, 2)], 3.0);
+        let c = scale_cols(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(c[(1, 2)], 3.0);
+        assert!(scale_rows(&[1.0], &a).is_err());
+        assert!(scale_cols(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn congruence_diag_matches_explicit() {
+        let q = Matrix::from_fn(4, 3, |i, j| ((i * 3 + j) % 5) as f64 - 2.0);
+        let d = vec![0.5, 2.0, 0.0, 1.5];
+        let c = congruence_diag(&q, &d).unwrap();
+        let explicit = matmul(
+            &matmul(&q.transpose(), &Matrix::from_diag(&d)).unwrap(),
+            &q,
+        )
+        .unwrap();
+        assert_matrix_eq(&c, &explicit, 1e-12);
+        assert!(congruence_diag(&q, &[1.0]).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! High-level solves: linear systems, least squares, pseudo-inverse.
+//!
+//! The matrix mechanism's inference step (Prop. 3) computes
+//! `x̂ = A⁺ y = (AᵀA)⁻¹ Aᵀ y` for a full-rank strategy `A`; these helpers wrap
+//! the factorizations in [`crate::decomp`] behind the operations the mechanism
+//! crates actually call.
+
+use crate::decomp::{Cholesky, Lu, Qr};
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+use crate::ops;
+
+/// Solves the square linear system `A x = b` by LU with partial pivoting.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Lu::new(a)?.solve_vec(b)
+}
+
+/// Inverse of a general square matrix.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    Ok(Lu::new(a)?.inverse())
+}
+
+/// Inverse of a symmetric positive definite matrix via Cholesky.
+pub fn inverse_spd(a: &Matrix) -> Result<Matrix> {
+    Ok(Cholesky::new(a)?.inverse())
+}
+
+/// Solves the least-squares problem `min_x ||A x - b||₂` via QR.
+///
+/// This is the estimation step of the matrix mechanism: given noisy strategy
+/// answers `y`, the estimate of the data vector is the least-squares solution
+/// of `A x ≈ y`.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::new(a)?.solve_least_squares(b)
+}
+
+/// Solves least squares through the normal equations `(AᵀA) x = Aᵀ b`.
+///
+/// Faster than QR when `A` has many more rows than columns (the common shape
+/// for strategies, which have at most a few times `n` rows) and `AᵀA` is well
+/// conditioned; falls back on an error if `AᵀA` is not positive definite.
+pub fn least_squares_normal(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "least_squares_normal",
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let g = ops::gram(a);
+    let atb = a.matvec_transposed(b)?;
+    Cholesky::new(&g)?.solve_vec(&atb)
+}
+
+/// Moore–Penrose pseudo-inverse `A⁺ = (AᵀA)⁻¹ Aᵀ` for full column rank `A`.
+///
+/// Returns an error when `AᵀA` is not (numerically) positive definite, i.e.
+/// when `A` does not have full column rank.
+pub fn pseudo_inverse(a: &Matrix) -> Result<Matrix> {
+    let g = ops::gram(a);
+    let ginv = Cholesky::new(&g)?.inverse();
+    // (AᵀA)⁻¹ Aᵀ  computed as (A (AᵀA)⁻¹)ᵀ to keep A in row-major order.
+    let a_ginv = ops::matmul(a, &ginv)?;
+    Ok(a_ginv.transpose())
+}
+
+/// Applies the pseudo-inverse to a vector without forming `A⁺`:
+/// `A⁺ y = (AᵀA)⁻¹ (Aᵀ y)`.
+pub fn apply_pseudo_inverse(a: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    least_squares_normal(a, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::ops::matmul;
+
+    #[test]
+    fn solve_square_system() {
+        let a = Matrix::from_rows(&[vec![3.0, 1.0], vec![1.0, 2.0]]).unwrap();
+        let x = solve(&a, &[9.0, 8.0]).unwrap();
+        assert!(approx_eq(x[0], 2.0, 1e-10));
+        assert!(approx_eq(x[1], 3.0, 1e-10));
+    }
+
+    #[test]
+    fn inverse_agrees_with_spd_inverse() {
+        let a = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let i1 = inverse(&a).unwrap();
+        let i2 = inverse_spd(&a).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx_eq(i1[(i, j)], i2[(i, j)], 1e-10));
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_methods_agree() {
+        let a = Matrix::from_fn(8, 3, |i, j| ((i + 1) as f64).powi(j as i32));
+        let b: Vec<f64> = (0..8).map(|i| (i as f64) * 0.5 + 1.0).collect();
+        let x_qr = least_squares(&a, &b).unwrap();
+        let x_ne = least_squares_normal(&a, &b).unwrap();
+        for (p, q) in x_qr.iter().zip(x_ne.iter()) {
+            assert!(approx_eq(*p, *q, 1e-7), "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn pseudo_inverse_of_square_is_inverse() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let pinv = pseudo_inverse(&a).unwrap();
+        let inv = inverse(&a).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx_eq(pinv[(i, j)], inv[(i, j)], 1e-9));
+            }
+        }
+    }
+
+    #[test]
+    fn pseudo_inverse_left_inverse_property() {
+        // For a tall full-column-rank A, A⁺ A = I.
+        let a = Matrix::from_fn(6, 3, |i, j| if i == j { 2.0 } else { ((i + j) % 3) as f64 });
+        let pinv = pseudo_inverse(&a).unwrap();
+        let prod = matmul(&pinv, &a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let e = if i == j { 1.0 } else { 0.0 };
+                assert!(approx_eq(prod[(i, j)], e, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn apply_pseudo_inverse_matches_explicit() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i * 2 + j) % 4) as f64 + if i == j { 1.0 } else { 0.0 });
+        let y = vec![1.0, -1.0, 2.0, 0.5, 3.0];
+        let implicit = apply_pseudo_inverse(&a, &y).unwrap();
+        let explicit = pseudo_inverse(&a).unwrap().matvec(&y).unwrap();
+        for (p, q) in implicit.iter().zip(explicit.iter()) {
+            assert!(approx_eq(*p, *q, 1e-8));
+        }
+    }
+
+    #[test]
+    fn rank_deficient_pseudo_inverse_rejected() {
+        let a = Matrix::from_fn(4, 3, |i, j| ((i + 1) * (j + 1)) as f64);
+        assert!(pseudo_inverse(&a).is_err());
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::identity(3);
+        assert!(least_squares_normal(&a, &[1.0]).is_err());
+    }
+}

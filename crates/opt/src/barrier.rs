@@ -1,0 +1,299 @@
+//! Log-barrier interior point solver with dense Newton steps.
+//!
+//! Minimises `Σ cᵢ/uᵢ` subject to `Bu ≤ 1`, `u ≥ 0` by following the central
+//! path of
+//!
+//! ```text
+//!     φ_μ(u) = Σᵢ cᵢ/uᵢ − μ Σⱼ log(1 − (Bu)ⱼ) − μ Σᵢ log uᵢ
+//! ```
+//!
+//! with damped Newton steps and a geometric decrease of `μ`.  The Hessian is
+//! `diag(2cᵢ/uᵢ³ + μ/uᵢ²) + Bᵀ diag(μ/(1−Bu)ⱼ²) B`, a dense `k×k` matrix, so
+//! this solver is intended for moderate numbers of design queries (it is the
+//! cross-validation reference for [`crate::gd::solve_log_gd`] and a viable
+//! primary solver when `k ≤ a few hundred`).
+
+use crate::error::{OptError, Result};
+use crate::weighting::{WeightingProblem, WeightingSolution};
+use mm_linalg::decomp::Cholesky;
+use mm_linalg::Matrix;
+
+/// Options for [`solve_barrier_newton`].
+#[derive(Debug, Clone)]
+pub struct BarrierOptions {
+    /// Initial barrier weight.
+    pub mu_initial: f64,
+    /// Final barrier weight (controls the duality gap).
+    pub mu_final: f64,
+    /// Factor by which `μ` is decreased between outer iterations.
+    pub mu_decrease: f64,
+    /// Maximum Newton iterations per barrier stage.
+    pub newton_iters: usize,
+    /// Newton decrement tolerance.
+    pub tol: f64,
+}
+
+impl Default for BarrierOptions {
+    fn default() -> Self {
+        BarrierOptions {
+            mu_initial: 1.0,
+            mu_final: 1e-8,
+            mu_decrease: 0.2,
+            newton_iters: 60,
+            tol: 1e-10,
+        }
+    }
+}
+
+/// Ignores inactive (zero-cost) variables, which are fixed to zero.
+struct Reduced<'a> {
+    problem: &'a WeightingProblem,
+    active: Vec<usize>,
+}
+
+impl<'a> Reduced<'a> {
+    fn new(problem: &'a WeightingProblem) -> Self {
+        let active = problem
+            .costs()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        Reduced { problem, active }
+    }
+
+    fn costs(&self) -> Vec<f64> {
+        self.active
+            .iter()
+            .map(|&i| self.problem.costs()[i])
+            .collect()
+    }
+
+    /// Constraint rows restricted to active columns, with all-zero rows dropped.
+    fn constraints(&self) -> Matrix {
+        let b = self.problem.constraints();
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for j in 0..b.rows() {
+            let row: Vec<f64> = self.active.iter().map(|&i| b[(j, i)]).collect();
+            if row.iter().any(|&v| v > 0.0) {
+                rows.push(row);
+            }
+        }
+        Matrix::from_rows(&rows).expect("constraint rows have equal lengths")
+    }
+}
+
+/// Solves the weighting problem by the log-barrier Newton method.
+pub fn solve_barrier_newton(
+    problem: &WeightingProblem,
+    opts: &BarrierOptions,
+) -> Result<WeightingSolution> {
+    if problem.costs().iter().all(|&c| c == 0.0) {
+        return Ok(WeightingSolution {
+            u: vec![0.0; problem.num_variables()],
+            objective: 0.0,
+            iterations: 0,
+        });
+    }
+    if !(opts.mu_decrease > 0.0 && opts.mu_decrease < 1.0) {
+        return Err(OptError::InvalidProblem(
+            "mu_decrease must lie in (0, 1)".into(),
+        ));
+    }
+
+    let reduced = Reduced::new(problem);
+    let costs = reduced.costs();
+    let b = reduced.constraints();
+    let k = costs.len();
+    let m = b.rows();
+
+    // Strictly feasible start: the Theorem-2 weighting shrunk into the interior.
+    let full_init = problem.initial_point();
+    let mut u: Vec<f64> = reduced
+        .active
+        .iter()
+        .map(|&i| (full_init[i] * 0.5).max(1e-8))
+        .collect();
+
+    let mut total_iters = 0usize;
+    let mut mu = opts.mu_initial;
+    while mu > opts.mu_final {
+        for _ in 0..opts.newton_iters {
+            total_iters += 1;
+            // Slack of each constraint.
+            let bu = b.matvec(&u)?;
+            let slack: Vec<f64> = bu.iter().map(|&v| 1.0 - v).collect();
+            if slack.iter().any(|&s| s <= 0.0) {
+                return Err(OptError::NonConvergence {
+                    solver: "barrier newton (infeasible iterate)",
+                    iterations: total_iters,
+                });
+            }
+            // Gradient.
+            let mut grad = vec![0.0; k];
+            for i in 0..k {
+                grad[i] = -costs[i] / (u[i] * u[i]) - mu / u[i];
+            }
+            for j in 0..m {
+                let coeff = mu / slack[j];
+                let row = b.row(j);
+                for i in 0..k {
+                    grad[i] += coeff * row[i];
+                }
+            }
+            // Hessian.
+            let mut h = Matrix::zeros(k, k);
+            for i in 0..k {
+                h[(i, i)] = 2.0 * costs[i] / (u[i] * u[i] * u[i]) + mu / (u[i] * u[i]);
+            }
+            for j in 0..m {
+                let coeff = mu / (slack[j] * slack[j]);
+                let row = b.row(j);
+                for p in 0..k {
+                    if row[p] == 0.0 {
+                        continue;
+                    }
+                    let s = coeff * row[p];
+                    for q in 0..k {
+                        h[(p, q)] += s * row[q];
+                    }
+                }
+            }
+            // Newton direction.
+            let chol = Cholesky::new_with_shift(&h, 1e-12)?;
+            let neg_grad: Vec<f64> = grad.iter().map(|&g| -g).collect();
+            let dir = chol.solve_vec(&neg_grad)?;
+            let decrement: f64 = dir
+                .iter()
+                .zip(neg_grad.iter())
+                .map(|(&d, &g)| d * g)
+                .sum::<f64>()
+                .abs();
+            if decrement < opts.tol {
+                break;
+            }
+            // Damped step keeping the iterate strictly feasible.
+            let phi = |u_try: &[f64]| -> Option<f64> {
+                if u_try.iter().any(|&v| v <= 0.0) {
+                    return None;
+                }
+                let bu_try = b.matvec(u_try).ok()?;
+                if bu_try.iter().any(|&v| v >= 1.0) {
+                    return None;
+                }
+                let mut val = 0.0;
+                for i in 0..k {
+                    val += costs[i] / u_try[i] - mu * u_try[i].ln();
+                }
+                for &v in &bu_try {
+                    val -= mu * (1.0 - v).ln();
+                }
+                Some(val)
+            };
+            let current = phi(&u).ok_or(OptError::NonConvergence {
+                solver: "barrier newton",
+                iterations: total_iters,
+            })?;
+            let mut step = 1.0;
+            let mut moved = false;
+            for _ in 0..60 {
+                let candidate: Vec<f64> = u
+                    .iter()
+                    .zip(dir.iter())
+                    .map(|(&ui, &di)| ui + step * di)
+                    .collect();
+                if let Some(val) = phi(&candidate) {
+                    if val < current {
+                        u = candidate;
+                        moved = true;
+                        break;
+                    }
+                }
+                step *= 0.5;
+            }
+            if !moved {
+                break;
+            }
+        }
+        mu *= opts.mu_decrease;
+    }
+
+    let mut u_full = vec![0.0; problem.num_variables()];
+    for (idx, &i) in reduced.active.iter().enumerate() {
+        u_full[i] = u[idx];
+    }
+    let u_full = problem.normalize(&u_full);
+    Ok(WeightingSolution {
+        objective: problem.objective(&u_full),
+        u: u_full,
+        iterations: total_iters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gd::{solve_log_gd, GdOptions};
+    use mm_linalg::{approx_eq, Matrix};
+
+    #[test]
+    fn single_variable_exact() {
+        let p = WeightingProblem::new(vec![3.0], Matrix::from_rows(&[vec![2.0]]).unwrap()).unwrap();
+        let sol = solve_barrier_newton(&p, &BarrierOptions::default()).unwrap();
+        assert!(approx_eq(sol.u[0], 0.5, 1e-5));
+        assert!(approx_eq(sol.objective, 6.0, 1e-5));
+    }
+
+    #[test]
+    fn shared_budget_matches_analytic_optimum() {
+        let p = WeightingProblem::new(
+            vec![9.0, 1.0],
+            Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap(),
+        )
+        .unwrap();
+        let sol = solve_barrier_newton(&p, &BarrierOptions::default()).unwrap();
+        // Optimum: u ∝ sqrt(c), objective (3+1)^2 = 16.
+        assert!(approx_eq(sol.objective, 16.0, 1e-4));
+        assert!(approx_eq(sol.u[0], 0.75, 1e-3));
+    }
+
+    #[test]
+    fn agrees_with_gradient_solver() {
+        let k = 10;
+        let n = 14;
+        let b = Matrix::from_fn(n, k, |i, j| (((i * 5 + j * 11) % 7) as f64) / 6.0 + 0.05);
+        let costs: Vec<f64> = (0..k).map(|i| 0.5 + ((i * 3) % 5) as f64).collect();
+        let p = WeightingProblem::new(costs, b).unwrap();
+        let newton = solve_barrier_newton(&p, &BarrierOptions::default()).unwrap();
+        let gd = solve_log_gd(&p, &GdOptions::default()).unwrap();
+        assert!(p.is_feasible(&newton.u, 1e-7));
+        assert!(p.is_feasible(&gd.u, 1e-7));
+        let rel = (newton.objective - gd.objective).abs() / newton.objective;
+        assert!(
+            rel < 5e-3,
+            "solvers disagree: newton={} gd={}",
+            newton.objective,
+            gd.objective
+        );
+    }
+
+    #[test]
+    fn zero_cost_problem() {
+        let p = WeightingProblem::new(
+            vec![0.0, 0.0],
+            Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap(),
+        )
+        .unwrap();
+        let sol = solve_barrier_newton(&p, &BarrierOptions::default()).unwrap();
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn invalid_options_rejected() {
+        let p = WeightingProblem::new(vec![1.0], Matrix::identity(1)).unwrap();
+        let mut opts = BarrierOptions::default();
+        opts.mu_decrease = 1.5;
+        assert!(solve_barrier_newton(&p, &opts).is_err());
+    }
+}

@@ -1,0 +1,390 @@
+//! Log-domain accelerated gradient solver for the query weighting problem.
+//!
+//! Substituting `u = eᵗ` turns the constrained problem
+//! `min Σ cᵢ/uᵢ s.t. Bu ≤ 1` into the unconstrained, *scale-invariant*
+//! problem of minimising
+//!
+//! ```text
+//!     g(t) = log( Σᵢ cᵢ e^{-tᵢ} ) + log( maxⱼ Σᵢ B_{ji} e^{tᵢ} )
+//! ```
+//!
+//! (adding a constant to `t` leaves `g` unchanged; the final iterate is
+//! rescaled so that the largest constraint is exactly 1).  Both terms are
+//! log-sum-exp compositions of affine functions of `t`, so `g` is convex.
+//! The max over constraints is smoothed by the p-norm
+//! `maxⱼ sⱼ ≈ (Σⱼ sⱼᵖ)^{1/p}` with an annealed exponent, and each stage is
+//! minimised by Nesterov-accelerated gradient descent with Armijo
+//! backtracking.
+
+use crate::error::{OptError, Result};
+use crate::weighting::{WeightingProblem, WeightingSolution};
+
+/// Options for [`solve_log_gd`].
+#[derive(Debug, Clone)]
+pub struct GdOptions {
+    /// Maximum iterations per smoothing stage.
+    pub max_iters_per_stage: usize,
+    /// Relative objective-improvement tolerance used for early stopping.
+    pub tol: f64,
+    /// Smoothing exponents (annealing schedule); larger = closer to the true max.
+    pub p_schedule: Vec<f64>,
+    /// Initial step size for the backtracking line search.
+    pub initial_step: f64,
+}
+
+impl Default for GdOptions {
+    fn default() -> Self {
+        GdOptions {
+            max_iters_per_stage: 400,
+            tol: 1e-10,
+            p_schedule: vec![16.0, 64.0, 256.0, 1024.0, 4096.0],
+            initial_step: 0.5,
+        }
+    }
+}
+
+impl GdOptions {
+    /// A cheaper configuration used by the performance-optimised strategy
+    /// selection variants (eigen-query separation, principal vectors).
+    pub fn fast() -> Self {
+        GdOptions {
+            max_iters_per_stage: 150,
+            tol: 1e-8,
+            p_schedule: vec![32.0, 256.0, 2048.0],
+            initial_step: 0.5,
+        }
+    }
+}
+
+/// Internal state for evaluating the smoothed objective and its gradient.
+struct Smoothed<'a> {
+    problem: &'a WeightingProblem,
+    /// Indices of variables with strictly positive cost (the active variables).
+    active: Vec<usize>,
+    p: f64,
+}
+
+impl<'a> Smoothed<'a> {
+    fn new(problem: &'a WeightingProblem, p: f64) -> Self {
+        let active = problem
+            .costs()
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(i, _)| i)
+            .collect();
+        Smoothed { problem, active, p }
+    }
+
+    /// Number of active variables.
+    fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Evaluates the smoothed objective and gradient at `t` (indexed over the
+    /// active variables).  Returns `(value, gradient)`.
+    fn eval(&self, t: &[f64]) -> (f64, Vec<f64>) {
+        let costs = self.problem.costs();
+        let b = self.problem.constraints();
+        let k = self.len();
+        debug_assert_eq!(t.len(), k);
+
+        // --- Term 1: log Σ c_i e^{-t_i} (stable log-sum-exp). ---
+        let mut max_a = f64::NEG_INFINITY;
+        let mut a = vec![0.0; k];
+        for (idx, &i) in self.active.iter().enumerate() {
+            a[idx] = costs[i].ln() - t[idx];
+            if a[idx] > max_a {
+                max_a = a[idx];
+            }
+        }
+        let sum_exp_a: f64 = a.iter().map(|&v| (v - max_a).exp()).sum();
+        let term1 = max_a + sum_exp_a.ln();
+        // Gradient of term1 wrt t_idx: -softmax(a)_idx.
+        let mut grad = vec![0.0; k];
+        for idx in 0..k {
+            grad[idx] = -((a[idx] - max_a).exp() / sum_exp_a);
+        }
+
+        // --- Term 2: (1/p) log Σ_j s_j^p with s_j = Σ_i B_{ji} u_i. ---
+        let u: Vec<f64> = t.iter().map(|&ti| ti.exp()).collect();
+        let n_constraints = b.rows();
+        let mut log_s = vec![f64::NEG_INFINITY; n_constraints];
+        let mut s = vec![0.0; n_constraints];
+        for j in 0..n_constraints {
+            let row = b.row(j);
+            let mut acc = 0.0;
+            for (idx, &i) in self.active.iter().enumerate() {
+                acc += row[i] * u[idx];
+            }
+            s[j] = acc;
+            log_s[j] = if acc > 0.0 { acc.ln() } else { f64::NEG_INFINITY };
+        }
+        let max_ls = log_s.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
+        if !max_ls.is_finite() {
+            // All constraints are zero — cannot happen for validated problems
+            // with at least one active variable, but guard anyway.
+            return (term1, grad);
+        }
+        // w_j = s_j^p / Σ s_j^p, computed stably in the log domain.
+        let mut weights = vec![0.0; n_constraints];
+        let mut denom = 0.0;
+        for j in 0..n_constraints {
+            if log_s[j].is_finite() {
+                let w = (self.p * (log_s[j] - max_ls)).exp();
+                weights[j] = w;
+                denom += w;
+            }
+        }
+        let term2 = max_ls + denom.ln() / self.p;
+        // Gradient of term2 wrt t_idx: u_idx * Σ_j w_j B_{j,i} / s_j  (normalised weights).
+        for j in 0..n_constraints {
+            let wj = weights[j] / denom;
+            if wj == 0.0 || s[j] == 0.0 {
+                continue;
+            }
+            let row = b.row(j);
+            let coeff = wj / s[j];
+            for (idx, &i) in self.active.iter().enumerate() {
+                grad[idx] += coeff * row[i] * u[idx];
+            }
+        }
+
+        (term1 + term2, grad)
+    }
+}
+
+/// Solves the weighting problem with the log-domain accelerated gradient
+/// method described in the module documentation.
+pub fn solve_log_gd(problem: &WeightingProblem, opts: &GdOptions) -> Result<WeightingSolution> {
+    let costs = problem.costs();
+    let k_total = costs.len();
+
+    // Degenerate case: no positive costs — the zero solution is optimal.
+    if costs.iter().all(|&c| c == 0.0) {
+        return Ok(WeightingSolution {
+            u: vec![0.0; k_total],
+            objective: 0.0,
+            iterations: 0,
+        });
+    }
+    if opts.p_schedule.is_empty() || opts.p_schedule.iter().any(|&p| p < 1.0) {
+        return Err(OptError::InvalidProblem(
+            "p_schedule must be non-empty with entries >= 1".into(),
+        ));
+    }
+
+    // Work in the log domain over the active (positive-cost) variables only.
+    let init_u_full = problem.initial_point();
+    let active: Vec<usize> = costs
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut t: Vec<f64> = active
+        .iter()
+        .map(|&i| init_u_full[i].max(1e-12).ln())
+        .collect();
+
+    let mut total_iters = 0usize;
+
+    for &p in &opts.p_schedule {
+        let smoothed = Smoothed::new(problem, p);
+        let (mut f_prev, mut grad) = smoothed.eval(&t);
+        let mut step = opts.initial_step;
+        // Nesterov momentum state.
+        let mut t_prev = t.clone();
+        let mut momentum = 0.0_f64;
+
+        for _iter in 0..opts.max_iters_per_stage {
+            total_iters += 1;
+            // Momentum extrapolation.
+            let y: Vec<f64> = t
+                .iter()
+                .zip(t_prev.iter())
+                .map(|(&cur, &prev)| cur + momentum * (cur - prev))
+                .collect();
+            let (fy, gy) = smoothed.eval(&y);
+
+            // Backtracking line search from the extrapolated point.
+            let mut accepted = false;
+            let mut f_new = fy;
+            let mut t_new = y.clone();
+            let grad_norm_sq: f64 = gy.iter().map(|g| g * g).sum();
+            let mut local_step = step;
+            for _ in 0..60 {
+                let candidate: Vec<f64> = y
+                    .iter()
+                    .zip(gy.iter())
+                    .map(|(&yi, &gi)| yi - local_step * gi)
+                    .collect();
+                let (fc, _) = smoothed.eval(&candidate);
+                if fc <= fy - 0.25 * local_step * grad_norm_sq {
+                    t_new = candidate;
+                    f_new = fc;
+                    accepted = true;
+                    break;
+                }
+                local_step *= 0.5;
+            }
+            if !accepted {
+                // Gradient step failed to make progress from the extrapolated
+                // point; restart momentum and retry from the current iterate.
+                momentum = 0.0;
+                let (fc, gc) = smoothed.eval(&t);
+                f_prev = fc;
+                grad = gc;
+                let gnorm: f64 = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+                if gnorm < 1e-14 {
+                    break;
+                }
+                step = (step * 0.5).max(1e-12);
+                t_prev = t.clone();
+                continue;
+            }
+
+            // Momentum restart when the objective does not decrease.
+            if f_new > f_prev {
+                momentum = 0.0;
+            } else {
+                momentum = (momentum * 0.9 + 0.3).min(0.95);
+            }
+            step = (local_step * 1.5).min(10.0);
+            t_prev = t;
+            t = t_new;
+
+            let improvement = (f_prev - f_new).abs() / (1.0 + f_prev.abs());
+            f_prev = f_new;
+            grad = gy;
+            if improvement < opts.tol {
+                break;
+            }
+        }
+        let _ = &grad;
+    }
+
+    // Map back to the full variable vector and normalise the sensitivity.
+    let mut u_full = vec![0.0; k_total];
+    for (idx, &i) in active.iter().enumerate() {
+        u_full[i] = t[idx].exp();
+    }
+    let u_full = problem.normalize(&u_full);
+    let objective = problem.objective(&u_full);
+    if !objective.is_finite() {
+        return Err(OptError::NonConvergence {
+            solver: "log-domain gradient descent",
+            iterations: total_iters,
+        });
+    }
+    Ok(WeightingSolution {
+        u: u_full,
+        objective,
+        iterations: total_iters,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::{approx_eq, Matrix};
+
+    #[test]
+    fn single_variable_exact() {
+        // min c/u s.t. b*u <= 1  =>  u = 1/b, objective = c*b.
+        let p = WeightingProblem::new(vec![3.0], Matrix::from_rows(&[vec![2.0]]).unwrap()).unwrap();
+        let sol = solve_log_gd(&p, &GdOptions::default()).unwrap();
+        assert!(approx_eq(sol.u[0], 0.5, 1e-6));
+        assert!(approx_eq(sol.objective, 6.0, 1e-6));
+    }
+
+    #[test]
+    fn two_variables_shared_budget() {
+        // min c1/u1 + c2/u2 s.t. u1 + u2 <= 1: optimum u_i ∝ sqrt(c_i),
+        // objective (sqrt(c1) + sqrt(c2))^2.
+        let p = WeightingProblem::new(
+            vec![4.0, 1.0],
+            Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap(),
+        )
+        .unwrap();
+        let sol = solve_log_gd(&p, &GdOptions::default()).unwrap();
+        let expected_obj = (2.0_f64 + 1.0).powi(2);
+        assert!(
+            sol.objective <= expected_obj * 1.001,
+            "objective {} should be close to optimal {expected_obj}",
+            sol.objective
+        );
+        assert!(approx_eq(sol.u[0], 2.0 / 3.0, 1e-2));
+        assert!(approx_eq(sol.u[1], 1.0 / 3.0, 1e-2));
+        assert!(p.is_feasible(&sol.u, 1e-9));
+    }
+
+    #[test]
+    fn identity_design_identity_costs() {
+        // B = I, c = 1: each u_i = 1, objective = n.
+        let n = 6;
+        let p = WeightingProblem::new(vec![1.0; n], Matrix::identity(n)).unwrap();
+        let sol = solve_log_gd(&p, &GdOptions::default()).unwrap();
+        assert!(sol.objective <= n as f64 * 1.001);
+        for &u in &sol.u {
+            assert!(approx_eq(u, 1.0, 1e-3), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn zero_cost_variables_get_zero_weight() {
+        let p = WeightingProblem::new(
+            vec![1.0, 0.0],
+            Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap(),
+        )
+        .unwrap();
+        let sol = solve_log_gd(&p, &GdOptions::default()).unwrap();
+        assert_eq!(sol.u[1], 0.0);
+        assert!(approx_eq(sol.u[0], 1.0, 1e-6));
+    }
+
+    #[test]
+    fn all_zero_costs_return_zero_solution() {
+        let p = WeightingProblem::new(
+            vec![0.0, 0.0],
+            Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap(),
+        )
+        .unwrap();
+        let sol = solve_log_gd(&p, &GdOptions::default()).unwrap();
+        assert_eq!(sol.u, vec![0.0, 0.0]);
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn solution_never_worse_than_initial_point() {
+        // A slightly larger random-ish problem.
+        let k = 12;
+        let n = 20;
+        let b = Matrix::from_fn(n, k, |i, j| (((i * 7 + j * 3) % 5) as f64) / 4.0);
+        let costs: Vec<f64> = (0..k).map(|i| 1.0 + (i as f64 % 4.0)).collect();
+        let p = WeightingProblem::new(costs, b).unwrap();
+        let init = p.initial_point();
+        let sol = solve_log_gd(&p, &GdOptions::default()).unwrap();
+        assert!(p.is_feasible(&sol.u, 1e-8));
+        assert!(sol.objective <= p.objective(&init) * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn fast_options_still_feasible() {
+        let k = 8;
+        let b = Matrix::from_fn(10, k, |i, j| (((i + j) % 3) as f64) / 2.0 + 0.1);
+        let p = WeightingProblem::new(vec![1.0; k], b).unwrap();
+        let sol = solve_log_gd(&p, &GdOptions::fast()).unwrap();
+        assert!(p.is_feasible(&sol.u, 1e-8));
+    }
+
+    #[test]
+    fn invalid_p_schedule_rejected() {
+        let p = WeightingProblem::new(vec![1.0], Matrix::identity(1)).unwrap();
+        let mut opts = GdOptions::default();
+        opts.p_schedule = vec![];
+        assert!(solve_log_gd(&p, &opts).is_err());
+        opts.p_schedule = vec![0.5];
+        assert!(solve_log_gd(&p, &opts).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # mm-opt
+//!
+//! Convex solvers for the *optimal query weighting* problem (Program 1 of
+//! Li & Miklau, VLDB 2012).
+//!
+//! Program 1 is stated in the paper as a semidefinite program, but its
+//! 2×2 PSD constraints `[[uᵢ, 1], [1, vᵢ]] ⪰ 0` only encode `vᵢ ≥ 1/uᵢ`
+//! (with `uᵢ ≥ 0`), so at the optimum `vᵢ = 1/uᵢ` and the program reduces to
+//! the smooth convex problem
+//!
+//! ```text
+//!     minimize    Σᵢ cᵢ / uᵢ
+//!     subject to  (Q ∘ Q)ᵀ u ≤ 1,   u ≥ 0
+//! ```
+//!
+//! where `cᵢ` is the squared L2 norm of column `i` of `W Q⁺` and each
+//! constraint row corresponds to one cell: the squared L2 norm of that cell's
+//! column in the weighted strategy `A = diag(√u) Q` may not exceed 1 (the L2
+//! sensitivity budget).  This crate provides two independent solvers for the
+//! reduced problem:
+//!
+//! * [`gd::solve_log_gd`] — the production solver.  Substituting `u = eᵗ`
+//!   makes the problem unconstrained and *provably convex* in `t` (both terms
+//!   of the log objective are log-sum-exp of affine functions); the max over
+//!   constraints is smoothed with an annealed p-norm and minimised with
+//!   accelerated gradient descent.
+//! * [`barrier::solve_barrier_newton`] — a classical log-barrier interior
+//!   point method with dense Newton steps, used to cross-validate the
+//!   gradient solver on small instances and available for callers that prefer
+//!   it at small `n`.
+//!
+//! The shared problem type and solution checks live in [`weighting`], and a
+//! conjugate-gradient solver for SPD systems (usable by callers that need
+//! matrix-free Newton steps) in [`cg`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod barrier;
+pub mod cg;
+pub mod error;
+pub mod gd;
+pub mod weighting;
+
+pub use error::{OptError, Result};
+pub use gd::{solve_log_gd, GdOptions};
+pub use weighting::{WeightingProblem, WeightingSolution};
+pub use barrier::{solve_barrier_newton, BarrierOptions};

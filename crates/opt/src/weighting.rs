@@ -1,0 +1,259 @@
+//! The reduced optimal query weighting problem shared by both solvers.
+
+use crate::error::{OptError, Result};
+use mm_linalg::Matrix;
+
+/// The reduced form of Program 1:
+///
+/// ```text
+///     minimize    Σᵢ cᵢ / uᵢ
+///     subject to  B u ≤ 1,   u ≥ 0
+/// ```
+///
+/// with `B ≥ 0` elementwise.  For design queries `Q` (one row per design
+/// query, one column per cell) the constraint matrix is `B = (Q ∘ Q)ᵀ`, one
+/// row per cell, so that `(B u)_j` is the squared L2 norm of column `j` of the
+/// weighted strategy `diag(√u) Q`.
+#[derive(Debug, Clone)]
+pub struct WeightingProblem {
+    costs: Vec<f64>,
+    constraints: Matrix,
+}
+
+/// Solution of a [`WeightingProblem`].
+#[derive(Debug, Clone)]
+pub struct WeightingSolution {
+    /// The optimal variables `u` (squared design-query weights), normalised so
+    /// that the largest constraint value is exactly 1.
+    pub u: Vec<f64>,
+    /// Objective value `Σ cᵢ/uᵢ` at `u` (entries with `cᵢ = 0` contribute 0).
+    pub objective: f64,
+    /// Total inner iterations performed by the solver.
+    pub iterations: usize,
+}
+
+impl WeightingProblem {
+    /// Creates a problem from costs and a constraint matrix.
+    ///
+    /// `constraints` has one row per constraint and `costs.len()` columns; all
+    /// entries must be nonnegative and finite.
+    pub fn new(costs: Vec<f64>, constraints: Matrix) -> Result<Self> {
+        if costs.is_empty() {
+            return Err(OptError::InvalidProblem("no variables".into()));
+        }
+        if constraints.cols() != costs.len() {
+            return Err(OptError::InvalidProblem(format!(
+                "constraint matrix has {} columns but there are {} costs",
+                constraints.cols(),
+                costs.len()
+            )));
+        }
+        if constraints.rows() == 0 {
+            return Err(OptError::InvalidProblem("no constraints".into()));
+        }
+        if costs.iter().any(|&c| c < 0.0 || !c.is_finite()) {
+            return Err(OptError::InvalidProblem("costs must be nonnegative and finite".into()));
+        }
+        if constraints
+            .as_slice()
+            .iter()
+            .any(|&b| b < 0.0 || !b.is_finite())
+        {
+            return Err(OptError::InvalidProblem(
+                "constraint coefficients must be nonnegative and finite".into(),
+            ));
+        }
+        // Every variable with a positive cost must appear in at least one
+        // constraint, otherwise the optimum is unbounded (u_i -> infinity).
+        for (i, &c) in costs.iter().enumerate() {
+            if c > 0.0 {
+                let col_sum: f64 = (0..constraints.rows()).map(|r| constraints[(r, i)]).sum();
+                if col_sum <= 0.0 {
+                    return Err(OptError::InvalidProblem(format!(
+                        "variable {i} has positive cost but never appears in a constraint"
+                    )));
+                }
+            }
+        }
+        Ok(WeightingProblem { costs, constraints })
+    }
+
+    /// Builds the problem for a design-query matrix `Q` (rows are design
+    /// queries, columns are cells) and per-design-query costs.
+    pub fn from_design_queries(q: &Matrix, costs: Vec<f64>) -> Result<Self> {
+        if q.rows() != costs.len() {
+            return Err(OptError::InvalidProblem(format!(
+                "{} design queries but {} costs",
+                q.rows(),
+                costs.len()
+            )));
+        }
+        // B = (Q ∘ Q)ᵀ : one constraint per cell.
+        let b = Matrix::from_fn(q.cols(), q.rows(), |cell, query| {
+            let v = q[(query, cell)];
+            v * v
+        });
+        WeightingProblem::new(costs, b)
+    }
+
+    /// Number of variables.
+    pub fn num_variables(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.rows()
+    }
+
+    /// The cost vector `c`.
+    pub fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    /// The constraint matrix `B`.
+    pub fn constraints(&self) -> &Matrix {
+        &self.constraints
+    }
+
+    /// Objective value `Σ cᵢ/uᵢ`; entries with `cᵢ = 0` contribute nothing
+    /// even when `uᵢ = 0`.
+    pub fn objective(&self, u: &[f64]) -> f64 {
+        assert_eq!(u.len(), self.costs.len());
+        self.costs
+            .iter()
+            .zip(u.iter())
+            .map(|(&c, &ui)| if c == 0.0 { 0.0 } else { c / ui })
+            .sum()
+    }
+
+    /// The constraint values `B u`.
+    pub fn constraint_values(&self, u: &[f64]) -> Vec<f64> {
+        self.constraints
+            .matvec(u)
+            .expect("dimension checked at construction")
+    }
+
+    /// The largest constraint value `max_j (B u)_j`.
+    pub fn max_constraint(&self, u: &[f64]) -> f64 {
+        self.constraint_values(u)
+            .into_iter()
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Scales `u` so that the largest constraint value is exactly 1 (a no-op
+    /// when all constraints are zero).
+    pub fn normalize(&self, u: &[f64]) -> Vec<f64> {
+        let m = self.max_constraint(u);
+        if m <= 0.0 {
+            return u.to_vec();
+        }
+        u.iter().map(|&v| v / m).collect()
+    }
+
+    /// True when `u` is (numerically) feasible: nonnegative and `B u ≤ 1 + tol`.
+    pub fn is_feasible(&self, u: &[f64], tol: f64) -> bool {
+        u.iter().all(|&v| v >= -tol) && self.max_constraint(u) <= 1.0 + tol
+    }
+
+    /// A feasible starting point: `u ∝ c` (the Theorem-2 weighting `λᵢ = √σᵢ`
+    /// when the costs are the workload eigenvalues), scaled to saturate the
+    /// sensitivity budget.  Variables with zero cost start at zero.
+    pub fn initial_point(&self) -> Vec<f64> {
+        let max_c = self.costs.iter().fold(0.0_f64, |m, &c| m.max(c));
+        let mut u: Vec<f64> = if max_c <= 0.0 {
+            vec![0.0; self.costs.len()]
+        } else {
+            self.costs.iter().map(|&c| c / max_c).collect()
+        };
+        let m = self.max_constraint(&u);
+        if m > 0.0 {
+            for v in &mut u {
+                *v /= m;
+            }
+        }
+        u
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::approx_eq;
+
+    fn simple_problem() -> WeightingProblem {
+        // Two variables sharing one constraint u1 + u2 <= 1.
+        WeightingProblem::new(
+            vec![4.0, 1.0],
+            Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(WeightingProblem::new(vec![], Matrix::zeros(1, 0)).is_err());
+        assert!(WeightingProblem::new(vec![1.0], Matrix::zeros(0, 1)).is_err());
+        assert!(WeightingProblem::new(vec![-1.0], Matrix::identity(1)).is_err());
+        assert!(
+            WeightingProblem::new(vec![1.0], Matrix::from_rows(&[vec![-0.5]]).unwrap()).is_err()
+        );
+        // Positive cost variable never constrained -> unbounded.
+        assert!(WeightingProblem::new(
+            vec![1.0, 1.0],
+            Matrix::from_rows(&[vec![1.0, 0.0]]).unwrap()
+        )
+        .is_err());
+        // Zero-cost unconstrained variable is fine.
+        assert!(WeightingProblem::new(
+            vec![1.0, 0.0],
+            Matrix::from_rows(&[vec![1.0, 0.0]]).unwrap()
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn objective_and_constraints() {
+        let p = simple_problem();
+        assert!(approx_eq(p.objective(&[0.5, 0.5]), 10.0, 1e-12));
+        assert_eq!(p.max_constraint(&[0.25, 0.5]), 0.75);
+        assert!(p.is_feasible(&[0.5, 0.5], 1e-12));
+        assert!(!p.is_feasible(&[0.8, 0.5], 1e-12));
+    }
+
+    #[test]
+    fn zero_cost_entries_do_not_blow_up_objective() {
+        let p = WeightingProblem::new(
+            vec![1.0, 0.0],
+            Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap(),
+        )
+        .unwrap();
+        assert!(p.objective(&[0.5, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn normalize_saturates_constraint() {
+        let p = simple_problem();
+        let u = p.normalize(&[0.1, 0.3]);
+        assert!(approx_eq(p.max_constraint(&u), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn initial_point_is_feasible() {
+        let p = simple_problem();
+        let u = p.initial_point();
+        assert!(p.is_feasible(&u, 1e-12));
+        assert!(approx_eq(p.max_constraint(&u), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn from_design_queries_builds_squared_constraints() {
+        let q = Matrix::from_rows(&[vec![1.0, -2.0], vec![0.0, 3.0]]).unwrap();
+        let p = WeightingProblem::from_design_queries(&q, vec![1.0, 1.0]).unwrap();
+        // Constraint for cell 0: 1*u1 + 0*u2; for cell 1: 4*u1 + 9*u2.
+        assert_eq!(p.constraints()[(0, 0)], 1.0);
+        assert_eq!(p.constraints()[(1, 0)], 4.0);
+        assert_eq!(p.constraints()[(1, 1)], 9.0);
+        assert!(WeightingProblem::from_design_queries(&q, vec![1.0]).is_err());
+    }
+}

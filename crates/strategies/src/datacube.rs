@@ -1,0 +1,316 @@
+//! The DataCube / BMAX strategy (Ding et al.).
+//!
+//! Given a workload of marginals, the BMAX algorithm publishes a *subset* of
+//! marginal cuboids (possibly higher-dimensional than the requested ones) so
+//! as to minimise the maximum error over the workload marginals, where every
+//! requested marginal is answered by aggregating the cells of one published
+//! super-marginal.  Under (ε,δ)-differential privacy the L2 sensitivity of
+//! publishing `|M|` cuboids is `√|M|`, and answering a marginal on `S` from a
+//! published cuboid `T ⊇ S` aggregates `Π_{i∈T∖S} dᵢ` noisy cells, so the
+//! squared error objective is
+//!
+//! ```text
+//!     cost(M) = |M| · max_S  min_{T ∈ M, T ⊇ S}  Π_{i∈T∖S} dᵢ
+//! ```
+//!
+//! For domains with at most [`EXHAUSTIVE_ATTRIBUTE_LIMIT`] attributes the
+//! minimum is found by exhaustive search over cuboid subsets; larger domains
+//! fall back to a greedy + local-swap search (the original paper uses a
+//! subset-sum style approximation; the greedy attains the same qualitative
+//! error levels on the small lattices used in the evaluation).
+
+use crate::strategy::Strategy;
+use mm_linalg::{ops, Matrix};
+use mm_workload::marginal::MarginalWorkload;
+use mm_workload::Domain;
+
+/// Maximum number of attributes for which the cuboid subset is chosen by
+/// exhaustive search (2^(2^k) candidate sets).
+pub const EXHAUSTIVE_ATTRIBUTE_LIMIT: usize = 4;
+
+/// Result of the BMAX selection: the chosen cuboids (as attribute subsets) and
+/// the value of the max-error objective.
+#[derive(Debug, Clone)]
+pub struct BmaxSelection {
+    /// Chosen cuboids, each an attribute-index subset (sorted).
+    pub cuboids: Vec<Vec<usize>>,
+    /// The squared max-error objective `|M| · max_S min_T Π d`.
+    pub objective: f64,
+}
+
+fn subset_mask(subset: &[usize]) -> u32 {
+    subset.iter().fold(0u32, |m, &a| m | (1 << a))
+}
+
+fn mask_to_subset(mask: u32, k: usize) -> Vec<usize> {
+    (0..k).filter(|&a| mask & (1 << a) != 0).collect()
+}
+
+/// Aggregation factor for answering workload marginal `s` from cuboid `t`
+/// (`Π_{i∈t∖s} dᵢ`), or `None` when `t` is not a superset of `s`.
+fn aggregation_factor(domain: &Domain, s: u32, t: u32) -> Option<f64> {
+    if s & !t != 0 {
+        return None;
+    }
+    let extra = t & !s;
+    let mut factor = 1.0;
+    for a in 0..domain.num_attributes() {
+        if extra & (1 << a) != 0 {
+            factor *= domain.size(a) as f64;
+        }
+    }
+    Some(factor)
+}
+
+fn cost_of(domain: &Domain, workload: &[u32], chosen: &[u32]) -> Option<f64> {
+    if chosen.is_empty() {
+        return None;
+    }
+    let mut worst: f64 = 0.0;
+    for &s in workload {
+        let mut best = f64::INFINITY;
+        for &t in chosen {
+            if let Some(f) = aggregation_factor(domain, s, t) {
+                if f < best {
+                    best = f;
+                }
+            }
+        }
+        if !best.is_finite() {
+            return None;
+        }
+        worst = worst.max(best);
+    }
+    Some(chosen.len() as f64 * worst)
+}
+
+/// Runs the BMAX cuboid selection for a marginal workload.
+pub fn bmax_selection(workload: &MarginalWorkload) -> BmaxSelection {
+    let domain = workload.domain();
+    let k = domain.num_attributes();
+    let workload_masks: Vec<u32> = workload.subsets().iter().map(|s| subset_mask(s)).collect();
+    // Candidate cuboids: every attribute subset (the full lattice).
+    let candidates: Vec<u32> = (0..(1u32 << k)).collect();
+
+    let (chosen, objective) = if k <= EXHAUSTIVE_ATTRIBUTE_LIMIT {
+        exhaustive_search(domain, &workload_masks, &candidates)
+    } else {
+        greedy_search(domain, &workload_masks, &candidates)
+    };
+    BmaxSelection {
+        cuboids: chosen.iter().map(|&m| mask_to_subset(m, k)).collect(),
+        objective,
+    }
+}
+
+fn exhaustive_search(
+    domain: &Domain,
+    workload: &[u32],
+    candidates: &[u32],
+) -> (Vec<u32>, f64) {
+    let c = candidates.len();
+    let mut best: Option<(Vec<u32>, f64)> = None;
+    for selection in 1u64..(1u64 << c) {
+        let chosen: Vec<u32> = (0..c)
+            .filter(|&i| selection & (1 << i) != 0)
+            .map(|i| candidates[i])
+            .collect();
+        if let Some(cost) = cost_of(domain, workload, &chosen) {
+            match &best {
+                Some((_, b)) if *b <= cost => {}
+                _ => best = Some((chosen, cost)),
+            }
+        }
+    }
+    best.expect("the full cuboid always yields a finite cost")
+}
+
+fn greedy_search(domain: &Domain, workload: &[u32], candidates: &[u32]) -> (Vec<u32>, f64) {
+    // Start from "publish exactly the requested marginals", which is always
+    // feasible, then locally improve by removing cuboids (when the rest still
+    // covers the workload) or merging two cuboids into their union (which
+    // trades a larger aggregation factor for a smaller publication count).
+    let mut chosen: Vec<u32> = {
+        let mut v: Vec<u32> = workload.to_vec();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let mut cost = cost_of(domain, workload, &chosen).expect("workload covers itself");
+
+    let mut improved = true;
+    while improved {
+        improved = false;
+        let mut best: Option<(Vec<u32>, f64)> = None;
+        // Removals.
+        for i in 0..chosen.len() {
+            let mut trial = chosen.clone();
+            trial.remove(i);
+            if let Some(c) = cost_of(domain, workload, &trial) {
+                if c < cost && best.as_ref().map(|(_, b)| c < *b).unwrap_or(true) {
+                    best = Some((trial, c));
+                }
+            }
+        }
+        // Pairwise merges into the union cuboid.
+        for i in 0..chosen.len() {
+            for j in (i + 1)..chosen.len() {
+                let union = chosen[i] | chosen[j];
+                let mut trial: Vec<u32> = chosen
+                    .iter()
+                    .enumerate()
+                    .filter(|&(idx, _)| idx != i && idx != j)
+                    .map(|(_, &m)| m)
+                    .collect();
+                if !trial.contains(&union) {
+                    trial.push(union);
+                }
+                if let Some(c) = cost_of(domain, workload, &trial) {
+                    if c < cost && best.as_ref().map(|(_, b)| c < *b).unwrap_or(true) {
+                        best = Some((trial, c));
+                    }
+                }
+            }
+        }
+        if let Some((trial, c)) = best {
+            chosen = trial;
+            cost = c;
+            improved = true;
+        }
+    }
+
+    // The single full cuboid is another natural candidate; keep the better one.
+    let full: u32 = (0..domain.num_attributes()).fold(0, |m, a| m | (1 << a));
+    if let Some(c) = cost_of(domain, workload, &[full]) {
+        if c < cost {
+            return (vec![full], c);
+        }
+    }
+    let _ = candidates;
+    (chosen, cost)
+}
+
+/// Builds the marginal query matrix for one cuboid (attribute subset).
+fn cuboid_matrix(domain: &Domain, subset: &[usize]) -> Matrix {
+    let factors: Vec<Matrix> = (0..domain.num_attributes())
+        .map(|a| {
+            if subset.contains(&a) {
+                Matrix::identity(domain.size(a))
+            } else {
+                Matrix::filled(1, domain.size(a), 1.0)
+            }
+        })
+        .collect();
+    ops::kron_all(&factors)
+}
+
+/// Builds the DataCube (BMAX) strategy for a marginal workload.
+pub fn datacube_strategy(workload: &MarginalWorkload) -> Strategy {
+    let selection = bmax_selection(workload);
+    let domain = workload.domain();
+    let mut stacked: Option<Matrix> = None;
+    for cuboid in &selection.cuboids {
+        let m = cuboid_matrix(domain, cuboid);
+        stacked = Some(match stacked {
+            None => m,
+            Some(acc) => acc.vstack(&m).expect("same cell count"),
+        });
+    }
+    let matrix = stacked.expect("bmax always selects at least one cuboid");
+    Strategy::from_matrix(
+        format!(
+            "datacube/BMAX on {} ({} cuboids)",
+            domain,
+            selection.cuboids.len()
+        ),
+        matrix,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::approx_eq;
+    use mm_workload::marginal::MarginalKind;
+
+    #[test]
+    fn aggregation_factor_basics() {
+        let d = Domain::new(&[4, 8, 2]);
+        // S = {0}, T = {0,1}: aggregate over attribute 1 => factor 8.
+        assert_eq!(aggregation_factor(&d, 0b001, 0b011), Some(8.0));
+        // T not a superset.
+        assert_eq!(aggregation_factor(&d, 0b001, 0b010), None);
+        // Equal sets: factor 1.
+        assert_eq!(aggregation_factor(&d, 0b101, 0b101), Some(1.0));
+    }
+
+    #[test]
+    fn bmax_answers_single_marginal_directly() {
+        // Workload = a single 1-way marginal: publishing exactly that marginal
+        // is optimal (cost 1 * 1 = 1).
+        let d = Domain::new(&[4, 4]);
+        let w = MarginalWorkload::from_subsets(d, vec![vec![0]], MarginalKind::Point);
+        let sel = bmax_selection(&w);
+        assert!(approx_eq(sel.objective, 1.0, 1e-12));
+        assert_eq!(sel.cuboids, vec![vec![0]]);
+    }
+
+    #[test]
+    fn bmax_trades_off_publication_count() {
+        // Workload = both 1-way marginals of a 2x2 domain.  Options:
+        // publish both (cost 2*1=2), publish the full table (cost 1*2=2),
+        // so the optimum is 2.
+        let d = Domain::new(&[2, 2]);
+        let w = MarginalWorkload::all_k_way(d, 1, MarginalKind::Point);
+        let sel = bmax_selection(&w);
+        assert!(approx_eq(sel.objective, 2.0, 1e-12));
+    }
+
+    #[test]
+    fn bmax_prefers_shared_parent_for_large_domains() {
+        // Two 1-way marginals over [16, 16]: publishing both separately costs
+        // 2*1 = 2; the full table costs 1*16 = 16, so both marginals are kept.
+        let d = Domain::new(&[16, 16]);
+        let w = MarginalWorkload::all_k_way(d, 1, MarginalKind::Point);
+        let sel = bmax_selection(&w);
+        assert!(approx_eq(sel.objective, 2.0, 1e-12));
+        assert_eq!(sel.cuboids.len(), 2);
+    }
+
+    #[test]
+    fn datacube_strategy_has_expected_sensitivity() {
+        let d = Domain::new(&[4, 4, 2]);
+        let w = MarginalWorkload::all_k_way(d, 2, MarginalKind::Point);
+        let s = datacube_strategy(&w);
+        let sel = bmax_selection(&w);
+        // Each tuple contributes one cell per published cuboid.
+        assert!(approx_eq(
+            s.l2_sensitivity(),
+            (sel.cuboids.len() as f64).sqrt(),
+            1e-9
+        ));
+        assert_eq!(s.dim(), 32);
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_case() {
+        let d = Domain::new(&[4, 2, 2]);
+        let w = MarginalWorkload::all_k_way(d.clone(), 1, MarginalKind::Point);
+        let masks: Vec<u32> = w.subsets().iter().map(|s| subset_mask(s)).collect();
+        let candidates: Vec<u32> = (0..(1u32 << 3)).collect();
+        let (_, exhaustive) = exhaustive_search(&d, &masks, &candidates);
+        let (_, greedy) = greedy_search(&d, &masks, &candidates);
+        assert!(approx_eq(greedy, exhaustive, 1e-9), "greedy={greedy} exhaustive={exhaustive}");
+    }
+
+    #[test]
+    fn cuboid_matrix_shapes() {
+        let d = Domain::new(&[3, 4]);
+        let m = cuboid_matrix(&d, &[0]);
+        assert_eq!(m.shape(), (3, 12));
+        let full = cuboid_matrix(&d, &[0, 1]);
+        assert_eq!(full.shape(), (12, 12));
+        let empty = cuboid_matrix(&d, &[]);
+        assert_eq!(empty.shape(), (1, 12));
+    }
+}

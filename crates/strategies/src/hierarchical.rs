@@ -1,0 +1,193 @@
+//! Hierarchical strategies (Hay et al.): a k-ary tree of interval counts.
+//!
+//! The 1D strategy asks the total count, then recursively splits the domain
+//! into `branching` equal parts down to individual cells, asking each interval
+//! count along the way.  Range queries are answered by combining `O(log n)`
+//! tree nodes, which is what makes the strategy effective for range workloads.
+//! Multi-dimensional variants are Kronecker products of the 1D strategies (the
+//! adaptation used by the paper's evaluation, analogous to the wavelet case).
+
+use crate::strategy::{Strategy, EXPLICIT_ENTRY_LIMIT};
+use mm_linalg::Matrix;
+use mm_workload::Domain;
+
+/// The intervals (lo, hi inclusive) of the k-ary hierarchy over `n` cells,
+/// from the root down, level by level.
+pub fn hierarchy_intervals(n: usize, branching: usize) -> Vec<(usize, usize)> {
+    assert!(n > 0, "hierarchy needs at least one cell");
+    assert!(branching >= 2, "branching factor must be at least 2");
+    let mut intervals = Vec::new();
+    let mut frontier = vec![(0usize, n - 1)];
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &(lo, hi) in &frontier {
+            intervals.push((lo, hi));
+            let len = hi - lo + 1;
+            if len <= 1 {
+                continue;
+            }
+            // Split into `branching` nearly-equal parts.
+            let base = len / branching;
+            let extra = len % branching;
+            let mut start = lo;
+            for b in 0..branching {
+                let part = base + usize::from(b < extra);
+                if part == 0 {
+                    continue;
+                }
+                next.push((start, start + part - 1));
+                start += part;
+            }
+        }
+        frontier = next;
+    }
+    intervals
+}
+
+/// The 1D hierarchical strategy over `n` cells with the given branching factor.
+pub fn hierarchical_1d(n: usize, branching: usize) -> Strategy {
+    let intervals = hierarchy_intervals(n, branching);
+    let rows = intervals.len();
+    // Gram matrix in closed form: (AᵀA)[i][j] = number of intervals containing both.
+    let mut gram = Matrix::zeros(n, n);
+    for &(lo, hi) in &intervals {
+        for i in lo..=hi {
+            let row = gram.row_mut(i);
+            for v in &mut row[lo..=hi] {
+                *v += 1.0;
+            }
+        }
+    }
+    // Sensitivities: each cell appears once per level of the tree above it.
+    let mut col_counts = vec![0usize; n];
+    for &(lo, hi) in &intervals {
+        for c in col_counts.iter_mut().take(hi + 1).skip(lo) {
+            *c += 1;
+        }
+    }
+    let max_count = *col_counts.iter().max().expect("n > 0") as f64;
+    let l2 = max_count.sqrt();
+    let l1 = max_count;
+    let matrix = if rows.saturating_mul(n) <= EXPLICIT_ENTRY_LIMIT {
+        let mut m = Matrix::zeros(rows, n);
+        for (r, &(lo, hi)) in intervals.iter().enumerate() {
+            for v in &mut m.row_mut(r)[lo..=hi] {
+                *v = 1.0;
+            }
+        }
+        Some(m)
+    } else {
+        None
+    };
+    Strategy::from_parts(
+        format!("hierarchical (b={branching}, n={n})"),
+        matrix,
+        gram,
+        l2,
+        l1,
+        rows,
+    )
+}
+
+/// The binary hierarchical strategy used in the paper's experiments.
+pub fn binary_hierarchical_1d(n: usize) -> Strategy {
+    hierarchical_1d(n, 2)
+}
+
+/// Multi-dimensional hierarchical strategy: the Kronecker product of the
+/// per-attribute binary hierarchies.
+pub fn hierarchical_strategy(domain: &Domain, branching: usize) -> Strategy {
+    let factors: Vec<Strategy> = domain
+        .sizes()
+        .iter()
+        .map(|&d| hierarchical_1d(d, branching))
+        .collect();
+    Strategy::kron(format!("hierarchical (b={branching}) on {domain}"), &factors)
+}
+
+/// Binary multi-dimensional hierarchical strategy.
+pub fn binary_hierarchical(domain: &Domain) -> Strategy {
+    hierarchical_strategy(domain, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::{approx_eq, ops};
+
+    #[test]
+    fn intervals_of_small_tree() {
+        let iv = hierarchy_intervals(4, 2);
+        assert_eq!(
+            iv,
+            vec![(0, 3), (0, 1), (2, 3), (0, 0), (1, 1), (2, 2), (3, 3)]
+        );
+    }
+
+    #[test]
+    fn intervals_cover_non_power_of_two() {
+        let iv = hierarchy_intervals(5, 2);
+        // Every singleton must appear.
+        for i in 0..5 {
+            assert!(iv.contains(&(i, i)), "missing singleton {i}");
+        }
+        assert!(iv.contains(&(0, 4)));
+    }
+
+    #[test]
+    fn gram_matches_explicit_matrix() {
+        for n in [4usize, 7, 8] {
+            let s = hierarchical_1d(n, 2);
+            let m = s.matrix().unwrap();
+            let g = ops::gram(m);
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(approx_eq(s.gram()[(i, j)], g[(i, j)], 1e-12), "n={n} ({i},{j})");
+                }
+            }
+            assert!(approx_eq(s.l2_sensitivity(), m.max_col_norm_l2(), 1e-12));
+            assert!(approx_eq(s.l1_sensitivity(), m.max_col_norm_l1(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn binary_tree_sensitivity_is_sqrt_depth() {
+        // For n = 2^k the binary hierarchy has k+1 levels and every cell
+        // appears exactly once per level.
+        let s = binary_hierarchical_1d(8);
+        assert!(approx_eq(s.l2_sensitivity(), 2.0, 1e-12)); // sqrt(4 levels)
+        assert!(approx_eq(s.l1_sensitivity(), 4.0, 1e-12));
+        assert_eq!(s.rows(), 15);
+    }
+
+    #[test]
+    fn branching_factor_four() {
+        let s = hierarchical_1d(16, 4);
+        // Levels: root, 4 nodes, 16 singletons => depth 3.
+        assert!(approx_eq(s.l1_sensitivity(), 3.0, 1e-12));
+        assert_eq!(s.rows(), 1 + 4 + 16);
+    }
+
+    #[test]
+    fn multi_dim_strategy_dimensions() {
+        let d = Domain::new(&[4, 4]);
+        let s = binary_hierarchical(&d);
+        assert_eq!(s.dim(), 16);
+        assert_eq!(s.rows(), 7 * 7);
+        assert!(approx_eq(s.l2_sensitivity(), 3.0, 1e-12)); // sqrt(3)*sqrt(3)
+    }
+
+    #[test]
+    fn rank_is_full() {
+        // The hierarchy contains all singletons, so AᵀA is full rank.
+        let s = hierarchical_1d(6, 2);
+        let eig = mm_linalg::decomp::SymmetricEigen::new(s.gram()).unwrap();
+        assert_eq!(eig.rank(1e-9), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "branching factor")]
+    fn branching_one_panics() {
+        hierarchical_1d(4, 1);
+    }
+}

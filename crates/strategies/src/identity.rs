@@ -1,0 +1,42 @@
+//! The identity strategy: ask for every cell count directly.
+
+use crate::strategy::Strategy;
+use mm_linalg::Matrix;
+
+/// The identity strategy over `n` cells.
+///
+/// Under the matrix mechanism it yields independent noisy cell counts from
+/// which all workload queries are computed; it is optimal for the identity
+/// workload but performs poorly for queries summing many cells (Example 4).
+pub fn identity_strategy(n: usize) -> Strategy {
+    assert!(n > 0, "identity strategy needs at least one cell");
+    Strategy::from_parts(
+        "identity",
+        Some(Matrix::identity(n)),
+        Matrix::identity(n),
+        1.0,
+        1.0,
+        n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_strategy_properties() {
+        let s = identity_strategy(5);
+        assert_eq!(s.dim(), 5);
+        assert_eq!(s.rows(), 5);
+        assert_eq!(s.l2_sensitivity(), 1.0);
+        assert_eq!(s.l1_sensitivity(), 1.0);
+        assert_eq!(s.gram(), &Matrix::identity(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn zero_cells_panics() {
+        identity_strategy(0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # mm-strategies
+//!
+//! Strategy matrices from prior work, used both as competitors in the paper's
+//! evaluation (Sec. 5) and as alternative design sets for the weighting
+//! program (Fig. 5):
+//!
+//! * [`identity`] — the identity strategy (per-cell noisy counts);
+//! * [`hierarchical`] — Hay et al.'s binary/k-ary tree of interval counts;
+//! * [`wavelet`] — Xiao et al.'s Haar wavelet strategy;
+//! * [`fourier`] — Barak et al.'s Fourier strategy, generalised to non-binary
+//!   attribute domains (see `DESIGN.md` for the substitution note);
+//! * [`datacube`] — Ding et al.'s BMAX sub-marginal selection.
+//!
+//! All of them produce a [`Strategy`], which carries the strategy's gram
+//! matrix `AᵀA` and its L1/L2 sensitivities (and the explicit matrix whenever
+//! it is affordable), which is exactly what the matrix-mechanism error formula
+//! (Prop. 4) needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datacube;
+pub mod fourier;
+pub mod hierarchical;
+pub mod identity;
+pub mod strategy;
+pub mod wavelet;
+
+pub use strategy::Strategy;

@@ -1,0 +1,245 @@
+//! The [`Strategy`] type: a query strategy for the matrix mechanism.
+
+use mm_linalg::{ops, Matrix};
+
+/// Maximum number of matrix entries we are willing to materialise for an
+/// explicit strategy matrix (larger strategies keep only their gram matrix).
+pub const EXPLICIT_ENTRY_LIMIT: usize = 33_554_432; // 32M entries = 256 MiB
+
+/// A query strategy `A` for the matrix mechanism.
+///
+/// The error formula (Prop. 4) and the strategy-selection algorithms only need
+/// `AᵀA` and the sensitivity of `A`, so those are always stored; the explicit
+/// matrix is kept when small enough (it is required to actually *run* the
+/// mechanism and sample noisy answers).
+#[derive(Debug, Clone)]
+pub struct Strategy {
+    name: String,
+    matrix: Option<Matrix>,
+    gram: Matrix,
+    l2_sensitivity: f64,
+    l1_sensitivity: f64,
+    rows: usize,
+}
+
+impl Strategy {
+    /// Builds a strategy from an explicit matrix, computing its gram matrix
+    /// and sensitivities.
+    pub fn from_matrix(name: impl Into<String>, matrix: Matrix) -> Self {
+        assert!(matrix.rows() > 0 && matrix.cols() > 0, "strategy must be non-empty");
+        let gram = ops::gram(&matrix);
+        let l2 = matrix.max_col_norm_l2();
+        let l1 = matrix.max_col_norm_l1();
+        let rows = matrix.rows();
+        Strategy {
+            name: name.into(),
+            matrix: Some(matrix),
+            gram,
+            l2_sensitivity: l2,
+            l1_sensitivity: l1,
+            rows,
+        }
+    }
+
+    /// Builds a strategy from precomputed parts.
+    ///
+    /// `gram` must equal `AᵀA` of the conceptual strategy; the sensitivities
+    /// and row count describe that same matrix.  The explicit matrix may be
+    /// omitted for strategies that are too large to materialise.
+    pub fn from_parts(
+        name: impl Into<String>,
+        matrix: Option<Matrix>,
+        gram: Matrix,
+        l2_sensitivity: f64,
+        l1_sensitivity: f64,
+        rows: usize,
+    ) -> Self {
+        assert!(gram.is_square(), "gram matrix must be square");
+        if let Some(m) = &matrix {
+            assert_eq!(m.cols(), gram.rows(), "matrix/gram dimension mismatch");
+            assert_eq!(m.rows(), rows, "row count mismatch");
+        }
+        Strategy {
+            name: name.into(),
+            matrix,
+            gram,
+            l2_sensitivity,
+            l1_sensitivity,
+            rows,
+        }
+    }
+
+    /// Kronecker product of several strategies (used for multi-attribute
+    /// domains): the gram is the Kronecker product of the grams and the
+    /// sensitivities multiply.
+    pub fn kron(name: impl Into<String>, factors: &[Strategy]) -> Self {
+        assert!(!factors.is_empty(), "kron needs at least one factor");
+        let grams: Vec<Matrix> = factors.iter().map(|f| f.gram.clone()).collect();
+        let gram = ops::kron_all(&grams);
+        let rows: usize = factors.iter().map(|f| f.rows).product();
+        let cols = gram.rows();
+        let matrix = if factors.iter().all(|f| f.matrix.is_some())
+            && rows.saturating_mul(cols) <= EXPLICIT_ENTRY_LIMIT
+        {
+            let ms: Vec<Matrix> = factors
+                .iter()
+                .map(|f| f.matrix.clone().expect("checked above"))
+                .collect();
+            Some(ops::kron_all(&ms))
+        } else {
+            None
+        };
+        Strategy {
+            name: name.into(),
+            matrix,
+            gram,
+            l2_sensitivity: factors.iter().map(|f| f.l2_sensitivity).product(),
+            l1_sensitivity: factors.iter().map(|f| f.l1_sensitivity).product(),
+            rows,
+        }
+    }
+
+    /// Strategy name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of strategy queries (rows of `A`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of cells (columns of `A`).
+    pub fn dim(&self) -> usize {
+        self.gram.rows()
+    }
+
+    /// The explicit strategy matrix, when materialised.
+    pub fn matrix(&self) -> Option<&Matrix> {
+        self.matrix.as_ref()
+    }
+
+    /// The gram matrix `AᵀA`.
+    pub fn gram(&self) -> &Matrix {
+        &self.gram
+    }
+
+    /// L2 sensitivity `‖A‖₂` (maximum column L2 norm, Prop. 1).
+    pub fn l2_sensitivity(&self) -> f64 {
+        self.l2_sensitivity
+    }
+
+    /// L1 sensitivity `‖A‖₁` (maximum column L1 norm).
+    pub fn l1_sensitivity(&self) -> f64 {
+        self.l1_sensitivity
+    }
+
+    /// Returns a copy of the strategy with every entry scaled by `s > 0`.
+    ///
+    /// Scaling a strategy does not change the error of the matrix mechanism
+    /// (the sensitivity and the inference step scale together); this is
+    /// provided for normalising strategies in reports and tests.
+    pub fn scaled(&self, s: f64) -> Strategy {
+        assert!(s > 0.0 && s.is_finite());
+        Strategy {
+            name: self.name.clone(),
+            matrix: self.matrix.as_ref().map(|m| m.scaled(s)),
+            gram: self.gram.scaled(s * s),
+            l2_sensitivity: self.l2_sensitivity * s,
+            l1_sensitivity: self.l1_sensitivity * s,
+            rows: self.rows,
+        }
+    }
+
+    /// Renames the strategy (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::approx_eq;
+
+    #[test]
+    fn from_matrix_computes_gram_and_sensitivity() {
+        let m = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, -1.0], vec![0.0, 1.0]]).unwrap();
+        let s = Strategy::from_matrix("test", m);
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.dim(), 2);
+        assert!(approx_eq(s.l2_sensitivity(), 3.0_f64.sqrt(), 1e-12));
+        assert!(approx_eq(s.l1_sensitivity(), 3.0, 1e-12));
+        assert!(approx_eq(s.gram()[(0, 0)], 2.0, 1e-12));
+        assert!(approx_eq(s.gram()[(0, 1)], 0.0, 1e-12));
+    }
+
+    #[test]
+    fn kron_multiplies_sensitivities() {
+        let a = Strategy::from_matrix("a", Matrix::identity(2));
+        let b = Strategy::from_matrix(
+            "b",
+            Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 0.0]]).unwrap(),
+        );
+        let k = Strategy::kron("a x b", &[a.clone(), b.clone()]);
+        assert_eq!(k.dim(), 4);
+        assert_eq!(k.rows(), 4);
+        assert!(approx_eq(
+            k.l2_sensitivity(),
+            a.l2_sensitivity() * b.l2_sensitivity(),
+            1e-12
+        ));
+        // Gram of the kron equals kron of grams; verify against explicit matrix.
+        let explicit = ops::gram(k.matrix().unwrap());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(approx_eq(k.gram()[(i, j)], explicit[(i, j)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn kron_sensitivity_matches_explicit() {
+        let a = Strategy::from_matrix(
+            "a",
+            Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0]]).unwrap(),
+        );
+        let b = Strategy::from_matrix(
+            "b",
+            Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![1.0, 1.0, 0.0]]).unwrap(),
+        );
+        let k = Strategy::kron("axb", &[a, b]);
+        let m = k.matrix().unwrap();
+        assert!(approx_eq(k.l2_sensitivity(), m.max_col_norm_l2(), 1e-12));
+        assert!(approx_eq(k.l1_sensitivity(), m.max_col_norm_l1(), 1e-12));
+    }
+
+    #[test]
+    fn scaling_scales_gram_quadratically() {
+        let s = Strategy::from_matrix("s", Matrix::identity(3)).scaled(2.0);
+        assert!(approx_eq(s.gram()[(0, 0)], 4.0, 1e-12));
+        assert!(approx_eq(s.l2_sensitivity(), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn from_parts_without_matrix() {
+        let s = Strategy::from_parts("implicit", None, Matrix::identity(4), 1.0, 1.0, 4);
+        assert!(s.matrix().is_none());
+        assert_eq!(s.dim(), 4);
+        assert_eq!(s.with_name("renamed").name(), "renamed");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn from_parts_mismatch_panics() {
+        Strategy::from_parts(
+            "bad",
+            Some(Matrix::identity(3)),
+            Matrix::identity(4),
+            1.0,
+            1.0,
+            3,
+        );
+    }
+}

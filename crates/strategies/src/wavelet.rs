@@ -1,0 +1,179 @@
+//! The Haar wavelet strategy (Xiao et al.).
+//!
+//! For a 1D domain of `n = 2^k` cells the strategy asks the `n` Haar wavelet
+//! coefficients: the total count plus, for every dyadic block, the difference
+//! between its two halves (Fig. 2 of the paper shows the `n = 8` instance).
+//! Any range query is a combination of `O(log n)` wavelet rows, which is why
+//! the strategy excels on range workloads.  Multi-dimensional variants are
+//! Kronecker products of the 1D matrices.
+
+use crate::strategy::{Strategy, EXPLICIT_ENTRY_LIMIT};
+use mm_linalg::Matrix;
+use mm_workload::Domain;
+
+/// Builds the explicit (unnormalised) Haar wavelet matrix for `n = 2^k` cells.
+///
+/// Row 0 is the total query; subsequent rows, from the coarsest block (size
+/// `n`) to the finest (size 2), contain `+1` on the first half of their dyadic
+/// block and `-1` on the second half.
+pub fn haar_matrix(n: usize) -> Matrix {
+    assert!(n.is_power_of_two(), "the Haar wavelet requires a power-of-two domain, got {n}");
+    let mut m = Matrix::zeros(n, n);
+    for v in m.row_mut(0) {
+        *v = 1.0;
+    }
+    let mut r = 1;
+    let mut block = n;
+    while block >= 2 {
+        let half = block / 2;
+        for start in (0..n).step_by(block) {
+            let row = m.row_mut(r);
+            for v in &mut row[start..start + half] {
+                *v = 1.0;
+            }
+            for v in &mut row[start + half..start + block] {
+                *v = -1.0;
+            }
+            r += 1;
+        }
+        block = half;
+    }
+    debug_assert_eq!(r, n);
+    m
+}
+
+/// The 1D Haar wavelet strategy over `n = 2^k` cells.
+///
+/// The gram matrix is computed in closed form (O(n² log n)), so the strategy
+/// scales to domains where the explicit `n×n` matrix would be unreasonably
+/// large to keep around.
+pub fn wavelet_1d(n: usize) -> Strategy {
+    assert!(n.is_power_of_two(), "the Haar wavelet requires a power-of-two domain, got {n}");
+    let levels = n.trailing_zeros() as usize;
+    // Closed-form gram: 1 from the total row plus, per dyadic level, +1 when
+    // the two cells fall in the same half of their shared block, -1 when they
+    // fall in different halves of the same block, 0 otherwise.
+    let mut gram = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let mut acc = 1.0;
+            let mut block = n;
+            while block >= 2 {
+                let half = block / 2;
+                if i / block == j / block {
+                    let same_half = (i % block) / half == (j % block) / half;
+                    acc += if same_half { 1.0 } else { -1.0 };
+                }
+                block = half;
+            }
+            gram[(i, j)] = acc;
+            gram[(j, i)] = acc;
+        }
+    }
+    let l2 = ((levels + 1) as f64).sqrt();
+    let l1 = (levels + 1) as f64;
+    let matrix = if n.saturating_mul(n) <= EXPLICIT_ENTRY_LIMIT {
+        Some(haar_matrix(n))
+    } else {
+        None
+    };
+    Strategy::from_parts(format!("wavelet (n={n})"), matrix, gram, l2, l1, n)
+}
+
+/// Multi-dimensional Haar wavelet strategy: the Kronecker product of the
+/// per-attribute 1D wavelet strategies (every attribute size must be a power
+/// of two).
+pub fn wavelet_strategy(domain: &Domain) -> Strategy {
+    let factors: Vec<Strategy> = domain.sizes().iter().map(|&d| wavelet_1d(d)).collect();
+    Strategy::kron(format!("wavelet on {domain}"), &factors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::{approx_eq, ops};
+
+    #[test]
+    fn haar_matrix_matches_paper_example() {
+        // Fig. 2 of the paper, n = 8.
+        let m = haar_matrix(8);
+        let expected = Matrix::from_rows(&[
+            vec![1., 1., 1., 1., 1., 1., 1., 1.],
+            vec![1., 1., 1., 1., -1., -1., -1., -1.],
+            vec![1., 1., -1., -1., 0., 0., 0., 0.],
+            vec![0., 0., 0., 0., 1., 1., -1., -1.],
+            vec![1., -1., 0., 0., 0., 0., 0., 0.],
+            vec![0., 0., 1., -1., 0., 0., 0., 0.],
+            vec![0., 0., 0., 0., 1., -1., 0., 0.],
+            vec![0., 0., 0., 0., 0., 0., 1., -1.],
+        ])
+        .unwrap();
+        assert_eq!(m, expected);
+    }
+
+    #[test]
+    fn haar_rows_are_orthogonal() {
+        let m = haar_matrix(16);
+        let outer = ops::outer_gram(&m);
+        for i in 0..16 {
+            for j in 0..16 {
+                if i != j {
+                    assert!(approx_eq(outer[(i, j)], 0.0, 1e-12), "rows {i},{j} not orthogonal");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gram_matches_explicit() {
+        for n in [2usize, 4, 8, 32] {
+            let s = wavelet_1d(n);
+            let g = ops::gram(&haar_matrix(n));
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        approx_eq(s.gram()[(i, j)], g[(i, j)], 1e-12),
+                        "n={n} ({i},{j}): {} vs {}",
+                        s.gram()[(i, j)],
+                        g[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sensitivity_is_sqrt_log_plus_one() {
+        let s = wavelet_1d(8);
+        assert!(approx_eq(s.l2_sensitivity(), 2.0, 1e-12)); // sqrt(1 + 3)
+        assert!(approx_eq(s.l1_sensitivity(), 4.0, 1e-12));
+        let m = s.matrix().unwrap();
+        assert!(approx_eq(m.max_col_norm_l2(), 2.0, 1e-12));
+    }
+
+    #[test]
+    fn multi_dimensional_wavelet() {
+        let d = Domain::new(&[4, 8]);
+        let s = wavelet_strategy(&d);
+        assert_eq!(s.dim(), 32);
+        assert_eq!(s.rows(), 32);
+        assert!(approx_eq(
+            s.l2_sensitivity(),
+            (3.0_f64).sqrt() * 2.0,
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn wavelet_full_rank() {
+        let s = wavelet_1d(16);
+        let eig = mm_linalg::decomp::SymmetricEigen::new(s.gram()).unwrap();
+        assert_eq!(eig.rank(1e-9), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_panics() {
+        wavelet_1d(6);
+    }
+}

@@ -1,0 +1,187 @@
+//! Multi-attribute domains and cell indexing.
+//!
+//! A data vector `x` (Def. 1) is defined by a list of pairwise-unsatisfiable
+//! cell conditions.  For the structured workloads of the paper the cells are
+//! the cross product of per-attribute buckets, so a [`Domain`] is simply the
+//! list of per-attribute bucket counts, together with the row-major mapping
+//! between multi-indices and flat cell indices.
+
+use std::fmt;
+
+/// A multi-attribute domain: the cross product of per-attribute bucket sets.
+///
+/// Cells are ordered row-major with the **first** attribute varying slowest,
+/// matching the Kronecker-product convention `A₁ ⊗ A₂ ⊗ …` used throughout
+/// the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    sizes: Vec<usize>,
+}
+
+impl Domain {
+    /// Creates a domain from per-attribute bucket counts.
+    ///
+    /// Panics if any size is zero or the list is empty.
+    pub fn new(sizes: &[usize]) -> Self {
+        assert!(!sizes.is_empty(), "domain must have at least one attribute");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "every attribute must have at least one bucket"
+        );
+        Domain {
+            sizes: sizes.to_vec(),
+        }
+    }
+
+    /// A one-dimensional domain with `n` cells.
+    pub fn one_dim(n: usize) -> Self {
+        Domain::new(&[n])
+    }
+
+    /// Per-attribute bucket counts.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total number of cells (product of the per-attribute sizes).
+    pub fn n_cells(&self) -> usize {
+        self.sizes.iter().product()
+    }
+
+    /// Size of attribute `a`.
+    pub fn size(&self, a: usize) -> usize {
+        self.sizes[a]
+    }
+
+    /// Flattens a multi-index into a cell index.
+    ///
+    /// Panics when the multi-index has the wrong arity or is out of bounds.
+    pub fn index_of(&self, multi: &[usize]) -> usize {
+        assert_eq!(
+            multi.len(),
+            self.sizes.len(),
+            "multi-index arity mismatch"
+        );
+        let mut idx = 0;
+        for (a, (&m, &s)) in multi.iter().zip(self.sizes.iter()).enumerate() {
+            assert!(m < s, "index {m} out of bounds for attribute {a} (size {s})");
+            idx = idx * s + m;
+        }
+        idx
+    }
+
+    /// Expands a flat cell index into a multi-index.
+    pub fn multi_index(&self, mut index: usize) -> Vec<usize> {
+        assert!(index < self.n_cells(), "cell index out of bounds");
+        let mut out = vec![0; self.sizes.len()];
+        for a in (0..self.sizes.len()).rev() {
+            out[a] = index % self.sizes[a];
+            index /= self.sizes[a];
+        }
+        out
+    }
+
+    /// Iterates over all cells in flat order, yielding multi-indices.
+    pub fn cells(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        (0..self.n_cells()).map(|i| self.multi_index(i))
+    }
+
+    /// The stride of attribute `a` in the flat ordering (product of the sizes
+    /// of all later attributes).
+    pub fn stride(&self, a: usize) -> usize {
+        self.sizes[a + 1..].iter().product()
+    }
+
+    /// True when the domain has a single attribute.
+    pub fn is_one_dimensional(&self) -> bool {
+        self.sizes.len() == 1
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.sizes.iter().enumerate() {
+            if i > 0 {
+                write!(f, "·")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let d = Domain::new(&[8, 16, 16]);
+        assert_eq!(d.n_cells(), 2048);
+        assert_eq!(d.num_attributes(), 3);
+        assert_eq!(d.size(1), 16);
+        assert_eq!(d.sizes(), &[8, 16, 16]);
+        assert!(!d.is_one_dimensional());
+        assert!(Domain::one_dim(5).is_one_dimensional());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let d = Domain::new(&[3, 4, 5]);
+        for i in 0..d.n_cells() {
+            let m = d.multi_index(i);
+            assert_eq!(d.index_of(&m), i);
+        }
+    }
+
+    #[test]
+    fn row_major_ordering() {
+        let d = Domain::new(&[2, 3]);
+        assert_eq!(d.index_of(&[0, 0]), 0);
+        assert_eq!(d.index_of(&[0, 2]), 2);
+        assert_eq!(d.index_of(&[1, 0]), 3);
+        assert_eq!(d.index_of(&[1, 2]), 5);
+        assert_eq!(d.multi_index(4), vec![1, 1]);
+    }
+
+    #[test]
+    fn strides() {
+        let d = Domain::new(&[2, 3, 4]);
+        assert_eq!(d.stride(0), 12);
+        assert_eq!(d.stride(1), 4);
+        assert_eq!(d.stride(2), 1);
+    }
+
+    #[test]
+    fn cells_iterator_covers_domain() {
+        let d = Domain::new(&[2, 2]);
+        let cells: Vec<Vec<usize>> = d.cells().collect();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0], vec![0, 0]);
+        assert_eq!(cells[3], vec![1, 1]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Domain::new(&[16, 16, 8]).to_string(), "[16·16·8]");
+        assert_eq!(Domain::one_dim(2048).to_string(), "[2048]");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        Domain::new(&[2, 2]).index_of(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attribute")]
+    fn empty_domain_panics() {
+        Domain::new(&[]);
+    }
+}

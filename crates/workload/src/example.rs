@@ -1,0 +1,89 @@
+//! The running example of the paper (Fig. 1): 8 counting queries over the
+//! student relation `R(name, gradyear, gender, gpa)` with 8 cells formed by
+//! gender × four gpa ranges.
+
+use crate::explicit::ExplicitWorkload;
+use crate::query::LinearQuery;
+
+/// Number of cells in the Fig. 1 example (2 genders × 4 gpa buckets).
+pub const FIG1_CELLS: usize = 8;
+
+/// Builds the workload matrix `W` of Fig. 1(b):
+///
+/// * q1 — all students
+/// * q2 — female students (cells 5–8 in the paper's ordering; here the first
+///   four cells are Male and the last four Female, matching Fig. 1(a))
+/// * q3 — male students
+/// * q4 — students with gpa < 3.0
+/// * q5 — students with gpa ≥ 3.0
+/// * q6 — female students with gpa ≥ 3.0
+/// * q7 — male students with gpa < 3.0
+/// * q8 — difference between male and female students
+pub fn fig1_workload() -> ExplicitWorkload {
+    let rows: Vec<Vec<f64>> = vec![
+        vec![1., 1., 1., 1., 1., 1., 1., 1.],
+        vec![1., 1., 1., 1., 0., 0., 0., 0.],
+        vec![0., 0., 0., 0., 1., 1., 1., 1.],
+        vec![1., 1., 0., 0., 1., 1., 0., 0.],
+        vec![0., 0., 1., 1., 0., 0., 1., 1.],
+        vec![0., 0., 0., 0., 0., 0., 1., 1.],
+        vec![1., 1., 0., 0., 0., 0., 0., 0.],
+        vec![1., 1., 1., 1., -1., -1., -1., -1.],
+    ];
+    let queries = rows
+        .into_iter()
+        .map(|r| LinearQuery::from_dense(&r))
+        .collect();
+    ExplicitWorkload::new("fig1 student workload", queries)
+}
+
+/// Human-readable descriptions of the Fig. 1(c) queries, in row order.
+pub fn fig1_query_descriptions() -> Vec<&'static str> {
+    vec![
+        "all students",
+        "male students (cells 1-4)",
+        "female students (cells 5-8)",
+        "students with gpa < 3.0",
+        "students with gpa >= 3.0",
+        "female students with gpa >= 3.0",
+        "male students with gpa < 3.0",
+        "difference between male and female students",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use mm_linalg::approx_eq;
+
+    #[test]
+    fn fig1_shape_and_sensitivity() {
+        let w = fig1_workload();
+        assert_eq!(w.dim(), FIG1_CELLS);
+        assert_eq!(w.query_count(), 8);
+        // The paper states ||W||_2 = sqrt(5).
+        let m = w.to_matrix().unwrap();
+        assert!(approx_eq(m.max_col_norm_l2(), 5.0_f64.sqrt(), 1e-12));
+    }
+
+    #[test]
+    fn fig1_gram_trace() {
+        // trace(WᵀW) = total squared entries = 36.
+        let w = fig1_workload();
+        assert!(approx_eq(w.gram().trace(), 36.0, 1e-12));
+    }
+
+    #[test]
+    fn fig1_q3_is_q1_minus_q2() {
+        let w = fig1_workload();
+        let x: Vec<f64> = (1..=8).map(|v| v as f64).collect();
+        let answers = w.evaluate(&x);
+        assert!(approx_eq(answers[2], answers[0] - answers[1], 1e-12));
+    }
+
+    #[test]
+    fn descriptions_match_query_count() {
+        assert_eq!(fig1_query_descriptions().len(), fig1_workload().query_count());
+    }
+}

@@ -1,0 +1,300 @@
+//! Explicit (materialised) workloads and the trivial identity/total workloads.
+
+use crate::query::{queries_to_matrix, LinearQuery};
+use crate::Workload;
+use mm_linalg::{ops, Matrix};
+
+/// A workload stored as an explicit list of sparse queries.
+///
+/// Suitable for small or irregular workloads (the paper's Fig. 1 example,
+/// sampled predicate workloads, hand-built ad hoc workloads).  Larger
+/// structured families (all ranges, all marginals) have dedicated implicit
+/// types in this crate.
+#[derive(Debug, Clone)]
+pub struct ExplicitWorkload {
+    dim: usize,
+    queries: Vec<LinearQuery>,
+    name: String,
+}
+
+impl ExplicitWorkload {
+    /// Creates a workload from explicit queries.
+    ///
+    /// Panics when queries have inconsistent dimensions or the list is empty.
+    pub fn new(name: impl Into<String>, queries: Vec<LinearQuery>) -> Self {
+        assert!(!queries.is_empty(), "workload must contain at least one query");
+        let dim = queries[0].dim();
+        assert!(
+            queries.iter().all(|q| q.dim() == dim),
+            "all queries must share the same dimension"
+        );
+        ExplicitWorkload {
+            dim,
+            queries,
+            name: name.into(),
+        }
+    }
+
+    /// Creates a workload from a dense query matrix (each row is a query).
+    pub fn from_matrix(name: impl Into<String>, matrix: &Matrix) -> Self {
+        let queries = (0..matrix.rows())
+            .map(|i| LinearQuery::from_dense(matrix.row(i)))
+            .collect();
+        ExplicitWorkload::new(name, queries)
+    }
+
+    /// The queries of this workload.
+    pub fn queries(&self) -> &[LinearQuery] {
+        &self.queries
+    }
+
+    /// Returns a new workload with every query scaled to unit L2 norm
+    /// (queries with zero norm are left unchanged).
+    pub fn normalized(&self) -> Self {
+        ExplicitWorkload {
+            dim: self.dim,
+            queries: self.queries.iter().map(LinearQuery::normalized).collect(),
+            name: format!("{} (normalized)", self.name),
+        }
+    }
+}
+
+impl Workload for ExplicitWorkload {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn gram(&self) -> Matrix {
+        // Accumulate sparse outer products qᵀq.
+        let mut g = Matrix::zeros(self.dim, self.dim);
+        for q in &self.queries {
+            let entries = q.entries();
+            for &(i, vi) in entries {
+                for &(j, vj) in entries {
+                    g[(i, j)] += vi * vj;
+                }
+            }
+        }
+        g
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        self.queries.iter().map(|q| q.evaluate(x)).collect()
+    }
+
+    fn description(&self) -> String {
+        format!("{} ({} queries on {} cells)", self.name, self.queries.len(), self.dim)
+    }
+
+    fn query_squared_norms(&self) -> Vec<f64> {
+        self.queries
+            .iter()
+            .map(|q| {
+                let n = q.l2_norm();
+                n * n
+            })
+            .collect()
+    }
+
+    fn to_matrix(&self) -> Option<Matrix> {
+        Some(queries_to_matrix(&self.queries))
+    }
+}
+
+/// The identity workload: one query per cell count.
+#[derive(Debug, Clone)]
+pub struct IdentityWorkload {
+    dim: usize,
+}
+
+impl IdentityWorkload {
+    /// Creates the identity workload over `n` cells.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "identity workload needs at least one cell");
+        IdentityWorkload { dim: n }
+    }
+}
+
+impl Workload for IdentityWorkload {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn query_count(&self) -> usize {
+        self.dim
+    }
+
+    fn gram(&self) -> Matrix {
+        Matrix::identity(self.dim)
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim);
+        x.to_vec()
+    }
+
+    fn description(&self) -> String {
+        format!("identity ({} cells)", self.dim)
+    }
+
+    fn query_squared_norms(&self) -> Vec<f64> {
+        vec![1.0; self.dim]
+    }
+
+    fn to_matrix(&self) -> Option<Matrix> {
+        Some(Matrix::identity(self.dim))
+    }
+}
+
+/// The single total query `1ᵀ x`.
+#[derive(Debug, Clone)]
+pub struct TotalWorkload {
+    dim: usize,
+}
+
+impl TotalWorkload {
+    /// Creates the total workload over `n` cells.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "total workload needs at least one cell");
+        TotalWorkload { dim: n }
+    }
+}
+
+impl Workload for TotalWorkload {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn query_count(&self) -> usize {
+        1
+    }
+
+    fn gram(&self) -> Matrix {
+        Matrix::filled(self.dim, self.dim, 1.0)
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim);
+        vec![x.iter().sum()]
+    }
+
+    fn description(&self) -> String {
+        format!("total ({} cells)", self.dim)
+    }
+
+    fn query_squared_norms(&self) -> Vec<f64> {
+        vec![self.dim as f64]
+    }
+
+    fn to_matrix(&self) -> Option<Matrix> {
+        Some(Matrix::filled(1, self.dim, 1.0))
+    }
+}
+
+/// Checks that an explicit workload's gram matrix equals `WᵀW` computed from
+/// its dense matrix (used by tests across the workspace).
+pub fn gram_consistent(w: &dyn Workload, tol: f64) -> bool {
+    match w.to_matrix() {
+        Some(m) => {
+            let g1 = w.gram();
+            let g2 = ops::gram(&m);
+            if g1.shape() != g2.shape() {
+                return false;
+            }
+            for i in 0..g1.rows() {
+                for j in 0..g1.cols() {
+                    if !mm_linalg::approx_eq(g1[(i, j)], g2[(i, j)], tol) {
+                        return false;
+                    }
+                }
+            }
+            true
+        }
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use mm_linalg::approx_eq;
+
+    #[test]
+    fn explicit_gram_matches_matrix() {
+        let d = Domain::new(&[2, 3]);
+        let queries = vec![
+            LinearQuery::total(6),
+            LinearQuery::range(&d, &[0, 0], &[0, 2]),
+            LinearQuery::cell(6, 4),
+        ];
+        let w = ExplicitWorkload::new("test", queries);
+        assert!(gram_consistent(&w, 1e-12));
+        assert_eq!(w.query_count(), 3);
+        assert_eq!(w.dim(), 6);
+    }
+
+    #[test]
+    fn explicit_evaluate_matches_matrix_product() {
+        let queries = vec![LinearQuery::range_1d(4, 0, 1), LinearQuery::range_1d(4, 2, 3)];
+        let w = ExplicitWorkload::new("pair", queries);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = w.evaluate(&x);
+        assert_eq!(y, vec![3.0, 7.0]);
+        let m = w.to_matrix().unwrap();
+        let y2 = m.matvec(&x).unwrap();
+        assert_eq!(y, y2);
+    }
+
+    #[test]
+    fn explicit_normalized_has_unit_norms() {
+        let queries = vec![LinearQuery::total(4), LinearQuery::cell(4, 0)];
+        let w = ExplicitWorkload::new("w", queries).normalized();
+        for n in w.query_squared_norms() {
+            assert!(approx_eq(n, 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn from_matrix_roundtrip() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0, -1.0], vec![0.5, 0.5, 0.5]]).unwrap();
+        let w = ExplicitWorkload::from_matrix("m", &m);
+        assert_eq!(w.to_matrix().unwrap(), m);
+        assert!(w.description().contains("2 queries"));
+    }
+
+    #[test]
+    fn identity_workload_properties() {
+        let w = IdentityWorkload::new(4);
+        assert_eq!(w.gram(), Matrix::identity(4));
+        assert_eq!(w.evaluate(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(w.query_squared_norms(), vec![1.0; 4]);
+        assert!(gram_consistent(&w, 1e-12));
+    }
+
+    #[test]
+    fn total_workload_properties() {
+        let w = TotalWorkload::new(3);
+        assert_eq!(w.query_count(), 1);
+        assert_eq!(w.evaluate(&[1.0, 2.0, 3.0]), vec![6.0]);
+        assert_eq!(w.gram()[(0, 2)], 1.0);
+        assert_eq!(w.query_squared_norms(), vec![3.0]);
+        assert!(gram_consistent(&w, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn empty_workload_panics() {
+        ExplicitWorkload::new("empty", vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimension")]
+    fn inconsistent_dims_panic() {
+        ExplicitWorkload::new("bad", vec![LinearQuery::total(2), LinearQuery::total(3)]);
+    }
+}

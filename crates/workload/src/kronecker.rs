@@ -1,0 +1,175 @@
+//! Kronecker-product workloads.
+//!
+//! A [`KroneckerWorkload`] combines one explicit per-attribute workload block
+//! per attribute; the combined workload is their Kronecker product.  Its gram
+//! matrix is the Kronecker product of the per-attribute gram matrices and
+//! evaluation is performed by tensor contraction, so the product matrix is
+//! only materialised on demand for small cases.
+
+use crate::domain::Domain;
+use crate::tensor::kron_apply;
+use crate::Workload;
+use mm_linalg::{ops, Matrix};
+
+/// A workload that is the Kronecker product of per-attribute query matrices.
+#[derive(Debug, Clone)]
+pub struct KroneckerWorkload {
+    factors: Vec<Matrix>,
+    name: String,
+}
+
+impl KroneckerWorkload {
+    /// Creates a Kronecker workload from per-attribute factor matrices.
+    ///
+    /// Panics when the factor list is empty or any factor has no rows.
+    pub fn new(name: impl Into<String>, factors: Vec<Matrix>) -> Self {
+        assert!(!factors.is_empty(), "at least one factor required");
+        assert!(
+            factors.iter().all(|f| f.rows() > 0 && f.cols() > 0),
+            "factors must be non-empty"
+        );
+        KroneckerWorkload {
+            factors,
+            name: name.into(),
+        }
+    }
+
+    /// The per-attribute factors.
+    pub fn factors(&self) -> &[Matrix] {
+        &self.factors
+    }
+
+    /// The domain implied by the factor column counts.
+    pub fn domain(&self) -> Domain {
+        let sizes: Vec<usize> = self.factors.iter().map(Matrix::cols).collect();
+        Domain::new(&sizes)
+    }
+}
+
+impl Workload for KroneckerWorkload {
+    fn dim(&self) -> usize {
+        self.factors.iter().map(Matrix::cols).product()
+    }
+
+    fn query_count(&self) -> usize {
+        self.factors.iter().map(Matrix::rows).product()
+    }
+
+    fn gram(&self) -> Matrix {
+        let grams: Vec<Matrix> = self.factors.iter().map(ops::gram).collect();
+        ops::kron_all(&grams)
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let shape: Vec<usize> = self.factors.iter().map(Matrix::cols).collect();
+        let refs: Vec<&Matrix> = self.factors.iter().collect();
+        kron_apply(&refs, &shape, x)
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "{} (kronecker of {} factors, {} queries on {} cells)",
+            self.name,
+            self.factors.len(),
+            self.query_count(),
+            self.dim()
+        )
+    }
+
+    fn query_squared_norms(&self) -> Vec<f64> {
+        // Squared row norms multiply across factors; enumerate in row-major
+        // order (first factor slowest).
+        let per_factor: Vec<Vec<f64>> = self
+            .factors
+            .iter()
+            .map(|f| {
+                (0..f.rows())
+                    .map(|r| f.row(r).iter().map(|v| v * v).sum())
+                    .collect()
+            })
+            .collect();
+        let total: usize = per_factor.iter().map(Vec::len).product();
+        let mut out = Vec::with_capacity(total);
+        let mut idx = vec![0usize; per_factor.len()];
+        for _ in 0..total {
+            out.push(
+                per_factor
+                    .iter()
+                    .zip(idx.iter())
+                    .map(|(list, &i)| list[i])
+                    .product(),
+            );
+            for a in (0..per_factor.len()).rev() {
+                idx[a] += 1;
+                if idx[a] < per_factor[a].len() {
+                    break;
+                }
+                idx[a] = 0;
+            }
+        }
+        out
+    }
+
+    fn to_matrix(&self) -> Option<Matrix> {
+        if self.query_count() * self.dim() > 16_000_000 {
+            return None;
+        }
+        Some(ops::kron_all(&self.factors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::gram_consistent;
+    use mm_linalg::approx_eq;
+
+    fn sample_factors() -> Vec<Matrix> {
+        vec![
+            Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, -1.0]]).unwrap(),
+            Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn shapes_and_domain() {
+        let w = KroneckerWorkload::new("test", sample_factors());
+        assert_eq!(w.dim(), 6);
+        assert_eq!(w.query_count(), 4);
+        assert_eq!(w.domain().sizes(), &[2, 3]);
+    }
+
+    #[test]
+    fn gram_matches_matrix() {
+        let w = KroneckerWorkload::new("test", sample_factors());
+        assert!(gram_consistent(&w, 1e-10));
+    }
+
+    #[test]
+    fn evaluate_matches_matrix() {
+        let w = KroneckerWorkload::new("test", sample_factors());
+        let x: Vec<f64> = (0..6).map(|i| i as f64 + 1.0).collect();
+        let fast = w.evaluate(&x);
+        let slow = w.to_matrix().unwrap().matvec(&x).unwrap();
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert!(approx_eq(*f, *s, 1e-12));
+        }
+    }
+
+    #[test]
+    fn query_norms_match_matrix_rows() {
+        let w = KroneckerWorkload::new("test", sample_factors());
+        let m = w.to_matrix().unwrap();
+        let norms = w.query_squared_norms();
+        for (r, n2) in norms.iter().enumerate() {
+            let row_n2: f64 = m.row(r).iter().map(|v| v * v).sum();
+            assert!(approx_eq(*n2, row_n2, 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one factor")]
+    fn empty_factor_list_panics() {
+        KroneckerWorkload::new("bad", vec![]);
+    }
+}

@@ -1,0 +1,106 @@
+//! # mm-workload
+//!
+//! Workloads of linear counting queries for the adaptive matrix mechanism
+//! (Li & Miklau, VLDB 2012).
+//!
+//! A *workload* is a set of linear counting queries over a data vector `x` of
+//! cell counts (Sec. 2.1 of the paper).  Under the matrix mechanism the error
+//! of answering a workload `W` with a strategy `A` depends on `W` only through
+//! its gram matrix `WᵀW` (Prop. 4), so the central abstraction of this crate
+//! is the [`Workload`] trait whose main obligation is producing that gram
+//! matrix — which many workload families can do *without materialising `W`*
+//! (the workload of all range queries over 2048 cells has ~2·10⁶ rows; its
+//! gram matrix has a closed form).
+//!
+//! Provided workload families:
+//!
+//! * [`IdentityWorkload`], [`TotalWorkload`], [`ExplicitWorkload`] — basics;
+//! * [`range::AllRangeWorkload`], [`range::RandomRangeWorkload`],
+//!   [`prefix::PrefixWorkload`] (1D CDF) — (multi-dimensional) range queries;
+//! * [`marginal::MarginalWorkload`] — k-way marginals, range marginals,
+//!   random marginal unions;
+//! * [`predicate::RandomPredicateWorkload`] — uniformly sampled 0/1 predicate
+//!   queries;
+//! * [`kronecker::KroneckerWorkload`], [`union::UnionWorkload`],
+//!   [`transform::PermutedWorkload`], [`transform::ScaledWorkload`] —
+//!   combinators used to build the paper's ad hoc workloads;
+//! * [`example::fig1_workload`] — the 8-query student workload of Fig. 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod example;
+pub mod explicit;
+pub mod kronecker;
+pub mod marginal;
+pub mod predicate;
+pub mod prefix;
+pub mod query;
+pub mod range;
+pub mod tensor;
+pub mod transform;
+pub mod union;
+
+pub use domain::Domain;
+pub use explicit::{ExplicitWorkload, IdentityWorkload, TotalWorkload};
+pub use query::LinearQuery;
+
+use mm_linalg::Matrix;
+
+/// A workload of linear counting queries over an `n`-cell data vector.
+///
+/// Implementations must be consistent: `gram()` must equal `WᵀW` for the same
+/// (conceptual) query matrix whose answers `evaluate()` returns, and
+/// `query_count()` must equal the number of rows of that matrix.
+pub trait Workload {
+    /// Number of cells `n` in the data vector the queries are expressed over.
+    fn dim(&self) -> usize;
+
+    /// Number of queries `m` in the workload.
+    fn query_count(&self) -> usize;
+
+    /// The gram matrix `WᵀW` (an `n x n` symmetric positive semidefinite matrix).
+    fn gram(&self) -> Matrix;
+
+    /// Evaluates every query against the data vector, returning `W x`
+    /// (length `query_count()`), in a fixed deterministic order.
+    fn evaluate(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Human-readable description used in reports and experiment output.
+    fn description(&self) -> String;
+
+    /// The squared L2 norm of every query (the diagonal of `W Wᵀ`), in the
+    /// same order as [`Workload::evaluate`].
+    ///
+    /// Used when optimizing for relative error (Sec. 3.4): queries are scaled
+    /// to unit L2 norm before strategy selection.
+    fn query_squared_norms(&self) -> Vec<f64>;
+
+    /// The explicit query matrix `W`, when it is reasonable to materialise.
+    ///
+    /// The default implementation returns `None`; small/explicit workloads
+    /// override it.  Callers that require `W` (e.g. actually running the
+    /// mechanism end-to-end on every workload query) should prefer workloads
+    /// that provide it or use [`Workload::evaluate`] instead.
+    fn to_matrix(&self) -> Option<Matrix> {
+        None
+    }
+}
+
+/// Convenience: total squared Frobenius norm of the workload, i.e.
+/// `trace(WᵀW)`, computable from any [`Workload`].
+pub fn total_squared_norm<W: Workload + ?Sized>(w: &W) -> f64 {
+    w.gram().trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_squared_norm_of_identity() {
+        let w = IdentityWorkload::new(5);
+        assert_eq!(total_squared_norm(&w), 5.0);
+    }
+}

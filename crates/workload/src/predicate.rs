@@ -1,0 +1,176 @@
+//! Uniformly sampled predicate-query workloads.
+//!
+//! A predicate query counts the tuples satisfying an arbitrary boolean
+//! condition over the cells, i.e. an arbitrary 0/1 row vector.  The workload
+//! of *all* predicate queries has 2ⁿ rows and is never materialised; the
+//! paper evaluates on **uniformly sampled** predicate queries (Table 2), where
+//! each cell is included in a query independently with probability 1/2.
+
+use crate::query::LinearQuery;
+use crate::Workload;
+use mm_linalg::Matrix;
+use rand::Rng;
+
+/// A workload of uniformly sampled 0/1 predicate queries.
+#[derive(Debug, Clone)]
+pub struct RandomPredicateWorkload {
+    dim: usize,
+    queries: Vec<LinearQuery>,
+    normalized: bool,
+}
+
+impl RandomPredicateWorkload {
+    /// Samples `count` predicates over `n` cells, each cell independently
+    /// included with probability 1/2 (empty predicates are re-sampled).
+    pub fn sample<R: Rng + ?Sized>(n: usize, count: usize, rng: &mut R) -> Self {
+        assert!(n > 0 && count > 0);
+        let mut queries = Vec::with_capacity(count);
+        while queries.len() < count {
+            let members: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+            if members.iter().any(|&b| b) {
+                queries.push(LinearQuery::predicate(&members));
+            }
+        }
+        RandomPredicateWorkload {
+            dim: n,
+            queries,
+            normalized: false,
+        }
+    }
+
+    /// Builds the workload from explicit predicate queries.
+    pub fn from_queries(queries: Vec<LinearQuery>) -> Self {
+        assert!(!queries.is_empty());
+        let dim = queries[0].dim();
+        assert!(queries.iter().all(|q| q.dim() == dim));
+        RandomPredicateWorkload {
+            dim,
+            queries,
+            normalized: false,
+        }
+    }
+
+    /// Scales each predicate to unit L2 norm.
+    pub fn into_normalized(mut self) -> Self {
+        self.normalized = true;
+        self
+    }
+
+    fn weighted_queries(&self) -> Vec<LinearQuery> {
+        self.queries
+            .iter()
+            .map(|q| if self.normalized { q.normalized() } else { q.clone() })
+            .collect()
+    }
+}
+
+impl Workload for RandomPredicateWorkload {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.dim, self.dim);
+        for q in self.weighted_queries() {
+            for &(i, vi) in q.entries() {
+                let row = g.row_mut(i);
+                for &(j, vj) in q.entries() {
+                    row[j] += vi * vj;
+                }
+            }
+        }
+        g
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        self.weighted_queries().iter().map(|q| q.evaluate(x)).collect()
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "{} random predicate queries on {} cells{}",
+            self.queries.len(),
+            self.dim,
+            if self.normalized { " (normalized)" } else { "" }
+        )
+    }
+
+    fn query_squared_norms(&self) -> Vec<f64> {
+        self.weighted_queries()
+            .iter()
+            .map(|q| {
+                let n = q.l2_norm();
+                n * n
+            })
+            .collect()
+    }
+
+    fn to_matrix(&self) -> Option<Matrix> {
+        if self.queries.len() * self.dim > 16_000_000 {
+            return None;
+        }
+        Some(crate::query::queries_to_matrix(&self.weighted_queries()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::gram_consistent;
+    use mm_linalg::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_predicates_are_nonempty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = RandomPredicateWorkload::sample(16, 50, &mut rng);
+        assert_eq!(w.query_count(), 50);
+        assert!(w.to_matrix().unwrap().rows_iter().all(|r| r.iter().sum::<f64>() > 0.0));
+    }
+
+    #[test]
+    fn gram_consistent_with_matrix() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = RandomPredicateWorkload::sample(12, 30, &mut rng);
+        assert!(gram_consistent(&w, 1e-9));
+        let wn = w.into_normalized();
+        assert!(gram_consistent(&wn, 1e-9));
+    }
+
+    #[test]
+    fn normalized_norms_are_one() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = RandomPredicateWorkload::sample(10, 20, &mut rng).into_normalized();
+        for n in w.query_squared_norms() {
+            assert!(approx_eq(n, 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn evaluate_matches_matrix() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = RandomPredicateWorkload::sample(8, 15, &mut rng);
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let fast = w.evaluate(&x);
+        let slow = w.to_matrix().unwrap().matvec(&x).unwrap();
+        for (f, s) in fast.iter().zip(slow.iter()) {
+            assert!(approx_eq(*f, *s, 1e-12));
+        }
+    }
+
+    #[test]
+    fn from_queries_constructor() {
+        let qs = vec![
+            LinearQuery::predicate(&[true, false, true]),
+            LinearQuery::predicate(&[false, true, true]),
+        ];
+        let w = RandomPredicateWorkload::from_queries(qs);
+        assert_eq!(w.dim(), 3);
+        assert_eq!(w.query_count(), 2);
+    }
+}

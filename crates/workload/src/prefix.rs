@@ -1,0 +1,166 @@
+//! The one-dimensional CDF (prefix-sum) workload.
+//!
+//! Query `k` of the workload counts cells `0..=k`, so the answers form the
+//! empirical cumulative distribution function.  The paper (Table 2) uses this
+//! as an example of a highly skewed workload: the first cell appears in all
+//! `n` queries while the last appears in only one, and it is the one workload
+//! on which the eigen-strategy's advantage over prior techniques is marginal.
+
+use crate::Workload;
+use mm_linalg::Matrix;
+
+/// The workload of all prefix (CDF) queries over `n` ordered cells.
+#[derive(Debug, Clone)]
+pub struct PrefixWorkload {
+    dim: usize,
+    normalized: bool,
+}
+
+impl PrefixWorkload {
+    /// All `n` prefix queries over `n` cells.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "prefix workload needs at least one cell");
+        PrefixWorkload {
+            dim: n,
+            normalized: false,
+        }
+    }
+
+    /// Prefix queries scaled to unit L2 norm.
+    pub fn normalized(n: usize) -> Self {
+        assert!(n > 0, "prefix workload needs at least one cell");
+        PrefixWorkload {
+            dim: n,
+            normalized: true,
+        }
+    }
+}
+
+impl Workload for PrefixWorkload {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn query_count(&self) -> usize {
+        self.dim
+    }
+
+    fn gram(&self) -> Matrix {
+        let n = self.dim;
+        if !self.normalized {
+            // G[i][j] = number of prefixes containing both i and j = n - max(i, j).
+            return Matrix::from_fn(n, n, |i, j| (n - i.max(j)) as f64);
+        }
+        // Normalized: prefix k has norm sqrt(k+1); G'[i][j] = sum_{k >= max(i,j)} 1/(k+1).
+        let mut suffix = vec![0.0; n + 1];
+        for k in (0..n).rev() {
+            suffix[k] = suffix[k + 1] + 1.0 / (k as f64 + 1.0);
+        }
+        Matrix::from_fn(n, n, |i, j| suffix[i.max(j)])
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim);
+        let mut out = Vec::with_capacity(self.dim);
+        let mut acc = 0.0;
+        for (k, &v) in x.iter().enumerate() {
+            acc += v;
+            let val = if self.normalized {
+                acc / ((k + 1) as f64).sqrt()
+            } else {
+                acc
+            };
+            out.push(val);
+        }
+        out
+    }
+
+    fn description(&self) -> String {
+        format!(
+            "1D CDF / prefix workload ({} cells){}",
+            self.dim,
+            if self.normalized { " (normalized)" } else { "" }
+        )
+    }
+
+    fn query_squared_norms(&self) -> Vec<f64> {
+        if self.normalized {
+            vec![1.0; self.dim]
+        } else {
+            (0..self.dim).map(|k| (k + 1) as f64).collect()
+        }
+    }
+
+    fn to_matrix(&self) -> Option<Matrix> {
+        let n = self.dim;
+        if n * n > 16_000_000 {
+            return None;
+        }
+        let mut m = Matrix::zeros(n, n);
+        for k in 0..n {
+            let w = if self.normalized {
+                1.0 / ((k + 1) as f64).sqrt()
+            } else {
+                1.0
+            };
+            for j in 0..=k {
+                m[(k, j)] = w;
+            }
+        }
+        Some(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::gram_consistent;
+    use mm_linalg::approx_eq;
+
+    #[test]
+    fn gram_matches_matrix() {
+        for normalized in [false, true] {
+            let w = if normalized {
+                PrefixWorkload::normalized(7)
+            } else {
+                PrefixWorkload::new(7)
+            };
+            assert!(gram_consistent(&w, 1e-10), "normalized={normalized}");
+        }
+    }
+
+    #[test]
+    fn evaluate_is_cumulative_sum() {
+        let w = PrefixWorkload::new(4);
+        assert_eq!(w.evaluate(&[1.0, 2.0, 3.0, 4.0]), vec![1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn normalized_evaluate_scales_by_sqrt_len() {
+        let w = PrefixWorkload::normalized(4);
+        let v = w.evaluate(&[1.0; 4]);
+        for (k, &val) in v.iter().enumerate() {
+            assert!(approx_eq(val, ((k + 1) as f64).sqrt(), 1e-12));
+        }
+    }
+
+    #[test]
+    fn first_cell_is_heaviest() {
+        // The CDF workload is skewed: cell 0 appears in all n queries.
+        let w = PrefixWorkload::new(8);
+        let g = w.gram();
+        assert_eq!(g[(0, 0)], 8.0);
+        assert_eq!(g[(7, 7)], 1.0);
+    }
+
+    #[test]
+    fn norms_and_counts() {
+        let w = PrefixWorkload::new(5);
+        assert_eq!(w.query_count(), 5);
+        assert_eq!(w.query_squared_norms(), vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(PrefixWorkload::normalized(5)
+            .query_squared_norms()
+            .iter()
+            .all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,303 @@
+//! Sparse linear counting queries.
+//!
+//! A linear query (Def. 2) is a length-`n` row vector; most counting queries
+//! of interest (cells, ranges, marginals, predicates) are sparse and 0/1
+//! valued, so queries are stored as sorted `(cell, coefficient)` pairs.
+
+use crate::domain::Domain;
+use mm_linalg::Matrix;
+
+/// A single linear counting query over an `n`-cell data vector, stored sparsely.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearQuery {
+    dim: usize,
+    /// `(cell index, coefficient)` pairs sorted by cell index with no duplicates.
+    entries: Vec<(usize, f64)>,
+}
+
+impl LinearQuery {
+    /// Creates a query from unsorted `(cell, coefficient)` pairs.
+    ///
+    /// Duplicate cells are summed; zero coefficients are dropped.
+    /// Panics when a cell index is out of bounds.
+    pub fn new(dim: usize, mut entries: Vec<(usize, f64)>) -> Self {
+        for &(i, _) in &entries {
+            assert!(i < dim, "cell index {i} out of bounds for dimension {dim}");
+        }
+        entries.sort_by_key(|&(i, _)| i);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            match merged.last_mut() {
+                Some((j, acc)) if *j == i => *acc += v,
+                _ => merged.push((i, v)),
+            }
+        }
+        merged.retain(|&(_, v)| v != 0.0);
+        LinearQuery {
+            dim,
+            entries: merged,
+        }
+    }
+
+    /// Creates a query from a dense coefficient vector.
+    pub fn from_dense(coeffs: &[f64]) -> Self {
+        let entries = coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(i, &v)| (i, v))
+            .collect();
+        LinearQuery {
+            dim: coeffs.len(),
+            entries,
+        }
+    }
+
+    /// The query counting a single cell.
+    pub fn cell(dim: usize, index: usize) -> Self {
+        LinearQuery::new(dim, vec![(index, 1.0)])
+    }
+
+    /// The total query (all coefficients 1).
+    pub fn total(dim: usize) -> Self {
+        LinearQuery {
+            dim,
+            entries: (0..dim).map(|i| (i, 1.0)).collect(),
+        }
+    }
+
+    /// A one-dimensional range query counting cells `lo..=hi`.
+    pub fn range_1d(dim: usize, lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi && hi < dim, "invalid range [{lo}, {hi}] for dimension {dim}");
+        LinearQuery {
+            dim,
+            entries: (lo..=hi).map(|i| (i, 1.0)).collect(),
+        }
+    }
+
+    /// A multi-dimensional (hyper-rectangle) range query over `domain`
+    /// counting every cell whose multi-index lies within `lows..=highs`.
+    pub fn range(domain: &Domain, lows: &[usize], highs: &[usize]) -> Self {
+        assert_eq!(lows.len(), domain.num_attributes());
+        assert_eq!(highs.len(), domain.num_attributes());
+        for a in 0..domain.num_attributes() {
+            assert!(
+                lows[a] <= highs[a] && highs[a] < domain.size(a),
+                "invalid range on attribute {a}"
+            );
+        }
+        let mut entries = Vec::new();
+        let mut current = lows.to_vec();
+        loop {
+            entries.push((domain.index_of(&current), 1.0));
+            // Advance the odometer.
+            let mut a = domain.num_attributes();
+            loop {
+                if a == 0 {
+                    return LinearQuery {
+                        dim: domain.n_cells(),
+                        entries: {
+                            entries.sort_by_key(|&(i, _)| i);
+                            entries
+                        },
+                    };
+                }
+                a -= 1;
+                if current[a] < highs[a] {
+                    current[a] += 1;
+                    for b in (a + 1)..domain.num_attributes() {
+                        current[b] = lows[b];
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    /// A predicate query from a boolean membership vector.
+    pub fn predicate(members: &[bool]) -> Self {
+        let entries = members
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(i, _)| (i, 1.0))
+            .collect();
+        LinearQuery {
+            dim: members.len(),
+            entries,
+        }
+    }
+
+    /// Dimension `n` of the data vector this query applies to.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of nonzero coefficients.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The sparse `(cell, coefficient)` entries, sorted by cell.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// Evaluates the query on a data vector: `q · x`.
+    pub fn evaluate(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim, "data vector length mismatch");
+        self.entries.iter().map(|&(i, v)| v * x[i]).sum()
+    }
+
+    /// Dense coefficient vector of length `dim`.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        for &(i, v) in &self.entries {
+            out[i] = v;
+        }
+        out
+    }
+
+    /// L2 norm of the coefficient vector.
+    pub fn l2_norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|&(_, v)| v * v)
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// L1 norm of the coefficient vector.
+    pub fn l1_norm(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v.abs()).sum()
+    }
+
+    /// Returns the query with every coefficient multiplied by `s`.
+    pub fn scaled(&self, s: f64) -> Self {
+        LinearQuery {
+            dim: self.dim,
+            entries: self.entries.iter().map(|&(i, v)| (i, v * s)).collect(),
+        }
+    }
+
+    /// Returns the query normalised to unit L2 norm (unchanged if zero).
+    pub fn normalized(&self) -> Self {
+        let n = self.l2_norm();
+        if n == 0.0 {
+            self.clone()
+        } else {
+            self.scaled(1.0 / n)
+        }
+    }
+}
+
+/// Builds a dense query matrix from a slice of queries (all with equal `dim`).
+pub fn queries_to_matrix(queries: &[LinearQuery]) -> Matrix {
+    if queries.is_empty() {
+        return Matrix::zeros(0, 0);
+    }
+    let dim = queries[0].dim();
+    let mut m = Matrix::zeros(queries.len(), dim);
+    for (r, q) in queries.iter().enumerate() {
+        assert_eq!(q.dim(), dim, "inconsistent query dimensions");
+        let row = m.row_mut(r);
+        for &(i, v) in q.entries() {
+            row[i] = v;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::approx_eq;
+
+    #[test]
+    fn cell_and_total() {
+        let c = LinearQuery::cell(4, 2);
+        assert_eq!(c.to_dense(), vec![0.0, 0.0, 1.0, 0.0]);
+        let t = LinearQuery::total(3);
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.evaluate(&[1.0, 2.0, 3.0]), 6.0);
+    }
+
+    #[test]
+    fn duplicates_merged_and_zeros_dropped() {
+        let q = LinearQuery::new(5, vec![(1, 1.0), (1, 2.0), (3, 0.0), (0, -1.0)]);
+        assert_eq!(q.entries(), &[(0, -1.0), (1, 3.0)]);
+        assert_eq!(q.nnz(), 2);
+    }
+
+    #[test]
+    fn range_1d_query() {
+        let q = LinearQuery::range_1d(6, 2, 4);
+        assert_eq!(q.to_dense(), vec![0.0, 0.0, 1.0, 1.0, 1.0, 0.0]);
+        assert!(approx_eq(q.l2_norm(), 3.0_f64.sqrt(), 1e-12));
+        assert_eq!(q.l1_norm(), 3.0);
+    }
+
+    #[test]
+    fn multi_dim_range_query() {
+        let d = Domain::new(&[3, 4]);
+        let q = LinearQuery::range(&d, &[1, 1], &[2, 2]);
+        // Covers cells (1,1),(1,2),(2,1),(2,2) -> flat 5,6,9,10.
+        let cells: Vec<usize> = q.entries().iter().map(|&(i, _)| i).collect();
+        assert_eq!(cells, vec![5, 6, 9, 10]);
+    }
+
+    #[test]
+    fn full_range_equals_total() {
+        let d = Domain::new(&[2, 3]);
+        let q = LinearQuery::range(&d, &[0, 0], &[1, 2]);
+        assert_eq!(q.to_dense(), LinearQuery::total(6).to_dense());
+    }
+
+    #[test]
+    fn predicate_query() {
+        let q = LinearQuery::predicate(&[true, false, true]);
+        assert_eq!(q.to_dense(), vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let dense = vec![0.0, 2.0, 0.0, -1.5];
+        let q = LinearQuery::from_dense(&dense);
+        assert_eq!(q.to_dense(), dense);
+        assert_eq!(q.nnz(), 2);
+    }
+
+    #[test]
+    fn scaling_and_normalization() {
+        let q = LinearQuery::range_1d(4, 0, 3);
+        let s = q.scaled(2.0);
+        assert_eq!(s.evaluate(&[1.0; 4]), 8.0);
+        let n = q.normalized();
+        assert!(approx_eq(n.l2_norm(), 1.0, 1e-12));
+        let zero = LinearQuery::new(4, vec![]);
+        assert_eq!(zero.normalized().nnz(), 0);
+    }
+
+    #[test]
+    fn queries_to_matrix_layout() {
+        let qs = vec![LinearQuery::cell(3, 0), LinearQuery::range_1d(3, 1, 2)];
+        let m = queries_to_matrix(&qs);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(1, 1)], 1.0);
+        assert_eq!(m[(1, 2)], 1.0);
+        assert_eq!(queries_to_matrix(&[]).shape(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_entry_panics() {
+        LinearQuery::new(3, vec![(3, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn invalid_range_panics() {
+        LinearQuery::range_1d(4, 3, 1);
+    }
+}

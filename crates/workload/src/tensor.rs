@@ -1,0 +1,212 @@
+//! Tensor contraction helpers for Kronecker-structured workloads.
+//!
+//! Multi-dimensional workloads (ranges and marginals over product domains)
+//! are Kronecker products `A₁ ⊗ A₂ ⊗ … ⊗ A_k` of small per-attribute
+//! matrices.  Evaluating such a workload on a data vector never needs the
+//! (potentially huge) product matrix: treating the data vector as a tensor of
+//! shape `(d₁, …, d_k)` and applying each factor along its own axis gives the
+//! same result with `O(Σ rᵢ dᵢ · n/dᵢ)` work.
+
+use mm_linalg::Matrix;
+
+/// Applies matrix `m` (shape `r x shape[axis]`) along `axis` of the row-major
+/// tensor `x` with the given `shape`, returning the new tensor and its shape.
+///
+/// Panics when shapes are inconsistent.
+pub fn apply_along_axis(x: &[f64], shape: &[usize], axis: usize, m: &Matrix) -> (Vec<f64>, Vec<usize>) {
+    assert!(axis < shape.len(), "axis out of bounds");
+    let d = shape[axis];
+    assert_eq!(m.cols(), d, "matrix columns must match the axis size");
+    assert_eq!(
+        x.len(),
+        shape.iter().product::<usize>(),
+        "tensor data length must match its shape"
+    );
+    let r = m.rows();
+    let inner: usize = shape[axis + 1..].iter().product();
+    let outer: usize = shape[..axis].iter().product();
+
+    let mut new_shape = shape.to_vec();
+    new_shape[axis] = r;
+    let mut out = vec![0.0; outer * r * inner];
+
+    for o in 0..outer {
+        let x_block = &x[o * d * inner..(o + 1) * d * inner];
+        let out_block = &mut out[o * r * inner..(o + 1) * r * inner];
+        for (i, row) in (0..r).map(|i| (i, m.row(i))) {
+            let out_slice = &mut out_block[i * inner..(i + 1) * inner];
+            for (k, &coeff) in row.iter().enumerate() {
+                if coeff == 0.0 {
+                    continue;
+                }
+                let x_slice = &x_block[k * inner..(k + 1) * inner];
+                for (ov, xv) in out_slice.iter_mut().zip(x_slice.iter()) {
+                    *ov += coeff * xv;
+                }
+            }
+        }
+    }
+    (out, new_shape)
+}
+
+/// Evaluates `(A₁ ⊗ … ⊗ A_k) x` where `x` is a row-major tensor of shape
+/// `shape` (so `shape[i] == factors[i].cols()`), without forming the product.
+pub fn kron_apply(factors: &[&Matrix], shape: &[usize], x: &[f64]) -> Vec<f64> {
+    assert_eq!(factors.len(), shape.len(), "one factor per axis required");
+    let mut data = x.to_vec();
+    let mut cur_shape = shape.to_vec();
+    for (axis, m) in factors.iter().enumerate() {
+        let (next, next_shape) = apply_along_axis(&data, &cur_shape, axis, m);
+        data = next;
+        cur_shape = next_shape;
+    }
+    data
+}
+
+/// Computes per-axis prefix sums of the row-major tensor `x`, producing the
+/// summed-area table used to evaluate hyper-rectangle range queries in
+/// `O(2^k)` per query.
+pub fn summed_area_table(x: &[f64], shape: &[usize]) -> Vec<f64> {
+    assert_eq!(x.len(), shape.iter().product::<usize>());
+    let mut t = x.to_vec();
+    let k = shape.len();
+    for axis in 0..k {
+        let d = shape[axis];
+        let inner: usize = shape[axis + 1..].iter().product();
+        let outer: usize = shape[..axis].iter().product();
+        for o in 0..outer {
+            for step in 1..d {
+                let base = o * d * inner;
+                let (prev_part, cur_part) = t[base + (step - 1) * inner..base + (step + 1) * inner]
+                    .split_at_mut(inner);
+                for (c, p) in cur_part.iter_mut().zip(prev_part.iter()) {
+                    *c += p;
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Evaluates the hyper-rectangle sum `Σ x[cell]` over `lows..=highs` using a
+/// precomputed summed-area table (from [`summed_area_table`]).
+pub fn box_sum(table: &[f64], shape: &[usize], lows: &[usize], highs: &[usize]) -> f64 {
+    let k = shape.len();
+    assert_eq!(lows.len(), k);
+    assert_eq!(highs.len(), k);
+    let mut total = 0.0;
+    // Inclusion-exclusion over the 2^k corners.
+    for mask in 0..(1usize << k) {
+        let mut idx = 0usize;
+        let mut sign = 1.0;
+        let mut skip = false;
+        for a in 0..k {
+            let coord = if mask & (1 << a) == 0 {
+                highs[a] as isize
+            } else {
+                sign = -sign;
+                lows[a] as isize - 1
+            };
+            if coord < 0 {
+                skip = true;
+                break;
+            }
+            idx = idx * shape[a] + coord as usize;
+        }
+        if !skip {
+            total += sign * table[idx];
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::approx_eq;
+    use mm_linalg::ops::kron;
+
+    #[test]
+    fn apply_along_axis_matches_kron() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![0.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![1.0, 0.0, 1.0], vec![2.0, 1.0, 0.0]]).unwrap();
+        let shape = [2usize, 3usize];
+        let x: Vec<f64> = (0..6).map(|i| i as f64 + 1.0).collect();
+        let direct = kron(&a, &b).matvec(&x).unwrap();
+        let via_tensor = kron_apply(&[&a, &b], &shape, &x);
+        assert_eq!(direct.len(), via_tensor.len());
+        for (d, t) in direct.iter().zip(via_tensor.iter()) {
+            assert!(approx_eq(*d, *t, 1e-12), "{d} vs {t}");
+        }
+    }
+
+    #[test]
+    fn kron_apply_three_factors() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        let b = Matrix::identity(2);
+        let c = Matrix::from_rows(&[vec![1.0, -1.0]]).unwrap();
+        let shape = [2usize, 2, 2];
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let direct = kron(&kron(&a, &b), &c).matvec(&x).unwrap();
+        let via = kron_apply(&[&a, &b, &c], &shape, &x);
+        for (d, t) in direct.iter().zip(via.iter()) {
+            assert!(approx_eq(*d, *t, 1e-12));
+        }
+    }
+
+    #[test]
+    fn summed_area_table_1d() {
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let t = summed_area_table(&x, &[4]);
+        assert_eq!(t, vec![1.0, 3.0, 6.0, 10.0]);
+        assert_eq!(box_sum(&t, &[4], &[1], &[2]), 5.0);
+        assert_eq!(box_sum(&t, &[4], &[0], &[3]), 10.0);
+        assert_eq!(box_sum(&t, &[4], &[3], &[3]), 4.0);
+    }
+
+    #[test]
+    fn box_sum_matches_brute_force_2d() {
+        let shape = [3usize, 4usize];
+        let x: Vec<f64> = (0..12).map(|i| (i * i % 7) as f64).collect();
+        let t = summed_area_table(&x, &shape);
+        for lo0 in 0..3 {
+            for hi0 in lo0..3 {
+                for lo1 in 0..4 {
+                    for hi1 in lo1..4 {
+                        let mut expect = 0.0;
+                        for i in lo0..=hi0 {
+                            for j in lo1..=hi1 {
+                                expect += x[i * 4 + j];
+                            }
+                        }
+                        let got = box_sum(&t, &shape, &[lo0, lo1], &[hi0, hi1]);
+                        assert!(approx_eq(got, expect, 1e-9), "({lo0},{hi0},{lo1},{hi1})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn box_sum_matches_brute_force_3d() {
+        let shape = [2usize, 3, 2];
+        let x: Vec<f64> = (0..12).map(|i| ((i * 5) % 11) as f64).collect();
+        let t = summed_area_table(&x, &shape);
+        let got = box_sum(&t, &shape, &[0, 1, 0], &[1, 2, 1]);
+        let mut expect = 0.0;
+        for i in 0..2 {
+            for j in 1..3 {
+                for k in 0..2 {
+                    expect += x[(i * 3 + j) * 2 + k];
+                }
+            }
+        }
+        assert!(approx_eq(got, expect, 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "axis out of bounds")]
+    fn bad_axis_panics() {
+        apply_along_axis(&[1.0], &[1], 1, &Matrix::identity(1));
+    }
+}

@@ -1,0 +1,159 @@
+//! Unions of workloads.
+//!
+//! Ad hoc workloads (Sec. 1, Sec. 5.1) arise from combining the queries of
+//! several users or specialising larger workloads; a [`UnionWorkload`] simply
+//! concatenates the queries of its parts, so its gram matrix is the sum of the
+//! parts' gram matrices.
+
+use crate::Workload;
+use mm_linalg::Matrix;
+
+/// The union (concatenation) of several workloads over the same cells.
+pub struct UnionWorkload {
+    parts: Vec<Box<dyn Workload + Send + Sync>>,
+    name: String,
+}
+
+impl UnionWorkload {
+    /// Creates a union from boxed parts. Panics when the parts are empty or
+    /// disagree on the number of cells.
+    pub fn new(name: impl Into<String>, parts: Vec<Box<dyn Workload + Send + Sync>>) -> Self {
+        assert!(!parts.is_empty(), "union needs at least one part");
+        let dim = parts[0].dim();
+        assert!(
+            parts.iter().all(|p| p.dim() == dim),
+            "all parts must share the same number of cells"
+        );
+        UnionWorkload {
+            parts,
+            name: name.into(),
+        }
+    }
+
+    /// The parts of the union.
+    pub fn parts(&self) -> &[Box<dyn Workload + Send + Sync>] {
+        &self.parts
+    }
+}
+
+impl Workload for UnionWorkload {
+    fn dim(&self) -> usize {
+        self.parts[0].dim()
+    }
+
+    fn query_count(&self) -> usize {
+        self.parts.iter().map(|p| p.query_count()).sum()
+    }
+
+    fn gram(&self) -> Matrix {
+        let mut g = Matrix::zeros(self.dim(), self.dim());
+        for p in &self.parts {
+            g += &p.gram();
+        }
+        g
+    }
+
+    fn evaluate(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.query_count());
+        for p in &self.parts {
+            out.extend(p.evaluate(x));
+        }
+        out
+    }
+
+    fn description(&self) -> String {
+        format!("union `{}` of {} workloads", self.name, self.parts.len())
+    }
+
+    fn query_squared_norms(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.query_count());
+        for p in &self.parts {
+            out.extend(p.query_squared_norms());
+        }
+        out
+    }
+
+    fn to_matrix(&self) -> Option<Matrix> {
+        let mut acc: Option<Matrix> = None;
+        for p in &self.parts {
+            let m = p.to_matrix()?;
+            acc = Some(match acc {
+                None => m,
+                Some(a) => a.vstack(&m).ok()?,
+            });
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explicit::{gram_consistent, IdentityWorkload, TotalWorkload};
+    use crate::prefix::PrefixWorkload;
+    use mm_linalg::approx_eq;
+
+    fn union_of_three() -> UnionWorkload {
+        UnionWorkload::new(
+            "mixed",
+            vec![
+                Box::new(IdentityWorkload::new(4)),
+                Box::new(TotalWorkload::new(4)),
+                Box::new(PrefixWorkload::new(4)),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_and_dims() {
+        let u = union_of_three();
+        assert_eq!(u.dim(), 4);
+        assert_eq!(u.query_count(), 4 + 1 + 4);
+        assert_eq!(u.parts().len(), 3);
+    }
+
+    #[test]
+    fn gram_is_sum_of_parts() {
+        let u = union_of_three();
+        let g = u.gram();
+        let expected = &(&IdentityWorkload::new(4).gram() + &TotalWorkload::new(4).gram())
+            + &PrefixWorkload::new(4).gram();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!(approx_eq(g[(i, j)], expected[(i, j)], 1e-12));
+            }
+        }
+        assert!(gram_consistent(&u, 1e-10));
+    }
+
+    #[test]
+    fn evaluate_concatenates() {
+        let u = union_of_three();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let y = u.evaluate(&x);
+        assert_eq!(y.len(), 9);
+        assert_eq!(&y[0..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(y[4], 10.0);
+        assert_eq!(&y[5..9], &[1.0, 3.0, 6.0, 10.0]);
+    }
+
+    #[test]
+    fn norms_concatenate() {
+        let u = union_of_three();
+        let norms = u.query_squared_norms();
+        assert_eq!(norms.len(), 9);
+        assert_eq!(norms[4], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of cells")]
+    fn mismatched_dims_panic() {
+        UnionWorkload::new(
+            "bad",
+            vec![
+                Box::new(IdentityWorkload::new(3)),
+                Box::new(IdentityWorkload::new(4)),
+            ],
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # adaptive-dp
+//!
+//! A Rust implementation of the adaptive matrix mechanism of
+//! *Li & Miklau, "An Adaptive Mechanism for Accurate Query Answering under
+//! Differential Privacy", VLDB 2012*.
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names so that applications only need a single dependency:
+//!
+//! * [`linalg`] — dense linear algebra (matrices, factorizations, eigen);
+//! * [`opt`] — the convex solvers behind optimal query weighting (Program 1);
+//! * [`workload`] — linear counting query workloads and their gram matrices;
+//! * [`strategies`] — prior-work strategies (identity, hierarchical, wavelet,
+//!   Fourier, DataCube);
+//! * [`core`] — the matrix mechanism, error analysis, the Eigen-Design
+//!   algorithm (Program 2) and the performance optimizations of Sec. 4;
+//! * [`data`] — data vectors, synthetic datasets and relative-error harness.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use adaptive_dp::core::{AdaptiveMechanism, PrivacyParams};
+//! use adaptive_dp::workload::range::AllRangeWorkload;
+//! use adaptive_dp::workload::{Domain, Workload};
+//! use rand::SeedableRng;
+//!
+//! // All range queries over a 16-cell ordered domain.
+//! let workload = AllRangeWorkload::new(Domain::one_dim(16));
+//! // A (tiny) histogram of true counts.
+//! let counts: Vec<f64> = (0..16).map(|i| 100.0 + i as f64).collect();
+//!
+//! let mechanism = AdaptiveMechanism::new(PrivacyParams::new(1.0, 1e-4));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let result = mechanism.answer(&workload, &counts, &mut rng).unwrap();
+//!
+//! assert_eq!(result.answers.len(), workload.query_count());
+//! assert!(result.expected_rms_error > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mm_core as core;
+pub use mm_data as data;
+pub use mm_linalg as linalg;
+pub use mm_opt as opt;
+pub use mm_strategies as strategies;
+pub use mm_workload as workload;
+
+/// The paper this workspace reproduces.
+pub const PAPER: &str = "Li & Miklau, An Adaptive Mechanism for Accurate Query Answering \
+under Differential Privacy, PVLDB 2012 (arXiv:1202.3807)";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_usable() {
+        let d = crate::workload::Domain::new(&[4, 4]);
+        assert_eq!(d.n_cells(), 16);
+        let p = crate::core::PrivacyParams::paper_default();
+        assert!(p.is_approximate());
+        assert!(crate::PAPER.contains("Adaptive Mechanism"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests (proptest) on the core data structures and invariants
+//! of the mechanism.
+
+use adaptive_dp::core::bounds::{rms_error_bound, workload_eigenvalues};
+use adaptive_dp::core::error::rms_workload_error;
+use adaptive_dp::core::{eigen_design, EigenDesignOptions, PrivacyParams};
+use adaptive_dp::linalg::decomp::{Cholesky, SymmetricEigen};
+use adaptive_dp::linalg::{approx_eq, ops, Matrix};
+use adaptive_dp::opt::{solve_log_gd, GdOptions, WeightingProblem};
+use adaptive_dp::strategies::identity::identity_strategy;
+use adaptive_dp::workload::query::LinearQuery;
+use adaptive_dp::workload::range::{AllRangeWorkload, RandomRangeWorkload};
+use adaptive_dp::workload::transform::{seeded_permutation, PermutedWorkload};
+use adaptive_dp::workload::{Domain, ExplicitWorkload, Workload};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f64..5.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// (AB)ᵀ = BᵀAᵀ for arbitrary square matrices.
+    #[test]
+    fn matmul_transpose_identity(a in small_matrix(5), b in small_matrix(5)) {
+        let ab_t = ops::matmul(&a, &b).unwrap().transpose();
+        let bt_at = ops::matmul(&b.transpose(), &a.transpose()).unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                prop_assert!(approx_eq(ab_t[(i, j)], bt_at[(i, j)], 1e-8));
+            }
+        }
+    }
+
+    /// The gram matrix AᵀA is always symmetric positive semidefinite.
+    #[test]
+    fn gram_is_psd(a in small_matrix(6)) {
+        let g = ops::gram(&a);
+        prop_assert!(g.is_symmetric(1e-9));
+        let eig = SymmetricEigen::new(&g).unwrap();
+        for &l in eig.eigenvalues() {
+            prop_assert!(l > -1e-7, "negative eigenvalue {l}");
+        }
+    }
+
+    /// Eigendecomposition reconstructs the matrix and preserves the trace.
+    #[test]
+    fn eigen_reconstruction(a in small_matrix(6)) {
+        let g = ops::gram(&a);
+        let eig = SymmetricEigen::new(&g).unwrap();
+        let sum: f64 = eig.eigenvalues().iter().sum();
+        prop_assert!(approx_eq(sum, g.trace(), 1e-6 * (1.0 + g.trace().abs())));
+        let rec = eig.reconstruct();
+        for i in 0..6 {
+            for j in 0..6 {
+                prop_assert!(approx_eq(rec[(i, j)], g[(i, j)], 1e-6 * (1.0 + g.max_abs())));
+            }
+        }
+    }
+
+    /// Cholesky solves reproduce the right-hand side.
+    #[test]
+    fn cholesky_solve_roundtrip(a in small_matrix(5), rhs in prop::collection::vec(-10.0f64..10.0, 5)) {
+        let mut g = ops::gram(&a);
+        for i in 0..5 {
+            g[(i, i)] += 5.0;
+        }
+        let ch = Cholesky::new(&g).unwrap();
+        let x = ch.solve_vec(&rhs).unwrap();
+        let back = g.matvec(&x).unwrap();
+        for (b, r) in back.iter().zip(rhs.iter()) {
+            prop_assert!(approx_eq(*b, *r, 1e-6));
+        }
+    }
+
+    /// A linear query evaluates identically in sparse and dense form.
+    #[test]
+    fn query_sparse_dense_agree(
+        coeffs in prop::collection::vec(-3.0f64..3.0, 12),
+        x in prop::collection::vec(0.0f64..50.0, 12),
+    ) {
+        let q = LinearQuery::from_dense(&coeffs);
+        let dense: f64 = coeffs.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
+        prop_assert!(approx_eq(q.evaluate(&x), dense, 1e-9));
+        prop_assert!(q.nnz() <= 12);
+    }
+
+    /// Permuting cell conditions never changes the workload's eigenvalues, and
+    /// therefore never changes the lower bound or the eigen-design error.
+    #[test]
+    fn permutation_preserves_spectrum(seed in 0u64..5000) {
+        let n = 12usize;
+        let w = AllRangeWorkload::new(Domain::one_dim(n));
+        let permuted = PermutedWorkload::new(
+            AllRangeWorkload::new(Domain::one_dim(n)),
+            seeded_permutation(n, seed),
+        );
+        let e0 = workload_eigenvalues(&w.gram()).unwrap();
+        let e1 = workload_eigenvalues(&permuted.gram()).unwrap();
+        for (a, b) in e0.iter().zip(e1.iter()) {
+            prop_assert!(approx_eq(*a, *b, 1e-7 * (1.0 + a.abs())));
+        }
+    }
+
+    /// The weighting solver always returns a feasible point that is at least
+    /// as good as the Theorem-2 initial weighting.
+    #[test]
+    fn weighting_solver_feasible_and_improving(
+        costs in prop::collection::vec(0.0f64..20.0, 2..10),
+        seed in 0u64..1000,
+    ) {
+        let k = costs.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let design = Matrix::from_fn(k, k + 2, |_, _| {
+            use rand::Rng;
+            rng.gen_range(-1.0f64..1.0)
+        });
+        let problem = match WeightingProblem::from_design_queries(&design, costs) {
+            Ok(p) => p,
+            Err(_) => return Ok(()), // e.g. a positive-cost query with all-zero coefficients
+        };
+        let sol = solve_log_gd(&problem, &GdOptions::fast()).unwrap();
+        prop_assert!(problem.is_feasible(&sol.u, 1e-6));
+        let init = problem.initial_point();
+        prop_assert!(sol.objective <= problem.objective(&init) * (1.0 + 1e-6));
+    }
+
+    /// The eigen-design error never beats the Theorem-2 lower bound and never
+    /// loses to the identity strategy by more than the identity's own error.
+    #[test]
+    fn eigen_design_respects_bound(seed in 0u64..200) {
+        let n = 10usize;
+        let domain = Domain::one_dim(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = RandomRangeWorkload::sample(domain, 15, &mut rng);
+        let g = w.gram();
+        let m = w.query_count();
+        let p = PrivacyParams::paper_default();
+        let eigen = eigen_design(&g, &EigenDesignOptions::fast()).unwrap().strategy;
+        let err = rms_workload_error(&g, m, &eigen, &p).unwrap();
+        let bound = rms_error_bound(&workload_eigenvalues(&g).unwrap(), m, &p);
+        prop_assert!(err >= bound * (1.0 - 1e-6), "err {err} below bound {bound}");
+        let id_err = rms_workload_error(&g, m, &identity_strategy(n), &p).unwrap();
+        prop_assert!(err <= id_err * 1.01, "eigen {err} should not lose to identity {id_err}");
+    }
+
+    /// Scaling every query of a workload by a constant scales the error of any
+    /// strategy by the same constant (error linearity, Sec. 3.4).
+    #[test]
+    fn error_scales_linearly_with_query_norm(scale in 0.5f64..4.0) {
+        let w = ExplicitWorkload::new(
+            "pair",
+            vec![LinearQuery::range_1d(8, 0, 5), LinearQuery::cell(8, 3)],
+        );
+        let scaled = ExplicitWorkload::new(
+            "scaled",
+            vec![
+                LinearQuery::range_1d(8, 0, 5).scaled(scale),
+                LinearQuery::cell(8, 3).scaled(scale),
+            ],
+        );
+        let p = PrivacyParams::paper_default();
+        let s = identity_strategy(8);
+        let e1 = rms_workload_error(&w.gram(), 2, &s, &p).unwrap();
+        let e2 = rms_workload_error(&scaled.gram(), 2, &s, &p).unwrap();
+        prop_assert!(approx_eq(e2, scale * e1, 1e-7 * (1.0 + e2)));
+    }
+}
