@@ -1,0 +1,225 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crate registry, so this crate provides the
+//! subset of criterion's API the workspace benches use — `criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`], [`BenchmarkId`] and [`black_box`] —
+//! backed by a simple wall-clock sampler: each benchmark is warmed up once,
+//! then timed over `sample_size` samples, and the min / mean / max per-sample
+//! time is printed in a criterion-like line.  Swapping the real crate back in
+//! is a one-line manifest change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier (`group/function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call (not recorded).
+        black_box(routine());
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let min = results.iter().min().copied().unwrap_or_default();
+    let max = results.iter().max().copied().unwrap_or_default();
+    let mean = results.iter().sum::<Duration>() / results.len() as u32;
+    println!(
+        "{name:<48} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        results.len()
+    );
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the measurement time; accepted for API compatibility (the shim
+    /// samples a fixed count instead).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b.results);
+    }
+
+    /// Benchmarks a closure under the given name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) {
+        self.run(id.to_string(), f);
+    }
+
+    /// Benchmarks a closure that receives a shared input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(id.to_string(), |b| f(b, input));
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a closure outside a group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            samples: 10,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        report(&id.to_string(), &b.results);
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("f", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+}

@@ -1,0 +1,49 @@
+//! Cached vs. uncached `Engine::answer` latency on `AllRangeWorkload` at
+//! n ∈ {64, 256, 1024} — the perf-trajectory baseline for the serving engine.
+//!
+//! "Uncached" clears the strategy cache before every call, so each answer
+//! pays for Eigen-Design selection, gram factorization and the Prop. 4 trace
+//! term (all O(n³) or worse).  "Cached" reuses the engine's cache entry, so
+//! each answer pays only the O(n²) mechanism run.  At n = 1024 the gap is
+//! roughly three orders of magnitude.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mm_core::engine::Engine;
+use mm_core::PrivacyParams;
+use mm_workload::range::AllRangeWorkload;
+use mm_workload::Domain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_engine_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_answer_all_ranges");
+    for &n in &[64usize, 256, 1024] {
+        let workload = AllRangeWorkload::new(Domain::one_dim(n));
+        let x: Vec<f64> = (0..n).map(|i| 50.0 + (i % 13) as f64 * 3.0).collect();
+
+        // Selection dominates the uncached path; keep its sample count low at
+        // the largest size (one uncached answer at n = 1024 runs ~20 s).
+        group.sample_size(if n >= 1024 { 2 } else { 5 });
+        group.bench_with_input(BenchmarkId::new("uncached", n), &n, |b, _| {
+            let engine = Engine::new(PrivacyParams::paper_default());
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                engine.clear_cache();
+                engine.answer(&workload, &x, &mut rng).unwrap()
+            });
+        });
+
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |b, _| {
+            let engine = Engine::new(PrivacyParams::paper_default());
+            let mut rng = StdRng::seed_from_u64(1);
+            // Warm the cache, then measure pure cache-hit answers.
+            engine.answer(&workload, &x, &mut rng).unwrap();
+            b.iter(|| engine.answer(&workload, &x, &mut rng).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_cache);
+criterion_main!(benches);

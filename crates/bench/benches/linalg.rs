@@ -73,5 +73,11 @@ fn bench_kron(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matmul, bench_cholesky, bench_eigen, bench_kron);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_cholesky,
+    bench_eigen,
+    bench_kron
+);
 criterion_main!(benches);

@@ -55,5 +55,10 @@ fn bench_workload_gram(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mechanism_run, bench_error_evaluation, bench_workload_gram);
+criterion_group!(
+    benches,
+    bench_mechanism_run,
+    bench_error_evaluation,
+    bench_workload_gram
+);
 criterion_main!(benches);

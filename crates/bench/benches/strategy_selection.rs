@@ -31,7 +31,8 @@ fn bench_separation(c: &mut Criterion) {
             &group_size,
             |bench, _| {
                 bench.iter(|| {
-                    eigen_separation(&gram, &SeparationOptions::with_group_size(group_size)).unwrap()
+                    eigen_separation(&gram, &SeparationOptions::with_group_size(group_size))
+                        .unwrap()
                 });
             },
         );
@@ -53,5 +54,10 @@ fn bench_principal(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_eigen_design, bench_separation, bench_principal);
+criterion_group!(
+    benches,
+    bench_eigen_design,
+    bench_separation,
+    bench_principal
+);
 criterion_main!(benches);

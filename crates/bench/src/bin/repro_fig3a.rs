@@ -19,7 +19,10 @@ fn main() {
     let random_queries = if cfg.paper_scale { 2000 } else { 500 };
 
     let mut table = ExperimentTable::new(
-        format!("Fig. 3(a) — absolute error on range workloads ({} cells)", cfg.cells),
+        format!(
+            "Fig. 3(a) — absolute error on range workloads ({} cells)",
+            cfg.cells
+        ),
         &[
             "domain",
             "workload",

@@ -20,7 +20,10 @@ use rand::SeedableRng;
 
 fn datasets(cfg: &RunConfig) -> Vec<SyntheticDataset> {
     if cfg.paper_scale {
-        vec![mm_data::census_like(cfg.seed), mm_data::adult_like(cfg.seed)]
+        vec![
+            mm_data::census_like(cfg.seed),
+            mm_data::adult_like(cfg.seed),
+        ]
     } else {
         // Quick scale: same shapes, smaller domains.
         vec![
@@ -53,7 +56,14 @@ fn main() {
 
     let mut table = ExperimentTable::new(
         "Fig. 3(b) — average relative error on range workloads",
-        &["dataset", "workload", "epsilon", "Hierarchical", "Wavelet", "Eigen Design"],
+        &[
+            "dataset",
+            "workload",
+            "epsilon",
+            "Hierarchical",
+            "Wavelet",
+            "Eigen Design",
+        ],
     );
 
     for ds in &sets {
@@ -65,17 +75,34 @@ fn main() {
         let all = AllRangeWorkload::new(domain.clone());
         let all_norm = AllRangeWorkload::normalized(domain.clone());
         let eigen_all = eigen_strategy_for(&all_norm);
-        sweep(&mut table, &cfg, ds, "all range", &all, &hierarchical, &wavelet, &eigen_all, &epsilons);
+        sweep(
+            &mut table,
+            &cfg,
+            ds,
+            "all range",
+            &all,
+            &hierarchical,
+            &wavelet,
+            &eigen_all,
+            &epsilons,
+        );
 
         // Random range.
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let count = if cfg.paper_scale { 2000 } else { 300 };
         let random = RandomRangeWorkload::sample(domain.clone(), count, &mut rng);
-        let random_norm =
-            RandomRangeWorkload::from_boxes(domain.clone(), random.boxes().to_vec()).into_normalized();
+        let random_norm = RandomRangeWorkload::from_boxes(domain.clone(), random.boxes().to_vec())
+            .into_normalized();
         let eigen_rand = eigen_strategy_for(&random_norm);
         sweep(
-            &mut table, &cfg, ds, "random range", &random, &hierarchical, &wavelet, &eigen_rand,
+            &mut table,
+            &cfg,
+            ds,
+            "random range",
+            &random,
+            &hierarchical,
+            &wavelet,
+            &eigen_rand,
             &epsilons,
         );
     }

@@ -17,7 +17,10 @@ fn main() {
     let privacy = cfg.privacy();
 
     let mut table = ExperimentTable::new(
-        format!("Fig. 3(c) — absolute error on marginal workloads ({} cells)", cfg.cells),
+        format!(
+            "Fig. 3(c) — absolute error on marginal workloads ({} cells)",
+            cfg.cells
+        ),
         &[
             "domain",
             "workload",
@@ -35,12 +38,26 @@ fn main() {
         .filter(|d| d.num_attributes() >= 3)
     {
         let two_way = MarginalWorkload::all_k_way(domain.clone(), 2, MarginalKind::Point);
-        run_one(&mut table, &cfg, &privacy, &domain.to_string(), "2-way marginal", &two_way);
+        run_one(
+            &mut table,
+            &cfg,
+            &privacy,
+            &domain.to_string(),
+            "2-way marginal",
+            &two_way,
+        );
 
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let count = (domain.num_attributes() * 2).min((1 << domain.num_attributes()) - 1);
         let random = MarginalWorkload::random(domain.clone(), count, MarginalKind::Point, &mut rng);
-        run_one(&mut table, &cfg, &privacy, &domain.to_string(), "random marginal", &random);
+        run_one(
+            &mut table,
+            &cfg,
+            &privacy,
+            &domain.to_string(),
+            "random marginal",
+            &random,
+        );
     }
     table.emit(&cfg);
     println!(

@@ -18,7 +18,10 @@ use rand::SeedableRng;
 
 fn datasets(cfg: &RunConfig) -> Vec<SyntheticDataset> {
     if cfg.paper_scale {
-        vec![mm_data::census_like(cfg.seed), mm_data::adult_like(cfg.seed)]
+        vec![
+            mm_data::census_like(cfg.seed),
+            mm_data::adult_like(cfg.seed),
+        ]
     } else {
         vec![
             SyntheticDataset {
@@ -38,7 +41,14 @@ fn main() {
     let epsilons = [0.1, 0.5, 1.0, 2.5];
     let mut table = ExperimentTable::new(
         "Fig. 3(d) — average relative error on marginal workloads",
-        &["dataset", "workload", "epsilon", "Fourier", "DataCube", "Eigen Design"],
+        &[
+            "dataset",
+            "workload",
+            "epsilon",
+            "Fourier",
+            "DataCube",
+            "Eigen Design",
+        ],
     );
 
     for ds in datasets(&cfg) {
@@ -47,16 +57,35 @@ fn main() {
         let two_way = MarginalWorkload::all_k_way(domain.clone(), 2, MarginalKind::Point);
         let two_way_norm =
             MarginalWorkload::all_k_way(domain.clone(), 2, MarginalKind::Point).into_normalized();
-        run(&mut table, &cfg, &ds, "2-way marginal", &two_way, &two_way_norm, &epsilons);
+        run(
+            &mut table,
+            &cfg,
+            &ds,
+            "2-way marginal",
+            &two_way,
+            &two_way_norm,
+            &epsilons,
+        );
 
         // Random marginals.
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let count = (domain.num_attributes() * 2).min((1 << domain.num_attributes()) - 1);
         let random = MarginalWorkload::random(domain.clone(), count, MarginalKind::Point, &mut rng);
-        let random_norm =
-            MarginalWorkload::from_subsets(domain.clone(), random.subsets().to_vec(), MarginalKind::Point)
-                .into_normalized();
-        run(&mut table, &cfg, &ds, "random marginal", &random, &random_norm, &epsilons);
+        let random_norm = MarginalWorkload::from_subsets(
+            domain.clone(),
+            random.subsets().to_vec(),
+            MarginalKind::Point,
+        )
+        .into_normalized();
+        run(
+            &mut table,
+            &cfg,
+            &ds,
+            "random marginal",
+            &random,
+            &random_norm,
+            &epsilons,
+        );
     }
     table.emit(&cfg);
     println!(

@@ -25,7 +25,14 @@ fn main() {
 
     let mut table = ExperimentTable::new(
         format!("Fig. 4 — performance optimizations ({n} cells)"),
-        &["workload", "method", "parameter", "workload error", "time (s)", "error vs full"],
+        &[
+            "workload",
+            "method",
+            "parameter",
+            "workload error",
+            "time (s)",
+            "error vs full",
+        ],
     );
 
     // --- All 1D ranges. ---
@@ -69,9 +76,11 @@ fn main() {
             fmt(baseline.lower_bound / full_err),
         ]);
         for group_size in [4usize, 16, 64, 256, 1024].iter().filter(|&&g| g <= n) {
-            let (res, secs) =
-                timed(|| eigen_separation(&gram, &SeparationOptions::with_group_size(*group_size)).unwrap());
-            let err = mm_core::error::rms_workload_error(&gram, m, &res.strategy, &privacy).unwrap();
+            let (res, secs) = timed(|| {
+                eigen_separation(&gram, &SeparationOptions::with_group_size(*group_size)).unwrap()
+            });
+            let err =
+                mm_core::error::rms_workload_error(&gram, m, &res.strategy, &privacy).unwrap();
             table.push_row(vec![
                 "all 1D ranges".into(),
                 "Eigen separation".into(),
@@ -83,9 +92,11 @@ fn main() {
         }
         for pct in [25usize, 13, 6, 3, 2] {
             let count = ((n * pct) / 100).max(1);
-            let (res, secs) =
-                timed(|| principal_vectors(&gram, &PrincipalOptions::with_principal_count(count)).unwrap());
-            let err = mm_core::error::rms_workload_error(&gram, m, &res.strategy, &privacy).unwrap();
+            let (res, secs) = timed(|| {
+                principal_vectors(&gram, &PrincipalOptions::with_principal_count(count)).unwrap()
+            });
+            let err =
+                mm_core::error::rms_workload_error(&gram, m, &res.strategy, &privacy).unwrap();
             table.push_row(vec![
                 "all 1D ranges".into(),
                 "Principal vectors".into(),
@@ -134,9 +145,11 @@ fn main() {
             fmt(baseline.error_of("DataCube").unwrap() / full_err),
         ]);
         for group_size in [4usize, 16, 64, 256].iter().filter(|&&g| g <= n) {
-            let (res, secs) =
-                timed(|| eigen_separation(&gram, &SeparationOptions::with_group_size(*group_size)).unwrap());
-            let err = mm_core::error::rms_workload_error(&gram, m, &res.strategy, &privacy).unwrap();
+            let (res, secs) = timed(|| {
+                eigen_separation(&gram, &SeparationOptions::with_group_size(*group_size)).unwrap()
+            });
+            let err =
+                mm_core::error::rms_workload_error(&gram, m, &res.strategy, &privacy).unwrap();
             table.push_row(vec![
                 format!("2-way marginals {domain}"),
                 "Eigen separation".into(),
@@ -148,9 +161,11 @@ fn main() {
         }
         for pct in [25usize, 13, 6, 3, 2] {
             let count = ((n * pct) / 100).max(1);
-            let (res, secs) =
-                timed(|| principal_vectors(&gram, &PrincipalOptions::with_principal_count(count)).unwrap());
-            let err = mm_core::error::rms_workload_error(&gram, m, &res.strategy, &privacy).unwrap();
+            let (res, secs) = timed(|| {
+                principal_vectors(&gram, &PrincipalOptions::with_principal_count(count)).unwrap()
+            });
+            let err =
+                mm_core::error::rms_workload_error(&gram, m, &res.strategy, &privacy).unwrap();
             table.push_row(vec![
                 format!("2-way marginals {domain}"),
                 "Principal vectors".into(),

@@ -2,22 +2,24 @@
 //! the Wavelet matrix, the (generalised) Fourier basis and the eigen-queries
 //! as design sets, on 1D range and low-order marginal workloads, both in their
 //! canonical form and with permuted cell conditions.
+//!
+//! Since the engine redesign this comparison is literally a selector swap:
+//! each column is one `Engine` built with a different `StrategySelector`, and
+//! every engine answers through the same `select`/`expected_rms_error` path.
 
 use mm_bench::report::fmt;
 use mm_bench::runs::figure3_domains;
 use mm_bench::{ExperimentTable, RunConfig};
 use mm_core::bounds::{rms_error_bound, workload_eigenvalues};
-use mm_core::design_set::{weighted_design_strategy, DesignWeightingOptions};
-use mm_core::error::rms_workload_error;
-use mm_core::{eigen_design, EigenDesignOptions};
-use mm_linalg::Matrix;
+use mm_core::engine::{EigenDesignSelector, Engine, MatrixDesignSelector, StrategySelector};
+use mm_core::PrivacyParams;
+use mm_linalg::ops;
 use mm_strategies::fourier::fourier_strategy;
 use mm_strategies::wavelet::haar_matrix;
 use mm_workload::marginal::{MarginalKind, MarginalWorkload};
 use mm_workload::range::AllRangeWorkload;
 use mm_workload::transform::{seeded_permutation, PermutedWorkload};
 use mm_workload::{Domain, Workload};
-use mm_linalg::ops;
 
 fn main() {
     let cfg = RunConfig::from_args();
@@ -26,26 +28,37 @@ fn main() {
 
     let mut table = ExperimentTable::new(
         format!("Fig. 5 — comparison of design query sets ({n} cells)"),
-        &["workload", "Wavelet design", "Fourier design", "Eigen design", "Lower Bound"],
+        &[
+            "workload",
+            "Wavelet design",
+            "Fourier design",
+            "Eigen design",
+            "Lower Bound",
+        ],
     );
 
-    // Design matrices over the 1D domain.
-    let wavelet_design_1d = haar_matrix(n);
-    // 1D ranges, canonical and permuted.
+    // 1D ranges, canonical and permuted.  One engine per design set; the
+    // wavelet design is the 1D Haar matrix, the Fourier column does not apply.
     {
+        let wavelet = MatrixDesignSelector::new("wavelet", haar_matrix(n));
         let w = AllRangeWorkload::new(Domain::one_dim(n));
-        run_row(&mut table, &cfg, &privacy, &format!("1D range on [{n}]"), &w.gram(), w.query_count(), Some(&wavelet_design_1d), None);
+        run_row(
+            &mut table,
+            &privacy,
+            &format!("1D range on [{n}]"),
+            &w,
+            Some(wavelet.clone()),
+            None,
+        );
 
         let perm = seeded_permutation(n, cfg.seed);
         let wp = PermutedWorkload::new(AllRangeWorkload::new(Domain::one_dim(n)), perm);
         run_row(
             &mut table,
-            &cfg,
             &privacy,
             &format!("1D range on [{n}] (permuted)"),
-            &wp.gram(),
-            wp.query_count(),
-            Some(&wavelet_design_1d),
+            &wp,
+            Some(wavelet),
             None,
         );
     }
@@ -57,20 +70,21 @@ fn main() {
             .find(|d| d.num_attributes() == 2)
             .unwrap_or_else(|| Domain::new(&[n / 2, 2]));
         let w = MarginalWorkload::up_to_k_way(domain.clone(), 2, MarginalKind::Point);
-        let wavelet_design = ops::kron(
-            &haar_matrix(domain.size(0)),
-            &haar_matrix(domain.size(1)),
+        let wavelet = MatrixDesignSelector::new(
+            "wavelet (kron)",
+            ops::kron(&haar_matrix(domain.size(0)), &haar_matrix(domain.size(1))),
         );
-        let fourier_design = fourier_strategy(&w).matrix().cloned();
+        let fourier = fourier_strategy(&w)
+            .matrix()
+            .cloned()
+            .map(|m| MatrixDesignSelector::new("fourier", m));
         run_row(
             &mut table,
-            &cfg,
             &privacy,
             &format!("marginals (≤2-way) on {domain}"),
-            &w.gram(),
-            w.query_count(),
-            Some(&wavelet_design),
-            fourier_design.as_ref(),
+            &w,
+            Some(wavelet.clone()),
+            fourier.clone(),
         );
         let perm = seeded_permutation(domain.n_cells(), cfg.seed + 1);
         let wp = PermutedWorkload::new(
@@ -79,13 +93,11 @@ fn main() {
         );
         run_row(
             &mut table,
-            &cfg,
             &privacy,
             &format!("marginals (≤2-way) on {domain} (permuted)"),
-            &wp.gram(),
-            wp.query_count(),
-            Some(&wavelet_design),
-            fourier_design.as_ref(),
+            &wp,
+            Some(wavelet),
+            fourier,
         );
     }
 
@@ -97,32 +109,50 @@ fn main() {
     );
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_row(
+/// Builds one engine per design-set selector, selects through each, and
+/// reports the predicted RMS error per Prop. 4.
+fn run_row<W: Workload>(
     table: &mut ExperimentTable,
-    _cfg: &RunConfig,
-    privacy: &mm_core::PrivacyParams,
+    privacy: &PrivacyParams,
     name: &str,
-    gram: &Matrix,
-    m: usize,
-    wavelet_design: Option<&Matrix>,
-    fourier_design: Option<&Matrix>,
+    workload: &W,
+    wavelet: Option<MatrixDesignSelector>,
+    fourier: Option<MatrixDesignSelector>,
 ) {
-    let opts = DesignWeightingOptions::default();
-    let err_for_design = |design: Option<&Matrix>| -> String {
-        match design {
-            Some(d) => match weighted_design_strategy("design", gram, d, &opts) {
-                Ok(res) => fmt(rms_workload_error(gram, m, &res.strategy, privacy).unwrap_or(f64::NAN)),
-                Err(_) => "-".to_string(),
-            },
+    let engine_for = |selector: Box<dyn StrategySelector>| -> Engine {
+        Engine::builder()
+            .privacy(*privacy)
+            .selector_arc(selector.into())
+            .build()
+            .expect("gaussian parameters are valid for every selector")
+    };
+    let err_for = |selector: Option<Box<dyn StrategySelector>>| -> String {
+        match selector {
+            Some(sel) => {
+                let engine = engine_for(sel);
+                match engine.select(workload) {
+                    Ok((strategy, _, _)) => fmt(engine
+                        .expected_rms_error(workload, &strategy, privacy)
+                        .unwrap_or(f64::NAN)),
+                    Err(_) => "-".to_string(),
+                }
+            }
             None => "-".to_string(),
         }
     };
-    let wavelet_err = err_for_design(wavelet_design);
-    let fourier_err = err_for_design(fourier_design);
-    let eigen = eigen_design(gram, &EigenDesignOptions::default()).unwrap();
-    let eigen_err = rms_workload_error(gram, m, &eigen.strategy, privacy).unwrap();
-    let bound = rms_error_bound(&workload_eigenvalues(gram).unwrap(), m, privacy);
+    let wavelet_err = err_for(wavelet.map(|s| Box::new(s) as Box<dyn StrategySelector>));
+    let fourier_err = err_for(fourier.map(|s| Box::new(s) as Box<dyn StrategySelector>));
+    let eigen_engine = engine_for(Box::new(EigenDesignSelector::new()));
+    let (eigen_strategy, _, _) = eigen_engine.select(workload).expect("eigen design");
+    let eigen_err = eigen_engine
+        .expected_rms_error(workload, &eigen_strategy, privacy)
+        .expect("error evaluation");
+    let gram = workload.gram();
+    let bound = rms_error_bound(
+        &workload_eigenvalues(&gram).unwrap(),
+        workload.query_count(),
+        privacy,
+    );
     table.push_row(vec![
         name.to_string(),
         wavelet_err,

@@ -23,7 +23,10 @@ fn main() {
     let n = cfg.cells;
 
     let mut table = ExperimentTable::new(
-        format!("Sec. 3.5 — epsilon-DP (L1) query weighting ({n} cells, eps={})", cfg.epsilon),
+        format!(
+            "Sec. 3.5 — epsilon-DP (L1) query weighting ({n} cells, eps={})",
+            cfg.epsilon
+        ),
         &["workload", "basis", "unweighted", "weighted", "improvement"],
     );
 
@@ -32,9 +35,11 @@ fn main() {
         let w = AllRangeWorkload::new(Domain::one_dim(n));
         let g = w.gram();
         let plain = rms_workload_error_l1(&g, w.query_count(), &wavelet_1d(n), &privacy).unwrap();
-        let weighted = l1_weighted_design_strategy("w", &g, &haar_matrix(n), &PureDpOptions::default())
-            .unwrap();
-        let werr = rms_workload_error_l1(&g, w.query_count(), &weighted.strategy, &privacy).unwrap();
+        let weighted =
+            l1_weighted_design_strategy("w", &g, &haar_matrix(n), &PureDpOptions::default())
+                .unwrap();
+        let werr =
+            rms_workload_error_l1(&g, w.query_count(), &weighted.strategy, &privacy).unwrap();
         table.push_row(vec![
             "all 1D ranges".into(),
             "wavelet".into(),
@@ -47,12 +52,18 @@ fn main() {
     // Random ranges with the wavelet basis.
     {
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let w = RandomRangeWorkload::sample(Domain::one_dim(n), if cfg.paper_scale { 2000 } else { 300 }, &mut rng);
+        let w = RandomRangeWorkload::sample(
+            Domain::one_dim(n),
+            if cfg.paper_scale { 2000 } else { 300 },
+            &mut rng,
+        );
         let g = w.gram();
         let plain = rms_workload_error_l1(&g, w.query_count(), &wavelet_1d(n), &privacy).unwrap();
-        let weighted = l1_weighted_design_strategy("w", &g, &haar_matrix(n), &PureDpOptions::default())
-            .unwrap();
-        let werr = rms_workload_error_l1(&g, w.query_count(), &weighted.strategy, &privacy).unwrap();
+        let weighted =
+            l1_weighted_design_strategy("w", &g, &haar_matrix(n), &PureDpOptions::default())
+                .unwrap();
+        let werr =
+            rms_workload_error_l1(&g, w.query_count(), &weighted.strategy, &privacy).unwrap();
         table.push_row(vec![
             "random 1D ranges".into(),
             "wavelet".into(),
@@ -72,10 +83,14 @@ fn main() {
         let g = w.gram();
         let fourier = fourier_strategy(&w);
         let plain = rms_workload_error_l1(&g, w.query_count(), &fourier, &privacy).unwrap();
-        let design = fourier.matrix().cloned().expect("fourier strategy is explicit");
+        let design = fourier
+            .matrix()
+            .cloned()
+            .expect("fourier strategy is explicit");
         let weighted =
             l1_weighted_design_strategy("f", &g, &design, &PureDpOptions::default()).unwrap();
-        let werr = rms_workload_error_l1(&g, w.query_count(), &weighted.strategy, &privacy).unwrap();
+        let werr =
+            rms_workload_error_l1(&g, w.query_count(), &weighted.strategy, &privacy).unwrap();
         table.push_row(vec![
             format!("low-order marginals on {domain}"),
             "fourier".into(),

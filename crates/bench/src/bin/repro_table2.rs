@@ -56,11 +56,20 @@ fn main() {
             Method::new("Hierarchical", binary_hierarchical_1d(n)),
             Method::new("Eigen Design", eigen_strategy_for(&permuted)),
         ];
-        push(&mut table, "1D range (permuted)", &permuted, methods, &privacy);
+        push(
+            &mut table,
+            "1D range (permuted)",
+            &permuted,
+            methods,
+            &privacy,
+        );
     }
 
     // 1-way and 2-way range marginals on the 3-attribute domain.
-    for (name, k) in [("1-way range marginal", 1usize), ("2-way range marginal", 2usize)] {
+    for (name, k) in [
+        ("1-way range marginal", 1usize),
+        ("2-way range marginal", 2usize),
+    ] {
         let w = MarginalWorkload::all_k_way(domain_3d.clone(), k, MarginalKind::Range);
         let point = MarginalWorkload::all_k_way(domain_3d.clone(), k, MarginalKind::Point);
         let methods = vec![
@@ -114,7 +123,9 @@ fn push<W: Workload + ?Sized>(
 ) {
     let cmp = Comparison::evaluate(&workload.gram(), workload.query_count(), privacy, &methods);
     let eigen = cmp.error_of("Eigen Design").unwrap_or(f64::NAN);
-    let (best, worst) = cmp.best_and_worst_excluding("Eigen Design").unwrap_or((f64::NAN, f64::NAN));
+    let (best, worst) = cmp
+        .best_and_worst_excluding("Eigen Design")
+        .unwrap_or((f64::NAN, f64::NAN));
     table.push_row(vec![
         name.to_string(),
         fmt(eigen),

@@ -1,7 +1,6 @@
 //! Table formatting, JSON output and command-line configuration shared by the
 //! reproduction binaries.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 
 /// Command-line configuration for a reproduction binary.
@@ -40,11 +39,11 @@ impl Default for RunConfig {
 impl RunConfig {
     /// Parses configuration from `std::env::args()`.
     pub fn from_args() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_arg_list(std::env::args().skip(1))
     }
 
-    /// Parses configuration from an explicit argument iterator (for tests).
-    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// Parses configuration from an explicit argument list (for tests).
+    pub fn from_arg_list<I: IntoIterator<Item = String>>(args: I) -> Self {
         let mut cfg = RunConfig::default();
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
@@ -92,7 +91,7 @@ impl RunConfig {
 }
 
 /// A printable experiment table (one per figure/table of the paper).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentTable {
     /// Table title (which paper artifact it reproduces).
     pub title: String,
@@ -144,17 +143,52 @@ impl ExperimentTable {
         out
     }
 
+    /// Renders the table as pretty-printed JSON (hand-rolled: the offline
+    /// build has no serde).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn string_array(items: &[String], indent: &str) -> String {
+            let inner: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+            format!("{indent}[{}]", inner.join(", "))
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"title\": \"{}\",", esc(&self.title));
+        let _ = writeln!(
+            out,
+            "  \"headers\": {},",
+            string_array(&self.headers, "").trim_start()
+        );
+        out.push_str("  \"rows\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            let sep = if i + 1 < self.rows.len() { "," } else { "" };
+            let _ = writeln!(out, "{}{}", string_array(row, "    "), sep);
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
     /// Prints the table to stdout and optionally writes it as JSON.
     pub fn emit(&self, cfg: &RunConfig) {
         println!("{}", self.render());
         if let Some(path) = &cfg.json_path {
-            match serde_json::to_string_pretty(self) {
-                Ok(json) => {
-                    if let Err(e) = std::fs::write(path, json) {
-                        eprintln!("failed to write {path}: {e}");
-                    }
-                }
-                Err(e) => eprintln!("failed to serialise table: {e}"),
+            if let Err(e) = std::fs::write(path, self.to_json()) {
+                eprintln!("failed to write {path}: {e}");
             }
         }
     }
@@ -183,16 +217,25 @@ mod tests {
 
     #[test]
     fn config_parsing() {
-        let cfg = RunConfig::from_iter(
-            ["--cells", "512", "--epsilon", "1.0", "--trials", "7", "--json", "/tmp/x.json"]
-                .iter()
-                .map(|s| s.to_string()),
+        let cfg = RunConfig::from_arg_list(
+            [
+                "--cells",
+                "512",
+                "--epsilon",
+                "1.0",
+                "--trials",
+                "7",
+                "--json",
+                "/tmp/x.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(cfg.cells, 512);
         assert_eq!(cfg.epsilon, 1.0);
         assert_eq!(cfg.trials, 7);
         assert_eq!(cfg.json_path.as_deref(), Some("/tmp/x.json"));
-        let paper = RunConfig::from_iter(["--paper".to_string()]);
+        let paper = RunConfig::from_arg_list(["--paper".to_string()]);
         assert!(paper.paper_scale);
         assert_eq!(paper.cells, 2048);
     }

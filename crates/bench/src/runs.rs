@@ -96,8 +96,8 @@ impl Comparison {
             .iter()
             .filter_map(|m| {
                 m.strategy.as_ref().map(|s| {
-                    let e = rms_workload_error(gram, query_count, s, privacy)
-                        .unwrap_or(f64::INFINITY);
+                    let e =
+                        rms_workload_error(gram, query_count, s, privacy).unwrap_or(f64::INFINITY);
                     (m.name.clone(), e)
                 })
             })
@@ -110,10 +110,7 @@ impl Comparison {
 
     /// The error of the named method.
     pub fn error_of(&self, name: &str) -> Option<f64> {
-        self.errors
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, e)| *e)
+        self.errors.iter().find(|(n, _)| n == name).map(|(_, e)| *e)
     }
 
     /// Best and worst error among methods other than `reference`.
@@ -160,7 +157,13 @@ mod tests {
         let rendered: Vec<String> = domains.iter().map(|d| d.to_string()).collect();
         assert_eq!(
             rendered,
-            vec!["[2048]", "[64·32]", "[16·16·8]", "[8·8·8·4]", "[2·2·2·2·2·2·2·2·2·2·2]"]
+            vec![
+                "[2048]",
+                "[64·32]",
+                "[16·16·8]",
+                "[8·8·8·4]",
+                "[2·2·2·2·2·2·2·2·2·2·2]"
+            ]
         );
         for d in &domains {
             assert_eq!(d.n_cells(), 2048);

@@ -1,25 +1,47 @@
-//! High-level adaptive mechanism API.
+//! Legacy high-level API, kept as a thin compatibility shim.
 //!
-//! [`AdaptiveMechanism`] ties the pieces together for the common case: hand it
-//! a workload and a data vector and it (1) selects a near-optimal strategy
-//! with the Eigen-Design algorithm, (2) runs the (ε,δ)-matrix mechanism with
-//! that strategy, and (3) returns consistent noisy answers to every workload
-//! query together with the analytically predicted error.
+//! **Deprecated:** the primary entry point is now [`crate::engine::Engine`],
+//! which adds pluggable strategy selection ([`StrategySelector`]
+//! implementations for Eigen-Design, weighted design sets and the pure-DP L1
+//! weighting), a Gaussian/Laplace [`NoiseBackend`] behind one answer path,
+//! an internal strategy cache keyed by workload fingerprint, and budgeted
+//! [`Session`]s with sequential-composition accounting:
 //!
-//! For relative-error objectives (Sec. 3.4) select the strategy on the
-//! *normalised* variant of the workload (every workload family in
-//! `mm-workload` offers one) and answer the original workload with
-//! [`AdaptiveMechanism::answer_with_strategy`].
+//! ```
+//! use mm_core::engine::Engine;
+//! use mm_core::PrivacyParams;
+//! use mm_workload::range::AllRangeWorkload;
+//! use mm_workload::{Domain, Workload};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let workload = AllRangeWorkload::new(Domain::one_dim(16));
+//! let counts: Vec<f64> = (0..16).map(|i| 100.0 + i as f64).collect();
+//! let engine = Engine::new(PrivacyParams::new(1.0, 1e-4));
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let result = engine.answer(&workload, &counts, &mut rng).unwrap();
+//! assert_eq!(result.answers.len(), workload.query_count());
+//! ```
+//!
+//! [`AdaptiveMechanism`] now simply wraps an engine configured with the
+//! Eigen-Design selector and the Gaussian backend, preserving its original
+//! behaviour (including the data-independent strategy reuse of Sec. 1, which
+//! the engine upgrades from "caller may reuse the strategy" to an automatic
+//! internal cache).
+//!
+//! [`StrategySelector`]: crate::engine::StrategySelector
+//! [`NoiseBackend`]: crate::mechanism::NoiseBackend
+//! [`Session`]: crate::engine::Session
 
 use crate::eigen_design::{eigen_design, EigenDesignOptions, EigenDesignResult};
+use crate::engine::{EigenDesignSelector, Engine, EngineAnswer};
 use crate::error::rms_workload_error;
-use crate::mechanism::matrix::{MatrixMechanism, MechanismRun};
 use crate::privacy::PrivacyParams;
 use mm_strategies::Strategy;
 use mm_workload::Workload;
 use rand::Rng;
+use std::sync::Arc;
 
-/// Options of the high-level mechanism.
+/// Options of the legacy high-level mechanism.
 #[derive(Debug, Clone, Default)]
 pub struct AdaptiveOptions {
     /// Options passed to the Eigen-Design algorithm.
@@ -28,9 +50,16 @@ pub struct AdaptiveOptions {
 
 /// The adaptive matrix mechanism: Eigen-Design strategy selection plus the
 /// (ε,δ)-matrix mechanism.
+///
+/// Deprecated compatibility shim over [`crate::engine::Engine`]; see the
+/// module docs for the migration.
+#[deprecated(
+    since = "0.2.0",
+    note = "use mm_core::engine::Engine (Engine::builder() for selector/backend control)"
+)]
 #[derive(Debug, Clone)]
 pub struct AdaptiveMechanism {
-    privacy: PrivacyParams,
+    engine: Arc<Engine>,
     options: AdaptiveOptions,
 }
 
@@ -48,29 +77,50 @@ pub struct AdaptiveAnswer {
     pub expected_rms_error: f64,
 }
 
+impl From<EngineAnswer> for AdaptiveAnswer {
+    fn from(a: EngineAnswer) -> Self {
+        AdaptiveAnswer {
+            answers: a.answers,
+            estimate: a.estimate,
+            strategy: (*a.strategy).clone(),
+            expected_rms_error: a.expected_rms_error,
+        }
+    }
+}
+
+#[allow(deprecated)]
 impl AdaptiveMechanism {
     /// Creates the mechanism with default Eigen-Design options.
     pub fn new(privacy: PrivacyParams) -> Self {
-        AdaptiveMechanism {
-            privacy,
-            options: AdaptiveOptions::default(),
-        }
+        Self::with_options(privacy, AdaptiveOptions::default())
     }
 
     /// Creates the mechanism with explicit options.
     pub fn with_options(privacy: PrivacyParams, options: AdaptiveOptions) -> Self {
-        AdaptiveMechanism { privacy, options }
+        let engine = Engine::builder()
+            .privacy(privacy)
+            .selector(EigenDesignSelector {
+                options: options.eigen.clone(),
+            })
+            .build()
+            .expect("eigen-design with the default backend is always a valid configuration");
+        AdaptiveMechanism {
+            engine: Arc::new(engine),
+            options,
+        }
     }
 
     /// The configured privacy parameters.
     pub fn privacy(&self) -> &PrivacyParams {
-        &self.privacy
+        self.engine.privacy()
     }
 
     /// Selects a strategy for the workload with the Eigen-Design algorithm.
     ///
     /// Strategy selection only depends on the workload (not the data), so the
-    /// result can be cached and reused across databases (Sec. 1).
+    /// result can be cached and reused across databases (Sec. 1) — which the
+    /// underlying engine now does automatically inside
+    /// [`AdaptiveMechanism::answer`].
     pub fn select_strategy<W: Workload + ?Sized>(
         &self,
         workload: &W,
@@ -89,44 +139,39 @@ impl AdaptiveMechanism {
             &workload.gram(),
             workload.query_count(),
             strategy,
-            &self.privacy,
+            self.engine.privacy(),
         )
     }
 
-    /// Selects a strategy and answers the workload on the data vector `x`.
-    pub fn answer<W: Workload + ?Sized, R: Rng + ?Sized>(
+    /// Selects a strategy (cached across calls) and answers the workload on
+    /// the data vector `x`.
+    pub fn answer<W: Workload + ?Sized, R: Rng>(
         &self,
         workload: &W,
         x: &[f64],
         rng: &mut R,
     ) -> crate::Result<AdaptiveAnswer> {
-        let selection = self.select_strategy(workload)?;
-        self.answer_with_strategy(workload, selection.strategy, x, rng)
+        Ok(self.engine.answer(workload, x, rng)?.into())
     }
 
     /// Answers the workload with a caller-provided strategy (e.g. one selected
     /// on a normalised workload for relative-error objectives, or a cached one).
-    pub fn answer_with_strategy<W: Workload + ?Sized, R: Rng + ?Sized>(
+    pub fn answer_with_strategy<W: Workload + ?Sized, R: Rng>(
         &self,
         workload: &W,
         strategy: Strategy,
         x: &[f64],
         rng: &mut R,
     ) -> crate::Result<AdaptiveAnswer> {
-        let expected = self.expected_rms_error(workload, &strategy)?;
-        let mechanism = MatrixMechanism::new(strategy, self.privacy)?;
-        let (answers, run): (Vec<f64>, MechanismRun) =
-            mechanism.answer_workload(workload, x, rng)?;
-        Ok(AdaptiveAnswer {
-            answers,
-            estimate: run.estimate,
-            strategy: mechanism.strategy().clone(),
-            expected_rms_error: expected,
-        })
+        Ok(self
+            .engine
+            .answer_with_strategy(workload, Arc::new(strategy), x, rng)?
+            .into())
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use mm_linalg::approx_eq;
@@ -172,12 +217,20 @@ mod tests {
         assert_eq!(ans.answers.len(), 8);
         assert_eq!(ans.estimate.len(), 8);
         // Consistency: q3 = q1 - q2 exactly.
-        assert!(approx_eq(ans.answers[2], ans.answers[0] - ans.answers[1], 1e-9));
+        assert!(approx_eq(
+            ans.answers[2],
+            ans.answers[0] - ans.answers[1],
+            1e-9
+        ));
         assert!(ans.expected_rms_error > 0.0);
         // The selected strategy can be reused with answer_with_strategy.
         let again = mech
             .answer_with_strategy(&w, ans.strategy.clone(), &x, &mut rng)
             .unwrap();
-        assert!(approx_eq(again.expected_rms_error, ans.expected_rms_error, 1e-12));
+        assert!(approx_eq(
+            again.expected_rms_error,
+            ans.expected_rms_error,
+            1e-12
+        ));
     }
 }

@@ -99,7 +99,10 @@ mod tests {
             &p,
         )
         .unwrap();
-        assert!(approx_eq(bound, err, 1e-9), "identity is optimal for identity workload");
+        assert!(
+            approx_eq(bound, err, 1e-9),
+            "identity is optimal for identity workload"
+        );
     }
 
     #[test]
@@ -122,8 +125,8 @@ mod tests {
             mm_strategies::wavelet::wavelet_1d(32),
             mm_strategies::hierarchical::binary_hierarchical_1d(32),
         ] {
-            let err =
-                crate::error::rms_workload_error(&w.gram(), w.query_count(), &strategy, &p).unwrap();
+            let err = crate::error::rms_workload_error(&w.gram(), w.query_count(), &strategy, &p)
+                .unwrap();
             assert!(
                 err >= bound * (1.0 - 1e-9),
                 "{} error {err} below the lower bound {bound}",

@@ -233,11 +233,7 @@ mod tests {
     fn design_costs_orthonormal_rows_are_rayleigh_quotients() {
         // For orthonormal design rows Q, cost_i = q_i G q_iᵀ.
         let w = IdentityWorkload::new(4);
-        let q = Matrix::from_rows(&[
-            vec![0.5, 0.5, 0.5, 0.5],
-            vec![0.5, 0.5, -0.5, -0.5],
-        ])
-        .unwrap();
+        let q = Matrix::from_rows(&[vec![0.5, 0.5, 0.5, 0.5], vec![0.5, 0.5, -0.5, -0.5]]).unwrap();
         let costs = design_costs(&w.gram(), &q).unwrap();
         assert!(approx_eq(costs[0], 1.0, 1e-9));
         assert!(approx_eq(costs[1], 1.0, 1e-9));
@@ -272,8 +268,9 @@ mod tests {
         let g = w.gram();
         let p = PrivacyParams::paper_default();
         let design = haar_matrix(8);
-        let with = weighted_design_strategy("with", &g, &design, &DesignWeightingOptions::default())
-            .unwrap();
+        let with =
+            weighted_design_strategy("with", &g, &design, &DesignWeightingOptions::default())
+                .unwrap();
         let without = weighted_design_strategy(
             "without",
             &g,

@@ -177,7 +177,10 @@ mod tests {
         let wavelet = rms_workload_error(&g, 8, &wavelet_1d(8), &p).unwrap();
         let identity = rms_workload_error(&g, 8, &identity_strategy(8), &p).unwrap();
         let bound = rms_error_bound(&workload_eigenvalues(&g).unwrap(), 8, &p);
-        assert!(adaptive < wavelet, "adaptive {adaptive} < wavelet {wavelet}");
+        assert!(
+            adaptive < wavelet,
+            "adaptive {adaptive} < wavelet {wavelet}"
+        );
         assert!(wavelet < identity);
         assert!(adaptive >= bound * 0.999);
         // The paper observes a ratio of 29.79/29.18 ≈ 1.021 to the bound.
@@ -199,11 +202,21 @@ mod tests {
         let wavelet = rms_workload_error(&g, w.query_count(), &wavelet_1d(32), &p).unwrap();
         let hier =
             rms_workload_error(&g, w.query_count(), &binary_hierarchical_1d(32), &p).unwrap();
-        assert!(eigen <= wavelet * 1.001, "eigen {eigen} vs wavelet {wavelet}");
-        assert!(eigen <= hier * 1.001, "eigen {eigen} vs hierarchical {hier}");
+        assert!(
+            eigen <= wavelet * 1.001,
+            "eigen {eigen} vs wavelet {wavelet}"
+        );
+        assert!(
+            eigen <= hier * 1.001,
+            "eigen {eigen} vs hierarchical {hier}"
+        );
         // Theorem-3 sanity: within 1.3x of the lower bound, as observed in the paper.
         let bound = rms_error_bound(&workload_eigenvalues(&g).unwrap(), w.query_count(), &p);
-        assert!(eigen / bound <= 1.3, "approximation ratio {}", eigen / bound);
+        assert!(
+            eigen / bound <= 1.3,
+            "approximation ratio {}",
+            eigen / bound
+        );
     }
 
     #[test]

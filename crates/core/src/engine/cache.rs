@@ -1,0 +1,229 @@
+//! The engine's internal strategy cache.
+//!
+//! Strategy selection is data independent, so a selected strategy is valid
+//! for every database and every privacy level (the strategy scales out of the
+//! error expression; only the noise calibration changes).  The cache maps a
+//! workload [`Fingerprint`] (gram-matrix hash) to the selected strategy,
+//! letting repeated `answer` calls on the same workload skip selection — by
+//! far the dominant cost — entirely.
+//!
+//! Eviction is FIFO over distinct workloads by insertion order — lookups do
+//! not refresh an entry's position, so a frequently served workload is
+//! evicted as readily as a cold one once capacity is exceeded (recency-aware
+//! eviction is a ROADMAP item).  Size the capacity to the working set.  The
+//! cache is internally synchronised so an [`Engine`](crate::engine::Engine)
+//! can be shared across threads behind an `Arc`.
+
+use mm_linalg::decomp::Cholesky;
+use mm_linalg::Matrix;
+use mm_strategies::Strategy;
+use mm_workload::Fingerprint;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A cached selection: the strategy plus two lazily computed, data- and
+/// privacy-independent derived quantities — the Cholesky factor of the
+/// strategy gram (used by least-squares inference) and the Prop. 4 trace term
+/// `trace(WᵀW (AᵀA)⁻¹)` against the workload the entry was selected for.
+/// Both are O(n³); caching them makes a cache-hit `answer` skip *all*
+/// repeated cubic work and pay only the O(n²) mechanism run.
+#[derive(Debug)]
+pub struct CachedSelection {
+    strategy: Arc<Strategy>,
+    factor: OnceLock<Arc<Cholesky>>,
+    trace: OnceLock<f64>,
+}
+
+impl CachedSelection {
+    /// Wraps a selected strategy (derived quantities are computed on first
+    /// use).
+    pub fn new(strategy: Arc<Strategy>) -> Self {
+        CachedSelection {
+            strategy,
+            factor: OnceLock::new(),
+            trace: OnceLock::new(),
+        }
+    }
+
+    /// The selected strategy.
+    pub fn strategy(&self) -> &Arc<Strategy> {
+        &self.strategy
+    }
+
+    /// The Cholesky factor of the strategy gram (ridge-regularised when rank
+    /// deficient), computed on first call and shared afterwards.
+    pub fn factor(&self) -> crate::Result<Arc<Cholesky>> {
+        if let Some(f) = self.factor.get() {
+            return Ok(f.clone());
+        }
+        let computed = Arc::new(crate::error::strategy_factor(&self.strategy)?);
+        Ok(self.factor.get_or_init(|| computed).clone())
+    }
+
+    /// The trace term `trace(WᵀW (AᵀA)⁻¹)` of the error formula, computed on
+    /// first call and reused afterwards.
+    ///
+    /// The entry is keyed by the workload's gram fingerprint, so callers must
+    /// pass the gram of *that* workload — the value is cached on the
+    /// assumption that it never varies across calls, which holds for every
+    /// engine path.
+    pub fn trace_term(&self, workload_gram: &Matrix) -> crate::Result<f64> {
+        if let Some(t) = self.trace.get() {
+            return Ok(*t);
+        }
+        let factor = self.factor()?;
+        let t = crate::error::trace_term_with_factor(workload_gram, &factor)?;
+        Ok(*self.trace.get_or_init(|| t))
+    }
+}
+
+/// A bounded FIFO map from workload fingerprints to selected strategies.
+#[derive(Debug)]
+pub struct StrategyCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<Fingerprint, Arc<CachedSelection>>,
+    order: VecDeque<Fingerprint>,
+}
+
+impl StrategyCache {
+    /// Creates a cache holding up to `capacity` strategies (0 disables
+    /// caching).
+    pub fn new(capacity: usize) -> Self {
+        StrategyCache {
+            capacity,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up the selection cached for a fingerprint.
+    pub fn get(&self, fp: Fingerprint) -> Option<Arc<CachedSelection>> {
+        self.inner.lock().expect("cache lock").map.get(&fp).cloned()
+    }
+
+    /// Inserts a selection, evicting the oldest entry when full.  Returns the
+    /// selection that is now cached for the fingerprint (an earlier entry wins
+    /// a race between two concurrent selections, keeping results stable).
+    pub fn insert(&self, fp: Fingerprint, selection: Arc<CachedSelection>) -> Arc<CachedSelection> {
+        if self.capacity == 0 {
+            return selection;
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        if let Some(existing) = inner.map.get(&fp) {
+            return existing.clone();
+        }
+        while inner.order.len() >= self.capacity {
+            if let Some(old) = inner.order.pop_front() {
+                inner.map.remove(&old);
+            }
+        }
+        inner.map.insert(fp, selection.clone());
+        inner.order.push_back(fp);
+        selection
+    }
+
+    /// Number of cached strategies.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached strategy.
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.map.clear();
+        inner.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_strategies::identity::identity_strategy;
+
+    fn fp(v: u64) -> Fingerprint {
+        Fingerprint(v)
+    }
+
+    fn entry(n: usize) -> Arc<CachedSelection> {
+        Arc::new(CachedSelection::new(Arc::new(identity_strategy(n))))
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let cache = StrategyCache::new(4);
+        assert!(cache.get(fp(1)).is_none());
+        let s = entry(4);
+        cache.insert(fp(1), s.clone());
+        let got = cache.get(fp(1)).unwrap();
+        assert!(Arc::ptr_eq(&got, &s));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction() {
+        let cache = StrategyCache::new(2);
+        for v in 1..=3 {
+            cache.insert(fp(v), entry(4));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(fp(1)).is_none(), "oldest entry evicted");
+        assert!(cache.get(fp(2)).is_some());
+        assert!(cache.get(fp(3)).is_some());
+    }
+
+    #[test]
+    fn first_insert_wins_races() {
+        let cache = StrategyCache::new(2);
+        let a = entry(4);
+        let b = entry(4);
+        let kept = cache.insert(fp(9), a.clone());
+        assert!(Arc::ptr_eq(&kept, &a));
+        let kept = cache.insert(fp(9), b);
+        assert!(Arc::ptr_eq(&kept, &a), "earlier entry is kept");
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = StrategyCache::new(0);
+        cache.insert(fp(5), entry(4));
+        assert!(cache.get(fp(5)).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let cache = StrategyCache::new(4);
+        cache.insert(fp(1), entry(4));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn factor_is_computed_once_and_shared() {
+        let e = entry(6);
+        let f1 = e.factor().unwrap();
+        let f2 = e.factor().unwrap();
+        assert!(Arc::ptr_eq(&f1, &f2));
+        assert_eq!(f1.dim(), 6);
+        // Solving through the cached factor matches the direct solve.
+        let rhs = vec![1.0; 6];
+        let x = f1.solve_vec(&rhs).unwrap();
+        for (a, b) in x.iter().zip(rhs.iter()) {
+            assert!((a - b).abs() < 1e-12, "identity gram solves to rhs");
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Sessions and privacy-budget accounting.
+//!
+//! A [`Session`] wraps an [`Engine`](crate::engine::Engine) with a
+//! [`BudgetLedger`] that accounts *sequential composition*: a sequence of
+//! mechanisms satisfying (ε₁,δ₁)-, (ε₂,δ₂)-, … differential privacy on the
+//! same database satisfies (Σεᵢ, Σδᵢ)-differential privacy.  Every successful
+//! `answer` call charges its (ε, δ) to the ledger; a call whose charge does
+//! not fit in the remaining budget fails with
+//! [`MechanismError::BudgetExhausted`] *before* any noise is drawn or data
+//! touched, so a failed call spends nothing.
+
+use crate::engine::{Engine, EngineAnswer};
+use crate::privacy::PrivacyParams;
+use crate::MechanismError;
+use mm_workload::Workload;
+use rand::Rng;
+
+/// A total privacy budget (ε, δ) available to a session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyBudget {
+    /// Total ε available.
+    pub epsilon: f64,
+    /// Total δ available.
+    pub delta: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates a budget; panics on negative or non-finite values.
+    pub fn new(epsilon: f64, delta: f64) -> Self {
+        assert!(
+            epsilon >= 0.0 && epsilon.is_finite(),
+            "epsilon budget must be finite and >= 0"
+        );
+        assert!(
+            (0.0..1.0).contains(&delta),
+            "delta budget must lie in [0, 1)"
+        );
+        PrivacyBudget { epsilon, delta }
+    }
+
+    /// A pure-DP budget (δ = 0).
+    pub fn pure(epsilon: f64) -> Self {
+        PrivacyBudget::new(epsilon, 0.0)
+    }
+}
+
+/// Absolute slack absorbing floating-point drift in repeated budget
+/// arithmetic (e.g. ten charges of ε/10 must exactly exhaust ε).
+const BUDGET_SLACK: f64 = 1e-9;
+
+/// Sequential-composition ledger: total budget, spend so far, and the history
+/// of charges.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    total: PrivacyBudget,
+    spent_epsilon: f64,
+    spent_delta: f64,
+    charges: Vec<PrivacyParams>,
+}
+
+impl BudgetLedger {
+    /// A fresh ledger over the given total budget.
+    pub fn new(total: PrivacyBudget) -> Self {
+        BudgetLedger {
+            total,
+            spent_epsilon: 0.0,
+            spent_delta: 0.0,
+            charges: Vec::new(),
+        }
+    }
+
+    /// The total budget the ledger was created with.
+    pub fn total(&self) -> PrivacyBudget {
+        self.total
+    }
+
+    /// Budget spent so far (sums of the charged ε's and δ's).
+    pub fn spent(&self) -> PrivacyBudget {
+        PrivacyBudget {
+            epsilon: self.spent_epsilon,
+            delta: self.spent_delta,
+        }
+    }
+
+    /// Budget still available (clamped at zero).
+    pub fn remaining(&self) -> PrivacyBudget {
+        PrivacyBudget {
+            epsilon: (self.total.epsilon - self.spent_epsilon).max(0.0),
+            delta: (self.total.delta - self.spent_delta).max(0.0),
+        }
+    }
+
+    /// Every charge accepted so far, in order.
+    pub fn charges(&self) -> &[PrivacyParams] {
+        &self.charges
+    }
+
+    /// Whether a charge of `params` would fit in the remaining budget.
+    pub fn can_afford(&self, params: &PrivacyParams) -> bool {
+        let slack_e = BUDGET_SLACK * self.total.epsilon.max(1.0);
+        let slack_d = BUDGET_SLACK * self.total.delta.max(f64::MIN_POSITIVE);
+        self.spent_epsilon + params.epsilon <= self.total.epsilon + slack_e
+            && self.spent_delta + params.delta <= self.total.delta + slack_d
+    }
+
+    /// Checks that a charge of `params` fits, failing with
+    /// [`MechanismError::BudgetExhausted`] (and changing no state) otherwise.
+    pub fn check(&self, params: &PrivacyParams) -> crate::Result<()> {
+        if !self.can_afford(params) {
+            let remaining = self.remaining();
+            return Err(MechanismError::BudgetExhausted {
+                requested_epsilon: params.epsilon,
+                requested_delta: params.delta,
+                remaining_epsilon: remaining.epsilon,
+                remaining_delta: remaining.delta,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charges `params` to the ledger, or fails with
+    /// [`MechanismError::BudgetExhausted`] without changing any state.
+    pub fn try_charge(&mut self, params: &PrivacyParams) -> crate::Result<()> {
+        self.check(params)?;
+        self.spent_epsilon += params.epsilon;
+        self.spent_delta += params.delta;
+        self.charges.push(*params);
+        Ok(())
+    }
+}
+
+/// A serving session: an engine plus a privacy-budget ledger.
+///
+/// Created with [`Engine::session`].  The session borrows the engine, so the
+/// (shared, data-independent) strategy cache keeps working across sessions —
+/// only the budget is per-session state.
+#[derive(Debug)]
+pub struct Session<'e> {
+    engine: &'e Engine,
+    ledger: BudgetLedger,
+}
+
+impl<'e> Session<'e> {
+    pub(crate) fn new(engine: &'e Engine, budget: PrivacyBudget) -> Self {
+        Session {
+            engine,
+            ledger: BudgetLedger::new(budget),
+        }
+    }
+
+    /// The engine this session serves through.
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// The session's ledger (totals, spend, charge history).
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> PrivacyBudget {
+        self.ledger.remaining()
+    }
+
+    /// Answers a workload at the engine's per-answer privacy parameters,
+    /// charging them to the ledger.  Fails with
+    /// [`MechanismError::BudgetExhausted`] — before touching the data — when
+    /// the charge does not fit.
+    pub fn answer<W: Workload + ?Sized, R: Rng>(
+        &mut self,
+        workload: &W,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<EngineAnswer> {
+        self.answer_with_privacy(workload, *self.engine.privacy(), x, rng)
+    }
+
+    /// Answers a workload at explicit per-call privacy parameters (spending
+    /// less of the budget on less important queries, say), charging them to
+    /// the ledger.
+    pub fn answer_with_privacy<W: Workload + ?Sized, R: Rng>(
+        &mut self,
+        workload: &W,
+        privacy: PrivacyParams,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<EngineAnswer> {
+        self.ledger.check(&privacy)?;
+        let answer = self.engine.answer_with_privacy(workload, privacy, x, rng)?;
+        self.ledger
+            .try_charge(&privacy)
+            .expect("affordability was checked before answering");
+        Ok(answer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_linalg::approx_eq;
+
+    #[test]
+    fn ledger_arithmetic() {
+        let mut ledger = BudgetLedger::new(PrivacyBudget::new(1.0, 1e-3));
+        let step = PrivacyParams::new(0.25, 1e-4);
+        for i in 1..=4 {
+            ledger.try_charge(&step).unwrap();
+            assert!(approx_eq(ledger.spent().epsilon, 0.25 * i as f64, 1e-12));
+        }
+        assert!(approx_eq(ledger.remaining().epsilon, 0.0, 1e-9));
+        assert!(approx_eq(ledger.remaining().delta, 1e-3 - 4e-4, 1e-12));
+        assert_eq!(ledger.charges().len(), 4);
+        let err = ledger.try_charge(&step).unwrap_err();
+        assert!(matches!(err, MechanismError::BudgetExhausted { .. }));
+        // The failed charge spent nothing.
+        assert_eq!(ledger.charges().len(), 4);
+        assert!(approx_eq(ledger.spent().epsilon, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn repeated_fractional_charges_exactly_exhaust() {
+        // 10 × ε/10 must fit despite floating-point accumulation.
+        let mut ledger = BudgetLedger::new(PrivacyBudget::pure(1.0));
+        let step = PrivacyParams::pure(0.1);
+        for _ in 0..10 {
+            ledger.try_charge(&step).unwrap();
+        }
+        assert!(ledger.try_charge(&step).is_err());
+    }
+
+    #[test]
+    fn delta_budget_is_enforced_independently() {
+        let mut ledger = BudgetLedger::new(PrivacyBudget::new(10.0, 1e-4));
+        // Plenty of epsilon, but the second charge overruns delta.
+        ledger.try_charge(&PrivacyParams::new(1.0, 9e-5)).unwrap();
+        let err = ledger
+            .try_charge(&PrivacyParams::new(1.0, 9e-5))
+            .unwrap_err();
+        match err {
+            MechanismError::BudgetExhausted {
+                remaining_delta, ..
+            } => assert!(remaining_delta < 2e-5),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon budget")]
+    fn negative_budget_rejected() {
+        PrivacyBudget::new(-1.0, 0.0);
+    }
+}

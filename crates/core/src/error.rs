@@ -25,27 +25,40 @@ use mm_strategies::Strategy;
 /// Relative ridge added to `AᵀA` when it is numerically singular.
 pub const RIDGE_FACTOR: f64 = 1e-10;
 
+/// Cholesky factorization of a strategy's gram matrix `AᵀA`, with a small
+/// relative ridge added when the strategy is rank deficient.  This factor is
+/// what both the error formula (trace term) and the mechanism's inference
+/// step consume; the engine caches it alongside the selected strategy.
+pub fn strategy_factor(strategy: &Strategy) -> crate::Result<Cholesky> {
+    let a_gram = strategy.gram();
+    match Cholesky::new(a_gram) {
+        Ok(c) => Ok(c),
+        Err(_) => {
+            let ridge = RIDGE_FACTOR * a_gram.diag().iter().fold(1.0_f64, |m, &d| m.max(d));
+            Ok(Cholesky::new_with_shift(a_gram, ridge)?)
+        }
+    }
+}
+
 /// `trace(G (AᵀA)⁻¹)` for a workload gram matrix `G` and a strategy.
 ///
 /// Uses a Cholesky factorization of the strategy gram, adding a small ridge
 /// when the strategy is rank deficient.
 pub fn trace_term(workload_gram: &Matrix, strategy: &Strategy) -> crate::Result<f64> {
-    let a_gram = strategy.gram();
-    if workload_gram.shape() != a_gram.shape() {
+    if workload_gram.shape() != strategy.gram().shape() {
         return Err(crate::MechanismError::InvalidArgument(format!(
             "workload gram is {:?} but strategy gram is {:?}",
             workload_gram.shape(),
-            a_gram.shape()
+            strategy.gram().shape()
         )));
     }
-    let chol = match Cholesky::new(a_gram) {
-        Ok(c) => c,
-        Err(_) => {
-            let ridge = RIDGE_FACTOR * a_gram.diag().iter().fold(1.0_f64, |m, &d| m.max(d));
-            Cholesky::new_with_shift(a_gram, ridge)?
-        }
-    };
-    Ok(chol.trace_of_gram_times_inverse(workload_gram)?)
+    trace_term_with_factor(workload_gram, &strategy_factor(strategy)?)
+}
+
+/// [`trace_term`] against a precomputed strategy-gram factor (the engine's
+/// cache-hit path: no re-factorization per answer).
+pub fn trace_term_with_factor(workload_gram: &Matrix, factor: &Cholesky) -> crate::Result<f64> {
+    Ok(factor.trace_of_gram_times_inverse(workload_gram)?)
 }
 
 /// Total squared error `P(ε,δ) · ‖A‖₂² · trace(G (AᵀA)⁻¹)` (Prop. 4, summed
@@ -90,17 +103,35 @@ pub fn query_error(
             a_gram.rows()
         )));
     }
-    let chol = match Cholesky::new(a_gram) {
-        Ok(c) => c,
-        Err(_) => {
-            let ridge = RIDGE_FACTOR * a_gram.diag().iter().fold(1.0_f64, |m, &d| m.max(d));
-            Cholesky::new_with_shift(a_gram, ridge)?
-        }
-    };
+    let chol = strategy_factor(strategy)?;
     let solved = chol.solve_vec(query)?;
     let quad: f64 = query.iter().zip(solved.iter()).map(|(a, b)| a * b).sum();
     let sens = strategy.l2_sensitivity();
     Ok((privacy.gaussian_error_constant() * sens * sens * quad).sqrt())
+}
+
+/// Backend-aware analogue of [`rms_workload_error`]: the predicted RMS
+/// workload error under any [`NoiseBackend`](crate::mechanism::NoiseBackend)
+/// (Gaussian → Prop. 4, Laplace → the Sec. 3.5 L1 expression), evaluated
+/// through the one shared formula
+/// `√( c(ε,δ) · ‖A‖² · trace(WᵀW (AᵀA)⁻¹) / m )`
+/// with the backend supplying the error constant `c` and sensitivity norm.
+pub fn predicted_rms_error(
+    workload_gram: &Matrix,
+    query_count: usize,
+    strategy: &Strategy,
+    privacy: &PrivacyParams,
+    backend: &dyn crate::mechanism::NoiseBackend,
+) -> crate::Result<f64> {
+    if query_count == 0 {
+        return Err(crate::MechanismError::InvalidArgument(
+            "workload has no queries".into(),
+        ));
+    }
+    let t = trace_term(workload_gram, strategy)?;
+    let sens = backend.sensitivity(strategy);
+    let tse = backend.error_constant(privacy)? * sens * sens * t;
+    Ok((tse / query_count as f64).sqrt())
 }
 
 /// ε-differential-privacy analogue of [`rms_workload_error`]: Laplace noise
@@ -172,10 +203,8 @@ mod tests {
         // Using the workload itself as the strategy is also supported; the
         // Fig. 1 workload is rank deficient (rank 4), so its error is computed
         // against the ridge-regularised pseudo-inverse and must stay finite.
-        let as_strategy = mm_strategies::Strategy::from_matrix(
-            "workload as strategy",
-            w.to_matrix().unwrap(),
-        );
+        let as_strategy =
+            mm_strategies::Strategy::from_matrix("workload as strategy", w.to_matrix().unwrap());
         let own = rms_workload_error(&w.gram(), w.query_count(), &as_strategy, &p).unwrap();
         assert!(own.is_finite() && own > 0.0);
     }
@@ -194,7 +223,10 @@ mod tests {
         let id = rms_workload_error(&w.gram(), 8, &identity_strategy(8), &p).unwrap();
         let wav = rms_workload_error(&w.gram(), 8, &wavelet_1d(8), &p).unwrap();
         let ratio_wav = wav / id;
-        assert!((ratio_wav - 34.62 / 45.36).abs() < 0.01, "wavelet/identity = {ratio_wav}");
+        assert!(
+            (ratio_wav - 34.62 / 45.36).abs() < 0.01,
+            "wavelet/identity = {ratio_wav}"
+        );
     }
 
     #[test]

@@ -21,8 +21,14 @@
 //!   principal-vector performance optimizations (Sec. 4.2);
 //! * [`pure_dp`] — the ε-differential-privacy (L1) variant of optimal query
 //!   weighting (Sec. 3.5);
-//! * [`adaptive`] — a high-level `AdaptiveMechanism` API tying it all
-//!   together: give it a workload and a data vector, get private answers.
+//! * [`engine`] — **the primary entry point**: a serving [`engine::Engine`]
+//!   with pluggable strategy selection ([`engine::StrategySelector`]), a
+//!   Gaussian/Laplace noise backend behind one answer path
+//!   ([`mechanism::NoiseBackend`]), an internal strategy cache keyed by
+//!   workload fingerprint, and budgeted [`engine::Session`]s with
+//!   sequential-composition accounting;
+//! * [`adaptive`] — the legacy `AdaptiveMechanism` API, now a deprecated
+//!   shim over [`engine::Engine`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +37,7 @@ pub mod adaptive;
 pub mod bounds;
 pub mod design_set;
 pub mod eigen_design;
+pub mod engine;
 pub mod error;
 pub mod mechanism;
 pub mod principal;
@@ -39,13 +46,21 @@ pub mod pure_dp;
 pub mod sensitivity;
 pub mod separation;
 
-pub use adaptive::{AdaptiveMechanism, AdaptiveOptions};
+#[allow(deprecated)]
+pub use adaptive::{AdaptiveAnswer, AdaptiveMechanism, AdaptiveOptions};
 pub use eigen_design::{eigen_design, EigenDesignOptions, EigenDesignResult};
-pub use error::{rms_workload_error, total_squared_error};
+pub use engine::{Engine, EngineAnswer, EngineBuilder, PrivacyBudget, Session};
+pub use error::{predicted_rms_error, rms_workload_error, total_squared_error};
+pub use mechanism::{GaussianBackend, LaplaceBackend, NoiseBackend};
 pub use privacy::PrivacyParams;
 
 /// Error type shared by the mechanism-level routines.
+///
+/// Marked `#[non_exhaustive]`: new serving-layer failure modes (budget
+/// accounting, backend compatibility, …) may be added without a breaking
+/// change, so downstream matches must carry a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum MechanismError {
     /// A linear-algebra step failed.
     Linalg(mm_linalg::LinalgError),
@@ -56,6 +71,22 @@ pub enum MechanismError {
     StrategyNotMaterialized(String),
     /// Invalid argument supplied by the caller.
     InvalidArgument(String),
+    /// A [`engine::Session`] ran out of privacy budget: the requested charge
+    /// does not fit in what remains under sequential composition.
+    #[non_exhaustive]
+    BudgetExhausted {
+        /// ε requested by the rejected call.
+        requested_epsilon: f64,
+        /// δ requested by the rejected call.
+        requested_delta: f64,
+        /// ε remaining in the session's ledger before the call.
+        remaining_epsilon: f64,
+        /// δ remaining in the session's ledger before the call.
+        remaining_delta: f64,
+    },
+    /// The privacy parameters are unusable with the selected noise backend
+    /// (e.g. the Gaussian backend with δ = 0).
+    IncompatibleBackend(String),
 }
 
 impl std::fmt::Display for MechanismError {
@@ -67,6 +98,20 @@ impl std::fmt::Display for MechanismError {
                 write!(f, "strategy `{name}` has no explicit matrix available")
             }
             MechanismError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MechanismError::BudgetExhausted {
+                requested_epsilon,
+                requested_delta,
+                remaining_epsilon,
+                remaining_delta,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested (ε = {requested_epsilon}, δ = \
+                 {requested_delta}) but only (ε = {remaining_epsilon}, δ = {remaining_delta}) \
+                 remains"
+            ),
+            MechanismError::IncompatibleBackend(msg) => {
+                write!(f, "incompatible noise backend: {msg}")
+            }
         }
     }
 }

@@ -16,7 +16,10 @@ pub struct GaussianMechanism {
 impl GaussianMechanism {
     /// Creates the mechanism for the given (ε,δ) parameters (δ must be > 0).
     pub fn new(privacy: PrivacyParams) -> Self {
-        assert!(privacy.is_approximate(), "the Gaussian mechanism requires delta > 0");
+        assert!(
+            privacy.is_approximate(),
+            "the Gaussian mechanism requires delta > 0"
+        );
         GaussianMechanism { privacy }
     }
 

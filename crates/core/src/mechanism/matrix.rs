@@ -1,12 +1,13 @@
-//! The (ε,δ)-matrix mechanism (Prop. 3).
+//! The matrix mechanism (Prop. 3), generic over the noise backend.
 //!
 //! Given a full-rank strategy `A`, the mechanism (1) answers the strategy
-//! queries with the Gaussian mechanism, (2) estimates the data vector by least
-//! squares, `x̂ = A⁺ y`, and (3) answers every workload query from `x̂`.  The
-//! answers are consistent (they all derive from one estimate of the data
-//! vector) and their error is governed by Prop. 4.
+//! queries with calibrated noise — Gaussian under (ε,δ)-privacy, Laplace under
+//! pure ε-privacy, see [`NoiseBackend`] — (2) estimates the data vector by
+//! least squares, `x̂ = A⁺ y`, and (3) answers every workload query from `x̂`.
+//! The answers are consistent (they all derive from one estimate of the data
+//! vector) and their error is governed by Prop. 4 (resp. its L1 analogue).
 
-use crate::mechanism::noise::gaussian_noise;
+use crate::mechanism::backend::{GaussianBackend, NoiseBackend};
 use crate::privacy::PrivacyParams;
 use crate::MechanismError;
 use mm_linalg::decomp::Cholesky;
@@ -14,12 +15,15 @@ use mm_linalg::Matrix;
 use mm_strategies::Strategy;
 use mm_workload::Workload;
 use rand::Rng;
+use std::sync::Arc;
 
-/// The matrix mechanism configured with a strategy and privacy parameters.
+/// The matrix mechanism configured with a strategy, privacy parameters and a
+/// noise backend.
 #[derive(Debug, Clone)]
 pub struct MatrixMechanism {
     strategy: Strategy,
     privacy: PrivacyParams,
+    backend: Arc<dyn NoiseBackend>,
 }
 
 /// The result of one run of the matrix mechanism.
@@ -31,22 +35,51 @@ pub struct MechanismRun {
     pub strategy_answers: Vec<f64>,
 }
 
+/// Least-squares estimate `x̂ = (AᵀA)⁻¹ Aᵀ y` through the strategy's
+/// (pre-computed) gram matrix, with ridge fallback for rank-deficient
+/// strategies.  Shared by the mechanism and the serving engine (which passes
+/// a cached factor instead via [`least_squares_estimate_with_factor`]).
+pub fn least_squares_estimate(strategy: &Strategy, aty: &[f64]) -> crate::Result<Vec<f64>> {
+    least_squares_estimate_with_factor(&crate::error::strategy_factor(strategy)?, aty)
+}
+
+/// [`least_squares_estimate`] against a precomputed strategy-gram factor.
+pub fn least_squares_estimate_with_factor(
+    factor: &Cholesky,
+    aty: &[f64],
+) -> crate::Result<Vec<f64>> {
+    Ok(factor.solve_vec(aty)?)
+}
+
 impl MatrixMechanism {
-    /// Creates the mechanism.  The strategy must carry an explicit matrix
-    /// (strategies too large to materialise cannot be *run*, although their
-    /// error can still be computed analytically).
+    /// Creates the mechanism with the Gaussian backend (the paper's default
+    /// (ε,δ) instantiation; requires δ > 0).
     pub fn new(strategy: Strategy, privacy: PrivacyParams) -> crate::Result<Self> {
+        Self::with_backend(strategy, privacy, Arc::new(GaussianBackend))
+    }
+
+    /// Creates the mechanism with an explicit noise backend.
+    ///
+    /// The strategy must carry an explicit matrix (strategies too large to
+    /// materialise cannot be *run*, although their error can still be computed
+    /// analytically), and the privacy parameters must be compatible with the
+    /// backend (e.g. the Gaussian backend rejects δ = 0).
+    pub fn with_backend(
+        strategy: Strategy,
+        privacy: PrivacyParams,
+        backend: Arc<dyn NoiseBackend>,
+    ) -> crate::Result<Self> {
         if strategy.matrix().is_none() {
             return Err(MechanismError::StrategyNotMaterialized(
                 strategy.name().to_string(),
             ));
         }
-        if !privacy.is_approximate() {
-            return Err(MechanismError::InvalidArgument(
-                "the (eps, delta)-matrix mechanism requires delta > 0".into(),
-            ));
-        }
-        Ok(MatrixMechanism { strategy, privacy })
+        backend.validate(&privacy)?;
+        Ok(MatrixMechanism {
+            strategy,
+            privacy,
+            backend,
+        })
     }
 
     /// The configured strategy.
@@ -59,9 +92,14 @@ impl MatrixMechanism {
         &self.privacy
     }
 
+    /// The configured noise backend.
+    pub fn backend(&self) -> &Arc<dyn NoiseBackend> {
+        &self.backend
+    }
+
     /// Runs the mechanism once: answers the strategy queries privately and
     /// derives the least-squares estimate `x̂` of the data vector.
-    pub fn run<R: Rng + ?Sized>(&self, x: &[f64], rng: &mut R) -> crate::Result<MechanismRun> {
+    pub fn run<R: Rng>(&self, x: &[f64], rng: &mut R) -> crate::Result<MechanismRun> {
         let a = self
             .strategy
             .matrix()
@@ -73,28 +111,16 @@ impl MatrixMechanism {
                 a.cols()
             )));
         }
-        let sigma = self.privacy.gaussian_sigma(self.strategy.l2_sensitivity());
+        let scale = self
+            .backend
+            .noise_scale(&self.privacy, self.backend.sensitivity(&self.strategy));
         let mut y = a.matvec(x)?;
-        let noise = gaussian_noise(rng, sigma, y.len());
+        let noise = self.backend.sample(rng, scale, y.len());
         for (yi, ni) in y.iter_mut().zip(noise.iter()) {
             *yi += ni;
         }
-        // Least squares through the (pre-computed) gram matrix: x̂ = (AᵀA)⁻¹ Aᵀ y.
         let aty = a.matvec_transposed(&y)?;
-        let chol = match Cholesky::new(self.strategy.gram()) {
-            Ok(c) => c,
-            Err(_) => {
-                let ridge = crate::error::RIDGE_FACTOR
-                    * self
-                        .strategy
-                        .gram()
-                        .diag()
-                        .iter()
-                        .fold(1.0_f64, |m, &d| m.max(d));
-                Cholesky::new_with_shift(self.strategy.gram(), ridge)?
-            }
-        };
-        let estimate = chol.solve_vec(&aty)?;
+        let estimate = least_squares_estimate(&self.strategy, &aty)?;
         Ok(MechanismRun {
             estimate,
             strategy_answers: y,
@@ -103,7 +129,7 @@ impl MatrixMechanism {
 
     /// Runs the mechanism and answers every query of `workload` from the
     /// estimate, returning `(answers, run)`.
-    pub fn answer_workload<R: Rng + ?Sized, W: Workload + ?Sized>(
+    pub fn answer_workload<R: Rng, W: Workload + ?Sized>(
         &self,
         workload: &W,
         x: &[f64],
@@ -123,7 +149,7 @@ impl MatrixMechanism {
 
     /// Answers the workload of Prop. 3 directly from a query matrix `W`
     /// (`MA(W, x) = W x̂`), for callers holding an explicit matrix.
-    pub fn answer_matrix<R: Rng + ?Sized>(
+    pub fn answer_matrix<R: Rng>(
         &self,
         queries: &Matrix,
         x: &[f64],
@@ -137,6 +163,7 @@ impl MatrixMechanism {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::mechanism::backend::LaplaceBackend;
     use mm_linalg::approx_eq;
     use mm_strategies::identity::identity_strategy;
     use mm_strategies::wavelet::wavelet_1d;
@@ -172,15 +199,41 @@ mod tests {
         let x: Vec<f64> = vec![50.0, 10.0, 30.0, 20.0, 60.0, 25.0, 15.0, 40.0];
         let strategy = wavelet_1d(8);
         let privacy = paper_privacy();
-        let predicted = crate::error::rms_workload_error(
-            &w.gram(),
-            w.query_count(),
-            &strategy,
-            &privacy,
-        )
-        .unwrap();
+        let predicted =
+            crate::error::rms_workload_error(&w.gram(), w.query_count(), &strategy, &privacy)
+                .unwrap();
         let mech = MatrixMechanism::new(strategy, privacy).unwrap();
         let mut rng = StdRng::seed_from_u64(42);
+        let truth = w.evaluate(&x);
+        let trials = 300;
+        let mut total_sq = 0.0;
+        for _ in 0..trials {
+            let (answers, _) = mech.answer_workload(&w, &x, &mut rng).unwrap();
+            for (a, t) in answers.iter().zip(truth.iter()) {
+                total_sq += (a - t).powi(2);
+            }
+        }
+        let empirical = (total_sq / (trials as f64 * w.query_count() as f64)).sqrt();
+        assert!(
+            (empirical - predicted).abs() / predicted < 0.1,
+            "empirical {empirical} vs predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn laplace_backend_empirical_error_matches_l1_prediction() {
+        // The same unified path under the Laplace backend matches the Sec. 3.5
+        // error expression (L1 sensitivity, constant 2/ε²).
+        let w = fig1_workload();
+        let x: Vec<f64> = vec![50.0, 10.0, 30.0, 20.0, 60.0, 25.0, 15.0, 40.0];
+        let strategy = wavelet_1d(8);
+        let privacy = PrivacyParams::pure(0.5);
+        let predicted =
+            crate::error::rms_workload_error_l1(&w.gram(), w.query_count(), &strategy, &privacy)
+                .unwrap();
+        let mech =
+            MatrixMechanism::with_backend(strategy, privacy, Arc::new(LaplaceBackend)).unwrap();
+        let mut rng = StdRng::seed_from_u64(43);
         let truth = w.evaluate(&x);
         let trials = 300;
         let mut total_sq = 0.0;
@@ -211,16 +264,17 @@ mod tests {
 
     #[test]
     fn construction_errors() {
-        let s = mm_strategies::Strategy::from_parts(
-            "implicit",
-            None,
-            Matrix::identity(4),
-            1.0,
-            1.0,
-            4,
-        );
+        let s =
+            mm_strategies::Strategy::from_parts("implicit", None, Matrix::identity(4), 1.0, 1.0, 4);
         assert!(MatrixMechanism::new(s, paper_privacy()).is_err());
         assert!(MatrixMechanism::new(identity_strategy(4), PrivacyParams::pure(1.0)).is_err());
+        // The Laplace backend accepts pure-DP parameters.
+        assert!(MatrixMechanism::with_backend(
+            identity_strategy(4),
+            PrivacyParams::pure(1.0),
+            Arc::new(LaplaceBackend)
+        )
+        .is_ok());
         let mech = MatrixMechanism::new(identity_strategy(4), paper_privacy()).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         assert!(mech.run(&[1.0; 3], &mut rng).is_err());

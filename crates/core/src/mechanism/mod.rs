@@ -1,11 +1,14 @@
-//! Differentially private mechanisms: Gaussian, Laplace, and the matrix
+//! Differentially private mechanisms: the Gaussian and Laplace primitives,
+//! the pluggable [`backend::NoiseBackend`] abstraction, and the matrix
 //! mechanism with least-squares inference.
 
+pub mod backend;
 pub mod gaussian;
 pub mod laplace;
 pub mod matrix;
 pub mod noise;
 
+pub use backend::{default_backend, GaussianBackend, LaplaceBackend, NoiseBackend};
 pub use gaussian::GaussianMechanism;
 pub use laplace::LaplaceMechanism;
 pub use matrix::MatrixMechanism;

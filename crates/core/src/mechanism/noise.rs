@@ -6,7 +6,10 @@ use rand::Rng;
 /// deviation `sigma`, using the Box–Muller transform (so only `rand`'s uniform
 /// sampling is required).
 pub fn gaussian_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64, len: usize) -> Vec<f64> {
-    assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be nonnegative");
+    assert!(
+        sigma >= 0.0 && sigma.is_finite(),
+        "sigma must be nonnegative"
+    );
     let mut out = Vec::with_capacity(len);
     while out.len() < len {
         let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -49,7 +52,10 @@ mod tests {
         let mean: f64 = xs.iter().sum::<f64>() / n as f64;
         let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
-        assert!((var - sigma * sigma).abs() / (sigma * sigma) < 0.03, "variance {var}");
+        assert!(
+            (var - sigma * sigma).abs() / (sigma * sigma) < 0.03,
+            "variance {var}"
+        );
     }
 
     #[test]
@@ -61,7 +67,10 @@ mod tests {
         let mean: f64 = xs.iter().sum::<f64>() / n as f64;
         let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
-        assert!((var - 2.0 * b * b).abs() / (2.0 * b * b) < 0.05, "variance {var}");
+        assert!(
+            (var - 2.0 * b * b).abs() / (2.0 * b * b) < 0.05,
+            "variance {var}"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct PrivacyParams {
 impl PrivacyParams {
     /// Creates (ε, δ) parameters; panics on invalid values.
     pub fn new(epsilon: f64, delta: f64) -> Self {
-        assert!(epsilon > 0.0 && epsilon.is_finite(), "epsilon must be positive");
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive"
+        );
         assert!((0.0..1.0).contains(&delta), "delta must lie in [0, 1)");
         PrivacyParams { epsilon, delta }
     }
@@ -52,7 +55,10 @@ impl PrivacyParams {
     /// The Gaussian noise scale `σ = Δ₂ √(2 ln(2/δ)) / ε` of Prop. 2 for a
     /// query set of L2 sensitivity `l2_sensitivity`.
     pub fn gaussian_sigma(&self, l2_sensitivity: f64) -> f64 {
-        assert!(self.is_approximate(), "the Gaussian mechanism requires delta > 0");
+        assert!(
+            self.is_approximate(),
+            "the Gaussian mechanism requires delta > 0"
+        );
         l2_sensitivity * (2.0 * (2.0 / self.delta).ln()).sqrt() / self.epsilon
     }
 

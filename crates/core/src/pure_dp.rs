@@ -86,8 +86,7 @@ fn objective_and_gradient(
     }
     // Term B: 2 · (1/p) log Σ_j s_j^p with s_j = Σ_i λ_i |Q_ij|.
     let mut s = vec![0.0; n];
-    for i in 0..k {
-        let li = lambda[i];
+    for (i, &li) in lambda.iter().enumerate().take(k) {
         if li == 0.0 {
             continue;
         }
@@ -146,7 +145,13 @@ pub fn l1_weighted_design_strategy(
     // shared constraint), which is a reasonable scale-free starting point.
     let mut t: Vec<f64> = costs
         .iter()
-        .map(|&c| if c > 0.0 { c.max(1e-12).ln() / 3.0 } else { -20.0 })
+        .map(|&c| {
+            if c > 0.0 {
+                c.max(1e-12).ln() / 3.0
+            } else {
+                -20.0
+            }
+        })
         .collect();
     for &p in &opts.p_schedule {
         let (mut f_prev, mut grad) = objective_and_gradient(&t, &costs, &abs_design, p);
@@ -240,7 +245,10 @@ mod tests {
             err <= plain * 1.01,
             "weighted {err} should not exceed plain wavelet {plain}"
         );
-        assert!(err >= plain * 0.5, "improvement should be modest, got {err} vs {plain}");
+        assert!(
+            err >= plain * 0.5,
+            "improvement should be modest, got {err} vs {plain}"
+        );
     }
 
     #[test]
@@ -261,8 +269,6 @@ mod tests {
     fn degenerate_inputs_rejected() {
         let g = Matrix::zeros(4, 4);
         let design = Matrix::identity(4);
-        assert!(
-            l1_weighted_design_strategy("x", &g, &design, &PureDpOptions::default()).is_err()
-        );
+        assert!(l1_weighted_design_strategy("x", &g, &design, &PureDpOptions::default()).is_err());
     }
 }

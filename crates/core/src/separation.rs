@@ -76,7 +76,7 @@ pub fn eigen_separation(
     let mut within = vec![0.0; k];
     let mut group_cost = vec![0.0; num_groups]; // C_g = Σ σ_i / u_i^(g)
     let mut group_profiles: Vec<Vec<f64>> = Vec::with_capacity(num_groups); // per-cell squared norms
-    for g in 0..num_groups {
+    for (g, cost_slot) in group_cost.iter_mut().enumerate() {
         let lo = g * group_size;
         let hi = ((g + 1) * group_size).min(k);
         let rows: Vec<usize> = (lo..hi).collect();
@@ -91,7 +91,7 @@ pub fn eigen_separation(
                 cost_g += costs[idx] / u;
             }
         }
-        group_cost[g] = cost_g;
+        *cost_slot = cost_g;
         // Per-cell squared column norm contributed by this group at unit scale.
         let mut profile = vec![0.0; n];
         for (idx, &u) in sol.u.iter().enumerate() {
@@ -151,13 +151,17 @@ mod tests {
         let full = eigen_design(&g, &EigenDesignOptions::default()).unwrap();
         let full_err = rms_workload_error(&g, w.query_count(), &full.strategy, &p).unwrap();
         for group_size in [4usize, 8, 16] {
-            let sep = eigen_separation(&g, &SeparationOptions::with_group_size(group_size)).unwrap();
+            let sep =
+                eigen_separation(&g, &SeparationOptions::with_group_size(group_size)).unwrap();
             let err = rms_workload_error(&g, w.query_count(), &sep.strategy, &p).unwrap();
             assert!(
                 err <= full_err * 1.25,
                 "group size {group_size}: separation error {err} vs full {full_err}"
             );
-            assert!(err >= full_err * 0.999, "separation cannot beat the joint optimum");
+            assert!(
+                err >= full_err * 0.999,
+                "separation cannot beat the joint optimum"
+            );
         }
     }
 

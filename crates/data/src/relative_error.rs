@@ -118,23 +118,18 @@ mod tests {
         let w = AllRangeWorkload::new(data.domain().clone());
         let strategy = wavelet_strategy(data.domain());
         let opts = RelativeErrorOptions::default();
-        let loose = average_relative_error(
-            &w,
-            &strategy,
-            &data,
-            &PrivacyParams::new(2.0, 1e-4),
-            &opts,
-        )
-        .unwrap();
-        let tight = average_relative_error(
-            &w,
-            &strategy,
-            &data,
-            &PrivacyParams::new(0.1, 1e-4),
-            &opts,
-        )
-        .unwrap();
-        assert!(tight.mean > loose.mean, "tight {} loose {}", tight.mean, loose.mean);
+        let loose =
+            average_relative_error(&w, &strategy, &data, &PrivacyParams::new(2.0, 1e-4), &opts)
+                .unwrap();
+        let tight =
+            average_relative_error(&w, &strategy, &data, &PrivacyParams::new(0.1, 1e-4), &opts)
+                .unwrap();
+        assert!(
+            tight.mean > loose.mean,
+            "tight {} loose {}",
+            tight.mean,
+            loose.mean
+        );
         assert_eq!(loose.queries, w.query_count());
     }
 
@@ -147,11 +142,15 @@ mod tests {
             trials: 3,
             ..Default::default()
         };
-        let wav = average_relative_error(&w, &wavelet_strategy(data.domain()), &data, &p, &opts)
-            .unwrap();
-        let id =
-            average_relative_error(&w, &identity_strategy(64), &data, &p, &opts).unwrap();
-        assert!(wav.mean < id.mean, "wavelet {} vs identity {}", wav.mean, id.mean);
+        let wav =
+            average_relative_error(&w, &wavelet_strategy(data.domain()), &data, &p, &opts).unwrap();
+        let id = average_relative_error(&w, &identity_strategy(64), &data, &p, &opts).unwrap();
+        assert!(
+            wav.mean < id.mean,
+            "wavelet {} vs identity {}",
+            wav.mean,
+            id.mean
+        );
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub fn synthetic_histogram(
     let n = domain.n_cells();
 
     // Mixture weights.
-    let mut mix: Vec<f64> = (0..num_components).map(|_| rng.gen_range(0.2..1.0)).collect();
+    let mut mix: Vec<f64> = (0..num_components)
+        .map(|_| rng.gen_range(0.2..1.0))
+        .collect();
     let mix_total: f64 = mix.iter().sum();
     mix.iter_mut().for_each(|x| *x /= mix_total);
 
@@ -147,7 +149,10 @@ mod tests {
         assert_eq!(ds.data.domain().sizes(), &[8, 16, 16]);
         assert_eq!(ds.data.n_cells(), 2048);
         let total = ds.data.total();
-        assert!((total - 15_000_000.0).abs() / 15_000_000.0 < 0.01, "total {total}");
+        assert!(
+            (total - 15_000_000.0).abs() / 15_000_000.0 < 0.01,
+            "total {total}"
+        );
     }
 
     #[test]
@@ -185,24 +190,27 @@ mod tests {
         let v = synthetic_histogram(&d, 100_000.0, 1.0, 3, 5);
         let total = v.total();
         // Marginals.
-        let mut m0 = vec![0.0; 4];
-        let mut m1 = vec![0.0; 4];
-        for i in 0..4 {
-            for j in 0..4 {
+        let mut m0 = [0.0; 4];
+        let mut m1 = [0.0; 4];
+        for (i, m0i) in m0.iter_mut().enumerate() {
+            for (j, m1j) in m1.iter_mut().enumerate() {
                 let c = v.counts()[i * 4 + j];
-                m0[i] += c;
-                m1[j] += c;
+                *m0i += c;
+                *m1j += c;
             }
         }
         let mut max_dev: f64 = 0.0;
-        for i in 0..4 {
-            for j in 0..4 {
+        for (i, &m0i) in m0.iter().enumerate() {
+            for (j, &m1j) in m1.iter().enumerate() {
                 let joint = v.counts()[i * 4 + j] / total;
-                let indep = (m0[i] / total) * (m1[j] / total);
+                let indep = (m0i / total) * (m1j / total);
                 max_dev = max_dev.max((joint - indep).abs());
             }
         }
-        assert!(max_dev > 1e-3, "joint should deviate from independence, dev = {max_dev}");
+        assert!(
+            max_dev > 1e-3,
+            "joint should deviate from independence, dev = {max_dev}"
+        );
     }
 
     #[test]

@@ -82,19 +82,13 @@ impl Cholesky {
         // Forward substitution: L y = b.
         let mut y = b.to_vec();
         for i in 0..n {
-            let mut s = y[i];
-            for k in 0..i {
-                s -= self.l[(i, k)] * y[k];
-            }
-            y[i] = s / self.l[(i, i)];
+            let s: f64 = (0..i).map(|k| self.l[(i, k)] * y[k]).sum();
+            y[i] = (y[i] - s) / self.l[(i, i)];
         }
         // Backward substitution: Lᵀ x = y.
         for i in (0..n).rev() {
-            let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * y[k];
-            }
-            y[i] = s / self.l[(i, i)];
+            let s: f64 = ((i + 1)..n).map(|k| self.l[(k, i)] * y[k]).sum();
+            y[i] = (y[i] - s) / self.l[(i, i)];
         }
         Ok(y)
     }
@@ -276,6 +270,8 @@ mod tests {
         let t = ch.trace_of_gram_times_inverse(&g).unwrap();
         let explicit = matmul(&g, &ch.inverse()).unwrap().trace();
         assert!(approx_eq(t, explicit, 1e-8));
-        assert!(ch.trace_of_gram_times_inverse(&Matrix::zeros(2, 2)).is_err());
+        assert!(ch
+            .trace_of_gram_times_inverse(&Matrix::zeros(2, 2))
+            .is_err());
     }
 }

@@ -92,19 +92,13 @@ impl Lu {
         let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
         // Forward substitution with unit lower triangle.
         for i in 0..n {
-            let mut s = y[i];
-            for k in 0..i {
-                s -= self.lu[(i, k)] * y[k];
-            }
-            y[i] = s;
+            let s: f64 = (0..i).map(|k| self.lu[(i, k)] * y[k]).sum();
+            y[i] -= s;
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
-            let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.lu[(i, k)] * y[k];
-            }
-            y[i] = s / self.lu[(i, i)];
+            let s: f64 = ((i + 1)..n).map(|k| self.lu[(i, k)] * y[k]).sum();
+            y[i] = (y[i] - s) / self.lu[(i, i)];
         }
         Ok(y)
     }

@@ -110,26 +110,19 @@ impl Qr {
         // Back-substitute R x = y.
         let mut x = y;
         for i in (0..n).rev() {
-            let mut s = x[i];
-            for k in (i + 1)..n {
-                s -= self.r[(i, k)] * x[k];
-            }
+            let s: f64 = ((i + 1)..n).map(|k| self.r[(i, k)] * x[k]).sum();
             let d = self.r[(i, i)];
             if d.abs() < 1e-12 {
                 return Err(LinalgError::Singular { pivot: i });
             }
-            x[i] = s / d;
+            x[i] = (x[i] - s) / d;
         }
         Ok(x)
     }
 
     /// Numerical rank of `A` estimated from the diagonal of `R`.
     pub fn rank(&self, tol: f64) -> usize {
-        let max_diag = self
-            .r
-            .diag()
-            .iter()
-            .fold(0.0_f64, |m, &d| m.max(d.abs()));
+        let max_diag = self.r.diag().iter().fold(0.0_f64, |m, &d| m.max(d.abs()));
         if max_diag == 0.0 {
             return 0;
         }
@@ -167,7 +160,11 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 let e = if i == j { 1.0 } else { 0.0 };
-                assert!(approx_eq(qtq[(i, j)], e, 1e-9), "({i},{j}) = {}", qtq[(i, j)]);
+                assert!(
+                    approx_eq(qtq[(i, j)], e, 1e-9),
+                    "({i},{j}) = {}",
+                    qtq[(i, j)]
+                );
             }
         }
     }

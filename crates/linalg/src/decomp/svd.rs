@@ -134,11 +134,7 @@ mod tests {
         let a = Matrix::from_fn(6, 4, |i, j| ((i * 5 + j * 2) % 9) as f64 / 3.0);
         let s1 = Svd::new(&a).unwrap();
         let s2 = Svd::from_gram(&crate::ops::gram(&a)).unwrap();
-        for (x, y) in s1
-            .singular_values()
-            .iter()
-            .zip(s2.singular_values().iter())
-        {
+        for (x, y) in s1.singular_values().iter().zip(s2.singular_values().iter()) {
             assert!(approx_eq(*x, *y, 1e-10));
         }
     }

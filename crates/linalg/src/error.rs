@@ -70,7 +70,10 @@ impl fmt::Display for LinalgError {
             LinalgError::NonConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} failed to converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} failed to converge after {iterations} iterations"
+            ),
             LinalgError::Empty => write!(f, "operation requires a non-empty matrix"),
             LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
@@ -107,7 +110,9 @@ mod tests {
 
     #[test]
     fn display_singular_and_others() {
-        assert!(LinalgError::Singular { pivot: 1 }.to_string().contains("singular"));
+        assert!(LinalgError::Singular { pivot: 1 }
+            .to_string()
+            .contains("singular"));
         assert!(LinalgError::Empty.to_string().contains("non-empty"));
         assert!(LinalgError::NotSquare { rows: 2, cols: 3 }
             .to_string()

@@ -456,13 +456,13 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = self.row(i);
             let mut acc = 0.0;
             for (a, b) in row.iter().zip(x.iter()) {
                 acc += a * b;
             }
-            out[i] = acc;
+            *o = acc;
         }
         Ok(out)
     }
@@ -477,9 +477,8 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
+        for (i, &yi) in y.iter().enumerate() {
             let row = self.row(i);
-            let yi = y[i];
             if yi == 0.0 {
                 continue;
             }
@@ -554,7 +553,11 @@ impl Sub for &Matrix {
     type Output = Matrix;
 
     fn sub(self, rhs: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         let data = self
             .data
             .iter()
@@ -580,7 +583,11 @@ impl AddAssign<&Matrix> for Matrix {
 
 impl SubAssign<&Matrix> for Matrix {
     fn sub_assign(&mut self, rhs: &Matrix) {
-        assert_eq!(self.shape(), rhs.shape(), "matrix subtraction shape mismatch");
+        assert_eq!(
+            self.shape(),
+            rhs.shape(),
+            "matrix subtraction shape mismatch"
+        );
         for (a, b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a -= b;
         }
@@ -673,12 +680,12 @@ mod tests {
     fn col_norms_match_individual() {
         let m = Matrix::from_fn(4, 3, |i, j| (i as f64) - (j as f64) * 0.5);
         let norms = m.col_norms_l2();
-        for j in 0..3 {
-            assert!(approx_eq(norms[j], m.col_norm_l2(j), 1e-12));
+        for (j, &norm) in norms.iter().enumerate() {
+            assert!(approx_eq(norm, m.col_norm_l2(j), 1e-12));
         }
         let l1 = m.col_norms_l1();
-        for j in 0..3 {
-            assert!(approx_eq(l1[j], m.col_norm_l1(j), 1e-12));
+        for (j, &norm) in l1.iter().enumerate() {
+            assert!(approx_eq(norm, m.col_norm_l1(j), 1e-12));
         }
     }
 

@@ -124,13 +124,13 @@ pub fn matmul_a_bt(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     for i in 0..m {
         let a_row = a.row(i);
         let out_row = out.row_mut(i);
-        for j in 0..n {
+        for (j, o) in out_row.iter_mut().enumerate().take(n) {
             let b_row = b.row(j);
             let mut acc = 0.0;
             for (x, y) in a_row.iter().zip(b_row.iter()) {
                 acc += x * y;
             }
-            out_row[j] = acc;
+            *o = acc;
         }
     }
     Ok(out)
@@ -463,11 +463,8 @@ mod tests {
         let q = Matrix::from_fn(4, 3, |i, j| ((i * 3 + j) % 5) as f64 - 2.0);
         let d = vec![0.5, 2.0, 0.0, 1.5];
         let c = congruence_diag(&q, &d).unwrap();
-        let explicit = matmul(
-            &matmul(&q.transpose(), &Matrix::from_diag(&d)).unwrap(),
-            &q,
-        )
-        .unwrap();
+        let explicit =
+            matmul(&matmul(&q.transpose(), &Matrix::from_diag(&d)).unwrap(), &q).unwrap();
         assert_matrix_eq(&c, &explicit, 1e-12);
         assert!(congruence_diag(&q, &[1.0]).is_err());
     }

@@ -135,7 +135,9 @@ mod tests {
 
     #[test]
     fn apply_pseudo_inverse_matches_explicit() {
-        let a = Matrix::from_fn(5, 3, |i, j| ((i * 2 + j) % 4) as f64 + if i == j { 1.0 } else { 0.0 });
+        let a = Matrix::from_fn(5, 3, |i, j| {
+            ((i * 2 + j) % 4) as f64 + if i == j { 1.0 } else { 0.0 }
+        });
         let y = vec![1.0, -1.0, 2.0, 0.5, 3.0];
         let implicit = apply_pseudo_inverse(&a, &y).unwrap();
         let explicit = pseudo_inverse(&a).unwrap().matvec(&y).unwrap();

@@ -135,8 +135,8 @@ pub fn solve_barrier_newton(
             for i in 0..k {
                 grad[i] = -costs[i] / (u[i] * u[i]) - mu / u[i];
             }
-            for j in 0..m {
-                let coeff = mu / slack[j];
+            for (j, &sj) in slack.iter().enumerate().take(m) {
+                let coeff = mu / sj;
                 let row = b.row(j);
                 for i in 0..k {
                     grad[i] += coeff * row[i];
@@ -147,8 +147,8 @@ pub fn solve_barrier_newton(
             for i in 0..k {
                 h[(i, i)] = 2.0 * costs[i] / (u[i] * u[i] * u[i]) + mu / (u[i] * u[i]);
             }
-            for j in 0..m {
-                let coeff = mu / (slack[j] * slack[j]);
+            for (j, &sj) in slack.iter().enumerate().take(m) {
+                let coeff = mu / (sj * sj);
                 let row = b.row(j);
                 for p in 0..k {
                     if row[p] == 0.0 {
@@ -292,8 +292,10 @@ mod tests {
     #[test]
     fn invalid_options_rejected() {
         let p = WeightingProblem::new(vec![1.0], Matrix::identity(1)).unwrap();
-        let mut opts = BarrierOptions::default();
-        opts.mu_decrease = 1.5;
+        let opts = BarrierOptions {
+            mu_decrease: 1.5,
+            ..Default::default()
+        };
         assert!(solve_barrier_newton(&p, &opts).is_err());
     }
 }

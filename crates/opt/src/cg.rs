@@ -34,7 +34,11 @@ where
     if n == 0 {
         return Err(OptError::InvalidProblem("empty right-hand side".into()));
     }
-    let max_iters = if opts.max_iters == 0 { 2 * n } else { opts.max_iters };
+    let max_iters = if opts.max_iters == 0 {
+        2 * n
+    } else {
+        opts.max_iters
+    };
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
     let mut p = r.clone();
@@ -110,8 +114,8 @@ mod tests {
     #[test]
     fn zero_rhs_returns_zero() {
         let a = Matrix::identity(3);
-        let x = conjugate_gradient(|v| a.matvec(v).unwrap(), &[0.0; 3], &CgOptions::default())
-            .unwrap();
+        let x =
+            conjugate_gradient(|v| a.matvec(v).unwrap(), &[0.0; 3], &CgOptions::default()).unwrap();
         assert_eq!(x, vec![0.0; 3]);
     }
 

@@ -26,7 +26,10 @@ impl fmt::Display for OptError {
         match self {
             OptError::InvalidProblem(msg) => write!(f, "invalid problem: {msg}"),
             OptError::NonConvergence { solver, iterations } => {
-                write!(f, "{solver} failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "{solver} failed to converge after {iterations} iterations"
+                )
             }
             OptError::Linalg(e) => write!(f, "linear algebra error: {e}"),
         }
@@ -47,7 +50,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(OptError::InvalidProblem("x".into()).to_string().contains("x"));
+        assert!(OptError::InvalidProblem("x".into())
+            .to_string()
+            .contains("x"));
         assert!(OptError::NonConvergence {
             solver: "gd",
             iterations: 10

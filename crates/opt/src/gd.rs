@@ -118,7 +118,11 @@ impl<'a> Smoothed<'a> {
                 acc += row[i] * u[idx];
             }
             s[j] = acc;
-            log_s[j] = if acc > 0.0 { acc.ln() } else { f64::NEG_INFINITY };
+            log_s[j] = if acc > 0.0 {
+                acc.ln()
+            } else {
+                f64::NEG_INFINITY
+            };
         }
         let max_ls = log_s.iter().fold(f64::NEG_INFINITY, |m, &v| m.max(v));
         if !max_ls.is_finite() {
@@ -381,8 +385,10 @@ mod tests {
     #[test]
     fn invalid_p_schedule_rejected() {
         let p = WeightingProblem::new(vec![1.0], Matrix::identity(1)).unwrap();
-        let mut opts = GdOptions::default();
-        opts.p_schedule = vec![];
+        let mut opts = GdOptions {
+            p_schedule: vec![],
+            ..Default::default()
+        };
         assert!(solve_log_gd(&p, &opts).is_err());
         opts.p_schedule = vec![0.5];
         assert!(solve_log_gd(&p, &opts).is_err());

@@ -42,7 +42,7 @@ pub mod error;
 pub mod gd;
 pub mod weighting;
 
+pub use barrier::{solve_barrier_newton, BarrierOptions};
 pub use error::{OptError, Result};
 pub use gd::{solve_log_gd, GdOptions};
 pub use weighting::{WeightingProblem, WeightingSolution};
-pub use barrier::{solve_barrier_newton, BarrierOptions};

@@ -52,7 +52,9 @@ impl WeightingProblem {
             return Err(OptError::InvalidProblem("no constraints".into()));
         }
         if costs.iter().any(|&c| c < 0.0 || !c.is_finite()) {
-            return Err(OptError::InvalidProblem("costs must be nonnegative and finite".into()));
+            return Err(OptError::InvalidProblem(
+                "costs must be nonnegative and finite".into(),
+            ));
         }
         if constraints
             .as_slice()

@@ -103,11 +103,7 @@ pub fn bmax_selection(workload: &MarginalWorkload) -> BmaxSelection {
     }
 }
 
-fn exhaustive_search(
-    domain: &Domain,
-    workload: &[u32],
-    candidates: &[u32],
-) -> (Vec<u32>, f64) {
+fn exhaustive_search(domain: &Domain, workload: &[u32], candidates: &[u32]) -> (Vec<u32>, f64) {
     let c = candidates.len();
     let mut best: Option<(Vec<u32>, f64)> = None;
     for selection in 1u64..(1u64 << c) {
@@ -300,7 +296,10 @@ mod tests {
         let candidates: Vec<u32> = (0..(1u32 << 3)).collect();
         let (_, exhaustive) = exhaustive_search(&d, &masks, &candidates);
         let (_, greedy) = greedy_search(&d, &masks, &candidates);
-        assert!(approx_eq(greedy, exhaustive, 1e-9), "greedy={greedy} exhaustive={exhaustive}");
+        assert!(
+            approx_eq(greedy, exhaustive, 1e-9),
+            "greedy={greedy} exhaustive={exhaustive}"
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub fn downward_closure(subsets: &[Vec<usize>]) -> Vec<Vec<usize>> {
     for s in subsets {
         let k = s.len();
         for mask in 0..(1usize << k) {
-            let sub: Vec<usize> = (0..k).filter(|&i| mask & (1 << i) != 0).map(|i| s[i]).collect();
+            let sub: Vec<usize> = (0..k)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| s[i])
+                .collect();
             closure.insert(sub);
         }
     }
@@ -110,9 +113,7 @@ pub fn fourier_strategy(workload: &MarginalWorkload) -> Strategy {
             }
         }
         // Reset the freq vector for the next subset.
-        for f in &mut freq {
-            *f = 0;
-        }
+        freq.fill(0);
     }
     debug_assert_eq!(r, row_count);
     Strategy::from_matrix(

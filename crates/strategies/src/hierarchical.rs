@@ -102,7 +102,10 @@ pub fn hierarchical_strategy(domain: &Domain, branching: usize) -> Strategy {
         .iter()
         .map(|&d| hierarchical_1d(d, branching))
         .collect();
-    Strategy::kron(format!("hierarchical (b={branching}) on {domain}"), &factors)
+    Strategy::kron(
+        format!("hierarchical (b={branching}) on {domain}"),
+        &factors,
+    )
 }
 
 /// Binary multi-dimensional hierarchical strategy.
@@ -142,7 +145,10 @@ mod tests {
             let g = ops::gram(m);
             for i in 0..n {
                 for j in 0..n {
-                    assert!(approx_eq(s.gram()[(i, j)], g[(i, j)], 1e-12), "n={n} ({i},{j})");
+                    assert!(
+                        approx_eq(s.gram()[(i, j)], g[(i, j)], 1e-12),
+                        "n={n} ({i},{j})"
+                    );
                 }
             }
             assert!(approx_eq(s.l2_sensitivity(), m.max_col_norm_l2(), 1e-12));

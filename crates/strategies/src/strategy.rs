@@ -26,7 +26,10 @@ impl Strategy {
     /// Builds a strategy from an explicit matrix, computing its gram matrix
     /// and sensitivities.
     pub fn from_matrix(name: impl Into<String>, matrix: Matrix) -> Self {
-        assert!(matrix.rows() > 0 && matrix.cols() > 0, "strategy must be non-empty");
+        assert!(
+            matrix.rows() > 0 && matrix.cols() > 0,
+            "strategy must be non-empty"
+        );
         let gram = ops::gram(&matrix);
         let l2 = matrix.max_col_norm_l2();
         let l1 = matrix.max_col_norm_l1();

@@ -17,7 +17,10 @@ use mm_workload::Domain;
 /// `n`) to the finest (size 2), contain `+1` on the first half of their dyadic
 /// block and `-1` on the second half.
 pub fn haar_matrix(n: usize) -> Matrix {
-    assert!(n.is_power_of_two(), "the Haar wavelet requires a power-of-two domain, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "the Haar wavelet requires a power-of-two domain, got {n}"
+    );
     let mut m = Matrix::zeros(n, n);
     for v in m.row_mut(0) {
         *v = 1.0;
@@ -48,7 +51,10 @@ pub fn haar_matrix(n: usize) -> Matrix {
 /// scales to domains where the explicit `n×n` matrix would be unreasonably
 /// large to keep around.
 pub fn wavelet_1d(n: usize) -> Strategy {
-    assert!(n.is_power_of_two(), "the Haar wavelet requires a power-of-two domain, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "the Haar wavelet requires a power-of-two domain, got {n}"
+    );
     let levels = n.trailing_zeros() as usize;
     // Closed-form gram: 1 from the total row plus, per dyadic level, +1 when
     // the two cells fall in the same half of their shared block, -1 when they
@@ -118,7 +124,10 @@ mod tests {
         for i in 0..16 {
             for j in 0..16 {
                 if i != j {
-                    assert!(approx_eq(outer[(i, j)], 0.0, 1e-12), "rows {i},{j} not orthogonal");
+                    assert!(
+                        approx_eq(outer[(i, j)], 0.0, 1e-12),
+                        "rows {i},{j} not orthogonal"
+                    );
                 }
             }
         }
@@ -157,11 +166,7 @@ mod tests {
         let s = wavelet_strategy(&d);
         assert_eq!(s.dim(), 32);
         assert_eq!(s.rows(), 32);
-        assert!(approx_eq(
-            s.l2_sensitivity(),
-            (3.0_f64).sqrt() * 2.0,
-            1e-12
-        ));
+        assert!(approx_eq(s.l2_sensitivity(), (3.0_f64).sqrt() * 2.0, 1e-12));
     }
 
     #[test]

@@ -62,14 +62,13 @@ impl Domain {
     ///
     /// Panics when the multi-index has the wrong arity or is out of bounds.
     pub fn index_of(&self, multi: &[usize]) -> usize {
-        assert_eq!(
-            multi.len(),
-            self.sizes.len(),
-            "multi-index arity mismatch"
-        );
+        assert_eq!(multi.len(), self.sizes.len(), "multi-index arity mismatch");
         let mut idx = 0;
         for (a, (&m, &s)) in multi.iter().zip(self.sizes.iter()).enumerate() {
-            assert!(m < s, "index {m} out of bounds for attribute {a} (size {s})");
+            assert!(
+                m < s,
+                "index {m} out of bounds for attribute {a} (size {s})"
+            );
             idx = idx * s + m;
         }
         idx

@@ -84,6 +84,9 @@ mod tests {
 
     #[test]
     fn descriptions_match_query_count() {
-        assert_eq!(fig1_query_descriptions().len(), fig1_workload().query_count());
+        assert_eq!(
+            fig1_query_descriptions().len(),
+            fig1_workload().query_count()
+        );
     }
 }

@@ -22,7 +22,10 @@ impl ExplicitWorkload {
     ///
     /// Panics when queries have inconsistent dimensions or the list is empty.
     pub fn new(name: impl Into<String>, queries: Vec<LinearQuery>) -> Self {
-        assert!(!queries.is_empty(), "workload must contain at least one query");
+        assert!(
+            !queries.is_empty(),
+            "workload must contain at least one query"
+        );
         let dim = queries[0].dim();
         assert!(
             queries.iter().all(|q| q.dim() == dim),
@@ -87,7 +90,12 @@ impl Workload for ExplicitWorkload {
     }
 
     fn description(&self) -> String {
-        format!("{} ({} queries on {} cells)", self.name, self.queries.len(), self.dim)
+        format!(
+            "{} ({} queries on {} cells)",
+            self.name,
+            self.queries.len(),
+            self.dim
+        )
     }
 
     fn query_squared_norms(&self) -> Vec<f64> {
@@ -240,7 +248,10 @@ mod tests {
 
     #[test]
     fn explicit_evaluate_matches_matrix_product() {
-        let queries = vec![LinearQuery::range_1d(4, 0, 1), LinearQuery::range_1d(4, 2, 3)];
+        let queries = vec![
+            LinearQuery::range_1d(4, 0, 1),
+            LinearQuery::range_1d(4, 2, 3),
+        ];
         let w = ExplicitWorkload::new("pair", queries);
         let x = vec![1.0, 2.0, 3.0, 4.0];
         let y = w.evaluate(&x);

@@ -1,0 +1,127 @@
+//! Workload fingerprints: a stable hash of the gram matrix used as a
+//! strategy-cache key.
+//!
+//! Strategy selection is *data independent* (Sec. 1 of the paper): the
+//! selected strategy depends on the workload only through its gram matrix
+//! `WᵀW` (Props. 4–6).  Two workloads with the same gram matrix therefore
+//! receive the same strategy, and a serving system can cache selections keyed
+//! by a hash of the gram matrix alone.  This module provides that hash as a
+//! [`Fingerprint`]: a 64-bit digest of the matrix shape and the exact bit
+//! patterns of its entries (no tolerance — semantically equal workloads built
+//! the same way hash equal because gram construction is deterministic).
+//!
+//! The digest is an FNV-1a/xxhash-style multiply-xor fold with a final
+//! avalanche, chosen for speed on large matrices (hashing a 2048×2048 gram is
+//! orders of magnitude cheaper than one iteration of strategy selection).
+
+use crate::Workload;
+use mm_linalg::Matrix;
+
+/// A 64-bit digest identifying a workload up to its gram matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+const MULT: u64 = 0x2545_F491_4F6C_DD1D;
+
+#[inline]
+fn mix(state: u64, word: u64) -> u64 {
+    let x = (state ^ word).wrapping_mul(MULT);
+    x ^ (x >> 29)
+}
+
+#[inline]
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    x ^ (x >> 33)
+}
+
+/// Hashes a gram matrix (shape plus exact entry bit patterns).
+///
+/// `-0.0` is canonicalised to `+0.0` so that two grams that compare equal
+/// entry-wise hash equal; `NaN` entries are rejected by debug assertion (a
+/// gram matrix with NaN entries is already broken upstream).
+pub fn gram_fingerprint(gram: &Matrix) -> Fingerprint {
+    let mut state = mix(SEED, gram.rows() as u64);
+    state = mix(state, gram.cols() as u64);
+    for i in 0..gram.rows() {
+        for j in 0..gram.cols() {
+            let v = gram[(i, j)];
+            debug_assert!(!v.is_nan(), "gram matrix entry ({i},{j}) is NaN");
+            let canonical = if v == 0.0 { 0.0_f64 } else { v };
+            state = mix(state, canonical.to_bits());
+        }
+    }
+    Fingerprint(avalanche(state))
+}
+
+/// Fingerprints any [`Workload`] through its gram matrix.
+///
+/// Callers that already hold the gram matrix (e.g. a serving engine that
+/// needs it for error analysis anyway) should prefer [`gram_fingerprint`]
+/// to avoid recomputing it.
+pub fn workload_fingerprint<W: Workload + ?Sized>(workload: &W) -> Fingerprint {
+    gram_fingerprint(&workload.gram())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::range::AllRangeWorkload;
+    use crate::transform::{seeded_permutation, PermutedWorkload};
+    use crate::{Domain, IdentityWorkload, TotalWorkload};
+
+    #[test]
+    fn deterministic_and_shape_sensitive() {
+        let a = gram_fingerprint(&IdentityWorkload::new(8).gram());
+        let b = gram_fingerprint(&IdentityWorkload::new(8).gram());
+        assert_eq!(a, b);
+        assert_ne!(a, gram_fingerprint(&IdentityWorkload::new(9).gram()));
+        assert_ne!(a, gram_fingerprint(&TotalWorkload::new(8).gram()));
+    }
+
+    #[test]
+    fn same_gram_same_fingerprint_across_construction() {
+        // Two structurally different objects with the same gram matrix.
+        let w1 = AllRangeWorkload::new(Domain::one_dim(16));
+        let w2 = AllRangeWorkload::new(Domain::one_dim(16));
+        assert_eq!(workload_fingerprint(&w1), workload_fingerprint(&w2));
+    }
+
+    #[test]
+    fn permutation_changes_fingerprint() {
+        // Permuted cell conditions change the gram (entry order), hence the
+        // fingerprint — correctly so: the selected strategy matrix differs by
+        // the same permutation.
+        let base = AllRangeWorkload::new(Domain::one_dim(12));
+        let perm = PermutedWorkload::new(
+            AllRangeWorkload::new(Domain::one_dim(12)),
+            seeded_permutation(12, 7),
+        );
+        assert_ne!(workload_fingerprint(&base), workload_fingerprint(&perm));
+    }
+
+    #[test]
+    fn zero_sign_canonicalised() {
+        let mut g1 = Matrix::zeros(2, 2);
+        let mut g2 = Matrix::zeros(2, 2);
+        g1[(0, 0)] = 0.0;
+        g2[(0, 0)] = -0.0;
+        assert_eq!(gram_fingerprint(&g1), gram_fingerprint(&g2));
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let f = Fingerprint(0xABCD);
+        assert_eq!(f.to_string(), "000000000000abcd");
+    }
+}

@@ -32,6 +32,7 @@
 pub mod domain;
 pub mod example;
 pub mod explicit;
+pub mod fingerprint;
 pub mod kronecker;
 pub mod marginal;
 pub mod predicate;
@@ -44,6 +45,7 @@ pub mod union;
 
 pub use domain::Domain;
 pub use explicit::{ExplicitWorkload, IdentityWorkload, TotalWorkload};
+pub use fingerprint::{gram_fingerprint, workload_fingerprint, Fingerprint};
 pub use query::LinearQuery;
 
 use mm_linalg::Matrix;

@@ -49,12 +49,11 @@ impl MarginalWorkload {
     ///
     /// Subsets are deduplicated and their attribute lists sorted.  Panics on
     /// out-of-range attribute indices or an empty subset list.
-    pub fn from_subsets(
-        domain: Domain,
-        subsets: Vec<Vec<usize>>,
-        kind: MarginalKind,
-    ) -> Self {
-        assert!(!subsets.is_empty(), "marginal workload needs at least one subset");
+    pub fn from_subsets(domain: Domain, subsets: Vec<Vec<usize>>, kind: MarginalKind) -> Self {
+        assert!(
+            !subsets.is_empty(),
+            "marginal workload needs at least one subset"
+        );
         let k = domain.num_attributes();
         let mut cleaned: Vec<Vec<usize>> = subsets
             .into_iter()

@@ -59,7 +59,13 @@ impl RandomPredicateWorkload {
     fn weighted_queries(&self) -> Vec<LinearQuery> {
         self.queries
             .iter()
-            .map(|q| if self.normalized { q.normalized() } else { q.clone() })
+            .map(|q| {
+                if self.normalized {
+                    q.normalized()
+                } else {
+                    q.clone()
+                }
+            })
             .collect()
     }
 }
@@ -87,7 +93,10 @@ impl Workload for RandomPredicateWorkload {
     }
 
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
-        self.weighted_queries().iter().map(|q| q.evaluate(x)).collect()
+        self.weighted_queries()
+            .iter()
+            .map(|q| q.evaluate(x))
+            .collect()
     }
 
     fn description(&self) -> String {
@@ -130,7 +139,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let w = RandomPredicateWorkload::sample(16, 50, &mut rng);
         assert_eq!(w.query_count(), 50);
-        assert!(w.to_matrix().unwrap().rows_iter().all(|r| r.iter().sum::<f64>() > 0.0));
+        assert!(w
+            .to_matrix()
+            .unwrap()
+            .rows_iter()
+            .all(|r| r.iter().sum::<f64>() > 0.0));
     }
 
     #[test]

@@ -68,7 +68,10 @@ impl LinearQuery {
 
     /// A one-dimensional range query counting cells `lo..=hi`.
     pub fn range_1d(dim: usize, lo: usize, hi: usize) -> Self {
-        assert!(lo <= hi && hi < dim, "invalid range [{lo}, {hi}] for dimension {dim}");
+        assert!(
+            lo <= hi && hi < dim,
+            "invalid range [{lo}, {hi}] for dimension {dim}"
+        );
         LinearQuery {
             dim,
             entries: (lo..=hi).map(|i| (i, 1.0)).collect(),
@@ -105,9 +108,8 @@ impl LinearQuery {
                 a -= 1;
                 if current[a] < highs[a] {
                     current[a] += 1;
-                    for b in (a + 1)..domain.num_attributes() {
-                        current[b] = lows[b];
-                    }
+                    let tail = (a + 1)..domain.num_attributes();
+                    current[tail.clone()].copy_from_slice(&lows[tail]);
                     break;
                 }
             }
@@ -160,11 +162,7 @@ impl LinearQuery {
 
     /// L2 norm of the coefficient vector.
     pub fn l2_norm(&self) -> f64 {
-        self.entries
-            .iter()
-            .map(|&(_, v)| v * v)
-            .sum::<f64>()
-            .sqrt()
+        self.entries.iter().map(|&(_, v)| v * v).sum::<f64>().sqrt()
     }
 
     /// L1 norm of the coefficient vector.

@@ -290,7 +290,10 @@ impl RandomRangeWorkload {
 
     /// Builds the workload from explicit boxes.
     pub fn from_boxes(domain: Domain, boxes: Vec<RangeBox>) -> Self {
-        assert!(!boxes.is_empty(), "random range workload needs at least one query");
+        assert!(
+            !boxes.is_empty(),
+            "random range workload needs at least one query"
+        );
         RandomRangeWorkload {
             domain,
             boxes,
@@ -337,9 +340,7 @@ impl RandomRangeWorkload {
                 a -= 1;
                 if cur[a] < b.highs[a] {
                     cur[a] += 1;
-                    for t in (a + 1)..k {
-                        cur[t] = b.lows[t];
-                    }
+                    cur[(a + 1)..k].copy_from_slice(&b.lows[(a + 1)..k]);
                     break;
                 }
                 if a == 0 {

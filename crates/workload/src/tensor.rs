@@ -13,7 +13,12 @@ use mm_linalg::Matrix;
 /// tensor `x` with the given `shape`, returning the new tensor and its shape.
 ///
 /// Panics when shapes are inconsistent.
-pub fn apply_along_axis(x: &[f64], shape: &[usize], axis: usize, m: &Matrix) -> (Vec<f64>, Vec<usize>) {
+pub fn apply_along_axis(
+    x: &[f64],
+    shape: &[usize],
+    axis: usize,
+    m: &Matrix,
+) -> (Vec<f64>, Vec<usize>) {
     assert!(axis < shape.len(), "axis out of bounds");
     let d = shape[axis];
     assert_eq!(m.cols(), d, "matrix columns must match the axis size");
@@ -77,8 +82,8 @@ pub fn summed_area_table(x: &[f64], shape: &[usize]) -> Vec<f64> {
         for o in 0..outer {
             for step in 1..d {
                 let base = o * d * inner;
-                let (prev_part, cur_part) = t[base + (step - 1) * inner..base + (step + 1) * inner]
-                    .split_at_mut(inner);
+                let (prev_part, cur_part) =
+                    t[base + (step - 1) * inner..base + (step + 1) * inner].split_at_mut(inner);
                 for (c, p) in cur_part.iter_mut().zip(prev_part.iter()) {
                     *c += p;
                 }

@@ -27,7 +27,11 @@ impl<W: Workload> PermutedWorkload<W> {
     /// Panics unless `perm` is a permutation of `0..inner.dim()`.
     pub fn new(inner: W, perm: Vec<usize>) -> Self {
         let n = inner.dim();
-        assert_eq!(perm.len(), n, "permutation length must equal the cell count");
+        assert_eq!(
+            perm.len(),
+            n,
+            "permutation length must equal the cell count"
+        );
         let mut seen = vec![false; n];
         for &p in &perm {
             assert!(p < n && !seen[p], "not a permutation");
@@ -117,7 +121,10 @@ pub struct ScaledWorkload<W> {
 impl<W: Workload> ScaledWorkload<W> {
     /// Wraps a workload, scaling every query by `scale` (must be nonzero).
     pub fn new(inner: W, scale: f64) -> Self {
-        assert!(scale != 0.0 && scale.is_finite(), "scale must be finite and nonzero");
+        assert!(
+            scale != 0.0 && scale.is_finite(),
+            "scale must be finite and nonzero"
+        );
         ScaledWorkload { inner, scale }
     }
 

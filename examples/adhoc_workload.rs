@@ -5,13 +5,14 @@
 //! predicate queries, possibly over a permuted (non-ordered) representation of
 //! the cells.  This example builds such a workload, shows that the
 //! Eigen-Design strategy adapts to it while fixed strategies do not, and
-//! answers it privately.
+//! answers it privately through the engine.
 //!
 //! Run with: `cargo run --release --example adhoc_workload`
 
 use adaptive_dp::core::bounds::{rms_error_bound, workload_eigenvalues};
+use adaptive_dp::core::engine::Engine;
 use adaptive_dp::core::error::rms_workload_error;
-use adaptive_dp::core::{AdaptiveMechanism, PrivacyParams};
+use adaptive_dp::core::PrivacyParams;
 use adaptive_dp::strategies::hierarchical::binary_hierarchical_1d;
 use adaptive_dp::strategies::identity::identity_strategy;
 use adaptive_dp::strategies::wavelet::wavelet_1d;
@@ -41,11 +42,17 @@ fn main() {
     // The cells arrive in no particular order (e.g. a categorical attribute),
     // modelled by a random permutation of the cell conditions.
     let workload = PermutedWorkload::new(combined, seeded_permutation(n, 5));
-    println!("workload: {} ({} queries)", workload.description(), workload.query_count());
+    println!(
+        "workload: {} ({} queries)",
+        workload.description(),
+        workload.query_count()
+    );
 
     let privacy = PrivacyParams::new(0.5, 1e-4);
-    let mechanism = AdaptiveMechanism::new(privacy);
-    let selection = mechanism.select_strategy(&workload).unwrap();
+    let engine = Engine::builder().privacy(privacy).build().unwrap();
+    // Selection is explicit here to compare strategies analytically; the
+    // result lands in the engine's cache, so `answer` below reuses it.
+    let (eigen, _, _) = engine.select(&workload).unwrap();
 
     let gram = workload.gram();
     let m = workload.query_count();
@@ -55,17 +62,20 @@ fn main() {
         ("identity", &identity_strategy(n)),
         ("wavelet", &wavelet_1d(n)),
         ("hierarchical", &binary_hierarchical_1d(n)),
-        ("eigen design", &selection.strategy),
+        ("eigen design", eigen.as_ref()),
     ] {
         let err = rms_workload_error(&gram, m, strategy, &privacy).unwrap();
-        println!("  {name:12} {err:9.3}   ({:.3}x the lower bound)", err / bound);
+        println!(
+            "  {name:12} {err:9.3}   ({:.3}x the lower bound)",
+            err / bound
+        );
     }
 
-    // Answer privately on a synthetic histogram.
+    // Answer privately on a synthetic histogram (cache hit: selection already
+    // happened above).
     let counts: Vec<f64> = (0..n).map(|i| ((i * 37) % 97) as f64 + 5.0).collect();
-    let result = mechanism
-        .answer_with_strategy(&workload, selection.strategy, &counts, &mut rng)
-        .unwrap();
+    let result = engine.answer(&workload, &counts, &mut rng).unwrap();
+    assert!(result.cache_hit);
     let truth = workload.evaluate(&counts);
     let mse: f64 = truth
         .iter()

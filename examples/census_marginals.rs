@@ -3,13 +3,15 @@
 //! This mirrors the paper's marginal experiments (Fig. 3(c)/(d)): a data
 //! analyst wants all 1-way and 2-way marginals of an age × occupation × income
 //! histogram.  The example compares the adaptive strategy against the Fourier
-//! and DataCube baselines, both analytically and on actual noisy data.
+//! and DataCube baselines, both analytically and on actual noisy data, and
+//! publishes the marginals through a budgeted engine session.
 //!
 //! Run with: `cargo run --release --example census_marginals`
 
 use adaptive_dp::core::bounds::{rms_error_bound, workload_eigenvalues};
+use adaptive_dp::core::engine::{Engine, PrivacyBudget};
 use adaptive_dp::core::error::rms_workload_error;
-use adaptive_dp::core::{AdaptiveMechanism, PrivacyParams};
+use adaptive_dp::core::PrivacyParams;
 use adaptive_dp::data::relative_error::{average_relative_error, RelativeErrorOptions};
 use adaptive_dp::data::synthetic::synthetic_histogram;
 use adaptive_dp::strategies::datacube::datacube_strategy;
@@ -36,29 +38,33 @@ fn main() {
     println!("workload: {}", workload.description());
 
     let privacy = PrivacyParams::new(0.5, 1e-4);
-    let mechanism = AdaptiveMechanism::new(privacy);
+    let engine = Engine::builder().privacy(privacy).build().unwrap();
 
     // Analytic comparison (data independent).
     let gram = workload.gram();
     let m = workload.query_count();
     let fourier = fourier_strategy(&workload);
     let datacube = datacube_strategy(&workload);
-    let selection = mechanism.select_strategy(&workload).expect("strategy selection");
+    let (selection, _, _) = engine.select(&workload).expect("strategy selection");
     let bound = rms_error_bound(&workload_eigenvalues(&gram).unwrap(), m, &privacy);
     println!("\nanalytic RMS workload error (Prop. 4):");
     for (name, strategy) in [
         ("fourier", &fourier),
         ("datacube", &datacube),
-        ("eigen design", &selection.strategy),
+        ("eigen design", selection.as_ref()),
     ] {
         let err = rms_workload_error(&gram, m, strategy, &privacy).unwrap();
-        println!("  {name:12} {err:8.3}   ({:.3}x the lower bound)", err / bound);
+        println!(
+            "  {name:12} {err:8.3}   ({:.3}x the lower bound)",
+            err / bound
+        );
     }
 
     // Relative error on the actual histogram (normalised workload drives the
     // strategy selection, per Sec. 3.4).
-    let normalized = MarginalWorkload::up_to_k_way(domain, 2, MarginalKind::Point).into_normalized();
-    let rel_strategy = mechanism.select_strategy(&normalized).unwrap().strategy;
+    let normalized =
+        MarginalWorkload::up_to_k_way(domain, 2, MarginalKind::Point).into_normalized();
+    let (rel_strategy, _, _) = engine.select(&normalized).unwrap();
     let opts = RelativeErrorOptions {
         trials: 3,
         floor: 1.0,
@@ -68,23 +74,31 @@ fn main() {
     for (name, strategy) in [
         ("fourier", &fourier),
         ("datacube", &datacube),
-        ("eigen design", &rel_strategy),
+        ("eigen design", rel_strategy.as_ref()),
     ] {
         let rep = average_relative_error(&workload, strategy, &data, &privacy, &opts).unwrap();
-        println!("  {name:12} mean {:>8.5}  median {:>8.5}", rep.mean, rep.median);
+        println!(
+            "  {name:12} mean {:>8.5}  median {:>8.5}",
+            rep.mean, rep.median
+        );
     }
 
-    // Finally, actually publish the marginals once.
+    // Finally, actually publish the marginals once, through a budgeted
+    // session (sequential composition is accounted per answer call).
     let mut rng = StdRng::seed_from_u64(3);
-    let run = mechanism
-        .answer_with_strategy(&workload, rel_strategy, data.counts(), &mut rng)
-        .unwrap();
+    let mut session = engine.session(PrivacyBudget::new(1.0, 1e-3));
+    let run = session.answer(&workload, data.counts(), &mut rng).unwrap();
     let truth = workload.evaluate(data.counts());
     println!(
         "\npublished {} marginal counts; first five (true -> private):",
         run.answers.len()
     );
-    for i in 0..5 {
-        println!("  {:10.0} -> {:10.1}", truth[i], run.answers[i]);
+    for (t, a) in truth.iter().zip(run.answers.iter()).take(5) {
+        println!("  {t:10.0} -> {a:10.1}");
     }
+    let remaining = session.remaining();
+    println!(
+        "session budget remaining: ε = {:.2}, δ = {:.0e}",
+        remaining.epsilon, remaining.delta
+    );
 }

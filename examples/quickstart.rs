@@ -1,10 +1,12 @@
 //! Quickstart: answer a workload of range queries under (ε,δ)-differential
-//! privacy with the adaptive (Eigen-Design) matrix mechanism.
+//! privacy with the serving `Engine` (Eigen-Design selection + the Gaussian
+//! matrix mechanism).
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use adaptive_dp::core::engine::Engine;
 use adaptive_dp::core::error::rms_workload_error;
-use adaptive_dp::core::{AdaptiveMechanism, PrivacyParams};
+use adaptive_dp::core::PrivacyParams;
 use adaptive_dp::strategies::identity::identity_strategy;
 use adaptive_dp::workload::range::AllRangeWorkload;
 use adaptive_dp::workload::{Domain, Workload};
@@ -24,13 +26,17 @@ fn main() {
         .map(f64::round)
         .collect();
     let total: f64 = counts.iter().sum();
-    println!("database: {total} individuals across {} cells", counts.len());
+    println!(
+        "database: {total} individuals across {} cells",
+        counts.len()
+    );
 
-    // The adaptive mechanism: strategy selection + matrix mechanism.
+    // The engine: pluggable strategy selection + the matrix mechanism behind
+    // one `answer` call, with selected strategies cached per workload.
     let privacy = PrivacyParams::new(0.5, 1e-4);
-    let mechanism = AdaptiveMechanism::new(privacy);
+    let engine = Engine::builder().privacy(privacy).build().unwrap();
     let mut rng = StdRng::seed_from_u64(7);
-    let result = mechanism
+    let result = engine
         .answer(&workload, &counts, &mut rng)
         .expect("mechanism run succeeds");
 
@@ -40,7 +46,10 @@ fn main() {
         result.strategy.rows(),
         result.strategy.l2_sensitivity()
     );
-    println!("predicted RMS error (Prop. 4): {:.2}", result.expected_rms_error);
+    println!(
+        "predicted RMS error (Prop. 4): {:.2}",
+        result.expected_rms_error
+    );
 
     // Compare against the naive identity strategy (noisy counts per cell).
     let naive = rms_workload_error(
@@ -68,4 +77,15 @@ fn main() {
     // The answers are consistent: they all derive from one estimate x̂.
     let est_total: f64 = result.estimate.iter().sum();
     println!("\nestimated total count: {est_total:.1} (true {total})");
+
+    // Strategy selection is data independent, so answering a *new* database
+    // under the same workload reuses the cached strategy: no selection work.
+    let other_counts: Vec<f64> = counts.iter().rev().copied().collect();
+    let again = engine.answer(&workload, &other_counts, &mut rng).unwrap();
+    assert!(again.cache_hit);
+    println!(
+        "\nanswered a second database with the cached strategy \
+         (cache hits so far: {})",
+        engine.stats().cache_hits
+    );
 }

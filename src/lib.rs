@@ -12,14 +12,22 @@
 //! * [`workload`] — linear counting query workloads and their gram matrices;
 //! * [`strategies`] — prior-work strategies (identity, hierarchical, wavelet,
 //!   Fourier, DataCube);
-//! * [`core`] — the matrix mechanism, error analysis, the Eigen-Design
-//!   algorithm (Program 2) and the performance optimizations of Sec. 4;
+//! * [`core`] — the serving `Engine` (strategy selection, noise backends,
+//!   strategy caching, budgeted sessions), the matrix mechanism, error
+//!   analysis, the Eigen-Design algorithm (Program 2) and the performance
+//!   optimizations of Sec. 4;
 //! * [`data`] — data vectors, synthetic datasets and relative-error harness.
 //!
 //! ## Quick start
 //!
+//! The primary entry point is [`core::engine::Engine`]: build it once, then
+//! answer any number of workloads.  Strategy selection is data independent
+//! (Sec. 1 of the paper), so the engine caches the selected strategy per
+//! workload — repeated `answer` calls skip selection entirely.
+//!
 //! ```
-//! use adaptive_dp::core::{AdaptiveMechanism, PrivacyParams};
+//! use adaptive_dp::core::engine::{Engine, PrivacyBudget};
+//! use adaptive_dp::core::PrivacyParams;
 //! use adaptive_dp::workload::range::AllRangeWorkload;
 //! use adaptive_dp::workload::{Domain, Workload};
 //! use rand::SeedableRng;
@@ -29,12 +37,24 @@
 //! // A (tiny) histogram of true counts.
 //! let counts: Vec<f64> = (0..16).map(|i| 100.0 + i as f64).collect();
 //!
-//! let mechanism = AdaptiveMechanism::new(PrivacyParams::new(1.0, 1e-4));
+//! let engine = Engine::builder()
+//!     .privacy(PrivacyParams::new(1.0, 1e-4))
+//!     .build()
+//!     .unwrap();
 //! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-//! let result = mechanism.answer(&workload, &counts, &mut rng).unwrap();
+//! let result = engine.answer(&workload, &counts, &mut rng).unwrap();
 //!
 //! assert_eq!(result.answers.len(), workload.query_count());
 //! assert!(result.expected_rms_error > 0.0);
+//!
+//! // Second call on the same workload: strategy served from the cache.
+//! assert!(engine.answer(&workload, &counts, &mut rng).unwrap().cache_hit);
+//!
+//! // Budgeted sessions account sequential composition across answers.
+//! let mut session = engine.session(PrivacyBudget::new(2.0, 1e-3));
+//! assert!(session.answer(&workload, &counts, &mut rng).is_ok());
+//! assert!(session.answer(&workload, &counts, &mut rng).is_ok());
+//! assert!(session.answer(&workload, &counts, &mut rng).is_err()); // ε spent
 //! ```
 
 #![forbid(unsafe_code)]

@@ -2,8 +2,9 @@
 //! selection, error analysis and the mechanism itself.
 
 use adaptive_dp::core::bounds::{rms_error_bound, workload_eigenvalues};
+use adaptive_dp::core::engine::Engine;
 use adaptive_dp::core::error::rms_workload_error;
-use adaptive_dp::core::{eigen_design, AdaptiveMechanism, EigenDesignOptions, PrivacyParams};
+use adaptive_dp::core::{eigen_design, EigenDesignOptions, PrivacyParams};
 use adaptive_dp::data::synthetic::synthetic_histogram;
 use adaptive_dp::strategies::datacube::datacube_strategy;
 use adaptive_dp::strategies::fourier::fourier_strategy;
@@ -30,14 +31,20 @@ fn range_workload_eigen_dominates_prior_strategies() {
     let g = w.gram();
     let m = w.query_count();
     let p = privacy();
-    let eigen = eigen_design(&g, &EigenDesignOptions::default()).unwrap().strategy;
+    let eigen = eigen_design(&g, &EigenDesignOptions::default())
+        .unwrap()
+        .strategy;
     let e_eigen = rms_workload_error(&g, m, &eigen, &p).unwrap();
     let e_wav = rms_workload_error(&g, m, &wavelet_1d(n), &p).unwrap();
     let e_hier = rms_workload_error(&g, m, &binary_hierarchical_1d(n), &p).unwrap();
     let bound = rms_error_bound(&workload_eigenvalues(&g).unwrap(), m, &p);
     assert!(e_eigen <= e_wav * 1.001);
     assert!(e_eigen <= e_hier * 1.001);
-    assert!(e_eigen / bound <= 1.3, "approximation ratio {}", e_eigen / bound);
+    assert!(
+        e_eigen / bound <= 1.3,
+        "approximation ratio {}",
+        e_eigen / bound
+    );
     // The paper reports 1.2x-2.1x improvements over the best competitor.
     assert!(e_wav.min(e_hier) / e_eigen >= 1.05);
 }
@@ -57,8 +64,12 @@ fn permuted_ranges_favour_the_adaptive_strategy() {
     let g1 = permuted.gram();
     let m = base.query_count();
 
-    let eigen0 = eigen_design(&g0, &EigenDesignOptions::default()).unwrap().strategy;
-    let eigen1 = eigen_design(&g1, &EigenDesignOptions::default()).unwrap().strategy;
+    let eigen0 = eigen_design(&g0, &EigenDesignOptions::default())
+        .unwrap()
+        .strategy;
+    let eigen1 = eigen_design(&g1, &EigenDesignOptions::default())
+        .unwrap()
+        .strategy;
     let e0 = rms_workload_error(&g0, m, &eigen0, &p).unwrap();
     let e1 = rms_workload_error(&g1, m, &eigen1, &p).unwrap();
     // Representation independence (Prop. 5).
@@ -70,7 +81,10 @@ fn permuted_ranges_favour_the_adaptive_strategy() {
     let wav_plain = rms_workload_error(&g0, m, &wavelet_1d(n), &p).unwrap();
     let wav_perm = rms_workload_error(&g1, m, &wavelet_1d(n), &p).unwrap();
     assert!(wav_perm > wav_plain * 1.5, "{wav_perm} vs {wav_plain}");
-    assert!(wav_perm / e1 > 2.0, "eigen should win clearly on permuted ranges");
+    assert!(
+        wav_perm / e1 > 2.0,
+        "eigen should win clearly on permuted ranges"
+    );
 }
 
 /// Fig. 3(c) in miniature: on marginal workloads the eigen strategy essentially
@@ -82,7 +96,9 @@ fn marginal_workload_matches_lower_bound() {
     let g = w.gram();
     let m = w.query_count();
     let p = privacy();
-    let eigen = eigen_design(&g, &EigenDesignOptions::default()).unwrap().strategy;
+    let eigen = eigen_design(&g, &EigenDesignOptions::default())
+        .unwrap()
+        .strategy;
     let e_eigen = rms_workload_error(&g, m, &eigen, &p).unwrap();
     let e_fourier = rms_workload_error(&g, m, &fourier_strategy(&w), &p).unwrap();
     let e_cube = rms_workload_error(&g, m, &datacube_strategy(&w), &p).unwrap();
@@ -100,7 +116,9 @@ fn cdf_workload_is_the_hard_case() {
     let w = PrefixWorkload::new(n);
     let g = w.gram();
     let p = privacy();
-    let eigen = eigen_design(&g, &EigenDesignOptions::default()).unwrap().strategy;
+    let eigen = eigen_design(&g, &EigenDesignOptions::default())
+        .unwrap()
+        .strategy;
     let e_eigen = rms_workload_error(&g, n, &eigen, &p).unwrap();
     let e_wav = rms_workload_error(&g, n, &wavelet_1d(n), &p).unwrap();
     // Eigen never loses by much, and does not need to win by much either.
@@ -108,23 +126,22 @@ fn cdf_workload_is_the_hard_case() {
 }
 
 /// Empirical error of the full pipeline matches the analytic prediction.
+/// Selection runs exactly once: every trial after the first is a cache hit.
 #[test]
 fn mechanism_empirical_error_matches_prediction() {
     let domain = Domain::new(&[8, 8]);
     let data = synthetic_histogram(&domain, 50_000.0, 1.0, 2, 5);
     let w = AllRangeWorkload::new(domain);
     let p = PrivacyParams::new(1.0, 1e-4);
-    let mech = AdaptiveMechanism::new(p);
-    let selection = mech.select_strategy(&w).unwrap();
-    let predicted = mech.expected_rms_error(&w, &selection.strategy).unwrap();
+    let engine = Engine::builder().privacy(p).build().unwrap();
     let truth = w.evaluate(data.counts());
     let mut rng = StdRng::seed_from_u64(17);
     let trials = 40;
     let mut sq = 0.0;
+    let mut predicted = 0.0;
     for _ in 0..trials {
-        let ans = mech
-            .answer_with_strategy(&w, selection.strategy.clone(), data.counts(), &mut rng)
-            .unwrap();
+        let ans = engine.answer(&w, data.counts(), &mut rng).unwrap();
+        predicted = ans.expected_rms_error;
         for (a, t) in ans.answers.iter().zip(truth.iter()) {
             sq += (a - t).powi(2);
         }
@@ -133,5 +150,10 @@ fn mechanism_empirical_error_matches_prediction() {
     assert!(
         (empirical - predicted).abs() / predicted < 0.15,
         "empirical {empirical} vs predicted {predicted}"
+    );
+    assert_eq!(
+        engine.stats().selections,
+        1,
+        "strategy selected once, reused {trials} times"
     );
 }

@@ -1,0 +1,241 @@
+//! Integration tests for the `Engine`/`Session` API: pluggable selection,
+//! strategy caching, noise backends and privacy-budget accounting, exercised
+//! through the `adaptive-dp` facade exactly as an application would.
+
+use adaptive_dp::core::engine::{
+    DesignSetSelector, Engine, EngineAnswer, FixedStrategySelector, PrivacyBudget, PureDpSelector,
+};
+use adaptive_dp::core::error::{rms_workload_error, rms_workload_error_l1};
+use adaptive_dp::core::{GaussianBackend, LaplaceBackend, MechanismError, PrivacyParams};
+use adaptive_dp::linalg::approx_eq;
+use adaptive_dp::strategies::hierarchical::binary_hierarchical_1d;
+use adaptive_dp::workload::fingerprint::workload_fingerprint;
+use adaptive_dp::workload::range::AllRangeWorkload;
+use adaptive_dp::workload::{Domain, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn range_workload(n: usize) -> AllRangeWorkload {
+    AllRangeWorkload::new(Domain::one_dim(n))
+}
+
+/// A cache hit returns the identical strategy object that a fresh selection
+/// produced, and the fingerprint is deterministic across separately
+/// constructed (but semantically equal) workloads.
+#[test]
+fn cache_hit_returns_identical_strategy() {
+    let engine = Engine::new(PrivacyParams::paper_default());
+    let w1 = range_workload(32);
+    let w2 = range_workload(32); // separately constructed, same workload
+
+    let (fresh, fp1, hit1) = engine.select(&w1).unwrap();
+    assert!(!hit1);
+    let (cached, fp2, hit2) = engine.select(&w2).unwrap();
+    assert!(hit2, "semantically equal workload must hit the cache");
+    assert_eq!(fp1, fp2);
+    assert_eq!(fp1, workload_fingerprint(&w1));
+    assert!(
+        Arc::ptr_eq(&fresh, &cached),
+        "cache returns the same Arc, not a re-selection"
+    );
+    assert_eq!(engine.stats().selections, 1);
+
+    // The cached strategy answers with exactly the fresh strategy's error.
+    let p = PrivacyParams::paper_default();
+    let e1 = rms_workload_error(&w1.gram(), w1.query_count(), &fresh, &p).unwrap();
+    let e2 = rms_workload_error(&w2.gram(), w2.query_count(), &cached, &p).unwrap();
+    assert!(approx_eq(e1, e2, 1e-15));
+}
+
+/// Repeated answers on the same workload never re-run selection; answers on a
+/// new workload do.
+#[test]
+fn answer_skips_selection_on_repeat() {
+    let engine = Engine::new(PrivacyParams::paper_default());
+    let w = range_workload(16);
+    let x: Vec<f64> = (0..16).map(|i| 3.0 * i as f64 + 1.0).collect();
+    let mut rng = StdRng::seed_from_u64(2);
+    for i in 0..5 {
+        let ans = engine.answer(&w, &x, &mut rng).unwrap();
+        assert_eq!(ans.cache_hit, i > 0);
+    }
+    assert_eq!(engine.stats().selections, 1);
+    assert_eq!(engine.stats().cache_hits, 4);
+
+    let other = range_workload(8);
+    engine.answer(&other, &[1.0; 8], &mut rng).unwrap();
+    assert_eq!(engine.stats().selections, 2);
+}
+
+/// Session budget arithmetic under repeated answers, and `BudgetExhausted`
+/// surfacing with the exact remaining budget.
+#[test]
+fn session_budget_accounting() {
+    let p = PrivacyParams::new(0.5, 1e-4);
+    let engine = Engine::builder().privacy(p).build().unwrap();
+    let w = range_workload(16);
+    let x: Vec<f64> = vec![10.0; 16];
+    let mut rng = StdRng::seed_from_u64(3);
+
+    // Budget for exactly three answers at (0.5, 1e-4).
+    let mut session = engine.session(PrivacyBudget::new(1.5, 3e-4));
+    for i in 1..=3 {
+        let ans: EngineAnswer = session.answer(&w, &x, &mut rng).unwrap();
+        assert_eq!(ans.answers.len(), w.query_count());
+        assert!(approx_eq(
+            session.ledger().spent().epsilon,
+            0.5 * i as f64,
+            1e-12
+        ));
+        assert!(approx_eq(
+            session.ledger().spent().delta,
+            1e-4 * i as f64,
+            1e-15
+        ));
+    }
+    assert!(approx_eq(session.remaining().epsilon, 0.0, 1e-9));
+
+    // The fourth answer fails closed with the typed error...
+    let err = session.answer(&w, &x, &mut rng).unwrap_err();
+    match err {
+        MechanismError::BudgetExhausted {
+            requested_epsilon,
+            remaining_epsilon,
+            ..
+        } => {
+            assert!(approx_eq(requested_epsilon, 0.5, 1e-12));
+            assert!(remaining_epsilon < 1e-6);
+        }
+        other => panic!("expected BudgetExhausted, got {other}"),
+    }
+    // ...and spends nothing.
+    assert_eq!(session.ledger().charges().len(), 3);
+
+    // Per-call privacy override: a smaller charge still fits a fresh session.
+    let mut small = engine.session(PrivacyBudget::new(0.2, 1e-4));
+    assert!(small
+        .answer_with_privacy(&w, PrivacyParams::new(0.2, 1e-5), &x, &mut rng)
+        .is_ok());
+    assert!(small
+        .answer_with_privacy(&w, PrivacyParams::new(0.2, 1e-5), &x, &mut rng)
+        .is_err());
+}
+
+/// Gaussian and Laplace backends both satisfy the Prop. 4 predicted-error
+/// check (regression for the unified answer path): Monte-Carlo RMS error over
+/// repeated runs matches the analytic prediction of each backend's formula.
+#[test]
+fn both_backends_match_predicted_error() {
+    let w = range_workload(8);
+    let x: Vec<f64> = vec![40.0, 10.0, 25.0, 5.0, 60.0, 15.0, 30.0, 20.0];
+    let truth = w.evaluate(&x);
+    let gram = w.gram();
+    let m = w.query_count();
+
+    // Fix the strategy (hierarchical) so the analytic reference is external
+    // to the engine: Prop. 4 for Gaussian, the Sec. 3.5 L1 form for Laplace.
+    let strategy = binary_hierarchical_1d(8);
+    let gaussian_p = PrivacyParams::new(1.0, 1e-4);
+    let laplace_p = PrivacyParams::pure(1.0);
+    let reference_gaussian = rms_workload_error(&gram, m, &strategy, &gaussian_p).unwrap();
+    let reference_laplace = rms_workload_error_l1(&gram, m, &strategy, &laplace_p).unwrap();
+
+    let gaussian_engine = Engine::builder()
+        .privacy(gaussian_p)
+        .selector(FixedStrategySelector::new(strategy.clone()))
+        .backend(GaussianBackend)
+        .build()
+        .unwrap();
+    let laplace_engine = Engine::builder()
+        .privacy(laplace_p)
+        .selector(FixedStrategySelector::new(strategy))
+        .backend(LaplaceBackend)
+        .build()
+        .unwrap();
+
+    for (engine, reference, seed) in [
+        (&gaussian_engine, reference_gaussian, 7u64),
+        (&laplace_engine, reference_laplace, 8u64),
+    ] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let trials = 250;
+        let mut sq = 0.0;
+        let mut predicted = 0.0;
+        for _ in 0..trials {
+            let ans = engine.answer(&w, &x, &mut rng).unwrap();
+            predicted = ans.expected_rms_error;
+            for (a, t) in ans.answers.iter().zip(truth.iter()) {
+                sq += (a - t).powi(2);
+            }
+        }
+        assert!(
+            approx_eq(predicted, reference, 1e-9),
+            "{}: engine prediction {predicted} vs analytic reference {reference}",
+            engine.backend().name()
+        );
+        let empirical = (sq / (trials as f64 * truth.len() as f64)).sqrt();
+        assert!(
+            (empirical - predicted).abs() / predicted < 0.12,
+            "{}: empirical {empirical} vs predicted {predicted}",
+            engine.backend().name()
+        );
+    }
+}
+
+/// The engine supports at least three selector families through the same
+/// `answer` call (acceptance criterion): Eigen-Design, a weighted design-set
+/// basis, and the pure-DP L1 weighting.
+#[test]
+fn three_selector_families_answer_through_one_call() {
+    let w = range_workload(16);
+    let x: Vec<f64> = (0..16).map(|i| 5.0 + i as f64).collect();
+    let engines = [
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .build()
+            .unwrap(), // eigen-design (default selector)
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .selector(DesignSetSelector::wavelet())
+            .build()
+            .unwrap(),
+        Engine::builder()
+            .privacy(PrivacyParams::pure(0.5))
+            .selector(PureDpSelector::wavelet())
+            .backend(LaplaceBackend)
+            .build()
+            .unwrap(),
+    ];
+    for engine in &engines {
+        let mut rng = StdRng::seed_from_u64(9);
+        let ans = engine.answer(&w, &x, &mut rng).unwrap();
+        assert_eq!(ans.answers.len(), w.query_count());
+        assert!(ans.expected_rms_error.is_finite() && ans.expected_rms_error > 0.0);
+        // Second answer is served from cache in every configuration.
+        assert!(engine.answer(&w, &x, &mut rng).unwrap().cache_hit);
+    }
+}
+
+/// `MechanismError` is non-exhaustive and the new variants format usefully.
+/// (`BudgetExhausted` is itself non-exhaustive, so it can only be obtained
+/// from a ledger, never constructed by downstream code.)
+#[test]
+fn error_variants_display() {
+    use adaptive_dp::core::engine::BudgetLedger;
+    let mut ledger = BudgetLedger::new(PrivacyBudget::new(0.1, 1e-4));
+    let e = ledger
+        .try_charge(&PrivacyParams::new(0.5, 1e-4))
+        .unwrap_err();
+    let msg = e.to_string();
+    assert!(
+        msg.contains("budget exhausted") && msg.contains("0.5"),
+        "{msg}"
+    );
+    let e = Engine::builder()
+        .privacy(PrivacyParams::pure(0.5))
+        .backend(GaussianBackend)
+        .build()
+        .unwrap_err();
+    assert!(e.to_string().contains("incompatible noise backend"));
+}

@@ -1,5 +1,9 @@
-//! Property-based tests (proptest) on the core data structures and invariants
-//! of the mechanism.
+//! Property-style tests on the core data structures and invariants of the
+//! mechanism.
+//!
+//! The offline build has no `proptest`, so each property is checked over a
+//! deterministic family of seeded random cases (the case counts match the
+//! `ProptestConfig` this file used previously).
 
 use adaptive_dp::core::bounds::{rms_error_bound, workload_eigenvalues};
 use adaptive_dp::core::error::rms_workload_error;
@@ -12,59 +16,81 @@ use adaptive_dp::workload::query::LinearQuery;
 use adaptive_dp::workload::range::{AllRangeWorkload, RandomRangeWorkload};
 use adaptive_dp::workload::transform::{seeded_permutation, PermutedWorkload};
 use adaptive_dp::workload::{Domain, ExplicitWorkload, Workload};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn small_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0f64..5.0, n * n)
-        .prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
+const CASES: u64 = 32;
+
+fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize, scale: f64) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-scale..scale))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn random_vec(rng: &mut StdRng, len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..len).map(|_| rng.gen_range(lo..hi)).collect()
+}
 
-    /// (AB)ᵀ = BᵀAᵀ for arbitrary square matrices.
-    #[test]
-    fn matmul_transpose_identity(a in small_matrix(5), b in small_matrix(5)) {
+/// (AB)ᵀ = BᵀAᵀ for arbitrary square matrices.
+#[test]
+fn matmul_transpose_identity() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random_matrix(&mut rng, 5, 5, 5.0);
+        let b = random_matrix(&mut rng, 5, 5, 5.0);
         let ab_t = ops::matmul(&a, &b).unwrap().transpose();
         let bt_at = ops::matmul(&b.transpose(), &a.transpose()).unwrap();
         for i in 0..5 {
             for j in 0..5 {
-                prop_assert!(approx_eq(ab_t[(i, j)], bt_at[(i, j)], 1e-8));
+                assert!(approx_eq(ab_t[(i, j)], bt_at[(i, j)], 1e-8));
             }
         }
     }
+}
 
-    /// The gram matrix AᵀA is always symmetric positive semidefinite.
-    #[test]
-    fn gram_is_psd(a in small_matrix(6)) {
+/// The gram matrix AᵀA is always symmetric positive semidefinite.
+#[test]
+fn gram_is_psd() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let a = random_matrix(&mut rng, 6, 6, 5.0);
         let g = ops::gram(&a);
-        prop_assert!(g.is_symmetric(1e-9));
+        assert!(g.is_symmetric(1e-9));
         let eig = SymmetricEigen::new(&g).unwrap();
         for &l in eig.eigenvalues() {
-            prop_assert!(l > -1e-7, "negative eigenvalue {l}");
+            assert!(l > -1e-7, "negative eigenvalue {l}");
         }
     }
+}
 
-    /// Eigendecomposition reconstructs the matrix and preserves the trace.
-    #[test]
-    fn eigen_reconstruction(a in small_matrix(6)) {
+/// Eigendecomposition reconstructs the matrix and preserves the trace.
+#[test]
+fn eigen_reconstruction() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let a = random_matrix(&mut rng, 6, 6, 5.0);
         let g = ops::gram(&a);
         let eig = SymmetricEigen::new(&g).unwrap();
         let sum: f64 = eig.eigenvalues().iter().sum();
-        prop_assert!(approx_eq(sum, g.trace(), 1e-6 * (1.0 + g.trace().abs())));
+        assert!(approx_eq(sum, g.trace(), 1e-6 * (1.0 + g.trace().abs())));
         let rec = eig.reconstruct();
         for i in 0..6 {
             for j in 0..6 {
-                prop_assert!(approx_eq(rec[(i, j)], g[(i, j)], 1e-6 * (1.0 + g.max_abs())));
+                assert!(approx_eq(
+                    rec[(i, j)],
+                    g[(i, j)],
+                    1e-6 * (1.0 + g.max_abs())
+                ));
             }
         }
     }
+}
 
-    /// Cholesky solves reproduce the right-hand side.
-    #[test]
-    fn cholesky_solve_roundtrip(a in small_matrix(5), rhs in prop::collection::vec(-10.0f64..10.0, 5)) {
+/// Cholesky solves reproduce the right-hand side.
+#[test]
+fn cholesky_solve_roundtrip() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let a = random_matrix(&mut rng, 5, 5, 5.0);
+        let rhs = random_vec(&mut rng, 5, -10.0, 10.0);
         let mut g = ops::gram(&a);
         for i in 0..5 {
             g[(i, i)] += 5.0;
@@ -73,26 +99,31 @@ proptest! {
         let x = ch.solve_vec(&rhs).unwrap();
         let back = g.matvec(&x).unwrap();
         for (b, r) in back.iter().zip(rhs.iter()) {
-            prop_assert!(approx_eq(*b, *r, 1e-6));
+            assert!(approx_eq(*b, *r, 1e-6));
         }
     }
+}
 
-    /// A linear query evaluates identically in sparse and dense form.
-    #[test]
-    fn query_sparse_dense_agree(
-        coeffs in prop::collection::vec(-3.0f64..3.0, 12),
-        x in prop::collection::vec(0.0f64..50.0, 12),
-    ) {
+/// A linear query evaluates identically in sparse and dense form.
+#[test]
+fn query_sparse_dense_agree() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(400 + seed);
+        let coeffs = random_vec(&mut rng, 12, -3.0, 3.0);
+        let x = random_vec(&mut rng, 12, 0.0, 50.0);
         let q = LinearQuery::from_dense(&coeffs);
         let dense: f64 = coeffs.iter().zip(x.iter()).map(|(c, v)| c * v).sum();
-        prop_assert!(approx_eq(q.evaluate(&x), dense, 1e-9));
-        prop_assert!(q.nnz() <= 12);
+        assert!(approx_eq(q.evaluate(&x), dense, 1e-9));
+        assert!(q.nnz() <= 12);
     }
+}
 
-    /// Permuting cell conditions never changes the workload's eigenvalues, and
-    /// therefore never changes the lower bound or the eigen-design error.
-    #[test]
-    fn permutation_preserves_spectrum(seed in 0u64..5000) {
+/// Permuting cell conditions never changes the workload's eigenvalues, and
+/// therefore never changes the lower bound or the eigen-design error.
+#[test]
+fn permutation_preserves_spectrum() {
+    for case in 0..CASES {
+        let seed = case * 137 + 5; // spread over [0, 5000)
         let n = 12usize;
         let w = AllRangeWorkload::new(Domain::one_dim(n));
         let permuted = PermutedWorkload::new(
@@ -102,56 +133,64 @@ proptest! {
         let e0 = workload_eigenvalues(&w.gram()).unwrap();
         let e1 = workload_eigenvalues(&permuted.gram()).unwrap();
         for (a, b) in e0.iter().zip(e1.iter()) {
-            prop_assert!(approx_eq(*a, *b, 1e-7 * (1.0 + a.abs())));
+            assert!(approx_eq(*a, *b, 1e-7 * (1.0 + a.abs())));
         }
     }
+}
 
-    /// The weighting solver always returns a feasible point that is at least
-    /// as good as the Theorem-2 initial weighting.
-    #[test]
-    fn weighting_solver_feasible_and_improving(
-        costs in prop::collection::vec(0.0f64..20.0, 2..10),
-        seed in 0u64..1000,
-    ) {
-        let k = costs.len();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let design = Matrix::from_fn(k, k + 2, |_, _| {
-            use rand::Rng;
-            rng.gen_range(-1.0f64..1.0)
-        });
+/// The weighting solver always returns a feasible point that is at least as
+/// good as the Theorem-2 initial weighting.
+#[test]
+fn weighting_solver_feasible_and_improving() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let k = rng.gen_range(2usize..10);
+        let costs = random_vec(&mut rng, k, 0.0, 20.0);
+        let design = random_matrix(&mut rng, k, k + 2, 1.0);
         let problem = match WeightingProblem::from_design_queries(&design, costs) {
             Ok(p) => p,
-            Err(_) => return Ok(()), // e.g. a positive-cost query with all-zero coefficients
+            Err(_) => continue, // e.g. a positive-cost query with all-zero coefficients
         };
         let sol = solve_log_gd(&problem, &GdOptions::fast()).unwrap();
-        prop_assert!(problem.is_feasible(&sol.u, 1e-6));
+        assert!(problem.is_feasible(&sol.u, 1e-6));
         let init = problem.initial_point();
-        prop_assert!(sol.objective <= problem.objective(&init) * (1.0 + 1e-6));
+        assert!(sol.objective <= problem.objective(&init) * (1.0 + 1e-6));
     }
+}
 
-    /// The eigen-design error never beats the Theorem-2 lower bound and never
-    /// loses to the identity strategy by more than the identity's own error.
-    #[test]
-    fn eigen_design_respects_bound(seed in 0u64..200) {
+/// The eigen-design error never beats the Theorem-2 lower bound and never
+/// loses to the identity strategy by more than the identity's own error.
+#[test]
+fn eigen_design_respects_bound() {
+    for seed in 0..CASES {
         let n = 10usize;
         let domain = Domain::one_dim(n);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(600 + seed);
         let w = RandomRangeWorkload::sample(domain, 15, &mut rng);
         let g = w.gram();
         let m = w.query_count();
         let p = PrivacyParams::paper_default();
-        let eigen = eigen_design(&g, &EigenDesignOptions::fast()).unwrap().strategy;
+        let eigen = eigen_design(&g, &EigenDesignOptions::fast())
+            .unwrap()
+            .strategy;
         let err = rms_workload_error(&g, m, &eigen, &p).unwrap();
         let bound = rms_error_bound(&workload_eigenvalues(&g).unwrap(), m, &p);
-        prop_assert!(err >= bound * (1.0 - 1e-6), "err {err} below bound {bound}");
+        assert!(err >= bound * (1.0 - 1e-6), "err {err} below bound {bound}");
         let id_err = rms_workload_error(&g, m, &identity_strategy(n), &p).unwrap();
-        prop_assert!(err <= id_err * 1.01, "eigen {err} should not lose to identity {id_err}");
+        assert!(
+            err <= id_err * 1.01,
+            "eigen {err} should not lose to identity {id_err}"
+        );
     }
+}
 
-    /// Scaling every query of a workload by a constant scales the error of any
-    /// strategy by the same constant (error linearity, Sec. 3.4).
-    #[test]
-    fn error_scales_linearly_with_query_norm(scale in 0.5f64..4.0) {
+/// Scaling every query of a workload by a constant scales the error of any
+/// strategy by the same constant (error linearity, Sec. 3.4).
+#[test]
+fn error_scales_linearly_with_query_norm() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(700 + seed);
+        let scale = rng.gen_range(0.5f64..4.0);
         let w = ExplicitWorkload::new(
             "pair",
             vec![LinearQuery::range_1d(8, 0, 5), LinearQuery::cell(8, 3)],
@@ -167,6 +206,6 @@ proptest! {
         let s = identity_strategy(8);
         let e1 = rms_workload_error(&w.gram(), 2, &s, &p).unwrap();
         let e2 = rms_workload_error(&scaled.gram(), 2, &s, &p).unwrap();
-        prop_assert!(approx_eq(e2, scale * e1, 1e-7 * (1.0 + e2)));
+        assert!(approx_eq(e2, scale * e1, 1e-7 * (1.0 + e2)));
     }
 }
