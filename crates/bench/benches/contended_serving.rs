@@ -1,0 +1,171 @@
+//! Contended multi-threaded serving throughput for the `Engine`.
+//!
+//! Three scenarios, printed as a small report (this bench has a custom main,
+//! so `cargo bench -p mm-bench --bench contended_serving` runs it directly):
+//!
+//! 1. **Mixed traffic, K threads.** K ∈ {1, 2, 4, 8} threads share one
+//!    `Arc<Engine>` and answer a mixed working set of range workloads
+//!    (n ∈ {32, 48, 64, 96}) chosen uniformly at random per call.  Reported:
+//!    wall-clock throughput (answers/s) and the engine's hit/miss/selection
+//!    counters.  With the sharded single-flight cache, the selector runs
+//!    once per distinct workload *in total* — not once per thread — and the
+//!    hit ratio approaches 1 as the trial lengthens.
+//!
+//! 2. **Cold-start stampede.** K threads race on one cold workload.
+//!    Single-flight selection means exactly one selection runs while the
+//!    other K−1 threads wait and share the leader's result.
+//!
+//! 3. **Hot workload under cold churn.** One hot workload is served between
+//!    a stream of distinct cold workloads through a cache smaller than the
+//!    stream.  LRU eviction keeps the hot entry resident (one selection for
+//!    its lifetime); the FIFO policy this replaced re-selected it every
+//!    `capacity` cold arrivals.
+
+use mm_core::engine::Engine;
+use mm_core::PrivacyParams;
+use mm_workload::range::AllRangeWorkload;
+use mm_workload::{Domain, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+const MIXED_SIZES: [usize; 4] = [32, 48, 64, 96];
+const ANSWERS_PER_THREAD: usize = 200;
+
+fn mixed_traffic(threads: usize) {
+    let engine = Arc::new(
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .cache_capacity(64)
+            .build()
+            .unwrap(),
+    );
+    let workloads: Arc<Vec<AllRangeWorkload>> = Arc::new(
+        MIXED_SIZES
+            .iter()
+            .map(|&n| AllRangeWorkload::new(Domain::one_dim(n)))
+            .collect(),
+    );
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let workloads = Arc::clone(&workloads);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE + t as u64);
+                barrier.wait();
+                for _ in 0..ANSWERS_PER_THREAD {
+                    let w = &workloads[rng.gen_range(0..workloads.len())];
+                    let x: Vec<f64> = (0..w.dim()).map(|i| 10.0 + (i % 7) as f64).collect();
+                    engine.answer(w, &x, &mut rng).unwrap();
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let stats = engine.stats();
+    let total = (threads * ANSWERS_PER_THREAD) as f64;
+    let hit_ratio = stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses) as f64;
+    println!(
+        "mixed_traffic/{threads} threads: {:>8.0} answers/s  \
+         (hits {} / misses {} / selections {}, hit ratio {:.3})",
+        total / elapsed.as_secs_f64(),
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.selections,
+        hit_ratio,
+    );
+    assert!(
+        stats.selections == MIXED_SIZES.len() as u64,
+        "single-flight: one selection per distinct workload, got {}",
+        stats.selections
+    );
+}
+
+fn cold_start_stampede(threads: usize) {
+    let n = 256;
+    let engine = Arc::new(Engine::new(PrivacyParams::paper_default()));
+    let workload = Arc::new(AllRangeWorkload::new(Domain::one_dim(n)));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let workload = Arc::clone(&workload);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(7 + t as u64);
+                let x: Vec<f64> = vec![3.0; n];
+                barrier.wait();
+                engine.answer(workload.as_ref(), &x, &mut rng).unwrap();
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let stats = engine.stats();
+    println!(
+        "cold_stampede/{threads} threads on one n={n} workload: {:.2?}  \
+         (selections {}, waiters served from the in-flight selection: {})",
+        elapsed, stats.selections, stats.cache_hits,
+    );
+    assert_eq!(stats.selections, 1, "stampede must run one selection");
+}
+
+fn hot_under_cold_churn() {
+    let engine = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .cache_capacity(8)
+        .cache_shards(1)
+        .build()
+        .unwrap();
+    let hot = AllRangeWorkload::new(Domain::one_dim(64));
+    let mut rng = StdRng::seed_from_u64(99);
+    let x_hot: Vec<f64> = vec![5.0; 64];
+    engine.answer(&hot, &x_hot, &mut rng).unwrap();
+
+    let cold_sizes: Vec<usize> = (8..48).collect();
+    let start = Instant::now();
+    for &n in &cold_sizes {
+        engine.answer(&hot, &x_hot, &mut rng).unwrap();
+        let cold = AllRangeWorkload::new(Domain::one_dim(n));
+        let x: Vec<f64> = vec![1.0; n];
+        engine.answer(&cold, &x, &mut rng).unwrap();
+    }
+    let elapsed = start.elapsed();
+    let stats = engine.stats();
+    println!(
+        "hot_under_churn: {} cold workloads through a capacity-8 LRU cache in {:.2?}  \
+         (selections {} = 1 hot + {} cold; hot workload never re-selected)",
+        cold_sizes.len(),
+        elapsed,
+        stats.selections,
+        cold_sizes.len(),
+    );
+    assert_eq!(
+        stats.selections,
+        1 + cold_sizes.len() as u64,
+        "LRU must keep the hot workload resident"
+    );
+}
+
+fn main() {
+    println!("\n== contended_serving ==");
+    for &threads in &[1usize, 2, 4, 8] {
+        mixed_traffic(threads);
+    }
+    for &threads in &[4usize, 8] {
+        cold_start_stampede(threads);
+    }
+    hot_under_cold_churn();
+}

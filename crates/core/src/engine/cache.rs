@@ -1,4 +1,5 @@
-//! The engine's internal strategy cache.
+//! The engine's internal strategy cache: sharded, recency-aware, and
+//! single-flight.
 //!
 //! Strategy selection is data independent, so a selected strategy is valid
 //! for every database and every privacy level (the strategy scales out of the
@@ -7,19 +8,46 @@
 //! letting repeated `answer` calls on the same workload skip selection — by
 //! far the dominant cost — entirely.
 //!
-//! Eviction is FIFO over distinct workloads by insertion order — lookups do
-//! not refresh an entry's position, so a frequently served workload is
-//! evicted as readily as a cold one once capacity is exceeded (recency-aware
-//! eviction is a ROADMAP item).  Size the capacity to the working set.  The
-//! cache is internally synchronised so an [`Engine`](crate::engine::Engine)
-//! can be shared across threads behind an `Arc`.
+//! # Concurrency
+//!
+//! The cache is built for contended multi-threaded serving:
+//!
+//! * **Sharding.** Entries are spread over N independently locked shards
+//!   (fingerprints are avalanched 64-bit hashes, so the low bits pick a shard
+//!   uniformly).  Lookups on different workloads never contend on one global
+//!   lock; the per-shard critical sections are a hash-map probe plus a
+//!   recency-stamp update.
+//! * **Single-flight selection.** When several threads miss on the *same*
+//!   fingerprint concurrently, exactly one (the *leader*, handed a
+//!   [`SelectionGuard`]) runs the O(n³) selector; the others block on the
+//!   flight and receive the leader's published entry.  If the leader fails
+//!   (error or panic), waiters wake and race to become the next leader, so an
+//!   error is returned per caller and never cached.
+//!
+//! # Eviction
+//!
+//! Eviction is least-recently-used *per shard*: every `get` refreshes the
+//! entry's recency stamp, and an insert into a full shard evicts the entry
+//! with the oldest stamp.  A frequently served workload therefore stays
+//! resident under a churning stream of cold workloads (the FIFO policy this
+//! replaces evicted hot and cold entries alike).  The configured capacity is
+//! a total across shards: the per-shard bounds sum to exactly the total, so
+//! the cache never holds more entries than configured, but with more than
+//! one shard the split is approximate in use — a skewed fingerprint
+//! distribution can evict from a full shard while another has room.  Size
+//! the capacity to the working set and the shard count to the expected
+//! parallelism (both are [`EngineBuilder`](crate::engine::EngineBuilder)
+//! knobs).
 
 use mm_linalg::decomp::Cholesky;
 use mm_linalg::Matrix;
 use mm_strategies::Strategy;
 use mm_workload::Fingerprint;
-use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Default number of independently locked cache shards.
+pub const DEFAULT_SHARD_COUNT: usize = 8;
 
 /// A cached selection: the strategy plus two lazily computed, data- and
 /// privacy-independent derived quantities — the Cholesky factor of the
@@ -77,63 +105,309 @@ impl CachedSelection {
     }
 }
 
-/// A bounded FIFO map from workload fingerprints to selected strategies.
+/// One in-flight selection: waiters block on the condvar until the leader
+/// publishes an entry (`Done`) or gives up (`Failed`, upon which waiters race
+/// to become the next leader).
 #[derive(Debug)]
-pub struct StrategyCache {
-    capacity: usize,
-    inner: Mutex<Inner>,
+struct Flight {
+    state: Mutex<FlightState>,
+    cv: Condvar,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
-    map: HashMap<Fingerprint, Arc<CachedSelection>>,
-    order: VecDeque<Fingerprint>,
+#[derive(Debug)]
+enum FlightState {
+    Pending,
+    Done(Arc<CachedSelection>),
+    Failed,
 }
 
-impl StrategyCache {
-    /// Creates a cache holding up to `capacity` strategies (0 disables
-    /// caching).
-    pub fn new(capacity: usize) -> Self {
-        StrategyCache {
-            capacity,
-            inner: Mutex::new(Inner::default()),
+impl Flight {
+    fn new() -> Arc<Self> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Blocks until the flight resolves; `None` means the leader failed.
+    fn wait(&self) -> Option<Arc<CachedSelection>> {
+        let mut state = self.state.lock().expect("flight lock");
+        loop {
+            match &*state {
+                FlightState::Pending => state = self.cv.wait(state).expect("flight lock"),
+                FlightState::Done(entry) => return Some(entry.clone()),
+                FlightState::Failed => return None,
+            }
         }
     }
 
-    /// The configured capacity.
+    fn resolve(&self, outcome: Option<Arc<CachedSelection>>) {
+        let mut state = self.state.lock().expect("flight lock");
+        *state = match outcome {
+            Some(entry) => FlightState::Done(entry),
+            None => FlightState::Failed,
+        };
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    selection: Arc<CachedSelection>,
+    /// Recency stamp: the shard tick at the entry's last `get` or insert.
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShardInner {
+    map: HashMap<Fingerprint, CacheEntry>,
+    in_flight: HashMap<Fingerprint, Arc<Flight>>,
+    tick: u64,
+}
+
+impl ShardInner {
+    fn touch(&mut self, fp: Fingerprint) -> Option<Arc<CachedSelection>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&fp).map(|e| {
+            e.last_used = tick;
+            e.selection.clone()
+        })
+    }
+
+    /// Inserts, evicting LRU entries to stay within `capacity`, and returns
+    /// the entry now cached for the fingerprint: an earlier insert wins a
+    /// race between two concurrent selections, keeping results stable.
+    fn insert(
+        &mut self,
+        fp: Fingerprint,
+        selection: Arc<CachedSelection>,
+        capacity: usize,
+    ) -> Arc<CachedSelection> {
+        if let Some(existing) = self.map.get(&fp) {
+            return existing.selection.clone();
+        }
+        while self.map.len() >= capacity {
+            // Evict the least recently used entry (shard capacities are
+            // small, so the linear scan is cheaper than an intrusive list).
+            let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(fp, _)| *fp)
+            else {
+                break;
+            };
+            self.map.remove(&oldest);
+        }
+        self.tick += 1;
+        self.map.insert(
+            fp,
+            CacheEntry {
+                selection: selection.clone(),
+                last_used: self.tick,
+            },
+        );
+        selection
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// Maximum entries this shard holds (shards share the total capacity;
+    /// the first `capacity % shard_count` shards hold one extra entry).
+    capacity: usize,
+    inner: Mutex<ShardInner>,
+}
+
+/// Outcome of [`StrategyCache::begin`].
+#[derive(Debug)]
+pub enum Lookup<'c> {
+    /// The fingerprint was resident; the entry's recency was refreshed.
+    Hit(Arc<CachedSelection>),
+    /// Another thread was already selecting this fingerprint; the caller
+    /// blocked and received the leader's entry without doing any work.
+    Shared(Arc<CachedSelection>),
+    /// The caller is the selection leader: it must run the selector and
+    /// [`SelectionGuard::publish`] the result (dropping the guard without
+    /// publishing marks the flight failed and wakes any waiters).
+    Miss(SelectionGuard<'c>),
+}
+
+/// Held by the single selection leader for a fingerprint; see [`Lookup`].
+#[derive(Debug)]
+pub struct SelectionGuard<'c> {
+    cache: &'c StrategyCache,
+    fp: Fingerprint,
+    /// `None` when the cache is disabled (capacity 0): no flight to resolve,
+    /// nothing to publish into.
+    flight: Option<Arc<Flight>>,
+}
+
+impl SelectionGuard<'_> {
+    /// Publishes a completed selection: inserts it into the cache and hands
+    /// it to every waiter.  Returns the entry now cached for the fingerprint
+    /// — if a concurrent `insert` won the race for this fingerprint, that
+    /// earlier entry is what waiters receive and what is returned, keeping
+    /// every caller on one strategy per fingerprint.
+    pub fn publish(mut self, selection: Arc<CachedSelection>) -> Arc<CachedSelection> {
+        let Some(flight) = self.flight.take() else {
+            return selection; // caching disabled
+        };
+        let shard = self.cache.shard(self.fp);
+        let winner = {
+            let mut inner = shard.inner.lock().expect("cache shard lock");
+            let winner = inner.insert(self.fp, selection, shard.capacity);
+            inner.in_flight.remove(&self.fp);
+            winner
+        };
+        flight.resolve(Some(winner.clone()));
+        winner
+    }
+}
+
+impl Drop for SelectionGuard<'_> {
+    fn drop(&mut self) {
+        // Leader gave up (selector error or panic): fail the flight so
+        // waiters wake and retry instead of deadlocking; errors are never
+        // cached.
+        if let Some(flight) = self.flight.take() {
+            let shard = self.cache.shard(self.fp);
+            shard
+                .inner
+                .lock()
+                .expect("cache shard lock")
+                .in_flight
+                .remove(&self.fp);
+            flight.resolve(None);
+        }
+    }
+}
+
+/// A bounded, sharded, LRU map from workload fingerprints to selected
+/// strategies with single-flight selection (see the module docs).
+#[derive(Debug)]
+pub struct StrategyCache {
+    capacity: usize,
+    shards: Box<[Shard]>,
+    shard_mask: usize,
+}
+
+impl StrategyCache {
+    /// Creates a cache holding up to `capacity` strategies total (0 disables
+    /// caching) over [`DEFAULT_SHARD_COUNT`] shards.
+    pub fn new(capacity: usize) -> Self {
+        StrategyCache::with_shards(capacity, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Creates a cache with an explicit shard count (rounded up to a power
+    /// of two, then halved until it does not exceed the capacity, so every
+    /// shard holds at least one entry).  The capacity is split across shards
+    /// with the remainder spread one-per-shard, so the shard capacities sum
+    /// to exactly the configured total.
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        let mut count = shards.max(1).next_power_of_two();
+        while count > 1 && count > capacity {
+            count /= 2;
+        }
+        let (base, remainder) = (capacity / count, capacity % count);
+        StrategyCache {
+            capacity,
+            shards: (0..count)
+                .map(|i| Shard {
+                    capacity: base + usize::from(i < remainder),
+                    inner: Mutex::default(),
+                })
+                .collect(),
+            shard_mask: count - 1,
+        }
+    }
+
+    /// The configured total capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Looks up the selection cached for a fingerprint.
-    pub fn get(&self, fp: Fingerprint) -> Option<Arc<CachedSelection>> {
-        self.inner.lock().expect("cache lock").map.get(&fp).cloned()
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Inserts a selection, evicting the oldest entry when full.  Returns the
-    /// selection that is now cached for the fingerprint (an earlier entry wins
-    /// a race between two concurrent selections, keeping results stable).
+    fn shard(&self, fp: Fingerprint) -> &Shard {
+        // Fingerprints are avalanched, so the low bits are uniform.
+        &self.shards[(fp.0 as usize) & self.shard_mask]
+    }
+
+    /// Looks up a fingerprint, joining or founding an in-flight selection on
+    /// a miss.  May block while another thread selects the same fingerprint.
+    pub fn begin(&self, fp: Fingerprint) -> Lookup<'_> {
+        if self.capacity == 0 {
+            return Lookup::Miss(SelectionGuard {
+                cache: self,
+                fp,
+                flight: None,
+            });
+        }
+        let shard = self.shard(fp);
+        loop {
+            let flight = {
+                let mut inner = shard.inner.lock().expect("cache shard lock");
+                if let Some(selection) = inner.touch(fp) {
+                    return Lookup::Hit(selection);
+                }
+                match inner.in_flight.get(&fp) {
+                    Some(flight) => flight.clone(),
+                    None => {
+                        let flight = Flight::new();
+                        inner.in_flight.insert(fp, flight.clone());
+                        return Lookup::Miss(SelectionGuard {
+                            cache: self,
+                            fp,
+                            flight: Some(flight),
+                        });
+                    }
+                }
+            };
+            // Another thread is selecting: wait off-lock.  A failed flight
+            // loops back so this caller can (race to) become the new leader.
+            if let Some(selection) = flight.wait() {
+                return Lookup::Shared(selection);
+            }
+        }
+    }
+
+    /// Looks up the selection cached for a fingerprint, refreshing its
+    /// recency (no single-flight; see [`StrategyCache::begin`]).
+    pub fn get(&self, fp: Fingerprint) -> Option<Arc<CachedSelection>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.shard(fp)
+            .inner
+            .lock()
+            .expect("cache shard lock")
+            .touch(fp)
+    }
+
+    /// Inserts a selection, evicting the shard's least-recently-used entry
+    /// when full.  Returns the selection now cached for the fingerprint (an
+    /// earlier entry wins a race between two concurrent selections, keeping
+    /// results stable).
     pub fn insert(&self, fp: Fingerprint, selection: Arc<CachedSelection>) -> Arc<CachedSelection> {
         if self.capacity == 0 {
             return selection;
         }
-        let mut inner = self.inner.lock().expect("cache lock");
-        if let Some(existing) = inner.map.get(&fp) {
-            return existing.clone();
-        }
-        while inner.order.len() >= self.capacity {
-            if let Some(old) = inner.order.pop_front() {
-                inner.map.remove(&old);
-            }
-        }
-        inner.map.insert(fp, selection.clone());
-        inner.order.push_back(fp);
-        selection
+        let shard = self.shard(fp);
+        let mut inner = shard.inner.lock().expect("cache shard lock");
+        inner.insert(fp, selection, shard.capacity)
     }
 
-    /// Number of cached strategies.
+    /// Number of cached strategies (across all shards).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().expect("cache shard lock").map.len())
+            .sum()
     }
 
     /// Whether the cache is empty.
@@ -141,11 +415,12 @@ impl StrategyCache {
         self.len() == 0
     }
 
-    /// Drops every cached strategy.
+    /// Drops every cached strategy (in-flight selections are unaffected and
+    /// will publish into the emptied cache).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().expect("cache lock");
-        inner.map.clear();
-        inner.order.clear();
+        for shard in self.shards.iter() {
+            shard.inner.lock().expect("cache shard lock").map.clear();
+        }
     }
 }
 
@@ -153,6 +428,7 @@ impl StrategyCache {
 mod tests {
     use super::*;
     use mm_strategies::identity::identity_strategy;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn fp(v: u64) -> Fingerprint {
         Fingerprint(v)
@@ -160,6 +436,11 @@ mod tests {
 
     fn entry(n: usize) -> Arc<CachedSelection> {
         Arc::new(CachedSelection::new(Arc::new(identity_strategy(n))))
+    }
+
+    /// A one-shard cache so eviction order is deterministic.
+    fn single_shard(capacity: usize) -> StrategyCache {
+        StrategyCache::with_shards(capacity, 1)
     }
 
     #[test]
@@ -174,15 +455,35 @@ mod tests {
     }
 
     #[test]
-    fn fifo_eviction() {
-        let cache = StrategyCache::new(2);
-        for v in 1..=3 {
-            cache.insert(fp(v), entry(4));
-        }
+    fn lru_eviction_evicts_the_coldest() {
+        let cache = single_shard(2);
+        cache.insert(fp(1), entry(4));
+        cache.insert(fp(2), entry(4));
+        // Touch 1 so 2 is now the least recently used.
+        assert!(cache.get(fp(1)).is_some());
+        cache.insert(fp(3), entry(4));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get(fp(1)).is_none(), "oldest entry evicted");
-        assert!(cache.get(fp(2)).is_some());
+        assert!(cache.get(fp(1)).is_some(), "recently used entry survives");
+        assert!(cache.get(fp(2)).is_none(), "LRU entry evicted");
         assert!(cache.get(fp(3)).is_some());
+    }
+
+    #[test]
+    fn hot_entry_survives_churning_cold_stream() {
+        // The regression FIFO failed: a hot workload served between cold
+        // insertions stays resident under LRU, while FIFO (insertion order)
+        // would have evicted it once `capacity` cold entries passed through.
+        let cache = single_shard(4);
+        let hot = entry(4);
+        cache.insert(fp(0), hot.clone());
+        for cold in 1..=100u64 {
+            assert!(
+                cache.get(fp(0)).is_some(),
+                "hot entry evicted after {cold} cold insertions"
+            );
+            cache.insert(fp(cold), entry(4));
+        }
+        assert!(Arc::ptr_eq(&cache.get(fp(0)).unwrap(), &hot));
     }
 
     #[test]
@@ -202,6 +503,12 @@ mod tests {
         cache.insert(fp(5), entry(4));
         assert!(cache.get(fp(5)).is_none());
         assert!(cache.is_empty());
+        // begin() always hands out a leader guard; publish is a no-op.
+        let Lookup::Miss(guard) = cache.begin(fp(5)) else {
+            panic!("disabled cache must miss");
+        };
+        guard.publish(entry(4));
+        assert!(cache.is_empty());
     }
 
     #[test]
@@ -210,6 +517,126 @@ mod tests {
         cache.insert(fp(1), entry(4));
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shard_split_covers_capacity() {
+        let cache = StrategyCache::new(32);
+        assert_eq!(cache.shard_count(), DEFAULT_SHARD_COUNT);
+        // Every fingerprint is insertable regardless of which shard it maps
+        // to (per-shard capacity is total/shards).
+        for v in 0..32u64 {
+            cache.insert(fp(v), entry(2));
+        }
+        assert!(cache.len() >= 32 / DEFAULT_SHARD_COUNT);
+        // Shard counts round up to powers of two and never exceed capacity.
+        assert_eq!(StrategyCache::with_shards(4, 64).shard_count(), 4);
+        assert_eq!(StrategyCache::with_shards(8, 3).shard_count(), 4);
+    }
+
+    #[test]
+    fn total_capacity_is_never_exceeded() {
+        // Regression: a non-power-of-two capacity below the default shard
+        // count used to keep 8 one-entry shards, holding up to 8 entries
+        // while capacity() reported 5.
+        for capacity in [1usize, 2, 3, 5, 7, 12, 33] {
+            let cache = StrategyCache::new(capacity);
+            assert!(cache.shard_count() <= capacity);
+            // The per-shard bounds sum to exactly the configured total (the
+            // remainder is spread one-per-shard, not floored away).
+            let shard_total: usize = cache.shards.iter().map(|s| s.capacity).sum();
+            assert_eq!(shard_total, capacity);
+            for v in 0..200u64 {
+                cache.insert(fp(v), entry(2));
+                assert!(
+                    cache.len() <= capacity,
+                    "len {} > capacity {capacity} after {v} inserts",
+                    cache.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn publish_defers_to_an_insert_that_won_the_race() {
+        // A direct `insert` racing ahead of a leader's `publish` must win for
+        // every observer: the flight's waiters, the leader's return value,
+        // and later lookups all see the earlier entry.
+        let cache = StrategyCache::new(4);
+        let Lookup::Miss(guard) = cache.begin(fp(7)) else {
+            panic!("empty cache must miss");
+        };
+        let raced = cache.insert(fp(7), entry(4));
+        let published = guard.publish(entry(4));
+        assert!(Arc::ptr_eq(&published, &raced), "earlier insert wins");
+        match cache.begin(fp(7)) {
+            Lookup::Hit(got) => assert!(Arc::ptr_eq(&got, &raced)),
+            other => panic!("expected hit, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn begin_hit_and_miss_paths() {
+        let cache = StrategyCache::new(4);
+        let Lookup::Miss(guard) = cache.begin(fp(7)) else {
+            panic!("empty cache must miss");
+        };
+        let published = guard.publish(entry(4));
+        match cache.begin(fp(7)) {
+            Lookup::Hit(got) => assert!(Arc::ptr_eq(&got, &published)),
+            other => panic!("expected hit, got {other:?}"),
+        };
+    }
+
+    #[test]
+    fn dropped_guard_fails_the_flight_and_allows_retry() {
+        let cache = StrategyCache::new(4);
+        {
+            let Lookup::Miss(_guard) = cache.begin(fp(3)) else {
+                panic!("must miss");
+            };
+            // _guard dropped without publishing (selector error).
+        }
+        // The flight is gone; the next caller becomes a fresh leader rather
+        // than deadlocking on the failed flight.
+        let Lookup::Miss(guard) = cache.begin(fp(3)) else {
+            panic!("failed flight must not leave a stale entry");
+        };
+        guard.publish(entry(4));
+        assert!(matches!(cache.begin(fp(3)), Lookup::Hit(_)));
+    }
+
+    #[test]
+    fn single_flight_runs_one_selection_across_threads() {
+        let cache = Arc::new(StrategyCache::new(8));
+        let selections = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = cache.clone();
+                let selections = selections.clone();
+                std::thread::spawn(move || match cache.begin(fp(42)) {
+                    Lookup::Hit(e) | Lookup::Shared(e) => e,
+                    Lookup::Miss(guard) => {
+                        selections.fetch_add(1, Ordering::SeqCst);
+                        // Give the other threads time to pile onto the flight.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        guard.publish(entry(4))
+                    }
+                })
+            })
+            .collect();
+        let entries: Vec<_> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert_eq!(
+            selections.load(Ordering::SeqCst),
+            1,
+            "exactly one leader selected"
+        );
+        for e in &entries[1..] {
+            assert!(
+                Arc::ptr_eq(e, &entries[0]),
+                "all threads share the one published entry"
+            );
+        }
     }
 
     #[test]

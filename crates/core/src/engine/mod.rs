@@ -5,16 +5,23 @@
 //! and then serves any number of `answer` calls:
 //!
 //! ```text
-//!     Engine::builder()                        Session (BudgetLedger)
+//!     Engine::builder()                        Session / OwnedSession
 //!       .privacy(ε, δ)                            │ charge (ε,δ) per answer
-//!       .selector(…)      ──► Engine::answer ◄────┘
+//!       .selector(…)      ──► Engine::answer ◄────┘   (BudgetLedger)
 //!       .backend(…)             │
 //!       .build()                ├── gram fingerprint ──► StrategyCache
-//!                               │        (hit: skip selection entirely)
-//!                               ├── StrategySelector (miss: select once)
+//!                               │     (sharded LRU; hit: skip selection)
+//!                               ├── StrategySelector (miss: single-flight —
+//!                               │     concurrent misses select once)
 //!                               └── NoiseBackend: noisy y = Ax + noise,
 //!                                   x̂ = A⁺y, answers = W x̂
 //! ```
+//!
+//! The engine is a concurrent server: all methods take `&self`, the cache is
+//! sharded and single-flight (N threads missing on one workload run one
+//! selection), [`OwnedSession`] moves across threads/async tasks over an
+//! `Arc<Engine>`, and [`Engine::answer_batch`] serves many databases under
+//! one workload for a single cache lookup.
 //!
 //! Strategy selection is data independent (Sec. 1 of the paper): a selected
 //! strategy "can be computed once and reused across databases".  The engine
@@ -60,12 +67,12 @@ pub mod cache;
 pub mod selector;
 pub mod session;
 
-pub use cache::{CachedSelection, StrategyCache};
+pub use cache::{CachedSelection, Lookup, SelectionGuard, StrategyCache, DEFAULT_SHARD_COUNT};
 pub use selector::{
     DesignBasis, DesignSetSelector, EigenDesignSelector, FixedStrategySelector,
     MatrixDesignSelector, PureDpSelector, SelectionContext, StrategySelector,
 };
-pub use session::{BudgetLedger, PrivacyBudget, Session};
+pub use session::{BudgetLedger, OwnedSession, PrivacyBudget, Session};
 
 use crate::error::predicted_rms_error;
 use crate::mechanism::backend::{default_backend, NoiseBackend};
@@ -74,7 +81,7 @@ use crate::privacy::PrivacyParams;
 use crate::MechanismError;
 use mm_linalg::Matrix;
 use mm_strategies::Strategy;
-use mm_workload::{gram_fingerprint, Fingerprint, Workload};
+use mm_workload::{try_gram_fingerprint, Fingerprint, Workload};
 use rand::Rng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -89,6 +96,7 @@ pub struct EngineBuilder {
     selector: Option<Arc<dyn StrategySelector>>,
     backend: Option<Arc<dyn NoiseBackend>>,
     cache_capacity: usize,
+    cache_shards: usize,
 }
 
 impl EngineBuilder {
@@ -130,6 +138,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the number of independently locked cache shards (rounded up to a
+    /// power of two; default [`DEFAULT_SHARD_COUNT`]).  More shards reduce
+    /// lock contention under parallel serving; one shard gives globally exact
+    /// LRU order.
+    pub fn cache_shards(mut self, shards: usize) -> Self {
+        self.cache_shards = shards;
+        self
+    }
+
     /// Builds the engine, validating that the backend is compatible with the
     /// privacy parameters (e.g. the Gaussian backend rejects δ = 0).
     pub fn build(self) -> crate::Result<Engine> {
@@ -144,7 +161,7 @@ impl EngineBuilder {
                 .selector
                 .unwrap_or_else(|| Arc::new(EigenDesignSelector::default())),
             backend,
-            cache: StrategyCache::new(self.cache_capacity),
+            cache: StrategyCache::with_shards(self.cache_capacity, self.cache_shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             selections: AtomicU64::new(0),
@@ -153,14 +170,22 @@ impl EngineBuilder {
 }
 
 /// Cache and selection counters of an engine (monotone since construction).
+///
+/// Invariant under single-flight selection: `selections <= cache_misses`,
+/// with equality as long as no selection fails — concurrent misses on one
+/// fingerprint produce one *leader* (counted as a miss and, on success, a
+/// selection) while the waiters that receive the leader's result count as
+/// cache hits (they did no selection work).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
-    /// `answer`/`select` calls served from the strategy cache.
+    /// `answer`/`select` calls served from the strategy cache, including
+    /// calls that waited on another thread's in-flight selection.
     pub cache_hits: u64,
-    /// `answer`/`select` calls that missed the cache.
+    /// `answer`/`select` calls that led a selection (cold fingerprint, or
+    /// caching disabled).
     pub cache_misses: u64,
-    /// Times the selector actually ran (== misses, unless caching is
-    /// disabled or entries were evicted and re-selected).
+    /// Times the selector ran *successfully* (failed selections are not
+    /// counted, and errors are never cached).
     pub selections: u64,
 }
 
@@ -204,6 +229,7 @@ impl Engine {
             selector: None,
             backend: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
+            cache_shards: DEFAULT_SHARD_COUNT,
         }
     }
 
@@ -245,9 +271,15 @@ impl Engine {
         self.cache.clear();
     }
 
-    /// Opens a budgeted session over this engine.
+    /// Opens a budgeted session borrowing this engine.
     pub fn session(&self, budget: PrivacyBudget) -> Session<'_> {
         Session::new(self, budget)
+    }
+
+    /// Opens a budgeted session that *owns* a handle to this engine, so it
+    /// can move across threads or async tasks (see [`OwnedSession`]).
+    pub fn owned_session(self: &Arc<Self>, budget: PrivacyBudget) -> OwnedSession {
+        OwnedSession::new(self.clone(), budget)
     }
 
     /// Selects (or fetches from cache) the strategy for a workload, returning
@@ -257,7 +289,7 @@ impl Engine {
         workload: &W,
     ) -> crate::Result<(Arc<Strategy>, Fingerprint, bool)> {
         let gram = workload.gram();
-        let fp = gram_fingerprint(&gram);
+        let fp = try_gram_fingerprint(&gram)?;
         let (entry, hit) = self.select_entry(workload, &gram, fp)?;
         Ok((entry.strategy().clone(), fp, hit))
     }
@@ -265,27 +297,40 @@ impl Engine {
     /// Cache lookup / selection over a precomputed gram matrix.  The gram is
     /// only cloned (into the selection context) on a miss; the hot cache-hit
     /// path copies nothing.
+    ///
+    /// Selection is single-flight: concurrent misses on one fingerprint run
+    /// the selector exactly once (on the *leader* thread), and every waiter
+    /// receives the leader's entry, counted as a cache hit.  A selection
+    /// error is returned to the leader only; waiters retry (one at a time)
+    /// and errors are never cached.
     fn select_entry<W: Workload + ?Sized>(
         &self,
         workload: &W,
         gram: &Matrix,
         fp: Fingerprint,
     ) -> crate::Result<(Arc<CachedSelection>, bool)> {
-        if let Some(cached) = self.cache.get(fp) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((cached, true));
+        match self.cache.begin(fp) {
+            Lookup::Hit(cached) | Lookup::Shared(cached) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok((cached, true))
+            }
+            Lookup::Miss(guard) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let ctx = if self.selector.needs_workload_matrix() {
+                    let rows = workload.to_matrix();
+                    SelectionContext::from_gram_and_rows(gram.clone(), rows)
+                } else {
+                    SelectionContext::from_gram(gram.clone())
+                };
+                // On error the `?` drops the guard, failing the flight so
+                // waiters retry; the selections counter moves only on
+                // success, keeping failed selections out of the stats.
+                let strategy = Arc::new(self.selector.select(&ctx)?);
+                self.selections.fetch_add(1, Ordering::Relaxed);
+                let entry = Arc::new(CachedSelection::new(strategy));
+                Ok((guard.publish(entry), false))
+            }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let ctx = if self.selector.needs_workload_matrix() {
-            let rows = workload.to_matrix();
-            SelectionContext::from_gram_and_rows(gram.clone(), rows)
-        } else {
-            SelectionContext::from_gram(gram.clone())
-        };
-        self.selections.fetch_add(1, Ordering::Relaxed);
-        let strategy = Arc::new(self.selector.select(&ctx)?);
-        let entry = Arc::new(CachedSelection::new(strategy));
-        Ok((self.cache.insert(fp, entry), false))
     }
 
     /// Predicted RMS workload error of answering `workload` with `strategy`
@@ -325,9 +370,40 @@ impl Engine {
         x: &[f64],
         rng: &mut R,
     ) -> crate::Result<EngineAnswer> {
+        let mut answers = self.answer_batch_with_privacy(workload, privacy, &[x], rng)?;
+        Ok(answers.pop().expect("one answer per data vector"))
+    }
+
+    /// Answers the same workload on many data vectors (many databases) in
+    /// one call at the engine's privacy parameters.
+    ///
+    /// The batch pays for the cache lookup, dimension checks, gram factor,
+    /// trace term and noise calibration **once**, then runs only the O(n²)
+    /// noisy matvec + inference per vector — the serving pattern for "one
+    /// popular workload, millions of databases".  Each vector receives
+    /// independent noise and each answer individually satisfies the engine's
+    /// (ε, δ) guarantee on its own database.
+    pub fn answer_batch<W: Workload + ?Sized, X: AsRef<[f64]>, R: Rng>(
+        &self,
+        workload: &W,
+        xs: &[X],
+        rng: &mut R,
+    ) -> crate::Result<Vec<EngineAnswer>> {
+        let xs: Vec<&[f64]> = xs.iter().map(AsRef::as_ref).collect();
+        self.answer_batch_with_privacy(workload, self.privacy, &xs, rng)
+    }
+
+    /// [`Engine::answer_batch`] with explicit per-call privacy parameters.
+    pub fn answer_batch_with_privacy<W: Workload + ?Sized, R: Rng>(
+        &self,
+        workload: &W,
+        privacy: PrivacyParams,
+        xs: &[&[f64]],
+        rng: &mut R,
+    ) -> crate::Result<Vec<EngineAnswer>> {
         self.backend.validate(&privacy)?;
         let gram = workload.gram();
-        let fingerprint = gram_fingerprint(&gram);
+        let fingerprint = try_gram_fingerprint(&gram)?;
         let (entry, cache_hit) = self.select_entry(workload, &gram, fingerprint)?;
         self.answer_parts(
             workload,
@@ -336,7 +412,7 @@ impl Engine {
             fingerprint,
             cache_hit,
             privacy,
-            x,
+            xs,
             rng,
         )
     }
@@ -357,23 +433,26 @@ impl Engine {
     ) -> crate::Result<EngineAnswer> {
         self.backend.validate(&self.privacy)?;
         let gram = workload.gram();
-        let fingerprint = gram_fingerprint(&gram);
+        let fingerprint = try_gram_fingerprint(&gram)?;
         let entry = Arc::new(CachedSelection::new(strategy));
-        self.answer_parts(
+        let mut answers = self.answer_parts(
             workload,
             &gram,
             entry,
             fingerprint,
             false,
             self.privacy,
-            x,
+            &[x],
             rng,
-        )
+        )?;
+        Ok(answers.pop().expect("one answer per data vector"))
     }
 
-    /// The unified answer path: noisy strategy answers under the backend,
-    /// least-squares inference through the cached gram factor, workload
-    /// evaluation.
+    /// The unified answer path, batched over data vectors: per batch, one
+    /// round of validation plus the (cached) gram factor, trace term and
+    /// noise calibration; per vector, only the noisy strategy answers under
+    /// the backend, least-squares inference through the shared factor, and
+    /// workload evaluation.
     #[allow(clippy::too_many_arguments)]
     fn answer_parts<W: Workload + ?Sized, R: Rng>(
         &self,
@@ -383,9 +462,9 @@ impl Engine {
         fingerprint: Fingerprint,
         cache_hit: bool,
         privacy: PrivacyParams,
-        x: &[f64],
+        xs: &[&[f64]],
         rng: &mut R,
-    ) -> crate::Result<EngineAnswer> {
+    ) -> crate::Result<Vec<EngineAnswer>> {
         let strategy = entry.strategy().clone();
         if workload.dim() != strategy.dim() {
             return Err(MechanismError::InvalidArgument(format!(
@@ -394,12 +473,14 @@ impl Engine {
                 strategy.dim()
             )));
         }
-        if x.len() != strategy.dim() {
-            return Err(MechanismError::InvalidArgument(format!(
-                "data vector has {} cells but the strategy covers {}",
-                x.len(),
-                strategy.dim()
-            )));
+        for x in xs {
+            if x.len() != strategy.dim() {
+                return Err(MechanismError::InvalidArgument(format!(
+                    "data vector has {} cells but the strategy covers {}",
+                    x.len(),
+                    strategy.dim()
+                )));
+            }
         }
         let a = strategy
             .matrix()
@@ -421,22 +502,26 @@ impl Engine {
         let expected_rms_error = (tse / m as f64).sqrt();
 
         let scale = self.backend.noise_scale(&privacy, sens);
-        let mut y = a.matvec(x)?;
-        let noise = self.backend.sample(rng, scale, y.len());
-        for (yi, ni) in y.iter_mut().zip(noise.iter()) {
-            *yi += ni;
+        let mut out = Vec::with_capacity(xs.len());
+        for x in xs {
+            let mut y = a.matvec(x)?;
+            let noise = self.backend.sample(rng, scale, y.len());
+            for (yi, ni) in y.iter_mut().zip(noise.iter()) {
+                *yi += ni;
+            }
+            let aty = a.matvec_transposed(&y)?;
+            let estimate = least_squares_estimate_with_factor(&factor, &aty)?;
+            let answers = workload.evaluate(&estimate);
+            out.push(EngineAnswer {
+                answers,
+                estimate,
+                strategy: strategy.clone(),
+                expected_rms_error,
+                fingerprint,
+                cache_hit,
+            });
         }
-        let aty = a.matvec_transposed(&y)?;
-        let estimate = least_squares_estimate_with_factor(&factor, &aty)?;
-        let answers = workload.evaluate(&estimate);
-        Ok(EngineAnswer {
-            answers,
-            estimate,
-            strategy,
-            expected_rms_error,
-            fingerprint,
-            cache_hit,
-        })
+        Ok(out)
     }
 }
 
@@ -599,5 +684,121 @@ mod tests {
         let b = engine.answer(&w, &x, &mut rng).unwrap();
         assert!(!a.cache_hit && !b.cache_hit);
         assert_eq!(engine.stats().selections, 2);
+    }
+
+    /// A selector that always fails, for stats-accounting regressions.
+    #[derive(Debug)]
+    struct FailingSelector;
+
+    impl StrategySelector for FailingSelector {
+        fn name(&self) -> String {
+            "failing".into()
+        }
+
+        fn select(&self, _ctx: &SelectionContext) -> crate::Result<mm_strategies::Strategy> {
+            Err(MechanismError::InvalidArgument(
+                "this selector always fails".into(),
+            ))
+        }
+    }
+
+    #[test]
+    fn failed_selections_do_not_count_as_selections() {
+        // Regression: the counter used to be incremented *before* the
+        // selector could fail, permanently overcounting `selections`.
+        let w = AllRangeWorkload::new(Domain::one_dim(8));
+        let engine = Engine::builder().selector(FailingSelector).build().unwrap();
+        for _ in 0..3 {
+            assert!(engine.select(&w).is_err());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.selections, 0, "failed selections must not count");
+        assert_eq!(stats.cache_misses, 3, "each failed attempt is a miss");
+        assert_eq!(stats.cache_hits, 0);
+        assert!(stats.selections <= stats.cache_misses);
+    }
+
+    #[test]
+    fn nan_workload_is_rejected_with_typed_error() {
+        // Runs under both debug and release profiles: the NaN guard is a
+        // real check, not a `debug_assert!`, so release builds can no longer
+        // cache-key a NaN-poisoned gram.
+        let mut m = mm_linalg::Matrix::zeros(2, 4);
+        m[(0, 0)] = 1.0;
+        m[(1, 2)] = f64::NAN;
+        let w = mm_workload::ExplicitWorkload::from_matrix("nan workload", &m);
+        let engine = Engine::new(PrivacyParams::paper_default());
+        let mut rng = StdRng::seed_from_u64(8);
+        let err = engine.answer(&w, &[1.0; 4], &mut rng).unwrap_err();
+        assert!(
+            matches!(err, MechanismError::NanWorkloadGram { .. }),
+            "expected NanWorkloadGram, got {err:?}"
+        );
+        assert!(err.to_string().contains("NaN"));
+        assert!(matches!(
+            engine.select(&w).unwrap_err(),
+            MechanismError::NanWorkloadGram { .. }
+        ));
+        // Nothing was cached or counted for the poisoned workload.
+        assert_eq!(engine.stats().cache_misses, 0);
+    }
+
+    #[test]
+    fn answer_batch_amortises_one_lookup_over_many_vectors() {
+        let w = AllRangeWorkload::new(Domain::one_dim(16));
+        let xs: Vec<Vec<f64>> = (0..5)
+            .map(|k| (0..16).map(|i| (k * 16 + i) as f64).collect())
+            .collect();
+        let engine = Engine::new(PrivacyParams::paper_default());
+        let mut rng = StdRng::seed_from_u64(10);
+        let answers = engine.answer_batch(&w, &xs, &mut rng).unwrap();
+        assert_eq!(answers.len(), 5);
+        let stats = engine.stats();
+        assert_eq!(stats.selections, 1, "one selection for the whole batch");
+        assert_eq!(
+            stats.cache_hits + stats.cache_misses,
+            1,
+            "one cache lookup for the whole batch"
+        );
+        for (ans, x) in answers.iter().zip(xs.iter()) {
+            assert_eq!(ans.answers.len(), w.query_count());
+            assert!(Arc::ptr_eq(&ans.strategy, &answers[0].strategy));
+            assert_eq!(ans.fingerprint, answers[0].fingerprint);
+            // Each vector got its own noise draw around its own truth.
+            let truth = w.evaluate(x);
+            let rms = (ans
+                .answers
+                .iter()
+                .zip(truth.iter())
+                .map(|(a, t)| (a - t).powi(2))
+                .sum::<f64>()
+                / truth.len() as f64)
+                .sqrt();
+            assert!(rms < 20.0 * ans.expected_rms_error, "answers track truth");
+        }
+        // A batched answer is distributionally identical to repeated single
+        // answers: same strategy, factor and noise scale per vector.
+        let single = engine.answer(&w, &xs[0], &mut rng).unwrap();
+        assert!(approx_eq(
+            single.expected_rms_error,
+            answers[0].expected_rms_error,
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn answer_batch_validates_every_vector_upfront() {
+        let w = AllRangeWorkload::new(Domain::one_dim(8));
+        let engine = Engine::new(PrivacyParams::paper_default());
+        let mut rng = StdRng::seed_from_u64(11);
+        let good = vec![1.0; 8];
+        let bad = vec![1.0; 7];
+        let err = engine
+            .answer_batch(&w, &[good.as_slice(), bad.as_slice()], &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, MechanismError::InvalidArgument(_)));
+        // Empty batches are fine and do no per-vector work.
+        let none: &[&[f64]] = &[];
+        assert!(engine.answer_batch(&w, none, &mut rng).unwrap().is_empty());
     }
 }

@@ -12,8 +12,10 @@
 use crate::engine::{Engine, EngineAnswer};
 use crate::privacy::PrivacyParams;
 use crate::MechanismError;
+use mm_strategies::Strategy;
 use mm_workload::Workload;
 use rand::Rng;
+use std::sync::Arc;
 
 /// A total privacy budget (ε, δ) available to a session.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,20 +99,30 @@ impl BudgetLedger {
 
     /// Whether a charge of `params` would fit in the remaining budget.
     pub fn can_afford(&self, params: &PrivacyParams) -> bool {
-        let slack_e = BUDGET_SLACK * self.total.epsilon.max(1.0);
-        let slack_d = BUDGET_SLACK * self.total.delta.max(f64::MIN_POSITIVE);
-        self.spent_epsilon + params.epsilon <= self.total.epsilon + slack_e
-            && self.spent_delta + params.delta <= self.total.delta + slack_d
+        self.check_many(params, 1).is_ok()
     }
 
     /// Checks that a charge of `params` fits, failing with
     /// [`MechanismError::BudgetExhausted`] (and changing no state) otherwise.
     pub fn check(&self, params: &PrivacyParams) -> crate::Result<()> {
-        if !self.can_afford(params) {
+        self.check_many(params, 1)
+    }
+
+    /// Checks that `count` repeated charges of `params` would all fit
+    /// (sequential composition is linear, so this is one arithmetic check),
+    /// failing with [`MechanismError::BudgetExhausted`] — reporting the
+    /// total requested (ε, δ) — and changing no state otherwise.
+    pub fn check_many(&self, params: &PrivacyParams, count: usize) -> crate::Result<()> {
+        let n = count as f64;
+        let slack_e = BUDGET_SLACK * self.total.epsilon.max(1.0);
+        let slack_d = BUDGET_SLACK * self.total.delta.max(f64::MIN_POSITIVE);
+        let fits = self.spent_epsilon + params.epsilon * n <= self.total.epsilon + slack_e
+            && self.spent_delta + params.delta * n <= self.total.delta + slack_d;
+        if !fits {
             let remaining = self.remaining();
             return Err(MechanismError::BudgetExhausted {
-                requested_epsilon: params.epsilon,
-                requested_delta: params.delta,
+                requested_epsilon: params.epsilon * n,
+                requested_delta: params.delta * n,
                 remaining_epsilon: remaining.epsilon,
                 remaining_delta: remaining.delta,
             });
@@ -129,22 +141,103 @@ impl BudgetLedger {
     }
 }
 
+/// The engine-independent session state: the ledger plus the answer/charge
+/// logic shared by the borrowed [`Session`] and the owned [`OwnedSession`].
+#[derive(Debug)]
+struct SessionCore {
+    ledger: BudgetLedger,
+}
+
+impl SessionCore {
+    fn new(budget: PrivacyBudget) -> Self {
+        SessionCore {
+            ledger: BudgetLedger::new(budget),
+        }
+    }
+
+    fn answer_with_privacy<W: Workload + ?Sized, R: Rng>(
+        &mut self,
+        engine: &Engine,
+        workload: &W,
+        privacy: PrivacyParams,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<EngineAnswer> {
+        self.ledger.check(&privacy)?;
+        let answer = engine.answer_with_privacy(workload, privacy, x, rng)?;
+        self.ledger
+            .try_charge(&privacy)
+            .expect("affordability was checked before answering");
+        Ok(answer)
+    }
+
+    fn answer_with_strategy<W: Workload + ?Sized, R: Rng>(
+        &mut self,
+        engine: &Engine,
+        workload: &W,
+        strategy: Arc<Strategy>,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<EngineAnswer> {
+        let privacy = *engine.privacy();
+        self.ledger.check(&privacy)?;
+        let answer = engine.answer_with_strategy(workload, strategy, x, rng)?;
+        self.ledger
+            .try_charge(&privacy)
+            .expect("affordability was checked before answering");
+        Ok(answer)
+    }
+
+    fn answer_batch<W: Workload + ?Sized, R: Rng>(
+        &mut self,
+        engine: &Engine,
+        workload: &W,
+        xs: &[&[f64]],
+        rng: &mut R,
+    ) -> crate::Result<Vec<EngineAnswer>> {
+        let privacy = *engine.privacy();
+        // Fail closed before any noise is drawn: the whole batch must fit
+        // (one (ε, δ) charge per data vector, sequential composition).
+        self.ledger.check_many(&privacy, xs.len())?;
+        let answers = engine.answer_batch_with_privacy(workload, privacy, xs, rng)?;
+        for _ in 0..xs.len() {
+            self.ledger
+                .try_charge(&privacy)
+                .expect("affordability of the whole batch was checked before answering");
+        }
+        Ok(answers)
+    }
+}
+
 /// A serving session: an engine plus a privacy-budget ledger.
 ///
 /// Created with [`Engine::session`].  The session borrows the engine, so the
 /// (shared, data-independent) strategy cache keeps working across sessions —
-/// only the budget is per-session state.
+/// only the budget is per-session state.  For a session that moves across
+/// threads or async tasks, use [`Engine::owned_session`].
+///
+/// # Accounting contract
+///
+/// *Every* answering method on a session charges its privacy cost to the
+/// ledger: [`Session::answer`] and [`Session::answer_with_strategy`] charge
+/// the engine's per-answer (ε, δ), [`Session::answer_with_privacy`] charges
+/// its explicit parameters, and [`Session::answer_batch`] charges once per
+/// data vector.  A call whose charge does not fit fails with
+/// [`MechanismError::BudgetExhausted`] before any noise is drawn or data is
+/// touched, and spends nothing.  Answering through `session.engine()`
+/// directly bypasses the ledger and is *not* covered by the session's
+/// budget guarantee — the engine has no ledger of its own.
 #[derive(Debug)]
 pub struct Session<'e> {
     engine: &'e Engine,
-    ledger: BudgetLedger,
+    core: SessionCore,
 }
 
 impl<'e> Session<'e> {
     pub(crate) fn new(engine: &'e Engine, budget: PrivacyBudget) -> Self {
         Session {
             engine,
-            ledger: BudgetLedger::new(budget),
+            core: SessionCore::new(budget),
         }
     }
 
@@ -155,12 +248,12 @@ impl<'e> Session<'e> {
 
     /// The session's ledger (totals, spend, charge history).
     pub fn ledger(&self) -> &BudgetLedger {
-        &self.ledger
+        &self.core.ledger
     }
 
     /// Budget still available.
     pub fn remaining(&self) -> PrivacyBudget {
-        self.ledger.remaining()
+        self.core.ledger.remaining()
     }
 
     /// Answers a workload at the engine's per-answer privacy parameters,
@@ -186,12 +279,125 @@ impl<'e> Session<'e> {
         x: &[f64],
         rng: &mut R,
     ) -> crate::Result<EngineAnswer> {
-        self.ledger.check(&privacy)?;
-        let answer = self.engine.answer_with_privacy(workload, privacy, x, rng)?;
-        self.ledger
-            .try_charge(&privacy)
-            .expect("affordability was checked before answering");
-        Ok(answer)
+        self.core
+            .answer_with_privacy(self.engine, workload, privacy, x, rng)
+    }
+
+    /// Answers with a caller-provided strategy
+    /// ([`Engine::answer_with_strategy`]), charging the engine's per-answer
+    /// (ε, δ) to the ledger like [`Session::answer`] — a custom strategy
+    /// spends exactly as much privacy as a selected one.
+    pub fn answer_with_strategy<W: Workload + ?Sized, R: Rng>(
+        &mut self,
+        workload: &W,
+        strategy: Arc<Strategy>,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<EngineAnswer> {
+        self.core
+            .answer_with_strategy(self.engine, workload, strategy, x, rng)
+    }
+
+    /// Answers many data vectors under one workload
+    /// ([`Engine::answer_batch`]), charging the engine's per-answer (ε, δ)
+    /// once *per vector*.  The whole batch must fit in the remaining budget
+    /// or the call fails closed without answering anything.
+    pub fn answer_batch<W: Workload + ?Sized, X: AsRef<[f64]>, R: Rng>(
+        &mut self,
+        workload: &W,
+        xs: &[X],
+        rng: &mut R,
+    ) -> crate::Result<Vec<EngineAnswer>> {
+        let xs: Vec<&[f64]> = xs.iter().map(AsRef::as_ref).collect();
+        self.core.answer_batch(self.engine, workload, &xs, rng)
+    }
+}
+
+/// A [`Session`] that owns its engine handle (`Arc<Engine>`), so it is
+/// `Send + 'static` and can move across threads or async tasks — the shape a
+/// concurrent server hands to each connection.  Budget accounting is
+/// identical to [`Session`] (see its accounting contract); the engine's
+/// strategy cache stays shared through the `Arc`.
+///
+/// Created with [`Engine::owned_session`] or [`OwnedSession::new`].
+#[derive(Debug)]
+pub struct OwnedSession {
+    engine: Arc<Engine>,
+    core: SessionCore,
+}
+
+impl OwnedSession {
+    /// Opens an owned session over a shared engine.
+    pub fn new(engine: Arc<Engine>, budget: PrivacyBudget) -> Self {
+        OwnedSession {
+            engine,
+            core: SessionCore::new(budget),
+        }
+    }
+
+    /// The engine this session serves through.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The session's ledger (totals, spend, charge history).
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.core.ledger
+    }
+
+    /// Budget still available.
+    pub fn remaining(&self) -> PrivacyBudget {
+        self.core.ledger.remaining()
+    }
+
+    /// Answers a workload at the engine's per-answer privacy parameters,
+    /// charging them to the ledger (see [`Session::answer`]).
+    pub fn answer<W: Workload + ?Sized, R: Rng>(
+        &mut self,
+        workload: &W,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<EngineAnswer> {
+        let privacy = *self.engine.privacy();
+        self.answer_with_privacy(workload, privacy, x, rng)
+    }
+
+    /// Answers at explicit per-call privacy parameters, charging them to the
+    /// ledger (see [`Session::answer_with_privacy`]).
+    pub fn answer_with_privacy<W: Workload + ?Sized, R: Rng>(
+        &mut self,
+        workload: &W,
+        privacy: PrivacyParams,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<EngineAnswer> {
+        self.core
+            .answer_with_privacy(&self.engine, workload, privacy, x, rng)
+    }
+
+    /// Answers with a caller-provided strategy, charging the engine's
+    /// per-answer (ε, δ) (see [`Session::answer_with_strategy`]).
+    pub fn answer_with_strategy<W: Workload + ?Sized, R: Rng>(
+        &mut self,
+        workload: &W,
+        strategy: Arc<Strategy>,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<EngineAnswer> {
+        self.core
+            .answer_with_strategy(&self.engine, workload, strategy, x, rng)
+    }
+
+    /// Answers many data vectors under one workload, charging once per
+    /// vector (see [`Session::answer_batch`]).
+    pub fn answer_batch<W: Workload + ?Sized, X: AsRef<[f64]>, R: Rng>(
+        &mut self,
+        workload: &W,
+        xs: &[X],
+        rng: &mut R,
+    ) -> crate::Result<Vec<EngineAnswer>> {
+        let xs: Vec<&[f64]> = xs.iter().map(AsRef::as_ref).collect();
+        self.core.answer_batch(&self.engine, workload, &xs, rng)
     }
 }
 
@@ -249,5 +455,100 @@ mod tests {
     #[should_panic(expected = "epsilon budget")]
     fn negative_budget_rejected() {
         PrivacyBudget::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn answer_with_strategy_charges_the_ledger() {
+        // Regression: custom-strategy answers used to be reachable only via
+        // `session.engine().answer_with_strategy(...)`, which spends privacy
+        // without charging the ledger.  The session-level method charges the
+        // engine's per-answer (ε, δ) exactly like `answer`.
+        use mm_strategies::identity::identity_strategy;
+        use mm_workload::IdentityWorkload;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let p = PrivacyParams::new(0.5, 1e-4);
+        let engine = Engine::builder().privacy(p).build().unwrap();
+        let w = IdentityWorkload::new(8);
+        let x = vec![3.0; 8];
+        let strategy = Arc::new(identity_strategy(8));
+        let mut rng = StdRng::seed_from_u64(21);
+
+        let mut session = engine.session(PrivacyBudget::new(1.0, 1e-3));
+        session
+            .answer_with_strategy(&w, strategy.clone(), &x, &mut rng)
+            .unwrap();
+        assert!(approx_eq(session.ledger().spent().epsilon, 0.5, 1e-12));
+        assert!(approx_eq(session.ledger().spent().delta, 1e-4, 1e-15));
+        session
+            .answer_with_strategy(&w, strategy.clone(), &x, &mut rng)
+            .unwrap();
+        // Third answer does not fit (ε budget 1.0, spend 1.0) and fails
+        // closed before answering.
+        let err = session
+            .answer_with_strategy(&w, strategy, &x, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, MechanismError::BudgetExhausted { .. }));
+        assert_eq!(session.ledger().charges().len(), 2);
+    }
+
+    #[test]
+    fn answer_batch_charges_per_vector_and_fails_closed() {
+        use mm_workload::IdentityWorkload;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let p = PrivacyParams::new(0.25, 1e-5);
+        let engine = Engine::builder().privacy(p).build().unwrap();
+        let w = IdentityWorkload::new(4);
+        let xs: Vec<Vec<f64>> = (0..3).map(|k| vec![k as f64; 4]).collect();
+        let mut rng = StdRng::seed_from_u64(22);
+
+        // Budget for exactly three vectors.
+        let mut session = engine.session(PrivacyBudget::new(0.75, 1e-3));
+        let answers = session.answer_batch(&w, &xs, &mut rng).unwrap();
+        assert_eq!(answers.len(), 3);
+        assert_eq!(session.ledger().charges().len(), 3, "one charge per vector");
+        assert!(approx_eq(session.ledger().spent().epsilon, 0.75, 1e-12));
+
+        // A batch that does not fit spends *nothing* (all-or-nothing).
+        let err = session.answer_batch(&w, &xs, &mut rng).unwrap_err();
+        assert!(matches!(err, MechanismError::BudgetExhausted { .. }));
+        assert_eq!(session.ledger().charges().len(), 3);
+
+        // A two-vector batch would not fit a 1.5-vector leftover either.
+        let mut tight = engine.session(PrivacyBudget::new(0.3, 1e-3));
+        assert!(tight.answer_batch(&w, &xs[..2], &mut rng).is_err());
+        assert_eq!(tight.ledger().charges().len(), 0);
+        assert!(tight.answer_batch(&w, &xs[..1], &mut rng).is_ok());
+    }
+
+    #[test]
+    fn owned_session_moves_across_threads() {
+        use mm_workload::IdentityWorkload;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let engine = Arc::new(
+            Engine::builder()
+                .privacy(PrivacyParams::new(0.5, 1e-4))
+                .build()
+                .unwrap(),
+        );
+        let w = IdentityWorkload::new(8);
+        let mut session = engine.owned_session(PrivacyBudget::new(1.0, 1e-3));
+        let handle = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(23);
+            let x = vec![5.0; 8];
+            session.answer(&w, &x, &mut rng).unwrap();
+            session.answer(&w, &x, &mut rng).unwrap();
+            assert!(session.answer(&w, &x, &mut rng).is_err(), "ε exhausted");
+            session
+        });
+        let session = handle.join().unwrap();
+        assert_eq!(session.ledger().charges().len(), 2);
+        // The owned session shared the engine's cache: one selection total.
+        assert_eq!(engine.stats().selections, 1);
     }
 }

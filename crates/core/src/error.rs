@@ -34,7 +34,12 @@ pub fn strategy_factor(strategy: &Strategy) -> crate::Result<Cholesky> {
     match Cholesky::new(a_gram) {
         Ok(c) => Ok(c),
         Err(_) => {
-            let ridge = RIDGE_FACTOR * a_gram.diag().iter().fold(1.0_f64, |m, &d| m.max(d));
+            // Relative ridge: fold from 0.0 so the scale comes from the gram
+            // itself (a fold seeded at 1.0 made λ absolute for strategies
+            // with max diag ≪ 1, over-regularising small-magnitude
+            // strategies).  The all-zero gram keeps an absolute floor.
+            let diag_max = a_gram.diag().iter().fold(0.0_f64, |m, &d| m.max(d));
+            let ridge = RIDGE_FACTOR * if diag_max > 0.0 { diag_max } else { 1.0 };
             Ok(Cholesky::new_with_shift(a_gram, ridge)?)
         }
     }
@@ -227,6 +232,31 @@ mod tests {
             (ratio_wav - 34.62 / 45.36).abs() < 0.01,
             "wavelet/identity = {ratio_wav}"
         );
+    }
+
+    #[test]
+    fn ridge_is_relative_for_small_magnitude_strategies() {
+        // Regression: the ridge fold used to start at 1.0, so a
+        // rank-deficient strategy with max diag(AᵀA) ≪ 1 got an *absolute*
+        // λ = 1e-10 that dwarfed the gram and over-regularised it.  The
+        // workload RMS error is invariant under strategy scaling (sensitivity
+        // scales by c, (AᵀA)⁻¹ by c⁻²), so the scaled-down rank-deficient
+        // strategy must predict the same error as the unscaled one.
+        let n = 8;
+        let w = TotalWorkload::new(n);
+        let total_row = Matrix::filled(1, n, 1.0);
+        let s = mm_strategies::Strategy::from_matrix("total", total_row);
+        let tiny = s.scaled(1e-6).with_name("total, scaled by 1e-6");
+        let p = paper_privacy();
+        let reference = rms_workload_error(&w.gram(), 1, &s, &p).unwrap();
+        let scaled = rms_workload_error(&w.gram(), 1, &tiny, &p).unwrap();
+        assert!(
+            approx_eq(scaled, reference, 1e-6 * reference),
+            "scaled {scaled} vs reference {reference}"
+        );
+        // The all-zero gram keeps an absolute floor instead of λ = 0.
+        let zero = mm_strategies::Strategy::from_matrix("zero", Matrix::zeros(2, n));
+        assert!(strategy_factor(&zero).is_ok());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod separation;
 #[allow(deprecated)]
 pub use adaptive::{AdaptiveAnswer, AdaptiveMechanism, AdaptiveOptions};
 pub use eigen_design::{eigen_design, EigenDesignOptions, EigenDesignResult};
-pub use engine::{Engine, EngineAnswer, EngineBuilder, PrivacyBudget, Session};
+pub use engine::{Engine, EngineAnswer, EngineBuilder, OwnedSession, PrivacyBudget, Session};
 pub use error::{predicted_rms_error, rms_workload_error, total_squared_error};
 pub use mechanism::{GaussianBackend, LaplaceBackend, NoiseBackend};
 pub use privacy::PrivacyParams;
@@ -87,6 +87,14 @@ pub enum MechanismError {
     /// The privacy parameters are unusable with the selected noise backend
     /// (e.g. the Gaussian backend with δ = 0).
     IncompatibleBackend(String),
+    /// The workload's gram matrix contains a NaN entry, so it cannot be
+    /// fingerprinted (and the workload is numerically broken upstream).
+    NanWorkloadGram {
+        /// Row of the first NaN entry found.
+        row: usize,
+        /// Column of the first NaN entry found.
+        col: usize,
+    },
 }
 
 impl std::fmt::Display for MechanismError {
@@ -112,6 +120,13 @@ impl std::fmt::Display for MechanismError {
             MechanismError::IncompatibleBackend(msg) => {
                 write!(f, "incompatible noise backend: {msg}")
             }
+            MechanismError::NanWorkloadGram { row, col } => {
+                write!(
+                    f,
+                    "workload gram matrix entry ({row}, {col}) is NaN; the workload is \
+                     numerically broken upstream"
+                )
+            }
         }
     }
 }
@@ -121,6 +136,15 @@ impl std::error::Error for MechanismError {}
 impl From<mm_linalg::LinalgError> for MechanismError {
     fn from(e: mm_linalg::LinalgError) -> Self {
         MechanismError::Linalg(e)
+    }
+}
+
+impl From<mm_workload::NanGramEntry> for MechanismError {
+    fn from(e: mm_workload::NanGramEntry) -> Self {
+        MechanismError::NanWorkloadGram {
+            row: e.row,
+            col: e.col,
+        }
     }
 }
 

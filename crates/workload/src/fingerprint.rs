@@ -45,23 +45,88 @@ fn avalanche(mut x: u64) -> u64 {
     x ^ (x >> 33)
 }
 
-/// Hashes a gram matrix (shape plus exact entry bit patterns).
+/// A gram matrix handed to the fingerprint contained a NaN entry.
 ///
-/// `-0.0` is canonicalised to `+0.0` so that two grams that compare equal
-/// entry-wise hash equal; `NaN` entries are rejected by debug assertion (a
-/// gram matrix with NaN entries is already broken upstream).
-pub fn gram_fingerprint(gram: &Matrix) -> Fingerprint {
+/// A NaN-poisoned gram is already broken upstream (some query coefficient or
+/// matrix product produced NaN), and because `NaN != NaN` it would silently
+/// violate the "equal grams hash equal" cache contract, so fingerprinting
+/// surfaces it as a typed error in **all** builds — a `debug_assert!` here
+/// once let release builds cache-key poisoned grams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NanGramEntry {
+    /// Row of the first NaN entry found.
+    pub row: usize,
+    /// Column of the first NaN entry found.
+    pub col: usize,
+}
+
+impl std::fmt::Display for NanGramEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gram matrix entry ({}, {}) is NaN; the workload is numerically broken upstream",
+            self.row, self.col
+        )
+    }
+}
+
+impl std::error::Error for NanGramEntry {}
+
+/// `-0.0` hashes as `+0.0` so that two grams that compare equal entry-wise
+/// hash equal (NaN entries are the callers' concern).
+#[inline]
+fn canonical_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0.0_f64.to_bits()
+    } else {
+        v.to_bits()
+    }
+}
+
+/// The one hashing loop both fingerprint variants share; `entry_bits` maps
+/// each entry to the bits to fold in, or rejects it.
+fn fold_gram(
+    gram: &Matrix,
+    mut entry_bits: impl FnMut(f64, usize, usize) -> Result<u64, NanGramEntry>,
+) -> Result<Fingerprint, NanGramEntry> {
     let mut state = mix(SEED, gram.rows() as u64);
     state = mix(state, gram.cols() as u64);
     for i in 0..gram.rows() {
         for j in 0..gram.cols() {
-            let v = gram[(i, j)];
-            debug_assert!(!v.is_nan(), "gram matrix entry ({i},{j}) is NaN");
-            let canonical = if v == 0.0 { 0.0_f64 } else { v };
-            state = mix(state, canonical.to_bits());
+            state = mix(state, entry_bits(gram[(i, j)], i, j)?);
         }
     }
-    Fingerprint(avalanche(state))
+    Ok(Fingerprint(avalanche(state)))
+}
+
+/// Hashes a gram matrix (shape plus exact entry bit patterns), failing with
+/// the location of the first NaN entry.
+///
+/// `-0.0` is canonicalised to `+0.0` so that two grams that compare equal
+/// entry-wise hash equal.  This is the variant serving paths should use: a
+/// NaN gram must not become a cache key (see [`NanGramEntry`]).
+pub fn try_gram_fingerprint(gram: &Matrix) -> Result<Fingerprint, NanGramEntry> {
+    fold_gram(gram, |v, row, col| {
+        if v.is_nan() {
+            Err(NanGramEntry { row, col })
+        } else {
+            Ok(canonical_bits(v))
+        }
+    })
+}
+
+/// Infallible [`try_gram_fingerprint`]: NaN entries are canonicalised to one
+/// fixed bit pattern, so entry-wise-equal grams still hash equal even when
+/// poisoned.  Prefer the checked variant wherever an error can be surfaced.
+pub fn gram_fingerprint(gram: &Matrix) -> Fingerprint {
+    fold_gram(gram, |v, _, _| {
+        Ok(if v.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            canonical_bits(v)
+        })
+    })
+    .expect("NaN-canonicalising fingerprint cannot fail")
 }
 
 /// Fingerprints any [`Workload`] through its gram matrix.
@@ -117,6 +182,39 @@ mod tests {
         g1[(0, 0)] = 0.0;
         g2[(0, 0)] = -0.0;
         assert_eq!(gram_fingerprint(&g1), gram_fingerprint(&g2));
+    }
+
+    #[test]
+    fn nan_grams_are_detected_in_all_builds() {
+        // Runs identically under `cargo test` and `cargo test --release`:
+        // the NaN guard is a real check, not a debug assertion.
+        let mut g = Matrix::zeros(3, 3);
+        g[(1, 2)] = f64::NAN;
+        let err = try_gram_fingerprint(&g).unwrap_err();
+        assert_eq!(err, NanGramEntry { row: 1, col: 2 });
+        assert!(err.to_string().contains("(1, 2)"));
+        assert!(try_gram_fingerprint(&Matrix::zeros(3, 3)).is_ok());
+    }
+
+    #[test]
+    fn infallible_fingerprint_canonicalises_nan() {
+        // Entry-wise-equal poisoned grams hash equal despite NaN != NaN,
+        // whatever the NaN's sign or payload bits.
+        let mut g1 = Matrix::zeros(2, 2);
+        let mut g2 = Matrix::zeros(2, 2);
+        g1[(0, 1)] = f64::NAN;
+        g2[(0, 1)] = -f64::NAN;
+        assert_eq!(gram_fingerprint(&g1), gram_fingerprint(&g2));
+        assert_ne!(
+            gram_fingerprint(&g1),
+            gram_fingerprint(&Matrix::zeros(2, 2))
+        );
+    }
+
+    #[test]
+    fn checked_and_infallible_agree_on_clean_grams() {
+        let g = IdentityWorkload::new(8).gram();
+        assert_eq!(try_gram_fingerprint(&g).unwrap(), gram_fingerprint(&g));
     }
 
     #[test]

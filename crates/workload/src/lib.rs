@@ -45,7 +45,9 @@ pub mod union;
 
 pub use domain::Domain;
 pub use explicit::{ExplicitWorkload, IdentityWorkload, TotalWorkload};
-pub use fingerprint::{gram_fingerprint, workload_fingerprint, Fingerprint};
+pub use fingerprint::{
+    gram_fingerprint, try_gram_fingerprint, workload_fingerprint, Fingerprint, NanGramEntry,
+};
 pub use query::LinearQuery;
 
 use mm_linalg::Matrix;

@@ -6,6 +6,7 @@ use adaptive_dp::core::engine::{
     DesignSetSelector, Engine, EngineAnswer, FixedStrategySelector, PrivacyBudget, PureDpSelector,
 };
 use adaptive_dp::core::error::{rms_workload_error, rms_workload_error_l1};
+use adaptive_dp::core::OwnedSession;
 use adaptive_dp::core::{GaussianBackend, LaplaceBackend, MechanismError, PrivacyParams};
 use adaptive_dp::linalg::approx_eq;
 use adaptive_dp::strategies::hierarchical::binary_hierarchical_1d;
@@ -215,6 +216,194 @@ fn three_selector_families_answer_through_one_call() {
         // Second answer is served from cache in every configuration.
         assert!(engine.answer(&w, &x, &mut rng).unwrap().cache_hit);
     }
+}
+
+/// N threads hammering one `Arc<Engine>` over a mixed workload set: stats
+/// stay coherent, single-flight runs the selector exactly once per distinct
+/// fingerprint, and every thread receives byte-identical strategies.
+#[test]
+fn concurrent_serving_is_single_flight_with_coherent_stats() {
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 4;
+    // Mixed working set: four distinct workloads (four distinct fingerprints)
+    // that comfortably fit the cache, so no eviction can force re-selection.
+    let sizes: &[usize] = &[8, 12, 16, 24];
+    let engine = Arc::new(
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .cache_capacity(64)
+            .build()
+            .unwrap(),
+    );
+
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                // All threads start at once so cold misses on the same
+                // fingerprint really race (the single-flight case).
+                barrier.wait();
+                let mut rng = StdRng::seed_from_u64(100 + t as u64);
+                let mut seen = Vec::new();
+                for _ in 0..ROUNDS {
+                    for &n in sizes {
+                        let w = range_workload(n);
+                        let x: Vec<f64> = (0..n).map(|i| 10.0 + i as f64).collect();
+                        let ans = engine.answer(&w, &x, &mut rng).unwrap();
+                        assert_eq!(ans.answers.len(), w.query_count());
+                        seen.push((ans.fingerprint, ans.strategy));
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+    let per_thread: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Single-flight: one selection per distinct fingerprint, regardless of
+    // thread count; every other lookup was served from cache or a shared
+    // in-flight selection.
+    let stats = engine.stats();
+    assert_eq!(
+        stats.selections,
+        sizes.len() as u64,
+        "single-flight must select once per distinct workload fingerprint"
+    );
+    assert!(
+        stats.selections <= stats.cache_misses,
+        "selections {} > misses {}",
+        stats.selections,
+        stats.cache_misses
+    );
+    let total_calls = (THREADS * ROUNDS * sizes.len()) as u64;
+    assert_eq!(stats.cache_hits + stats.cache_misses, total_calls);
+
+    // Byte-identical strategies across threads: group by fingerprint and
+    // compare the exact matrix bits against the first thread's strategy.
+    let reference: std::collections::HashMap<_, _> = per_thread[0]
+        .iter()
+        .map(|(fp, s)| (*fp, Arc::clone(s)))
+        .collect();
+    for seen in &per_thread {
+        for (fp, strategy) in seen {
+            let reference = &reference[fp];
+            assert!(
+                Arc::ptr_eq(strategy, reference),
+                "cache must hand every thread the same strategy object"
+            );
+            let a = strategy.matrix().unwrap().as_slice();
+            let b = reference.matrix().unwrap().as_slice();
+            assert_eq!(a.len(), b.len());
+            assert!(
+                a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "strategies must be byte-identical across threads"
+            );
+        }
+    }
+}
+
+/// LRU keeps a hot workload resident under a churning cold stream that the
+/// old FIFO policy (eviction in insertion order, blind to use) evicted it
+/// from: with capacity 4 and >4 cold insertions, FIFO would have dropped the
+/// hot entry, forcing a re-selection.
+#[test]
+fn lru_keeps_hot_workload_resident_under_cold_churn() {
+    let engine = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .cache_capacity(4)
+        .cache_shards(1) // one shard ⇒ globally exact LRU order
+        .build()
+        .unwrap();
+    let hot = range_workload(16);
+    let (_, _, hit) = engine.select(&hot).unwrap();
+    assert!(!hit);
+
+    let cold_sizes: Vec<usize> = (2..=32).filter(|&n| n != 16).collect();
+    assert!(
+        cold_sizes.len() > 4 * 4,
+        "stream must overflow capacity often"
+    );
+    for &n in &cold_sizes {
+        // Serve the hot workload between cold ones: under LRU this refreshes
+        // its recency, so the cold stream evicts other cold entries instead.
+        assert!(
+            engine.select(&hot).unwrap().2,
+            "hot workload evicted after cold size {n}"
+        );
+        engine.select(&range_workload(n)).unwrap();
+    }
+    assert!(engine.select(&hot).unwrap().2);
+    // The hot workload was selected exactly once in its lifetime.
+    assert_eq!(
+        engine.stats().selections,
+        1 + cold_sizes.len() as u64,
+        "hot workload must never be re-selected"
+    );
+}
+
+/// Owned sessions move into threads, charge their own ledgers, and share the
+/// engine's strategy cache through the `Arc`.
+#[test]
+fn owned_sessions_serve_concurrently_with_independent_budgets() {
+    const THREADS: usize = 4;
+    let p = PrivacyParams::new(0.5, 1e-4);
+    let engine = Arc::new(Engine::builder().privacy(p).build().unwrap());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let mut session: OwnedSession = engine.owned_session(PrivacyBudget::new(1.0, 1e-3));
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(50 + t as u64);
+                let w = range_workload(16);
+                let x = vec![7.0; 16];
+                session.answer(&w, &x, &mut rng).unwrap();
+                session.answer(&w, &x, &mut rng).unwrap();
+                // Each session's budget is its own: two answers exhaust ε.
+                assert!(matches!(
+                    session.answer(&w, &x, &mut rng).unwrap_err(),
+                    MechanismError::BudgetExhausted { .. }
+                ));
+                session.ledger().charges().len()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), 2);
+    }
+    // One workload, many sessions and threads: selection still ran once.
+    assert_eq!(engine.stats().selections, 1);
+}
+
+/// Batched answering serves many databases under one workload for one cache
+/// lookup, and sessions charge the batch per vector.
+#[test]
+fn answer_batch_amortises_and_sessions_charge_per_vector() {
+    let engine = Engine::new(PrivacyParams::paper_default());
+    let w = range_workload(16);
+    let xs: Vec<Vec<f64>> = (0..8)
+        .map(|k| (0..16).map(|i| (k + i) as f64).collect())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(31);
+    let answers = engine.answer_batch(&w, &xs, &mut rng).unwrap();
+    assert_eq!(answers.len(), xs.len());
+    assert_eq!(engine.stats().cache_hits + engine.stats().cache_misses, 1);
+    assert_eq!(engine.stats().selections, 1);
+    for ans in &answers {
+        assert!(Arc::ptr_eq(&ans.strategy, &answers[0].strategy));
+    }
+
+    // Session batch: budget for 8 vectors at the engine's default ε = 0.5.
+    let mut session = engine.session(PrivacyBudget::new(4.0, 1e-2));
+    let batched = session.answer_batch(&w, &xs, &mut rng).unwrap();
+    assert_eq!(batched.len(), 8);
+    assert_eq!(session.ledger().charges().len(), 8);
+    assert!(approx_eq(session.ledger().spent().epsilon, 4.0, 1e-9));
+    // A second batch does not fit and spends nothing (all-or-nothing).
+    assert!(session.answer_batch(&w, &xs, &mut rng).is_err());
+    assert_eq!(session.ledger().charges().len(), 8);
 }
 
 /// `MechanismError` is non-exhaustive and the new variants format usefully.
