@@ -82,20 +82,56 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// Summary statistics of one benchmark's recorded samples.
+///
+/// Shim extension: the real criterion reports through its own output files,
+/// so benches that consume these stats programmatically (e.g. to emit a
+/// machine-readable perf report) must be adapted when swapping the real
+/// crate back in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SampleStats {
+    /// Fastest recorded sample.
+    pub min: Duration,
+    /// Mean over all recorded samples.
+    pub mean: Duration,
+    /// Slowest recorded sample.
+    pub max: Duration,
+    /// Number of recorded samples.
+    pub samples: usize,
+}
+
+impl SampleStats {
+    fn from_results(results: &[Duration]) -> Self {
+        if results.is_empty() {
+            return SampleStats::default();
+        }
+        SampleStats {
+            min: results.iter().min().copied().unwrap_or_default(),
+            mean: results.iter().sum::<Duration>() / results.len() as u32,
+            max: results.iter().max().copied().unwrap_or_default(),
+            samples: results.len(),
+        }
+    }
+
+    /// The fastest sample in nanoseconds — the least noisy per-op figure for
+    /// coarse regression gates.
+    pub fn min_ns(&self) -> f64 {
+        self.min.as_nanos() as f64
+    }
+}
+
 fn report(name: &str, results: &[Duration]) {
     if results.is_empty() {
         println!("{name:<48} (no samples)");
         return;
     }
-    let min = results.iter().min().copied().unwrap_or_default();
-    let max = results.iter().max().copied().unwrap_or_default();
-    let mean = results.iter().sum::<Duration>() / results.len() as u32;
+    let stats = SampleStats::from_results(results);
     println!(
         "{name:<48} time: [{} {} {}]  ({} samples)",
-        fmt_duration(min),
-        fmt_duration(mean),
-        fmt_duration(max),
-        results.len()
+        fmt_duration(stats.min),
+        fmt_duration(stats.mean),
+        fmt_duration(stats.max),
+        stats.samples
     );
 }
 
@@ -119,13 +155,14 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) {
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: String, mut f: F) -> SampleStats {
         let mut b = Bencher {
             samples: self.sample_size,
             results: Vec::new(),
         };
         f(&mut b);
         report(&format!("{}/{id}", self.name), &b.results);
+        SampleStats::from_results(&b.results)
     }
 
     /// Benchmarks a closure under the given name.
@@ -141,6 +178,16 @@ impl BenchmarkGroup<'_> {
         mut f: F,
     ) {
         self.run(id.to_string(), |b| f(b, input));
+    }
+
+    /// Like [`BenchmarkGroup::bench_function`], additionally returning the
+    /// recorded [`SampleStats`] (shim extension, see `SampleStats`).
+    pub fn bench_function_stats<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        f: F,
+    ) -> SampleStats {
+        self.run(id.to_string(), f)
     }
 
     /// Ends the group (no-op in the shim).
@@ -221,5 +268,19 @@ mod tests {
     fn id_formats() {
         assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
         assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+    }
+
+    #[test]
+    fn stats_summarise_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let stats = group.bench_function_stats("f", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.finish();
+        assert_eq!(stats.samples, 4);
+        assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+        assert!(stats.min_ns() >= 0.0);
+        let empty = SampleStats::from_results(&[]);
+        assert_eq!(empty.samples, 0);
     }
 }

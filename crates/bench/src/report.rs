@@ -194,6 +194,146 @@ impl ExperimentTable {
     }
 }
 
+/// One measured batch-answering scenario: the vectorised (batched) path
+/// against the per-vector baseline at a given domain size `n` and batch
+/// width `k`.
+///
+/// Both timings are whole-batch figures — `baseline_ns_per_op` is the total
+/// time of `k` per-vector calls, so `speedup = baseline / batched` is the
+/// end-to-end win of vectorising, and `>= 1.0` means batching does not lose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchBenchRecord {
+    /// Scenario name (`matmul`, `solve_multi`, `engine_answer_batch`, …).
+    pub scenario: String,
+    /// Domain size (cells / matrix dimension).
+    pub n: usize,
+    /// Batch width (number of right-hand sides / data vectors).
+    pub k: usize,
+    /// Nanoseconds for one whole-batch operation on the vectorised path
+    /// (fastest sample).
+    pub batched_ns_per_op: f64,
+    /// Nanoseconds for the per-vector baseline answering the same batch
+    /// (fastest sample, total over the `k` calls).
+    pub baseline_ns_per_op: f64,
+    /// `baseline_ns_per_op / batched_ns_per_op`.
+    pub speedup: f64,
+}
+
+impl BatchBenchRecord {
+    /// Builds a record, deriving the speedup from the two timings.
+    pub fn new(
+        scenario: impl Into<String>,
+        n: usize,
+        k: usize,
+        batched_ns_per_op: f64,
+        baseline_ns_per_op: f64,
+    ) -> Self {
+        let speedup = if batched_ns_per_op > 0.0 {
+            baseline_ns_per_op / batched_ns_per_op
+        } else {
+            f64::INFINITY
+        };
+        BatchBenchRecord {
+            scenario: scenario.into(),
+            n,
+            k,
+            batched_ns_per_op,
+            baseline_ns_per_op,
+            speedup,
+        }
+    }
+}
+
+/// The machine-readable perf-trajectory report emitted as
+/// `BENCH_batch.json` — the repo's recorded performance format (schema
+/// documented in the README's Performance section).
+#[derive(Debug, Clone, Default)]
+pub struct BatchBenchReport {
+    /// Whether the run used the short fixed-iteration CI mode.
+    pub quick: bool,
+    /// All measured scenarios.
+    pub records: Vec<BatchBenchRecord>,
+}
+
+/// Schema identifier written into every `BENCH_batch.json`.
+pub const BATCH_BENCH_FORMAT: &str = "mm-bench/batch-v1";
+
+impl BatchBenchReport {
+    /// An empty report.
+    pub fn new(quick: bool) -> Self {
+        BatchBenchReport {
+            quick,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: BatchBenchRecord) {
+        self.records.push(record);
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled: the offline
+    /// build has no serde).
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"format\": \"{BATCH_BENCH_FORMAT}\",");
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        out.push_str("  \"scenarios\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"scenario\": \"{}\", \"n\": {}, \"k\": {}, \
+                 \"batched_ns_per_op\": {}, \"baseline_ns_per_op\": {}, \
+                 \"speedup\": {}}}{sep}",
+                r.scenario,
+                r.n,
+                r.k,
+                num(r.batched_ns_per_op),
+                num(r.baseline_ns_per_op),
+                num(r.speedup),
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// The coarse CI regression gate: every scenario with `k >= min_k` must
+    /// show `speedup >= min_speedup` (batching must not lose once the batch
+    /// is wide enough to amortise its setup).  Returns the offending records'
+    /// descriptions on failure.
+    pub fn gate(&self, min_k: usize, min_speedup: f64) -> Result<(), String> {
+        let failures: Vec<String> = self
+            .records
+            .iter()
+            .filter(|r| r.k >= min_k && (r.speedup < min_speedup || r.speedup.is_nan()))
+            .map(|r| {
+                format!(
+                    "{} n={} k={}: speedup {:.2}x < {:.2}x",
+                    r.scenario, r.n, r.k, r.speedup, min_speedup
+                )
+            })
+            .collect();
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("; "))
+        }
+    }
+}
+
 /// Formats a float with three significant decimals for table cells.
 pub fn fmt(v: f64) -> String {
     if !v.is_finite() {
@@ -265,5 +405,68 @@ mod tests {
     fn row_width_checked() {
         let mut t = ExperimentTable::new("x", &["a", "b"]);
         t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn batch_report_json_schema() {
+        let mut report = BatchBenchReport::new(true);
+        report.push(BatchBenchRecord::new("matmul", 256, 8, 1000.0, 4000.0));
+        report.push(BatchBenchRecord::new(
+            "engine_answer_batch",
+            1024,
+            64,
+            2.0,
+            5.0,
+        ));
+        let json = report.to_json();
+        assert!(json.contains("\"format\": \"mm-bench/batch-v1\""));
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"scenario\": \"matmul\""));
+        assert!(json.contains("\"n\": 256"));
+        assert!(json.contains("\"k\": 8"));
+        assert!(json.contains("\"batched_ns_per_op\": 1000.0"));
+        assert!(json.contains("\"speedup\": 4.0"));
+        // Two records, comma-separated, last one bare.
+        assert_eq!(json.matches("\"scenario\"").count(), 2);
+        assert!(json.contains("\"speedup\": 2.5}\n"));
+    }
+
+    #[test]
+    fn batch_record_speedup_edge_cases() {
+        let r = BatchBenchRecord::new("s", 4, 1, 0.0, 100.0);
+        assert!(r.speedup.is_infinite());
+        let json = BatchBenchReport {
+            quick: false,
+            records: vec![r],
+        }
+        .to_json();
+        assert!(json.contains("\"speedup\": null"), "{json}");
+    }
+
+    #[test]
+    fn batch_report_gate() {
+        let mut report = BatchBenchReport::new(true);
+        // K = 1 is exempt from the gate regardless of its speedup.
+        report.push(BatchBenchRecord::new("engine", 256, 1, 100.0, 80.0));
+        report.push(BatchBenchRecord::new("engine", 256, 8, 100.0, 150.0));
+        assert!(report.gate(8, 1.0).is_ok());
+        // A losing K = 64 record trips the gate with a description.
+        report.push(BatchBenchRecord::new("engine", 1024, 64, 100.0, 90.0));
+        let err = report.gate(8, 1.0).unwrap_err();
+        assert!(err.contains("engine n=1024 k=64"), "{err}");
+        assert!(err.contains("0.90x"), "{err}");
+        // NaN speedups must fail, not pass, the gate.
+        let nan = BatchBenchReport {
+            quick: false,
+            records: vec![BatchBenchRecord {
+                scenario: "s".into(),
+                n: 1,
+                k: 8,
+                batched_ns_per_op: f64::NAN,
+                baseline_ns_per_op: f64::NAN,
+                speedup: f64::NAN,
+            }],
+        };
+        assert!(nan.gate(8, 1.0).is_err());
     }
 }

@@ -76,7 +76,6 @@ pub use session::{BudgetLedger, OwnedSession, PrivacyBudget, Session};
 
 use crate::error::predicted_rms_error;
 use crate::mechanism::backend::{default_backend, NoiseBackend};
-use crate::mechanism::matrix::least_squares_estimate_with_factor;
 use crate::privacy::PrivacyParams;
 use crate::MechanismError;
 use mm_linalg::Matrix;
@@ -378,11 +377,16 @@ impl Engine {
     /// one call at the engine's privacy parameters.
     ///
     /// The batch pays for the cache lookup, dimension checks, gram factor,
-    /// trace term and noise calibration **once**, then runs only the O(n²)
-    /// noisy matvec + inference per vector — the serving pattern for "one
-    /// popular workload, millions of databases".  Each vector receives
-    /// independent noise and each answer individually satisfies the engine's
-    /// (ε, δ) guarantee on its own database.
+    /// trace term and noise calibration **once**, then answers all K vectors
+    /// in a single vectorised pass: the data vectors become the columns of
+    /// one matrix `X` and the whole batch runs as one blocked
+    /// `L⁻ᵀ(L⁻¹(Aᵀ(A·X + N)))` sweep (mat-mat products and multi-RHS
+    /// triangular solves) instead of K matvec/solve round-trips — the serving
+    /// pattern for "one popular workload, millions of databases".  Each
+    /// vector receives independent noise and each answer individually
+    /// satisfies the engine's (ε, δ) guarantee on its own database; the
+    /// results are byte-identical to K sequential [`Engine::answer`] calls on
+    /// the same rng.
     pub fn answer_batch<W: Workload + ?Sized, X: AsRef<[f64]>, R: Rng>(
         &self,
         workload: &W,
@@ -448,11 +452,21 @@ impl Engine {
         Ok(answers.pop().expect("one answer per data vector"))
     }
 
-    /// The unified answer path, batched over data vectors: per batch, one
+    /// The unified answer path, vectorised over data vectors: per batch, one
     /// round of validation plus the (cached) gram factor, trace term and
-    /// noise calibration; per vector, only the noisy strategy answers under
-    /// the backend, least-squares inference through the shared factor, and
-    /// workload evaluation.
+    /// noise calibration; the K data vectors are packed as the columns of one
+    /// matrix `X` and the whole batch runs as a single blocked
+    /// `L⁻ᵀ(L⁻¹(Aᵀ(A·X + N)))` pass — mat-mat products and multi-RHS
+    /// triangular solves instead of K independent matvec/solve round-trips.
+    /// Per vector only the workload evaluation `W x̂ₖ` remains.
+    ///
+    /// A single `answer` is exactly the K = 1 batch, and every kernel in the
+    /// pass is column-wise bit-identical across widths, so batching never
+    /// changes a result: `answer_batch` on K vectors equals K sequential
+    /// `answer` calls on the same rng, byte for byte.  (The noise matrix `N`
+    /// is filled column by column for the same reason — one backend draw of
+    /// length p per vector, p being the strategy's query count, the same
+    /// stream a sequential caller consumes.)
     #[allow(clippy::too_many_arguments)]
     fn answer_parts<W: Workload + ?Sized, R: Rng>(
         &self,
@@ -491,6 +505,12 @@ impl Engine {
                 "workload has no queries".into(),
             ));
         }
+        // An empty batch is valid and does no per-vector work (the cached
+        // factor and trace term are not even materialised).
+        let k = xs.len();
+        if k == 0 {
+            return Ok(Vec::new());
+        }
         // Predicted error through the cached factor and trace term
         // (Prop. 4 / Sec. 3.5) — both are data- and privacy-independent.
         let factor = entry.factor()?;
@@ -500,17 +520,29 @@ impl Engine {
             * sens
             * entry.trace_term(workload_gram)?;
         let expected_rms_error = (tse / m as f64).sqrt();
-
         let scale = self.backend.noise_scale(&privacy, sens);
-        let mut out = Vec::with_capacity(xs.len());
-        for x in xs {
-            let mut y = a.matvec(x)?;
-            let noise = self.backend.sample(rng, scale, y.len());
-            for (yi, ni) in y.iter_mut().zip(noise.iter()) {
-                *yi += ni;
+
+        let n = strategy.dim();
+        // Pack the K data vectors as columns of X (n × K).
+        let x_mat = Matrix::from_fn(n, k, |i, c| xs[c][i]);
+        // Noisy strategy answers for the whole batch: Y = A·X + N, with one
+        // independent length-p noise draw per column (p strategy queries).
+        let mut y = a.matmul(&x_mat)?;
+        let p = y.rows();
+        for c in 0..k {
+            let noise = self.backend.sample(rng, scale, p);
+            let y_data = y.as_mut_slice();
+            for (i, ni) in noise.into_iter().enumerate() {
+                y_data[i * k + c] += ni;
             }
-            let aty = a.matvec_transposed(&y)?;
-            let estimate = least_squares_estimate_with_factor(&factor, &aty)?;
+        }
+        // Batched least-squares inference through the shared factor:
+        // X̂ = L⁻ᵀ(L⁻¹(AᵀY)).
+        let aty = a.matmul_transpose_left(&y)?;
+        let estimates = factor.solve_upper_multi(&factor.solve_lower_multi(&aty)?)?;
+        let mut out = Vec::with_capacity(k);
+        for c in 0..k {
+            let estimate = estimates.col(c);
             let answers = workload.evaluate(&estimate);
             out.push(EngineAnswer {
                 answers,
@@ -784,6 +816,41 @@ mod tests {
             answers[0].expected_rms_error,
             1e-12
         ));
+    }
+
+    #[test]
+    fn answer_batch_is_byte_identical_to_sequential_answers() {
+        // The vectorised batch path must not change a single bit relative to
+        // per-vector serving: K sequential `answer` calls on a seeded rng and
+        // one `answer_batch` on an identically seeded rng consume the same
+        // noise stream and run column-wise bit-identical kernels.
+        for (privacy, seed) in [
+            (PrivacyParams::paper_default(), 40u64),
+            (PrivacyParams::pure(0.7), 41u64),
+        ] {
+            let w = AllRangeWorkload::new(Domain::one_dim(24));
+            let xs: Vec<Vec<f64>> = (0..7)
+                .map(|k| (0..24).map(|i| ((k * 31 + i * 7) % 17) as f64).collect())
+                .collect();
+            let engine = Engine::builder().privacy(privacy).build().unwrap();
+            // Warm the cache so both paths share one strategy and factor.
+            engine.select(&w).unwrap();
+
+            let mut rng_batch = StdRng::seed_from_u64(seed);
+            let batched = engine.answer_batch(&w, &xs, &mut rng_batch).unwrap();
+
+            let mut rng_seq = StdRng::seed_from_u64(seed);
+            for (k, x) in xs.iter().enumerate() {
+                let single = engine.answer(&w, x, &mut rng_seq).unwrap();
+                assert_eq!(single.answers.len(), batched[k].answers.len());
+                for (a, b) in single.answers.iter().zip(batched[k].answers.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "answer bits differ at k={k}");
+                }
+                for (a, b) in single.estimate.iter().zip(batched[k].estimate.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "estimate bits differ at k={k}");
+                }
+            }
+        }
     }
 
     #[test]

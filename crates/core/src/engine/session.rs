@@ -1,6 +1,6 @@
 //! Sessions and privacy-budget accounting.
 //!
-//! A [`Session`] wraps an [`Engine`](crate::engine::Engine) with a
+//! A [`Session`] wraps an [`Engine`] with a
 //! [`BudgetLedger`] that accounts *sequential composition*: a sequence of
 //! mechanisms satisfying (ε₁,δ₁)-, (ε₂,δ₂)-, … differential privacy on the
 //! same database satisfies (Σεᵢ, Σδᵢ)-differential privacy.  Every successful
@@ -522,6 +522,46 @@ mod tests {
         assert!(tight.answer_batch(&w, &xs[..2], &mut rng).is_err());
         assert_eq!(tight.ledger().charges().len(), 0);
         assert!(tight.answer_batch(&w, &xs[..1], &mut rng).is_ok());
+    }
+
+    #[test]
+    fn answer_batch_edge_sizes_charge_exactly_k_times() {
+        // Edge cases of the all-or-nothing batch charging: an empty batch
+        // succeeds and charges nothing, a K = 1 batch charges exactly once —
+        // for both the borrowed and the owned session.
+        use mm_workload::IdentityWorkload;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let p = PrivacyParams::new(0.25, 1e-5);
+        let engine = Arc::new(Engine::builder().privacy(p).build().unwrap());
+        let w = IdentityWorkload::new(4);
+        let mut rng = StdRng::seed_from_u64(30);
+
+        let mut session = engine.session(PrivacyBudget::new(1.0, 1e-3));
+        let empty: &[Vec<f64>] = &[];
+        let answers = session.answer_batch(&w, empty, &mut rng).unwrap();
+        assert!(answers.is_empty());
+        assert_eq!(session.ledger().charges().len(), 0, "empty batch is free");
+        assert!(approx_eq(session.ledger().spent().epsilon, 0.0, 1e-15));
+
+        let one = vec![vec![2.0; 4]];
+        let answers = session.answer_batch(&w, &one, &mut rng).unwrap();
+        assert_eq!(answers.len(), 1);
+        assert_eq!(session.ledger().charges().len(), 1, "K = 1 charges once");
+        assert!(approx_eq(session.ledger().spent().epsilon, 0.25, 1e-12));
+
+        let mut owned = engine.owned_session(PrivacyBudget::new(1.0, 1e-3));
+        assert!(owned.answer_batch(&w, empty, &mut rng).unwrap().is_empty());
+        assert_eq!(owned.ledger().charges().len(), 0);
+        assert_eq!(owned.answer_batch(&w, &one, &mut rng).unwrap().len(), 1);
+        assert_eq!(owned.ledger().charges().len(), 1);
+
+        // An exhausted session still accepts the (free) empty batch.
+        let mut broke = engine.session(PrivacyBudget::new(0.0, 0.0));
+        assert!(broke.answer_batch(&w, empty, &mut rng).unwrap().is_empty());
+        assert!(broke.answer_batch(&w, &one, &mut rng).is_err());
+        assert_eq!(broke.ledger().charges().len(), 0);
     }
 
     #[test]

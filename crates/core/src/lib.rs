@@ -14,7 +14,7 @@
 //! * [`error`] — the analytic workload error of Prop. 4 / Def. 5;
 //! * [`bounds`] — the singular value lower bound (Thm. 2) and the
 //!   approximation ratio bound (Thm. 3);
-//! * [`eigen_design`] — the Eigen-Design algorithm (Program 2);
+//! * [`mod@eigen_design`] — the Eigen-Design algorithm (Program 2);
 //! * [`design_set`] — Program 1 over arbitrary design sets (wavelet, Fourier,
 //!   workload rows, …), used by the Fig. 5 comparison;
 //! * [`separation`] and [`principal`] — the eigen-query separation and

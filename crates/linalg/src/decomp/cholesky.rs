@@ -93,25 +93,130 @@ impl Cholesky {
         Ok(y)
     }
 
-    /// Solves `A X = B` for a matrix right-hand side.
-    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+    /// Solves `L Y = B` (forward substitution) for a multi-column right-hand
+    /// side in one blocked sweep over the factor.
+    ///
+    /// The update of row `i` is a sequence of contiguous row-axpys `Y[i] -=
+    /// L[i,k] · Y[k]`, so all `K` right-hand sides advance together through
+    /// one traversal of `L` — the multi-RHS half of the engine's batched
+    /// inference `L⁻ᵀ(L⁻¹(AᵀY))`.  Column `c` of the result is bit-identical
+    /// to `solve_lower_multi` on that column alone: per entry the
+    /// eliminations apply in the same ascending order for every width.
+    pub fn solve_lower_multi(&self, b: &Matrix) -> Result<Matrix> {
         let n = self.dim();
         if b.rows() != n {
             return Err(LinalgError::ShapeMismatch {
-                op: "cholesky solve",
+                op: "cholesky solve_lower_multi",
                 left: (n, n),
                 right: b.shape(),
             });
         }
-        let mut out = Matrix::zeros(n, b.cols());
-        for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve_vec(&col)?;
-            for (i, v) in x.into_iter().enumerate() {
-                out[(i, j)] = v;
+        let k = b.cols();
+        let mut x = b.clone();
+        if k == 0 {
+            return Ok(x);
+        }
+        let data = x.as_mut_slice();
+        // Width-1 fast path: the same sequential eliminations (j ascending,
+        // zero factors skipped) in a register, without per-j slicing — so a
+        // single right-hand side stays bit-identical to a width-1 solve.
+        if k == 1 {
+            for i in 0..n {
+                let l_row = self.l.row(i);
+                let mut v = data[i];
+                for (j, &lij) in l_row[..i].iter().enumerate() {
+                    if lij == 0.0 {
+                        continue;
+                    }
+                    v -= lij * data[j];
+                }
+                data[i] = v / l_row[i];
+            }
+            return Ok(x);
+        }
+        for i in 0..n {
+            let (done, rest) = data.split_at_mut(i * k);
+            let xi = &mut rest[..k];
+            let l_row = self.l.row(i);
+            for (j, &lij) in l_row[..i].iter().enumerate() {
+                if lij == 0.0 {
+                    continue;
+                }
+                let xj = &done[j * k..(j + 1) * k];
+                for (a, &b) in xi.iter_mut().zip(xj.iter()) {
+                    *a -= lij * b;
+                }
+            }
+            let d = l_row[i];
+            for a in xi.iter_mut() {
+                *a /= d;
             }
         }
-        Ok(out)
+        Ok(x)
+    }
+
+    /// Solves `Lᵀ X = Y` (backward substitution) for a multi-column
+    /// right-hand side; the transposed counterpart of
+    /// [`Cholesky::solve_lower_multi`], with the same column-wise
+    /// bit-identity across widths.
+    pub fn solve_upper_multi(&self, y: &Matrix) -> Result<Matrix> {
+        let n = self.dim();
+        if y.rows() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve_upper_multi",
+                left: (n, n),
+                right: y.shape(),
+            });
+        }
+        let k = y.cols();
+        let mut x = y.clone();
+        if k == 0 {
+            return Ok(x);
+        }
+        let data = x.as_mut_slice();
+        // Width-1 fast path (see `solve_lower_multi`): identical elimination
+        // sequence, register accumulation.
+        if k == 1 {
+            for i in (0..n).rev() {
+                let mut v = data[i];
+                for (j, &xj) in data.iter().enumerate().skip(i + 1) {
+                    let lji = self.l[(j, i)];
+                    if lji == 0.0 {
+                        continue;
+                    }
+                    v -= lji * xj;
+                }
+                data[i] = v / self.l[(i, i)];
+            }
+            return Ok(x);
+        }
+        for i in (0..n).rev() {
+            let (head, tail) = data.split_at_mut((i + 1) * k);
+            let xi = &mut head[i * k..];
+            // Row i of Lᵀ is column i of L below the diagonal.
+            for j in (i + 1)..n {
+                let lji = self.l[(j, i)];
+                if lji == 0.0 {
+                    continue;
+                }
+                let xj = &tail[(j - i - 1) * k..(j - i) * k];
+                for (a, &b) in xi.iter_mut().zip(xj.iter()) {
+                    *a -= lji * b;
+                }
+            }
+            let d = self.l[(i, i)];
+            for a in xi.iter_mut() {
+                *a /= d;
+            }
+        }
+        Ok(x)
+    }
+
+    /// Solves `A X = B` for a matrix right-hand side through the two
+    /// multi-RHS triangular sweeps (`A = L Lᵀ`).
+    pub fn solve_matrix(&self, b: &Matrix) -> Result<Matrix> {
+        let y = self.solve_lower_multi(b)?;
+        self.solve_upper_multi(&y)
     }
 
     /// Computes the inverse `A⁻¹`.
@@ -260,6 +365,97 @@ mod tests {
         }
         assert!(ch.solve_matrix(&Matrix::zeros(3, 1)).is_err());
         assert!(ch.solve_vec(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn solve_lower_multi_matches_per_column_reference() {
+        // Property: for every column k, solve_lower_multi(L, X)[:, k] equals
+        // a scalar forward substitution L y = x_k to 1e-12, and is
+        // bit-identical to the K = 1 solve on that column alone.
+        for &(n, k) in &[(1usize, 1usize), (5, 3), (24, 8), (40, 17)] {
+            let a = spd_matrix(n);
+            let ch = Cholesky::new(&a).unwrap();
+            let l = ch.l();
+            let b = Matrix::from_fn(n, k, |i, j| ((i * 13 + j * 7) % 11) as f64 - 5.0);
+            let multi = ch.solve_lower_multi(&b).unwrap();
+            assert_eq!(multi.shape(), (n, k));
+            for c in 0..k {
+                // Scalar reference: plain forward substitution.
+                let mut y = b.col(c);
+                for i in 0..n {
+                    let s: f64 = (0..i).map(|j| l[(i, j)] * y[j]).sum();
+                    y[i] = (y[i] - s) / l[(i, i)];
+                }
+                for i in 0..n {
+                    assert!(
+                        approx_eq(multi[(i, c)], y[i], 1e-12),
+                        "({i},{c}): {} vs {}",
+                        multi[(i, c)],
+                        y[i]
+                    );
+                }
+                // Bitwise K-invariance.
+                let single_rhs = Matrix::from_fn(n, 1, |i, _| b[(i, c)]);
+                let single = ch.solve_lower_multi(&single_rhs).unwrap();
+                for i in 0..n {
+                    assert_eq!(multi[(i, c)].to_bits(), single[(i, 0)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_upper_multi_matches_per_column_reference() {
+        for &(n, k) in &[(1usize, 2usize), (6, 4), (24, 9)] {
+            let a = spd_matrix(n);
+            let ch = Cholesky::new(&a).unwrap();
+            let l = ch.l();
+            let b = Matrix::from_fn(n, k, |i, j| ((i * 5 + j * 3) % 7) as f64 - 3.0);
+            let multi = ch.solve_upper_multi(&b).unwrap();
+            for c in 0..k {
+                // Scalar reference: plain backward substitution on Lᵀ.
+                let mut y = b.col(c);
+                for i in (0..n).rev() {
+                    let s: f64 = ((i + 1)..n).map(|j| l[(j, i)] * y[j]).sum();
+                    y[i] = (y[i] - s) / l[(i, i)];
+                }
+                for i in 0..n {
+                    assert!(
+                        approx_eq(multi[(i, c)], y[i], 1e-12),
+                        "({i},{c}): {} vs {}",
+                        multi[(i, c)],
+                        y[i]
+                    );
+                }
+                let single_rhs = Matrix::from_fn(n, 1, |i, _| b[(i, c)]);
+                let single = ch.solve_upper_multi(&single_rhs).unwrap();
+                for i in 0..n {
+                    assert_eq!(multi[(i, c)].to_bits(), single[(i, 0)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangular_multi_solves_compose_to_full_solve() {
+        // L⁻ᵀ(L⁻¹ B) must reconstruct A X = B, and zero-width / mismatched
+        // right-hand sides are handled.
+        let a = spd_matrix(6);
+        let ch = Cholesky::new(&a).unwrap();
+        let b = Matrix::from_fn(6, 3, |i, j| (i as f64) - 2.0 * (j as f64));
+        let x = ch
+            .solve_upper_multi(&ch.solve_lower_multi(&b).unwrap())
+            .unwrap();
+        let rec = matmul(&a, &x).unwrap();
+        for i in 0..6 {
+            for j in 0..3 {
+                assert!(approx_eq(rec[(i, j)], b[(i, j)], 1e-8));
+            }
+        }
+        let empty = ch.solve_lower_multi(&Matrix::zeros(6, 0)).unwrap();
+        assert_eq!(empty.shape(), (6, 0));
+        assert!(ch.solve_lower_multi(&Matrix::zeros(5, 2)).is_err());
+        assert!(ch.solve_upper_multi(&Matrix::zeros(5, 2)).is_err());
     }
 
     #[test]

@@ -467,6 +467,23 @@ impl Matrix {
         Ok(out)
     }
 
+    /// Computes the matrix product `self * other` with the blocked mat-mat
+    /// kernel (see [`crate::ops::matmul`]).
+    ///
+    /// A multi-RHS product `A · X` answers every column of `X` in one blocked
+    /// sweep over `A` — the batch hot path of the serving engine — and each
+    /// column of the result is bit-identical to `A.matmul(x_k)` on that
+    /// column alone.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        crate::ops::matmul(self, other)
+    }
+
+    /// Computes `selfᵀ * other` without materialising the transpose, with the
+    /// blocked mat-mat kernel (see [`crate::ops::matmul_transpose_left`]).
+    pub fn matmul_transpose_left(&self, other: &Matrix) -> Result<Matrix> {
+        crate::ops::matmul_transpose_left(self, other)
+    }
+
     /// Multiplies the transpose by a vector, returning `Aᵀ y` without forming `Aᵀ`.
     pub fn matvec_transposed(&self, y: &[f64]) -> Result<Vec<f64>> {
         if y.len() != self.rows {
@@ -771,6 +788,38 @@ mod tests {
         assert_eq!(z, vec![5.0, 7.0, 9.0]);
         assert!(m.matvec(&[1.0]).is_err());
         assert!(m.matvec_transposed(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_methods_delegate_to_ops() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(1, 1)], 50.0);
+        let t = a.matmul_transpose_left(&b).unwrap();
+        let explicit = a.transpose().matmul(&b).unwrap();
+        assert_eq!(t, explicit);
+        assert!(a.matmul(&Matrix::zeros(3, 2)).is_err());
+        assert!(a.matmul_transpose_left(&Matrix::zeros(3, 2)).is_err());
+    }
+
+    #[test]
+    fn matmul_columns_match_matvec_bitwise() {
+        // The batch invariant: column k of A·X equals A·x_k exactly (not just
+        // approximately), for shapes spanning the blocked kernel's tiles.
+        for &(m, n, k) in &[(3usize, 4usize, 1usize), (7, 5, 8), (150, 130, 3)] {
+            let a = Matrix::from_fn(m, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 3.0 - 2.0);
+            let x = Matrix::from_fn(n, k, |i, j| ((i * 7 + j * 11) % 9) as f64 - 4.0);
+            let y = a.matmul(&x).unwrap();
+            for c in 0..k {
+                let col = x.col(c);
+                let single = a.matvec(&col).unwrap();
+                for i in 0..m {
+                    assert_eq!(y[(i, c)].to_bits(), single[i].to_bits(), "({i},{c})");
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,15 +1,35 @@
 //! Matrix-level operations: products, gram matrices, Kronecker products.
 //!
 //! The inner loops are written in the cache-friendly `i-k-j` order so the
-//! innermost traversal is over contiguous rows of the right operand, and the
-//! larger products are parallelised over blocks of output rows with
-//! `std::thread::scope` (no external dependencies).
+//! innermost traversal is over contiguous rows of the right operand.  The
+//! mat-mat kernels ([`matmul`], [`matmul_transpose_left`]) are additionally
+//! *blocked*: the loop nest is tiled over row blocks and depth panels sized so
+//! the streamed panel of the right operand stays cache-resident while a block
+//! of output rows accumulates — the difference between answering a K-vector
+//! batch with one product versus K cache-cold matvecs.  Larger products are
+//! parallelised over blocks of output rows with `std::thread::scope` (no
+//! external dependencies).
+//!
+//! Every kernel accumulates each output entry in ascending depth order
+//! regardless of blocking or operand width, so the column `k` of a multi-RHS
+//! product is *bit-identical* to the same product computed on that column
+//! alone — the property the serving engine's vectorised batch path relies on.
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
 
 /// Row count above which products are parallelised across threads.
 const PARALLEL_THRESHOLD: usize = 96;
+
+/// Rows of the left operand (resp. output) accumulated per block: one block
+/// of output rows stays hot while a depth panel of the right operand streams
+/// through it.
+const BLOCK_ROWS: usize = 128;
+
+/// Depth (inner-dimension) panel width: `BLOCK_DEPTH * b.cols() * 8` bytes of
+/// the right operand are re-read per output row block, so the panel should
+/// fit mid-level cache for the row-count/width shapes this workspace serves.
+const BLOCK_DEPTH: usize = 128;
 
 fn thread_count(rows: usize) -> usize {
     let hw = std::thread::available_parallelism()
@@ -18,7 +38,7 @@ fn thread_count(rows: usize) -> usize {
     hw.min(rows).max(1)
 }
 
-/// Computes the matrix product `A * B`.
+/// Computes the matrix product `A * B` with the blocked kernel.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if a.cols() != b.rows() {
         return Err(LinalgError::ShapeMismatch {
@@ -43,16 +63,45 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
 
 fn matmul_serial_range(a: &Matrix, b: &Matrix, out: &mut [f64], row_start: usize, row_end: usize) {
     let n = b.cols();
-    for i in row_start..row_end {
-        let a_row = a.row(i);
-        let out_row = &mut out[(i - row_start) * n..(i - row_start + 1) * n];
-        for (k, &aik) in a_row.iter().enumerate() {
-            if aik == 0.0 {
-                continue;
+    let depth = a.cols();
+    // Width-1 fast path: a register-accumulating dot product per output row.
+    // The addition sequence (k ascending, zero terms skipped) is exactly the
+    // blocked kernel's, so `A·x` stays bit-identical to a width-1 `A·X` —
+    // only the per-k slicing overhead goes away.
+    if n == 1 {
+        let b_col = b.as_slice();
+        for (i, o) in (row_start..row_end).zip(out.iter_mut()) {
+            let mut acc = 0.0;
+            for (&aik, &bk) in a.row(i).iter().zip(b_col.iter()) {
+                if aik == 0.0 {
+                    continue;
+                }
+                acc += aik * bk;
             }
-            let b_row = b.row(k);
-            for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += aik * bkj;
+            *o = acc;
+        }
+        return;
+    }
+    // Blocked i0-k0-i-k-j nest: for each block of output rows, stream the
+    // depth panels of B in ascending order.  Per (i, j) the accumulation
+    // visits k strictly ascending (panels ascend, k ascends within a panel),
+    // so blocking never changes the floating-point result.
+    for i0 in (row_start..row_end).step_by(BLOCK_ROWS) {
+        let i1 = (i0 + BLOCK_ROWS).min(row_end);
+        for k0 in (0..depth).step_by(BLOCK_DEPTH) {
+            let k1 = (k0 + BLOCK_DEPTH).min(depth);
+            for i in i0..i1 {
+                let a_panel = &a.row(i)[k0..k1];
+                let out_row = &mut out[(i - row_start) * n..(i - row_start + 1) * n];
+                for (dk, &aik) in a_panel.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let b_row = b.row(k0 + dk);
+                    for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += aik * bkj;
+                    }
+                }
             }
         }
     }
@@ -82,32 +131,102 @@ fn matmul_parallel(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     });
 }
 
-/// Computes `Aᵀ * B` without materialising `Aᵀ`.
-pub fn matmul_at_b(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+/// Computes `Aᵀ * B` without materialising `Aᵀ`, with the blocked kernel.
+///
+/// This is the `AᵀY` half of the matrix mechanism's inference step `x̂ =
+/// (AᵀA)⁻¹ Aᵀ Y`, batched over the columns of `Y`.
+pub fn matmul_transpose_left(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if a.rows() != b.rows() {
         return Err(LinalgError::ShapeMismatch {
-            op: "matmul_at_b",
+            op: "matmul_transpose_left",
             left: (a.cols(), a.rows()),
             right: b.shape(),
         });
     }
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Matrix::zeros(m, n);
-    for r in 0..k {
-        let a_row = a.row(r);
-        let b_row = b.row(r);
-        for (i, &ari) in a_row.iter().enumerate() {
-            if ari == 0.0 {
-                continue;
+    if m == 0 || n == 0 || k == 0 {
+        return Ok(out);
+    }
+    let work = m.saturating_mul(n).saturating_mul(k);
+    if m >= PARALLEL_THRESHOLD && work > 1_000_000 {
+        let threads = thread_count(m);
+        let chunk = m.div_ceil(threads);
+        let out_data = out.as_mut_slice();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (t, out_chunk) in out_data.chunks_mut(chunk * n).enumerate() {
+                let row_start = t * chunk;
+                let row_end = (row_start + chunk).min(m);
+                if row_start >= row_end {
+                    break;
+                }
+                handles.push(scope.spawn(move || {
+                    matmul_transpose_left_range(a, b, out_chunk, row_start, row_end);
+                }));
             }
-            let out_row = out.row_mut(i);
-            for (o, &brj) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += ari * brj;
+            for h in handles {
+                h.join()
+                    .expect("matmul_transpose_left worker thread panicked");
+            }
+        });
+    } else {
+        matmul_transpose_left_range(a, b, out.as_mut_slice(), 0, m);
+    }
+    Ok(out)
+}
+
+/// Serial `AᵀB` over output rows `[row_start, row_end)` (columns of `A`).
+fn matmul_transpose_left_range(
+    a: &Matrix,
+    b: &Matrix,
+    out: &mut [f64],
+    row_start: usize,
+    row_end: usize,
+) {
+    let n = b.cols();
+    let depth = a.rows();
+    // Width-1 fast path: stream A row-wise once, accumulating into the
+    // (cache-resident) output column.  Per output row the depth index r
+    // ascends and the same zero terms are skipped as in the blocked kernel
+    // below, so `Aᵀy` stays bit-identical to a width-1 `AᵀY`.
+    if n == 1 {
+        let b_col = b.as_slice();
+        for (r, &br) in b_col.iter().enumerate() {
+            let a_panel = &a.row(r)[row_start..row_end];
+            for (o, &ari) in out.iter_mut().zip(a_panel.iter()) {
+                if ari == 0.0 {
+                    continue;
+                }
+                *o += ari * br;
+            }
+        }
+        return;
+    }
+    // The depth axis runs over rows of A and B.  Tiling output rows first
+    // keeps the accumulating block hot while a depth panel of B streams
+    // through it; per (i, j) the depth index r ascends across and within
+    // panels, so the result is blocking-invariant bit for bit.
+    for i0 in (row_start..row_end).step_by(BLOCK_ROWS) {
+        let i1 = (i0 + BLOCK_ROWS).min(row_end);
+        for r0 in (0..depth).step_by(BLOCK_DEPTH) {
+            let r1 = (r0 + BLOCK_DEPTH).min(depth);
+            for r in r0..r1 {
+                let a_row = a.row(r);
+                let b_row = b.row(r);
+                for i in i0..i1 {
+                    let ari = a_row[i];
+                    if ari == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out[(i - row_start) * n..(i - row_start + 1) * n];
+                    for (o, &brj) in out_row.iter_mut().zip(b_row.iter()) {
+                        *o += ari * brj;
+                    }
+                }
             }
         }
     }
-    let _ = n;
-    Ok(out)
 }
 
 /// Computes `A * Bᵀ` without materialising `Bᵀ`.
@@ -370,7 +489,7 @@ mod tests {
     fn transposed_products_agree_with_explicit() {
         let a = Matrix::from_fn(4, 3, |i, j| (i + j) as f64);
         let b = Matrix::from_fn(4, 2, |i, j| (i as f64) - (j as f64));
-        let atb = matmul_at_b(&a, &b).unwrap();
+        let atb = matmul_transpose_left(&a, &b).unwrap();
         let explicit = matmul(&a.transpose(), &b).unwrap();
         assert_matrix_eq(&atb, &explicit, 1e-12);
 

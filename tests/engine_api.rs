@@ -406,6 +406,38 @@ fn answer_batch_amortises_and_sessions_charge_per_vector() {
     assert_eq!(session.ledger().charges().len(), 8);
 }
 
+/// The vectorised batch path is an implementation detail: answering a batch
+/// through the facade is byte-identical to answering its vectors one by one
+/// on the same seeded rng, and the empty batch is a charge-free no-op.
+#[test]
+fn batched_answers_equal_sequential_answers_through_facade() {
+    let w = range_workload(16);
+    let xs: Vec<Vec<f64>> = (0..5)
+        .map(|k| (0..16).map(|i| ((k * 7 + i * 3) % 23) as f64).collect())
+        .collect();
+    let engine = Engine::new(PrivacyParams::paper_default());
+    engine.select(&w).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(77);
+    let batched = engine.answer_batch(&w, &xs, &mut rng).unwrap();
+    let mut rng = StdRng::seed_from_u64(77);
+    for (k, x) in xs.iter().enumerate() {
+        let single = engine.answer(&w, x, &mut rng).unwrap();
+        for (a, b) in single.answers.iter().zip(batched[k].answers.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "vector {k}");
+        }
+    }
+
+    // Empty batch: succeeds, answers nothing, charges nothing.
+    let mut session = engine.session(PrivacyBudget::new(1.0, 1e-3));
+    let none: &[Vec<f64>] = &[];
+    assert!(session.answer_batch(&w, none, &mut rng).unwrap().is_empty());
+    assert_eq!(session.ledger().charges().len(), 0);
+    // K = 1 batch charges exactly once.
+    session.answer_batch(&w, &xs[..1], &mut rng).unwrap();
+    assert_eq!(session.ledger().charges().len(), 1);
+}
+
 /// `MechanismError` is non-exhaustive and the new variants format usefully.
 /// (`BudgetExhausted` is itself non-exhaustive, so it can only be obtained
 /// from a ledger, never constructed by downstream code.)
