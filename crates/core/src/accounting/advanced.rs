@@ -1,0 +1,256 @@
+//! k-fold advanced ("strong") composition.
+
+use super::{budget_slack, reject_delta_against_pure_budget, Accountant, KahanSum, MechanismEvent};
+use crate::engine::PrivacyBudget;
+
+/// Fraction of the total δ budget reserved as the composition slack δ′ of
+/// the advanced-composition bound (the rest admits the events' own δᵢ).
+pub const DEFAULT_SLACK_FRACTION: f64 = 0.5;
+
+/// Advanced-composition accountant (Dwork–Rothblum–Vadhan, heterogeneous
+/// form): a sequence of (εᵢ, δᵢ)-DP mechanisms satisfies
+///
+/// ```text
+///     ( √(2 ln(1/δ′) · Σεᵢ²) + Σ εᵢ(e^{εᵢ} − 1),   δ′ + Σδᵢ )
+/// ```
+///
+/// differential privacy for any slack δ′ > 0.  The accountant reserves
+/// `δ′ = slack_fraction · total.delta` out of the total budget and charges
+/// the events' own δᵢ against the remainder.
+///
+/// The composed ε is always the **minimum** of the advanced bound and the
+/// basic sequential sum Σεᵢ (both are valid guarantees of the same release),
+/// so this accountant never reports more ε-spend than
+/// [`SequentialAccountant`](super::SequentialAccountant) on the same event
+/// stream — for few large-ε events sequential is tighter, for many small-ε
+/// events the √k term wins.  The δ view is strictly more expensive:
+/// δ′ is consumed as soon as the first event lands.
+///
+/// With a pure budget (δ = 0) no slack can be reserved, the advanced bound
+/// is vacuous (ln(1/δ′) → ∞) and the accountant degrades to exact
+/// sequential composition — and, like every accountant, rejects any event
+/// requesting δ > 0.
+#[derive(Debug, Clone)]
+pub struct AdvancedCompositionAccountant {
+    total: PrivacyBudget,
+    /// The reserved composition slack δ′.
+    delta_slack: f64,
+    sum_epsilon: KahanSum,
+    sum_epsilon_sq: KahanSum,
+    /// Σ εᵢ(e^{εᵢ} − 1), the drift term of the advanced bound.
+    sum_epsilon_lin: KahanSum,
+    sum_delta: KahanSum,
+    events: Vec<MechanismEvent>,
+}
+
+impl AdvancedCompositionAccountant {
+    /// A fresh accountant reserving [`DEFAULT_SLACK_FRACTION`] of the δ
+    /// budget as the composition slack δ′.
+    pub fn new(total: PrivacyBudget) -> Self {
+        AdvancedCompositionAccountant::with_slack_fraction(total, DEFAULT_SLACK_FRACTION)
+    }
+
+    /// A fresh accountant reserving `fraction · total.delta` as δ′.
+    ///
+    /// Panics unless `fraction` lies in (0, 1).
+    pub fn with_slack_fraction(total: PrivacyBudget, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "slack fraction must lie in (0, 1)"
+        );
+        AdvancedCompositionAccountant {
+            total,
+            delta_slack: fraction * total.delta,
+            sum_epsilon: KahanSum::default(),
+            sum_epsilon_sq: KahanSum::default(),
+            sum_epsilon_lin: KahanSum::default(),
+            sum_delta: KahanSum::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The reserved composition slack δ′.
+    pub fn delta_slack(&self) -> f64 {
+        self.delta_slack
+    }
+
+    /// The composed ε for the given running sums: the minimum of the basic
+    /// sequential sum and the advanced bound at slack δ′.
+    fn composed_epsilon(&self, sum_eps: f64, sum_sq: f64, sum_lin: f64) -> f64 {
+        if self.delta_slack > 0.0 {
+            let advanced = (2.0 * (1.0 / self.delta_slack).ln() * sum_sq).sqrt() + sum_lin;
+            sum_eps.min(advanced)
+        } else {
+            sum_eps
+        }
+    }
+
+    /// The composed (ε, δ) spend for candidate running sums (`events > 0`
+    /// decides whether δ′ has been consumed yet).
+    fn composed_spend(
+        &self,
+        sum_eps: f64,
+        sum_sq: f64,
+        sum_lin: f64,
+        sum_delta: f64,
+        any_events: bool,
+    ) -> PrivacyBudget {
+        if !any_events {
+            return PrivacyBudget {
+                epsilon: 0.0,
+                delta: 0.0,
+            };
+        }
+        PrivacyBudget {
+            epsilon: self.composed_epsilon(sum_eps, sum_sq, sum_lin),
+            delta: sum_delta + self.delta_slack,
+        }
+    }
+}
+
+impl Accountant for AdvancedCompositionAccountant {
+    fn name(&self) -> &'static str {
+        "advanced"
+    }
+
+    fn total(&self) -> PrivacyBudget {
+        self.total
+    }
+
+    fn spent(&self) -> PrivacyBudget {
+        self.composed_spend(
+            self.sum_epsilon.value(),
+            self.sum_epsilon_sq.value(),
+            self.sum_epsilon_lin.value(),
+            self.sum_delta.value(),
+            !self.events.is_empty(),
+        )
+    }
+
+    fn events(&self) -> &[MechanismEvent] {
+        &self.events
+    }
+
+    fn check_many(&self, event: &MechanismEvent, count: usize) -> crate::Result<()> {
+        reject_delta_against_pure_budget(self, event, count)?;
+        let n = count as f64;
+        let requested = event.requested();
+        // Composed post-charge spend with n more copies of the event — the
+        // advanced bound is non-linear in the event stream, so affordability
+        // cannot be decided per charge.
+        let candidate = self.composed_spend(
+            self.sum_epsilon.value() + requested.epsilon * n,
+            self.sum_epsilon_sq.value() + requested.epsilon * requested.epsilon * n,
+            self.sum_epsilon_lin.value() + requested.epsilon * requested.epsilon.exp_m1() * n,
+            self.sum_delta.value() + requested.delta * n,
+            count > 0 || !self.events.is_empty(),
+        );
+        let (slack_e, slack_d) = budget_slack(&self.total);
+        if candidate.epsilon <= self.total.epsilon + slack_e
+            && candidate.delta <= self.total.delta + slack_d
+        {
+            return Ok(());
+        }
+        let spent = self.spent();
+        let remaining = self.remaining();
+        Err(crate::MechanismError::BudgetExhausted {
+            requested_epsilon: requested.epsilon * n,
+            requested_delta: requested.delta * n,
+            remaining_epsilon: remaining.epsilon,
+            remaining_delta: remaining.delta,
+            spent_epsilon: spent.epsilon,
+            spent_delta: spent.delta,
+            accountant: self.name(),
+        })
+    }
+
+    fn charge_many(&mut self, event: &MechanismEvent, count: usize) -> crate::Result<()> {
+        self.check_many(event, count)?;
+        let requested = event.requested();
+        for _ in 0..count {
+            self.sum_epsilon.add(requested.epsilon);
+            self.sum_epsilon_sq
+                .add(requested.epsilon * requested.epsilon);
+            self.sum_epsilon_lin
+                .add(requested.epsilon * requested.epsilon.exp_m1());
+            self.sum_delta.add(requested.delta);
+            self.events.push(*event);
+        }
+        Ok(())
+    }
+
+    fn clone_box(&self) -> Box<dyn Accountant> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privacy::PrivacyParams;
+
+    #[test]
+    fn empty_accountant_spends_nothing() {
+        let acct = AdvancedCompositionAccountant::new(PrivacyBudget::new(1.0, 1e-4));
+        assert_eq!(acct.spent().epsilon, 0.0);
+        assert_eq!(acct.spent().delta, 0.0);
+    }
+
+    #[test]
+    fn first_event_consumes_the_delta_slack() {
+        let mut acct = AdvancedCompositionAccountant::new(PrivacyBudget::new(10.0, 1e-3));
+        let e = MechanismEvent::declared(PrivacyParams::new(0.1, 1e-5));
+        acct.charge_many(&e, 1).unwrap();
+        // δ spend = δ′ + Σδᵢ = 5e-4 + 1e-5.
+        assert!((acct.spent().delta - (5e-4 + 1e-5)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn epsilon_spend_never_exceeds_sequential() {
+        // The min() with the basic sum guarantees the advanced accountant is
+        // never looser than sequential in ε, at every prefix of the stream.
+        let mut acct = AdvancedCompositionAccountant::new(PrivacyBudget::new(1e6, 0.5));
+        let e = MechanismEvent::declared(PrivacyParams::new(0.7, 0.0));
+        let mut seq = 0.0;
+        for _ in 0..200 {
+            acct.charge_many(&e, 1).unwrap();
+            seq += 0.7;
+            assert!(acct.spent().epsilon <= seq + 1e-9);
+        }
+    }
+
+    #[test]
+    fn many_small_events_beat_sequential() {
+        // 10 000 events at ε = 0.01: sequential composes to ε = 100, the
+        // advanced bound to √(2 ln(1/δ′)·k ε²) + k ε(e^ε −1) ≈ 6.5.
+        let mut acct = AdvancedCompositionAccountant::new(PrivacyBudget::new(100.0, 1e-4));
+        let e = MechanismEvent::declared(PrivacyParams::new(0.01, 0.0));
+        acct.charge_many(&e, 10_000).unwrap();
+        let spent = acct.spent().epsilon;
+        assert!(spent < 10.0, "advanced spend {spent} must be far below 100");
+    }
+
+    #[test]
+    fn affordability_is_composed_not_linear() {
+        // A batch that per-charge linearity would reject (k·ε > ε_total) is
+        // admitted because the composed k-fold bound fits.
+        let budget = PrivacyBudget::new(10.0, 1e-4);
+        let acct = AdvancedCompositionAccountant::new(budget);
+        let e = MechanismEvent::declared(PrivacyParams::new(0.01, 0.0));
+        let k = 5_000;
+        assert!(k as f64 * 0.01 > budget.epsilon, "linearity would reject");
+        assert!(acct.check_many(&e, k).is_ok(), "composed bound admits");
+    }
+
+    #[test]
+    fn pure_budget_degrades_to_sequential_and_rejects_delta() {
+        let mut acct = AdvancedCompositionAccountant::new(PrivacyBudget::pure(1.0));
+        assert_eq!(acct.delta_slack(), 0.0);
+        let e = MechanismEvent::declared(PrivacyParams::pure(0.4));
+        acct.charge_many(&e, 2).unwrap();
+        assert!((acct.spent().epsilon - 0.8).abs() < 1e-15);
+        assert!(acct.charge_many(&e, 1).is_err(), "sequential ε exhausted");
+        let approx = MechanismEvent::declared(PrivacyParams::new(0.01, 1e-9));
+        assert!(acct.check_many(&approx, 1).is_err(), "δ > 0 rejected");
+    }
+}

@@ -1,0 +1,146 @@
+//! Mechanism events: what actually gets charged to an accountant.
+
+use crate::privacy::PrivacyParams;
+
+/// The noise distribution a charged release used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MechanismKind {
+    /// Gaussian noise (Prop. 2): the accountant may use the closed-form
+    /// Gaussian RDP curve ε(α) = α·Δ₂²/(2σ²).
+    Gaussian,
+    /// Laplace noise: the accountant may use the Laplace RDP curve
+    /// (Mironov 2017) at the per-unit-sensitivity scale b/Δ₁.
+    Laplace,
+    /// No mechanism information — only a claimed (ε, δ) guarantee.  Every
+    /// accountant composes declared events *sequentially* (the only sound
+    /// fallback for an arbitrary (ε, δ)-DP release).
+    Declared,
+}
+
+/// One noisy release, as recorded by a session's accountant: which mechanism
+/// ran, at what noise scale and sensitivity, and the (ε, δ) the caller
+/// requested for it.
+///
+/// The tighter composition theorems need the mechanism, not just its claimed
+/// guarantee: the Gaussian RDP curve is a function of σ/Δ₂, the Laplace
+/// curve of b/Δ₁.  The requested (ε, δ) is still carried so sequential
+/// accounting (and the ledger's charge history) stay exactly explainable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MechanismEvent {
+    kind: MechanismKind,
+    noise_scale: f64,
+    sensitivity: f64,
+    requested: PrivacyParams,
+}
+
+impl MechanismEvent {
+    /// A Gaussian release: noise σ on a query set of L2 sensitivity Δ₂,
+    /// requested at `requested`.
+    ///
+    /// Panics when σ or Δ₂ is non-positive or non-finite.
+    pub fn gaussian(requested: PrivacyParams, sigma: f64, l2_sensitivity: f64) -> Self {
+        assert!(
+            sigma > 0.0 && sigma.is_finite(),
+            "gaussian noise scale must be positive and finite"
+        );
+        assert!(
+            l2_sensitivity > 0.0 && l2_sensitivity.is_finite(),
+            "l2 sensitivity must be positive and finite"
+        );
+        MechanismEvent {
+            kind: MechanismKind::Gaussian,
+            noise_scale: sigma,
+            sensitivity: l2_sensitivity,
+            requested,
+        }
+    }
+
+    /// A Laplace release: noise scale b on a query set of L1 sensitivity Δ₁,
+    /// requested at `requested`.
+    ///
+    /// Panics when b or Δ₁ is non-positive or non-finite.
+    pub fn laplace(requested: PrivacyParams, b: f64, l1_sensitivity: f64) -> Self {
+        assert!(
+            b > 0.0 && b.is_finite(),
+            "laplace noise scale must be positive and finite"
+        );
+        assert!(
+            l1_sensitivity > 0.0 && l1_sensitivity.is_finite(),
+            "l1 sensitivity must be positive and finite"
+        );
+        MechanismEvent {
+            kind: MechanismKind::Laplace,
+            noise_scale: b,
+            sensitivity: l1_sensitivity,
+            requested,
+        }
+    }
+
+    /// A release about which only a claimed (ε, δ) guarantee is known
+    /// (e.g. a charge made through the ledger's plain
+    /// [`try_charge`](crate::engine::BudgetLedger::try_charge)).  Composed
+    /// sequentially by every accountant.
+    pub fn declared(requested: PrivacyParams) -> Self {
+        MechanismEvent {
+            kind: MechanismKind::Declared,
+            noise_scale: 0.0,
+            sensitivity: 0.0,
+            requested,
+        }
+    }
+
+    /// The noise distribution of the release.
+    pub fn kind(&self) -> MechanismKind {
+        self.kind
+    }
+
+    /// The noise scale (σ for Gaussian, b for Laplace; 0 for declared
+    /// events).
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// The sensitivity the noise was calibrated to (Δ₂ for Gaussian, Δ₁ for
+    /// Laplace; 0 for declared events).
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The (ε, δ) the caller requested for the release.
+    pub fn requested(&self) -> PrivacyParams {
+        self.requested
+    }
+
+    /// The per-unit-sensitivity noise scale (σ/Δ₂ resp. b/Δ₁) — the quantity
+    /// the RDP curves are functions of.  `None` for declared events.
+    pub fn unit_scale(&self) -> Option<f64> {
+        match self.kind {
+            MechanismKind::Declared => None,
+            _ => Some(self.noise_scale / self.sensitivity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_scale_is_scale_over_sensitivity() {
+        let p = PrivacyParams::paper_default();
+        let g = MechanismEvent::gaussian(p, 8.0, 2.0);
+        assert_eq!(g.unit_scale(), Some(4.0));
+        assert_eq!(g.kind(), MechanismKind::Gaussian);
+        let l = MechanismEvent::laplace(PrivacyParams::pure(0.5), 6.0, 3.0);
+        assert_eq!(l.unit_scale(), Some(2.0));
+        let d = MechanismEvent::declared(p);
+        assert_eq!(d.unit_scale(), None);
+        assert_eq!(d.requested(), p);
+    }
+
+    #[test]
+    #[should_panic(expected = "noise scale must be positive")]
+    fn zero_sigma_rejected() {
+        MechanismEvent::gaussian(PrivacyParams::paper_default(), 0.0, 1.0);
+    }
+}

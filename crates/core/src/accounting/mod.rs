@@ -1,0 +1,333 @@
+//! Pluggable privacy accounting: how a session's spend composes.
+//!
+//! The paper's serving regime is "many answers at a fixed per-answer
+//! (ε, δ)" (ε = 0.5, δ = 10⁻⁴ for the workload-error experiments; Prop. 2
+//! and 4).  How many answers a fixed *total* budget admits depends entirely
+//! on the composition theorem the ledger applies:
+//!
+//! * [`SequentialAccountant`] — basic sequential composition
+//!   (Σεᵢ, Σδᵢ).  Simple, exactly explainable, and the default: a drop-in
+//!   replacement for the original `BudgetLedger` (same API and admission
+//!   semantics; its arithmetic differs only by this PR's intentional fixes —
+//!   compensated summation and the slack-aware headroom reporting).
+//! * [`AdvancedCompositionAccountant`] — the k-fold strong-composition bound
+//!   of Dwork–Rothblum–Vadhan: ε(δ′) = √(2 ln(1/δ′) Σεᵢ²) + Σεᵢ(e^{εᵢ}−1),
+//!   δ = Σδᵢ + δ′, never reporting more ε-spend than sequential (the two
+//!   bounds are combined by `min`).
+//! * [`RdpAccountant`] — Rényi differential privacy on a grid of orders α,
+//!   with the closed-form Gaussian curve ε(α) = α·Δ²/(2σ²) and the Laplace
+//!   curve (Mironov 2017), converted back to (ε, δ) at the budget's δ on
+//!   every affordability check.  This is the accounting modern DP systems
+//!   deploy, and it stretches the paper's budget several-fold (see the
+//!   `accounting` example).
+//!
+//! Accountants are charged [`MechanismEvent`]s — the backend kind, the noise
+//! scale σ or b, the sensitivity Δ, and the requested (ε, δ) — not bare
+//! (ε, δ) pairs, because the tighter theorems need the mechanism, not just
+//! its claimed guarantee.  An event constructed with
+//! [`MechanismEvent::declared`] carries no mechanism information and is
+//! composed sequentially by every accountant (the only sound fallback).
+//!
+//! Affordability under the non-linear accountants is *composed*: charging k
+//! copies of an event is admitted iff the composed post-charge spend fits
+//! the budget, which is what makes all-or-nothing batch charging sound (k
+//! RDP charges cost far less than k times one charge).
+
+mod advanced;
+mod event;
+mod rdp;
+mod sequential;
+
+pub use advanced::{AdvancedCompositionAccountant, DEFAULT_SLACK_FRACTION};
+pub use event::{MechanismEvent, MechanismKind};
+pub use rdp::{default_rdp_orders, RdpAccountant};
+pub use sequential::SequentialAccountant;
+
+use crate::engine::PrivacyBudget;
+
+/// Absolute-relative slack absorbing floating-point drift in repeated budget
+/// arithmetic (e.g. ten charges of ε/10 must exactly exhaust ε).  See
+/// [`SequentialAccountant`] for the precise admission rule.
+pub const BUDGET_SLACK: f64 = 1e-9;
+
+/// A privacy accountant: tracks a stream of [`MechanismEvent`]s against a
+/// total [`PrivacyBudget`] under some composition theorem.
+///
+/// Object safe: sessions hold `Box<dyn Accountant>` and engines a factory
+/// ([`AccountantFactory`]), so the composition rule is swapped with one
+/// builder call ([`Engine::builder().accountant(…)`](crate::engine::EngineBuilder::accountant)).
+///
+/// # Contract
+///
+/// * [`Accountant::check_many`] must be side-effect free and must admit a
+///   charge iff the *composed post-charge* spend fits the total budget —
+///   per-charge linearity is an implementation detail of the sequential
+///   accountant, not part of the contract.
+/// * [`Accountant::charge_many`] must behave exactly like `check_many`
+///   followed (on success) by recording the events; a failed charge changes
+///   no state.
+/// * [`Accountant::spent`] reports the composed spend at the accountant's
+///   target δ (the budget's δ), and must never exceed the sequential sums
+///   (Σεᵢ at matching δ) — a sound accountant may be tighter than basic
+///   composition, never looser.
+/// * A pure-DP budget (δ = 0) must reject any event with requested δ > 0.
+pub trait Accountant: std::fmt::Debug + Send + Sync {
+    /// Accountant name for reports and errors (`"sequential"`, `"advanced"`,
+    /// `"rdp"`).
+    fn name(&self) -> &'static str;
+
+    /// The total budget this accountant enforces.
+    fn total(&self) -> PrivacyBudget;
+
+    /// The composed (ε, δ) spend at the budget's δ.
+    fn spent(&self) -> PrivacyBudget;
+
+    /// Budget still available under this accountant's composition, clamped
+    /// at zero: `max(0, total − spent)` componentwise.
+    fn remaining(&self) -> PrivacyBudget {
+        let total = self.total();
+        let spent = self.spent();
+        PrivacyBudget {
+            epsilon: (total.epsilon - spent.epsilon).max(0.0),
+            delta: (total.delta - spent.delta).max(0.0),
+        }
+    }
+
+    /// Every event accepted so far, in order (one entry per charge; a
+    /// `charge_many(event, k)` records `k` entries).
+    fn events(&self) -> &[MechanismEvent];
+
+    /// Checks that `count` repeated charges of `event` would fit — i.e. that
+    /// the *composed* spend after all `count` charges stays within the total
+    /// budget — failing with
+    /// [`MechanismError::BudgetExhausted`](crate::MechanismError::BudgetExhausted)
+    /// (and changing no state) otherwise.
+    fn check_many(&self, event: &MechanismEvent, count: usize) -> crate::Result<()>;
+
+    /// Charges `count` copies of `event`, or fails like
+    /// [`Accountant::check_many`] without changing any state.
+    fn charge_many(&mut self, event: &MechanismEvent, count: usize) -> crate::Result<()>;
+
+    /// Clones the accountant with its full state (for `Clone` ledgers).
+    fn clone_box(&self) -> Box<dyn Accountant>;
+}
+
+impl Clone for Box<dyn Accountant> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Builds a fresh [`Accountant`] per session over a given total budget.
+///
+/// Engines hold one factory and stamp out an accountant for every
+/// [`session`](crate::engine::Engine::session) /
+/// [`owned_session`](crate::engine::Engine::owned_session) call.
+pub trait AccountantFactory: std::fmt::Debug + Send + Sync {
+    /// A fresh, empty accountant enforcing `total`.
+    fn accountant(&self, total: PrivacyBudget) -> Box<dyn Accountant>;
+
+    /// Name of the accountants this factory produces.
+    fn name(&self) -> &'static str;
+}
+
+/// Factory for [`SequentialAccountant`] (the engine default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialAccounting;
+
+impl AccountantFactory for SequentialAccounting {
+    fn accountant(&self, total: PrivacyBudget) -> Box<dyn Accountant> {
+        Box::new(SequentialAccountant::new(total))
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+}
+
+/// Factory for [`AdvancedCompositionAccountant`] with the default δ′ slack
+/// fraction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdvancedCompositionAccounting;
+
+impl AccountantFactory for AdvancedCompositionAccounting {
+    fn accountant(&self, total: PrivacyBudget) -> Box<dyn Accountant> {
+        Box::new(AdvancedCompositionAccountant::new(total))
+    }
+
+    fn name(&self) -> &'static str {
+        "advanced"
+    }
+}
+
+/// Factory for [`RdpAccountant`] on the default order grid.
+#[derive(Debug, Clone, Default)]
+pub struct RdpAccounting {
+    orders: Option<Vec<f64>>,
+}
+
+impl RdpAccounting {
+    /// RDP accounting on a custom grid of orders.
+    ///
+    /// Panics unless the grid is non-empty and every order is finite and
+    /// exceeds 1 — at construction, so a misconfigured engine fails where it
+    /// is built rather than on the serving thread that opens the first
+    /// session.
+    pub fn with_orders(orders: Vec<f64>) -> Self {
+        assert!(!orders.is_empty(), "the RDP order grid must not be empty");
+        assert!(
+            orders.iter().all(|&a| a > 1.0 && a.is_finite()),
+            "every RDP order must be finite and exceed 1"
+        );
+        RdpAccounting {
+            orders: Some(orders),
+        }
+    }
+}
+
+impl AccountantFactory for RdpAccounting {
+    fn accountant(&self, total: PrivacyBudget) -> Box<dyn Accountant> {
+        Box::new(match &self.orders {
+            Some(orders) => RdpAccountant::with_orders(total, orders.clone()),
+            None => RdpAccountant::new(total),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "rdp"
+    }
+}
+
+/// Compensated (Neumaier) running sum: after many small charges the tracked
+/// total stays within an ULP-scale distance of the exact sum, where a naive
+/// `+=` drifts by O(k·ulp) and can spuriously exhaust (or over-admit) a
+/// budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub(crate) struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    pub(crate) fn add(&mut self, value: f64) {
+        let t = self.sum + value;
+        // Neumaier's branch: compensate with whichever operand lost bits.
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - t) + value;
+        } else {
+            self.compensation += (value - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    pub(crate) fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// The slack-aware admission thresholds shared by the accountants: requests
+/// are admitted up to `total + slack` where
+/// `slack = BUDGET_SLACK · max(total, floor)`.
+pub(crate) fn budget_slack(total: &PrivacyBudget) -> (f64, f64) {
+    (
+        BUDGET_SLACK * total.epsilon.max(1.0),
+        BUDGET_SLACK * total.delta.max(f64::MIN_POSITIVE),
+    )
+}
+
+/// Shared pure-DP guard: a δ = 0 budget admits no event with requested
+/// δ > 0, under any composition theorem (no amount of post-processing turns
+/// an approximate-DP release into a pure-DP one).
+pub(crate) fn reject_delta_against_pure_budget(
+    accountant: &dyn Accountant,
+    event: &MechanismEvent,
+    count: usize,
+) -> crate::Result<()> {
+    // Zero charges trivially fit any budget (the composed post-charge spend
+    // is the current spend), whatever the event would have cost.
+    if count == 0 {
+        return Ok(());
+    }
+    if accountant.total().delta == 0.0 && event.requested().delta > 0.0 {
+        let spent = accountant.spent();
+        return Err(crate::MechanismError::BudgetExhausted {
+            requested_epsilon: event.requested().epsilon * count as f64,
+            requested_delta: event.requested().delta * count as f64,
+            remaining_epsilon: accountant.remaining().epsilon,
+            remaining_delta: 0.0,
+            spent_epsilon: spent.epsilon,
+            spent_delta: spent.delta,
+            accountant: accountant.name(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kahan_sum_is_exact_where_naive_drifts() {
+        let mut kahan = KahanSum::default();
+        let mut naive = 0.0_f64;
+        for _ in 0..1_000_000 {
+            kahan.add(1e-7);
+            naive += 1e-7;
+        }
+        let exact = 0.1_f64; // 1e6 × 1e-7
+        assert!((kahan.value() - exact).abs() <= f64::EPSILON * exact);
+        // The naive sum demonstrably drifts further than the compensated one
+        // (this is the failure mode the sequential accountant had).
+        assert!((naive - exact).abs() > (kahan.value() - exact).abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 1")]
+    fn rdp_factory_validates_orders_at_construction() {
+        RdpAccounting::with_orders(vec![0.5]);
+    }
+
+    #[test]
+    fn zero_count_checks_and_charges_always_fit() {
+        // A count of 0 composes to the current spend, so it must be admitted
+        // even for events a single charge of which would be rejected —
+        // including δ > 0 events against a pure budget.
+        use crate::privacy::PrivacyParams;
+        let p = PrivacyParams::new(5.0, 1e-4);
+        let event = MechanismEvent::declared(p);
+        for factory in [
+            Box::new(SequentialAccounting) as Box<dyn AccountantFactory>,
+            Box::new(AdvancedCompositionAccounting),
+            Box::new(RdpAccounting::default()),
+        ] {
+            let mut acct = factory.accountant(PrivacyBudget::pure(1.0));
+            assert!(acct.check_many(&event, 1).is_err(), "{}", factory.name());
+            assert!(acct.check_many(&event, 0).is_ok(), "{}", factory.name());
+            acct.charge_many(&event, 0).unwrap();
+            assert!(acct.events().is_empty());
+            assert_eq!(acct.spent().epsilon, 0.0);
+        }
+    }
+
+    #[test]
+    fn factories_produce_named_accountants() {
+        let total = PrivacyBudget::new(1.0, 1e-4);
+        for (factory, name) in [
+            (
+                Box::new(SequentialAccounting) as Box<dyn AccountantFactory>,
+                "sequential",
+            ),
+            (Box::new(AdvancedCompositionAccounting), "advanced"),
+            (Box::new(RdpAccounting::default()), "rdp"),
+        ] {
+            let acct = factory.accountant(total);
+            assert_eq!(acct.name(), name);
+            assert_eq!(factory.name(), name);
+            assert_eq!(acct.total(), total);
+            assert_eq!(acct.spent().epsilon, 0.0);
+            assert_eq!(acct.spent().delta, 0.0);
+            assert!(acct.events().is_empty());
+        }
+    }
+}

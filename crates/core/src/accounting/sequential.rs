@@ -1,0 +1,212 @@
+//! Basic sequential composition with compensated budget arithmetic.
+
+use super::{budget_slack, reject_delta_against_pure_budget, Accountant, KahanSum, MechanismEvent};
+use crate::engine::PrivacyBudget;
+
+/// Sequential-composition accountant: a sequence of mechanisms satisfying
+/// (ε₁,δ₁)-, (ε₂,δ₂)-, … differential privacy on the same database satisfies
+/// (Σεᵢ, Σδᵢ)-differential privacy.  This is the default accountant and the
+/// one the original `BudgetLedger` implemented.
+///
+/// # Slack semantics
+///
+/// Admission allows an absolute overshoot of
+/// `BUDGET_SLACK · max(total, 1)` per component (resp.
+/// `max(total, f64::MIN_POSITIVE)` for δ), so that e.g. ten charges of ε/10
+/// exactly exhaust an ε budget despite floating-point rounding.  The single
+/// source of truth is [`SequentialAccountant::headroom`] — the largest
+/// request that will be admitted — which both the affordability check and
+/// the `BudgetExhausted` error report use, so `can_afford(p)` is true *iff*
+/// `p` fits the reported headroom componentwise.
+/// [`Accountant::remaining`] stays the conservative clamped view
+/// `max(0, total − spent)` (it never includes the slack), and may therefore
+/// under-report the admissible headroom by at most the slack.
+///
+/// # Arithmetic
+///
+/// Spend is tracked with compensated (Neumaier) summation: after k charges,
+/// `spent()` is within an ULP-scale distance of the exact sum of the
+/// charges, where a naive `+=` drifts by O(k·ulp) and could spuriously
+/// exhaust (or over-admit) the budget after many small charges.
+#[derive(Debug, Clone)]
+pub struct SequentialAccountant {
+    total: PrivacyBudget,
+    spent_epsilon: KahanSum,
+    spent_delta: KahanSum,
+    events: Vec<MechanismEvent>,
+}
+
+impl SequentialAccountant {
+    /// A fresh accountant over the given total budget.
+    pub fn new(total: PrivacyBudget) -> Self {
+        SequentialAccountant {
+            total,
+            spent_epsilon: KahanSum::default(),
+            spent_delta: KahanSum::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The largest (ε, δ) request that will currently be admitted:
+    /// `max(0, total + slack − spent)` componentwise.  This is the admission
+    /// boundary — [`Accountant::check_many`] accepts a request iff it fits
+    /// the headroom — and exceeds [`Accountant::remaining`] by at most the
+    /// slack.
+    pub fn headroom(&self) -> PrivacyBudget {
+        let (slack_e, slack_d) = budget_slack(&self.total);
+        PrivacyBudget {
+            epsilon: (self.total.epsilon + slack_e - self.spent_epsilon.value()).max(0.0),
+            delta: (self.total.delta + slack_d - self.spent_delta.value()).max(0.0),
+        }
+    }
+}
+
+impl Accountant for SequentialAccountant {
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn total(&self) -> PrivacyBudget {
+        self.total
+    }
+
+    fn spent(&self) -> PrivacyBudget {
+        PrivacyBudget {
+            epsilon: self.spent_epsilon.value(),
+            delta: self.spent_delta.value(),
+        }
+    }
+
+    fn events(&self) -> &[MechanismEvent] {
+        &self.events
+    }
+
+    fn check_many(&self, event: &MechanismEvent, count: usize) -> crate::Result<()> {
+        reject_delta_against_pure_budget(self, event, count)?;
+        let n = count as f64;
+        let requested = event.requested();
+        let headroom = self.headroom();
+        // Sequential composition is linear, so k charges compose to exactly
+        // (k·ε, k·δ) and one arithmetic comparison against the headroom is
+        // the composed post-charge check.
+        if requested.epsilon * n <= headroom.epsilon && requested.delta * n <= headroom.delta {
+            return Ok(());
+        }
+        let spent = self.spent();
+        Err(crate::MechanismError::BudgetExhausted {
+            requested_epsilon: requested.epsilon * n,
+            requested_delta: requested.delta * n,
+            remaining_epsilon: headroom.epsilon,
+            remaining_delta: headroom.delta,
+            spent_epsilon: spent.epsilon,
+            spent_delta: spent.delta,
+            accountant: self.name(),
+        })
+    }
+
+    fn charge_many(&mut self, event: &MechanismEvent, count: usize) -> crate::Result<()> {
+        self.check_many(event, count)?;
+        let requested = event.requested();
+        for _ in 0..count {
+            self.spent_epsilon.add(requested.epsilon);
+            self.spent_delta.add(requested.delta);
+            self.events.push(*event);
+        }
+        Ok(())
+    }
+
+    fn clone_box(&self) -> Box<dyn Accountant> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::privacy::PrivacyParams;
+    use crate::MechanismError;
+
+    #[test]
+    fn headroom_explains_the_admission_boundary() {
+        // Regression for the slack-vs-clamped-remaining inconsistency:
+        // `can_afford(p)` used to return true while `remaining()` reported
+        // ε = 0 and the error reported clamped remainders that did not
+        // explain the accept/reject boundary.  Now a request is admitted iff
+        // it fits the headroom, and the rejection error reports exactly that
+        // headroom.
+        let total = PrivacyBudget::new(1.0, 1e-3);
+        let mut acct = SequentialAccountant::new(total);
+        // Spend the whole ε budget exactly.
+        let step = MechanismEvent::declared(PrivacyParams::new(0.25, 1e-4));
+        acct.charge_many(&step, 4).unwrap();
+        assert_eq!(acct.remaining().epsilon, 0.0, "clamped view is exact");
+        // The headroom still admits a request within the slack...
+        let slack = super::super::BUDGET_SLACK * 1.0;
+        assert!((acct.headroom().epsilon - slack).abs() < 1e-15);
+        let tiny = MechanismEvent::declared(PrivacyParams::new(slack / 2.0, 0.0));
+        assert!(acct.check_many(&tiny, 1).is_ok(), "within-slack admitted");
+        // ...and a rejected request's error reports the headroom boundary,
+        // so the accept/reject line is exactly explainable from the error.
+        let too_big = MechanismEvent::declared(PrivacyParams::new(2.0 * slack, 0.0));
+        match acct.check_many(&too_big, 1).unwrap_err() {
+            MechanismError::BudgetExhausted {
+                requested_epsilon,
+                remaining_epsilon,
+                spent_epsilon,
+                accountant,
+                ..
+            } => {
+                assert!(
+                    requested_epsilon > remaining_epsilon,
+                    "boundary explains rejection"
+                );
+                assert!((remaining_epsilon - slack).abs() < 1e-15);
+                assert!((spent_epsilon - 1.0).abs() < 1e-15);
+                assert_eq!(accountant, "sequential");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_million_tiny_charges_do_not_drift() {
+        // Regression for the naive `+=` drift: 10⁶ charges of ε = 10⁻⁷
+        // against a 0.1 budget must land within ULP-scale distance of the
+        // exact total, and the next charge must be rejected.
+        let mut acct = SequentialAccountant::new(PrivacyBudget::new(0.1, 0.0));
+        let step = MechanismEvent::declared(PrivacyParams::pure(1e-7));
+        for _ in 0..1_000_000 {
+            acct.charge_many(&step, 1).unwrap();
+        }
+        let exact = 0.1_f64;
+        assert!(
+            (acct.spent().epsilon - exact).abs() <= 2.0 * f64::EPSILON * exact,
+            "spent {} vs exact {exact}",
+            acct.spent().epsilon
+        );
+        assert_eq!(acct.events().len(), 1_000_000);
+        assert!(acct.charge_many(&step, 1).is_err(), "budget is exhausted");
+        assert_eq!(
+            acct.events().len(),
+            1_000_000,
+            "failed charge spends nothing"
+        );
+    }
+
+    #[test]
+    fn pure_budget_rejects_approximate_charges() {
+        let acct = SequentialAccountant::new(PrivacyBudget::pure(10.0));
+        let approx = MechanismEvent::declared(PrivacyParams::new(0.1, 1e-9));
+        assert!(acct.check_many(&approx, 1).is_err());
+        let pure = MechanismEvent::declared(PrivacyParams::pure(0.1));
+        assert!(acct.check_many(&pure, 1).is_ok());
+    }
+
+    #[test]
+    fn check_many_is_the_composed_post_charge_check() {
+        let acct = SequentialAccountant::new(PrivacyBudget::new(1.0, 0.0));
+        let step = MechanismEvent::declared(PrivacyParams::pure(0.3));
+        assert!(acct.check_many(&step, 3).is_ok());
+        assert!(acct.check_many(&step, 4).is_err());
+    }
+}

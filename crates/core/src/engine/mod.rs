@@ -74,6 +74,7 @@ pub use selector::{
 };
 pub use session::{BudgetLedger, OwnedSession, PrivacyBudget, Session};
 
+use crate::accounting::{Accountant, AccountantFactory, SequentialAccounting};
 use crate::error::predicted_rms_error;
 use crate::mechanism::backend::{default_backend, NoiseBackend};
 use crate::privacy::PrivacyParams;
@@ -94,6 +95,7 @@ pub struct EngineBuilder {
     privacy: PrivacyParams,
     selector: Option<Arc<dyn StrategySelector>>,
     backend: Option<Arc<dyn NoiseBackend>>,
+    accountant: Option<Arc<dyn AccountantFactory>>,
     cache_capacity: usize,
     cache_shards: usize,
 }
@@ -130,6 +132,24 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the privacy-accounting policy sessions charge through (default:
+    /// [`SequentialAccounting`], i.e. basic sequential composition).  Every
+    /// [`Engine::session`] / [`Engine::owned_session`] stamps out a fresh
+    /// accountant from this factory; see [`crate::accounting`] for the
+    /// provided policies ([`SequentialAccounting`],
+    /// [`crate::accounting::AdvancedCompositionAccounting`],
+    /// [`crate::accounting::RdpAccounting`]).
+    pub fn accountant(mut self, factory: impl AccountantFactory + 'static) -> Self {
+        self.accountant = Some(Arc::new(factory));
+        self
+    }
+
+    /// Sets an already-shared accounting policy.
+    pub fn accountant_arc(mut self, factory: Arc<dyn AccountantFactory>) -> Self {
+        self.accountant = Some(factory);
+        self
+    }
+
     /// Sets the strategy-cache capacity in distinct workloads (0 disables
     /// caching; default [`DEFAULT_CACHE_CAPACITY`]).
     pub fn cache_capacity(mut self, capacity: usize) -> Self {
@@ -160,6 +180,9 @@ impl EngineBuilder {
                 .selector
                 .unwrap_or_else(|| Arc::new(EigenDesignSelector::default())),
             backend,
+            accountant: self
+                .accountant
+                .unwrap_or_else(|| Arc::new(SequentialAccounting)),
             cache: StrategyCache::with_shards(self.cache_capacity, self.cache_shards),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -214,6 +237,7 @@ pub struct Engine {
     privacy: PrivacyParams,
     selector: Arc<dyn StrategySelector>,
     backend: Arc<dyn NoiseBackend>,
+    accountant: Arc<dyn AccountantFactory>,
     cache: StrategyCache,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -227,6 +251,7 @@ impl Engine {
             privacy: PrivacyParams::paper_default(),
             selector: None,
             backend: None,
+            accountant: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             cache_shards: DEFAULT_SHARD_COUNT,
         }
@@ -256,6 +281,11 @@ impl Engine {
         &self.backend
     }
 
+    /// The configured accounting policy sessions charge through.
+    pub fn accountant_factory(&self) -> &Arc<dyn AccountantFactory> {
+        &self.accountant
+    }
+
     /// Cache/selection counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -270,15 +300,31 @@ impl Engine {
         self.cache.clear();
     }
 
-    /// Opens a budgeted session borrowing this engine.
+    /// Opens a budgeted session borrowing this engine, accounting through
+    /// the engine's configured policy (sequential composition unless
+    /// [`EngineBuilder::accountant`] chose otherwise).
     pub fn session(&self, budget: PrivacyBudget) -> Session<'_> {
         Session::new(self, budget)
+    }
+
+    /// Opens a budgeted session charging through an explicit accountant,
+    /// overriding the engine's configured policy for this one session.
+    pub fn session_with_accountant(&self, accountant: Box<dyn Accountant>) -> Session<'_> {
+        Session::with_accountant(self, accountant)
     }
 
     /// Opens a budgeted session that *owns* a handle to this engine, so it
     /// can move across threads or async tasks (see [`OwnedSession`]).
     pub fn owned_session(self: &Arc<Self>, budget: PrivacyBudget) -> OwnedSession {
         OwnedSession::new(self.clone(), budget)
+    }
+
+    /// Opens an owned session charging through an explicit accountant.
+    pub fn owned_session_with_accountant(
+        self: &Arc<Self>,
+        accountant: Box<dyn Accountant>,
+    ) -> OwnedSession {
+        OwnedSession::with_accountant(self.clone(), accountant)
     }
 
     /// Selects (or fetches from cache) the strategy for a workload, returning
@@ -405,6 +451,34 @@ impl Engine {
         xs: &[&[f64]],
         rng: &mut R,
     ) -> crate::Result<Vec<EngineAnswer>> {
+        self.answer_batch_maybe_accounted(workload, privacy, xs, rng, None)
+    }
+
+    /// The session-facing batch path: answers like
+    /// [`Engine::answer_batch_with_privacy`], but records one full
+    /// [`MechanismEvent`](crate::accounting::MechanismEvent) per data vector
+    /// on `ledger` — with the actual noise scale and strategy sensitivity of
+    /// the release — and fails closed (spending nothing, before any noise is
+    /// drawn) when the ledger's accountant rejects the composed batch charge.
+    pub(crate) fn answer_batch_accounted<W: Workload + ?Sized, R: Rng>(
+        &self,
+        workload: &W,
+        privacy: PrivacyParams,
+        xs: &[&[f64]],
+        rng: &mut R,
+        ledger: &mut session::BudgetLedger,
+    ) -> crate::Result<Vec<EngineAnswer>> {
+        self.answer_batch_maybe_accounted(workload, privacy, xs, rng, Some(ledger))
+    }
+
+    fn answer_batch_maybe_accounted<W: Workload + ?Sized, R: Rng>(
+        &self,
+        workload: &W,
+        privacy: PrivacyParams,
+        xs: &[&[f64]],
+        rng: &mut R,
+        ledger: Option<&mut session::BudgetLedger>,
+    ) -> crate::Result<Vec<EngineAnswer>> {
         self.backend.validate(&privacy)?;
         let gram = workload.gram();
         let fingerprint = try_gram_fingerprint(&gram)?;
@@ -418,6 +492,7 @@ impl Engine {
             privacy,
             xs,
             rng,
+            ledger,
         )
     }
 
@@ -435,6 +510,31 @@ impl Engine {
         x: &[f64],
         rng: &mut R,
     ) -> crate::Result<EngineAnswer> {
+        self.answer_with_strategy_maybe_accounted(workload, strategy, x, rng, None)
+    }
+
+    /// The session-facing custom-strategy path: like
+    /// [`Engine::answer_with_strategy`], but records the release's full
+    /// mechanism event on `ledger` (see [`Engine::answer_batch_accounted`]).
+    pub(crate) fn answer_with_strategy_accounted<W: Workload + ?Sized, R: Rng>(
+        &self,
+        workload: &W,
+        strategy: Arc<Strategy>,
+        x: &[f64],
+        rng: &mut R,
+        ledger: &mut session::BudgetLedger,
+    ) -> crate::Result<EngineAnswer> {
+        self.answer_with_strategy_maybe_accounted(workload, strategy, x, rng, Some(ledger))
+    }
+
+    fn answer_with_strategy_maybe_accounted<W: Workload + ?Sized, R: Rng>(
+        &self,
+        workload: &W,
+        strategy: Arc<Strategy>,
+        x: &[f64],
+        rng: &mut R,
+        ledger: Option<&mut session::BudgetLedger>,
+    ) -> crate::Result<EngineAnswer> {
         self.backend.validate(&self.privacy)?;
         let gram = workload.gram();
         let fingerprint = try_gram_fingerprint(&gram)?;
@@ -448,6 +548,7 @@ impl Engine {
             self.privacy,
             &[x],
             rng,
+            ledger,
         )?;
         Ok(answers.pop().expect("one answer per data vector"))
     }
@@ -467,6 +568,13 @@ impl Engine {
     /// is filled column by column for the same reason — one backend draw of
     /// length p per vector, p being the strategy's query count, the same
     /// stream a sequential caller consumes.)
+    ///
+    /// When a session `ledger` is supplied, the release's full mechanism
+    /// event (backend kind, actual noise scale and sensitivity, requested
+    /// (ε, δ)) is checked against the accountant's composed post-charge
+    /// spend *before* any noise is drawn — a rejected batch spends nothing —
+    /// and charged once per data vector after the whole batch succeeds, so
+    /// a failure anywhere in the pass also spends nothing.
     #[allow(clippy::too_many_arguments)]
     fn answer_parts<W: Workload + ?Sized, R: Rng>(
         &self,
@@ -478,6 +586,7 @@ impl Engine {
         privacy: PrivacyParams,
         xs: &[&[f64]],
         rng: &mut R,
+        mut ledger: Option<&mut session::BudgetLedger>,
     ) -> crate::Result<Vec<EngineAnswer>> {
         let strategy = entry.strategy().clone();
         if workload.dim() != strategy.dim() {
@@ -522,6 +631,13 @@ impl Engine {
         let expected_rms_error = (tse / m as f64).sqrt();
         let scale = self.backend.noise_scale(&privacy, sens);
 
+        // Budgeted path: fail closed on the accountant's composed
+        // post-charge spend before a single noise value is drawn.
+        let event = self.backend.mechanism_event(&privacy, sens);
+        if let Some(ledger) = ledger.as_deref_mut() {
+            ledger.check_event_many(&event, k)?;
+        }
+
         let n = strategy.dim();
         // Pack the K data vectors as columns of X (n × K).
         let x_mat = Matrix::from_fn(n, k, |i, c| xs[c][i]);
@@ -540,18 +656,29 @@ impl Engine {
         // X̂ = L⁻ᵀ(L⁻¹(AᵀY)).
         let aty = a.matmul_transpose_left(&y)?;
         let estimates = factor.solve_upper_multi(&factor.solve_lower_multi(&aty)?)?;
+        // Workload evaluation stays vectorised too: `W·X̂` in one pass
+        // (explicit workloads route it through the blocked matmul kernel),
+        // column-wise bit-identical to per-vector evaluation.
+        let evaluated = workload.evaluate_matrix(&estimates);
+        debug_assert_eq!(evaluated.shape(), (m, k));
         let mut out = Vec::with_capacity(k);
         for c in 0..k {
-            let estimate = estimates.col(c);
-            let answers = workload.evaluate(&estimate);
             out.push(EngineAnswer {
-                answers,
-                estimate,
+                answers: evaluated.col(c),
+                estimate: estimates.col(c),
                 strategy: strategy.clone(),
                 expected_rms_error,
                 fingerprint,
                 cache_hit,
             });
+        }
+        // The whole batch succeeded: record one mechanism event per data
+        // vector.  Affordability of the composed batch was checked above
+        // and the ledger is exclusively borrowed, so this cannot fail.
+        if let Some(ledger) = ledger {
+            ledger
+                .charge_event_many(&event, k)
+                .expect("affordability of the whole batch was checked before answering");
         }
         Ok(out)
     }

@@ -1,16 +1,23 @@
 //! Sessions and privacy-budget accounting.
 //!
-//! A [`Session`] wraps an [`Engine`] with a
-//! [`BudgetLedger`] that accounts *sequential composition*: a sequence of
-//! mechanisms satisfying (ε₁,δ₁)-, (ε₂,δ₂)-, … differential privacy on the
-//! same database satisfies (Σεᵢ, Σδᵢ)-differential privacy.  Every successful
-//! `answer` call charges its (ε, δ) to the ledger; a call whose charge does
-//! not fit in the remaining budget fails with
-//! [`MechanismError::BudgetExhausted`] *before* any noise is drawn or data
-//! touched, so a failed call spends nothing.
+//! A [`Session`] wraps an [`Engine`] with a [`BudgetLedger`] — a total
+//! privacy budget plus a pluggable [`Accountant`] deciding how the charges
+//! *compose*.  The default accountant implements basic sequential
+//! composition (a sequence of (ε₁,δ₁)-, (ε₂,δ₂)-, … DP mechanisms on the
+//! same database satisfies (Σεᵢ, Σδᵢ)-DP); the
+//! [`accounting`](crate::accounting) module provides advanced-composition
+//! and Rényi (RDP) accountants that admit substantially more answers at the
+//! same total budget.  Every successful answer charges its full
+//! [`MechanismEvent`] (backend kind, noise scale, sensitivity, requested
+//! (ε, δ)) to the ledger; a call whose charge does not fit in the remaining
+//! budget fails with [`MechanismError::BudgetExhausted`] *before* any noise
+//! is drawn or data touched, so a failed call spends nothing.
 
+use crate::accounting::{Accountant, MechanismEvent, SequentialAccountant};
 use crate::engine::{Engine, EngineAnswer};
 use crate::privacy::PrivacyParams;
+// Referenced by the accounting-contract doc links (and the tests).
+#[allow(unused_imports)]
 use crate::MechanismError;
 use mm_strategies::Strategy;
 use mm_workload::Workload;
@@ -46,55 +53,87 @@ impl PrivacyBudget {
     }
 }
 
-/// Absolute slack absorbing floating-point drift in repeated budget
-/// arithmetic (e.g. ten charges of ε/10 must exactly exhaust ε).
-const BUDGET_SLACK: f64 = 1e-9;
-
-/// Sequential-composition ledger: total budget, spend so far, and the history
-/// of charges.
+/// A privacy-budget ledger: a total budget, a pluggable [`Accountant`]
+/// deciding how charges compose, and the history of accepted charges.
+///
+/// [`BudgetLedger::new`] uses the [`SequentialAccountant`], a drop-in
+/// replacement for the original sequential-composition ledger (same API and
+/// admission semantics, with compensated summation and headroom reporting as
+/// the intentional fixes); [`BudgetLedger::with_accountant`] plugs in any
+/// other composition rule (advanced composition, RDP — see
+/// [`crate::accounting`]).
+///
+/// # Slack semantics
+///
+/// Affordability tolerates an absolute overshoot of
+/// `BUDGET_SLACK · max(total, 1)` per component (resp.
+/// `max(total, f64::MIN_POSITIVE)` for δ), absorbing floating-point drift so
+/// that e.g. ten charges of ε/10 exactly exhaust an ε budget.  For the
+/// sequential accountant the admission boundary is the *headroom*
+/// `max(0, total + slack − spent)`: a request is accepted iff it fits the
+/// headroom componentwise, and a rejected request's
+/// [`MechanismError::BudgetExhausted`] reports that same headroom as the
+/// remaining budget — so the accept/reject boundary is exactly explainable
+/// from the error.  [`BudgetLedger::remaining`] stays the conservative
+/// clamped view `max(0, total − spent)` (never including the slack), which
+/// may under-report the admissible headroom by at most the slack.
 #[derive(Debug, Clone)]
 pub struct BudgetLedger {
-    total: PrivacyBudget,
-    spent_epsilon: f64,
-    spent_delta: f64,
-    charges: Vec<PrivacyParams>,
+    accountant: Box<dyn Accountant>,
 }
 
 impl BudgetLedger {
-    /// A fresh ledger over the given total budget.
+    /// A fresh ledger over the given total budget, accounting sequential
+    /// composition.
     pub fn new(total: PrivacyBudget) -> Self {
-        BudgetLedger {
-            total,
-            spent_epsilon: 0.0,
-            spent_delta: 0.0,
-            charges: Vec::new(),
-        }
+        BudgetLedger::with_accountant(Box::new(SequentialAccountant::new(total)))
+    }
+
+    /// A fresh ledger charging through the given accountant.
+    pub fn with_accountant(accountant: Box<dyn Accountant>) -> Self {
+        BudgetLedger { accountant }
+    }
+
+    /// The accountant this ledger charges through.
+    pub fn accountant(&self) -> &dyn Accountant {
+        self.accountant.as_ref()
     }
 
     /// The total budget the ledger was created with.
     pub fn total(&self) -> PrivacyBudget {
-        self.total
+        self.accountant.total()
     }
 
-    /// Budget spent so far (sums of the charged ε's and δ's).
+    /// Budget spent so far under the accountant's composition (for the
+    /// sequential accountant: the sums of the charged ε's and δ's; for
+    /// advanced/RDP accountants: the composed spend at the budget's δ,
+    /// typically far below the sums).
     pub fn spent(&self) -> PrivacyBudget {
-        PrivacyBudget {
-            epsilon: self.spent_epsilon,
-            delta: self.spent_delta,
-        }
+        self.accountant.spent()
     }
 
     /// Budget still available (clamped at zero).
     pub fn remaining(&self) -> PrivacyBudget {
-        PrivacyBudget {
-            epsilon: (self.total.epsilon - self.spent_epsilon).max(0.0),
-            delta: (self.total.delta - self.spent_delta).max(0.0),
-        }
+        self.accountant.remaining()
     }
 
-    /// Every charge accepted so far, in order.
-    pub fn charges(&self) -> &[PrivacyParams] {
-        &self.charges
+    /// Every charge accepted so far, in order: the requested (ε, δ) of each
+    /// recorded event.  Derived from [`BudgetLedger::events`] (the single
+    /// source of truth), which carries the full mechanism events.
+    ///
+    /// This materialises a fresh `Vec` on every call; to count charges or
+    /// inspect them without copying, use `events()` (e.g.
+    /// `ledger.events().len()`).
+    pub fn charges(&self) -> Vec<PrivacyParams> {
+        self.events()
+            .iter()
+            .map(MechanismEvent::requested)
+            .collect()
+    }
+
+    /// Every mechanism event accepted so far, in order.
+    pub fn events(&self) -> &[MechanismEvent] {
+        self.accountant.events()
     }
 
     /// Whether a charge of `params` would fit in the remaining budget.
@@ -108,36 +147,40 @@ impl BudgetLedger {
         self.check_many(params, 1)
     }
 
-    /// Checks that `count` repeated charges of `params` would all fit
-    /// (sequential composition is linear, so this is one arithmetic check),
-    /// failing with [`MechanismError::BudgetExhausted`] — reporting the
-    /// total requested (ε, δ) — and changing no state otherwise.
+    /// Checks that `count` repeated charges of `params` would all fit under
+    /// the accountant's *composed* post-charge spend (for sequential
+    /// composition this is one linear arithmetic check; for advanced/RDP
+    /// accountants the k-fold composed bound is evaluated), failing with
+    /// [`MechanismError::BudgetExhausted`] — reporting the total requested
+    /// (ε, δ) and the accountant's view of spend — and changing no state
+    /// otherwise.
+    ///
+    /// A bare (ε, δ) pair carries no mechanism information, so it is checked
+    /// as a [*declared*](MechanismEvent::declared) event; mechanism-aware
+    /// paths use [`BudgetLedger::check_event_many`].
     pub fn check_many(&self, params: &PrivacyParams, count: usize) -> crate::Result<()> {
-        let n = count as f64;
-        let slack_e = BUDGET_SLACK * self.total.epsilon.max(1.0);
-        let slack_d = BUDGET_SLACK * self.total.delta.max(f64::MIN_POSITIVE);
-        let fits = self.spent_epsilon + params.epsilon * n <= self.total.epsilon + slack_e
-            && self.spent_delta + params.delta * n <= self.total.delta + slack_d;
-        if !fits {
-            let remaining = self.remaining();
-            return Err(MechanismError::BudgetExhausted {
-                requested_epsilon: params.epsilon * n,
-                requested_delta: params.delta * n,
-                remaining_epsilon: remaining.epsilon,
-                remaining_delta: remaining.delta,
-            });
-        }
-        Ok(())
+        self.check_event_many(&MechanismEvent::declared(*params), count)
+    }
+
+    /// Checks that `count` repeated charges of the full mechanism `event`
+    /// would fit the composed post-charge spend, changing no state.
+    pub fn check_event_many(&self, event: &MechanismEvent, count: usize) -> crate::Result<()> {
+        self.accountant.check_many(event, count)
     }
 
     /// Charges `params` to the ledger, or fails with
     /// [`MechanismError::BudgetExhausted`] without changing any state.
+    /// The charge is recorded as a [*declared*](MechanismEvent::declared)
+    /// event (composed sequentially by every accountant); mechanism-aware
+    /// paths use [`BudgetLedger::charge_event_many`].
     pub fn try_charge(&mut self, params: &PrivacyParams) -> crate::Result<()> {
-        self.check(params)?;
-        self.spent_epsilon += params.epsilon;
-        self.spent_delta += params.delta;
-        self.charges.push(*params);
-        Ok(())
+        self.charge_event_many(&MechanismEvent::declared(*params), 1)
+    }
+
+    /// Charges `count` copies of the full mechanism `event` (all-or-nothing:
+    /// the composed post-charge spend must fit or nothing is charged).
+    pub fn charge_event_many(&mut self, event: &MechanismEvent, count: usize) -> crate::Result<()> {
+        self.accountant.charge_many(event, count)
     }
 }
 
@@ -149,12 +192,19 @@ struct SessionCore {
 }
 
 impl SessionCore {
-    fn new(budget: PrivacyBudget) -> Self {
-        SessionCore {
-            ledger: BudgetLedger::new(budget),
-        }
+    fn new(ledger: BudgetLedger) -> Self {
+        SessionCore { ledger }
     }
 
+    /// The session answer paths below all start with a fast-fail
+    /// affordability pre-check — *before* any strategy selection or cache
+    /// work — probing the accountant with the backend's event at **unit
+    /// sensitivity**.  The RDP curves are functions of the ratio σ/Δ only
+    /// (and the other accountants of the requested (ε, δ) only), so for the
+    /// built-in backends this is exactly the decision the authoritative
+    /// post-selection check inside the engine will make — an exhausted
+    /// session rejects in O(1) instead of paying an O(n³) selection and
+    /// churning the shared strategy cache.
     fn answer_with_privacy<W: Workload + ?Sized, R: Rng>(
         &mut self,
         engine: &Engine,
@@ -163,12 +213,11 @@ impl SessionCore {
         x: &[f64],
         rng: &mut R,
     ) -> crate::Result<EngineAnswer> {
-        self.ledger.check(&privacy)?;
-        let answer = engine.answer_with_privacy(workload, privacy, x, rng)?;
-        self.ledger
-            .try_charge(&privacy)
-            .expect("affordability was checked before answering");
-        Ok(answer)
+        let probe = engine.backend().mechanism_event(&privacy, 1.0);
+        self.ledger.check_event_many(&probe, 1)?;
+        let mut answers =
+            engine.answer_batch_accounted(workload, privacy, &[x], rng, &mut self.ledger)?;
+        Ok(answers.pop().expect("one answer per data vector"))
     }
 
     fn answer_with_strategy<W: Workload + ?Sized, R: Rng>(
@@ -179,13 +228,9 @@ impl SessionCore {
         x: &[f64],
         rng: &mut R,
     ) -> crate::Result<EngineAnswer> {
-        let privacy = *engine.privacy();
-        self.ledger.check(&privacy)?;
-        let answer = engine.answer_with_strategy(workload, strategy, x, rng)?;
-        self.ledger
-            .try_charge(&privacy)
-            .expect("affordability was checked before answering");
-        Ok(answer)
+        let probe = engine.backend().mechanism_event(engine.privacy(), 1.0);
+        self.ledger.check_event_many(&probe, 1)?;
+        engine.answer_with_strategy_accounted(workload, strategy, x, rng, &mut self.ledger)
     }
 
     fn answer_batch<W: Workload + ?Sized, R: Rng>(
@@ -195,38 +240,41 @@ impl SessionCore {
         xs: &[&[f64]],
         rng: &mut R,
     ) -> crate::Result<Vec<EngineAnswer>> {
-        let privacy = *engine.privacy();
-        // Fail closed before any noise is drawn: the whole batch must fit
-        // (one (ε, δ) charge per data vector, sequential composition).
-        self.ledger.check_many(&privacy, xs.len())?;
-        let answers = engine.answer_batch_with_privacy(workload, privacy, xs, rng)?;
-        for _ in 0..xs.len() {
-            self.ledger
-                .try_charge(&privacy)
-                .expect("affordability of the whole batch was checked before answering");
-        }
-        Ok(answers)
+        // All-or-nothing: the engine re-checks the *composed* spend of the
+        // whole batch against the accountant before any noise is drawn, so
+        // a batch that does not fit spends nothing.
+        let probe = engine.backend().mechanism_event(engine.privacy(), 1.0);
+        self.ledger.check_event_many(&probe, xs.len())?;
+        engine.answer_batch_accounted(workload, *engine.privacy(), xs, rng, &mut self.ledger)
     }
 }
 
 /// A serving session: an engine plus a privacy-budget ledger.
 ///
-/// Created with [`Engine::session`].  The session borrows the engine, so the
-/// (shared, data-independent) strategy cache keeps working across sessions —
-/// only the budget is per-session state.  For a session that moves across
-/// threads or async tasks, use [`Engine::owned_session`].
+/// Created with [`Engine::session`] (which accounts through the engine's
+/// configured [`AccountantFactory`](crate::accounting::AccountantFactory),
+/// sequential composition by default) or
+/// [`Engine::session_with_accountant`].  The session borrows the engine, so
+/// the (shared, data-independent) strategy cache keeps working across
+/// sessions — only the budget is per-session state.  For a session that
+/// moves across threads or async tasks, use [`Engine::owned_session`].
 ///
 /// # Accounting contract
 ///
 /// *Every* answering method on a session charges its privacy cost to the
-/// ledger: [`Session::answer`] and [`Session::answer_with_strategy`] charge
-/// the engine's per-answer (ε, δ), [`Session::answer_with_privacy`] charges
-/// its explicit parameters, and [`Session::answer_batch`] charges once per
-/// data vector.  A call whose charge does not fit fails with
-/// [`MechanismError::BudgetExhausted`] before any noise is drawn or data is
-/// touched, and spends nothing.  Answering through `session.engine()`
-/// directly bypasses the ledger and is *not* covered by the session's
-/// budget guarantee — the engine has no ledger of its own.
+/// ledger as a full [`MechanismEvent`] (backend kind, noise scale,
+/// sensitivity, requested (ε, δ)): [`Session::answer`] and
+/// [`Session::answer_with_strategy`] charge the engine's per-answer (ε, δ),
+/// [`Session::answer_with_privacy`] charges its explicit parameters, and
+/// [`Session::answer_batch`] charges once per data vector, with
+/// affordability decided by the accountant's *composed* post-charge spend
+/// (all-or-nothing for the batch).  A call whose charge does not fit fails
+/// with [`MechanismError::BudgetExhausted`] before any noise is drawn or
+/// data is touched, and spends nothing; a call that fails for any other
+/// reason (after the affordability check) also spends nothing.  Answering
+/// through `session.engine()` directly bypasses the ledger and is *not*
+/// covered by the session's budget guarantee — the engine has no ledger of
+/// its own.
 #[derive(Debug)]
 pub struct Session<'e> {
     engine: &'e Engine,
@@ -235,9 +283,14 @@ pub struct Session<'e> {
 
 impl<'e> Session<'e> {
     pub(crate) fn new(engine: &'e Engine, budget: PrivacyBudget) -> Self {
+        let accountant = engine.accountant_factory().accountant(budget);
+        Session::with_accountant(engine, accountant)
+    }
+
+    pub(crate) fn with_accountant(engine: &'e Engine, accountant: Box<dyn Accountant>) -> Self {
         Session {
             engine,
-            core: SessionCore::new(budget),
+            core: SessionCore::new(BudgetLedger::with_accountant(accountant)),
         }
     }
 
@@ -246,12 +299,12 @@ impl<'e> Session<'e> {
         self.engine
     }
 
-    /// The session's ledger (totals, spend, charge history).
+    /// The session's ledger (totals, composed spend, charge history).
     pub fn ledger(&self) -> &BudgetLedger {
         &self.core.ledger
     }
 
-    /// Budget still available.
+    /// Budget still available under the session's accountant.
     pub fn remaining(&self) -> PrivacyBudget {
         self.core.ledger.remaining()
     }
@@ -300,8 +353,9 @@ impl<'e> Session<'e> {
 
     /// Answers many data vectors under one workload
     /// ([`Engine::answer_batch`]), charging the engine's per-answer (ε, δ)
-    /// once *per vector*.  The whole batch must fit in the remaining budget
-    /// or the call fails closed without answering anything.
+    /// once *per vector*.  The whole batch must fit the accountant's
+    /// composed post-charge spend or the call fails closed without
+    /// answering anything.
     pub fn answer_batch<W: Workload + ?Sized, X: AsRef<[f64]>, R: Rng>(
         &mut self,
         workload: &W,
@@ -319,7 +373,8 @@ impl<'e> Session<'e> {
 /// identical to [`Session`] (see its accounting contract); the engine's
 /// strategy cache stays shared through the `Arc`.
 ///
-/// Created with [`Engine::owned_session`] or [`OwnedSession::new`].
+/// Created with [`Engine::owned_session`],
+/// [`Engine::owned_session_with_accountant`] or [`OwnedSession::new`].
 #[derive(Debug)]
 pub struct OwnedSession {
     engine: Arc<Engine>,
@@ -327,11 +382,18 @@ pub struct OwnedSession {
 }
 
 impl OwnedSession {
-    /// Opens an owned session over a shared engine.
+    /// Opens an owned session over a shared engine, accounting through the
+    /// engine's configured accountant factory.
     pub fn new(engine: Arc<Engine>, budget: PrivacyBudget) -> Self {
+        let accountant = engine.accountant_factory().accountant(budget);
+        OwnedSession::with_accountant(engine, accountant)
+    }
+
+    /// Opens an owned session charging through an explicit accountant.
+    pub fn with_accountant(engine: Arc<Engine>, accountant: Box<dyn Accountant>) -> Self {
         OwnedSession {
             engine,
-            core: SessionCore::new(budget),
+            core: SessionCore::new(BudgetLedger::with_accountant(accountant)),
         }
     }
 
@@ -340,12 +402,12 @@ impl OwnedSession {
         &self.engine
     }
 
-    /// The session's ledger (totals, spend, charge history).
+    /// The session's ledger (totals, composed spend, charge history).
     pub fn ledger(&self) -> &BudgetLedger {
         &self.core.ledger
     }
 
-    /// Budget still available.
+    /// Budget still available under the session's accountant.
     pub fn remaining(&self) -> PrivacyBudget {
         self.core.ledger.remaining()
     }
@@ -455,6 +517,51 @@ mod tests {
     #[should_panic(expected = "epsilon budget")]
     fn negative_budget_rejected() {
         PrivacyBudget::new(-1.0, 0.0);
+    }
+
+    #[test]
+    fn can_afford_matches_the_reported_boundary() {
+        // Regression for the slack-vs-clamped-remaining inconsistency: the
+        // ledger's accept/reject boundary is the headroom the error reports,
+        // and `can_afford` agrees with `try_charge` at that boundary.
+        let mut ledger = BudgetLedger::new(PrivacyBudget::pure(1.0));
+        ledger.try_charge(&PrivacyParams::pure(1.0)).unwrap();
+        assert_eq!(ledger.remaining().epsilon, 0.0);
+        let err = ledger.try_charge(&PrivacyParams::pure(0.5)).unwrap_err();
+        match err {
+            MechanismError::BudgetExhausted {
+                requested_epsilon,
+                remaining_epsilon,
+                spent_epsilon,
+                accountant,
+                ..
+            } => {
+                // The reported remainder is the admission boundary (the
+                // slack-aware headroom): any request at or below it is
+                // affordable, anything above it is not.
+                assert!(requested_epsilon > remaining_epsilon);
+                assert!(remaining_epsilon > 0.0 && remaining_epsilon < 1e-8);
+                assert!(ledger.can_afford(&PrivacyParams::pure(remaining_epsilon)));
+                assert!(!ledger.can_afford(&PrivacyParams::pure(remaining_epsilon * 2.0)));
+                assert!(approx_eq(spent_epsilon, 1.0, 1e-12));
+                assert_eq!(accountant, "sequential");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ledger_records_full_mechanism_events() {
+        use crate::accounting::MechanismKind;
+        let mut ledger = BudgetLedger::new(PrivacyBudget::new(2.0, 1e-3));
+        let p = PrivacyParams::paper_default();
+        let event = MechanismEvent::gaussian(p, p.gaussian_unit_sigma() * 2.0, 2.0);
+        ledger.charge_event_many(&event, 2).unwrap();
+        assert_eq!(ledger.events().len(), 2);
+        assert_eq!(ledger.charges().len(), 2);
+        assert_eq!(ledger.events()[0].kind(), MechanismKind::Gaussian);
+        assert_eq!(ledger.events()[0].sensitivity(), 2.0);
+        assert_eq!(ledger.charges()[0], p);
     }
 
     #[test]
@@ -590,5 +697,33 @@ mod tests {
         assert_eq!(session.ledger().charges().len(), 2);
         // The owned session shared the engine's cache: one selection total.
         assert_eq!(engine.stats().selections, 1);
+    }
+
+    #[test]
+    fn session_events_record_the_backend_mechanism() {
+        use crate::accounting::MechanismKind;
+        use mm_workload::IdentityWorkload;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let p = PrivacyParams::new(0.5, 1e-4);
+        let engine = Engine::builder().privacy(p).build().unwrap();
+        let w = IdentityWorkload::new(8);
+        let x = vec![3.0; 8];
+        let mut rng = StdRng::seed_from_u64(40);
+        let mut session = engine.session(PrivacyBudget::new(2.0, 1e-3));
+        session.answer(&w, &x, &mut rng).unwrap();
+        let events = session.ledger().events();
+        assert_eq!(events.len(), 1);
+        // The Gaussian backend records the actual σ and Δ₂ of the release
+        // (identity strategy: Δ₂ = 1, σ = √(2 ln(2/δ))/ε).
+        assert_eq!(events[0].kind(), MechanismKind::Gaussian);
+        assert!(approx_eq(events[0].sensitivity(), 1.0, 1e-9));
+        assert!(approx_eq(
+            events[0].noise_scale(),
+            p.gaussian_sigma(1.0),
+            1e-9
+        ));
+        assert_eq!(events[0].requested(), p);
     }
 }

@@ -25,14 +25,18 @@
 //!   with pluggable strategy selection ([`engine::StrategySelector`]), a
 //!   Gaussian/Laplace noise backend behind one answer path
 //!   ([`mechanism::NoiseBackend`]), an internal strategy cache keyed by
-//!   workload fingerprint, and budgeted [`engine::Session`]s with
-//!   sequential-composition accounting;
+//!   workload fingerprint, and budgeted [`engine::Session`]s charging
+//!   through a pluggable [`accounting::Accountant`];
+//! * [`accounting`] — privacy accounting: sequential composition (default),
+//!   the advanced (strong) composition bound, and Rényi-DP accounting with
+//!   per-mechanism curves, all behind one object-safe trait;
 //! * [`adaptive`] — the legacy `AdaptiveMechanism` API, now a deprecated
 //!   shim over [`engine::Engine`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod accounting;
 pub mod adaptive;
 pub mod bounds;
 pub mod design_set;
@@ -46,6 +50,11 @@ pub mod pure_dp;
 pub mod sensitivity;
 pub mod separation;
 
+pub use accounting::{
+    Accountant, AccountantFactory, AdvancedCompositionAccountant, AdvancedCompositionAccounting,
+    MechanismEvent, MechanismKind, RdpAccountant, RdpAccounting, SequentialAccountant,
+    SequentialAccounting,
+};
 #[allow(deprecated)]
 pub use adaptive::{AdaptiveAnswer, AdaptiveMechanism, AdaptiveOptions};
 pub use eigen_design::{eigen_design, EigenDesignOptions, EigenDesignResult};
@@ -72,17 +81,28 @@ pub enum MechanismError {
     /// Invalid argument supplied by the caller.
     InvalidArgument(String),
     /// A [`engine::Session`] ran out of privacy budget: the requested charge
-    /// does not fit in what remains under sequential composition.
+    /// does not fit the remaining budget under the session accountant's
+    /// composition (sequential by default; see [`accounting`]).
     #[non_exhaustive]
     BudgetExhausted {
         /// ε requested by the rejected call.
         requested_epsilon: f64,
         /// δ requested by the rejected call.
         requested_delta: f64,
-        /// ε remaining in the session's ledger before the call.
+        /// ε still admissible before the call, in the accountant's view.
+        /// For the sequential accountant this is the slack-aware *headroom*
+        /// — the exact accept/reject boundary: a request at or below it
+        /// would have been admitted.
         remaining_epsilon: f64,
-        /// δ remaining in the session's ledger before the call.
+        /// δ still admissible before the call (see `remaining_epsilon`).
         remaining_delta: f64,
+        /// Composed ε spent before the call, in the accountant's view.
+        spent_epsilon: f64,
+        /// Composed δ spent before the call, in the accountant's view.
+        spent_delta: f64,
+        /// Name of the accountant that rejected the charge
+        /// (`"sequential"`, `"advanced"`, `"rdp"`, …).
+        accountant: &'static str,
     },
     /// The privacy parameters are unusable with the selected noise backend
     /// (e.g. the Gaussian backend with δ = 0).
@@ -111,11 +131,15 @@ impl std::fmt::Display for MechanismError {
                 requested_delta,
                 remaining_epsilon,
                 remaining_delta,
+                spent_epsilon,
+                spent_delta,
+                accountant,
             } => write!(
                 f,
                 "privacy budget exhausted: requested (ε = {requested_epsilon}, δ = \
                  {requested_delta}) but only (ε = {remaining_epsilon}, δ = {remaining_delta}) \
-                 remains"
+                 remains under {accountant} accounting (composed spend ε = {spent_epsilon}, \
+                 δ = {spent_delta})"
             ),
             MechanismError::IncompatibleBackend(msg) => {
                 write!(f, "incompatible noise backend: {msg}")

@@ -11,6 +11,7 @@
 //! serving [`Engine`](crate::engine::Engine) can run either mechanism through
 //! one code path, and callers can swap backends with one builder call.
 
+use crate::accounting::MechanismEvent;
 use crate::mechanism::noise::{gaussian_noise, laplace_noise};
 use crate::privacy::PrivacyParams;
 use crate::MechanismError;
@@ -43,6 +44,22 @@ pub trait NoiseBackend: std::fmt::Debug + Send + Sync {
 
     /// Samples `len` independent noise values at the given scale.
     fn sample(&self, rng: &mut dyn RngCore, scale: f64, len: usize) -> Vec<f64>;
+
+    /// The accounting event describing one release of this backend at the
+    /// given privacy parameters on a query set of the given sensitivity
+    /// (under this backend's norm) — what a budgeted
+    /// [`Session`](crate::engine::Session) records on its ledger.
+    ///
+    /// The default returns a [*declared*](MechanismEvent::declared) event
+    /// (just the requested (ε, δ), composed sequentially by every
+    /// accountant) — the only sound answer for a backend the accountants
+    /// know nothing about.  The Gaussian and Laplace backends override it
+    /// with their actual noise scale and sensitivity so the RDP accountant
+    /// can apply the per-mechanism curves.
+    fn mechanism_event(&self, privacy: &PrivacyParams, sensitivity: f64) -> MechanismEvent {
+        let _ = sensitivity;
+        MechanismEvent::declared(*privacy)
+    }
 }
 
 /// The (ε,δ) Gaussian backend (Prop. 2): L2 sensitivity, noise
@@ -82,6 +99,16 @@ impl NoiseBackend for GaussianBackend {
     fn sample(&self, rng: &mut dyn RngCore, scale: f64, len: usize) -> Vec<f64> {
         gaussian_noise(rng, scale, len)
     }
+
+    fn mechanism_event(&self, privacy: &PrivacyParams, sensitivity: f64) -> MechanismEvent {
+        if sensitivity > 0.0 && sensitivity.is_finite() && privacy.is_approximate() {
+            MechanismEvent::gaussian(*privacy, privacy.gaussian_sigma(sensitivity), sensitivity)
+        } else {
+            // Degenerate strategies (zero sensitivity) add no calibrated
+            // noise; fall back to the declared guarantee.
+            MechanismEvent::declared(*privacy)
+        }
+    }
 }
 
 /// The ε-Laplace backend: L1 sensitivity, noise scale `b = Δ₁/ε`, error
@@ -113,6 +140,14 @@ impl NoiseBackend for LaplaceBackend {
 
     fn sample(&self, rng: &mut dyn RngCore, scale: f64, len: usize) -> Vec<f64> {
         laplace_noise(rng, scale, len)
+    }
+
+    fn mechanism_event(&self, privacy: &PrivacyParams, sensitivity: f64) -> MechanismEvent {
+        if sensitivity > 0.0 && sensitivity.is_finite() {
+            MechanismEvent::laplace(*privacy, privacy.laplace_scale(sensitivity), sensitivity)
+        } else {
+            MechanismEvent::declared(*privacy)
+        }
     }
 }
 

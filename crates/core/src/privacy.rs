@@ -80,6 +80,58 @@ impl PrivacyParams {
     pub fn laplace_scale(&self, l1_sensitivity: f64) -> f64 {
         l1_sensitivity / self.epsilon
     }
+
+    /// The per-unit-sensitivity Gaussian noise scale `σ/Δ₂ = √(2 ln(2/δ))/ε`
+    /// of Prop. 2 — the quantity the Gaussian RDP curve
+    /// ([`gaussian_rdp`]) is a function of.
+    pub fn gaussian_unit_sigma(&self) -> f64 {
+        self.gaussian_sigma(1.0)
+    }
+
+    /// The per-unit-sensitivity Laplace noise scale `b/Δ₁ = 1/ε` — the
+    /// quantity the Laplace RDP curve ([`laplace_rdp`]) is a function of.
+    pub fn laplace_unit_scale(&self) -> f64 {
+        self.laplace_scale(1.0)
+    }
+}
+
+/// Rényi differential privacy of the Gaussian mechanism (Mironov 2017,
+/// Prop. 7): at order `alpha` > 1 and per-unit-sensitivity noise scale
+/// `unit_sigma = σ/Δ₂`, the mechanism is (α, α/(2σ̂²))-RDP — the closed-form
+/// curve the [`RdpAccountant`](crate::accounting::RdpAccountant) sums per
+/// release.
+pub fn gaussian_rdp(alpha: f64, unit_sigma: f64) -> f64 {
+    assert!(alpha > 1.0, "RDP orders must exceed 1");
+    assert!(
+        unit_sigma > 0.0 && unit_sigma.is_finite(),
+        "unit noise scale must be positive and finite"
+    );
+    alpha / (2.0 * unit_sigma * unit_sigma)
+}
+
+/// Rényi differential privacy of the Laplace mechanism (Mironov 2017,
+/// Table II): at order `alpha` > 1 and per-unit-sensitivity noise scale
+/// `unit_scale = b/Δ₁ = 1/ε`,
+///
+/// ```text
+///     ε(α) = 1/(α−1) · ln( α/(2α−1) · e^{(α−1)/λ} + (α−1)/(2α−1) · e^{−α/λ} )
+/// ```
+///
+/// evaluated in log-sum-exp form for numerical stability.  The curve is
+/// bounded by the pure-DP level `1/λ` for every order.
+pub fn laplace_rdp(alpha: f64, unit_scale: f64) -> f64 {
+    assert!(alpha > 1.0, "RDP orders must exceed 1");
+    assert!(
+        unit_scale > 0.0 && unit_scale.is_finite(),
+        "unit noise scale must be positive and finite"
+    );
+    let lambda = unit_scale;
+    // ln(a·e^x + b·e^y) = x + ln(a + b·e^{y−x}) with x ≥ y:
+    // here x = (α−1)/λ, y = −α/λ, so y − x = −(2α−1)/λ < 0.
+    let a = alpha / (2.0 * alpha - 1.0);
+    let b = (alpha - 1.0) / (2.0 * alpha - 1.0);
+    let x = (alpha - 1.0) / lambda;
+    ((a + b * (-(2.0 * alpha - 1.0) / lambda).exp()).ln() + x) / (alpha - 1.0)
 }
 
 #[cfg(test)]
@@ -130,5 +182,33 @@ mod tests {
     #[should_panic(expected = "epsilon must be positive")]
     fn invalid_epsilon_panics() {
         PrivacyParams::new(0.0, 1e-4);
+    }
+
+    #[test]
+    fn gaussian_rdp_curve_is_linear_in_alpha() {
+        let sigma = PrivacyParams::paper_default().gaussian_unit_sigma();
+        let r2 = gaussian_rdp(2.0, sigma);
+        let r8 = gaussian_rdp(8.0, sigma);
+        assert!(approx_eq(r8, 4.0 * r2, 1e-12));
+        assert!(approx_eq(r2, 1.0 / (sigma * sigma), 1e-12));
+    }
+
+    #[test]
+    fn laplace_rdp_curve_is_bounded_by_pure_dp_and_monotone() {
+        // RDP of the Laplace mechanism approaches the pure-DP level 1/λ from
+        // below as α grows, and is monotone non-decreasing in α.
+        let lambda = PrivacyParams::pure(0.5).laplace_unit_scale(); // λ = 2
+        let pure = 1.0 / lambda;
+        let mut prev = 0.0;
+        for alpha in [1.5, 2.0, 4.0, 16.0, 64.0, 1024.0] {
+            let r = laplace_rdp(alpha, lambda);
+            assert!(
+                r > 0.0 && r <= pure + 1e-12,
+                "α={alpha}: {r} vs pure {pure}"
+            );
+            assert!(r + 1e-12 >= prev, "curve must be monotone in α");
+            prev = r;
+        }
+        assert!(approx_eq(laplace_rdp(65536.0, lambda), pure, 1e-3));
     }
 }

@@ -3,6 +3,7 @@
 use crate::query::{queries_to_matrix, LinearQuery};
 use crate::Workload;
 use mm_linalg::{ops, Matrix};
+use std::sync::OnceLock;
 
 /// A workload stored as an explicit list of sparse queries.
 ///
@@ -15,6 +16,10 @@ pub struct ExplicitWorkload {
     dim: usize,
     queries: Vec<LinearQuery>,
     name: String,
+    /// Lazily materialised dense query matrix, shared by
+    /// [`Workload::to_matrix`] and the batched [`Workload::evaluate_matrix`]
+    /// so repeated (batch) answers do not rebuild it.
+    dense: OnceLock<Matrix>,
 }
 
 impl ExplicitWorkload {
@@ -35,7 +40,13 @@ impl ExplicitWorkload {
             dim,
             queries,
             name: name.into(),
+            dense: OnceLock::new(),
         }
+    }
+
+    /// The dense query matrix, built once per workload.
+    fn dense(&self) -> &Matrix {
+        self.dense.get_or_init(|| queries_to_matrix(&self.queries))
     }
 
     /// Creates a workload from a dense query matrix (each row is a query).
@@ -54,11 +65,10 @@ impl ExplicitWorkload {
     /// Returns a new workload with every query scaled to unit L2 norm
     /// (queries with zero norm are left unchanged).
     pub fn normalized(&self) -> Self {
-        ExplicitWorkload {
-            dim: self.dim,
-            queries: self.queries.iter().map(LinearQuery::normalized).collect(),
-            name: format!("{} (normalized)", self.name),
-        }
+        ExplicitWorkload::new(
+            format!("{} (normalized)", self.name),
+            self.queries.iter().map(LinearQuery::normalized).collect(),
+        )
     }
 }
 
@@ -89,6 +99,34 @@ impl Workload for ExplicitWorkload {
         self.queries.iter().map(|q| q.evaluate(x)).collect()
     }
 
+    fn evaluate_matrix(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.rows(),
+            self.dim,
+            "data matrix has {} rows but the workload covers {} cells",
+            x.rows(),
+            self.dim
+        );
+        // Width 1 (the engine's single-`answer` hot path): the sparse
+        // per-query evaluation is O(nnz) where the dense product would read
+        // every coefficient; both produce identical bits (see below), so
+        // pick by shape.
+        if x.cols() == 1 {
+            let mut out = Matrix::zeros(self.queries.len(), 1);
+            for (i, q) in self.queries.iter().enumerate() {
+                out[(i, 0)] = q.evaluate(x.as_slice());
+            }
+            return out;
+        }
+        // Batches: one blocked mat-mat product over the memoised dense
+        // matrix (the PR 3 kernel).  Bit-identical to the per-column
+        // default: the kernel accumulates each output entry in ascending
+        // depth order and skips zero coefficients — exactly the addition
+        // sequence of the sparse per-query `evaluate` over its (sorted,
+        // zero-free) entries.
+        ops::matmul(self.dense(), x).expect("dimensions checked above")
+    }
+
     fn description(&self) -> String {
         format!(
             "{} ({} queries on {} cells)",
@@ -109,7 +147,7 @@ impl Workload for ExplicitWorkload {
     }
 
     fn to_matrix(&self) -> Option<Matrix> {
-        Some(queries_to_matrix(&self.queries))
+        Some(self.dense().clone())
     }
 }
 
@@ -143,6 +181,11 @@ impl Workload for IdentityWorkload {
     fn evaluate(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim);
         x.to_vec()
+    }
+
+    fn evaluate_matrix(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.rows(), self.dim);
+        x.clone()
     }
 
     fn description(&self) -> String {
@@ -267,6 +310,60 @@ mod tests {
         let w = ExplicitWorkload::new("w", queries).normalized();
         for n in w.query_squared_norms() {
             assert!(approx_eq(n, 1.0, 1e-12));
+        }
+    }
+
+    #[test]
+    fn evaluate_matrix_is_bit_identical_to_per_column_evaluate() {
+        // The blocked-matmul override must not change a single bit relative
+        // to the sparse per-query evaluation, for every column of the batch
+        // — including awkward coefficients and irregular sparsity.
+        let d = Domain::new(&[4, 8]);
+        let queries = vec![
+            LinearQuery::total(32),
+            LinearQuery::range(&d, &[1, 2], &[3, 5]),
+            LinearQuery::cell(32, 17),
+            LinearQuery::new(32, vec![(0, 0.3), (7, -1.7), (31, 2.25), (16, 1e-9)]),
+            LinearQuery::from_dense(&(0..32).map(|i| (i as f64 * 0.37).sin()).collect::<Vec<_>>()),
+        ];
+        let w = ExplicitWorkload::new("irregular", queries);
+        let k = 7;
+        let x = Matrix::from_fn(32, k, |i, c| ((i * 31 + c * 17) % 13) as f64 * 0.71 - 3.0);
+        let batched = w.evaluate_matrix(&x);
+        assert_eq!(batched.shape(), (w.query_count(), k));
+        for c in 0..k {
+            let per_column = w.evaluate(&x.col(c));
+            for (i, v) in per_column.iter().enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    batched[(i, c)].to_bits(),
+                    "bit mismatch at query {i}, column {c}"
+                );
+            }
+        }
+        // The identity workload's trivial override is bit-identical too.
+        let id = IdentityWorkload::new(32);
+        let id_batched = id.evaluate_matrix(&x);
+        for c in 0..k {
+            let per_column = id.evaluate(&x.col(c));
+            for (i, v) in per_column.iter().enumerate() {
+                assert_eq!(v.to_bits(), id_batched[(i, c)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn default_evaluate_matrix_matches_per_column() {
+        // TotalWorkload uses the trait's default per-column implementation.
+        let w = TotalWorkload::new(6);
+        let x = Matrix::from_fn(6, 3, |i, c| (i + c) as f64 * 1.5);
+        let batched = w.evaluate_matrix(&x);
+        assert_eq!(batched.shape(), (1, 3));
+        for c in 0..3 {
+            assert_eq!(
+                batched[(0, c)].to_bits(),
+                w.evaluate(&x.col(c))[0].to_bits()
+            );
         }
     }
 

@@ -71,6 +71,46 @@ pub trait Workload {
     /// (length `query_count()`), in a fixed deterministic order.
     fn evaluate(&self, x: &[f64]) -> Vec<f64>;
 
+    /// Evaluates every query against each *column* of `x` (an `n × K` matrix
+    /// of K data vectors), returning the `m × K` answer matrix `W·X` with
+    /// column `k` equal to `evaluate(x.col(k))` — **bit for bit**, so
+    /// batched serving paths can substitute this for a per-column loop
+    /// without changing a single result.
+    ///
+    /// The default implementation is exactly that per-column loop.
+    /// Workloads with a materialised query matrix (e.g.
+    /// [`ExplicitWorkload`]) override it with one blocked mat-mat product,
+    /// which accumulates each answer in the same ascending-index,
+    /// zero-skipping order as their sparse per-query evaluation and
+    /// therefore stays bit-identical while vectorising the whole batch.
+    ///
+    /// Panics when `x.rows() != dim()` (like [`Workload::evaluate`] on a
+    /// wrong-length vector).
+    fn evaluate_matrix(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.rows(),
+            self.dim(),
+            "data matrix has {} rows but the workload covers {} cells",
+            x.rows(),
+            self.dim()
+        );
+        let m = self.query_count();
+        let k = x.cols();
+        let mut out = Matrix::zeros(m, k);
+        for c in 0..k {
+            let answers = self.evaluate(&x.col(c));
+            assert_eq!(
+                answers.len(),
+                m,
+                "evaluate must return one answer per query"
+            );
+            for (i, v) in answers.into_iter().enumerate() {
+                out[(i, c)] = v;
+            }
+        }
+        out
+    }
+
     /// Human-readable description used in reports and experiment output.
     fn description(&self) -> String;
 

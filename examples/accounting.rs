@@ -1,0 +1,130 @@
+//! Privacy accounting: how many answers one total (ε, δ) budget buys under
+//! sequential composition, advanced (strong) composition, and Rényi-DP
+//! accounting — at the paper's per-answer setting ε = 0.5, δ = 10⁻⁴.
+//!
+//! The mechanism (and therefore the per-answer noise and accuracy) is
+//! identical in every run; only the composition theorem the session's
+//! ledger applies changes.  That is the whole point of tight accounting:
+//! more answers at the *same* noise scale and the same total budget.
+//!
+//! Run with: `cargo run --release --example accounting`
+
+use adaptive_dp::core::accounting::{
+    AccountantFactory, AdvancedCompositionAccountant, AdvancedCompositionAccounting,
+    MechanismEvent, RdpAccounting, SequentialAccountant, SequentialAccounting,
+};
+use adaptive_dp::core::engine::{Engine, PrivacyBudget};
+use adaptive_dp::core::{Accountant, MechanismError, PrivacyParams};
+use adaptive_dp::workload::range::AllRangeWorkload;
+use adaptive_dp::workload::Domain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Answers the workload through a fresh session until the budget runs out,
+/// returning how many answers the accountant admitted.
+fn answers_per_budget(
+    engine: &Engine,
+    factory: &dyn AccountantFactory,
+    budget: PrivacyBudget,
+    workload: &AllRangeWorkload,
+    counts: &[f64],
+) -> (usize, PrivacyBudget) {
+    let mut session = engine.session_with_accountant(factory.accountant(budget));
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut answered = 0usize;
+    loop {
+        match session.answer(workload, counts, &mut rng) {
+            Ok(_) => answered += 1,
+            Err(MechanismError::BudgetExhausted { .. }) => break,
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        if answered >= 100_000 {
+            break; // safety valve; never reached at these budgets
+        }
+    }
+    (answered, session.ledger().spent())
+}
+
+fn main() {
+    // The paper's per-answer privacy setting (Prop. 2/4) and a serving
+    // budget of (ε = 4, δ = 10⁻³) for the whole session.
+    let per_answer = PrivacyParams::paper_default(); // (0.5, 1e-4)
+    let budget = PrivacyBudget::new(4.0, 1e-3);
+
+    let domain = Domain::one_dim(32);
+    let workload = AllRangeWorkload::new(domain);
+    let counts: Vec<f64> = (0..32)
+        .map(|i| 300.0 * (-((i as f64 - 16.0) / 6.0).powi(2)).exp() + 10.0)
+        .map(f64::round)
+        .collect();
+
+    let engine = Engine::builder().privacy(per_answer).build().unwrap();
+    println!(
+        "per-answer privacy: (ε = {}, δ = {}), Gaussian σ (unit sensitivity) = {:.3}",
+        per_answer.epsilon,
+        per_answer.delta,
+        per_answer.gaussian_unit_sigma()
+    );
+    println!(
+        "total session budget: (ε = {}, δ = {})\n",
+        budget.epsilon, budget.delta
+    );
+
+    let factories: [Box<dyn AccountantFactory>; 3] = [
+        Box::new(SequentialAccounting),
+        Box::new(AdvancedCompositionAccounting),
+        Box::new(RdpAccounting::default()),
+    ];
+    println!(
+        "{:<12} {:>8}   composed spend at the budget's δ",
+        "accountant", "answers"
+    );
+    let mut per_policy = Vec::new();
+    for factory in &factories {
+        let (answered, spent) =
+            answers_per_budget(&engine, factory.as_ref(), budget, &workload, &counts);
+        println!(
+            "{:<12} {:>8}   (ε = {:.3}, δ = {:.1e})",
+            factory.name(),
+            answered,
+            spent.epsilon,
+            spent.delta
+        );
+        per_policy.push((factory.name(), answered));
+    }
+
+    let sequential = per_policy[0].1;
+    let rdp = per_policy[2].1;
+    println!(
+        "\nRDP accounting serves {rdp} answers where sequential composition \
+         serves {sequential} — a {:.1}x budget stretch at identical per-answer \
+         noise (k Gaussian releases cost O(√k) in ε, not O(k)).",
+        rdp as f64 / sequential.max(1) as f64
+    );
+    println!(
+        "Advanced composition pays only when the per-answer ε is small: at \
+         ε = 0.5 its √k bound is looser than the plain sum (its min() falls \
+         back to sequential in ε) and its reserved δ′ slack halves the δ \
+         capacity, so it serves no more — here fewer — answers."
+    );
+
+    // The regime where advanced composition does win: many cheap answers.
+    let small = PrivacyParams::new(0.01, 0.0);
+    let event = MechanismEvent::declared(small);
+    let mut adv = AdvancedCompositionAccountant::new(budget);
+    let mut seq = SequentialAccountant::new(budget);
+    let mut adv_count = 0usize;
+    while adv.charge_many(&event, 1).is_ok() {
+        adv_count += 1;
+    }
+    let mut seq_count = 0usize;
+    while seq.charge_many(&event, 1).is_ok() {
+        seq_count += 1;
+    }
+    println!(
+        "\nAt a small per-release ε = {} (δ = 0), the same (ε = {}, δ = {}) \
+         budget admits {} releases under advanced composition vs {} under \
+         sequential — the √k advantage in its natural regime.",
+        small.epsilon, budget.epsilon, budget.delta, adv_count, seq_count
+    );
+}
