@@ -334,6 +334,154 @@ impl BatchBenchReport {
     }
 }
 
+/// One measured selection-path scenario: the blocked-parallel (optimized)
+/// implementation against its reference baseline at domain size `n`.
+///
+/// What "optimized" and "baseline" mean is scenario-specific (documented in
+/// the README's Performance section): for the kernel scenarios (`cholesky`,
+/// `eigen`) the baseline is the scalar reference kernel; for
+/// `selection_eigen_design` it is the full cold miss path rebuilt on the
+/// scalar kernels; for the `*_hit` scenarios it is the cold miss itself, so
+/// the speedup is the cache win.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectionBenchRecord {
+    /// Scenario name (`cholesky`, `eigen`, `selection_eigen_design`, …).
+    pub scenario: String,
+    /// Domain size (cells / matrix dimension).
+    pub n: usize,
+    /// Nanoseconds per operation on the optimized path (fastest sample).
+    pub optimized_ns_per_op: f64,
+    /// Nanoseconds per operation on the baseline (fastest sample).
+    pub baseline_ns_per_op: f64,
+    /// `baseline_ns_per_op / optimized_ns_per_op`.
+    pub speedup: f64,
+}
+
+impl SelectionBenchRecord {
+    /// Builds a record, deriving the speedup from the two timings.
+    pub fn new(
+        scenario: impl Into<String>,
+        n: usize,
+        optimized_ns_per_op: f64,
+        baseline_ns_per_op: f64,
+    ) -> Self {
+        let speedup = if optimized_ns_per_op > 0.0 {
+            baseline_ns_per_op / optimized_ns_per_op
+        } else {
+            f64::INFINITY
+        };
+        SelectionBenchRecord {
+            scenario: scenario.into(),
+            n,
+            optimized_ns_per_op,
+            baseline_ns_per_op,
+            speedup,
+        }
+    }
+}
+
+/// Schema identifier written into every `BENCH_selection.json`.
+pub const SELECTION_BENCH_FORMAT: &str = "mm-bench/selection-v1";
+
+/// The machine-readable selection-latency report emitted as
+/// `BENCH_selection.json` — the perf-trajectory record for the engine's
+/// expensive (cache-miss) path, companion to [`BatchBenchReport`].
+#[derive(Debug, Clone, Default)]
+pub struct SelectionBenchReport {
+    /// Whether the run used the short fixed-iteration CI mode.
+    pub quick: bool,
+    /// Worker-thread budget the kernels ran with
+    /// (`mm_linalg::parallel::max_threads()` at bench time).
+    pub threads: usize,
+    /// All measured scenarios.
+    pub records: Vec<SelectionBenchRecord>,
+}
+
+impl SelectionBenchReport {
+    /// An empty report.
+    pub fn new(quick: bool, threads: usize) -> Self {
+        SelectionBenchReport {
+            quick,
+            threads,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: SelectionBenchRecord) {
+        self.records.push(record);
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled: the offline
+    /// build has no serde).
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"format\": \"{SELECTION_BENCH_FORMAT}\",");
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        out.push_str("  \"scenarios\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"scenario\": \"{}\", \"n\": {}, \
+                 \"optimized_ns_per_op\": {}, \"baseline_ns_per_op\": {}, \
+                 \"speedup\": {}}}{sep}",
+                r.scenario,
+                r.n,
+                num(r.optimized_ns_per_op),
+                num(r.baseline_ns_per_op),
+                num(r.speedup),
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// The coarse CI regression gate: every record of `scenario` with
+    /// `n >= min_n` must show `speedup >= min_speedup`.  Returns the
+    /// offending records' descriptions on failure, or an error when the
+    /// report holds no matching record at all (an empty gate must not pass).
+    pub fn gate(&self, scenario: &str, min_n: usize, min_speedup: f64) -> Result<(), String> {
+        let mut matched = 0usize;
+        let failures: Vec<String> = self
+            .records
+            .iter()
+            .filter(|r| r.scenario == scenario && r.n >= min_n)
+            .inspect(|_| matched += 1)
+            .filter(|r| r.speedup < min_speedup || r.speedup.is_nan())
+            .map(|r| {
+                format!(
+                    "{} n={}: speedup {:.2}x < {:.2}x",
+                    r.scenario, r.n, r.speedup, min_speedup
+                )
+            })
+            .collect();
+        if matched == 0 {
+            return Err(format!(
+                "no records for scenario `{scenario}` with n >= {min_n}"
+            ));
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("; "))
+        }
+    }
+}
+
 /// Formats a float with three significant decimals for table cells.
 pub fn fmt(v: f64) -> String {
     if !v.is_finite() {
@@ -429,6 +577,69 @@ mod tests {
         // Two records, comma-separated, last one bare.
         assert_eq!(json.matches("\"scenario\"").count(), 2);
         assert!(json.contains("\"speedup\": 2.5}\n"));
+    }
+
+    #[test]
+    fn selection_report_json_schema() {
+        let mut report = SelectionBenchReport::new(true, 4);
+        report.push(SelectionBenchRecord::new("cholesky", 512, 1000.0, 5000.0));
+        report.push(SelectionBenchRecord::new(
+            "selection_eigen_design",
+            1024,
+            2.0,
+            9.0,
+        ));
+        let json = report.to_json();
+        assert!(json.contains("\"format\": \"mm-bench/selection-v1\""));
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"scenario\": \"cholesky\""));
+        assert!(json.contains("\"n\": 512"));
+        assert!(json.contains("\"optimized_ns_per_op\": 1000.0"));
+        assert!(json.contains("\"speedup\": 5.0"));
+        assert_eq!(json.matches("\"scenario\"").count(), 2);
+        assert!(json.contains("\"speedup\": 4.5}\n"));
+        // Infinite speedup serialises as null.
+        let r = SelectionBenchRecord::new("s", 4, 0.0, 100.0);
+        assert!(r.speedup.is_infinite());
+        let json = SelectionBenchReport {
+            quick: false,
+            threads: 1,
+            records: vec![r],
+        }
+        .to_json();
+        assert!(json.contains("\"speedup\": null"), "{json}");
+    }
+
+    #[test]
+    fn selection_report_gate() {
+        let mut report = SelectionBenchReport::new(true, 1);
+        report.push(SelectionBenchRecord::new("cholesky", 256, 100.0, 90.0));
+        report.push(SelectionBenchRecord::new("cholesky", 512, 100.0, 300.0));
+        report.push(SelectionBenchRecord::new("cholesky", 1024, 100.0, 450.0));
+        // n < min_n records are exempt; both n >= 512 records pass.
+        assert!(report.gate("cholesky", 512, 1.0).is_ok());
+        // A losing large-n record trips the gate with a description.
+        report.push(SelectionBenchRecord::new("cholesky", 2048, 100.0, 80.0));
+        let err = report.gate("cholesky", 512, 1.0).unwrap_err();
+        assert!(err.contains("cholesky n=2048"), "{err}");
+        assert!(err.contains("0.80x"), "{err}");
+        // An empty gate (unknown scenario or too-large min_n) must fail.
+        assert!(report.gate("eigen", 512, 1.0).is_err());
+        assert!(report.gate("cholesky", 4096, 1.0).is_err());
+        // NaN speedups fail the gate.
+        let nan = SelectionBenchReport {
+            quick: false,
+            threads: 1,
+            records: vec![SelectionBenchRecord {
+                scenario: "cholesky".into(),
+                n: 512,
+                optimized_ns_per_op: f64::NAN,
+                baseline_ns_per_op: f64::NAN,
+                speedup: f64::NAN,
+            }],
+        };
+        assert!(nan.gate("cholesky", 512, 1.0).is_err());
     }
 
     #[test]

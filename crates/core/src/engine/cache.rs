@@ -26,18 +26,28 @@
 //!
 //! # Eviction
 //!
-//! Eviction is least-recently-used *per shard*: every `get` refreshes the
-//! entry's recency stamp, and an insert into a full shard evicts the entry
-//! with the oldest stamp.  A frequently served workload therefore stays
-//! resident under a churning stream of cold workloads (the FIFO policy this
-//! replaces evicted hot and cold entries alike).  The configured capacity is
-//! a total across shards: the per-shard bounds sum to exactly the total, so
-//! the cache never holds more entries than configured, but with more than
-//! one shard the split is approximate in use — a skewed fingerprint
-//! distribution can evict from a full shard while another has room.  Size
-//! the capacity to the working set and the shard count to the expected
-//! parallelism (both are [`EngineBuilder`](crate::engine::EngineBuilder)
-//! knobs).
+//! Eviction is per shard and governed by an [`EvictionPolicy`]:
+//!
+//! * [`EvictionPolicy::Lru`] (default) — every `get` refreshes the entry's
+//!   recency stamp, and an insert into a full shard evicts the entry with
+//!   the oldest stamp.  A frequently served workload therefore stays
+//!   resident under a churning stream of cold workloads (the FIFO policy
+//!   this replaces evicted hot and cold entries alike).
+//! * [`EvictionPolicy::CostAware`] — selection wall-time is very non-uniform
+//!   across workloads (an eigen-design selection at n = 1024 costs seconds;
+//!   a tiny workload selects in microseconds), so each entry carries its
+//!   measured selection cost and the shard evicts the entry with the lowest
+//!   recency×cost score `cost / (age + 1)`: cheap-to-rebuild entries churn
+//!   first, and an expensive entry survives a stream of cheap insertions
+//!   even once its recency has decayed.
+//!
+//! The configured capacity is a total across shards: the per-shard bounds
+//! sum to exactly the total, so the cache never holds more entries than
+//! configured, but with more than one shard the split is approximate in use
+//! — a skewed fingerprint distribution can evict from a full shard while
+//! another has room.  Size the capacity to the working set, the shard count
+//! to the expected parallelism, and the policy to the workload mix (all
+//! [`EngineBuilder`](crate::engine::EngineBuilder) knobs).
 
 use mm_linalg::decomp::Cholesky;
 use mm_linalg::Matrix;
@@ -49,15 +59,34 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// Default number of independently locked cache shards.
 pub const DEFAULT_SHARD_COUNT: usize = 8;
 
+/// How a full cache shard picks its eviction victim (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least recently used entry.
+    #[default]
+    Lru,
+    /// Evict the entry with the lowest recency×cost score
+    /// `selection_cost_ns / (age + 1)`, protecting entries that were
+    /// expensive to select.
+    CostAware,
+}
+
 /// A cached selection: the strategy plus two lazily computed, data- and
 /// privacy-independent derived quantities — the Cholesky factor of the
 /// strategy gram (used by least-squares inference) and the Prop. 4 trace term
 /// `trace(WᵀW (AᵀA)⁻¹)` against the workload the entry was selected for.
 /// Both are O(n³); caching them makes a cache-hit `answer` skip *all*
 /// repeated cubic work and pay only the O(n²) mechanism run.
+///
+/// The entry also records the measured wall-time of the selection that
+/// produced it, which the [`EvictionPolicy::CostAware`] policy uses to
+/// protect expensive entries.
 #[derive(Debug)]
 pub struct CachedSelection {
     strategy: Arc<Strategy>,
+    /// Measured wall-time of the selection that produced this entry, in
+    /// nanoseconds (0 when unknown, e.g. caller-provided strategies).
+    selection_cost_ns: u64,
     factor: OnceLock<Arc<Cholesky>>,
     trace: OnceLock<f64>,
 }
@@ -66,11 +95,23 @@ impl CachedSelection {
     /// Wraps a selected strategy (derived quantities are computed on first
     /// use).
     pub fn new(strategy: Arc<Strategy>) -> Self {
+        Self::with_cost(strategy, 0)
+    }
+
+    /// Wraps a selected strategy together with the measured wall-time of the
+    /// selection that produced it.
+    pub fn with_cost(strategy: Arc<Strategy>, selection_cost_ns: u64) -> Self {
         CachedSelection {
             strategy,
+            selection_cost_ns,
             factor: OnceLock::new(),
             trace: OnceLock::new(),
         }
+    }
+
+    /// The measured selection wall-time in nanoseconds (0 when unknown).
+    pub fn selection_cost_ns(&self) -> u64 {
+        self.selection_cost_ns
     }
 
     /// The selected strategy.
@@ -175,30 +216,55 @@ impl ShardInner {
         })
     }
 
-    /// Inserts, evicting LRU entries to stay within `capacity`, and returns
-    /// the entry now cached for the fingerprint: an earlier insert wins a
-    /// race between two concurrent selections, keeping results stable.
+    /// Inserts, evicting entries per the shard's policy to stay within
+    /// `capacity`, and returns the entry now cached for the fingerprint: an
+    /// earlier insert wins a race between two concurrent selections, keeping
+    /// results stable.
     fn insert(
         &mut self,
         fp: Fingerprint,
         selection: Arc<CachedSelection>,
         capacity: usize,
+        policy: EvictionPolicy,
     ) -> Arc<CachedSelection> {
         if let Some(existing) = self.map.get(&fp) {
             return existing.selection.clone();
         }
         while self.map.len() >= capacity {
-            // Evict the least recently used entry (shard capacities are
-            // small, so the linear scan is cheaper than an intrusive list).
-            let Some(oldest) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(fp, _)| *fp)
-            else {
+            // Pick the victim by policy (shard capacities are small, so the
+            // linear scan is cheaper than an intrusive list).
+            let tick = self.tick;
+            let victim = match policy {
+                // Least recently used.
+                EvictionPolicy::Lru => self
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(fp, _)| *fp),
+                // Lowest recency×cost score: `cost / (age + 1)` decays with
+                // the entry's idle time, so a cheap recent entry outranks a
+                // cheap old one, while a genuinely expensive entry keeps a
+                // high score long after its last use.
+                EvictionPolicy::CostAware => self
+                    .map
+                    .iter()
+                    .min_by(|(_, a), (_, b)| {
+                        let score = |e: &CacheEntry| {
+                            let age = tick.saturating_sub(e.last_used) as f64;
+                            // +1 in f64: the cost may be the u64::MAX
+                            // "unmeasurable" sentinel, which must not wrap.
+                            (e.selection.selection_cost_ns() as f64 + 1.0) / (age + 1.0)
+                        };
+                        score(a)
+                            .partial_cmp(&score(b))
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(fp, _)| *fp),
+            };
+            let Some(victim) = victim else {
                 break;
             };
-            self.map.remove(&oldest);
+            self.map.remove(&victim);
         }
         self.tick += 1;
         self.map.insert(
@@ -257,7 +323,7 @@ impl SelectionGuard<'_> {
         let shard = self.cache.shard(self.fp);
         let winner = {
             let mut inner = shard.inner.lock().expect("cache shard lock");
-            let winner = inner.insert(self.fp, selection, shard.capacity);
+            let winner = inner.insert(self.fp, selection, shard.capacity, self.cache.policy);
             inner.in_flight.remove(&self.fp);
             winner
         };
@@ -284,28 +350,36 @@ impl Drop for SelectionGuard<'_> {
     }
 }
 
-/// A bounded, sharded, LRU map from workload fingerprints to selected
-/// strategies with single-flight selection (see the module docs).
+/// A bounded, sharded map from workload fingerprints to selected strategies
+/// with single-flight selection and a pluggable eviction policy (see the
+/// module docs).
 #[derive(Debug)]
 pub struct StrategyCache {
     capacity: usize,
+    policy: EvictionPolicy,
     shards: Box<[Shard]>,
     shard_mask: usize,
 }
 
 impl StrategyCache {
     /// Creates a cache holding up to `capacity` strategies total (0 disables
-    /// caching) over [`DEFAULT_SHARD_COUNT`] shards.
+    /// caching) over [`DEFAULT_SHARD_COUNT`] shards with LRU eviction.
     pub fn new(capacity: usize) -> Self {
         StrategyCache::with_shards(capacity, DEFAULT_SHARD_COUNT)
     }
 
+    /// Creates a cache with an explicit shard count and LRU eviction; see
+    /// [`StrategyCache::with_shards_and_policy`].
+    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+        StrategyCache::with_shards_and_policy(capacity, shards, EvictionPolicy::Lru)
+    }
+
     /// Creates a cache with an explicit shard count (rounded up to a power
     /// of two, then halved until it does not exceed the capacity, so every
-    /// shard holds at least one entry).  The capacity is split across shards
-    /// with the remainder spread one-per-shard, so the shard capacities sum
-    /// to exactly the configured total.
-    pub fn with_shards(capacity: usize, shards: usize) -> Self {
+    /// shard holds at least one entry) and eviction policy.  The capacity is
+    /// split across shards with the remainder spread one-per-shard, so the
+    /// shard capacities sum to exactly the configured total.
+    pub fn with_shards_and_policy(capacity: usize, shards: usize, policy: EvictionPolicy) -> Self {
         let mut count = shards.max(1).next_power_of_two();
         while count > 1 && count > capacity {
             count /= 2;
@@ -313,6 +387,7 @@ impl StrategyCache {
         let (base, remainder) = (capacity / count, capacity % count);
         StrategyCache {
             capacity,
+            policy,
             shards: (0..count)
                 .map(|i| Shard {
                     capacity: base + usize::from(i < remainder),
@@ -326,6 +401,11 @@ impl StrategyCache {
     /// The configured total capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The configured eviction policy.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.policy
     }
 
     /// The number of shards.
@@ -399,7 +479,7 @@ impl StrategyCache {
         }
         let shard = self.shard(fp);
         let mut inner = shard.inner.lock().expect("cache shard lock");
-        inner.insert(fp, selection, shard.capacity)
+        inner.insert(fp, selection, shard.capacity, self.policy)
     }
 
     /// Number of cached strategies (across all shards).
@@ -484,6 +564,63 @@ mod tests {
             cache.insert(fp(cold), entry(4));
         }
         assert!(Arc::ptr_eq(&cache.get(fp(0)).unwrap(), &hot));
+    }
+
+    fn costed(n: usize, cost_ns: u64) -> Arc<CachedSelection> {
+        Arc::new(CachedSelection::with_cost(
+            Arc::new(identity_strategy(n)),
+            cost_ns,
+        ))
+    }
+
+    #[test]
+    fn cost_aware_eviction_protects_expensive_entries() {
+        // An entry that took 50 ms to select must survive a churning stream
+        // of microsecond-cheap selections that overflows the shard many
+        // times over, even though it is never touched again — exactly the
+        // scenario recency-only LRU gets wrong.
+        let cache = StrategyCache::with_shards_and_policy(4, 1, EvictionPolicy::CostAware);
+        assert_eq!(cache.eviction_policy(), EvictionPolicy::CostAware);
+        let expensive = costed(4, 50_000_000);
+        cache.insert(fp(0), expensive.clone());
+        for cold in 1..=100u64 {
+            cache.insert(fp(cold), costed(4, 5_000));
+            assert!(
+                cache.len() <= cache.capacity(),
+                "capacity respected under cost-aware eviction"
+            );
+        }
+        let got = cache.get(fp(0)).expect("expensive entry survived churn");
+        assert!(Arc::ptr_eq(&got, &expensive));
+
+        // Under plain LRU the same stream evicts the expensive entry.
+        let lru = single_shard(4);
+        lru.insert(fp(0), costed(4, 50_000_000));
+        for cold in 1..=100u64 {
+            lru.insert(fp(cold), costed(4, 5_000));
+        }
+        assert!(lru.get(fp(0)).is_none(), "LRU evicts by recency alone");
+    }
+
+    #[test]
+    fn cost_aware_eviction_still_churns_cheap_entries_by_recency() {
+        // Among equal costs the policy degrades to recency: the untouched
+        // cheap entry goes first, the refreshed one stays.
+        let cache = StrategyCache::with_shards_and_policy(2, 1, EvictionPolicy::CostAware);
+        cache.insert(fp(1), costed(4, 1_000));
+        cache.insert(fp(2), costed(4, 1_000));
+        assert!(cache.get(fp(2)).is_some()); // refresh 2; 1 is now older
+        cache.insert(fp(3), costed(4, 1_000));
+        assert!(cache.get(fp(1)).is_none(), "older equal-cost entry evicted");
+        assert!(cache.get(fp(2)).is_some());
+        assert!(cache.get(fp(3)).is_some());
+    }
+
+    #[test]
+    fn selection_cost_defaults_to_zero() {
+        let e = entry(4);
+        assert_eq!(e.selection_cost_ns(), 0);
+        assert_eq!(costed(4, 7).selection_cost_ns(), 7);
     }
 
     #[test]

@@ -67,7 +67,9 @@ pub mod cache;
 pub mod selector;
 pub mod session;
 
-pub use cache::{CachedSelection, Lookup, SelectionGuard, StrategyCache, DEFAULT_SHARD_COUNT};
+pub use cache::{
+    CachedSelection, EvictionPolicy, Lookup, SelectionGuard, StrategyCache, DEFAULT_SHARD_COUNT,
+};
 pub use selector::{
     DesignBasis, DesignSetSelector, EigenDesignSelector, FixedStrategySelector,
     MatrixDesignSelector, PureDpSelector, SelectionContext, StrategySelector,
@@ -98,6 +100,7 @@ pub struct EngineBuilder {
     accountant: Option<Arc<dyn AccountantFactory>>,
     cache_capacity: usize,
     cache_shards: usize,
+    eviction_policy: EvictionPolicy,
 }
 
 impl EngineBuilder {
@@ -166,6 +169,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets how a full cache shard picks its eviction victim (default:
+    /// [`EvictionPolicy::Lru`]).  [`EvictionPolicy::CostAware`] weights
+    /// recency by each entry's measured selection wall-time, protecting
+    /// expensive selections from being churned out by cheap ones.
+    pub fn eviction_policy(mut self, policy: EvictionPolicy) -> Self {
+        self.eviction_policy = policy;
+        self
+    }
+
     /// Builds the engine, validating that the backend is compatible with the
     /// privacy parameters (e.g. the Gaussian backend rejects δ = 0).
     pub fn build(self) -> crate::Result<Engine> {
@@ -183,7 +195,11 @@ impl EngineBuilder {
             accountant: self
                 .accountant
                 .unwrap_or_else(|| Arc::new(SequentialAccounting)),
-            cache: StrategyCache::with_shards(self.cache_capacity, self.cache_shards),
+            cache: StrategyCache::with_shards_and_policy(
+                self.cache_capacity,
+                self.cache_shards,
+                self.eviction_policy,
+            ),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             selections: AtomicU64::new(0),
@@ -254,6 +270,7 @@ impl Engine {
             accountant: None,
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             cache_shards: DEFAULT_SHARD_COUNT,
+            eviction_policy: EvictionPolicy::default(),
         }
     }
 
@@ -370,9 +387,13 @@ impl Engine {
                 // On error the `?` drops the guard, failing the flight so
                 // waiters retry; the selections counter moves only on
                 // success, keeping failed selections out of the stats.
+                // Selection wall-time is recorded on the entry for the
+                // cost-aware eviction policy.
+                let started = std::time::Instant::now();
                 let strategy = Arc::new(self.selector.select(&ctx)?);
+                let cost_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 self.selections.fetch_add(1, Ordering::Relaxed);
-                let entry = Arc::new(CachedSelection::new(strategy));
+                let entry = Arc::new(CachedSelection::with_cost(strategy, cost_ns));
                 Ok((guard.publish(entry), false))
             }
         }
@@ -831,6 +852,34 @@ mod tests {
         let engine = Engine::new(PrivacyParams::paper_default());
         let mut rng = StdRng::seed_from_u64(5);
         assert!(engine.answer(&w, &[1.0; 8], &mut rng).is_err());
+    }
+
+    #[test]
+    fn cost_aware_engine_protects_expensive_selection_under_churn() {
+        // A single-slot-per-shard engine with cost-aware eviction: the
+        // expensive eigen-design selection of a large workload stays
+        // resident while a churning stream of small (cheap) workloads
+        // passes through, so re-answering the large workload is a cache hit.
+        let engine = Engine::builder()
+            .cache_capacity(3)
+            .cache_shards(1)
+            .eviction_policy(EvictionPolicy::CostAware)
+            .build()
+            .unwrap();
+        let big = AllRangeWorkload::new(Domain::one_dim(96));
+        let (_, _, hit) = engine.select(&big).unwrap();
+        assert!(!hit);
+        for n in 2..10usize {
+            let small = AllRangeWorkload::new(Domain::one_dim(n));
+            engine.select(&small).unwrap();
+        }
+        let (_, _, hit) = engine.select(&big).unwrap();
+        assert!(hit, "expensive selection survived the cheap churn");
+        assert_eq!(
+            engine.stats().selections,
+            1 + 8,
+            "the big workload selected exactly once"
+        );
     }
 
     #[test]

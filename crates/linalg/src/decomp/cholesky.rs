@@ -1,7 +1,26 @@
 //! Cholesky factorization `A = L Lᵀ` of symmetric positive definite matrices.
+//!
+//! [`Cholesky::new`] is a *blocked right-looking* factorization: the matrix
+//! is processed in panels of [`CHOLESKY_BLOCK`] columns — factor the panel's
+//! diagonal block, solve the rows below it against that block
+//! ([`ops::trsm_right_transpose_lower`]), then shrink the trailing block by
+//! the panel's symmetric rank-k product ([`ops::syrk_sub_lower`], the O(n³)
+//! bulk of the work, parallelised over row blocks).  All inner products use
+//! the fixed 8-lane accumulation of the shared `dot` kernel, so results are
+//! deterministic and bit-identical across thread counts (the
+//! [`crate::parallel`] contract) — they differ from the scalar reference
+//! [`Cholesky::new_scalar`] only by floating-point reassociation, which the
+//! test-suite cross-validates the same way `jacobi` cross-validates the
+//! symmetric eigensolver.
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
+use crate::ops;
+
+/// Panel width of the blocked factorization: two panel rows (the operands of
+/// every trailing-update dot product) occupy 2 KiB, so a block of them stays
+/// L1-resident while the trailing rows stream through.
+pub const CHOLESKY_BLOCK: usize = 64;
 
 /// A Cholesky factorization holding the lower-triangular factor `L`.
 #[derive(Debug, Clone)]
@@ -10,7 +29,8 @@ pub struct Cholesky {
 }
 
 impl Cholesky {
-    /// Factors a symmetric positive definite matrix.
+    /// Factors a symmetric positive definite matrix with the blocked
+    /// right-looking algorithm (see the module docs).
     ///
     /// Only the lower triangle of `a` is read. Returns
     /// [`LinalgError::NotPositiveDefinite`] when a pivot is not strictly
@@ -19,11 +39,69 @@ impl Cholesky {
         Self::new_with_shift(a, 0.0)
     }
 
-    /// Factors `A + shift * I`.
+    /// Factors `A + shift * I` with the blocked right-looking algorithm.
     ///
     /// A small positive `shift` regularises nearly-singular gram matrices
     /// (e.g. for rank-deficient workloads); callers decide the amount.
     pub fn new_with_shift(a: &Matrix, shift: f64) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        // Working factor: the lower triangle of `a` (plus the shift), zeros
+        // above.  Panels update it in place.
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            l.row_mut(i)[..=i].copy_from_slice(&a.row(i)[..=i]);
+            l[(i, i)] += shift;
+        }
+        for k0 in (0..n).step_by(CHOLESKY_BLOCK) {
+            let k1 = (k0 + CHOLESKY_BLOCK).min(n);
+            let w = k1 - k0;
+            // Factor the w×w diagonal block in place (left-looking over the
+            // panel columns; contributions of earlier panels were already
+            // subtracted by their trailing updates).
+            factor_diag_block(&mut l, k0, w)?;
+            if k1 == n {
+                break;
+            }
+            // Copy the sub-diagonal panel rows into a compact (n−k1)×w
+            // buffer: contiguous rows for the triangular solve and the
+            // rank-k update, and a clean borrow against the trailing block.
+            let d_block =
+                Matrix::from_fn(w, w, |i, j| if j <= i { l[(k0 + i, k0 + j)] } else { 0.0 });
+            let mut panel = Matrix::from_fn(n - k1, w, |i, j| l[(k1 + i, k0 + j)]);
+            // L₂₁ = A₂₁ L₁₁⁻ᵀ, one independent forward substitution per row.
+            ops::trsm_right_transpose_lower(&mut panel, &d_block)
+                .expect("diagonal block pivots are strictly positive");
+            for i in 0..(n - k1) {
+                l.row_mut(k1 + i)[k0..k1].copy_from_slice(panel.row(i));
+            }
+            // Trailing update: A₂₂ ← A₂₂ − L₂₁ L₂₁ᵀ (lower triangle only).
+            ops::syrk_sub_lower(&mut l, &panel, k1).expect("panel shape matches trailing block");
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Factors a symmetric positive definite matrix with the textbook
+    /// unblocked scalar loop.
+    ///
+    /// This is the **reference kernel** the blocked [`Cholesky::new`] is
+    /// cross-validated against (tests) and benchmarked against
+    /// (`selection_latency`); production callers should use [`Cholesky::new`].
+    pub fn new_scalar(a: &Matrix) -> Result<Self> {
+        Self::new_scalar_with_shift(a, 0.0)
+    }
+
+    /// Scalar-reference variant of [`Cholesky::new_with_shift`]; see
+    /// [`Cholesky::new_scalar`].
+    pub fn new_scalar_with_shift(a: &Matrix, shift: f64) -> Result<Self> {
         if !a.is_square() {
             return Err(LinalgError::NotSquare {
                 rows: a.rows(),
@@ -241,8 +319,14 @@ impl Cholesky {
     /// forming the inverse explicitly.
     ///
     /// This is the Prop. 4 error expression `trace(WᵀW (AᵀA)⁻¹)` with
-    /// `G = WᵀW`, evaluated as the sum of entries of `G ∘ A⁻¹` column by
-    /// column via triangular solves.
+    /// `G = WᵀW`.  With `A = L Lᵀ` the cyclic property gives
+    /// `trace(G L⁻ᵀ L⁻¹) = trace(L⁻¹ G L⁻ᵀ) = trace(L⁻¹ (L⁻¹ G)ᵀ)`, so the
+    /// whole trace is two blocked multi-RHS forward sweeps
+    /// ([`Cholesky::solve_lower_multi`]) and a diagonal sum — the n
+    /// column-by-column scalar solves this replaces were the last unblocked
+    /// O(n³) step on the engine's selection-miss path.  (The sweeps evaluate
+    /// `trace(Gᵀ A⁻¹)`, which equals `trace(G A⁻¹)` for *any* square `G` —
+    /// symmetric or not — because `A⁻¹` is symmetric.)
     pub fn trace_of_gram_times_inverse(&self, g: &Matrix) -> Result<f64> {
         let n = self.dim();
         if g.shape() != (n, n) {
@@ -252,20 +336,39 @@ impl Cholesky {
                 right: g.shape(),
             });
         }
-        let mut total = 0.0;
-        let mut e = vec![0.0; n];
-        for j in 0..n {
-            e.iter_mut().for_each(|v| *v = 0.0);
-            e[j] = 1.0;
-            let col = self.solve_vec(&e)?; // column j of A^{-1}
-            let mut acc = 0.0;
-            for (i, &v) in col.iter().enumerate() {
-                acc += g[(j, i)] * v;
-            }
-            total += acc;
-        }
-        Ok(total)
+        let y = self.solve_lower_multi(g)?;
+        let z = self.solve_lower_multi(&y.transpose())?;
+        Ok(z.diag().iter().sum::<f64>())
     }
+}
+
+/// Factors the `w`×`w` diagonal block anchored at `(k0, k0)` of `l` in place
+/// (plain left-looking loop over the panel columns, `dot`-kernel inner
+/// products).  Reports failed pivots at their global index.
+fn factor_diag_block(l: &mut Matrix, k0: usize, w: usize) -> Result<()> {
+    let n = l.cols();
+    // The block lives in rows k0..k0+w; work on that contiguous slab.
+    let data = &mut l.as_mut_slice()[k0 * n..(k0 + w) * n];
+    for j in 0..w {
+        let row_j = &data[j * n + k0..j * n + k0 + j];
+        let d = data[j * n + k0 + j] - ops::dot(row_j, row_j);
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite {
+                pivot: k0 + j,
+                value: d,
+            });
+        }
+        let dj = d.sqrt();
+        data[j * n + k0 + j] = dj;
+        for i in (j + 1)..w {
+            let (head, tail) = data.split_at_mut(i * n);
+            let row_j = &head[j * n + k0..j * n + k0 + j];
+            let row_i = &mut tail[k0..k0 + j + 1];
+            let s = ops::dot(&row_i[..j], row_j);
+            row_i[j] = (row_i[j] - s) / dj;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -456,6 +559,55 @@ mod tests {
         assert_eq!(empty.shape(), (6, 0));
         assert!(ch.solve_lower_multi(&Matrix::zeros(5, 2)).is_err());
         assert!(ch.solve_upper_multi(&Matrix::zeros(5, 2)).is_err());
+    }
+
+    #[test]
+    fn blocked_factor_cross_validates_against_scalar_reference() {
+        // The blocked right-looking factorization must agree with the
+        // textbook scalar loop everywhere, including sizes that are not a
+        // multiple of the panel width and sizes spanning several panels.
+        for &n in &[1usize, 5, 63, 64, 65, 130, 200] {
+            let a = spd_matrix(n);
+            let blocked = Cholesky::new(&a).unwrap();
+            let scalar = Cholesky::new_scalar(&a).unwrap();
+            for i in 0..n {
+                for j in 0..=i {
+                    assert!(
+                        approx_eq(blocked.l()[(i, j)], scalar.l()[(i, j)], 1e-9),
+                        "n={n} ({i},{j}): {} vs {}",
+                        blocked.l()[(i, j)],
+                        scalar.l()[(i, j)]
+                    );
+                }
+                for j in (i + 1)..n {
+                    assert_eq!(blocked.l()[(i, j)], 0.0, "upper triangle stays zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_factor_reports_the_same_failing_pivot() {
+        // An indefinite matrix whose leading principal minors stay positive
+        // until deep into the second panel: the blocked path must report the
+        // same pivot index as the scalar reference.
+        let n = 100;
+        let mut a = spd_matrix(n);
+        a[(80, 80)] = -1e6;
+        let blocked = Cholesky::new(&a);
+        let scalar = Cholesky::new_scalar(&a);
+        let Err(LinalgError::NotPositiveDefinite { pivot: pb, .. }) = blocked else {
+            panic!("blocked factorization must fail");
+        };
+        let Err(LinalgError::NotPositiveDefinite { pivot: ps, .. }) = scalar else {
+            panic!("scalar factorization must fail");
+        };
+        assert_eq!(pb, ps);
+        assert_eq!(pb, 80);
+        // The shifted variants agree as well.
+        assert!(Cholesky::new_scalar_with_shift(&spd_matrix(8), 0.5).is_ok());
+        assert!(Cholesky::new_scalar(&Matrix::zeros(2, 3)).is_err());
+        assert!(Cholesky::new_scalar(&Matrix::zeros(0, 0)).is_err());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod decomp;
 pub mod error;
 pub mod matrix;
 pub mod ops;
+pub mod parallel;
 pub mod solve;
 pub mod vector;
 

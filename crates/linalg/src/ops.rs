@@ -17,6 +17,7 @@
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
+use crate::parallel;
 
 /// Row count above which products are parallelised across threads.
 const PARALLEL_THRESHOLD: usize = 96;
@@ -31,11 +32,32 @@ const BLOCK_ROWS: usize = 128;
 /// fit mid-level cache for the row-count/width shapes this workspace serves.
 const BLOCK_DEPTH: usize = 128;
 
-fn thread_count(rows: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    hw.min(rows).max(1)
+/// Dot product with a fixed 8-lane accumulation scheme.
+///
+/// Eight independent accumulators let the compiler keep several
+/// multiply-adds in flight (a plain sequential fold is latency-bound on the
+/// add chain); the lanes and the remainder are combined in a fixed order, so
+/// the result depends only on the inputs — never on blocking, threading or
+/// call context.  This is the inner kernel of the blocked Cholesky, the
+/// restructured eigensolver and the weighting solver's constraint products.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut lanes = [0.0f64; 8];
+    let mut chunks_a = a.chunks_exact(8);
+    let mut chunks_b = b.chunks_exact(8);
+    for (ca, cb) in (&mut chunks_a).zip(&mut chunks_b) {
+        for l in 0..8 {
+            lanes[l] += ca[l] * cb[l];
+        }
+    }
+    // Fixed pairwise lane reduction, then the remainder in order.
+    let mut acc = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+        + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+    for (&x, &y) in chunks_a.remainder().iter().zip(chunks_b.remainder()) {
+        acc += x * y;
+    }
+    acc
 }
 
 /// Computes the matrix product `A * B` with the blocked kernel.
@@ -110,7 +132,7 @@ fn matmul_serial_range(a: &Matrix, b: &Matrix, out: &mut [f64], row_start: usize
 fn matmul_parallel(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let m = a.rows();
     let n = b.cols();
-    let threads = thread_count(m);
+    let threads = parallel::threads_for(m);
     let chunk = m.div_ceil(threads);
     let out_data = out.as_mut_slice();
     std::thread::scope(|scope| {
@@ -150,7 +172,7 @@ pub fn matmul_transpose_left(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     }
     let work = m.saturating_mul(n).saturating_mul(k);
     if m >= PARALLEL_THRESHOLD && work > 1_000_000 {
-        let threads = thread_count(m);
+        let threads = parallel::threads_for(m);
         let chunk = m.div_ceil(threads);
         let out_data = out.as_mut_slice();
         std::thread::scope(|scope| {
@@ -387,6 +409,95 @@ pub fn scale_cols(a: &Matrix, d: &[f64]) -> Result<Matrix> {
     Ok(out)
 }
 
+/// Minimum number of updated entries before [`syrk_sub_lower`] and
+/// [`trsm_right_transpose_lower`] spawn worker threads.
+const SYRK_PARALLEL_WORK: usize = 32_768;
+
+/// Symmetric rank-k update: subtracts `A Aᵀ` from the **lower triangle**
+/// (diagonal included) of the square block of `c` anchored at
+/// `(offset, offset)`, where row `i` of `a` corresponds to row `offset + i`
+/// of `c`.  Entries outside that lower triangle are untouched.
+///
+/// This is the trailing update of the blocked right-looking Cholesky
+/// ([`crate::decomp::Cholesky::new`]): after a panel of columns is factored,
+/// the remaining block shrinks by `P Pᵀ` of the panel rows.  Each output
+/// entry is one [`dot`] over the corresponding rows of `a` — self-contained
+/// and order-fixed — so the update is parallelised over row blocks with
+/// bit-identical results for every thread count (see [`crate::parallel`]).
+pub fn syrk_sub_lower(c: &mut Matrix, a: &Matrix, offset: usize) -> Result<()> {
+    let k = a.rows();
+    if offset + k > c.rows() || c.rows() != c.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "syrk_sub_lower",
+            left: c.shape(),
+            right: (offset + k, offset + k),
+        });
+    }
+    if k == 0 || a.cols() == 0 {
+        return Ok(());
+    }
+    let n = c.cols();
+    let work = k * (k + 1) / 2 * a.cols();
+    let threads = if work >= SYRK_PARALLEL_WORK {
+        parallel::threads_for(k)
+    } else {
+        1
+    };
+    // Skip the first `offset` rows of `c`; the updated block starts there.
+    let c_data = &mut c.as_mut_slice()[offset * n..(offset + k) * n];
+    parallel::for_rows(c_data, n, k, threads, &|i, c_row: &mut [f64]| {
+        let a_i = a.row(i);
+        for (j, c_ij) in c_row[offset..=offset + i].iter_mut().enumerate() {
+            *c_ij -= dot(a_i, a.row(j));
+        }
+    });
+    Ok(())
+}
+
+/// Triangular solve `X Lᵀ = B` in place (`b` becomes `X`) for a
+/// lower-triangular `L`, i.e. `X = B L⁻ᵀ`.
+///
+/// Only the lower triangle of `l` is read.  Each row of `b` is an
+/// independent forward substitution (`x_j = (b_j − Σ_{t<j} x_t L_{jt}) /
+/// L_{jj}`, `j` ascending), so the solve is parallelised over row blocks
+/// with bit-identical results for every thread count.  In the blocked
+/// Cholesky this computes the panel's sub-diagonal block `L₂₁ = A₂₁ L₁₁⁻ᵀ`.
+///
+/// Returns [`LinalgError::Singular`] when a diagonal entry of `l` is zero.
+pub fn trsm_right_transpose_lower(b: &mut Matrix, l: &Matrix) -> Result<()> {
+    let k = l.rows();
+    if !l.is_square() || b.cols() != k {
+        return Err(LinalgError::ShapeMismatch {
+            op: "trsm_right_transpose_lower",
+            left: b.shape(),
+            right: l.shape(),
+        });
+    }
+    for (j, &d) in l.diag().iter().enumerate() {
+        if d == 0.0 {
+            return Err(LinalgError::Singular { pivot: j });
+        }
+    }
+    let m = b.rows();
+    if m == 0 || k == 0 {
+        return Ok(());
+    }
+    let work = m * k * (k + 1) / 2;
+    let threads = if work >= SYRK_PARALLEL_WORK {
+        parallel::threads_for(m)
+    } else {
+        1
+    };
+    parallel::for_rows(b.as_mut_slice(), k, m, threads, &|_, x: &mut [f64]| {
+        for j in 0..k {
+            let l_j = l.row(j);
+            let s = dot(&x[..j], &l_j[..j]);
+            x[j] = (x[j] - s) / l_j[j];
+        }
+    });
+    Ok(())
+}
+
 /// Computes the congruence `Qᵀ * D * Q` where `D = diag(d)` — the form of
 /// `AᵀA` for a strategy built from weighted design queries `A = diag(λ) Q`
 /// with `d = λ²`.
@@ -575,6 +686,98 @@ mod tests {
         assert_eq!(c[(1, 2)], 3.0);
         assert!(scale_rows(&[1.0], &a).is_err());
         assert!(scale_cols(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn dot_matches_sequential_for_all_lengths() {
+        // The 8-lane kernel must agree with a plain fold across every
+        // remainder length (0..=17 covers full chunks, empty, and partials).
+        for len in 0..=17usize {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64) * 0.7 - 3.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+            let reference: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+            assert!(
+                approx_eq(dot(&a, &b), reference, 1e-12),
+                "len {len}: {} vs {reference}",
+                dot(&a, &b)
+            );
+        }
+    }
+
+    #[test]
+    fn syrk_sub_lower_matches_explicit_product() {
+        // C -= A·Aᵀ on the lower triangle, anchored at an offset; entries
+        // outside the block's lower triangle are untouched.
+        for &(rows, depth, offset) in &[
+            (3usize, 2usize, 0usize),
+            (5, 4, 2),
+            (40, 17, 3),
+            (130, 64, 6),
+        ] {
+            let n = rows + offset;
+            let a = Matrix::from_fn(rows, depth, |i, j| ((i * 5 + j * 11) % 13) as f64 - 6.0);
+            let mut c = Matrix::from_fn(n, n, |i, j| ((i * 3 + j * 7) % 17) as f64);
+            let before = c.clone();
+            syrk_sub_lower(&mut c, &a, offset).unwrap();
+            let aat = matmul_a_bt(&a, &a).unwrap();
+            for i in 0..n {
+                for j in 0..n {
+                    let expected = if i >= offset && j >= offset && j <= i {
+                        before[(i, j)] - aat[(i - offset, j - offset)]
+                    } else {
+                        before[(i, j)]
+                    };
+                    assert!(
+                        approx_eq(c[(i, j)], expected, 1e-9),
+                        "rows={rows} offset={offset} ({i},{j})"
+                    );
+                }
+            }
+        }
+        // Shape errors and the empty update.
+        let mut c = Matrix::zeros(4, 4);
+        assert!(syrk_sub_lower(&mut c, &Matrix::zeros(3, 2), 2).is_err());
+        assert!(syrk_sub_lower(&mut c, &Matrix::zeros(0, 2), 4).is_ok());
+        let mut rect = Matrix::zeros(4, 5);
+        assert!(syrk_sub_lower(&mut rect, &Matrix::zeros(2, 2), 0).is_err());
+    }
+
+    #[test]
+    fn trsm_right_solves_against_transposed_lower_factor() {
+        // X Lᵀ = B  ⇒  X·Lᵀ reconstructs B.
+        for &(m, k) in &[(1usize, 1usize), (4, 3), (33, 8), (150, 64)] {
+            let l = Matrix::from_fn(k, k, |i, j| {
+                if j < i {
+                    ((i * 7 + j * 5) % 9) as f64 / 4.0 - 1.0
+                } else if j == i {
+                    2.0 + (i % 3) as f64
+                } else {
+                    0.0
+                }
+            });
+            let b = Matrix::from_fn(m, k, |i, j| ((i * 13 + j * 3) % 11) as f64 - 5.0);
+            let mut x = b.clone();
+            trsm_right_transpose_lower(&mut x, &l).unwrap();
+            let rec = matmul_a_bt(&x, &l).unwrap();
+            for i in 0..m {
+                for j in 0..k {
+                    assert!(
+                        approx_eq(rec[(i, j)], b[(i, j)], 1e-9),
+                        "m={m} k={k} ({i},{j}): {} vs {}",
+                        rec[(i, j)],
+                        b[(i, j)]
+                    );
+                }
+            }
+        }
+        // Singular diagonal and shape mismatches are rejected.
+        let mut b = Matrix::zeros(2, 2);
+        assert!(matches!(
+            trsm_right_transpose_lower(&mut b, &Matrix::zeros(2, 2)),
+            Err(LinalgError::Singular { pivot: 0 })
+        ));
+        assert!(trsm_right_transpose_lower(&mut b, &Matrix::identity(3)).is_err());
+        assert!(trsm_right_transpose_lower(&mut b, &Matrix::zeros(2, 3)).is_err());
     }
 
     #[test]

@@ -57,23 +57,40 @@ impl GdOptions {
 }
 
 /// Internal state for evaluating the smoothed objective and its gradient.
+///
+/// The constraint columns of the active (positive-cost) variables are
+/// compacted into a dedicated matrix up front, so the O(#constraints ×
+/// #variables) inner loops of [`Smoothed::eval`] — the bulk of every solver
+/// iteration — run over contiguous slices (vectorisable dot/axpy) instead of
+/// gathering through an index list.  The iteration order is unchanged.
 struct Smoothed<'a> {
     problem: &'a WeightingProblem,
     /// Indices of variables with strictly positive cost (the active variables).
     active: Vec<usize>,
+    /// Constraint matrix restricted to the active columns (one row per
+    /// constraint, one column per active variable).
+    b_active: mm_linalg::Matrix,
     p: f64,
 }
 
 impl<'a> Smoothed<'a> {
     fn new(problem: &'a WeightingProblem, p: f64) -> Self {
-        let active = problem
+        let active: Vec<usize> = problem
             .costs()
             .iter()
             .enumerate()
             .filter(|(_, &c)| c > 0.0)
             .map(|(i, _)| i)
             .collect();
-        Smoothed { problem, active, p }
+        let b = problem.constraints();
+        let b_active =
+            mm_linalg::Matrix::from_fn(b.rows(), active.len(), |j, idx| b[(j, active[idx])]);
+        Smoothed {
+            problem,
+            active,
+            b_active,
+            p,
+        }
     }
 
     /// Number of active variables.
@@ -85,7 +102,6 @@ impl<'a> Smoothed<'a> {
     /// active variables).  Returns `(value, gradient)`.
     fn eval(&self, t: &[f64]) -> (f64, Vec<f64>) {
         let costs = self.problem.costs();
-        let b = self.problem.constraints();
         let k = self.len();
         debug_assert_eq!(t.len(), k);
 
@@ -108,15 +124,11 @@ impl<'a> Smoothed<'a> {
 
         // --- Term 2: (1/p) log Σ_j s_j^p with s_j = Σ_i B_{ji} u_i. ---
         let u: Vec<f64> = t.iter().map(|&ti| ti.exp()).collect();
-        let n_constraints = b.rows();
+        let n_constraints = self.b_active.rows();
         let mut log_s = vec![f64::NEG_INFINITY; n_constraints];
         let mut s = vec![0.0; n_constraints];
         for j in 0..n_constraints {
-            let row = b.row(j);
-            let mut acc = 0.0;
-            for (idx, &i) in self.active.iter().enumerate() {
-                acc += row[i] * u[idx];
-            }
+            let acc = mm_linalg::ops::dot(self.b_active.row(j), &u);
             s[j] = acc;
             log_s[j] = if acc > 0.0 {
                 acc.ln()
@@ -141,17 +153,23 @@ impl<'a> Smoothed<'a> {
             }
         }
         let term2 = max_ls + denom.ln() / self.p;
-        // Gradient of term2 wrt t_idx: u_idx * Σ_j w_j B_{j,i} / s_j  (normalised weights).
+        // Gradient of term2 wrt t_idx: u_idx * Σ_j w_j B_{j,i} / s_j
+        // (normalised weights), accumulated as one axpy per constraint row;
+        // the u_idx factor is applied once at the end.
+        let mut bsum = vec![0.0; k];
         for j in 0..n_constraints {
             let wj = weights[j] / denom;
             if wj == 0.0 || s[j] == 0.0 {
                 continue;
             }
-            let row = b.row(j);
+            let row = self.b_active.row(j);
             let coeff = wj / s[j];
-            for (idx, &i) in self.active.iter().enumerate() {
-                grad[idx] += coeff * row[i] * u[idx];
+            for (acc, &bv) in bsum.iter_mut().zip(row.iter()) {
+                *acc += coeff * bv;
             }
+        }
+        for ((g, &bs), &uv) in grad.iter_mut().zip(bsum.iter()).zip(u.iter()) {
+            *g += bs * uv;
         }
 
         (term1 + term2, grad)

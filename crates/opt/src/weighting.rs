@@ -67,14 +67,20 @@ impl WeightingProblem {
         }
         // Every variable with a positive cost must appear in at least one
         // constraint, otherwise the optimum is unbounded (u_i -> infinity).
-        for (i, &c) in costs.iter().enumerate() {
-            if c > 0.0 {
-                let col_sum: f64 = (0..constraints.rows()).map(|r| constraints[(r, i)]).sum();
-                if col_sum <= 0.0 {
-                    return Err(OptError::InvalidProblem(format!(
-                        "variable {i} has positive cost but never appears in a constraint"
-                    )));
-                }
+        // One row-major pass accumulates all column sums (the per-variable
+        // column walk this replaces was a stride-n gather — the single most
+        // expensive step of problem construction at serving sizes).
+        let mut col_sums = vec![0.0f64; costs.len()];
+        for r in 0..constraints.rows() {
+            for (acc, &b) in col_sums.iter_mut().zip(constraints.row(r)) {
+                *acc += b;
+            }
+        }
+        for (i, (&c, &col_sum)) in costs.iter().zip(col_sums.iter()).enumerate() {
+            if c > 0.0 && col_sum <= 0.0 {
+                return Err(OptError::InvalidProblem(format!(
+                    "variable {i} has positive cost but never appears in a constraint"
+                )));
             }
         }
         Ok(WeightingProblem { costs, constraints })

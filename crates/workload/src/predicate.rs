@@ -6,9 +6,10 @@
 //! paper evaluates on **uniformly sampled** predicate queries (Table 2), where
 //! each cell is included in a query independently with probability 1/2.
 
+use crate::explicit::dense_gram_worthwhile;
 use crate::query::LinearQuery;
 use crate::Workload;
-use mm_linalg::Matrix;
+use mm_linalg::{ops, Matrix};
 use rand::Rng;
 
 /// A workload of uniformly sampled 0/1 predicate queries.
@@ -80,8 +81,18 @@ impl Workload for RandomPredicateWorkload {
     }
 
     fn gram(&self) -> Matrix {
+        // Uniformly sampled predicates include each cell with probability
+        // 1/2, so these workloads are essentially always dense: route large
+        // grams through the blocked `WᵀW` kernel (the sparse accumulation
+        // below is O(nnz²/m) — quadratic in the predicate width).
+        let queries = self.weighted_queries();
+        if dense_gram_worthwhile(&queries, self.dim) {
+            let dense = crate::query::queries_to_matrix(&queries);
+            return ops::matmul_transpose_left(&dense, &dense)
+                .expect("a matrix always matches its own row count");
+        }
         let mut g = Matrix::zeros(self.dim, self.dim);
-        for q in self.weighted_queries() {
+        for q in &queries {
             for &(i, vi) in q.entries() {
                 let row = g.row_mut(i);
                 for &(j, vj) in q.entries() {
@@ -151,6 +162,22 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let w = RandomPredicateWorkload::sample(12, 30, &mut rng);
         assert!(gram_consistent(&w, 1e-9));
+        let wn = w.into_normalized();
+        assert!(gram_consistent(&wn, 1e-9));
+    }
+
+    #[test]
+    fn gram_consistent_on_the_dense_kernel_path() {
+        // 160 predicates on 160 cells crosses the dense-gram thresholds
+        // (density ≈ 1/2), so this exercises the blocked `WᵀW` route; the
+        // normalised variant rides it too.
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = RandomPredicateWorkload::sample(160, 160, &mut rng);
+        assert!(gram_consistent(&w, 1e-9));
+        assert!(
+            w.gram().is_symmetric(0.0),
+            "blocked gram stays exactly symmetric"
+        );
         let wn = w.into_normalized();
         assert!(gram_consistent(&wn, 1e-9));
     }

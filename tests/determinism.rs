@@ -1,0 +1,122 @@
+//! The determinism contract of the parallel kernels (`mm_linalg::parallel`):
+//! for a fixed input, the blocked/threaded Cholesky, symmetric eigensolver,
+//! SYRK/TRSM kernels and the end-to-end `Engine::answer` pipeline must
+//! produce **bit-identical** results for every thread count.  Work is
+//! partitioned over fixed block boundaries with per-block sequential
+//! accumulation, so `MM_LINALG_THREADS=1` and `=4` may differ only in
+//! wall-clock time.
+//!
+//! The whole check lives in a single `#[test]` because the thread-count
+//! override is process-global: integration-test binaries run their `#[test]`
+//! fns on parallel threads, and nothing else in this binary may race it.
+
+use adaptive_dp::core::{Engine, PrivacyParams};
+use adaptive_dp::linalg::decomp::{Cholesky, SymmetricEigen};
+use adaptive_dp::linalg::{ops, parallel, Matrix};
+use adaptive_dp::workload::range::AllRangeWorkload;
+use adaptive_dp::workload::{Domain, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything one pass over the kernels produces, as raw bit patterns.
+#[derive(Debug, PartialEq, Eq)]
+struct KernelBits {
+    cholesky_factor: Vec<u64>,
+    trace_term: u64,
+    eigenvalues: Vec<u64>,
+    eigenvectors: Vec<u64>,
+    syrk: Vec<u64>,
+    trsm: Vec<u64>,
+    matmul: Vec<u64>,
+    engine_answers: Vec<u64>,
+    engine_estimate: Vec<u64>,
+}
+
+fn bits_of(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Sizes are chosen so every parallel path actually engages when more than
+/// one thread is allowed: the matmul threshold (rows ≥ 96, work > 10⁶), the
+/// SYRK/TRSM work floor (32 768) and the eigensolver floor (16 384).
+fn run_kernels() -> KernelBits {
+    // Blocked Cholesky + the multi-RHS trace term on a dense SPD gram.
+    let n = 192;
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 7 + j * 11) % 19) as f64 / 19.0 - 0.5);
+    let mut g = ops::gram(&b);
+    for i in 0..n {
+        g[(i, i)] += n as f64 / 8.0;
+    }
+    let factor = Cholesky::new(&g).expect("gram is SPD");
+    let trace = factor
+        .trace_of_gram_times_inverse(&g)
+        .expect("dimensions match");
+
+    // Symmetric eigendecomposition of a structured (degenerate-spectrum)
+    // workload gram — the hard case for the QL sweeps.  n = 192 clears the
+    // eigensolver's 16 384-entry parallel floor for *every* phase including
+    // the tred2 rank-2 update (which needs (l+1)²/2 ≥ 16 384, i.e. n ≥ 182).
+    let eig_gram = AllRangeWorkload::new(Domain::one_dim(192)).gram();
+    let eig = SymmetricEigen::new(&eig_gram).expect("gram is symmetric");
+
+    // Raw SYRK / TRSM / matmul kernels.
+    let a = Matrix::from_fn(200, 64, |i, j| ((i * 5 + j * 13) % 23) as f64 - 11.0);
+    let mut c = Matrix::from_fn(220, 220, |i, j| ((i * 3 + j * 7) % 31) as f64);
+    ops::syrk_sub_lower(&mut c, &a, 20).expect("shapes match");
+    let l = Matrix::from_fn(64, 64, |i, j| {
+        if j < i {
+            ((i * 7 + j * 5) % 9) as f64 / 4.0 - 1.0
+        } else if j == i {
+            2.0 + (i % 3) as f64
+        } else {
+            0.0
+        }
+    });
+    let mut x = Matrix::from_fn(300, 64, |i, j| ((i * 13 + j * 3) % 11) as f64 - 5.0);
+    ops::trsm_right_transpose_lower(&mut x, &l).expect("solvable");
+    let m1 = Matrix::from_fn(128, 128, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+    let m2 = Matrix::from_fn(128, 128, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+    let prod = ops::matmul(&m1, &m2).expect("shapes match");
+
+    // End to end: a cold engine answer (selection, factor, trace term,
+    // mechanism run) with a fixed rng.
+    let workload = AllRangeWorkload::new(Domain::one_dim(128));
+    let data: Vec<f64> = (0..128).map(|i| 100.0 + (i % 17) as f64).collect();
+    let engine = Engine::new(PrivacyParams::paper_default());
+    let mut rng = StdRng::seed_from_u64(42);
+    let answer = engine
+        .answer(&workload, &data, &mut rng)
+        .expect("engine answers");
+
+    KernelBits {
+        cholesky_factor: bits_of(factor.l().as_slice()),
+        trace_term: trace.to_bits(),
+        eigenvalues: bits_of(eig.eigenvalues()),
+        eigenvectors: bits_of(eig.eigenvectors().as_slice()),
+        syrk: bits_of(c.as_slice()),
+        trsm: bits_of(x.as_slice()),
+        matmul: bits_of(prod.as_slice()),
+        engine_answers: bits_of(&answer.answers),
+        engine_estimate: bits_of(&answer.estimate),
+    }
+}
+
+#[test]
+fn kernels_and_engine_are_bit_identical_across_thread_counts() {
+    let single = {
+        parallel::set_max_threads(Some(1));
+        run_kernels()
+    };
+    for threads in [2usize, 4] {
+        parallel::set_max_threads(Some(threads));
+        let multi = run_kernels();
+        assert!(
+            single == multi,
+            "results differ between 1 and {threads} worker threads"
+        );
+    }
+    parallel::set_max_threads(None);
+    // The machine default (whatever it is) agrees with the forced counts.
+    let default = run_kernels();
+    assert!(single == default, "default thread count changes results");
+}
