@@ -18,10 +18,12 @@
 //!   kernels against the same pipeline rebuilt on the scalar kernels,
 //!   including the seed-era column-by-column trace evaluation.  This is the
 //!   headline number: ≥ 4x at n = 1024;
-//! * `selection_eigen_design_hit` / `selection_design_set_hit` — a warm
-//!   `Engine::select` against the cold miss for the eigen-design and
-//!   weighted design-set (Fourier) selectors: the cache win on the same
-//!   engine the serving path uses.
+//! * `selection_eigen_design_hit` / `selection_design_set_hit` /
+//!   `selection_wavelet_hit` / `selection_workload_rows_hit` — a warm
+//!   `Engine::select` against the cold miss for the eigen-design, weighted
+//!   design-set (Fourier), Haar-wavelet and workload-rows selectors: the
+//!   cache win on the same engine the serving path uses (workload-rows runs
+//!   on the n-row prefix workload; the others on all-range).
 //!
 //! Environment knobs (all optional):
 //!
@@ -41,6 +43,7 @@ use mm_core::{eigen_design, EigenDesignOptions, PrivacyParams};
 use mm_linalg::decomp::{Cholesky, SymmetricEigen};
 use mm_linalg::{ops, parallel, Matrix};
 use mm_strategies::Strategy;
+use mm_workload::prefix::PrefixWorkload;
 use mm_workload::range::AllRangeWorkload;
 use mm_workload::{Domain, Workload};
 
@@ -220,6 +223,14 @@ fn bench_miss_vs_hit(c: &mut Criterion, report: &mut SelectionBenchReport, cfg: 
                 .build()
                 .expect("fourier engine builds"),
         ),
+        (
+            "selection_wavelet_hit",
+            Engine::builder()
+                .privacy(PrivacyParams::paper_default())
+                .selector(DesignSetSelector::wavelet())
+                .build()
+                .expect("wavelet engine builds"),
+        ),
     ];
     for (scenario, engine) in engines {
         let label = engine.selector().name();
@@ -240,6 +251,32 @@ fn bench_miss_vs_hit(c: &mut Criterion, report: &mut SelectionBenchReport, cfg: 
             miss.min_ns(),
         ));
     }
+    // The workload-rows design set needs the explicit query matrix, so it
+    // runs on the n-row prefix workload instead of the O(n²)-row all-range
+    // one (whose materialised matrix would dwarf the selection itself).
+    let prefixes = PrefixWorkload::new(n);
+    let engine = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .selector(DesignSetSelector::workload_rows())
+        .build()
+        .expect("workload-rows engine builds");
+    let label = engine.selector().name();
+    let miss = group.bench_function_stats(format!("{label}/miss"), |b| {
+        b.iter(|| {
+            engine.clear_cache();
+            black_box(engine.select(&prefixes).unwrap())
+        })
+    });
+    engine.select(&prefixes).expect("warm the cache");
+    let hit = group.bench_function_stats(format!("{label}/hit"), |b| {
+        b.iter(|| black_box(engine.select(&prefixes).unwrap()))
+    });
+    report.push(SelectionBenchRecord::new(
+        "selection_workload_rows_hit",
+        n,
+        hit.min_ns(),
+        miss.min_ns(),
+    ));
     group.finish();
 }
 

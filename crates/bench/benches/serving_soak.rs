@@ -1,0 +1,326 @@
+//! The serving-tier soak bench behind `BENCH_serving.json` — the
+//! perf-trajectory record for `mm-serve`.
+//!
+//! Two scenario families:
+//!
+//! * `cold_start` / `warm_start` — the persistent-store restart figure.
+//!   Both time a fresh engine process's *first* `select` (build the engine,
+//!   warm from the store directory, answer the first request).  `cold_start`
+//!   runs against an empty store (the selection actually runs, then spills);
+//!   `warm_start` against the store the cold run populated (the selection is
+//!   decoded and `Cholesky::from_factor`-rebuilt, never recomputed).  The
+//!   warm/cold p50 ratio at n = 1024 is the gated number: restarting with a
+//!   store must be ≥ 5x faster than recomputing.
+//!
+//! * `soak_cold` / `soak_warm` — K concurrent async clients driving a
+//!   `ServeEngine` through a Zipfian workload mix (a few hot fingerprints, a
+//!   long-ish tail), every request a hand-rolled future, all clients
+//!   multiplexed on one `join_all`.  `soak_cold` starts with an empty cache
+//!   — misses pile onto in-flight selections; `soak_warm` replays a fresh
+//!   plan against the warmed tier.  Recorded as per-request p50/p99.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `MM_BENCH_QUICK=1` — short CI mode: fewer iterations and requests (the
+//!   restart scenarios still reach n = 1024 — the gate needs them);
+//! * `MM_BENCH_JSON=PATH` — where to write `BENCH_serving.json` (default:
+//!   the workspace root);
+//! * `MM_BENCH_GATE=1` — exit non-zero unless the warm restart beats the
+//!   cold restart by ≥ 5x at n = 1024.
+
+use mm_bench::report::{ServingBenchRecord, ServingBenchReport};
+use mm_core::engine::Engine;
+use mm_core::PrivacyParams;
+use mm_serve::{block_on, join_all, AnswerFuture, ServeEngine};
+use mm_workload::range::AllRangeWorkload;
+use mm_workload::{Domain, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::future::Future;
+use std::path::PathBuf;
+use std::pin::Pin;
+use std::sync::Arc;
+use std::task::{Context, Poll};
+use std::time::Instant;
+
+const SERVE_WORKERS: usize = 2;
+
+struct Config {
+    quick: bool,
+    /// Domain sizes for the restart scenarios (always includes 1024: the
+    /// gate is anchored there).
+    start_ns: Vec<usize>,
+    /// Fresh-process iterations per restart scenario.
+    start_iters: usize,
+    /// Concurrent soak clients.
+    clients: usize,
+    /// Requests per soak client.
+    requests_per_client: usize,
+}
+
+impl Config {
+    fn from_env() -> Self {
+        let quick = std::env::var("MM_BENCH_QUICK")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        Config {
+            quick,
+            start_ns: if quick { vec![1024] } else { vec![512, 1024] },
+            start_iters: if quick { 2 } else { 3 },
+            clients: 8,
+            requests_per_client: if quick { 8 } else { 64 },
+        }
+    }
+}
+
+/// A scratch store directory under the target-adjacent temp dir, removed on
+/// drop so repeated runs start clean.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("mm-serving-soak-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch store dir");
+        ScratchDir(dir)
+    }
+
+    fn clear(&self) {
+        for entry in std::fs::read_dir(&self.0)
+            .expect("read scratch dir")
+            .flatten()
+        {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// One fresh-process first answer: build an engine over the store directory
+/// (warming the cache from whatever the store holds) and run the first
+/// selection.  Returns the elapsed nanoseconds.
+fn first_answer_ns(store: &ScratchDir, workload: &AllRangeWorkload) -> f64 {
+    let started = Instant::now();
+    let engine = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .strategy_store(&store.0)
+        .build()
+        .expect("engine with store builds");
+    engine.select(workload).expect("selection succeeds");
+    started.elapsed().as_nanos() as f64
+}
+
+fn bench_restart(report: &mut ServingBenchReport, cfg: &Config, n: usize) {
+    let workload = AllRangeWorkload::new(Domain::one_dim(n));
+    let store = ScratchDir::new(&format!("restart-{n}"));
+
+    let mut cold = Vec::with_capacity(cfg.start_iters);
+    for _ in 0..cfg.start_iters {
+        store.clear();
+        cold.push(first_answer_ns(&store, &workload));
+    }
+    // The last cold iteration left the store populated: every warm
+    // iteration is a genuine restart against it.
+    let mut warm = Vec::with_capacity(cfg.start_iters * 3);
+    for _ in 0..cfg.start_iters * 3 {
+        warm.push(first_answer_ns(&store, &workload));
+    }
+    report.push(ServingBenchRecord::from_latencies(
+        "cold_start",
+        n,
+        1,
+        &cold,
+    ));
+    report.push(ServingBenchRecord::from_latencies(
+        "warm_start",
+        n,
+        1,
+        &warm,
+    ));
+}
+
+/// A soak client: answers its request plan sequentially, recording the
+/// latency of each served answer.  Plain hand-rolled future — `join_all`
+/// multiplexes all clients on the bench thread.
+struct Client<'a> {
+    serve: &'a ServeEngine,
+    /// Remaining requests, popped from the back.
+    plan: Vec<(Arc<AllRangeWorkload>, Vec<f64>, u64)>,
+    current: Option<(AnswerFuture<AllRangeWorkload>, Instant)>,
+    latencies: Vec<f64>,
+}
+
+impl Future for Client<'_> {
+    type Output = Vec<f64>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<f64>> {
+        let this = self.get_mut();
+        loop {
+            if this.current.is_none() {
+                match this.plan.pop() {
+                    Some((workload, x, seed)) => {
+                        let fut = this.serve.answer(workload, x, seed);
+                        this.current = Some((fut, Instant::now()));
+                    }
+                    None => return Poll::Ready(std::mem::take(&mut this.latencies)),
+                }
+            }
+            let (fut, started) = this.current.as_mut().expect("request in flight");
+            match Pin::new(fut).poll(cx) {
+                Poll::Ready(result) => {
+                    result.expect("served answer succeeds");
+                    this.latencies.push(started.elapsed().as_nanos() as f64);
+                    this.current = None;
+                }
+                Poll::Pending => return Poll::Pending,
+            }
+        }
+    }
+}
+
+/// The Zipfian workload mix: rank r is drawn with weight 1/(r+1), so a few
+/// domains are hot and the rest form the tail of distinct fingerprints.
+fn zipf_plan(
+    workloads: &[Arc<AllRangeWorkload>],
+    requests: usize,
+    rng: &mut StdRng,
+) -> Vec<(Arc<AllRangeWorkload>, Vec<f64>, u64)> {
+    let weights: Vec<f64> = (0..workloads.len()).map(|r| 1.0 / (r + 1) as f64).collect();
+    let total: f64 = weights.iter().sum();
+    (0..requests)
+        .map(|_| {
+            let mut draw = rng.gen::<f64>() * total;
+            let mut rank = 0;
+            for (i, w) in weights.iter().enumerate() {
+                if draw < *w {
+                    rank = i;
+                    break;
+                }
+                draw -= w;
+                rank = i;
+            }
+            let workload = workloads[rank].clone();
+            let n = workload.dim();
+            let x: Vec<f64> = (0..n).map(|i| 100.0 + i as f64).collect();
+            (workload, x, rng.next_u64())
+        })
+        .collect()
+}
+
+fn run_soak(
+    serve: &ServeEngine,
+    workloads: &[Arc<AllRangeWorkload>],
+    cfg: &Config,
+    seed: u64,
+) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clients: Vec<Client<'_>> = (0..cfg.clients)
+        .map(|_| Client {
+            serve,
+            plan: zipf_plan(workloads, cfg.requests_per_client, &mut rng),
+            current: None,
+            latencies: Vec::with_capacity(cfg.requests_per_client),
+        })
+        .collect();
+    block_on(join_all(clients)).into_iter().flatten().collect()
+}
+
+fn bench_soak(report: &mut ServingBenchReport, cfg: &Config) {
+    // Distinct domain sizes => distinct fingerprints; small enough that the
+    // soak measures serving overhead and contention, not eigensolves.
+    let workloads: Vec<Arc<AllRangeWorkload>> = (0..8)
+        .map(|i| Arc::new(AllRangeWorkload::new(Domain::one_dim(48 + 4 * i))))
+        .collect();
+    let n = workloads[0].dim();
+    let engine = Arc::new(
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .build()
+            .expect("soak engine builds"),
+    );
+    let serve = ServeEngine::builder(engine).workers(SERVE_WORKERS).build();
+
+    let cold = run_soak(&serve, &workloads, cfg, 1);
+    report.push(ServingBenchRecord::from_latencies(
+        "soak_cold",
+        n,
+        cfg.clients,
+        &cold,
+    ));
+    let warm = run_soak(&serve, &workloads, cfg, 2);
+    report.push(ServingBenchRecord::from_latencies(
+        "soak_warm",
+        n,
+        cfg.clients,
+        &warm,
+    ));
+    let stats = serve.stats();
+    println!(
+        "soak: {} submitted, {} completed, {} selection jobs ({} distinct workloads)",
+        stats.submitted,
+        stats.completed,
+        stats.selection_jobs,
+        workloads.len()
+    );
+    assert_eq!(
+        stats.selection_jobs,
+        workloads.len() as u64,
+        "every distinct fingerprint selects exactly once across the soak"
+    );
+}
+
+fn default_json_path() -> String {
+    // Anchor on the crate manifest so the artifact lands at the workspace
+    // root regardless of the invoking directory.
+    format!("{}/../../BENCH_serving.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn main() {
+    let cfg = Config::from_env();
+    let mut report = ServingBenchReport::new(cfg.quick, SERVE_WORKERS);
+
+    for &n in &cfg.start_ns {
+        bench_restart(&mut report, &cfg, n);
+    }
+    bench_soak(&mut report, &cfg);
+
+    println!("\n== serving latencies ==");
+    for r in &report.records {
+        println!(
+            "{:<12} n={:<5} clients={:<3} requests={:<5} p50={:>12.0}ns p99={:>12.0}ns",
+            r.scenario, r.n, r.clients, r.requests, r.p50_ns, r.p99_ns
+        );
+    }
+
+    let path = std::env::var("MM_BENCH_JSON").unwrap_or_else(|_| default_json_path());
+    match report.write(&path) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if std::env::var("MM_BENCH_GATE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+    {
+        // The store exists to make restarts cheap: decoding a persisted
+        // selection must be far cheaper than recomputing it.  The margin is
+        // enormous (the cold path is an O(n³) eigensolve), so 5x is a
+        // conservative floor even on a noisy shared runner.
+        match report.gate_warm_restart(1024, 5.0) {
+            Ok(()) => println!("perf gate passed: warm restart >= 5x cold at n >= 1024"),
+            Err(failures) => {
+                eprintln!("perf gate FAILED: {failures}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -482,6 +482,170 @@ impl SelectionBenchReport {
     }
 }
 
+/// One measured serving scenario: latency quantiles over `requests` answered
+/// requests at domain size `n` with `clients` concurrent clients.
+///
+/// Scenario names: `cold_start` / `warm_start` (first answer of a fresh
+/// engine process without / with a populated strategy store — the restart
+/// figure the store exists for) and `soak_cold` / `soak_warm` (the async
+/// client mix against a cold / pre-warmed serving tier).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingBenchRecord {
+    /// Scenario name (`cold_start`, `warm_start`, `soak_cold`, `soak_warm`).
+    pub scenario: String,
+    /// Domain size (cells).
+    pub n: usize,
+    /// Concurrent clients driving the scenario (1 for the start scenarios).
+    pub clients: usize,
+    /// Requests answered over the whole scenario.
+    pub requests: usize,
+    /// Median per-request latency in nanoseconds.
+    pub p50_ns: f64,
+    /// 99th-percentile per-request latency in nanoseconds.
+    pub p99_ns: f64,
+}
+
+impl ServingBenchRecord {
+    /// Builds a record from a sorted-or-not slice of per-request latencies.
+    pub fn from_latencies(
+        scenario: impl Into<String>,
+        n: usize,
+        clients: usize,
+        latencies_ns: &[f64],
+    ) -> Self {
+        let mut sorted: Vec<f64> = latencies_ns.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let q = |p: f64| -> f64 {
+            if sorted.is_empty() {
+                return f64::NAN;
+            }
+            let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+            sorted[idx]
+        };
+        ServingBenchRecord {
+            scenario: scenario.into(),
+            n,
+            clients,
+            requests: sorted.len(),
+            p50_ns: q(0.5),
+            p99_ns: q(0.99),
+        }
+    }
+}
+
+/// Schema identifier written into every `BENCH_serving.json`.
+pub const SERVING_BENCH_FORMAT: &str = "mm-bench/serving-v1";
+
+/// The machine-readable serving-tier report emitted as `BENCH_serving.json`
+/// — the perf-trajectory record for `mm-serve` (async front-end + persistent
+/// strategy store), companion to [`SelectionBenchReport`].
+#[derive(Debug, Clone, Default)]
+pub struct ServingBenchReport {
+    /// Whether the run used the short fixed-iteration CI mode.
+    pub quick: bool,
+    /// Serving workers the tier ran with.
+    pub workers: usize,
+    /// All measured scenarios.
+    pub records: Vec<ServingBenchRecord>,
+}
+
+impl ServingBenchReport {
+    /// An empty report.
+    pub fn new(quick: bool, workers: usize) -> Self {
+        ServingBenchReport {
+            quick,
+            workers,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: ServingBenchRecord) {
+        self.records.push(record);
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled: the offline
+    /// build has no serde).
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"format\": \"{SERVING_BENCH_FORMAT}\",");
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"workers\": {},", self.workers);
+        out.push_str("  \"scenarios\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"scenario\": \"{}\", \"n\": {}, \"clients\": {}, \
+                 \"requests\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{sep}",
+                r.scenario,
+                r.n,
+                r.clients,
+                r.requests,
+                num(r.p50_ns),
+                num(r.p99_ns),
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// The CI regression gate for the persistent store: at every domain size
+    /// `n >= min_n` where both are recorded, `warm_start` p50 must beat
+    /// `cold_start` p50 by at least `min_speedup`.  Errors when no such pair
+    /// exists (an empty gate must not pass).
+    pub fn gate_warm_restart(&self, min_n: usize, min_speedup: f64) -> Result<(), String> {
+        let p50 = |scenario: &str, n: usize| -> Option<f64> {
+            self.records
+                .iter()
+                .find(|r| r.scenario == scenario && r.n == n)
+                .map(|r| r.p50_ns)
+        };
+        let mut matched = 0usize;
+        let mut failures = Vec::new();
+        for r in &self.records {
+            if r.scenario != "cold_start" || r.n < min_n {
+                continue;
+            }
+            let Some(warm) = p50("warm_start", r.n) else {
+                continue;
+            };
+            matched += 1;
+            let speedup = if warm > 0.0 {
+                r.p50_ns / warm
+            } else {
+                f64::INFINITY
+            };
+            if speedup < min_speedup || speedup.is_nan() {
+                failures.push(format!(
+                    "warm restart n={}: speedup {:.2}x < {:.2}x (cold p50 {:.0}ns, warm p50 {:.0}ns)",
+                    r.n, speedup, min_speedup, r.p50_ns, warm
+                ));
+            }
+        }
+        if matched == 0 {
+            return Err(format!("no cold_start/warm_start pair with n >= {min_n}"));
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("; "))
+        }
+    }
+}
+
 /// Formats a float with three significant decimals for table cells.
 pub fn fmt(v: f64) -> String {
     if !v.is_finite() {
@@ -640,6 +804,70 @@ mod tests {
             }],
         };
         assert!(nan.gate("cholesky", 512, 1.0).is_err());
+    }
+
+    #[test]
+    fn serving_report_json_schema() {
+        let mut report = ServingBenchReport::new(true, 2);
+        report.push(ServingBenchRecord::from_latencies(
+            "cold_start",
+            1024,
+            1,
+            &[50_000.0],
+        ));
+        report.push(ServingBenchRecord::from_latencies(
+            "soak_warm",
+            256,
+            8,
+            &[10.0, 20.0, 30.0, 40.0],
+        ));
+        let json = report.to_json();
+        assert!(json.contains("\"format\": \"mm-bench/serving-v1\""));
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"workers\": 2"));
+        assert!(json.contains("\"scenario\": \"cold_start\""));
+        assert!(json.contains("\"clients\": 8"));
+        assert!(json.contains("\"requests\": 4"));
+        assert_eq!(json.matches("\"scenario\"").count(), 2);
+    }
+
+    #[test]
+    fn serving_record_quantiles() {
+        let latencies: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let r = ServingBenchRecord::from_latencies("soak_cold", 64, 4, &latencies);
+        assert_eq!(r.requests, 100);
+        assert_eq!(r.p50_ns, 51.0);
+        assert_eq!(r.p99_ns, 99.0);
+        // Ordering of the input must not matter.
+        let mut shuffled = latencies.clone();
+        shuffled.reverse();
+        let r2 = ServingBenchRecord::from_latencies("soak_cold", 64, 4, &shuffled);
+        assert_eq!(r, r2);
+    }
+
+    #[test]
+    fn serving_warm_restart_gate() {
+        let mut report = ServingBenchReport::new(false, 2);
+        report.push(ServingBenchRecord::from_latencies(
+            "cold_start",
+            1024,
+            1,
+            &[100_000.0],
+        ));
+        // No warm_start pair yet: the gate must fail, not vacuously pass.
+        assert!(report.gate_warm_restart(1024, 5.0).is_err());
+        report.push(ServingBenchRecord::from_latencies(
+            "warm_start",
+            1024,
+            1,
+            &[10_000.0],
+        ));
+        assert!(report.gate_warm_restart(1024, 5.0).is_ok());
+        let err = report.gate_warm_restart(1024, 20.0).unwrap_err();
+        assert!(err.contains("warm restart n=1024"), "{err}");
+        assert!(err.contains("10.00x < 20.00x"), "{err}");
+        // Sub-threshold sizes are exempt.
+        assert!(report.gate_warm_restart(2048, 5.0).is_err());
     }
 
     #[test]

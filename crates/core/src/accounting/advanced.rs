@@ -127,8 +127,8 @@ impl Accountant for AdvancedCompositionAccountant {
         )
     }
 
-    fn events(&self) -> &[MechanismEvent] {
-        &self.events
+    fn events(&self) -> Vec<MechanismEvent> {
+        self.events.clone()
     }
 
     fn check_many(&self, event: &MechanismEvent, count: usize) -> crate::Result<()> {

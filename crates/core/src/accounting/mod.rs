@@ -36,11 +36,13 @@
 mod advanced;
 mod event;
 mod rdp;
+mod registry;
 mod sequential;
 
 pub use advanced::{AdvancedCompositionAccountant, DEFAULT_SLACK_FRACTION};
 pub use event::{MechanismEvent, MechanismKind};
 pub use rdp::{default_rdp_orders, RdpAccountant};
+pub use registry::{UserLedger, UserLedgerRegistry};
 pub use sequential::SequentialAccountant;
 
 use crate::engine::PrivacyBudget;
@@ -95,7 +97,12 @@ pub trait Accountant: std::fmt::Debug + Send + Sync {
 
     /// Every event accepted so far, in order (one entry per charge; a
     /// `charge_many(event, k)` records `k` entries).
-    fn events(&self) -> &[MechanismEvent];
+    ///
+    /// Returns an owned snapshot rather than a borrow so that accountants
+    /// whose state lives behind a lock — e.g. the shared cross-session
+    /// accountant a [`UserLedger`] hands out — can implement it; for the
+    /// in-memory accountants it is a clone of the event list.
+    fn events(&self) -> Vec<MechanismEvent>;
 
     /// Checks that `count` repeated charges of `event` would fit — i.e. that
     /// the *composed* spend after all `count` charges stays within the total

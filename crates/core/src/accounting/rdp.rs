@@ -211,8 +211,8 @@ impl Accountant for RdpAccountant {
         self.composed_spend(&self.current_candidate())
     }
 
-    fn events(&self) -> &[MechanismEvent] {
-        &self.events
+    fn events(&self) -> Vec<MechanismEvent> {
+        self.events.clone()
     }
 
     fn check_many(&self, event: &MechanismEvent, count: usize) -> crate::Result<()> {

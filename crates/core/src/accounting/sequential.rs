@@ -77,8 +77,8 @@ impl Accountant for SequentialAccountant {
         }
     }
 
-    fn events(&self) -> &[MechanismEvent] {
-        &self.events
+    fn events(&self) -> Vec<MechanismEvent> {
+        self.events.clone()
     }
 
     fn check_many(&self, event: &MechanismEvent, count: usize) -> crate::Result<()> {

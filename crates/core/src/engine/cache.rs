@@ -109,6 +109,28 @@ impl CachedSelection {
         }
     }
 
+    /// Rebuilds an entry whose derived quantities were computed in an earlier
+    /// run (e.g. loaded from a persistent strategy store): the Cholesky
+    /// factor and Prop. 4 trace term are pre-seeded rather than recomputed,
+    /// keeping answers bit-identical to the run that produced them.
+    pub fn with_parts(
+        strategy: Arc<Strategy>,
+        selection_cost_ns: u64,
+        factor: Arc<Cholesky>,
+        trace: f64,
+    ) -> Self {
+        let entry = CachedSelection::with_cost(strategy, selection_cost_ns);
+        entry
+            .factor
+            .set(factor)
+            .expect("fresh entry has no factor yet");
+        entry
+            .trace
+            .set(trace)
+            .expect("fresh entry has no trace yet");
+        entry
+    }
+
     /// The measured selection wall-time in nanoseconds (0 when unknown).
     pub fn selection_cost_ns(&self) -> u64 {
         self.selection_cost_ns
@@ -146,9 +168,36 @@ impl CachedSelection {
     }
 }
 
+/// Why a single-flight selection leader failed to publish an entry.
+///
+/// Waiters that observed a poisoned flight race to become the next leader;
+/// the winning retry's [`Lookup::Miss`] guard carries the poison (see
+/// [`SelectionGuard::recovered_poison`]) so callers can report *why* the
+/// previous attempt died instead of retrying blind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightPoison {
+    /// The leader's selector returned an error (the message is the error's
+    /// display form; the typed error was returned to the leader itself).
+    Error(String),
+    /// The leader was torn down without reporting an error — it panicked, or
+    /// its guard was dropped without publishing.
+    Abandoned,
+}
+
+impl std::fmt::Display for FlightPoison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlightPoison::Error(msg) => write!(f, "selection leader failed: {msg}"),
+            FlightPoison::Abandoned => {
+                write!(f, "selection leader panicked or abandoned the flight")
+            }
+        }
+    }
+}
+
 /// One in-flight selection: waiters block on the condvar until the leader
-/// publishes an entry (`Done`) or gives up (`Failed`, upon which waiters race
-/// to become the next leader).
+/// publishes an entry (`Done`) or gives up (`Poisoned`, upon which waiters
+/// wake with the poison and race to become the next leader).
 #[derive(Debug)]
 struct Flight {
     state: Mutex<FlightState>,
@@ -159,7 +208,7 @@ struct Flight {
 enum FlightState {
     Pending,
     Done(Arc<CachedSelection>),
-    Failed,
+    Poisoned(FlightPoison),
 }
 
 impl Flight {
@@ -170,23 +219,23 @@ impl Flight {
         })
     }
 
-    /// Blocks until the flight resolves; `None` means the leader failed.
-    fn wait(&self) -> Option<Arc<CachedSelection>> {
+    /// Blocks until the flight resolves; `Err` carries why the leader failed.
+    fn wait(&self) -> Result<Arc<CachedSelection>, FlightPoison> {
         let mut state = self.state.lock().expect("flight lock");
         loop {
             match &*state {
                 FlightState::Pending => state = self.cv.wait(state).expect("flight lock"),
-                FlightState::Done(entry) => return Some(entry.clone()),
-                FlightState::Failed => return None,
+                FlightState::Done(entry) => return Ok(entry.clone()),
+                FlightState::Poisoned(poison) => return Err(poison.clone()),
             }
         }
     }
 
-    fn resolve(&self, outcome: Option<Arc<CachedSelection>>) {
+    fn resolve(&self, outcome: Result<Arc<CachedSelection>, FlightPoison>) {
         let mut state = self.state.lock().expect("flight lock");
         *state = match outcome {
-            Some(entry) => FlightState::Done(entry),
-            None => FlightState::Failed,
+            Ok(entry) => FlightState::Done(entry),
+            Err(poison) => FlightState::Poisoned(poison),
         };
         self.cv.notify_all();
     }
@@ -308,6 +357,9 @@ pub struct SelectionGuard<'c> {
     /// `None` when the cache is disabled (capacity 0): no flight to resolve,
     /// nothing to publish into.
     flight: Option<Arc<Flight>>,
+    /// The poison of the flight this leader replaced, when the caller became
+    /// leader only because an earlier leader failed.
+    recovered_poison: Option<FlightPoison>,
 }
 
 impl SelectionGuard<'_> {
@@ -327,16 +379,25 @@ impl SelectionGuard<'_> {
             inner.in_flight.remove(&self.fp);
             winner
         };
-        flight.resolve(Some(winner.clone()));
+        flight.resolve(Ok(winner.clone()));
         winner
     }
-}
 
-impl Drop for SelectionGuard<'_> {
-    fn drop(&mut self) {
-        // Leader gave up (selector error or panic): fail the flight so
-        // waiters wake and retry instead of deadlocking; errors are never
-        // cached.
+    /// Fails the flight with a typed reason so waiters learn *why* selection
+    /// died (dropping the guard instead reports [`FlightPoison::Abandoned`]).
+    /// Errors are never cached; waiters race to become the next leader.
+    pub fn fail(mut self, reason: String) {
+        self.resolve_failed(FlightPoison::Error(reason));
+    }
+
+    /// The poison left by the failed leader this caller replaced, when the
+    /// caller became leader via the waiter-retry path rather than on a plain
+    /// miss.
+    pub fn recovered_poison(&self) -> Option<&FlightPoison> {
+        self.recovered_poison.as_ref()
+    }
+
+    fn resolve_failed(&mut self, poison: FlightPoison) {
         if let Some(flight) = self.flight.take() {
             let shard = self.cache.shard(self.fp);
             shard
@@ -345,8 +406,17 @@ impl Drop for SelectionGuard<'_> {
                 .expect("cache shard lock")
                 .in_flight
                 .remove(&self.fp);
-            flight.resolve(None);
+            flight.resolve(Err(poison));
         }
+    }
+}
+
+impl Drop for SelectionGuard<'_> {
+    fn drop(&mut self) {
+        // Leader gave up without calling `fail` (selector panic, or an error
+        // path that predates typed poisoning): poison the flight so waiters
+        // wake and retry instead of deadlocking; errors are never cached.
+        self.resolve_failed(FlightPoison::Abandoned);
     }
 }
 
@@ -426,9 +496,11 @@ impl StrategyCache {
                 cache: self,
                 fp,
                 flight: None,
+                recovered_poison: None,
             });
         }
         let shard = self.shard(fp);
+        let mut recovered_poison = None;
         loop {
             let flight = {
                 let mut inner = shard.inner.lock().expect("cache shard lock");
@@ -444,14 +516,17 @@ impl StrategyCache {
                             cache: self,
                             fp,
                             flight: Some(flight),
+                            recovered_poison,
                         });
                     }
                 }
             };
-            // Another thread is selecting: wait off-lock.  A failed flight
-            // loops back so this caller can (race to) become the new leader.
-            if let Some(selection) = flight.wait() {
-                return Lookup::Shared(selection);
+            // Another thread is selecting: wait off-lock.  A poisoned flight
+            // loops back so this caller can (race to) become the new leader,
+            // carrying the poison into its guard so the retry can report it.
+            match flight.wait() {
+                Ok(selection) => return Lookup::Shared(selection),
+                Err(poison) => recovered_poison = Some(poison),
             }
         }
     }
@@ -774,6 +849,67 @@ mod tests {
                 "all threads share the one published entry"
             );
         }
+    }
+
+    #[test]
+    fn failed_flight_reports_typed_poison_to_waiters() {
+        // A leader that fails with a reason hands that reason to the retry
+        // leader via `recovered_poison`; an abandoned (dropped) guard reports
+        // `Abandoned` instead.
+        let cache = Arc::new(StrategyCache::new(4));
+        for (fail_with_reason, expected) in [
+            (true, FlightPoison::Error("selector exploded".to_string())),
+            (false, FlightPoison::Abandoned),
+        ] {
+            let Lookup::Miss(leader) = cache.begin(fp(11)) else {
+                panic!("must miss");
+            };
+            assert!(leader.recovered_poison().is_none(), "plain miss: no poison");
+            let waiter = {
+                let cache = cache.clone();
+                std::thread::spawn(move || match cache.begin(fp(11)) {
+                    Lookup::Miss(retry) => {
+                        let poison = retry.recovered_poison().cloned();
+                        retry.publish(entry(4));
+                        poison
+                    }
+                    other => panic!("waiter must become the new leader, got {other:?}"),
+                })
+            };
+            // Give the waiter time to pile onto the flight, then fail it.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            if fail_with_reason {
+                leader.fail("selector exploded".to_string());
+            } else {
+                drop(leader);
+            }
+            let recovered = waiter.join().unwrap();
+            assert_eq!(recovered, Some(expected.clone()));
+            assert!(expected.to_string().contains(match expected {
+                FlightPoison::Error(_) => "failed",
+                FlightPoison::Abandoned => "abandoned",
+            }));
+            // The retry leader published successfully and the entry is good.
+            assert!(matches!(cache.begin(fp(11)), Lookup::Hit(_)));
+            cache.clear();
+        }
+    }
+
+    #[test]
+    fn with_parts_preseeds_derived_quantities() {
+        let fresh = entry(5);
+        let factor = fresh.factor().unwrap();
+        let gram = mm_linalg::Matrix::identity(5);
+        let trace = fresh.trace_term(&gram).unwrap();
+        let rebuilt =
+            CachedSelection::with_parts(fresh.strategy().clone(), 123, factor.clone(), trace);
+        assert_eq!(rebuilt.selection_cost_ns(), 123);
+        // Pre-seeded: the very same factor Arc comes back, no recompute.
+        assert!(Arc::ptr_eq(&rebuilt.factor().unwrap(), &factor));
+        assert_eq!(
+            rebuilt.trace_term(&gram).unwrap().to_bits(),
+            trace.to_bits()
+        );
     }
 
     #[test]

@@ -66,15 +66,18 @@
 pub mod cache;
 pub mod selector;
 pub mod session;
+pub mod store;
 
 pub use cache::{
-    CachedSelection, EvictionPolicy, Lookup, SelectionGuard, StrategyCache, DEFAULT_SHARD_COUNT,
+    CachedSelection, EvictionPolicy, FlightPoison, Lookup, SelectionGuard, StrategyCache,
+    DEFAULT_SHARD_COUNT,
 };
 pub use selector::{
     DesignBasis, DesignSetSelector, EigenDesignSelector, FixedStrategySelector,
     MatrixDesignSelector, PureDpSelector, SelectionContext, StrategySelector,
 };
 pub use session::{BudgetLedger, OwnedSession, PrivacyBudget, Session};
+pub use store::{StrategyStore, STORE_VERSION};
 
 use crate::accounting::{Accountant, AccountantFactory, SequentialAccounting};
 use crate::error::predicted_rms_error;
@@ -85,6 +88,7 @@ use mm_linalg::Matrix;
 use mm_strategies::Strategy;
 use mm_workload::{try_gram_fingerprint, Fingerprint, Workload};
 use rand::Rng;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -101,6 +105,7 @@ pub struct EngineBuilder {
     cache_capacity: usize,
     cache_shards: usize,
     eviction_policy: EvictionPolicy,
+    strategy_store: Option<PathBuf>,
 }
 
 impl EngineBuilder {
@@ -178,6 +183,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Persists selections to (and warms the cache from) a
+    /// [`StrategyStore`] directory, created if missing.  On build, up to
+    /// `cache_capacity` stored entries are loaded into the in-memory cache;
+    /// at runtime every cache miss first probes the store, and every fresh
+    /// selection is written back (write-once per fingerprint), so engine
+    /// restarts — and independent processes sharing the directory — skip
+    /// repeated selection work entirely.  See [`store`] for the file format
+    /// and corruption semantics.
+    pub fn strategy_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.strategy_store = Some(dir.into());
+        self
+    }
+
     /// Builds the engine, validating that the backend is compatible with the
     /// privacy parameters (e.g. the Gaussian backend rejects δ = 0).
     pub fn build(self) -> crate::Result<Engine> {
@@ -186,6 +204,22 @@ impl EngineBuilder {
             None => default_backend(&self.privacy),
         };
         backend.validate(&self.privacy)?;
+        let cache = StrategyCache::with_shards_and_policy(
+            self.cache_capacity,
+            self.cache_shards,
+            self.eviction_policy,
+        );
+        let store = match self.strategy_store {
+            Some(dir) => {
+                let store = StrategyStore::open(dir)?;
+                // Warm restart: fill the cache from disk up to its capacity
+                // (corrupt entries are skipped and cleared; they will be
+                // recomputed and rewritten on first use).
+                store.warm(&cache, cache.capacity());
+                Some(store)
+            }
+            None => None,
+        };
         Ok(Engine {
             privacy: self.privacy,
             selector: self
@@ -195,14 +229,14 @@ impl EngineBuilder {
             accountant: self
                 .accountant
                 .unwrap_or_else(|| Arc::new(SequentialAccounting)),
-            cache: StrategyCache::with_shards_and_policy(
-                self.cache_capacity,
-                self.cache_shards,
-                self.eviction_policy,
-            ),
+            cache,
+            store,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             selections: AtomicU64::new(0),
+            store_hits: AtomicU64::new(0),
+            store_writes: AtomicU64::new(0),
+            poisoned_flights: AtomicU64::new(0),
         })
     }
 }
@@ -225,6 +259,17 @@ pub struct EngineStats {
     /// Times the selector ran *successfully* (failed selections are not
     /// counted, and errors are never cached).
     pub selections: u64,
+    /// Cache misses served by loading a persisted selection from the
+    /// [`StrategyStore`] instead of running the selector (always 0 without a
+    /// configured store; does not include entries warmed at build time).
+    pub store_hits: u64,
+    /// Fresh selections persisted to the [`StrategyStore`] (write-once:
+    /// fingerprints another process persisted first are not re-counted).
+    pub store_writes: u64,
+    /// Times a caller became selection leader only because a previous
+    /// leader's flight was poisoned (selector error, panic or abandonment) —
+    /// the typed-poison retry path.
+    pub poisoned_flights: u64,
 }
 
 /// Everything produced by one `answer` call.
@@ -255,9 +300,13 @@ pub struct Engine {
     backend: Arc<dyn NoiseBackend>,
     accountant: Arc<dyn AccountantFactory>,
     cache: StrategyCache,
+    store: Option<StrategyStore>,
     hits: AtomicU64,
     misses: AtomicU64,
     selections: AtomicU64,
+    store_hits: AtomicU64,
+    store_writes: AtomicU64,
+    poisoned_flights: AtomicU64,
 }
 
 impl Engine {
@@ -271,6 +320,7 @@ impl Engine {
             cache_capacity: DEFAULT_CACHE_CAPACITY,
             cache_shards: DEFAULT_SHARD_COUNT,
             eviction_policy: EvictionPolicy::default(),
+            strategy_store: None,
         }
     }
 
@@ -309,7 +359,23 @@ impl Engine {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             selections: self.selections.load(Ordering::Relaxed),
+            store_hits: self.store_hits.load(Ordering::Relaxed),
+            store_writes: self.store_writes.load(Ordering::Relaxed),
+            poisoned_flights: self.poisoned_flights.load(Ordering::Relaxed),
         }
+    }
+
+    /// The persistent strategy store, when one is configured.
+    pub fn strategy_store(&self) -> Option<&StrategyStore> {
+        self.store.as_ref()
+    }
+
+    /// A non-blocking cache probe by fingerprint, refreshing the entry's
+    /// recency on a hit.  Unlike the `answer`/`select` paths this never joins
+    /// or founds an in-flight selection, which makes it the right primitive
+    /// for async front-ends that must not block an executor thread.
+    pub fn cached_selection(&self, fp: Fingerprint) -> Option<Arc<CachedSelection>> {
+        self.cache.get(fp)
     }
 
     /// Drops every cached strategy (counters are kept).
@@ -342,6 +408,15 @@ impl Engine {
         accountant: Box<dyn Accountant>,
     ) -> OwnedSession {
         OwnedSession::with_accountant(self.clone(), accountant)
+    }
+
+    /// Opens an owned session that charges a principal's **shared**
+    /// [`UserLedger`](crate::accounting::UserLedger): every session opened
+    /// this way — concurrently, sequentially, from any thread — spends the
+    /// same composed budget, so one person's sessions can jointly answer
+    /// exactly as many queries as a single session on that budget could.
+    pub fn user_session(self: &Arc<Self>, ledger: &crate::accounting::UserLedger) -> OwnedSession {
+        OwnedSession::with_accountant(self.clone(), ledger.accountant_handle())
     }
 
     /// Selects (or fetches from cache) the strategy for a workload, returning
@@ -378,22 +453,48 @@ impl Engine {
             }
             Lookup::Miss(guard) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                if guard.recovered_poison().is_some() {
+                    // This caller became leader via the waiter-retry path: a
+                    // previous leader's flight was poisoned.
+                    self.poisoned_flights.fetch_add(1, Ordering::Relaxed);
+                }
+                // Before selecting, probe the persistent store: another run
+                // (or process) may have already paid for this fingerprint.
+                if let Some(store) = &self.store {
+                    if let Some(entry) = store.load(fp) {
+                        self.store_hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((guard.publish(entry), true));
+                    }
+                }
                 let ctx = if self.selector.needs_workload_matrix() {
                     let rows = workload.to_matrix();
                     SelectionContext::from_gram_and_rows(gram.clone(), rows)
                 } else {
                     SelectionContext::from_gram(gram.clone())
                 };
-                // On error the `?` drops the guard, failing the flight so
-                // waiters retry; the selections counter moves only on
-                // success, keeping failed selections out of the stats.
-                // Selection wall-time is recorded on the entry for the
-                // cost-aware eviction policy.
+                // On error the flight is failed with the error's message so
+                // waiters retry knowing why; the selections counter moves
+                // only on success, keeping failed selections out of the
+                // stats.  Selection wall-time is recorded on the entry for
+                // the cost-aware eviction policy.
                 let started = std::time::Instant::now();
-                let strategy = Arc::new(self.selector.select(&ctx)?);
+                let strategy = match self.selector.select(&ctx) {
+                    Ok(s) => Arc::new(s),
+                    Err(e) => {
+                        guard.fail(e.to_string());
+                        return Err(e);
+                    }
+                };
                 let cost_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
                 self.selections.fetch_add(1, Ordering::Relaxed);
                 let entry = Arc::new(CachedSelection::with_cost(strategy, cost_ns));
+                if let Some(store) = &self.store {
+                    // Persist before publishing so a restart racing this
+                    // process sees the entry as soon as waiters do.
+                    if store.save(fp, &entry, gram) {
+                        self.store_writes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
                 Ok((guard.publish(entry), false))
             }
         }
@@ -694,12 +795,13 @@ impl Engine {
             });
         }
         // The whole batch succeeded: record one mechanism event per data
-        // vector.  Affordability of the composed batch was checked above
-        // and the ledger is exclusively borrowed, so this cannot fail.
+        // vector.  With a session-private accountant the pre-check above
+        // makes this infallible, but a *shared* accountant (cross-session
+        // [`crate::accounting::UserLedger`]) can be charged concurrently
+        // between the check and here — in that race the answers are dropped
+        // unreleased and the budget error propagates, failing closed.
         if let Some(ledger) = ledger {
-            ledger
-                .charge_event_many(&event, k)
-                .expect("affordability of the whole batch was checked before answering");
+            ledger.charge_event_many(&event, k)?;
         }
         Ok(out)
     }

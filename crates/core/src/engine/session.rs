@@ -120,10 +120,6 @@ impl BudgetLedger {
     /// Every charge accepted so far, in order: the requested (ε, δ) of each
     /// recorded event.  Derived from [`BudgetLedger::events`] (the single
     /// source of truth), which carries the full mechanism events.
-    ///
-    /// This materialises a fresh `Vec` on every call; to count charges or
-    /// inspect them without copying, use `events()` (e.g.
-    /// `ledger.events().len()`).
     pub fn charges(&self) -> Vec<PrivacyParams> {
         self.events()
             .iter()
@@ -131,8 +127,9 @@ impl BudgetLedger {
             .collect()
     }
 
-    /// Every mechanism event accepted so far, in order.
-    pub fn events(&self) -> &[MechanismEvent] {
+    /// Every mechanism event accepted so far, in order (an owned snapshot;
+    /// see [`Accountant::events`]).
+    pub fn events(&self) -> Vec<MechanismEvent> {
         self.accountant.events()
     }
 

@@ -1,0 +1,580 @@
+//! Persistent strategy store: spills [`CachedSelection`]s to disk so engine
+//! restarts (and independent processes sharing a directory) skip the O(n³)
+//! selection entirely.
+//!
+//! Strategy selection is data independent and keyed by the workload's gram
+//! [`Fingerprint`], which is a stable function of the gram's exact entry bits
+//! — valid across processes and machines.  Each store entry therefore records
+//! everything the answer path derives from a selection: the strategy (name,
+//! matrix, gram, sensitivities), the Cholesky factor of the strategy gram,
+//! the Prop. 4 trace term against the workload it was selected for, and the
+//! measured selection wall-time (for cost-aware eviction).  Loading an entry
+//! rebuilds the [`CachedSelection`] with those quantities *pre-seeded*, so a
+//! warm restart answers bit-identically to the run that produced the entry —
+//! nothing is refactorized or re-derived.
+//!
+//! # File format (version 1)
+//!
+//! One file per fingerprint, named `<fingerprint as 16 hex digits>.mmsel`:
+//!
+//! ```text
+//! magic    8 bytes   b"MMSTRAT\n"
+//! version  u32 LE    1
+//! fp       u64 LE    fingerprint (must match the filename)
+//! len      u64 LE    payload length in bytes
+//! payload  len bytes see below
+//! checksum u64 LE    FNV-1a 64 over every preceding byte
+//! ```
+//!
+//! The payload is a flat little-endian encoding (f64 via `to_bits`): strategy
+//! name (u32 length + UTF-8), row count, dimension, L2/L1 sensitivities, an
+//! optional explicit matrix, the strategy gram, the Cholesky factor `L`, the
+//! trace term, and the selection cost.
+//!
+//! # Durability and concurrency
+//!
+//! * **Atomic writes.** Entries are written to a temporary file in the same
+//!   directory and `rename`d into place, so readers never observe a partial
+//!   entry under a crashed writer.
+//! * **Write-once.** A fingerprint identifies its gram exactly, and selection
+//!   is deterministic, so the first process to write an entry wins; later
+//!   saves for the same fingerprint are skipped.  Concurrent writers racing
+//!   on one fingerprint each rename a complete, identical-content file — the
+//!   last rename wins and every reader sees a whole entry.
+//! * **Corruption falls back to recompute.** A truncated file, a checksum
+//!   mismatch (bit flip), a wrong version or a mismatched fingerprint makes
+//!   [`StrategyStore::load`] delete the entry and return `None`: the caller
+//!   runs a fresh selection and rewrites a valid entry.  A corrupt store can
+//!   cost time, never correctness.
+
+use super::cache::{CachedSelection, StrategyCache};
+use crate::MechanismError;
+use mm_linalg::decomp::Cholesky;
+use mm_linalg::Matrix;
+use mm_strategies::Strategy;
+use mm_workload::Fingerprint;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Current store format version (bumped on any encoding change; entries with
+/// any other version are treated as corrupt and recomputed).
+pub const STORE_VERSION: u32 = 1;
+
+/// File extension of store entries.
+pub const STORE_EXTENSION: &str = "mmsel";
+
+const MAGIC: [u8; 8] = *b"MMSTRAT\n";
+
+/// FNV-1a 64-bit, the store's integrity checksum: not cryptographic, but it
+/// reliably catches the failure modes a strategy store actually sees
+/// (truncation, torn writes, bit rot).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    push_u64(out, v.to_bits());
+}
+
+fn push_matrix(out: &mut Vec<u8>, m: &Matrix) {
+    push_u64(out, m.rows() as u64);
+    push_u64(out, m.cols() as u64);
+    for &v in m.as_slice() {
+        push_f64(out, v);
+    }
+}
+
+/// A bounds-checked little-endian reader over a decoded payload; every
+/// accessor returns `None` past the end, so corrupt length fields inside a
+/// checksum-valid payload degrade to a failed parse, never a panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    fn matrix(&mut self) -> Option<Matrix> {
+        let rows = usize::try_from(self.u64()?).ok()?;
+        let cols = usize::try_from(self.u64()?).ok()?;
+        let n = rows.checked_mul(cols)?;
+        // The entries must actually be present: bounding the allocation by
+        // the remaining payload keeps a corrupt length from allocating GiBs.
+        if n.checked_mul(8)? > self.bytes.len() - self.pos {
+            return None;
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(self.f64()?);
+        }
+        Matrix::from_vec(rows, cols, data).ok()
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+fn encode_payload(entry: &CachedSelection, factor: &Cholesky, trace: f64) -> Vec<u8> {
+    let strategy = entry.strategy();
+    let mut out = Vec::new();
+    let name = strategy.name().as_bytes();
+    push_u32(&mut out, name.len() as u32);
+    out.extend_from_slice(name);
+    push_u64(&mut out, strategy.rows() as u64);
+    push_u64(&mut out, strategy.dim() as u64);
+    push_f64(&mut out, strategy.l2_sensitivity());
+    push_f64(&mut out, strategy.l1_sensitivity());
+    match strategy.matrix() {
+        Some(m) => {
+            out.push(1);
+            push_matrix(&mut out, m);
+        }
+        None => out.push(0),
+    }
+    push_matrix(&mut out, strategy.gram());
+    push_matrix(&mut out, factor.l());
+    push_f64(&mut out, trace);
+    push_u64(&mut out, entry.selection_cost_ns());
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> Option<CachedSelection> {
+    let mut c = Cursor::new(payload);
+    let name_len = usize::try_from(c.u32()?).ok()?;
+    let name = String::from_utf8(c.take(name_len)?.to_vec()).ok()?;
+    let rows = usize::try_from(c.u64()?).ok()?;
+    let dim = usize::try_from(c.u64()?).ok()?;
+    let l2 = c.f64()?;
+    let l1 = c.f64()?;
+    let matrix = match c.u8()? {
+        0 => None,
+        1 => Some(c.matrix()?),
+        _ => return None,
+    };
+    let gram = c.matrix()?;
+    let factor_l = c.matrix()?;
+    let trace = c.f64()?;
+    let cost_ns = c.u64()?;
+    if !c.done() {
+        return None; // trailing garbage
+    }
+    // Validate shapes before `Strategy::from_parts`, whose contract
+    // violations are asserts (panics), not parse failures.
+    if gram.rows() != dim || !gram.is_square() || dim == 0 {
+        return None;
+    }
+    if let Some(m) = &matrix {
+        if m.cols() != dim || m.rows() != rows {
+            return None;
+        }
+    }
+    if factor_l.rows() != dim {
+        return None;
+    }
+    if !(l2.is_finite() && l1.is_finite() && trace.is_finite()) {
+        return None;
+    }
+    let factor = Cholesky::from_factor(factor_l).ok()?;
+    let strategy = Arc::new(Strategy::from_parts(name, matrix, gram, l2, l1, rows));
+    Some(CachedSelection::with_parts(
+        strategy,
+        cost_ns,
+        Arc::new(factor),
+        trace,
+    ))
+}
+
+fn encode_file(fp: Fingerprint, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + 4 + 8 + 8 + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    push_u32(&mut out, STORE_VERSION);
+    push_u64(&mut out, fp.0);
+    push_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    let checksum = fnv1a(&out);
+    push_u64(&mut out, checksum);
+    out
+}
+
+fn decode_file(fp: Fingerprint, bytes: &[u8]) -> Option<CachedSelection> {
+    // Header + checksum around an empty payload is the minimum size.
+    let header = 8 + 4 + 8 + 8;
+    if bytes.len() < header + 8 {
+        return None; // truncated
+    }
+    let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+    if fnv1a(body) != stored {
+        return None; // bit flip / torn write
+    }
+    let mut c = Cursor::new(body);
+    if c.take(8)? != MAGIC {
+        return None;
+    }
+    if c.u32()? != STORE_VERSION {
+        return None; // wrong version: recompute rather than misparse
+    }
+    if c.u64()? != fp.0 {
+        return None; // renamed/misplaced entry
+    }
+    let len = usize::try_from(c.u64()?).ok()?;
+    let payload = c.take(len)?;
+    if !c.done() {
+        return None;
+    }
+    decode_payload(payload)
+}
+
+/// A directory of persisted selections, shared by any number of engines and
+/// processes (see the module docs for format and concurrency semantics).
+#[derive(Debug)]
+pub struct StrategyStore {
+    dir: PathBuf,
+}
+
+impl StrategyStore {
+    /// Opens (creating if needed) a store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> crate::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            MechanismError::Store(format!(
+                "cannot create store directory {}: {e}",
+                dir.display()
+            ))
+        })?;
+        Ok(StrategyStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path of a fingerprint's entry.
+    pub fn entry_path(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fp}.{STORE_EXTENSION}"))
+    }
+
+    /// Loads a fingerprint's entry, pre-seeded with its persisted factor and
+    /// trace term.  Any corruption (truncation, checksum mismatch, wrong
+    /// version, mismatched fingerprint, malformed payload) deletes the entry
+    /// and returns `None`, so the caller recomputes and rewrites it.
+    pub fn load(&self, fp: Fingerprint) -> Option<Arc<CachedSelection>> {
+        let path = self.entry_path(fp);
+        let bytes = std::fs::read(&path).ok()?;
+        match decode_file(fp, &bytes) {
+            Some(entry) => Some(Arc::new(entry)),
+            None => {
+                // Corrupt: clear the slot so a fresh selection can rewrite a
+                // valid entry (best effort — a failed delete only means the
+                // next load re-detects the corruption).
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Persists a selection (write-once): returns `true` when this call wrote
+    /// the entry, `false` when an entry already existed or the write failed.
+    /// The entry's Cholesky factor and trace term against `workload_gram` are
+    /// materialised if not already computed, so a later [`StrategyStore::load`]
+    /// restores them without any cubic work.
+    pub fn save(&self, fp: Fingerprint, entry: &CachedSelection, workload_gram: &Matrix) -> bool {
+        let path = self.entry_path(fp);
+        if path.exists() {
+            return false; // write-once per fingerprint
+        }
+        let (Ok(factor), Ok(trace)) = (entry.factor(), entry.trace_term(workload_gram)) else {
+            return false; // underived entries (e.g. singular gram) stay memory-only
+        };
+        let bytes = encode_file(fp, &encode_payload(entry, &factor, trace));
+        // Atomic publish: temp file in the same directory, then rename.
+        let tmp = self.dir.join(format!(".{fp}.tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, &bytes).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        if std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        true
+    }
+
+    /// Loads up to `limit` entries into a [`StrategyCache`] (deterministic
+    /// filename order), returning how many were inserted.  Corrupt entries
+    /// are skipped (and deleted) exactly as in [`StrategyStore::load`].
+    pub fn warm(&self, cache: &StrategyCache, limit: usize) -> usize {
+        let mut names: Vec<(Fingerprint, PathBuf)> = Vec::new();
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        for entry in dir.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(STORE_EXTENSION) {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(raw) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            names.push((Fingerprint(raw), path));
+        }
+        names.sort_by(|a, b| a.1.cmp(&b.1));
+        let mut inserted = 0;
+        for (fp, _) in names.into_iter().take(limit) {
+            if let Some(entry) = self.load(fp) {
+                cache.insert(fp, entry);
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Number of (undamaged or not-yet-inspected) entries on disk.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|dir| {
+                dir.flatten()
+                    .filter(|e| {
+                        e.path().extension().and_then(|x| x.to_str()) == Some(STORE_EXTENSION)
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mm_strategies::identity::identity_strategy;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mm-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(n: usize) -> CachedSelection {
+        CachedSelection::with_cost(Arc::new(identity_strategy(n)), 42_000)
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical() {
+        let dir = tmp_dir("roundtrip");
+        let store = StrategyStore::open(&dir).unwrap();
+        let fp = Fingerprint(0xDEAD_BEEF_0BAD_F00D);
+        let e = entry(6);
+        let gram = Matrix::identity(6);
+        // Force the derived quantities so we can compare them bit-for-bit.
+        let factor = e.factor().unwrap();
+        let trace = e.trace_term(&gram).unwrap();
+        assert!(store.save(fp, &e, &gram), "first save writes");
+        assert!(!store.save(fp, &e, &gram), "second save is write-once");
+        assert_eq!(store.len(), 1);
+
+        let loaded = store.load(fp).expect("entry loads");
+        let (s0, s1) = (e.strategy(), loaded.strategy());
+        assert_eq!(s0.name(), s1.name());
+        assert_eq!(s0.rows(), s1.rows());
+        assert_eq!(s0.dim(), s1.dim());
+        assert_eq!(s0.l2_sensitivity().to_bits(), s1.l2_sensitivity().to_bits());
+        assert_eq!(s0.l1_sensitivity().to_bits(), s1.l1_sensitivity().to_bits());
+        for (a, b) in s0
+            .matrix()
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(s1.matrix().unwrap().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in s0.gram().as_slice().iter().zip(s1.gram().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let loaded_factor = loaded.factor().unwrap();
+        for (a, b) in factor
+            .l()
+            .as_slice()
+            .iter()
+            .zip(loaded_factor.l().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(trace.to_bits(), loaded.trace_term(&gram).unwrap().to_bits());
+        assert_eq!(loaded.selection_cost_ns(), 42_000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn matrixless_strategy_round_trips() {
+        let dir = tmp_dir("gramonly");
+        let store = StrategyStore::open(&dir).unwrap();
+        let fp = Fingerprint(7);
+        let gram = Matrix::identity(4);
+        let strategy = Arc::new(Strategy::from_parts(
+            "implicit",
+            None,
+            gram.clone(),
+            1.0,
+            1.0,
+            4,
+        ));
+        let e = CachedSelection::new(strategy);
+        assert!(store.save(fp, &e, &gram));
+        let loaded = store.load(fp).unwrap();
+        assert!(loaded.strategy().matrix().is_none());
+        assert_eq!(loaded.strategy().dim(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_checksum_flip_and_wrong_version_all_fall_back() {
+        let fp = Fingerprint(0xABCD);
+        for (tag, corrupt) in [
+            (
+                "truncate",
+                Box::new(|bytes: &mut Vec<u8>| bytes.truncate(bytes.len() / 2))
+                    as Box<dyn Fn(&mut Vec<u8>)>,
+            ),
+            (
+                "bitflip",
+                Box::new(|bytes: &mut Vec<u8>| {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x40;
+                }),
+            ),
+            (
+                "version",
+                Box::new(|bytes: &mut Vec<u8>| {
+                    // Rewrite the version field and re-checksum so *only* the
+                    // version check can reject it.
+                    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+                    let body_len = bytes.len() - 8;
+                    let sum = fnv1a(&bytes[..body_len]);
+                    let at = bytes.len() - 8;
+                    bytes[at..].copy_from_slice(&sum.to_le_bytes());
+                }),
+            ),
+        ] {
+            let dir = tmp_dir(tag);
+            let store = StrategyStore::open(&dir).unwrap();
+            let gram = Matrix::identity(5);
+            assert!(store.save(fp, &entry(5), &gram));
+            let path = store.entry_path(fp);
+            let mut bytes = std::fs::read(&path).unwrap();
+            corrupt(&mut bytes);
+            std::fs::write(&path, &bytes).unwrap();
+
+            assert!(store.load(fp).is_none(), "{tag}: corrupt entry rejected");
+            assert!(!path.exists(), "{tag}: corrupt entry deleted");
+            // The slot is clear: a fresh save rewrites a valid entry.
+            assert!(store.save(fp, &entry(5), &gram), "{tag}: rewrite succeeds");
+            assert!(store.load(fp).is_some(), "{tag}: rewritten entry loads");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_rejected() {
+        let dir = tmp_dir("fpmismatch");
+        let store = StrategyStore::open(&dir).unwrap();
+        let gram = Matrix::identity(3);
+        assert!(store.save(Fingerprint(1), &entry(3), &gram));
+        // Copy the entry under another fingerprint's filename.
+        std::fs::copy(
+            store.entry_path(Fingerprint(1)),
+            store.entry_path(Fingerprint(2)),
+        )
+        .unwrap();
+        assert!(store.load(Fingerprint(2)).is_none());
+        assert!(store.load(Fingerprint(1)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_fills_a_cache_in_deterministic_order() {
+        let dir = tmp_dir("warm");
+        let store = StrategyStore::open(&dir).unwrap();
+        let gram = Matrix::identity(4);
+        for v in 1..=3u64 {
+            assert!(store.save(Fingerprint(v), &entry(4), &gram));
+        }
+        let cache = StrategyCache::new(8);
+        assert_eq!(store.warm(&cache, 8), 3);
+        assert_eq!(cache.len(), 3);
+        for v in 1..=3u64 {
+            assert!(cache.get(Fingerprint(v)).is_some());
+        }
+        // The limit caps how much is loaded.
+        let small = StrategyCache::new(8);
+        assert_eq!(store.warm(&small, 2), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_rejects_unwritable_path() {
+        // A path under a regular file cannot be a directory.
+        let dir = tmp_dir("notadir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("plain");
+        std::fs::write(&file, b"x").unwrap();
+        let err = StrategyStore::open(file.join("sub")).unwrap_err();
+        assert!(matches!(err, MechanismError::Store(_)));
+        assert!(err.to_string().contains("store"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -53,7 +53,7 @@ pub mod separation;
 pub use accounting::{
     Accountant, AccountantFactory, AdvancedCompositionAccountant, AdvancedCompositionAccounting,
     MechanismEvent, MechanismKind, RdpAccountant, RdpAccounting, SequentialAccountant,
-    SequentialAccounting,
+    SequentialAccounting, UserLedger, UserLedgerRegistry,
 };
 #[allow(deprecated)]
 pub use adaptive::{AdaptiveAnswer, AdaptiveMechanism, AdaptiveOptions};
@@ -115,6 +115,13 @@ pub enum MechanismError {
         /// Column of the first NaN entry found.
         col: usize,
     },
+    /// The persistent strategy store could not be opened or written (the
+    /// message carries the I/O error and path).  Per-entry corruption is
+    /// *not* reported here — corrupt entries fall back to fresh selection.
+    Store(String),
+    /// A selection this caller was waiting on died with the leader (panic or
+    /// abandonment) and was not retried on the caller's behalf.
+    PoisonedSelection(String),
 }
 
 impl std::fmt::Display for MechanismError {
@@ -150,6 +157,10 @@ impl std::fmt::Display for MechanismError {
                     "workload gram matrix entry ({row}, {col}) is NaN; the workload is \
                      numerically broken upstream"
                 )
+            }
+            MechanismError::Store(msg) => write!(f, "strategy store error: {msg}"),
+            MechanismError::PoisonedSelection(msg) => {
+                write!(f, "in-flight selection died: {msg}")
             }
         }
     }

@@ -137,6 +137,43 @@ impl Cholesky {
         Ok(Cholesky { l })
     }
 
+    /// Reassembles a factorization from a previously computed
+    /// lower-triangular factor `L` (e.g. one deserialised from a persistent
+    /// strategy store), without refactorizing.
+    ///
+    /// The factor must be square with strictly positive, finite diagonal
+    /// entries and an all-zero strict upper triangle — exactly the shape
+    /// [`Cholesky::l`] returns.  Re-wrapping a stored factor instead of
+    /// refactorizing keeps solves bit-identical to the run that produced it.
+    pub fn from_factor(l: Matrix) -> Result<Self> {
+        if !l.is_square() {
+            return Err(LinalgError::NotSquare {
+                rows: l.rows(),
+                cols: l.cols(),
+            });
+        }
+        let n = l.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        for i in 0..n {
+            let d = l[(i, i)];
+            if d <= 0.0 || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: i, value: d });
+            }
+            for j in (i + 1)..n {
+                if l[(i, j)] != 0.0 {
+                    return Err(LinalgError::ShapeMismatch {
+                        op: "cholesky from_factor (upper triangle must be zero)",
+                        left: (n, n),
+                        right: (i, j),
+                    });
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
     /// Returns the lower-triangular factor `L`.
     pub fn l(&self) -> &Matrix {
         &self.l
@@ -621,5 +658,42 @@ mod tests {
         assert!(ch
             .trace_of_gram_times_inverse(&Matrix::zeros(2, 2))
             .is_err());
+    }
+
+    #[test]
+    fn from_factor_round_trips_bit_identically() {
+        let a = spd_matrix(7);
+        let ch = Cholesky::new(&a).unwrap();
+        let rebuilt = Cholesky::from_factor(ch.l().clone()).unwrap();
+        assert_eq!(rebuilt.l().as_slice(), ch.l().as_slice());
+        let b: Vec<f64> = (0..7).map(|i| (i as f64) - 3.0).collect();
+        let x1 = ch.solve_vec(&b).unwrap();
+        let x2 = rebuilt.solve_vec(&b).unwrap();
+        // Bit-identical, not merely approximately equal: a stored factor must
+        // reproduce the original run's answers exactly.
+        for (u, v) in x1.iter().zip(&x2) {
+            assert_eq!(u.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn from_factor_rejects_malformed_factors() {
+        assert!(Cholesky::from_factor(Matrix::zeros(2, 3)).is_err());
+        assert!(Cholesky::from_factor(Matrix::zeros(0, 0)).is_err());
+        // Non-positive diagonal.
+        let mut bad = Matrix::identity(3);
+        bad[(1, 1)] = -2.0;
+        assert!(Cholesky::from_factor(bad).is_err());
+        // Non-finite diagonal.
+        let mut inf = Matrix::identity(3);
+        inf[(2, 2)] = f64::INFINITY;
+        assert!(Cholesky::from_factor(inf).is_err());
+        // Nonzero strict upper triangle.
+        let mut upper = Matrix::identity(3);
+        upper[(0, 2)] = 1.0;
+        assert!(Cholesky::from_factor(upper).is_err());
+        // A genuine lower-triangular factor is accepted.
+        let l = Cholesky::new(&spd_matrix(4)).unwrap().l().clone();
+        assert!(Cholesky::from_factor(l).is_ok());
     }
 }

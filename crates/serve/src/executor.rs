@@ -1,0 +1,188 @@
+//! A minimal, dependency-free executor surface: [`block_on`] to drive one
+//! future from a plain thread, and [`join_all`] to multiplex many.
+//!
+//! The serving futures in this crate are executor-agnostic — they only need
+//! *something* to call `poll` and honor wakers.  Any real async runtime
+//! qualifies; these two helpers make the crate (and its benches and tests)
+//! self-sufficient without one, per the workspace's no-new-dependencies
+//! constraint.
+
+use std::future::Future;
+use std::pin::pin;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Parks the calling thread until woken; the flag absorbs wakes that land
+/// between a `poll` and the park (no lost-wakeup window).
+struct ThreadWaker {
+    thread: std::thread::Thread,
+    notified: AtomicBool,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.notified.store(true, Ordering::Release);
+        self.thread.unpark();
+    }
+}
+
+/// Drives a future to completion on the calling thread, parking between
+/// polls.  This is the synchronous edge of the serving tier: a CLI, a test,
+/// or a bench can consume [`crate::ServeEngine`] futures without an async
+/// runtime.
+pub fn block_on<F: Future>(future: F) -> F::Output {
+    let thread_waker = Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+        notified: AtomicBool::new(false),
+    });
+    let waker = Waker::from(thread_waker.clone());
+    let mut cx = Context::from_waker(&waker);
+    let mut future = pin!(future);
+    loop {
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(value) => return value,
+            Poll::Pending => {
+                while !thread_waker.notified.swap(false, Ordering::Acquire) {
+                    std::thread::park();
+                }
+            }
+        }
+    }
+}
+
+/// Future returned by [`join_all`]: resolves once every input future has,
+/// yielding their outputs in input order.
+#[derive(Debug)]
+pub struct JoinAll<F: Future + Unpin> {
+    futures: Vec<Option<F>>,
+    outputs: Vec<Option<F::Output>>,
+}
+
+/// Runs a set of futures concurrently (from whatever task polls the result),
+/// completing with all their outputs in input order.
+///
+/// Every still-pending future is polled on each wake — O(K) per wake, the
+/// right trade for the serving benches this backs (K clients, no intrusive
+/// per-future wakers, zero dependencies).
+pub fn join_all<F: Future + Unpin>(futures: Vec<F>) -> JoinAll<F> {
+    let outputs = futures.iter().map(|_| None).collect();
+    JoinAll {
+        futures: futures.into_iter().map(Some).collect(),
+        outputs,
+    }
+}
+
+// Outputs are plain stored values (they are only ever moved out whole), so
+// `JoinAll` is `Unpin` whenever its futures are, regardless of the output
+// type.  Declaring it lets `poll` use `get_mut` without `F::Output: Unpin`.
+impl<F: Future + Unpin> Unpin for JoinAll<F> {}
+
+impl<F: Future + Unpin> Future for JoinAll<F> {
+    type Output = Vec<F::Output>;
+
+    fn poll(self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        let mut all_done = true;
+        for (slot, out) in this.futures.iter_mut().zip(this.outputs.iter_mut()) {
+            if let Some(fut) = slot {
+                match std::pin::Pin::new(fut).poll(cx) {
+                    Poll::Ready(value) => {
+                        *out = Some(value);
+                        *slot = None;
+                    }
+                    Poll::Pending => all_done = false,
+                }
+            }
+        }
+        if all_done {
+            Poll::Ready(
+                this.outputs
+                    .iter_mut()
+                    .map(|o| o.take().expect("every future completed"))
+                    .collect(),
+            )
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A future that stays pending for a fixed number of polls, waking
+    /// itself immediately each time.
+    struct CountDown(u32);
+
+    impl Future for CountDown {
+        type Output = u32;
+
+        fn poll(mut self: std::pin::Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<u32> {
+            if self.0 == 0 {
+                Poll::Ready(42)
+            } else {
+                self.0 -= 1;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+
+    #[test]
+    fn block_on_drives_to_completion() {
+        assert_eq!(block_on(CountDown(0)), 42);
+        assert_eq!(block_on(CountDown(5)), 42);
+    }
+
+    #[test]
+    fn block_on_handles_cross_thread_wakes() {
+        // A future whose waker is invoked from another thread after a delay:
+        // block_on must park, not spin or deadlock.
+        struct External {
+            fired: Arc<AtomicBool>,
+            spawned: bool,
+        }
+        impl Future for External {
+            type Output = &'static str;
+            fn poll(
+                mut self: std::pin::Pin<&mut Self>,
+                cx: &mut Context<'_>,
+            ) -> Poll<&'static str> {
+                if self.fired.load(Ordering::Acquire) {
+                    return Poll::Ready("woken");
+                }
+                if !self.spawned {
+                    self.spawned = true;
+                    let fired = self.fired.clone();
+                    let waker = cx.waker().clone();
+                    std::thread::spawn(move || {
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        fired.store(true, Ordering::Release);
+                        waker.wake();
+                    });
+                }
+                Poll::Pending
+            }
+        }
+        let out = block_on(External {
+            fired: Arc::new(AtomicBool::new(false)),
+            spawned: false,
+        });
+        assert_eq!(out, "woken");
+    }
+
+    #[test]
+    fn join_all_preserves_order_and_multiplexes() {
+        let outs = block_on(join_all(vec![CountDown(3), CountDown(0), CountDown(7)]));
+        assert_eq!(outs, vec![42, 42, 42]);
+        let empty: Vec<CountDown> = vec![];
+        assert!(block_on(join_all(empty)).is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! The serving futures: [`BatchFuture`] / [`AnswerFuture`] and the shared
+//! in-flight [`SelectionTask`] they register wakers on.
+//!
+//! The state machine is deliberately small.  A future is born `Active`
+//! (or `Failed` when rejected at submit); each poll either
+//!
+//! 1. finds the selection cached and answers immediately through the
+//!    engine's own batch path, or
+//! 2. joins (or founds) the one in-flight [`SelectionTask`] for its
+//!    fingerprint, registers its waker, and returns `Pending`.
+//!
+//! Completion of the selection job wakes every registered waiter; the next
+//! poll of each lands in case 1.  Answer assembly thus always happens on
+//! the polling task with its own seeded RNG — the worker pool only ever
+//! runs selections, which is what makes served answers bit-identical to
+//! direct engine calls.
+
+use crate::{Inner, ServeError};
+use mm_core::accounting::UserLedger;
+use mm_core::engine::EngineAnswer;
+use mm_core::MechanismError;
+use mm_workload::{Fingerprint, Workload};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Waker};
+
+/// One in-flight selection: waiters register wakers, the worker completes.
+pub(crate) struct SelectionTask {
+    state: Mutex<TaskState>,
+}
+
+enum TaskState {
+    Pending(Vec<Waker>),
+    Done(Result<(), Arc<MechanismError>>),
+}
+
+impl SelectionTask {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(SelectionTask {
+            state: Mutex::new(TaskState::Pending(Vec::new())),
+        })
+    }
+
+    /// Returns the outcome if the selection finished, otherwise registers
+    /// the waker (deduplicated via [`Waker::will_wake`]) and returns `None`.
+    pub(crate) fn poll_done(&self, waker: &Waker) -> Option<Result<(), Arc<MechanismError>>> {
+        let mut state = self.state.lock().expect("selection task lock");
+        match &mut *state {
+            TaskState::Done(result) => Some(result.clone()),
+            TaskState::Pending(wakers) => {
+                if !wakers.iter().any(|w| w.will_wake(waker)) {
+                    wakers.push(waker.clone());
+                }
+                None
+            }
+        }
+    }
+
+    /// Resolves the task and wakes every registered waiter.  Idempotent:
+    /// only the first completion sticks (the shutdown path in
+    /// `ServeEngine::drop` may race a finishing worker).
+    pub(crate) fn complete(&self, result: Result<(), Arc<MechanismError>>) {
+        let wakers = {
+            let mut state = self.state.lock().expect("selection task lock");
+            match &mut *state {
+                TaskState::Done(_) => return,
+                TaskState::Pending(wakers) => {
+                    let wakers = std::mem::take(wakers);
+                    *state = TaskState::Done(result);
+                    wakers
+                }
+            }
+        };
+        for waker in wakers {
+            waker.wake();
+        }
+    }
+}
+
+enum FutState {
+    /// Rejected at submit; resolves with the stored error on first poll.
+    Failed(Option<ServeError>),
+    /// Live: probing the cache, waiting on a selection, or ready to answer.
+    Active,
+    /// Resolved; polling again is a contract violation.
+    Finished,
+}
+
+/// Future of a batched request: resolves to one [`EngineAnswer`] per
+/// submitted data vector, or a [`ServeError`].
+///
+/// Created by [`crate::ServeEngine::answer_batch`] /
+/// [`crate::ServeEngine::answer_batch_for`].  `Unpin` by construction, so
+/// it composes with [`crate::join_all`] without pinning ceremony.
+pub struct BatchFuture<W: Workload + Send + Sync + ?Sized + 'static> {
+    inner: Arc<Inner>,
+    workload: Arc<W>,
+    xs: Vec<Vec<f64>>,
+    seed: u64,
+    ledger: Option<UserLedger>,
+    fp: Fingerprint,
+    task: Option<Arc<SelectionTask>>,
+    state: FutState,
+}
+
+impl<W: Workload + Send + Sync + ?Sized + 'static> std::fmt::Debug for BatchFuture<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchFuture")
+            .field("fp", &self.fp)
+            .field("batch", &self.xs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Workload + Send + Sync + ?Sized + 'static> BatchFuture<W> {
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        workload: Arc<W>,
+        xs: Vec<Vec<f64>>,
+        seed: u64,
+        ledger: Option<UserLedger>,
+        fp: Fingerprint,
+    ) -> Self {
+        BatchFuture {
+            inner,
+            workload,
+            xs,
+            seed,
+            ledger,
+            fp,
+            task: None,
+            state: FutState::Active,
+        }
+    }
+
+    /// A future rejected at submit time (NaN gram, no budget headroom).
+    pub(crate) fn failed(inner: Arc<Inner>, workload: Arc<W>, error: ServeError) -> Self {
+        BatchFuture {
+            inner,
+            workload,
+            xs: Vec::new(),
+            seed: 0,
+            ledger: None,
+            fp: Fingerprint(0),
+            task: None,
+            state: FutState::Failed(Some(error)),
+        }
+    }
+
+    /// Joins the in-flight selection for `self.fp`, or founds one by
+    /// enqueueing a selection job.  Returns the shed error if the queue is
+    /// full.
+    fn join_or_found(&mut self) -> Result<(), ServeError> {
+        let mut pending = self.inner.pending.lock().expect("serve pending lock");
+        if let Some(task) = pending.get(&self.fp.0) {
+            self.task = Some(task.clone());
+            return Ok(());
+        }
+        let task = SelectionTask::new();
+        let job: crate::Job = {
+            let inner = self.inner.clone();
+            let workload = self.workload.clone();
+            let task = task.clone();
+            let fp = self.fp;
+            Box::new(move || {
+                // The engine's own single-flight guard handles concurrent
+                // sync callers; catch_unwind converts a panicking selector
+                // into a typed poison every waiter can observe.
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    inner.engine.select(&*workload).map(|_| ())
+                }));
+                inner
+                    .pending
+                    .lock()
+                    .expect("serve pending lock")
+                    .remove(&fp.0);
+                let outcome = match outcome {
+                    Ok(Ok(())) => Ok(()),
+                    Ok(Err(e)) => Err(Arc::new(e)),
+                    Err(panic) => {
+                        let msg = if let Some(s) = panic.downcast_ref::<&str>() {
+                            (*s).to_string()
+                        } else if let Some(s) = panic.downcast_ref::<String>() {
+                            s.clone()
+                        } else {
+                            "selection worker panicked".to_string()
+                        };
+                        Err(Arc::new(MechanismError::PoisonedSelection(msg)))
+                    }
+                };
+                task.complete(outcome);
+            })
+        };
+        // Enqueue while holding the pending lock: the worker cannot remove
+        // the task from `pending` (it needs this lock) before we insert it,
+        // so join/found/remove stay linearisable.  Lock order is always
+        // pending → queue here and queue-alone then pending-alone in the
+        // worker, so there is no cycle.
+        if !self.inner.try_enqueue(job) {
+            drop(pending);
+            self.inner.shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded {
+                capacity: self.inner.queue_capacity(),
+            });
+        }
+        pending.insert(self.fp.0, task.clone());
+        self.inner.selection_jobs.fetch_add(1, Ordering::Relaxed);
+        self.task = Some(task);
+        Ok(())
+    }
+
+    /// The selection is warm (or this is the retry after a completed job):
+    /// produce the answers through the engine's own batch path, so batching
+    /// semantics, accounting, and noise draws are exactly the sync ones.
+    fn answer_now(&mut self) -> Result<Vec<EngineAnswer>, ServeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let xs = std::mem::take(&mut self.xs);
+        let result = match &self.ledger {
+            Some(ledger) => {
+                let mut session = self.inner.engine.user_session(ledger);
+                session.answer_batch(&*self.workload, &xs, &mut rng)
+            }
+            None => self
+                .inner
+                .engine
+                .answer_batch(&*self.workload, &xs, &mut rng),
+        };
+        result.map_err(ServeError::from)
+    }
+}
+
+impl<W: Workload + Send + Sync + ?Sized + 'static> Future for BatchFuture<W> {
+    type Output = Result<Vec<EngineAnswer>, ServeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match &mut this.state {
+            FutState::Failed(error) => {
+                let error = error.take().expect("failed future polled once");
+                this.state = FutState::Finished;
+                return Poll::Ready(Err(error));
+            }
+            FutState::Finished => panic!("BatchFuture polled after completion"),
+            FutState::Active => {}
+        }
+        // A completed selection job clears `task`, so losing a poll race
+        // just re-runs the (cheap) cache probe.
+        if this.task.is_none() && this.inner.engine.cached_selection(this.fp).is_none() {
+            if let Err(shed) = this.join_or_found() {
+                this.state = FutState::Finished;
+                return Poll::Ready(Err(shed));
+            }
+        }
+        if let Some(task) = &this.task {
+            match task.poll_done(cx.waker()) {
+                None => return Poll::Pending,
+                Some(Err(error)) => {
+                    this.task = None;
+                    this.inner.failed.fetch_add(1, Ordering::Relaxed);
+                    this.state = FutState::Finished;
+                    return Poll::Ready(Err(ServeError::Mechanism(error)));
+                }
+                Some(Ok(())) => this.task = None,
+            }
+        }
+        let result = this.answer_now();
+        match &result {
+            Ok(_) => this.inner.completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => this.inner.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        this.state = FutState::Finished;
+        Poll::Ready(result)
+    }
+}
+
+/// Future of a single-vector request: resolves to one [`EngineAnswer`] or a
+/// [`ServeError`].  Created by [`crate::ServeEngine::answer`] /
+/// [`crate::ServeEngine::answer_for`].
+pub struct AnswerFuture<W: Workload + Send + Sync + ?Sized + 'static> {
+    batch: BatchFuture<W>,
+}
+
+impl<W: Workload + Send + Sync + ?Sized + 'static> std::fmt::Debug for AnswerFuture<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnswerFuture")
+            .field("batch", &self.batch)
+            .finish()
+    }
+}
+
+impl<W: Workload + Send + Sync + ?Sized + 'static> AnswerFuture<W> {
+    pub(crate) fn new(batch: BatchFuture<W>) -> Self {
+        AnswerFuture { batch }
+    }
+}
+
+impl<W: Workload + Send + Sync + ?Sized + 'static> Future for AnswerFuture<W> {
+    type Output = Result<EngineAnswer, ServeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match Pin::new(&mut self.get_mut().batch).poll(cx) {
+            Poll::Pending => Poll::Pending,
+            Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
+            Poll::Ready(Ok(mut answers)) => {
+                Poll::Ready(Ok(answers.pop().expect("one answer for one data vector")))
+            }
+        }
+    }
+}

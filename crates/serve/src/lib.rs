@@ -1,0 +1,695 @@
+//! # mm-serve
+//!
+//! The async serving tier over [`mm_core`]'s engine: hand-rolled,
+//! executor-agnostic futures, bounded admission, and shared per-principal
+//! budgets — the long-lived, warm, budget-governed query-answering layer the
+//! matrix mechanism's data-independent selection makes possible.
+//!
+//! Three properties distinguish it from calling the engine directly:
+//!
+//! * **Non-blocking waits.** `Engine::answer` on a cold workload blocks an
+//!   OS thread in the cache's single-flight wait.  [`ServeEngine::answer`]
+//!   instead returns a [`Future`](std::future::Future): a cache miss
+//!   enqueues one selection job on the worker pool, concurrent requests for
+//!   the same fingerprint *register wakers* on the in-flight job (no
+//!   duplicate selection, no blocked executor threads), and every waiter
+//!   resumes when the job completes.  The futures are plain `std` futures —
+//!   drive them with any runtime, or with the bundled [`block_on`] /
+//!   [`join_all`].
+//! * **Bounded admission.** The selection queue is bounded; when it is full,
+//!   new cold-workload requests fail fast with [`ServeError::Overloaded`]
+//!   instead of queueing without limit.  Requests charged to a
+//!   [`UserLedger`] are additionally probed against the principal's shared
+//!   budget headroom at submit time, so a spent budget rejects before any
+//!   work is queued.
+//! * **Typed failure.** A selection job that returns an error or panics
+//!   poisons only that flight: every waiter receives a typed
+//!   [`MechanismError::PoisonedSelection`] / the selector's error, and the
+//!   fingerprint can be retried fresh.
+//!
+//! Answers are produced by the engine's own paths, so everything the engine
+//! guarantees (bit-identical batching, persistent-store round-trips, budget
+//! fail-closed semantics) holds verbatim when served through this crate.
+//!
+//! # Example
+//!
+//! ```
+//! use mm_core::engine::{Engine, PrivacyBudget};
+//! use mm_core::accounting::UserLedger;
+//! use mm_serve::{block_on, join_all, ServeEngine};
+//! use mm_workload::range::AllRangeWorkload;
+//! use mm_workload::Domain;
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(Engine::builder().build().unwrap());
+//! let serve = ServeEngine::builder(engine).workers(2).build();
+//! let workload = Arc::new(AllRangeWorkload::new(Domain::one_dim(16)));
+//! let x: Vec<f64> = (0..16).map(|i| 10.0 + i as f64).collect();
+//!
+//! // Two concurrent requests for one cold workload: one selection job runs,
+//! // both futures resolve.
+//! let a = serve.answer(workload.clone(), x.clone(), 1);
+//! let b = serve.answer(workload.clone(), x.clone(), 2);
+//! let answers = block_on(join_all(vec![a, b]));
+//! assert!(answers.iter().all(|a| a.is_ok()));
+//!
+//! // Budget-governed serving: sessions share the principal's one ledger.
+//! let ledger = UserLedger::new("alice", PrivacyBudget::new(1.0, 1e-3));
+//! let answer = block_on(serve.answer_for(&ledger, workload, x, 3)).unwrap();
+//! assert_eq!(answer.answers.len(), 16 * 17 / 2);
+//! assert!(ledger.spent().epsilon > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod future;
+
+pub use executor::{block_on, join_all, JoinAll};
+pub use future::{AnswerFuture, BatchFuture};
+
+use mm_core::accounting::UserLedger;
+use mm_core::engine::Engine;
+use mm_core::MechanismError;
+use mm_workload::{try_gram_fingerprint, Workload};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use future::SelectionTask;
+
+/// Default number of selection worker threads.
+pub const DEFAULT_WORKERS: usize = 2;
+
+/// Default bound on queued selection jobs before load is shed.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Why the serving tier failed a request.
+#[derive(Debug, Clone)]
+pub enum ServeError {
+    /// The selection queue was full: the request was shed at admission
+    /// without doing any work.  Retry later, or grow the queue/worker pool.
+    Overloaded {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The underlying mechanism failed (selector error, poisoned selection,
+    /// exhausted budget, invalid argument, …).  Shared, because one failed
+    /// selection can fail many waiting requests.
+    Mechanism(Arc<MechanismError>),
+}
+
+impl ServeError {
+    /// The mechanism error inside, if this is [`ServeError::Mechanism`].
+    pub fn mechanism(&self) -> Option<&MechanismError> {
+        match self {
+            ServeError::Mechanism(e) => Some(e),
+            ServeError::Overloaded { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { capacity } => write!(
+                f,
+                "serving tier overloaded: selection queue at capacity {capacity}"
+            ),
+            ServeError::Mechanism(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<MechanismError> for ServeError {
+    fn from(e: MechanismError) -> Self {
+        ServeError::Mechanism(Arc::new(e))
+    }
+}
+
+/// Request counters of a [`ServeEngine`] (monotone since construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Futures created by `answer`/`answer_batch` (and the `_for` variants).
+    pub submitted: u64,
+    /// Requests that resolved with answers.
+    pub completed: u64,
+    /// Requests that resolved with a mechanism error.
+    pub failed: u64,
+    /// Requests shed with [`ServeError::Overloaded`] (queue full).
+    pub shed: u64,
+    /// Requests rejected at submit time (budget headroom, NaN gram).
+    pub rejected: u64,
+    /// Selection jobs enqueued on the worker pool — with waker-based
+    /// deduplication this stays at one per distinct cold fingerprint no
+    /// matter how many requests pile onto it.
+    pub selection_jobs: u64,
+}
+
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub(crate) struct Inner {
+    pub(crate) engine: Arc<Engine>,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    queue_capacity: usize,
+    shutdown: AtomicBool,
+    pub(crate) pending: Mutex<HashMap<u64, Arc<SelectionTask>>>,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) selection_jobs: AtomicU64,
+}
+
+impl std::fmt::Debug for Inner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inner")
+            .field("queue_capacity", &self.queue_capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Inner {
+    /// Enqueues a selection job unless the queue is full.
+    pub(crate) fn try_enqueue(&self, job: Job) -> bool {
+        let mut queue = self.queue.lock().expect("serve queue lock");
+        if queue.len() >= self.queue_capacity {
+            return false;
+        }
+        queue.push_back(job);
+        self.queue_cv.notify_one();
+        true
+    }
+
+    pub(crate) fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut queue = self.queue.lock().expect("serve queue lock");
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break Some(job);
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        break None;
+                    }
+                    queue = self.queue_cv.wait(queue).expect("serve queue lock");
+                }
+            };
+            match job {
+                Some(job) => job(),
+                None => return, // shutdown with a drained queue
+            }
+        }
+    }
+}
+
+/// Builder for [`ServeEngine`].
+#[derive(Debug)]
+pub struct ServeEngineBuilder {
+    engine: Arc<Engine>,
+    workers: usize,
+    queue_capacity: usize,
+}
+
+impl ServeEngineBuilder {
+    /// Number of selection worker threads (min 1; default
+    /// [`DEFAULT_WORKERS`]).  Workers only run strategy selections — answer
+    /// assembly happens on the polling task — so size this to the number of
+    /// concurrent *cold* workloads you expect, not to request throughput.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Bound on queued selection jobs before new cold-workload requests are
+    /// shed with [`ServeError::Overloaded`] (min 1; default
+    /// [`DEFAULT_QUEUE_CAPACITY`]).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builds the serving engine and starts its worker threads.
+    pub fn build(self) -> ServeEngine {
+        let inner = Arc::new(Inner {
+            engine: self.engine,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            queue_capacity: self.queue_capacity,
+            shutdown: AtomicBool::new(false),
+            pending: Mutex::new(HashMap::new()),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            selection_jobs: AtomicU64::new(0),
+        });
+        let workers = (0..self.workers)
+            .map(|i| {
+                let inner = inner.clone();
+                std::thread::Builder::new()
+                    .name(format!("mm-serve-{i}"))
+                    .spawn(move || inner.worker_loop())
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        ServeEngine { inner, workers }
+    }
+}
+
+/// The async front-end over an [`Engine`]: see the crate docs.
+///
+/// Dropping the `ServeEngine` stops the worker pool: queued selection jobs
+/// are drained first, so every already-admitted future still resolves.
+#[derive(Debug)]
+pub struct ServeEngine {
+    inner: Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServeEngine {
+    /// Starts building a serving tier over an engine.
+    pub fn builder(engine: Arc<Engine>) -> ServeEngineBuilder {
+        ServeEngineBuilder {
+            engine,
+            workers: DEFAULT_WORKERS,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+        }
+    }
+
+    /// The engine answers are produced by.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.inner.engine
+    }
+
+    /// Request counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            submitted: self.inner.submitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            selection_jobs: self.inner.selection_jobs.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Answers one workload on one data vector at the engine's privacy
+    /// parameters; resolves to the engine's answer.  `seed` determines the
+    /// noise draw: a served answer is bit-identical to a direct
+    /// `engine.answer` with a `StdRng` seeded the same way.
+    pub fn answer<W>(&self, workload: Arc<W>, x: Vec<f64>, seed: u64) -> AnswerFuture<W>
+    where
+        W: Workload + Send + Sync + ?Sized + 'static,
+    {
+        AnswerFuture::new(self.submit(workload, vec![x], seed, None))
+    }
+
+    /// [`ServeEngine::answer`] charged to a principal's shared
+    /// [`UserLedger`]: the request is probed against the ledger's headroom
+    /// at submit time and charged on release, so concurrent sessions of one
+    /// principal can never jointly over-spend.
+    pub fn answer_for<W>(
+        &self,
+        ledger: &UserLedger,
+        workload: Arc<W>,
+        x: Vec<f64>,
+        seed: u64,
+    ) -> AnswerFuture<W>
+    where
+        W: Workload + Send + Sync + ?Sized + 'static,
+    {
+        AnswerFuture::new(self.submit(workload, vec![x], seed, Some(ledger.clone())))
+    }
+
+    /// Answers one workload on many data vectors (one noise draw each, one
+    /// cache/selection round for all — the engine's vectorised batch path).
+    pub fn answer_batch<W>(&self, workload: Arc<W>, xs: Vec<Vec<f64>>, seed: u64) -> BatchFuture<W>
+    where
+        W: Workload + Send + Sync + ?Sized + 'static,
+    {
+        self.submit(workload, xs, seed, None)
+    }
+
+    /// [`ServeEngine::answer_batch`] charged to a principal's shared
+    /// [`UserLedger`] (one charge per data vector, all-or-nothing).
+    pub fn answer_batch_for<W>(
+        &self,
+        ledger: &UserLedger,
+        workload: Arc<W>,
+        xs: Vec<Vec<f64>>,
+        seed: u64,
+    ) -> BatchFuture<W>
+    where
+        W: Workload + Send + Sync + ?Sized + 'static,
+    {
+        self.submit(workload, xs, seed, Some(ledger.clone()))
+    }
+
+    fn submit<W>(
+        &self,
+        workload: Arc<W>,
+        xs: Vec<Vec<f64>>,
+        seed: u64,
+        ledger: Option<UserLedger>,
+    ) -> BatchFuture<W>
+    where
+        W: Workload + Send + Sync + ?Sized + 'static,
+    {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        // The fingerprint is the dedup key for waker registration; a NaN
+        // gram is rejected here, before anything is queued or charged.
+        let fp = match try_gram_fingerprint(&workload.gram()) {
+            Ok(fp) => fp,
+            Err(nan) => {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return BatchFuture::failed(
+                    self.inner.clone(),
+                    workload,
+                    MechanismError::from(nan).into(),
+                );
+            }
+        };
+        // Admission against the principal's *shared* headroom: a spent
+        // budget fails fast at submit.  The probe uses unit sensitivity (the
+        // strategy is not selected yet); the release itself re-checks and
+        // charges the event with the actual sensitivity, so this is an
+        // admission filter, never the enforcement point.
+        if let Some(ledger) = &ledger {
+            let engine = &self.inner.engine;
+            let probe = engine.backend().mechanism_event(engine.privacy(), 1.0);
+            if let Err(e) = ledger.check_event_many(&probe, xs.len()) {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return BatchFuture::failed(self.inner.clone(), workload, e.into());
+            }
+        }
+        BatchFuture::new(self.inner.clone(), workload, xs, seed, ledger, fp)
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        self.inner.queue_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        // Workers drain the queue before exiting, so every admitted job ran;
+        // any task still pending here lost its job to a worker that died
+        // mid-selection.  Poison it so waiters resolve instead of hanging.
+        let leftovers: Vec<Arc<SelectionTask>> = self
+            .inner
+            .pending
+            .lock()
+            .expect("serve pending lock")
+            .drain()
+            .map(|(_, task)| task)
+            .collect();
+        for task in leftovers {
+            task.complete(Err(Arc::new(MechanismError::PoisonedSelection(
+                "serving tier shut down before the selection completed".into(),
+            ))));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{block_on, join_all};
+    use mm_core::engine::{PrivacyBudget, SelectionContext, StrategySelector};
+    use mm_strategies::Strategy;
+    use mm_workload::range::AllRangeWorkload;
+    use mm_workload::Domain;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::future::Future;
+    use std::pin::Pin;
+
+    fn workload(n: usize) -> Arc<AllRangeWorkload> {
+        Arc::new(AllRangeWorkload::new(Domain::one_dim(n)))
+    }
+
+    fn data(n: usize) -> Vec<f64> {
+        (0..n).map(|i| 50.0 + (i as f64) * 3.0).collect()
+    }
+
+    #[test]
+    fn served_answers_are_bit_identical_to_sync() {
+        let engine = Arc::new(Engine::builder().build().unwrap());
+        let serve = ServeEngine::builder(engine.clone()).build();
+        let w = workload(12);
+        let xs = vec![data(12), data(12).iter().map(|v| v * 2.0).collect()];
+
+        let served = block_on(serve.answer_batch(w.clone(), xs.clone(), 99)).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let direct = engine.answer_batch(&*w, &xs, &mut rng).unwrap();
+
+        assert_eq!(served.len(), direct.len());
+        for (s, d) in served.iter().zip(&direct) {
+            assert_eq!(s.answers.len(), d.answers.len());
+            for (a, b) in s.answers.iter().zip(&d.answers) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        let stats = serve.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.selection_jobs, 1);
+    }
+
+    #[test]
+    fn concurrent_cold_requests_share_one_selection_job() {
+        let engine = Arc::new(Engine::builder().build().unwrap());
+        let serve = ServeEngine::builder(engine.clone()).workers(4).build();
+        let w = workload(16);
+        let futures: Vec<_> = (0..8)
+            .map(|seed| serve.answer(w.clone(), data(16), seed))
+            .collect();
+        let answers = block_on(join_all(futures));
+        assert!(answers.iter().all(|a| a.is_ok()));
+
+        let stats = serve.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+        // Waker registration, not duplicate work: one cold fingerprint, one
+        // selection job, one engine-level selection.
+        assert_eq!(stats.selection_jobs, 1);
+        assert_eq!(engine.stats().selections, 1);
+    }
+
+    /// Delegates to the default selector after waiting for a release signal
+    /// (and counts calls), so tests can hold a selection in flight.
+    struct GatedSelector {
+        release: Arc<(Mutex<bool>, Condvar)>,
+        started: Arc<(Mutex<usize>, Condvar)>,
+        inner: mm_core::engine::EigenDesignSelector,
+    }
+
+    impl std::fmt::Debug for GatedSelector {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("GatedSelector").finish_non_exhaustive()
+        }
+    }
+
+    impl StrategySelector for GatedSelector {
+        fn name(&self) -> String {
+            "gated".into()
+        }
+
+        fn select(&self, ctx: &SelectionContext) -> mm_core::Result<Strategy> {
+            {
+                let (count, cv) = &*self.started;
+                *count.lock().unwrap() += 1;
+                cv.notify_all();
+            }
+            let (open, cv) = &*self.release;
+            let mut open = open.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            drop(open);
+            self.inner.select(ctx)
+        }
+    }
+
+    #[test]
+    fn full_queue_sheds_with_typed_overload_error() {
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let started = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let engine = Arc::new(
+            Engine::builder()
+                .selector(GatedSelector {
+                    release: release.clone(),
+                    started: started.clone(),
+                    inner: Default::default(),
+                })
+                .build()
+                .unwrap(),
+        );
+        let serve = ServeEngine::builder(engine)
+            .workers(1)
+            .queue_capacity(1)
+            .build();
+
+        // Three *distinct* cold workloads: the first occupies the only
+        // worker, the second fills the queue, the third must be shed.
+        let mut f1 = serve.answer(workload(8), data(8), 1);
+        let mut f2 = serve.answer(workload(9), data(9), 2);
+        let mut f3 = serve.answer(workload(10), data(10), 3);
+
+        let waker = std::task::Waker::noop();
+        let mut cx = std::task::Context::from_waker(waker);
+        assert!(Pin::new(&mut f1).poll(&mut cx).is_pending());
+        {
+            // Wait until the worker has *dequeued* f1's job (the selector
+            // reported in), so the queue slot is observably free again.
+            let (count, cv) = &*started;
+            let mut count = count.lock().unwrap();
+            while *count == 0 {
+                count = cv.wait(count).unwrap();
+            }
+        }
+        assert!(Pin::new(&mut f2).poll(&mut cx).is_pending());
+        match Pin::new(&mut f3).poll(&mut cx) {
+            std::task::Poll::Ready(Err(ServeError::Overloaded { capacity })) => {
+                assert_eq!(capacity, 1);
+            }
+            other => panic!("expected typed overload shed, got {other:?}"),
+        }
+        assert_eq!(serve.stats().shed, 1);
+
+        // Release the gate: both admitted requests still resolve.
+        {
+            let (open, cv) = &*release;
+            *open.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert!(block_on(f1).is_ok());
+        assert!(block_on(f2).is_ok());
+        assert_eq!(serve.stats().completed, 2);
+    }
+
+    #[test]
+    fn exhausted_shared_budget_rejects_at_submit() {
+        let engine = Arc::new(Engine::builder().build().unwrap());
+        let per_answer = engine.privacy().epsilon;
+        let serve = ServeEngine::builder(engine).build();
+        let w = workload(8);
+        // Headroom for exactly one answer.
+        let ledger = UserLedger::new("carol", PrivacyBudget::new(per_answer * 1.5, 1e-2));
+
+        let first = block_on(serve.answer_for(&ledger, w.clone(), data(8), 1));
+        assert!(first.is_ok());
+        let second = block_on(serve.answer_for(&ledger, w.clone(), data(8), 2));
+        match second {
+            Err(ServeError::Mechanism(e)) => {
+                assert!(
+                    matches!(&*e, MechanismError::BudgetExhausted { .. }),
+                    "expected budget exhaustion, got {e}"
+                );
+            }
+            other => panic!("expected budget rejection, got {other:?}"),
+        }
+        let stats = serve.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 1);
+        // The warm selection means the rejection did zero selection work.
+        assert_eq!(stats.selection_jobs, 1);
+    }
+
+    /// Panics on the first call, then delegates — the recovery path.
+    struct PanicOnceSelector {
+        panicked: std::sync::atomic::AtomicBool,
+        inner: mm_core::engine::EigenDesignSelector,
+    }
+
+    impl std::fmt::Debug for PanicOnceSelector {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("PanicOnceSelector").finish_non_exhaustive()
+        }
+    }
+
+    impl StrategySelector for PanicOnceSelector {
+        fn name(&self) -> String {
+            "panic-once".into()
+        }
+
+        fn select(&self, ctx: &SelectionContext) -> mm_core::Result<Strategy> {
+            if !self.panicked.swap(true, Ordering::SeqCst) {
+                panic!("injected selector crash");
+            }
+            self.inner.select(ctx)
+        }
+    }
+
+    #[test]
+    fn panicking_selection_poisons_waiters_then_recovers() {
+        let engine = Arc::new(
+            Engine::builder()
+                .selector(PanicOnceSelector {
+                    panicked: std::sync::atomic::AtomicBool::new(false),
+                    inner: Default::default(),
+                })
+                .build()
+                .unwrap(),
+        );
+        let serve = ServeEngine::builder(engine.clone()).workers(1).build();
+        let w = workload(8);
+
+        let futures: Vec<_> = (0..4)
+            .map(|s| serve.answer(w.clone(), data(8), s))
+            .collect();
+        let results = block_on(join_all(futures));
+        // All four waiters observe the typed poison — nobody hangs.
+        for result in &results {
+            match result {
+                Err(ServeError::Mechanism(e)) => {
+                    assert!(matches!(&**e, MechanismError::PoisonedSelection(_)));
+                    assert!(e.to_string().contains("injected selector crash"));
+                }
+                other => panic!("expected poisoned selection, got {other:?}"),
+            }
+        }
+        assert_eq!(serve.stats().failed, 4);
+
+        // The fingerprint is retryable: the next request selects fresh.
+        let retry = block_on(serve.answer(w, data(8), 9));
+        assert!(retry.is_ok());
+        assert_eq!(serve.stats().completed, 1);
+        assert_eq!(serve.stats().selection_jobs, 2);
+    }
+
+    #[test]
+    fn nan_gram_is_rejected_before_queueing() {
+        let engine = Arc::new(Engine::builder().build().unwrap());
+        let serve = ServeEngine::builder(engine).build();
+        let w = Arc::new(mm_workload::ExplicitWorkload::new(
+            "nan",
+            vec![mm_workload::LinearQuery::new(
+                2,
+                vec![(0, f64::NAN), (1, 1.0)],
+            )],
+        ));
+        let result = block_on(serve.answer(w, vec![1.0, 2.0], 1));
+        match result {
+            Err(ServeError::Mechanism(e)) => {
+                assert!(matches!(&*e, MechanismError::NanWorkloadGram { .. }));
+            }
+            other => panic!("expected NaN-gram rejection, got {other:?}"),
+        }
+        let stats = serve.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.selection_jobs, 0);
+    }
+}

@@ -16,6 +16,10 @@
 //!   strategy caching, budgeted sessions), the matrix mechanism, error
 //!   analysis, the Eigen-Design algorithm (Program 2) and the performance
 //!   optimizations of Sec. 4;
+//! * [`serve`] — the async serving tier: executor-agnostic futures over the
+//!   engine, bounded admission, per-principal shared budgets, and (via
+//!   [`core::engine::Engine::builder`]'s `strategy_store`) persistent
+//!   cross-restart strategy caching;
 //! * [`data`] — data vectors, synthetic datasets and relative-error harness.
 //!
 //! ## Quick start
@@ -64,6 +68,7 @@ pub use mm_core as core;
 pub use mm_data as data;
 pub use mm_linalg as linalg;
 pub use mm_opt as opt;
+pub use mm_serve as serve;
 pub use mm_strategies as strategies;
 pub use mm_workload as workload;
 

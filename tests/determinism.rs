@@ -101,6 +101,105 @@ fn run_kernels() -> KernelBits {
     }
 }
 
+/// The persistent-store half of the determinism contract: a selection
+/// spilled to disk and warm-loaded by a *fresh* engine must reproduce the
+/// original bit-for-bit — strategy matrix, Cholesky factor, Prop. 4 trace
+/// term and, with a fixed rng, the final answers.  (Thread counts may
+/// change between the two engines; the kernel contract above makes that
+/// irrelevant.)
+#[test]
+fn persisted_selections_round_trip_bit_identically() {
+    use adaptive_dp::core::engine::PrivacyBudget;
+
+    let dir = std::env::temp_dir().join(format!("mm-determinism-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let workload = AllRangeWorkload::new(Domain::one_dim(96));
+    let data: Vec<f64> = (0..96).map(|i| 40.0 + (i % 13) as f64).collect();
+
+    let cold = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .strategy_store(&dir)
+        .build()
+        .expect("engine with store builds");
+    let mut rng = StdRng::seed_from_u64(7);
+    let cold_answer = cold
+        .answer(&workload, &data, &mut rng)
+        .expect("cold answer");
+    let (cold_strategy, fp, _) = cold.select(&workload).expect("cold selection");
+    let cold_entry = cold
+        .cached_selection(fp)
+        .expect("selection is cached after answering");
+    assert_eq!(cold.stats().selections, 1, "cold engine ran the selector");
+    assert_eq!(
+        cold.stats().store_writes,
+        1,
+        "selection spilled to the store"
+    );
+
+    // A brand-new engine over the same directory: warmed at build time,
+    // never runs the selector.
+    let warm = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .strategy_store(&dir)
+        .build()
+        .expect("warm engine builds");
+    let mut rng = StdRng::seed_from_u64(7);
+    let warm_answer = warm
+        .answer(&workload, &data, &mut rng)
+        .expect("warm answer");
+    let (warm_strategy, warm_fp, hit) = warm.select(&workload).expect("warm selection");
+    assert_eq!(warm_fp, fp);
+    assert!(hit, "warm engine serves the persisted selection from cache");
+    assert_eq!(warm.stats().selections, 0, "warm engine never selects");
+
+    // Strategy (gram, explicit matrix, sensitivities), factor and trace
+    // term: bit-identical.
+    assert_eq!(
+        bits_of(cold_strategy.gram().as_slice()),
+        bits_of(warm_strategy.gram().as_slice()),
+        "strategy grams differ after the store round-trip"
+    );
+    assert_eq!(
+        cold_strategy.matrix().map(|m| bits_of(m.as_slice())),
+        warm_strategy.matrix().map(|m| bits_of(m.as_slice())),
+        "strategy matrices differ after the store round-trip"
+    );
+    assert_eq!(
+        cold_strategy.l2_sensitivity().to_bits(),
+        warm_strategy.l2_sensitivity().to_bits()
+    );
+    assert_eq!(
+        cold_strategy.l1_sensitivity().to_bits(),
+        warm_strategy.l1_sensitivity().to_bits()
+    );
+    let warm_entry = warm.cached_selection(fp).expect("warm selection cached");
+    assert_eq!(
+        bits_of(cold_entry.factor().unwrap().l().as_slice()),
+        bits_of(warm_entry.factor().unwrap().l().as_slice()),
+        "Cholesky factors differ after the store round-trip"
+    );
+    let gram = workload.gram();
+    assert_eq!(
+        cold_entry.trace_term(&gram).unwrap().to_bits(),
+        warm_entry.trace_term(&gram).unwrap().to_bits(),
+        "trace terms differ after the store round-trip"
+    );
+
+    // And therefore the answers are too (same seed, same noise).
+    assert_eq!(bits_of(&cold_answer.answers), bits_of(&warm_answer.answers));
+    assert_eq!(
+        bits_of(&cold_answer.estimate),
+        bits_of(&warm_answer.estimate)
+    );
+
+    // Sanity: budgeted sessions see identical accounting on both engines.
+    let mut s = warm.session(PrivacyBudget::new(1.0, 1e-3));
+    let mut rng = StdRng::seed_from_u64(8);
+    assert!(s.answer(&workload, &data, &mut rng).is_ok());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn kernels_and_engine_are_bit_identical_across_thread_counts() {
     let single = {

@@ -1,0 +1,292 @@
+//! Workspace-level acceptance tests for the serving tier: persistent-store
+//! corruption handling, typed poisoned-flight recovery under real thread
+//! contention, and cross-session budget enforcement through one shared
+//! `UserLedger`.
+
+use adaptive_dp::core::accounting::UserLedger;
+use adaptive_dp::core::engine::{
+    Engine, PrivacyBudget, SelectionContext, StrategySelector, STORE_VERSION,
+};
+use adaptive_dp::core::{MechanismError, PrivacyParams};
+use adaptive_dp::strategies::Strategy;
+use adaptive_dp::workload::range::AllRangeWorkload;
+use adaptive_dp::workload::Domain;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mm-serving-test-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn store_engine(dir: &Path) -> Engine {
+    Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .strategy_store(dir)
+        .build()
+        .expect("engine with store builds")
+}
+
+/// The single `.mmsel` entry file in a store directory.
+fn entry_file(dir: &Path) -> PathBuf {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("store dir exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "mmsel"))
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one store entry");
+    entries.pop().unwrap()
+}
+
+/// Populates a store with one persisted selection and returns the engine's
+/// answer bits for later comparison.
+fn populate(dir: &Path, workload: &AllRangeWorkload, data: &[f64]) -> Vec<u64> {
+    let engine = store_engine(dir);
+    let mut rng = StdRng::seed_from_u64(3);
+    let answer = engine
+        .answer(workload, data, &mut rng)
+        .expect("cold answer");
+    assert_eq!(engine.stats().store_writes, 1);
+    answer.answers.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Every corruption mode must degrade to a fresh selection — identical
+/// answers, never garbage — and leave behind a rewritten, valid entry.
+fn assert_recovers_from_corruption(tag: &str, corrupt: impl FnOnce(&Path)) {
+    let dir = scratch_dir(tag);
+    let workload = AllRangeWorkload::new(Domain::one_dim(48));
+    let data: Vec<f64> = (0..48).map(|i| 20.0 + (i % 7) as f64).collect();
+    let expected = populate(&dir, &workload, &data);
+
+    corrupt(&entry_file(&dir));
+
+    // The corrupted entry is detected (checksum / header / bounds), removed,
+    // and the selector runs fresh: the answer is bit-identical to the
+    // original, not wrong, and the store ends up valid again.
+    let engine = store_engine(&dir);
+    let mut rng = StdRng::seed_from_u64(3);
+    let answer = engine
+        .answer(&workload, &data, &mut rng)
+        .expect("recovered answer");
+    let bits: Vec<u64> = answer.answers.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bits, expected, "corruption fallback changed the answers");
+    assert_eq!(engine.stats().selections, 1, "the selector ran fresh");
+    assert_eq!(
+        engine.stats().store_writes,
+        1,
+        "a valid entry was rewritten"
+    );
+
+    // Proof the rewrite is valid: a third engine warms from it and answers
+    // without selecting.
+    let warmed = store_engine(&dir);
+    let mut rng = StdRng::seed_from_u64(3);
+    let answer = warmed
+        .answer(&workload, &data, &mut rng)
+        .expect("warm answer");
+    let bits: Vec<u64> = answer.answers.iter().map(|v| v.to_bits()).collect();
+    assert_eq!(bits, expected);
+    assert_eq!(warmed.stats().selections, 0, "warm engine never selects");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_recovers_from_truncated_entry() {
+    assert_recovers_from_corruption("truncated", |path| {
+        let bytes = std::fs::read(path).expect("read entry");
+        std::fs::write(path, &bytes[..bytes.len() / 2]).expect("truncate entry");
+    });
+}
+
+#[test]
+fn store_recovers_from_bit_flipped_payload() {
+    assert_recovers_from_corruption("bitflip", |path| {
+        let mut bytes = std::fs::read(path).expect("read entry");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(path, bytes).expect("rewrite entry");
+    });
+}
+
+#[test]
+fn store_recovers_from_wrong_version_header() {
+    assert_recovers_from_corruption("version", |path| {
+        let mut bytes = std::fs::read(path).expect("read entry");
+        // Bytes 8..12 hold the format version (little-endian u32, after the
+        // 8-byte magic).
+        let bumped = (STORE_VERSION + 1).to_le_bytes();
+        bytes[8..12].copy_from_slice(&bumped);
+        std::fs::write(path, bytes).expect("rewrite entry");
+    });
+}
+
+/// Panics on the first selection, then delegates to the default selector.
+struct PanicOnceSelector {
+    panicked: AtomicBool,
+    inner: adaptive_dp::core::engine::EigenDesignSelector,
+}
+
+impl std::fmt::Debug for PanicOnceSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PanicOnceSelector").finish_non_exhaustive()
+    }
+}
+
+impl StrategySelector for PanicOnceSelector {
+    fn name(&self) -> String {
+        "panic-once".into()
+    }
+
+    fn select(&self, ctx: &SelectionContext) -> adaptive_dp::core::Result<Strategy> {
+        if !self.panicked.swap(true, Ordering::SeqCst) {
+            panic!("injected selector crash");
+        }
+        self.inner.select(ctx)
+    }
+}
+
+/// The single-flight poisoning regression: a selection leader that panics
+/// must not strand concurrent waiters — every surviving thread observes the
+/// typed poison, retries, and answers.
+#[test]
+fn waiting_threads_recover_from_a_panicking_selection_leader() {
+    const THREADS: usize = 6;
+    let engine = Arc::new(
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .selector(PanicOnceSelector {
+                panicked: AtomicBool::new(false),
+                inner: Default::default(),
+            })
+            .build()
+            .expect("engine builds"),
+    );
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let engine = engine.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let workload = AllRangeWorkload::new(Domain::one_dim(32));
+                let data: Vec<f64> = (0..32).map(|c| 10.0 + c as f64).collect();
+                barrier.wait();
+                let mut rng = StdRng::seed_from_u64(i as u64);
+                engine.answer(&workload, &data, &mut rng).map(|_| ())
+            })
+        })
+        .collect();
+
+    let mut ok = 0usize;
+    let mut panicked = 0usize;
+    for handle in handles {
+        match handle.join() {
+            Ok(Ok(())) => ok += 1,
+            Ok(Err(e)) => panic!("no thread may see a mechanism error, got {e}"),
+            Err(_) => panicked += 1,
+        }
+    }
+    // Exactly the leader's thread dies of the injected panic; every waiter
+    // recovers by re-running the (now healthy) selection.
+    assert_eq!(panicked, 1, "only the panicking leader's thread may die");
+    assert_eq!(ok, THREADS - 1, "every waiter must recover and answer");
+    let stats = engine.stats();
+    assert!(
+        stats.poisoned_flights >= 1,
+        "the engine must record the recovered poisoned flight, stats: {stats:?}"
+    );
+}
+
+/// The cross-session accounting acceptance test: one principal, one ledger,
+/// any number of sessions — the (ε, δ) budget admits the same total number
+/// of answers whether one session spends it or two share it, and the
+/// over-budget request fails with `BudgetExhausted`.
+#[test]
+fn sessions_sharing_a_ledger_jointly_exhaust_one_budget() {
+    let workload = AllRangeWorkload::new(Domain::one_dim(24));
+    let data: Vec<f64> = (0..24).map(|i| 5.0 + i as f64).collect();
+    let engine = Arc::new(
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .build()
+            .expect("engine builds"),
+    );
+    let per_answer = engine.privacy();
+    let budget = || PrivacyBudget::new(per_answer.epsilon * 4.5, (per_answer.delta * 4.5).min(0.5));
+
+    // Baseline: a single session drains the budget alone.
+    let solo = UserLedger::new("dana", budget());
+    let mut session = engine.user_session(&solo);
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut solo_answers = 0usize;
+    loop {
+        match session.answer(&workload, &data, &mut rng) {
+            Ok(_) => solo_answers += 1,
+            Err(MechanismError::BudgetExhausted { .. }) => break,
+            Err(e) => panic!("unexpected error draining solo budget: {e}"),
+        }
+        assert!(solo_answers < 100, "budget never exhausted");
+    }
+    assert_eq!(solo_answers, 4, "the budget admits exactly four answers");
+
+    // Two concurrent sessions of the same principal share one ledger: their
+    // joint total equals the single-session count — sharing can never mint
+    // extra budget.
+    let shared = UserLedger::new("dana-2", budget());
+    let mut a = engine.user_session(&shared);
+    let mut b = engine.user_session(&shared);
+    let mut joint_answers = 0usize;
+    let mut rng = StdRng::seed_from_u64(2);
+    for round in 0..4 {
+        let session = if round % 2 == 0 { &mut a } else { &mut b };
+        session
+            .answer(&workload, &data, &mut rng)
+            .expect("within budget");
+        joint_answers += 1;
+    }
+    assert_eq!(joint_answers, solo_answers);
+    // The budget is spent: *both* sessions now get the typed exhaustion.
+    for session in [&mut a, &mut b] {
+        match session.answer(&workload, &data, &mut rng) {
+            Err(MechanismError::BudgetExhausted { .. }) => {}
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+    assert!(shared.remaining().epsilon < per_answer.epsilon);
+}
+
+/// The serve tier composes with everything above: a `ServeEngine` over a
+/// store-backed engine answers through futures, and a second serve tier over
+/// a fresh engine on the same directory starts warm.
+#[test]
+fn serve_tier_over_persistent_store_restarts_warm() {
+    use adaptive_dp::serve::{block_on, ServeEngine};
+
+    let dir = scratch_dir("serve-store");
+    let workload = Arc::new(AllRangeWorkload::new(Domain::one_dim(40)));
+    let data: Vec<f64> = (0..40).map(|i| 30.0 + i as f64).collect();
+
+    let first = ServeEngine::builder(Arc::new(store_engine(&dir))).build();
+    let cold = block_on(first.answer(workload.clone(), data.clone(), 11)).expect("cold serve");
+    assert_eq!(first.engine().stats().selections, 1);
+    assert_eq!(first.engine().stats().store_writes, 1);
+    drop(first);
+
+    let second = ServeEngine::builder(Arc::new(store_engine(&dir))).build();
+    let warm = block_on(second.answer(workload, data, 11)).expect("warm serve");
+    assert_eq!(
+        second.engine().stats().selections,
+        0,
+        "the restarted tier serves from the persisted selection"
+    );
+    for (a, b) in cold.answers.iter().zip(&warm.answers) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
