@@ -1,0 +1,419 @@
+//! A hand-rolled Rust lexer, just deep enough for lint-grade scanning.
+//!
+//! The goal is *not* a faithful grammar: it is to classify every byte of a
+//! source file as code, comment, or literal so the rule engine can match
+//! identifier/punctuation patterns without being fooled by strings or
+//! doc-comments, and so suppression comments can be recovered with exact
+//! line numbers.  Raw strings, nested block comments, byte strings, char
+//! literals vs. lifetimes, and numeric literals are all handled; everything
+//! else is a single-character punctuation token.
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `sample`, …).
+    Ident,
+    /// Any literal: string, raw string, byte string, char, or number.
+    /// Rule patterns never look inside literals.
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One punctuation character (`.`, `(`, `!`, `[`, …).
+    Punct(char),
+}
+
+/// One code token with its position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// One comment (line or block) with the line it starts on.  Comments are
+/// kept out of the token stream but retained for suppression parsing.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: usize,
+}
+
+/// Lexer output: the code tokens and the comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes `source`, never failing: unrecognized bytes become punctuation.
+pub fn lex(source: &str) -> Lexed {
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+
+    // Advances the cursor over `n` chars, maintaining line/col.
+    macro_rules! bump {
+        ($n:expr) => {
+            for _ in 0..$n {
+                if i < bytes.len() {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (start_line, start_col) = (line, col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+
+        // Line comment (also captures doc comments `///` and `//!`).
+        if c == '/' && bytes.get(i + 1) == Some(&'/') {
+            let mut text = String::new();
+            while i < bytes.len() && bytes[i] != '\n' {
+                text.push(bytes[i]);
+                bump!(1);
+            }
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Block comment, nesting-aware.
+        if c == '/' && bytes.get(i + 1) == Some(&'*') {
+            let mut text = String::new();
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    text.push_str("/*");
+                    bump!(2);
+                } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    text.push_str("*/");
+                    bump!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(bytes[i]);
+                    bump!(1);
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+            });
+            continue;
+        }
+
+        // Raw strings r"..." / r#"..."# / br#"..."# and plain/byte strings.
+        let is_raw_start = (c == 'r' || c == 'b') && {
+            let mut j = i;
+            if bytes[j] == 'b' && bytes.get(j + 1) == Some(&'r') {
+                j += 1;
+            }
+            bytes[j] == 'r' && matches!(bytes.get(j + 1), Some(&'"') | Some(&'#'))
+        };
+        if is_raw_start {
+            let mut j = i;
+            let mut text = String::new();
+            if bytes[j] == 'b' {
+                text.push('b');
+                j += 1;
+            }
+            text.push('r');
+            j += 1;
+            let mut hashes = 0;
+            while bytes.get(j) == Some(&'#') {
+                hashes += 1;
+                text.push('#');
+                j += 1;
+            }
+            if bytes.get(j) == Some(&'"') {
+                text.push('"');
+                j += 1;
+                // Scan for closing `"` followed by `hashes` hashes.
+                loop {
+                    match bytes.get(j) {
+                        None => break,
+                        Some(&'"') => {
+                            let mut k = j + 1;
+                            let mut seen = 0;
+                            while seen < hashes && bytes.get(k) == Some(&'#') {
+                                seen += 1;
+                                k += 1;
+                            }
+                            text.push('"');
+                            for _ in 0..seen {
+                                text.push('#');
+                            }
+                            j = k;
+                            if seen == hashes {
+                                break;
+                            }
+                        }
+                        Some(&ch) => {
+                            text.push(ch);
+                            j += 1;
+                        }
+                    }
+                }
+                let consumed = j - i;
+                bump!(consumed);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text,
+                    line: start_line,
+                    col: start_col,
+                });
+                continue;
+            }
+            // `r` or `br` not actually starting a raw string: fall through to
+            // the identifier path below.
+        }
+
+        // Plain or byte string literal.
+        if c == '"' || (c == 'b' && bytes.get(i + 1) == Some(&'"')) {
+            let mut text = String::new();
+            if c == 'b' {
+                text.push('b');
+                bump!(1);
+            }
+            text.push('"');
+            bump!(1);
+            while i < bytes.len() {
+                let ch = bytes[i];
+                text.push(ch);
+                if ch == '\\' {
+                    bump!(1);
+                    if i < bytes.len() {
+                        text.push(bytes[i]);
+                        bump!(1);
+                    }
+                    continue;
+                }
+                bump!(1);
+                if ch == '"' {
+                    break;
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            // A lifetime is `'ident` NOT followed by a closing quote.
+            let next_is_ident =
+                matches!(bytes.get(i + 1), Some(ch) if ch.is_alphabetic() || *ch == '_');
+            let char_lit = if next_is_ident {
+                // `'a'` is a char literal; `'a` / `'static` are lifetimes.
+                bytes.get(i + 2) == Some(&'\'')
+            } else {
+                true
+            };
+            if char_lit {
+                let mut text = String::from("'");
+                bump!(1);
+                while i < bytes.len() {
+                    let ch = bytes[i];
+                    text.push(ch);
+                    if ch == '\\' {
+                        bump!(1);
+                        if i < bytes.len() {
+                            text.push(bytes[i]);
+                            bump!(1);
+                        }
+                        continue;
+                    }
+                    bump!(1);
+                    if ch == '\'' {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text,
+                    line: start_line,
+                    col: start_col,
+                });
+            } else {
+                let mut text = String::from("'");
+                bump!(1);
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    text.push(bytes[i]);
+                    bump!(1);
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line: start_line,
+                    col: start_col,
+                });
+            }
+            continue;
+        }
+
+        // Numeric literal.  `1.0e-4`, `0xff`, `1_000`, `2.5f64` — but `1..2`
+        // and `1.max(…)` keep their dots as punctuation.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                text.push(bytes[i]);
+                bump!(1);
+            }
+            if bytes.get(i) == Some(&'.')
+                && matches!(bytes.get(i + 1), Some(ch) if ch.is_ascii_digit())
+            {
+                text.push('.');
+                bump!(1);
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    text.push(bytes[i]);
+                    bump!(1);
+                }
+            }
+            // Exponent sign: `1.0e-4` leaves us after `e`; glue `-4` on.
+            if (text.ends_with('e') || text.ends_with('E'))
+                && matches!(bytes.get(i), Some(&'+') | Some(&'-'))
+                && matches!(bytes.get(i + 1), Some(ch) if ch.is_ascii_digit())
+            {
+                text.push(bytes[i]);
+                bump!(1);
+                while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                    text.push(bytes[i]);
+                    bump!(1);
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text,
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut text = String::new();
+            while i < bytes.len() && (bytes[i].is_alphanumeric() || bytes[i] == '_') {
+                text.push(bytes[i]);
+                bump!(1);
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line: start_line,
+                col: start_col,
+            });
+            continue;
+        }
+
+        // Single punctuation character.
+        out.tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            text: c.to_string(),
+            line: start_line,
+            col: start_col,
+        });
+        bump!(1);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r##"
+            // unwrap in a comment
+            /* nested /* unwrap */ still comment */
+            let s = "call .unwrap() here";
+            let r = r#"raw "unwrap" string"#;
+            let b = b"unwrap";
+            real_ident();
+        "##;
+        let names = idents(src);
+        assert!(names.contains(&"real_ident".to_string()));
+        assert!(!names.contains(&"unwrap".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) { let c = 'x'; let s = 'static; }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert!(lifetimes.contains(&"'a".to_string()));
+        assert!(lifetimes.iter().any(|l| l == "'static"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "'x'"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        let lexed = lex("let x = 1.0e-4; let y = 1.max(2); for i in 0..8 {}");
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Literal && t.text == "1.0e-4"));
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text == "max"));
+        let dots = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 3, "1.max dot plus the .. range");
+    }
+
+    #[test]
+    fn line_and_column_positions_are_one_based() {
+        let lexed = lex("a\n  bee");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,212 @@
+#![forbid(unsafe_code)]
+//! `mm-analysis`: the workspace invariant linter.
+//!
+//! The matrix mechanism's guarantees rest on contracts no type system
+//! checks: noise must be charged to an accountant before it is drawn, and
+//! results must be bit-identical across thread counts and persisted
+//! round-trips.  This crate makes those contracts machine-checked — a
+//! hand-rolled lexer ([`lexer`]), a per-file structural scan ([`scan`]), a
+//! rule engine ([`rules`], catalogued in [`config`]), and a gated report
+//! ([`report`]) emitted as `ANALYSIS.json` (schema `mm-analysis/v1`).
+//!
+//! Run it as `cargo run -p mm-analysis -- check`; CI fails on any
+//! unsuppressed strict-tier finding.  Exceptions are either architectural
+//! (the allowlist in [`config`]) or inline comments of the form
+//! `mm-lint: allow(<rule>): <justification>` — a justification is
+//! mandatory, and a malformed suppression is itself a finding.
+
+pub mod config;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+use config::{allow_for, known_rule, tier_for, Tier};
+use report::{Finding, Report, Severity, Status};
+use scan::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Analyzes one file's source text and appends its findings to `report`.
+/// `rel_path` must be workspace-relative with `/` separators.
+pub fn analyze_source(rel_path: &str, source: &str, report: &mut Report) {
+    let tier = tier_for(rel_path);
+    if tier == Tier::Skip {
+        return;
+    }
+    report.files_scanned += 1;
+    let file = SourceFile::parse(rel_path, source);
+
+    for raw in rules::check_file(&file) {
+        // In-crate `#[cfg(test)]` / `#[test]` code is exempt: tests exercise
+        // failure paths on purpose, and the top-level `tests/` tree is the
+        // (warn-only) tier that watches documentation-grade code.
+        if tier == Tier::Strict && file.in_test_region(raw.line) {
+            continue;
+        }
+        let function = file.enclosing_fn(raw.line).map(|f| f.name.clone());
+        let status = if let Some(s) = file.suppression_for(raw.rule, raw.line) {
+            Status::Suppressed {
+                justification: s.justification.clone(),
+            }
+        } else if let Some(entry) = allow_for(raw.rule, &file.path, function.as_deref()) {
+            Status::Allowlisted {
+                reason: entry.reason.to_string(),
+            }
+        } else {
+            Status::Active
+        };
+        report.findings.push(Finding {
+            rule: raw.rule.to_string(),
+            path: file.path.clone(),
+            line: raw.line,
+            col: raw.col,
+            function,
+            message: raw.message,
+            severity: match tier {
+                Tier::Strict => Severity::Error,
+                _ => Severity::Warning,
+            },
+            status,
+        });
+    }
+
+    // Malformed or unknown-rule suppressions are findings themselves: a bare
+    // allow must never silently disable checking.
+    for s in &file.suppressions {
+        let problem = if s.malformed {
+            Some(if s.rule.is_empty() {
+                "suppression does not parse: expected `allow(<rule>): <justification>`".to_string()
+            } else {
+                format!(
+                    "suppression for `{}` lacks a justification (at least 10 characters)",
+                    s.rule
+                )
+            })
+        } else if !known_rule(&s.rule) {
+            Some(format!("suppression names unknown rule `{}`", s.rule))
+        } else {
+            None
+        };
+        if let Some(message) = problem {
+            report.findings.push(Finding {
+                rule: "lint-suppression".to_string(),
+                path: file.path.clone(),
+                line: s.line,
+                col: 1,
+                function: file.enclosing_fn(s.line).map(|f| f.name.clone()),
+                message,
+                severity: match tier {
+                    Tier::Strict => Severity::Error,
+                    _ => Severity::Warning,
+                },
+                status: Status::Active,
+            });
+        }
+    }
+}
+
+/// Recursively collects the workspace `.rs` files under `root`, skipping
+/// build output, VCS metadata, and the linter's own violation fixtures.
+/// Paths are returned sorted, so scans (and `ANALYSIS.json`) are
+/// deterministic regardless of directory enumeration order.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        // The walk itself uses read_dir, but every collected path is sorted
+        // below before anything order-dependent consumes it.
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name.starts_with('.') || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Runs the full analysis over the workspace rooted at `root`.
+pub fn check_workspace(root: &Path) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        analyze_source(&rel, &source, &mut report);
+    }
+    report.sort();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_findings_gate_and_warn_tier_does_not() {
+        let bad = "fn f() { let x = backend.sample(rng, s, n); }\n#![forbid(unsafe_code)]\n";
+        let mut report = Report::default();
+        analyze_source("crates/core/src/x.rs", bad, &mut report);
+        assert_eq!(report.exit_code(), 1);
+
+        let mut warn_only = Report::default();
+        analyze_source("examples/demo.rs", bad, &mut warn_only);
+        assert_eq!(warn_only.exit_code(), 0);
+        assert!(warn_only.warnings().count() > 0);
+    }
+
+    #[test]
+    fn justified_suppression_passes_and_bare_one_is_a_finding() {
+        let marker = "mm-lint:";
+        let good = format!(
+            "fn f() {{\n    // {marker} allow(charge-before-noise): one-shot mechanism API, \
+             budget spent by construction\n    let x = backend.sample(rng, s, n);\n}}\n"
+        );
+        let mut report = Report::default();
+        analyze_source("crates/core/src/x.rs", &good, &mut report);
+        assert_eq!(report.exit_code(), 0);
+
+        let bare = format!("fn f() {{\n    // {marker} allow(charge-before-noise)\n    let x = backend.sample(rng, s, n);\n}}\n");
+        let mut report = Report::default();
+        analyze_source("crates/core/src/x.rs", &bare, &mut report);
+        // Both the unsuppressed finding and the malformed suppression gate.
+        assert!(report.gating().count() >= 2);
+    }
+
+    #[test]
+    fn unknown_rule_suppressions_are_findings() {
+        let src = format!(
+            "fn f() {{}} // {}: allow(no-such-rule): this rule does not exist anywhere\n",
+            "mm-lint"
+        );
+        let mut report = Report::default();
+        analyze_source("crates/core/src/x.rs", &src, &mut report);
+        assert!(report
+            .gating()
+            .any(|f| f.rule == "lint-suppression" && f.message.contains("no-such-rule")));
+    }
+
+    #[test]
+    fn test_regions_are_exempt_in_strict_tier() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { let x = backend.sample(rng, s, n); }\n}\n";
+        let mut report = Report::default();
+        analyze_source("crates/core/src/x.rs", src, &mut report);
+        assert_eq!(report.findings.len(), 0);
+    }
+}

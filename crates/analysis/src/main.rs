@@ -1,0 +1,74 @@
+#![forbid(unsafe_code)]
+//! CLI for the workspace invariant linter.
+//!
+//! ```text
+//!     cargo run -p mm-analysis -- check [--root <dir>] [--json <path>]
+//! ```
+//!
+//! `check` scans the workspace, prints diagnostics, writes `ANALYSIS.json`
+//! (schema `mm-analysis/v1`), and exits non-zero when any unsuppressed
+//! strict-tier finding remains — the CI gate.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut root = PathBuf::from(".");
+    let mut json_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" => command = Some("check"),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => root = PathBuf::from(v),
+                    None => return usage("--root needs a value"),
+                }
+            }
+            "--json" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => json_path = Some(PathBuf::from(v)),
+                    None => return usage("--json needs a value"),
+                }
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+    if command != Some("check") {
+        return usage("expected the `check` command");
+    }
+
+    let report = match mm_analysis::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mm-analysis: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report.render_text());
+
+    let json_path = json_path.unwrap_or_else(|| root.join("ANALYSIS.json"));
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("mm-analysis: cannot write {}: {e}", json_path.display());
+        return ExitCode::from(2);
+    }
+    println!("mm-analysis: wrote {}", json_path.display());
+
+    if report.exit_code() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("mm-analysis: {problem}");
+    eprintln!("usage: mm-analysis check [--root <dir>] [--json <path>]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,290 @@
+//! Findings, the `ANALYSIS.json` writer (schema `mm-analysis/v1`), and the
+//! CI gate — structured like `mm-bench::report`: a plain data model, a
+//! hand-rolled JSON emitter, and a unit-tested pass/fail decision.
+
+use crate::config::RULES;
+use std::fmt::Write as _;
+
+/// Finding severity after tier processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Gates the build (strict tier).
+    Error,
+    /// Reported only (examples/tests tier).
+    Warning,
+}
+
+/// What happened to a finding on its way through the engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Status {
+    /// Unhandled: errors gate, warnings inform.
+    Active,
+    /// Silenced by an inline justified suppression.
+    Suppressed { justification: String },
+    /// Covered by an architectural allowlist entry.
+    Allowlisted { reason: String },
+}
+
+/// One fully-processed finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    pub rule: String,
+    pub path: String,
+    pub line: usize,
+    pub col: usize,
+    pub function: Option<String>,
+    pub message: String,
+    pub severity: Severity,
+    pub status: Status,
+}
+
+/// The complete result of one analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub findings: Vec<Finding>,
+}
+
+impl Report {
+    /// Sorts findings for stable output: path, then line, col, rule.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (&a.path, a.line, a.col, &a.rule).cmp(&(&b.path, b.line, b.col, &b.rule))
+        });
+    }
+
+    /// Active error-severity findings: the set that gates the build.
+    pub fn gating(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error && f.status == Status::Active)
+    }
+
+    /// Active warning-severity findings.
+    pub fn warnings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Warning && f.status == Status::Active)
+    }
+
+    /// The process exit code: non-zero iff any unsuppressed error remains.
+    pub fn exit_code(&self) -> i32 {
+        i32::from(self.gating().next().is_some())
+    }
+
+    /// Human-readable diagnostics, one block per finding, plus a summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let tag = match (&f.status, f.severity) {
+                (Status::Active, Severity::Error) => "error",
+                (Status::Active, Severity::Warning) => "warning",
+                (Status::Suppressed { .. }, _) => "allowed(inline)",
+                (Status::Allowlisted { .. }, _) => "allowed(list)",
+            };
+            let _ = writeln!(out, "{tag}[{}]: {}", f.rule, f.message);
+            let _ = writeln!(out, "  --> {}:{}:{}", f.path, f.line, f.col);
+            if let Some(func) = &f.function {
+                let _ = writeln!(out, "  in: fn {func}");
+            }
+            match &f.status {
+                Status::Suppressed { justification } => {
+                    let _ = writeln!(out, "  why: {justification}");
+                }
+                Status::Allowlisted { reason } => {
+                    let _ = writeln!(out, "  why: {reason}");
+                }
+                Status::Active => {}
+            }
+        }
+        let errors = self.gating().count();
+        let warnings = self.warnings().count();
+        let allowed = self
+            .findings
+            .iter()
+            .filter(|f| f.status != Status::Active)
+            .count();
+        let _ = writeln!(
+            out,
+            "mm-analysis: {} file(s) scanned, {errors} error(s), {warnings} warning(s), \
+             {allowed} allowed",
+            self.files_scanned
+        );
+        out
+    }
+
+    /// Serializes the report as `mm-analysis/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"mm-analysis/v1\",\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        out.push_str("  \"rules\": [\n");
+        for (i, r) in RULES.iter().enumerate() {
+            let comma = if i + 1 < RULES.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"id\": {}, \"description\": {}}}{comma}",
+                json_str(r.id),
+                json_str(r.description)
+            );
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            let comma = if i + 1 < self.findings.len() { "," } else { "" };
+            let severity = match f.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let (status, why) = match &f.status {
+                Status::Active => ("active", None),
+                Status::Suppressed { justification } => ("suppressed", Some(justification)),
+                Status::Allowlisted { reason } => ("allowlisted", Some(reason)),
+            };
+            let mut obj = format!(
+                "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"column\": {}, \
+                 \"severity\": {}, \"status\": {}, \"message\": {}",
+                json_str(&f.rule),
+                json_str(&f.path),
+                f.line,
+                f.col,
+                json_str(severity),
+                json_str(status),
+                json_str(&f.message),
+            );
+            if let Some(func) = &f.function {
+                let _ = write!(obj, ", \"function\": {}", json_str(func));
+            }
+            if let Some(why) = why {
+                let _ = write!(obj, ", \"justification\": {}", json_str(why));
+            }
+            let _ = writeln!(out, "{obj}}}{comma}");
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"errors\": {}, \"warnings\": {}, \"suppressed\": {}, \
+             \"allowlisted\": {}}}",
+            self.gating().count(),
+            self.warnings().count(),
+            self.findings
+                .iter()
+                .filter(|f| matches!(f.status, Status::Suppressed { .. }))
+                .count(),
+            self.findings
+                .iter()
+                .filter(|f| matches!(f.status, Status::Allowlisted { .. }))
+                .count(),
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(severity: Severity, status: Status) -> Finding {
+        Finding {
+            rule: "serve-panic-freedom".into(),
+            path: "crates/serve/src/lib.rs".into(),
+            line: 10,
+            col: 5,
+            function: Some("worker_loop".into()),
+            message: "`.unwrap()` can panic".into(),
+            severity,
+            status,
+        }
+    }
+
+    #[test]
+    fn gate_fails_only_on_active_errors() {
+        let mut r = Report::default();
+        assert_eq!(r.exit_code(), 0, "clean tree passes");
+        r.findings.push(finding(Severity::Warning, Status::Active));
+        assert_eq!(r.exit_code(), 0, "warnings never gate");
+        r.findings.push(finding(
+            Severity::Error,
+            Status::Suppressed {
+                justification: "justified at the site".into(),
+            },
+        ));
+        assert_eq!(r.exit_code(), 0, "suppressed errors do not gate");
+        r.findings.push(finding(
+            Severity::Error,
+            Status::Allowlisted {
+                reason: "architectural exception".into(),
+            },
+        ));
+        assert_eq!(r.exit_code(), 0, "allowlisted errors do not gate");
+        r.findings.push(finding(Severity::Error, Status::Active));
+        assert_eq!(r.exit_code(), 1, "one active error fails the gate");
+    }
+
+    #[test]
+    fn json_is_schema_v1_and_escapes() {
+        let mut r = Report {
+            files_scanned: 3,
+            findings: vec![finding(Severity::Error, Status::Active)],
+        };
+        r.findings[0].message = "quote \" backslash \\ newline \n".into();
+        let json = r.to_json();
+        assert!(json.contains("\"schema\": \"mm-analysis/v1\""));
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("quote \\\" backslash \\\\ newline \\n"));
+        assert!(json.contains("\"summary\": {\"errors\": 1, \"warnings\": 0"));
+    }
+
+    #[test]
+    fn sort_is_stable_by_position() {
+        let mut r = Report::default();
+        let mut a = finding(Severity::Error, Status::Active);
+        a.path = "b.rs".into();
+        let mut b = finding(Severity::Error, Status::Active);
+        b.path = "a.rs".into();
+        b.line = 99;
+        r.findings.push(a);
+        r.findings.push(b);
+        r.sort();
+        assert_eq!(r.findings[0].path, "a.rs");
+    }
+
+    #[test]
+    fn text_rendering_carries_position_and_reason() {
+        let r = Report {
+            files_scanned: 1,
+            findings: vec![finding(
+                Severity::Error,
+                Status::Suppressed {
+                    justification: "lock poisoning recovered at every site".into(),
+                },
+            )],
+        };
+        let text = r.render_text();
+        assert!(text.contains("--> crates/serve/src/lib.rs:10:5"));
+        assert!(text.contains("in: fn worker_loop"));
+        assert!(text.contains("why: lock poisoning recovered"));
+    }
+}

@@ -1,0 +1,478 @@
+//! The rule implementations: token-pattern matchers over a [`SourceFile`].
+//!
+//! Each rule returns raw findings (rule id, position, message); the engine
+//! in `lib.rs` applies tiers, test-region filtering, suppressions, and the
+//! allowlist.  Patterns are lexical by design — the lexer guarantees they
+//! never match inside strings or comments, and the few receiver-type
+//! questions that matter (is this a HashMap?) are answered from same-file
+//! declarations, which is exact for this workspace's style.
+
+use crate::lexer::{Token, TokenKind};
+use crate::scan::SourceFile;
+
+/// A rule match before tier/suppression/allowlist processing.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    pub rule: &'static str,
+    pub line: usize,
+    pub col: usize,
+    pub message: String,
+}
+
+/// Runs every rule whose scope covers `file`.
+pub fn check_file(file: &SourceFile) -> Vec<RawFinding> {
+    let mut out = Vec::new();
+    charge_before_noise(file, &mut out);
+    determinism_hygiene(file, &mut out);
+    blessed_reduction(file, &mut out);
+    serve_panic_freedom(file, &mut out);
+    assert_on_input(file, &mut out);
+    unsafe_forbidden(file, &mut out);
+    out
+}
+
+fn starts_with_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path.starts_with(p))
+}
+
+/// `tokens[i]` is an identifier called as a method: `recv.name(…)`.
+fn is_method_call(tokens: &[Token], i: usize) -> bool {
+    i > 0
+        && tokens[i].kind == TokenKind::Ident
+        && tokens[i - 1].kind == TokenKind::Punct('.')
+        && matches!(
+            tokens.get(i + 1).map(|t| t.kind),
+            // Plain call or turbofish: `.sum::<f64>()`.
+            Some(TokenKind::Punct('(')) | Some(TokenKind::Punct(':'))
+        )
+}
+
+/// `tokens[i]` is an identifier directly invoked: `name(…)` (not `fn name`).
+fn is_direct_call(tokens: &[Token], i: usize) -> bool {
+    tokens[i].kind == TokenKind::Ident
+        && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('('))
+        && !matches!(tokens.get(i.wrapping_sub(1)), Some(prev) if prev.text == "fn")
+        // `fn name<R: Rng>(…)` — generic definitions have `<` before `(`,
+        // so the `(` check above already excludes them.
+        && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('('))
+}
+
+/// `tokens[i]` is a macro invocation `name!(…)`.
+fn is_macro(tokens: &[Token], i: usize) -> bool {
+    tokens[i].kind == TokenKind::Ident
+        && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct('!'))
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('(') => depth += 1,
+            TokenKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Rule 1: any path that reaches a sampling call must be accounted.
+fn charge_before_noise(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    if !starts_with_any(
+        &file.path,
+        &["crates/core", "crates/serve", "src/", "examples/", "tests/"],
+    ) {
+        return;
+    }
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        let hit = (t.text == "sample" && is_method_call(tokens, i))
+            || ((t.text == "gaussian_noise" || t.text == "laplace_noise")
+                && is_direct_call(tokens, i));
+        if hit {
+            out.push(RawFinding {
+                rule: "charge-before-noise",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` draws noise outside the accounted path: the enclosing function \
+                     must charge the accountant first (or be allowlisted as an accounted \
+                     path / sampling primitive)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 2: nondeterminism sources in kernels, cache keys, and the store.
+fn determinism_hygiene(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    if !starts_with_any(
+        &file.path,
+        &["crates/linalg", "crates/core/src/engine", "crates/workload"],
+    ) {
+        return;
+    }
+    let tokens = &file.tokens;
+    const ITER_METHODS: &[&str] = &[
+        "iter",
+        "iter_mut",
+        "keys",
+        "values",
+        "values_mut",
+        "drain",
+        "retain",
+        "into_iter",
+        "into_keys",
+        "into_values",
+    ];
+    for (i, t) in tokens.iter().enumerate() {
+        // Instant::now / SystemTime::now.
+        if (t.text == "Instant" || t.text == "SystemTime")
+            && tokens.get(i + 1).map(|t| t.kind) == Some(TokenKind::Punct(':'))
+            && tokens.get(i + 3).map(|t| t.text.as_str()) == Some("now")
+        {
+            out.push(RawFinding {
+                rule: "determinism-hygiene",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}::now()` is wall-clock-derived and must not flow into numeric \
+                     kernels, cache keys, or the .mmsel store",
+                    t.text
+                ),
+            });
+        }
+        // read_dir anywhere in scope: filesystem order is unspecified.
+        if t.text == "read_dir" && (is_method_call(tokens, i) || is_direct_call(tokens, i)) {
+            out.push(RawFinding {
+                rule: "determinism-hygiene",
+                line: t.line,
+                col: t.col,
+                message: "`read_dir` yields entries in unspecified order; sort before any \
+                          order-dependent use"
+                    .to_string(),
+            });
+        }
+        // Iteration over a HashMap/HashSet-typed receiver declared in-file.
+        if ITER_METHODS.contains(&t.text.as_str())
+            && is_method_call(tokens, i)
+            && i >= 2
+            && tokens[i - 2].kind == TokenKind::Ident
+            && file.map_idents.contains(&tokens[i - 2].text)
+        {
+            out.push(RawFinding {
+                rule: "determinism-hygiene",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "iteration over hash-ordered `{}` (`.{}()`): HashMap/HashSet order is \
+                     nondeterministic across processes",
+                    tokens[i - 2].text,
+                    t.text
+                ),
+            });
+        }
+        // `for … in [&mut] <chain ending in a map ident> {`.
+        if t.text == "in" && t.kind == TokenKind::Ident {
+            let mut j = i + 1;
+            while let Some(n) = tokens.get(j) {
+                let skip = n.kind == TokenKind::Punct('&')
+                    || (n.kind == TokenKind::Ident && n.text == "mut");
+                if !skip {
+                    break;
+                }
+                j += 1;
+            }
+            let mut last_ident: Option<&Token> = None;
+            while let Some(n) = tokens.get(j) {
+                match n.kind {
+                    TokenKind::Ident => last_ident = Some(n),
+                    TokenKind::Punct('.') => {}
+                    _ => break,
+                }
+                j += 1;
+            }
+            if let (Some(ident), Some(term)) = (last_ident, tokens.get(j)) {
+                if term.kind == TokenKind::Punct('{') && file.map_idents.contains(&ident.text) {
+                    out.push(RawFinding {
+                        rule: "determinism-hygiene",
+                        line: ident.line,
+                        col: ident.col,
+                        message: format!(
+                            "`for … in {}` iterates a HashMap/HashSet in nondeterministic \
+                             order",
+                            ident.text
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rule 3: ad-hoc f64 reductions outside the blessed kernels.
+fn blessed_reduction(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    if !starts_with_any(&file.path, &["crates/linalg", "crates/opt"]) {
+        return;
+    }
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if t.text == "sum" && is_method_call(tokens, i) {
+            out.push(RawFinding {
+                rule: "blessed-reduction",
+                line: t.line,
+                col: t.col,
+                message: "ad-hoc `.sum()` accumulation: route f64 reductions through the \
+                          fixed-block `ops` primitives (ops::dot / ops::sum) so results \
+                          are bit-identical across refactors"
+                    .to_string(),
+            });
+        }
+        if t.text == "fold" && is_method_call(tokens, i) {
+            // Inspect the fold arguments: float seed + non-max/min body.
+            let Some(open) =
+                (i + 1..tokens.len().min(i + 6)).find(|&k| tokens[k].kind == TokenKind::Punct('('))
+            else {
+                continue;
+            };
+            let Some(close) = matching_paren(tokens, open) else {
+                continue;
+            };
+            let args = &tokens[open + 1..close];
+            let float_seed = args.iter().take(4).any(|a| {
+                a.kind == TokenKind::Literal && a.text.contains('.')
+                    || (a.kind == TokenKind::Ident
+                        && (a.text == "NEG_INFINITY" || a.text == "INFINITY"))
+            });
+            let order_independent = args
+                .iter()
+                .any(|a| a.kind == TokenKind::Ident && (a.text == "max" || a.text == "min"));
+            if float_seed && !order_independent {
+                out.push(RawFinding {
+                    rule: "blessed-reduction",
+                    line: t.line,
+                    col: t.col,
+                    message: "ad-hoc f64 `.fold()` accumulation: route through the \
+                              fixed-block `ops` primitives (order-independent max/min \
+                              folds are exempt)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 4: panic-freedom in the serve tier and single-flight machinery.
+fn serve_panic_freedom(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    if !(file.path.starts_with("crates/serve") || file.path == "crates/core/src/engine/cache.rs") {
+        return;
+    }
+    let tokens = &file.tokens;
+    const KEYWORDS: &[&str] = &[
+        "let", "in", "mut", "return", "if", "while", "match", "else", "move", "ref", "box",
+    ];
+    for (i, t) in tokens.iter().enumerate() {
+        if (t.text == "unwrap" || t.text == "expect") && is_method_call(tokens, i) {
+            out.push(RawFinding {
+                rule: "serve-panic-freedom",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`.{}()` can panic and poison every flight waiter: recover \
+                     (`unwrap_or_else(PoisonError::into_inner)` for locks) or return a \
+                     typed error",
+                    t.text
+                ),
+            });
+        }
+        if (t.text == "panic"
+            || t.text == "unreachable"
+            || t.text == "todo"
+            || t.text == "unimplemented")
+            && is_macro(tokens, i)
+        {
+            out.push(RawFinding {
+                rule: "serve-panic-freedom",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}!` in the serve tier: return a typed error instead",
+                    t.text
+                ),
+            });
+        }
+        // Unguarded indexing: `ident[...]` (slice patterns and types have a
+        // non-identifier or keyword before the bracket).
+        if t.kind == TokenKind::Punct('[') && i > 0 {
+            let prev = &tokens[i - 1];
+            if prev.kind == TokenKind::Ident && !KEYWORDS.contains(&prev.text.as_str()) {
+                out.push(RawFinding {
+                    rule: "serve-panic-freedom",
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "unguarded indexing `{}[…]` can panic: use `.get(…)` and handle \
+                         the miss",
+                        prev.text
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 5 (satellite): assert! on user-controllable input in core/serve.
+fn assert_on_input(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    if !starts_with_any(&file.path, &["crates/core", "crates/serve"]) {
+        return;
+    }
+    let tokens = &file.tokens;
+    for (i, t) in tokens.iter().enumerate() {
+        if (t.text == "assert" || t.text == "assert_eq" || t.text == "assert_ne")
+            && is_macro(tokens, i)
+        {
+            out.push(RawFinding {
+                rule: "assert-on-input",
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}!` in non-test mm-core/mm-serve code: validate user-controllable \
+                     input with a typed MechanismError (internal invariants belong in \
+                     `debug_assert!`)",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 6: no unsafe code anywhere; crate roots must forbid it.
+fn unsafe_forbidden(file: &SourceFile, out: &mut Vec<RawFinding>) {
+    let tokens = &file.tokens;
+    for t in tokens {
+        if t.kind == TokenKind::Ident && t.text == "unsafe" {
+            out.push(RawFinding {
+                rule: "unsafe-forbidden",
+                line: t.line,
+                col: t.col,
+                message: "unsafe code is forbidden workspace-wide".to_string(),
+            });
+        }
+    }
+    let is_crate_root = file.path.ends_with("src/lib.rs") || file.path.ends_with("src/main.rs");
+    if is_crate_root {
+        // Look for the token run `# ! [ forbid ( unsafe_code ) ]`.
+        let has_forbid = tokens.windows(8).any(|w| {
+            w[0].kind == TokenKind::Punct('#')
+                && w[1].kind == TokenKind::Punct('!')
+                && w[2].kind == TokenKind::Punct('[')
+                && w[3].text == "forbid"
+                && w[4].kind == TokenKind::Punct('(')
+                && w[5].text == "unsafe_code"
+                && w[6].kind == TokenKind::Punct(')')
+                && w[7].kind == TokenKind::Punct(']')
+        });
+        if !has_forbid {
+            out.push(RawFinding {
+                rule: "unsafe-forbidden",
+                line: 1,
+                col: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(path: &str, src: &str) -> Vec<RawFinding> {
+        check_file(&SourceFile::parse(path, src))
+    }
+
+    #[test]
+    fn noise_calls_are_flagged_but_definitions_are_not() {
+        let src = "#![forbid(unsafe_code)]\nfn leak(rng: &mut R) { let n = backend.sample(rng, s, p); }\nfn gaussian_noise(rng: &mut R) {}\n";
+        let hits = findings("crates/core/src/bad.rs", src);
+        let noise: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "charge-before-noise")
+            .collect();
+        assert_eq!(noise.len(), 1);
+        assert_eq!(noise[0].line, 2);
+    }
+
+    #[test]
+    fn map_iteration_and_clocks_are_flagged_in_scope_only() {
+        let src = "struct C { map: HashMap<u64, T> }\nfn f(c: &C) { for v in c.map { use_it(v); } let t = Instant::now(); }\n";
+        let in_scope = findings("crates/core/src/engine/x.rs", src);
+        assert!(in_scope
+            .iter()
+            .any(|f| f.rule == "determinism-hygiene" && f.message.contains("for … in map")));
+        assert!(in_scope
+            .iter()
+            .any(|f| f.rule == "determinism-hygiene" && f.message.contains("Instant")));
+        let out_of_scope = findings("crates/data/src/x.rs", src);
+        assert!(out_of_scope.iter().all(|f| f.rule != "determinism-hygiene"));
+    }
+
+    #[test]
+    fn sums_are_flagged_but_max_folds_are_exempt() {
+        let src = "fn f(xs: &[f64]) -> f64 { let a: f64 = xs.iter().sum(); let m = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b)); let s = xs.iter().fold(0.0, |a, &b| a + b); a + m + s }\n";
+        let hits = findings("crates/opt/src/x.rs", src);
+        let blessed: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "blessed-reduction")
+            .collect();
+        assert_eq!(blessed.len(), 2, "sum + plain fold, not the max fold");
+    }
+
+    #[test]
+    fn serve_panics_and_indexing_are_flagged() {
+        let src = "fn f(xs: &[f64]) { let a = lock.unwrap(); let b = xs[0]; panic!(\"boom\"); }\n";
+        let hits = findings("crates/serve/src/x.rs", src);
+        let p: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "serve-panic-freedom")
+            .collect();
+        assert_eq!(p.len(), 3);
+        // Same code outside the serve tier is fine for this rule.
+        assert!(findings("crates/linalg/src/x.rs", src)
+            .iter()
+            .all(|f| f.rule != "serve-panic-freedom"));
+    }
+
+    #[test]
+    fn asserts_flagged_in_core_but_not_debug_asserts() {
+        let src = "fn f(x: f64) { assert!(x > 0.0); debug_assert!(x.is_finite()); }\n";
+        let hits = findings("crates/core/src/x.rs", src);
+        let a: Vec<_> = hits
+            .iter()
+            .filter(|f| f.rule == "assert-on-input")
+            .collect();
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn missing_forbid_attribute_is_flagged_on_crate_roots() {
+        let with = "#![forbid(unsafe_code)]\npub fn ok() {}\n";
+        let without = "pub fn ok() {}\n";
+        assert!(findings("crates/x/src/lib.rs", with)
+            .iter()
+            .all(|f| f.rule != "unsafe-forbidden"));
+        assert!(findings("crates/x/src/lib.rs", without)
+            .iter()
+            .any(|f| f.rule == "unsafe-forbidden"));
+        // Non-root files don't need the attribute.
+        assert!(findings("crates/x/src/inner.rs", without)
+            .iter()
+            .all(|f| f.rule != "unsafe-forbidden"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Per-file source model: tokens plus the structure the rules need —
+//! function spans, `#[cfg(test)]`/`#[test]` regions, lint suppressions, and
+//! the set of identifiers declared with hash-map/-set types.
+
+use crate::lexer::{lex, Comment, Token, TokenKind};
+use std::collections::BTreeSet;
+
+/// An inline suppression parsed from a comment of the form
+/// `mm-lint: allow(<rule>): <justification>` (see README "Static analysis").
+/// It covers the comment's own line and the following line, so it can sit
+/// either at the end of the offending line or alone on the line above it.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    pub justification: String,
+    pub line: usize,
+    /// Set when the justification is missing or too thin to mean anything;
+    /// the engine reports these as findings instead of honoring them.
+    pub malformed: bool,
+}
+
+/// A named function item and the line span of its body.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    pub start_line: usize,
+    pub end_line: usize,
+}
+
+/// One scanned source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    pub functions: Vec<FnSpan>,
+    /// Line ranges (inclusive) of test-only code: `#[cfg(test)]` items and
+    /// `#[test]` functions.
+    pub test_regions: Vec<(usize, usize)>,
+    pub suppressions: Vec<Suppression>,
+    /// Identifiers declared in this file with a `HashMap<…>` / `HashSet<…>`
+    /// type annotation (fields, lets, params) — the receivers whose
+    /// iteration order is nondeterministic.
+    pub map_idents: BTreeSet<String>,
+}
+
+impl SourceFile {
+    /// Parses `source` into the model.  `path` should be workspace-relative.
+    pub fn parse(path: &str, source: &str) -> SourceFile {
+        let lexed = lex(source);
+        let functions = find_functions(&lexed.tokens);
+        let test_regions = find_test_regions(&lexed.tokens);
+        let suppressions = parse_suppressions(&lexed.comments);
+        let map_idents = find_map_idents(&lexed.tokens);
+        SourceFile {
+            path: path.replace('\\', "/"),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            functions,
+            test_regions,
+            suppressions,
+            map_idents,
+        }
+    }
+
+    /// True when `line` falls in test-only code.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| line >= s && line <= e)
+    }
+
+    /// The innermost named function containing `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&FnSpan> {
+        self.functions
+            .iter()
+            .filter(|f| line >= f.start_line && line <= f.end_line)
+            .min_by_key(|f| f.end_line - f.start_line)
+    }
+
+    /// The well-formed suppression covering `line` for `rule`, if any.
+    pub fn suppression_for(&self, rule: &str, line: usize) -> Option<&Suppression> {
+        self.suppressions
+            .iter()
+            .find(|s| !s.malformed && s.rule == rule && (s.line == line || s.line + 1 == line))
+    }
+}
+
+/// Finds `fn name … { … }` items and records their body line spans.  Bodies
+/// are delimited by brace matching from the first `{` after the signature; a
+/// trait method ending in `;` has no span.  Nested functions produce nested
+/// spans; `enclosing_fn` picks the innermost.
+fn find_functions(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_fn = tokens[i].kind == TokenKind::Ident && tokens[i].text == "fn";
+        if !is_fn {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = tokens.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokenKind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = name_tok.text.clone();
+        // Scan forward to the body `{` or the trait-declaration `;`.  The
+        // signature cannot contain braces, so the first of the two wins.
+        let mut j = i + 2;
+        let mut body_start = None;
+        while let Some(t) = tokens.get(j) {
+            match t.kind {
+                TokenKind::Punct('{') => {
+                    body_start = Some(j);
+                    break;
+                }
+                TokenKind::Punct(';') => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        if let Some(open) = body_start {
+            if let Some(close) = matching_brace(tokens, open) {
+                spans.push(FnSpan {
+                    name,
+                    start_line: tokens[i].line,
+                    end_line: tokens[close].line,
+                });
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Line spans of `#[cfg(test)]`-gated items and `#[test]` functions.
+fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Match `#[…]` attributes and decide whether they are test markers.
+        if tokens[i].kind != TokenKind::Punct('#') {
+            i += 1;
+            continue;
+        }
+        let Some(open) = tokens.get(i + 1) else {
+            break;
+        };
+        if open.kind != TokenKind::Punct('[') {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut attr = Vec::new();
+        while let Some(t) = tokens.get(j) {
+            match t.kind {
+                TokenKind::Punct('[') => depth += 1,
+                TokenKind::Punct(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            attr.push(t.text.as_str());
+            j += 1;
+        }
+        let is_test_attr =
+            attr == ["test"] || (attr.first() == Some(&"cfg") && attr.contains(&"test"));
+        if !is_test_attr {
+            i = j + 1;
+            continue;
+        }
+        // The attribute gates the next item: find its body braces (or `;`).
+        let mut k = j + 1;
+        // Skip any further attributes on the same item.
+        while tokens.get(k).map(|t| t.kind) == Some(TokenKind::Punct('#'))
+            && tokens.get(k + 1).map(|t| t.kind) == Some(TokenKind::Punct('['))
+        {
+            let mut depth = 0usize;
+            while let Some(t) = tokens.get(k) {
+                match t.kind {
+                    TokenKind::Punct('[') => depth += 1,
+                    TokenKind::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            k += 1;
+        }
+        let mut body = None;
+        let mut m = k;
+        while let Some(t) = tokens.get(m) {
+            match t.kind {
+                TokenKind::Punct('{') => {
+                    body = Some(m);
+                    break;
+                }
+                TokenKind::Punct(';') => break,
+                _ => {}
+            }
+            m += 1;
+        }
+        if let Some(open) = body {
+            if let Some(close) = matching_brace(tokens, open) {
+                regions.push((tokens[i].line, tokens[close].line));
+                i = close + 1;
+                continue;
+            }
+        }
+        i = m + 1;
+    }
+    regions
+}
+
+/// Parses `mm-lint: allow(<rule>)` suppressions out of comments.  Everything
+/// after the closing parenthesis — minus leading `:`/`-`/`—` separators — is
+/// the justification; fewer than 10 characters marks the suppression
+/// malformed (a bare allow with no reason is itself a finding).
+fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
+    let marker = "mm-lint:";
+    let mut out = Vec::new();
+    for c in comments {
+        // Doc comments never suppress: documentation is free to *mention*
+        // the syntax (README examples, rule catalogues) without disabling
+        // checks.  Suppressions must be plain `//` or `/* */` comments.
+        let is_doc = c.text.starts_with("///")
+            || c.text.starts_with("//!")
+            || c.text.starts_with("/**")
+            || c.text.starts_with("/*!");
+        if is_doc {
+            continue;
+        }
+        let Some(pos) = c.text.find(marker) else {
+            continue;
+        };
+        let rest = c.text[pos + marker.len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            out.push(Suppression {
+                rule: String::new(),
+                justification: String::new(),
+                line: c.line,
+                malformed: true,
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            out.push(Suppression {
+                rule: String::new(),
+                justification: String::new(),
+                line: c.line,
+                malformed: true,
+            });
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let mut justification = rest[close + 1..].trim();
+        justification = justification
+            .trim_start_matches([':', '-', '—', ' '])
+            .trim();
+        let malformed = rule.is_empty() || justification.chars().count() < 10;
+        out.push(Suppression {
+            rule,
+            justification: justification.to_string(),
+            line: c.line,
+            malformed,
+        });
+    }
+    out
+}
+
+/// Identifiers annotated with `HashMap<` / `HashSet<` types in this file:
+/// `name: HashMap<…>` (fields, lets, params) and
+/// `let name = HashMap::new()` / `HashSet::new()` bindings.
+fn find_map_idents(tokens: &[Token]) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    // `name : [& (mut | 'a)*] HashMap` — skip reference sigils and lifetimes
+    // between the colon and the type head.
+    for (i, t) in tokens.iter().enumerate() {
+        if t.kind != TokenKind::Punct(':') || i == 0 {
+            continue;
+        }
+        let Some(prev) = tokens.get(i - 1) else {
+            continue;
+        };
+        if prev.kind != TokenKind::Ident {
+            continue;
+        }
+        let mut j = i + 1;
+        while let Some(n) = tokens.get(j) {
+            let skip = n.kind == TokenKind::Punct('&')
+                || n.kind == TokenKind::Lifetime
+                || (n.kind == TokenKind::Ident && n.text == "mut");
+            if !skip {
+                break;
+            }
+            j += 1;
+        }
+        if let Some(head) = tokens.get(j) {
+            if head.kind == TokenKind::Ident && (head.text == "HashMap" || head.text == "HashSet") {
+                out.insert(prev.text.clone());
+            }
+        }
+    }
+    // `let name = HashMap::new()` — scan 4-token windows `name = HashMap :`.
+    for w in tokens.windows(4) {
+        let [a, b, c, d] = w else { continue };
+        if a.kind == TokenKind::Ident
+            && b.kind == TokenKind::Punct('=')
+            && c.kind == TokenKind::Ident
+            && (c.text == "HashMap" || c.text == "HashSet")
+            && d.kind == TokenKind::Punct(':')
+        {
+            out.insert(a.text.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_spans_and_innermost_lookup() {
+        let src = "fn outer() {\n  fn inner() {\n    body();\n  }\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.functions.len(), 2);
+        assert_eq!(f.enclosing_fn(3).unwrap().name, "inner");
+        assert_eq!(f.enclosing_fn(5).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn cfg_test_mod_and_test_fn_are_test_regions() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn helper() {}\n}\n#[test]\nfn unit() {\n  check();\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(!f.in_test_region(1));
+        assert!(f.in_test_region(4));
+        assert!(f.in_test_region(8));
+    }
+
+    #[test]
+    fn suppression_requires_justification() {
+        let good = "mm-lint: allow";
+        let src = format!(
+            "// {good}(serve-panic-freedom): worker spawn precedes any flight\nx.unwrap();\n// {good}(serve-panic-freedom)\ny.unwrap();\n"
+        );
+        let f = SourceFile::parse("x.rs", &src);
+        assert_eq!(f.suppressions.len(), 2);
+        assert!(f.suppression_for("serve-panic-freedom", 2).is_some());
+        assert!(f.suppression_for("serve-panic-freedom", 4).is_none());
+        assert!(f.suppressions[1].malformed);
+    }
+
+    #[test]
+    fn map_typed_idents_are_collected() {
+        let src = "struct S { pending: HashMap<u64, T> }\nfn f(live: &HashSet<u32>) { let fresh = HashMap::new(); }\nlet plain: Vec<u8>;\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.map_idents.contains("pending"));
+        assert!(f.map_idents.contains("live"));
+        assert!(f.map_idents.contains("fresh"));
+        assert!(!f.map_idents.contains("plain"));
+    }
+}

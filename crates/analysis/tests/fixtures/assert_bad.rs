@@ -1,0 +1,4 @@
+pub fn set_epsilon(epsilon: f64) -> f64 {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    epsilon
+}

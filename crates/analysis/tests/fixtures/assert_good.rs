@@ -1,0 +1,7 @@
+pub fn set_epsilon(epsilon: f64) -> Result<f64, MechanismError> {
+    if epsilon <= 0.0 {
+        return Err(MechanismError::InvalidArgument("epsilon".into()));
+    }
+    debug_assert!(epsilon.is_finite());
+    Ok(epsilon)
+}

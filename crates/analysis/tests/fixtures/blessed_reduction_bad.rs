@@ -1,0 +1,7 @@
+pub fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}
+
+pub fn running(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |acc, x| acc + x)
+}

@@ -1,0 +1,7 @@
+pub fn total(xs: &[f64]) -> f64 {
+    crate::ops::sum(xs)
+}
+
+pub fn peak(xs: &[f64]) -> f64 {
+    xs.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x))
+}

@@ -1,0 +1,8 @@
+pub fn sneak_release(backend: &dyn NoiseBackend, rng: &mut R, scale: f64, n: usize) -> Vec<f64> {
+    let noise = backend.sample(rng, scale, n);
+    noise
+}
+
+pub fn helper(rng: &mut R, sigma: f64, n: usize) -> Vec<f64> {
+    gaussian_noise(rng, sigma, n)
+}

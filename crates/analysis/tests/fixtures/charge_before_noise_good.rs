@@ -1,0 +1,12 @@
+pub fn charged_release(
+    ledger: &BudgetLedger,
+    backend: &dyn NoiseBackend,
+    rng: &mut R,
+    scale: f64,
+    n: usize,
+) -> Result<Vec<f64>, MechanismError> {
+    ledger.charge_event_many(&event, n)?;
+    // mm-lint: allow(charge-before-noise): the ledger charge on the line above precedes every draw
+    let noise = backend.sample(rng, scale, n);
+    Ok(noise)
+}

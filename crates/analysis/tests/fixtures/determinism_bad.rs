@@ -1,0 +1,14 @@
+use std::collections::HashMap;
+
+pub fn accumulate(weights: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in weights.iter() {
+        total += v;
+    }
+    total
+}
+
+pub fn stamp() -> u64 {
+    let _t = std::time::Instant::now();
+    0
+}

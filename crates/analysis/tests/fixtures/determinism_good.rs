@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+pub fn accumulate(weights: &BTreeMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in weights.iter() {
+        total += v;
+    }
+    total
+}

@@ -1,0 +1,7 @@
+pub fn broken(queue: &Mutex<Vec<Job>>, jobs: &[Job]) -> Job {
+    let _guard = queue.lock().unwrap();
+    if jobs.is_empty() {
+        panic!("no jobs");
+    }
+    jobs[0].clone()
+}

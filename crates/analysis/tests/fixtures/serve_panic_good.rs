@@ -1,0 +1,4 @@
+pub fn steady(queue: &Mutex<Vec<Job>>, jobs: &[Job]) -> Option<Job> {
+    let _guard = queue.lock().unwrap_or_else(PoisonError::into_inner);
+    jobs.first().cloned()
+}

@@ -1,0 +1,6 @@
+pub fn f(backend: &B, rng: &mut R) {
+    // mm-lint: allow(charge-before-noise)
+    let _x = backend.sample(rng, 1.0, 1);
+    // mm-lint: allow(not-a-rule): this justification is long enough to parse
+    let _y = backend.sample(rng, 1.0, 1);
+}

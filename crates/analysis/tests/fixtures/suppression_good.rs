@@ -1,0 +1,4 @@
+pub fn f(backend: &B, rng: &mut R) {
+    // mm-lint: allow(charge-before-noise): one-shot API whose cost is fixed at construction
+    let _x = backend.sample(rng, 1.0, 1);
+}

@@ -1,0 +1,276 @@
+//! Golden-file tests: each rule has a known-bad fixture (exact diagnostics
+//! asserted, file:line precision) and a known-good fixture (clean under the
+//! same synthetic path).  Fixtures live in `tests/fixtures/` and are fed to
+//! the engine under *synthetic* workspace-relative paths, because the real
+//! fixture directory is Tier::Skip — the linter must never gate on its own
+//! violation corpus.
+
+use mm_analysis::report::{Report, Status};
+use mm_analysis::{analyze_source, check_workspace};
+use std::path::Path;
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read fixture {name}: {e}"))
+}
+
+/// Lints a fixture as if it lived at `rel_path` in the workspace.
+fn lint_as(rel_path: &str, fixture_name: &str) -> Report {
+    let mut report = Report::default();
+    analyze_source(rel_path, &fixture(fixture_name), &mut report);
+    report.sort();
+    report
+}
+
+/// The gating findings as `(rule, line)` pairs, in report order.
+fn gating(report: &Report) -> Vec<(String, usize)> {
+    report.gating().map(|f| (f.rule.clone(), f.line)).collect()
+}
+
+#[test]
+fn charge_before_noise_bad_fixture_flags_both_draw_sites() {
+    let report = lint_as(
+        "crates/core/src/mechanism/sneak.rs",
+        "charge_before_noise_bad.rs",
+    );
+    assert_eq!(
+        gating(&report),
+        vec![
+            ("charge-before-noise".to_string(), 2),
+            ("charge-before-noise".to_string(), 7),
+        ]
+    );
+    let messages: Vec<&str> = report.gating().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("`sample` draws noise outside the accounted path"));
+    assert!(messages[1].contains("`gaussian_noise` draws noise outside the accounted path"));
+    assert_eq!(report.exit_code(), 1);
+}
+
+#[test]
+fn charge_before_noise_good_fixture_is_suppressed_with_justification() {
+    let report = lint_as(
+        "crates/core/src/mechanism/sneak.rs",
+        "charge_before_noise_good.rs",
+    );
+    assert_eq!(report.exit_code(), 0);
+    assert_eq!(report.findings.len(), 1);
+    match &report.findings[0].status {
+        Status::Suppressed { justification } => {
+            assert!(justification.contains("ledger charge"));
+        }
+        other => panic!("expected Suppressed, got {other:?}"),
+    }
+}
+
+#[test]
+fn determinism_bad_fixture_flags_hash_iteration_and_wall_clock() {
+    let report = lint_as("crates/core/src/engine/sneak.rs", "determinism_bad.rs");
+    assert_eq!(
+        gating(&report),
+        vec![
+            ("determinism-hygiene".to_string(), 5),
+            ("determinism-hygiene".to_string(), 12),
+        ]
+    );
+    let messages: Vec<&str> = report.gating().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("hash-ordered `weights`"));
+    assert!(messages[1].contains("Instant"));
+}
+
+#[test]
+fn determinism_good_fixture_btreemap_iteration_is_clean() {
+    let report = lint_as("crates/core/src/engine/sneak.rs", "determinism_good.rs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn blessed_reduction_bad_fixture_flags_sum_and_float_fold() {
+    let report = lint_as("crates/opt/src/sneak.rs", "blessed_reduction_bad.rs");
+    assert_eq!(
+        gating(&report),
+        vec![
+            ("blessed-reduction".to_string(), 2),
+            ("blessed-reduction".to_string(), 6),
+        ]
+    );
+    let messages: Vec<&str> = report.gating().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("ad-hoc `.sum()` accumulation"));
+    assert!(messages[1].contains("ad-hoc f64 `.fold()` accumulation"));
+}
+
+#[test]
+fn blessed_reduction_good_fixture_ops_call_and_max_fold_are_clean() {
+    let report = lint_as("crates/opt/src/sneak.rs", "blessed_reduction_good.rs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn serve_panic_bad_fixture_flags_unwrap_panic_and_indexing() {
+    let report = lint_as("crates/serve/src/sneak.rs", "serve_panic_bad.rs");
+    assert_eq!(
+        gating(&report),
+        vec![
+            ("serve-panic-freedom".to_string(), 2),
+            ("serve-panic-freedom".to_string(), 4),
+            ("serve-panic-freedom".to_string(), 6),
+        ]
+    );
+    let messages: Vec<&str> = report.gating().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("`.unwrap()` can panic and poison every flight waiter"));
+    assert!(messages[1].contains("`panic!` in the serve tier"));
+    assert!(messages[2].contains("unguarded indexing `jobs[…]`"));
+}
+
+#[test]
+fn serve_panic_good_fixture_poison_recovery_is_clean() {
+    let report = lint_as("crates/serve/src/sneak.rs", "serve_panic_good.rs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn assert_bad_fixture_flags_assert_on_input() {
+    let report = lint_as("crates/core/src/sneak.rs", "assert_bad.rs");
+    assert_eq!(gating(&report), vec![("assert-on-input".to_string(), 2)]);
+    let f = report.gating().next().expect("one finding");
+    assert!(f
+        .message
+        .contains("`assert!` in non-test mm-core/mm-serve code"));
+    assert_eq!(f.function.as_deref(), Some("set_epsilon"));
+}
+
+#[test]
+fn assert_good_fixture_typed_error_and_debug_assert_are_clean() {
+    let report = lint_as("crates/core/src/sneak.rs", "assert_good.rs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn unsafe_bad_fixture_flags_the_block_and_crate_roots_need_forbid() {
+    let report = lint_as("crates/strategies/src/sneak.rs", "unsafe_bad.rs");
+    assert_eq!(gating(&report), vec![("unsafe-forbidden".to_string(), 2)]);
+
+    // The same content at a crate root additionally reports the missing
+    // `#![forbid(unsafe_code)]` attribute at 1:1.
+    let report = lint_as("crates/strategies/src/lib.rs", "unsafe_bad.rs");
+    assert_eq!(
+        gating(&report),
+        vec![
+            ("unsafe-forbidden".to_string(), 1),
+            ("unsafe-forbidden".to_string(), 2),
+        ]
+    );
+    let messages: Vec<&str> = report.gating().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("crate root is missing `#![forbid(unsafe_code)]`"));
+}
+
+#[test]
+fn unsafe_good_fixture_forbidding_crate_root_is_clean() {
+    let report = lint_as("crates/strategies/src/lib.rs", "unsafe_good.rs");
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+#[test]
+fn suppression_bad_fixture_malformed_allows_are_findings_and_do_not_silence() {
+    let report = lint_as("crates/core/src/mechanism/sneak.rs", "suppression_bad.rs");
+    assert_eq!(
+        gating(&report),
+        vec![
+            ("lint-suppression".to_string(), 2),
+            ("charge-before-noise".to_string(), 3),
+            ("lint-suppression".to_string(), 4),
+            ("charge-before-noise".to_string(), 5),
+        ]
+    );
+    let messages: Vec<&str> = report.gating().map(|f| f.message.as_str()).collect();
+    assert!(messages[0].contains("suppression for `charge-before-noise` lacks a justification"));
+    assert!(messages[2].contains("suppression names unknown rule `not-a-rule`"));
+    assert_eq!(report.exit_code(), 1);
+}
+
+#[test]
+fn suppression_good_fixture_justified_allow_silences_exactly_one_line() {
+    let report = lint_as("crates/core/src/mechanism/sneak.rs", "suppression_good.rs");
+    assert_eq!(report.exit_code(), 0);
+    assert_eq!(report.findings.len(), 1);
+    assert!(matches!(
+        report.findings[0].status,
+        Status::Suppressed { .. }
+    ));
+}
+
+#[test]
+fn allowlist_covers_the_noise_primitive_file() {
+    // The identical bad content is architecturally allowlisted when it lives
+    // at the blessed sampling-primitive path.
+    let report = lint_as(
+        "crates/core/src/mechanism/noise.rs",
+        "charge_before_noise_bad.rs",
+    );
+    assert_eq!(report.exit_code(), 0);
+    assert_eq!(report.findings.len(), 2);
+    for f in &report.findings {
+        match &f.status {
+            Status::Allowlisted { reason } => assert!(reason.contains("primitives")),
+            other => panic!("expected Allowlisted, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn examples_tier_reports_warnings_without_gating() {
+    let report = lint_as("examples/demo.rs", "charge_before_noise_bad.rs");
+    assert_eq!(report.exit_code(), 0, "warn tier never gates");
+    assert_eq!(report.gating().count(), 0);
+    assert_eq!(report.warnings().count(), 2);
+}
+
+#[test]
+fn fixture_directory_itself_is_skipped() {
+    let report = lint_as(
+        "crates/analysis/tests/fixtures/charge_before_noise_bad.rs",
+        "charge_before_noise_bad.rs",
+    );
+    assert_eq!(report.files_scanned, 0);
+    assert!(report.findings.is_empty());
+}
+
+#[test]
+fn injected_violation_fails_check_workspace_with_precise_position() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("mm-analysis-injected");
+    let src_dir = root.join("crates/core/src/engine");
+    std::fs::create_dir_all(&src_dir).expect("create temp workspace");
+    std::fs::write(
+        src_dir.join("injected.rs"),
+        "pub fn stamp() -> u64 {\n    let _t = std::time::Instant::now();\n    0\n}\n",
+    )
+    .expect("write injected violation");
+
+    let report = check_workspace(&root).expect("scan temp workspace");
+    assert_eq!(report.exit_code(), 1, "injected violation must gate");
+    let f = report.gating().next().expect("one gating finding");
+    assert_eq!(f.rule, "determinism-hygiene");
+    assert_eq!(f.path, "crates/core/src/engine/injected.rs");
+    assert_eq!(f.line, 2);
+    let text = report.render_text();
+    assert!(text.contains("crates/core/src/engine/injected.rs:2:"));
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn shipped_tree_passes_the_gate() {
+    // CARGO_MANIFEST_DIR is crates/analysis; the workspace root is two up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let report = check_workspace(root).expect("scan workspace");
+    assert_eq!(
+        report.exit_code(),
+        0,
+        "shipped tree must be clean:\n{}",
+        report.render_text()
+    );
+}

@@ -50,14 +50,35 @@ impl AdvancedCompositionAccountant {
         AdvancedCompositionAccountant::with_slack_fraction(total, DEFAULT_SLACK_FRACTION)
     }
 
+    /// A fresh accountant reserving `fraction · total.delta` as δ′,
+    /// rejecting a fraction outside (0, 1) with a typed error.
+    pub fn try_with_slack_fraction(
+        total: PrivacyBudget,
+        fraction: f64,
+    ) -> Result<Self, crate::MechanismError> {
+        if !(fraction > 0.0 && fraction < 1.0) {
+            return Err(crate::MechanismError::InvalidArgument(format!(
+                "slack fraction must lie in (0, 1), got {fraction}"
+            )));
+        }
+        Ok(AdvancedCompositionAccountant::with_validated_fraction(
+            total, fraction,
+        ))
+    }
+
     /// A fresh accountant reserving `fraction · total.delta` as δ′.
     ///
-    /// Panics unless `fraction` lies in (0, 1).
+    /// Panics unless `fraction` lies in (0, 1).  See
+    /// [`AdvancedCompositionAccountant::try_with_slack_fraction`] for the
+    /// non-panicking form.
     pub fn with_slack_fraction(total: PrivacyBudget, fraction: f64) -> Self {
-        assert!(
-            fraction > 0.0 && fraction < 1.0,
-            "slack fraction must lie in (0, 1)"
-        );
+        match AdvancedCompositionAccountant::try_with_slack_fraction(total, fraction) {
+            Ok(accountant) => accountant,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn with_validated_fraction(total: PrivacyBudget, fraction: f64) -> Self {
         AdvancedCompositionAccountant {
             total,
             delta_slack: fraction * total.delta,

@@ -1,6 +1,17 @@
 //! Mechanism events: what actually gets charged to an accountant.
 
 use crate::privacy::PrivacyParams;
+use crate::MechanismError;
+
+fn positive_finite(value: f64, what: &str) -> Result<f64, MechanismError> {
+    if value > 0.0 && value.is_finite() {
+        Ok(value)
+    } else {
+        Err(MechanismError::InvalidArgument(format!(
+            "{what} must be positive and finite, got {value}"
+        )))
+    }
+}
 
 /// The noise distribution a charged release used.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,44 +46,52 @@ pub struct MechanismEvent {
 
 impl MechanismEvent {
     /// A Gaussian release: noise σ on a query set of L2 sensitivity Δ₂,
-    /// requested at `requested`.
-    ///
-    /// Panics when σ or Δ₂ is non-positive or non-finite.
-    pub fn gaussian(requested: PrivacyParams, sigma: f64, l2_sensitivity: f64) -> Self {
-        assert!(
-            sigma > 0.0 && sigma.is_finite(),
-            "gaussian noise scale must be positive and finite"
-        );
-        assert!(
-            l2_sensitivity > 0.0 && l2_sensitivity.is_finite(),
-            "l2 sensitivity must be positive and finite"
-        );
-        MechanismEvent {
+    /// requested at `requested`.  Rejects a non-positive or non-finite σ
+    /// or Δ₂ with a typed error: a degenerate scale would make the RDP
+    /// curve under-count the release.
+    pub fn try_gaussian(
+        requested: PrivacyParams,
+        sigma: f64,
+        l2_sensitivity: f64,
+    ) -> Result<Self, MechanismError> {
+        Ok(MechanismEvent {
             kind: MechanismKind::Gaussian,
-            noise_scale: sigma,
-            sensitivity: l2_sensitivity,
+            noise_scale: positive_finite(sigma, "gaussian noise scale")?,
+            sensitivity: positive_finite(l2_sensitivity, "l2 sensitivity")?,
             requested,
+        })
+    }
+
+    /// Panicking form of [`MechanismEvent::try_gaussian`].
+    pub fn gaussian(requested: PrivacyParams, sigma: f64, l2_sensitivity: f64) -> Self {
+        match MechanismEvent::try_gaussian(requested, sigma, l2_sensitivity) {
+            Ok(event) => event,
+            Err(e) => panic!("{e}"),
         }
     }
 
     /// A Laplace release: noise scale b on a query set of L1 sensitivity Δ₁,
-    /// requested at `requested`.
-    ///
-    /// Panics when b or Δ₁ is non-positive or non-finite.
-    pub fn laplace(requested: PrivacyParams, b: f64, l1_sensitivity: f64) -> Self {
-        assert!(
-            b > 0.0 && b.is_finite(),
-            "laplace noise scale must be positive and finite"
-        );
-        assert!(
-            l1_sensitivity > 0.0 && l1_sensitivity.is_finite(),
-            "l1 sensitivity must be positive and finite"
-        );
-        MechanismEvent {
+    /// requested at `requested`.  Rejects a non-positive or non-finite b
+    /// or Δ₁ with a typed error: a degenerate scale would make the RDP
+    /// curve under-count the release.
+    pub fn try_laplace(
+        requested: PrivacyParams,
+        b: f64,
+        l1_sensitivity: f64,
+    ) -> Result<Self, MechanismError> {
+        Ok(MechanismEvent {
             kind: MechanismKind::Laplace,
-            noise_scale: b,
-            sensitivity: l1_sensitivity,
+            noise_scale: positive_finite(b, "laplace noise scale")?,
+            sensitivity: positive_finite(l1_sensitivity, "l1 sensitivity")?,
             requested,
+        })
+    }
+
+    /// Panicking form of [`MechanismEvent::try_laplace`].
+    pub fn laplace(requested: PrivacyParams, b: f64, l1_sensitivity: f64) -> Self {
+        match MechanismEvent::try_laplace(requested, b, l1_sensitivity) {
+            Ok(event) => event,
+            Err(e) => panic!("{e}"),
         }
     }
 

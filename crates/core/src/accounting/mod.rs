@@ -174,20 +174,26 @@ pub struct RdpAccounting {
 }
 
 impl RdpAccounting {
+    /// RDP accounting on a custom grid of orders, rejecting an empty grid
+    /// or any order ≤ 1 (or non-finite) with a typed error.
+    pub fn try_with_orders(orders: Vec<f64>) -> Result<Self, crate::MechanismError> {
+        rdp::validate_rdp_orders(&orders)?;
+        Ok(RdpAccounting {
+            orders: Some(orders),
+        })
+    }
+
     /// RDP accounting on a custom grid of orders.
     ///
     /// Panics unless the grid is non-empty and every order is finite and
     /// exceeds 1 — at construction, so a misconfigured engine fails where it
     /// is built rather than on the serving thread that opens the first
-    /// session.
+    /// session.  See [`RdpAccounting::try_with_orders`] for the
+    /// non-panicking form.
     pub fn with_orders(orders: Vec<f64>) -> Self {
-        assert!(!orders.is_empty(), "the RDP order grid must not be empty");
-        assert!(
-            orders.iter().all(|&a| a > 1.0 && a.is_finite()),
-            "every RDP order must be finite and exceed 1"
-        );
-        RdpAccounting {
-            orders: Some(orders),
+        match RdpAccounting::try_with_orders(orders) {
+            Ok(factory) => factory,
+            Err(e) => panic!("{e}"),
         }
     }
 }

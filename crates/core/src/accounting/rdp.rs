@@ -19,6 +19,22 @@ pub fn default_rdp_orders() -> Vec<f64> {
     orders
 }
 
+/// Shared grid validation for [`RdpAccountant::try_with_orders`] and
+/// [`super::RdpAccounting::try_with_orders`].
+pub(crate) fn validate_rdp_orders(orders: &[f64]) -> Result<(), crate::MechanismError> {
+    if orders.is_empty() {
+        return Err(crate::MechanismError::InvalidArgument(
+            "the RDP order grid must not be empty".into(),
+        ));
+    }
+    if let Some(bad) = orders.iter().find(|&&a| !(a > 1.0 && a.is_finite())) {
+        return Err(crate::MechanismError::InvalidArgument(format!(
+            "every RDP order must be finite and exceed 1, got {bad}"
+        )));
+    }
+    Ok(())
+}
+
 /// Rényi-DP accountant: per release, the closed-form RDP curve of the
 /// mechanism (Gaussian ε(α) = α·Δ²/(2σ²), Laplace per Mironov 2017) is added
 /// order-wise on a grid of α; on every affordability check and spend report
@@ -76,13 +92,27 @@ impl RdpAccountant {
         RdpAccountant::with_orders(total, default_rdp_orders())
     }
 
-    /// A fresh accountant on a custom grid of orders (each must be > 1).
+    /// A fresh accountant on a custom grid of orders, rejecting an empty
+    /// grid or any order ≤ 1 (or non-finite) with a typed error.
+    pub fn try_with_orders(
+        total: PrivacyBudget,
+        orders: Vec<f64>,
+    ) -> Result<Self, crate::MechanismError> {
+        validate_rdp_orders(&orders)?;
+        Ok(RdpAccountant::with_validated_orders(total, orders))
+    }
+
+    /// A fresh accountant on a custom grid of orders (each must be > 1);
+    /// panics on an invalid grid.  See [`RdpAccountant::try_with_orders`]
+    /// for the non-panicking form.
     pub fn with_orders(total: PrivacyBudget, orders: Vec<f64>) -> Self {
-        assert!(!orders.is_empty(), "the RDP order grid must not be empty");
-        assert!(
-            orders.iter().all(|&a| a > 1.0 && a.is_finite()),
-            "every RDP order must be finite and exceed 1"
-        );
+        match RdpAccountant::try_with_orders(total, orders) {
+            Ok(accountant) => accountant,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn with_validated_orders(total: PrivacyBudget, orders: Vec<f64>) -> Self {
         let rdp = vec![KahanSum::default(); orders.len()];
         RdpAccountant {
             total,

@@ -48,6 +48,7 @@ pub fn total_squared_error_bound(eigenvalues: &[f64], privacy: &PrivacyParams) -
 /// Lower bound on the workload RMS error (Def. 5) of any strategy:
 /// `√(P · svdb / m)`.
 pub fn rms_error_bound(eigenvalues: &[f64], query_count: usize, privacy: &PrivacyParams) -> f64 {
+    // mm-lint: allow(assert-on-input): an empty workload is a structural misuse with a documented panic; rms_error_bound_from_gram is the Result-returning entry point for untrusted dimensions
     assert!(query_count > 0, "workload must have at least one query");
     (total_squared_error_bound(eigenvalues, privacy) / query_count as f64).sqrt()
 }

@@ -54,7 +54,7 @@ use mm_linalg::Matrix;
 use mm_strategies::Strategy;
 use mm_workload::Fingerprint;
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// Default number of independently locked cache shards.
 pub const DEFAULT_SHARD_COUNT: usize = 8;
@@ -120,14 +120,10 @@ impl CachedSelection {
         trace: f64,
     ) -> Self {
         let entry = CachedSelection::with_cost(strategy, selection_cost_ns);
-        entry
-            .factor
-            .set(factor)
-            .expect("fresh entry has no factor yet");
-        entry
-            .trace
-            .set(trace)
-            .expect("fresh entry has no trace yet");
+        // Freshly constructed above: the OnceLock cells are necessarily
+        // empty, so these sets cannot fail.
+        let _ = entry.factor.set(factor);
+        let _ = entry.trace.set(trace);
         entry
     }
 
@@ -220,11 +216,21 @@ impl Flight {
     }
 
     /// Blocks until the flight resolves; `Err` carries why the leader failed.
+    ///
+    /// Lock poisoning is *recovered* throughout this module
+    /// (`unwrap_or_else(PoisonError::into_inner)`): flight state and shard
+    /// maps are only ever written whole, so a panicking leader leaves no
+    /// torn data — and the flight machinery itself converts that panic into
+    /// [`FlightPoison::Abandoned`] for every waiter.  Panicking on the
+    /// poison flag instead would take down every thread that ever touches
+    /// the same shard.
     fn wait(&self) -> Result<Arc<CachedSelection>, FlightPoison> {
-        let mut state = self.state.lock().expect("flight lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             match &*state {
-                FlightState::Pending => state = self.cv.wait(state).expect("flight lock"),
+                FlightState::Pending => {
+                    state = self.cv.wait(state).unwrap_or_else(PoisonError::into_inner)
+                }
                 FlightState::Done(entry) => return Ok(entry.clone()),
                 FlightState::Poisoned(poison) => return Err(poison.clone()),
             }
@@ -232,7 +238,7 @@ impl Flight {
     }
 
     fn resolve(&self, outcome: Result<Arc<CachedSelection>, FlightPoison>) {
-        let mut state = self.state.lock().expect("flight lock");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         *state = match outcome {
             Ok(entry) => FlightState::Done(entry),
             Err(poison) => FlightState::Poisoned(poison),
@@ -283,12 +289,19 @@ impl ShardInner {
             // Pick the victim by policy (shard capacities are small, so the
             // linear scan is cheaper than an intrusive list).
             let tick = self.tick;
+            // Both scans impose a *total* order — stamp resp. score, with
+            // the fingerprint as tie-break — so the chosen victim is a pure
+            // function of the entries, not of HashMap iteration order.
+            // (Regression: cost-aware scores can collide across different
+            // (cost, age) pairs, and with ties left to hash order the
+            // warm-restart eviction state diverged between processes.)
             let victim = match policy {
                 // Least recently used.
                 EvictionPolicy::Lru => self
                     .map
+                    // mm-lint: allow(determinism-hygiene): full scan under a total order (stamp, then fingerprint) — result independent of hash iteration order
                     .iter()
-                    .min_by_key(|(_, e)| e.last_used)
+                    .min_by_key(|(fp, e)| (e.last_used, fp.0))
                     .map(|(fp, _)| *fp),
                 // Lowest recency×cost score: `cost / (age + 1)` decays with
                 // the entry's idle time, so a cheap recent entry outranks a
@@ -296,8 +309,9 @@ impl ShardInner {
                 // high score long after its last use.
                 EvictionPolicy::CostAware => self
                     .map
+                    // mm-lint: allow(determinism-hygiene): full scan under a total order (score, then fingerprint) — result independent of hash iteration order
                     .iter()
-                    .min_by(|(_, a), (_, b)| {
+                    .min_by(|(fp_a, a), (fp_b, b)| {
                         let score = |e: &CacheEntry| {
                             let age = tick.saturating_sub(e.last_used) as f64;
                             // +1 in f64: the cost may be the u64::MAX
@@ -307,6 +321,7 @@ impl ShardInner {
                         score(a)
                             .partial_cmp(&score(b))
                             .unwrap_or(std::cmp::Ordering::Equal)
+                            .then_with(|| fp_a.0.cmp(&fp_b.0))
                     })
                     .map(|(fp, _)| *fp),
             };
@@ -374,7 +389,7 @@ impl SelectionGuard<'_> {
         };
         let shard = self.cache.shard(self.fp);
         let winner = {
-            let mut inner = shard.inner.lock().expect("cache shard lock");
+            let mut inner = shard.inner.lock().unwrap_or_else(PoisonError::into_inner);
             let winner = inner.insert(self.fp, selection, shard.capacity, self.cache.policy);
             inner.in_flight.remove(&self.fp);
             winner
@@ -403,7 +418,7 @@ impl SelectionGuard<'_> {
             shard
                 .inner
                 .lock()
-                .expect("cache shard lock")
+                .unwrap_or_else(PoisonError::into_inner)
                 .in_flight
                 .remove(&self.fp);
             flight.resolve(Err(poison));
@@ -485,6 +500,7 @@ impl StrategyCache {
 
     fn shard(&self, fp: Fingerprint) -> &Shard {
         // Fingerprints are avalanched, so the low bits are uniform.
+        // mm-lint: allow(serve-panic-freedom): shard_mask = len - 1 with len a power of two, so the masked index is in bounds by construction
         &self.shards[(fp.0 as usize) & self.shard_mask]
     }
 
@@ -503,7 +519,7 @@ impl StrategyCache {
         let mut recovered_poison = None;
         loop {
             let flight = {
-                let mut inner = shard.inner.lock().expect("cache shard lock");
+                let mut inner = shard.inner.lock().unwrap_or_else(PoisonError::into_inner);
                 if let Some(selection) = inner.touch(fp) {
                     return Lookup::Hit(selection);
                 }
@@ -540,7 +556,7 @@ impl StrategyCache {
         self.shard(fp)
             .inner
             .lock()
-            .expect("cache shard lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .touch(fp)
     }
 
@@ -553,7 +569,7 @@ impl StrategyCache {
             return selection;
         }
         let shard = self.shard(fp);
-        let mut inner = shard.inner.lock().expect("cache shard lock");
+        let mut inner = shard.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.insert(fp, selection, shard.capacity, self.policy)
     }
 
@@ -561,7 +577,13 @@ impl StrategyCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.inner.lock().expect("cache shard lock").map.len())
+            .map(|s| {
+                s.inner
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .map
+                    .len()
+            })
             .sum()
     }
 
@@ -574,7 +596,12 @@ impl StrategyCache {
     /// will publish into the emptied cache).
     pub fn clear(&self) {
         for shard in self.shards.iter() {
-            shard.inner.lock().expect("cache shard lock").map.clear();
+            shard
+                .inner
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .map
+                .clear();
         }
     }
 }

@@ -477,6 +477,7 @@ impl Engine {
                 // only on success, keeping failed selections out of the
                 // stats.  Selection wall-time is recorded on the entry for
                 // the cost-aware eviction policy.
+                // mm-lint: allow(determinism-hygiene): wall-clock feeds only the advisory eviction-cost metadata, never a released answer or cache key
                 let started = std::time::Instant::now();
                 let strategy = match self.selector.select(&ctx) {
                     Ok(s) => Arc::new(s),

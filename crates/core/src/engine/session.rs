@@ -34,17 +34,30 @@ pub struct PrivacyBudget {
 }
 
 impl PrivacyBudget {
-    /// Creates a budget; panics on negative or non-finite values.
+    /// Creates a budget, rejecting negative or non-finite values with a
+    /// typed error — the form to use on budgets that arrive from a caller
+    /// (a config file, an RPC) rather than from a literal in the source.
+    pub fn try_new(epsilon: f64, delta: f64) -> Result<Self, MechanismError> {
+        if !(epsilon >= 0.0 && epsilon.is_finite()) {
+            return Err(MechanismError::InvalidArgument(format!(
+                "epsilon budget must be finite and >= 0, got {epsilon}"
+            )));
+        }
+        if !(0.0..1.0).contains(&delta) {
+            return Err(MechanismError::InvalidArgument(format!(
+                "delta budget must lie in [0, 1), got {delta}"
+            )));
+        }
+        Ok(PrivacyBudget { epsilon, delta })
+    }
+
+    /// Creates a budget; panics on negative or non-finite values.  See
+    /// [`PrivacyBudget::try_new`] for the non-panicking form.
     pub fn new(epsilon: f64, delta: f64) -> Self {
-        assert!(
-            epsilon >= 0.0 && epsilon.is_finite(),
-            "epsilon budget must be finite and >= 0"
-        );
-        assert!(
-            (0.0..1.0).contains(&delta),
-            "delta budget must lie in [0, 1)"
-        );
-        PrivacyBudget { epsilon, delta }
+        match PrivacyBudget::try_new(epsilon, delta) {
+            Ok(budget) => budget,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// A pure-DP budget (δ = 0).

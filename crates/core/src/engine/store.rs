@@ -347,10 +347,12 @@ impl StrategyStore {
     }
 
     /// Loads up to `limit` entries into a [`StrategyCache`] (deterministic
-    /// filename order), returning how many were inserted.  Corrupt entries
-    /// are skipped (and deleted) exactly as in [`StrategyStore::load`].
+    /// ascending-fingerprint order), returning how many were inserted.
+    /// Corrupt entries are skipped (and deleted) exactly as in
+    /// [`StrategyStore::load`].
     pub fn warm(&self, cache: &StrategyCache, limit: usize) -> usize {
         let mut names: Vec<(Fingerprint, PathBuf)> = Vec::new();
+        // mm-lint: allow(determinism-hygiene): directory order is discarded — entries are re-sorted by numeric fingerprint below before any are loaded
         let Ok(dir) = std::fs::read_dir(&self.dir) else {
             return 0;
         };
@@ -367,7 +369,12 @@ impl StrategyStore {
             };
             names.push((Fingerprint(raw), path));
         }
-        names.sort_by(|a, b| a.1.cmp(&b.1));
+        // Sort by the *numeric* fingerprint, not the path: OS directory
+        // order is arbitrary, and a path sort would silently diverge from
+        // fingerprint order if the filename scheme ever lost its fixed-width
+        // zero padding.  Under a `limit`, which entries warm must be a pure
+        // function of the store's contents.
+        names.sort_by_key(|(fp, _)| fp.0);
         let mut inserted = 0;
         for (fp, _) in names.into_iter().take(limit) {
             if let Some(entry) = self.load(fp) {

@@ -14,13 +14,26 @@ pub struct GaussianMechanism {
 }
 
 impl GaussianMechanism {
-    /// Creates the mechanism for the given (ε,δ) parameters (δ must be > 0).
+    /// Creates the mechanism for the given (ε,δ) parameters, rejecting
+    /// δ = 0 with a typed error (the Gaussian mechanism only yields
+    /// approximate DP).
+    pub fn try_new(privacy: PrivacyParams) -> crate::Result<Self> {
+        if !privacy.is_approximate() {
+            return Err(crate::MechanismError::InvalidArgument(
+                "the Gaussian mechanism requires delta > 0".into(),
+            ));
+        }
+        Ok(GaussianMechanism { privacy })
+    }
+
+    /// Creates the mechanism for the given (ε,δ) parameters (δ must be > 0);
+    /// panics otherwise.  See [`GaussianMechanism::try_new`] for the
+    /// non-panicking form.
     pub fn new(privacy: PrivacyParams) -> Self {
-        assert!(
-            privacy.is_approximate(),
-            "the Gaussian mechanism requires delta > 0"
-        );
-        GaussianMechanism { privacy }
+        match GaussianMechanism::try_new(privacy) {
+            Ok(mechanism) => mechanism,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// The privacy parameters.
@@ -37,6 +50,7 @@ impl GaussianMechanism {
     ) -> crate::Result<Vec<f64>> {
         let true_answers = queries.matvec(x)?;
         let sigma = self.privacy.gaussian_sigma(l2_sensitivity(queries));
+        // mm-lint: allow(charge-before-noise): one-shot mechanism whose entire cost is the constructor's (epsilon, delta); ledger-tracked callers go through engine::answer_parts
         let noise = gaussian_noise(rng, sigma, true_answers.len());
         Ok(true_answers
             .into_iter()

@@ -6,6 +6,7 @@ use rand::Rng;
 /// deviation `sigma`, using the Box–Muller transform (so only `rand`'s uniform
 /// sampling is required).
 pub fn gaussian_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64, len: usize) -> Vec<f64> {
+    // mm-lint: allow(assert-on-input): sampling primitive — the scale is computed by PrivacyParams (validated at try_new) or a NoiseBackend, never taken from a caller directly; a bad sigma here is a library bug
     assert!(
         sigma >= 0.0 && sigma.is_finite(),
         "sigma must be nonnegative"
@@ -27,6 +28,7 @@ pub fn gaussian_noise<R: Rng + ?Sized>(rng: &mut R, sigma: f64, len: usize) -> V
 /// Samples `len` independent Laplace values with mean 0 and scale `b`
 /// (variance `2b²`) by inverse-CDF sampling.
 pub fn laplace_noise<R: Rng + ?Sized>(rng: &mut R, b: f64, len: usize) -> Vec<f64> {
+    // mm-lint: allow(assert-on-input): sampling primitive — the scale is computed by PrivacyParams (validated at try_new) or a NoiseBackend, never taken from a caller directly; a bad scale here is a library bug
     assert!(b >= 0.0 && b.is_finite(), "scale must be nonnegative");
     (0..len)
         .map(|_| {

@@ -17,14 +17,30 @@ pub struct PrivacyParams {
 }
 
 impl PrivacyParams {
-    /// Creates (ε, δ) parameters; panics on invalid values.
+    /// Creates (ε, δ) parameters, rejecting invalid values with a typed
+    /// error instead of panicking — the form to use on parameters that
+    /// arrive from a caller rather than from a literal in the source.
+    pub fn try_new(epsilon: f64, delta: f64) -> Result<Self, crate::MechanismError> {
+        if !(epsilon > 0.0 && epsilon.is_finite()) {
+            return Err(crate::MechanismError::InvalidArgument(format!(
+                "epsilon must be positive and finite, got {epsilon}"
+            )));
+        }
+        if !(0.0..1.0).contains(&delta) {
+            return Err(crate::MechanismError::InvalidArgument(format!(
+                "delta must lie in [0, 1), got {delta}"
+            )));
+        }
+        Ok(PrivacyParams { epsilon, delta })
+    }
+
+    /// Creates (ε, δ) parameters; panics on invalid values.  See
+    /// [`PrivacyParams::try_new`] for the non-panicking form.
     pub fn new(epsilon: f64, delta: f64) -> Self {
-        assert!(
-            epsilon > 0.0 && epsilon.is_finite(),
-            "epsilon must be positive"
-        );
-        assert!((0.0..1.0).contains(&delta), "delta must lie in [0, 1)");
-        PrivacyParams { epsilon, delta }
+        match PrivacyParams::try_new(epsilon, delta) {
+            Ok(params) => params,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Pure ε-differential privacy (δ = 0).
@@ -48,6 +64,7 @@ impl PrivacyParams {
     /// Panics when δ = 0 (use [`PrivacyParams::laplace_error_constant`] for
     /// pure differential privacy).
     pub fn gaussian_error_constant(&self) -> f64 {
+        // mm-lint: allow(assert-on-input): delta was range-validated by try_new; asking a pure-DP params for the Gaussian constant is a documented programming-error panic, not an input-validation failure
         assert!(self.is_approximate(), "P(eps, delta) requires delta > 0");
         2.0 * (2.0 / self.delta).ln() / (self.epsilon * self.epsilon)
     }
@@ -55,6 +72,7 @@ impl PrivacyParams {
     /// The Gaussian noise scale `σ = Δ₂ √(2 ln(2/δ)) / ε` of Prop. 2 for a
     /// query set of L2 sensitivity `l2_sensitivity`.
     pub fn gaussian_sigma(&self, l2_sensitivity: f64) -> f64 {
+        // mm-lint: allow(assert-on-input): delta was range-validated by try_new; calibrating Gaussian noise from pure-DP params is a documented programming-error panic
         assert!(
             self.is_approximate(),
             "the Gaussian mechanism requires delta > 0"
@@ -101,7 +119,9 @@ impl PrivacyParams {
 /// curve the [`RdpAccountant`](crate::accounting::RdpAccountant) sums per
 /// release.
 pub fn gaussian_rdp(alpha: f64, unit_sigma: f64) -> f64 {
+    // mm-lint: allow(assert-on-input): pure-math helper — accountants validate the order grid at construction (try_with_orders) and events validate scales (try_gaussian) before calling in here
     assert!(alpha > 1.0, "RDP orders must exceed 1");
+    // mm-lint: allow(assert-on-input): same contract as the order check above — upstream constructors already rejected bad scales with typed errors
     assert!(
         unit_sigma > 0.0 && unit_sigma.is_finite(),
         "unit noise scale must be positive and finite"
@@ -120,7 +140,9 @@ pub fn gaussian_rdp(alpha: f64, unit_sigma: f64) -> f64 {
 /// evaluated in log-sum-exp form for numerical stability.  The curve is
 /// bounded by the pure-DP level `1/λ` for every order.
 pub fn laplace_rdp(alpha: f64, unit_scale: f64) -> f64 {
+    // mm-lint: allow(assert-on-input): pure-math helper — accountants validate the order grid at construction (try_with_orders) and events validate scales (try_laplace) before calling in here
     assert!(alpha > 1.0, "RDP orders must exceed 1");
+    // mm-lint: allow(assert-on-input): same contract as the order check above — upstream constructors already rejected bad scales with typed errors
     assert!(
         unit_scale > 0.0 && unit_scale.is_finite(),
         "unit noise scale must be positive and finite"

@@ -194,14 +194,16 @@ impl Cholesky {
                 right: (b.len(), 1),
             });
         }
-        // Forward substitution: L y = b.
+        // Forward substitution: L y = b (row `i` of L is contiguous, so the
+        // partial inner product runs through the fixed-lane kernel).
         let mut y = b.to_vec();
         for i in 0..n {
-            let s: f64 = (0..i).map(|k| self.l[(i, k)] * y[k]).sum();
+            let s = ops::dot(&self.l.row(i)[..i], &y[..i]);
             y[i] = (y[i] - s) / self.l[(i, i)];
         }
         // Backward substitution: Lᵀ x = y.
         for i in (0..n).rev() {
+            // mm-lint: allow(blessed-reduction): strided column-of-L access cannot use the slice kernel; the k-ascending fold is order-fixed
             let s: f64 = ((i + 1)..n).map(|k| self.l[(k, i)] * y[k]).sum();
             y[i] = (y[i] - s) / self.l[(i, i)];
         }
@@ -343,7 +345,8 @@ impl Cholesky {
 
     /// Log-determinant of `A` (twice the sum of log diagonal entries of `L`).
     pub fn log_det(&self) -> f64 {
-        2.0 * self.l.diag().iter().map(|d| d.ln()).sum::<f64>()
+        let logs: Vec<f64> = self.l.diag().iter().map(|d| d.ln()).collect();
+        2.0 * ops::sum(&logs)
     }
 
     /// Determinant of `A`.
@@ -375,7 +378,7 @@ impl Cholesky {
         }
         let y = self.solve_lower_multi(g)?;
         let z = self.solve_lower_multi(&y.transpose())?;
-        Ok(z.diag().iter().sum::<f64>())
+        Ok(ops::sum(&z.diag()))
     }
 }
 

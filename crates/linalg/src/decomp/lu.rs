@@ -2,6 +2,7 @@
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
+use crate::ops;
 
 /// LU factorization `P A = L U` with partial (row) pivoting.
 #[derive(Debug, Clone)]
@@ -90,14 +91,15 @@ impl Lu {
         }
         // Apply permutation.
         let mut y: Vec<f64> = self.perm.iter().map(|&i| b[i]).collect();
-        // Forward substitution with unit lower triangle.
+        // Forward substitution with unit lower triangle (row-contiguous
+        // partial inner products through the fixed-lane kernel).
         for i in 0..n {
-            let s: f64 = (0..i).map(|k| self.lu[(i, k)] * y[k]).sum();
+            let s = ops::dot(&self.lu.row(i)[..i], &y[..i]);
             y[i] -= s;
         }
         // Backward substitution with U.
         for i in (0..n).rev() {
-            let s: f64 = ((i + 1)..n).map(|k| self.lu[(i, k)] * y[k]).sum();
+            let s = ops::dot(&self.lu.row(i)[(i + 1)..], &y[(i + 1)..]);
             y[i] = (y[i] - s) / self.lu[(i, i)];
         }
         Ok(y)

@@ -2,6 +2,7 @@
 
 use crate::error::{LinalgError, Result};
 use crate::matrix::Matrix;
+use crate::ops;
 
 /// QR factorization `A = Q R` computed with Householder reflections.
 ///
@@ -110,7 +111,7 @@ impl Qr {
         // Back-substitute R x = y.
         let mut x = y;
         for i in (0..n).rev() {
-            let s: f64 = ((i + 1)..n).map(|k| self.r[(i, k)] * x[k]).sum();
+            let s = ops::dot(&self.r.row(i)[(i + 1)..], &x[(i + 1)..]);
             let d = self.r[(i, i)];
             if d.abs() < 1e-12 {
                 return Err(LinalgError::Singular { pivot: i });

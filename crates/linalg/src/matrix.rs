@@ -213,7 +213,7 @@ impl Matrix {
 
     /// Sum of the diagonal entries.
     pub fn trace(&self) -> f64 {
-        self.diag().iter().sum()
+        crate::ops::sum(&self.diag())
     }
 
     /// Applies `f` to every entry, returning a new matrix.
@@ -239,12 +239,13 @@ impl Matrix {
 
     /// Frobenius norm: square root of the sum of squared entries.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+        self.sum_of_squares().sqrt()
     }
 
-    /// Sum of squared entries (squared Frobenius norm).
+    /// Sum of squared entries (squared Frobenius norm), accumulated through
+    /// the fixed-lane [`crate::ops::dot`] kernel.
     pub fn sum_of_squares(&self) -> f64 {
-        self.data.iter().map(|x| x * x).sum::<f64>()
+        crate::ops::dot(&self.data, &self.data)
     }
 
     /// Maximum absolute entry.
@@ -259,12 +260,14 @@ impl Matrix {
                 let v = self[(i, j)];
                 v * v
             })
+            // mm-lint: allow(blessed-reduction): strided column access cannot use the slice kernel without gathering; the row-ascending fold is order-fixed
             .sum::<f64>()
             .sqrt()
     }
 
     /// L1 norm of column `j`.
     pub fn col_norm_l1(&self, j: usize) -> f64 {
+        // mm-lint: allow(blessed-reduction): strided column access cannot use the slice kernel without gathering; the row-ascending fold is order-fixed
         (0..self.rows).map(|i| self[(i, j)].abs()).sum::<f64>()
     }
 

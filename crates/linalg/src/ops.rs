@@ -60,6 +60,31 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     acc
 }
 
+/// Slice sum with the same fixed 8-lane accumulation scheme as [`dot`].
+///
+/// This is the blessed reduction primitive for plain `f64` totals in the
+/// numeric crates: the lanes and the remainder combine in a fixed order, so
+/// the result depends only on the input slice — never on call context.  The
+/// workspace lint (`blessed-reduction`) keeps ad-hoc `.sum()` folds out of
+/// the kernels so every total flows through here or [`dot`].
+#[inline]
+pub fn sum(values: &[f64]) -> f64 {
+    let mut lanes = [0.0f64; 8];
+    let mut chunks = values.chunks_exact(8);
+    for c in &mut chunks {
+        for l in 0..8 {
+            lanes[l] += c[l];
+        }
+    }
+    // Fixed pairwise lane reduction, then the remainder in order.
+    let mut acc = ((lanes[0] + lanes[4]) + (lanes[2] + lanes[6]))
+        + ((lanes[1] + lanes[5]) + (lanes[3] + lanes[7]));
+    for &x in chunks.remainder() {
+        acc += x;
+    }
+    acc
+}
+
 /// Computes the matrix product `A * B` with the blocked kernel.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
     if a.cols() != b.rows() {

@@ -4,10 +4,11 @@
 //! query answers and noise samples; these helpers provide the handful of
 //! BLAS-1 style operations those call sites need.
 
-/// Dot product of two equal-length vectors. Panics on length mismatch.
+/// Dot product of two equal-length vectors, through the fixed-lane
+/// [`crate::ops::dot`] kernel. Panics on length mismatch.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot product length mismatch");
-    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    crate::ops::dot(a, b)
 }
 
 /// Euclidean (L2) norm.
@@ -17,6 +18,7 @@ pub fn norm2(a: &[f64]) -> f64 {
 
 /// L1 norm (sum of absolute values).
 pub fn norm1(a: &[f64]) -> f64 {
+    // mm-lint: allow(blessed-reduction): ascending-index abs fold is order-fixed; the slice kernel would need a temporary allocation in a BLAS-1 helper
     a.iter().map(|x| x.abs()).sum()
 }
 
@@ -50,9 +52,9 @@ pub fn scale(a: &[f64], s: f64) -> Vec<f64> {
     a.iter().map(|x| x * s).collect()
 }
 
-/// Sum of all entries.
+/// Sum of all entries, through the fixed-lane [`crate::ops::sum`] kernel.
 pub fn sum(a: &[f64]) -> f64 {
-    a.iter().sum()
+    crate::ops::sum(a)
 }
 
 /// Arithmetic mean; zero for an empty slice.
@@ -69,7 +71,7 @@ pub fn rms(a: &[f64]) -> f64 {
     if a.is_empty() {
         0.0
     } else {
-        (a.iter().map(|x| x * x).sum::<f64>() / a.len() as f64).sqrt()
+        (crate::ops::dot(a, a) / a.len() as f64).sqrt()
     }
 }
 

@@ -164,12 +164,7 @@ pub fn solve_barrier_newton(
             let chol = Cholesky::new_with_shift(&h, 1e-12)?;
             let neg_grad: Vec<f64> = grad.iter().map(|&g| -g).collect();
             let dir = chol.solve_vec(&neg_grad)?;
-            let decrement: f64 = dir
-                .iter()
-                .zip(neg_grad.iter())
-                .map(|(&d, &g)| d * g)
-                .sum::<f64>()
-                .abs();
+            let decrement = mm_linalg::ops::dot(&dir, &neg_grad).abs();
             if decrement < opts.tol {
                 break;
             }

@@ -42,11 +42,13 @@ where
     let mut x = vec![0.0; n];
     let mut r = b.to_vec();
     let mut p = r.clone();
-    let b_norm: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt();
+    // All CG inner products run through the fixed-lane kernel, so the
+    // iteration trajectory is a pure function of the operator and b.
+    let b_norm = mm_linalg::ops::dot(b, b).sqrt();
     if b_norm == 0.0 {
         return Ok(x);
     }
-    let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
+    let mut rs_old = mm_linalg::ops::dot(&r, &r);
     for _ in 0..max_iters {
         let ap = apply(&p);
         if ap.len() != n {
@@ -54,7 +56,7 @@ where
                 "operator returned a vector of the wrong length".into(),
             ));
         }
-        let p_ap: f64 = p.iter().zip(ap.iter()).map(|(a, b)| a * b).sum();
+        let p_ap = mm_linalg::ops::dot(&p, &ap);
         if p_ap <= 0.0 {
             return Err(OptError::InvalidProblem(
                 "operator is not positive definite".into(),
@@ -65,7 +67,7 @@ where
             x[i] += alpha * p[i];
             r[i] -= alpha * ap[i];
         }
-        let rs_new: f64 = r.iter().map(|v| v * v).sum();
+        let rs_new = mm_linalg::ops::dot(&r, &r);
         if rs_new.sqrt() <= opts.tol * b_norm {
             return Ok(x);
         }

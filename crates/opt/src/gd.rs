@@ -114,12 +114,13 @@ impl<'a> Smoothed<'a> {
                 max_a = a[idx];
             }
         }
-        let sum_exp_a: f64 = a.iter().map(|&v| (v - max_a).exp()).sum();
+        let a_exp: Vec<f64> = a.iter().map(|&v| (v - max_a).exp()).collect();
+        let sum_exp_a = mm_linalg::ops::sum(&a_exp);
         let term1 = max_a + sum_exp_a.ln();
         // Gradient of term1 wrt t_idx: -softmax(a)_idx.
         let mut grad = vec![0.0; k];
         for idx in 0..k {
-            grad[idx] = -((a[idx] - max_a).exp() / sum_exp_a);
+            grad[idx] = -(a_exp[idx] / sum_exp_a);
         }
 
         // --- Term 2: (1/p) log Σ_j s_j^p with s_j = Σ_i B_{ji} u_i. ---
@@ -233,7 +234,7 @@ pub fn solve_log_gd(problem: &WeightingProblem, opts: &GdOptions) -> Result<Weig
             let mut accepted = false;
             let mut f_new = fy;
             let mut t_new = y.clone();
-            let grad_norm_sq: f64 = gy.iter().map(|g| g * g).sum();
+            let grad_norm_sq = mm_linalg::ops::dot(&gy, &gy);
             let mut local_step = step;
             for _ in 0..60 {
                 let candidate: Vec<f64> = y
@@ -257,7 +258,7 @@ pub fn solve_log_gd(problem: &WeightingProblem, opts: &GdOptions) -> Result<Weig
                 let (fc, gc) = smoothed.eval(&t);
                 f_prev = fc;
                 grad = gc;
-                let gnorm: f64 = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+                let gnorm = mm_linalg::ops::dot(&grad, &grad).sqrt();
                 if gnorm < 1e-14 {
                     break;
                 }

@@ -132,6 +132,7 @@ impl WeightingProblem {
             .iter()
             .zip(u.iter())
             .map(|(&c, &ui)| if c == 0.0 { 0.0 } else { c / ui })
+            // mm-lint: allow(blessed-reduction): guarded elementwise quotient — the ascending zip fold is order-fixed, and gathering into a slice would allocate on every objective evaluation
             .sum()
     }
 

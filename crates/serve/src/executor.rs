@@ -101,12 +101,18 @@ impl<F: Future + Unpin> Future for JoinAll<F> {
             }
         }
         if all_done {
-            Poll::Ready(
-                this.outputs
-                    .iter_mut()
-                    .map(|o| o.take().expect("every future completed"))
-                    .collect(),
-            )
+            // `all_done` implies every output slot was filled when its
+            // future resolved, so the collect cannot come up short; the
+            // `None` arm exists only to keep this path panic-free.
+            match this
+                .outputs
+                .iter_mut()
+                .map(Option::take)
+                .collect::<Option<Vec<_>>>()
+            {
+                Some(outputs) => Poll::Ready(outputs),
+                None => Poll::Pending,
+            }
         } else {
             Poll::Pending
         }

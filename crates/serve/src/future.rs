@@ -25,7 +25,7 @@ use rand::SeedableRng;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::task::{Context, Poll, Waker};
 
 /// One in-flight selection: waiters register wakers, the worker completes.
@@ -48,7 +48,10 @@ impl SelectionTask {
     /// Returns the outcome if the selection finished, otherwise registers
     /// the waker (deduplicated via [`Waker::will_wake`]) and returns `None`.
     pub(crate) fn poll_done(&self, waker: &Waker) -> Option<Result<(), Arc<MechanismError>>> {
-        let mut state = self.state.lock().expect("selection task lock");
+        // Poison recovery: the task state is always written whole (one
+        // enum assignment), so a panic elsewhere leaves nothing torn — and
+        // panicking here would take every waiter down with the poisoner.
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         match &mut *state {
             TaskState::Done(result) => Some(result.clone()),
             TaskState::Pending(wakers) => {
@@ -65,7 +68,7 @@ impl SelectionTask {
     /// `ServeEngine::drop` may race a finishing worker).
     pub(crate) fn complete(&self, result: Result<(), Arc<MechanismError>>) {
         let wakers = {
-            let mut state = self.state.lock().expect("selection task lock");
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             match &mut *state {
                 TaskState::Done(_) => return,
                 TaskState::Pending(wakers) => {
@@ -155,7 +158,11 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> BatchFuture<W> {
     /// enqueueing a selection job.  Returns the shed error if the queue is
     /// full.
     fn join_or_found(&mut self) -> Result<(), ServeError> {
-        let mut pending = self.inner.pending.lock().expect("serve pending lock");
+        let mut pending = self
+            .inner
+            .pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         if let Some(task) = pending.get(&self.fp.0) {
             self.task = Some(task.clone());
             return Ok(());
@@ -176,7 +183,7 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> BatchFuture<W> {
                 inner
                     .pending
                     .lock()
-                    .expect("serve pending lock")
+                    .unwrap_or_else(PoisonError::into_inner)
                     .remove(&fp.0);
                 let outcome = match outcome {
                     Ok(Ok(())) => Ok(()),
@@ -238,14 +245,13 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> Future for BatchFuture<W> {
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
-        match &mut this.state {
-            FutState::Failed(error) => {
-                let error = error.take().expect("failed future polled once");
-                this.state = FutState::Finished;
-                return Poll::Ready(Err(error));
+        match std::mem::replace(&mut this.state, FutState::Finished) {
+            FutState::Failed(Some(error)) => return Poll::Ready(Err(error)),
+            FutState::Failed(None) | FutState::Finished => {
+                // mm-lint: allow(serve-panic-freedom): polling a resolved future violates the Future contract — panicking in the caller's task (as std combinators do) beats silently hanging it, and no flight waiter is affected
+                panic!("BatchFuture polled after completion")
             }
-            FutState::Finished => panic!("BatchFuture polled after completion"),
-            FutState::Active => {}
+            FutState::Active => this.state = FutState::Active,
         }
         // A completed selection job clears `task`, so losing a poll race
         // just re-runs the (cheap) cache probe.
@@ -305,9 +311,17 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> Future for AnswerFuture<W> {
         match Pin::new(&mut self.get_mut().batch).poll(cx) {
             Poll::Pending => Poll::Pending,
             Poll::Ready(Err(e)) => Poll::Ready(Err(e)),
-            Poll::Ready(Ok(mut answers)) => {
-                Poll::Ready(Ok(answers.pop().expect("one answer for one data vector")))
-            }
+            Poll::Ready(Ok(mut answers)) => Poll::Ready(match answers.pop() {
+                Some(answer) => Ok(answer),
+                // One submitted vector always yields one answer; if the
+                // engine ever broke that, surface it as a typed error
+                // rather than panicking the polling task.
+                None => Err(ServeError::Mechanism(Arc::new(
+                    MechanismError::InvalidArgument(
+                        "engine returned no answer for a one-vector batch".into(),
+                    ),
+                ))),
+            }),
         }
     }
 }

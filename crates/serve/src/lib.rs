@@ -75,7 +75,7 @@ use mm_core::MechanismError;
 use mm_workload::{try_gram_fingerprint, Workload};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 use future::SelectionTask;
 
@@ -176,8 +176,13 @@ impl std::fmt::Debug for Inner {
 
 impl Inner {
     /// Enqueues a selection job unless the queue is full.
+    ///
+    /// Lock poisoning is recovered throughout this tier: the queue and
+    /// pending maps hold plain data that is never left half-updated across a
+    /// panic (jobs are pushed/popped whole), so the poison flag carries no
+    /// information — and propagating it would panic every waiter.
     pub(crate) fn try_enqueue(&self, job: Job) -> bool {
-        let mut queue = self.queue.lock().expect("serve queue lock");
+        let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
         if queue.len() >= self.queue_capacity {
             return false;
         }
@@ -193,7 +198,7 @@ impl Inner {
     fn worker_loop(&self) {
         loop {
             let job = {
-                let mut queue = self.queue.lock().expect("serve queue lock");
+                let mut queue = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
                 loop {
                     if let Some(job) = queue.pop_front() {
                         break Some(job);
@@ -201,7 +206,10 @@ impl Inner {
                     if self.shutdown.load(Ordering::Acquire) {
                         break None;
                     }
-                    queue = self.queue_cv.wait(queue).expect("serve queue lock");
+                    queue = self
+                        .queue_cv
+                        .wait(queue)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
             };
             match job {
@@ -260,6 +268,7 @@ impl ServeEngineBuilder {
                 std::thread::Builder::new()
                     .name(format!("mm-serve-{i}"))
                     .spawn(move || inner.worker_loop())
+                    // mm-lint: allow(serve-panic-freedom): spawn runs at construction, before any flight exists — failing fast at startup cannot poison a waiter
                     .expect("spawn serve worker")
             })
             .collect();
@@ -411,7 +420,7 @@ impl Drop for ServeEngine {
             .inner
             .pending
             .lock()
-            .expect("serve pending lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .drain()
             .map(|(_, task)| task)
             .collect();

@@ -5,7 +5,8 @@
 
 use adaptive_dp::core::accounting::UserLedger;
 use adaptive_dp::core::engine::{
-    Engine, PrivacyBudget, SelectionContext, StrategySelector, STORE_VERSION,
+    Engine, PrivacyBudget, SelectionContext, StrategyCache, StrategySelector, StrategyStore,
+    STORE_VERSION,
 };
 use adaptive_dp::core::{MechanismError, PrivacyParams};
 use adaptive_dp::strategies::Strategy;
@@ -92,6 +93,53 @@ fn assert_recovers_from_corruption(tag: &str, corrupt: impl FnOnce(&Path)) {
     let bits: Vec<u64> = answer.answers.iter().map(|v| v.to_bits()).collect();
     assert_eq!(bits, expected);
     assert_eq!(warmed.stats().selections, 0, "warm engine never selects");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Warm-load order regression: when the store holds more entries than the
+/// warm limit, the entries loaded must be the numerically smallest
+/// fingerprints — a pure function of the store's contents, never of the
+/// OS's directory enumeration order.  (The warm path used to sort by path,
+/// which only coincided with fingerprint order because the filename scheme
+/// zero-pads; this pins the contract directly.)
+#[test]
+fn store_warm_order_is_ascending_fingerprints_not_directory_order() {
+    let dir = scratch_dir("warm-order");
+    let engine = store_engine(&dir);
+    let mut rng = StdRng::seed_from_u64(7);
+    for n in [4usize, 8, 16, 32, 64, 128] {
+        let workload = AllRangeWorkload::new(Domain::one_dim(n));
+        let counts = vec![1.0; n];
+        engine.answer(&workload, &counts, &mut rng).expect("answer");
+    }
+
+    // Every persisted fingerprint, read back from the store's filenames.
+    let mut fps: Vec<u64> = std::fs::read_dir(&dir)
+        .expect("store dir exists")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "mmsel"))
+        .filter_map(|p| {
+            p.file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+        })
+        .collect();
+    fps.sort_unstable();
+    assert_eq!(fps.len(), 6, "one entry per distinct workload");
+
+    let limit = 3;
+    let store = StrategyStore::open(&dir).expect("open store");
+    let cache = StrategyCache::new(64);
+    assert_eq!(store.warm(&cache, limit), limit);
+    for (rank, &raw) in fps.iter().enumerate() {
+        assert_eq!(
+            cache.get(adaptive_dp::workload::Fingerprint(raw)).is_some(),
+            rank < limit,
+            "fingerprint {raw:#018x} at ascending rank {rank} (limit {limit})"
+        );
+    }
 
     let _ = std::fs::remove_dir_all(&dir);
 }
