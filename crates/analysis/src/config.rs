@@ -113,6 +113,14 @@ pub const ALLOWLIST: &[AllowEntry] = &[
     },
     AllowEntry {
         rule: "charge-before-noise",
+        path_suffix: "crates/core/src/engine/structured.rs",
+        function: Some("answer_structured_maybe_accounted"),
+        reason: "the structured (matrix-free) accounted answer path: the ledger admits \
+                 the MechanismEvent (check_event_many) before sample() is reached and \
+                 charges it (charge_event_many) before answers are released",
+    },
+    AllowEntry {
+        rule: "charge-before-noise",
         path_suffix: "crates/core/src/mechanism/backend.rs",
         function: Some("sample"),
         reason: "NoiseBackend::sample implementations are the sampling primitive itself; \

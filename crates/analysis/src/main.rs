@@ -60,6 +60,21 @@ fn main() -> ExitCode {
     }
     println!("mm-analysis: wrote {}", json_path.display());
 
+    // Under GitHub Actions, append the counts (and any active warn-tier
+    // findings, which never gate) to the job summary.  Best-effort: a
+    // summary failure must not mask the scan verdict.
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write as _;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&summary_path)
+            .and_then(|mut f| f.write_all(report.render_step_summary().as_bytes()));
+        if let Err(e) = appended {
+            eprintln!("mm-analysis: cannot append job summary to {summary_path}: {e}");
+        }
+    }
+
     if report.exit_code() == 0 {
         ExitCode::SUCCESS
     } else {

@@ -113,6 +113,42 @@ impl Report {
         out
     }
 
+    /// GitHub Actions job-summary markdown: the headline counts plus one
+    /// line per active warning.  Warn-tier findings (examples, tests,
+    /// benches) never gate the build, so without this the only way to see
+    /// them was digging through the job log — the summary makes creeping
+    /// warn-tier debt visible on every run.
+    pub fn render_step_summary(&self) -> String {
+        let mut out = String::new();
+        let allowed = self
+            .findings
+            .iter()
+            .filter(|f| f.status != Status::Active)
+            .count();
+        let _ = writeln!(out, "### mm-analysis\n");
+        let _ = writeln!(out, "| files scanned | errors | warnings | allowed |");
+        let _ = writeln!(out, "| --- | --- | --- | --- |");
+        let _ = writeln!(
+            out,
+            "| {} | {} | {} | {allowed} |",
+            self.files_scanned,
+            self.gating().count(),
+            self.warnings().count(),
+        );
+        let warnings: Vec<&Finding> = self.warnings().collect();
+        if !warnings.is_empty() {
+            let _ = writeln!(out, "\nActive warn-tier findings (non-gating):\n");
+            for f in warnings {
+                let _ = writeln!(
+                    out,
+                    "- `{}:{}` — {} [{}]",
+                    f.path, f.line, f.message, f.rule
+                );
+            }
+        }
+        out
+    }
+
     /// Serializes the report as `mm-analysis/v1` JSON.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
@@ -255,6 +291,33 @@ mod tests {
         assert!(json.contains("\"files_scanned\": 3"));
         assert!(json.contains("quote \\\" backslash \\\\ newline \\n"));
         assert!(json.contains("\"summary\": {\"errors\": 1, \"warnings\": 0"));
+    }
+
+    #[test]
+    fn step_summary_counts_and_lists_warnings() {
+        let mut r = Report {
+            files_scanned: 5,
+            findings: vec![
+                finding(Severity::Warning, Status::Active),
+                finding(
+                    Severity::Error,
+                    Status::Suppressed {
+                        justification: "justified at the site".into(),
+                    },
+                ),
+            ],
+        };
+        let md = r.render_step_summary();
+        assert!(md.starts_with("### mm-analysis"));
+        assert!(md.contains("| 5 | 0 | 1 | 1 |"), "{md}");
+        assert!(md.contains("Active warn-tier findings"));
+        assert!(md.contains("`crates/serve/src/lib.rs:10`"), "{md}");
+        assert!(md.contains("[serve-panic-freedom]"), "{md}");
+        // A clean tree renders the table alone, no findings section.
+        r.findings.clear();
+        let md = r.render_step_summary();
+        assert!(md.contains("| 5 | 0 | 0 | 0 |"), "{md}");
+        assert!(!md.contains("Active warn-tier"), "{md}");
     }
 
     #[test]

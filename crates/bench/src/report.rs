@@ -646,6 +646,203 @@ impl ServingBenchReport {
     }
 }
 
+/// One measured large-domain answering scenario: the matrix-free structured
+/// path (`structured`) or the materialised-operator baseline (`dense`) at
+/// domain size `n`, answering `queries` range queries end to end.
+///
+/// `select_ns` is the strategy-side setup cost — structured selection for
+/// the structured path, operator densification for the dense baseline —
+/// and `answer_ns` the full noisy answer (observe, reconstruct via CG,
+/// evaluate).  Above the dense materialisation cap the baseline cannot run
+/// at all; such sizes are recorded with `skipped = true` and no timings, so
+/// the artifact shows *why* the comparison stops rather than silently
+/// omitting the row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LargeDomainRecord {
+    /// Scenario name (`structured` or `dense`).
+    pub scenario: String,
+    /// Domain size (cells).
+    pub n: usize,
+    /// Range queries answered.
+    pub queries: usize,
+    /// True when the scenario could not run at this size (dense above the
+    /// materialisation cap); timings are NaN and serialise as null.
+    pub skipped: bool,
+    /// Nanoseconds for strategy selection / densification (fastest sample).
+    pub select_ns: f64,
+    /// Nanoseconds for one end-to-end noisy answer (fastest sample).
+    pub answer_ns: f64,
+}
+
+impl LargeDomainRecord {
+    /// A measured record.
+    pub fn measured(
+        scenario: impl Into<String>,
+        n: usize,
+        queries: usize,
+        select_ns: f64,
+        answer_ns: f64,
+    ) -> Self {
+        LargeDomainRecord {
+            scenario: scenario.into(),
+            n,
+            queries,
+            skipped: false,
+            select_ns,
+            answer_ns,
+        }
+    }
+
+    /// A skipped record (scenario infeasible at this size).
+    pub fn skipped(scenario: impl Into<String>, n: usize, queries: usize) -> Self {
+        LargeDomainRecord {
+            scenario: scenario.into(),
+            n,
+            queries,
+            skipped: true,
+            select_ns: f64::NAN,
+            answer_ns: f64::NAN,
+        }
+    }
+
+    /// Selection plus answering — the end-to-end figure the gate compares.
+    pub fn total_ns(&self) -> f64 {
+        self.select_ns + self.answer_ns
+    }
+}
+
+/// Schema identifier written into every `BENCH_large_domain.json`.
+pub const LARGE_DOMAIN_BENCH_FORMAT: &str = "mm-bench/large-domain-v1";
+
+/// The machine-readable large-domain report emitted as
+/// `BENCH_large_domain.json` — the perf-trajectory record for the
+/// matrix-free structured answering path, companion to
+/// [`SelectionBenchReport`].
+#[derive(Debug, Clone, Default)]
+pub struct LargeDomainReport {
+    /// Whether the run used the short fixed-iteration CI mode.
+    pub quick: bool,
+    /// Worker-thread budget the kernels ran with
+    /// (`mm_linalg::parallel::max_threads()` at bench time).
+    pub threads: usize,
+    /// All measured scenarios.
+    pub records: Vec<LargeDomainRecord>,
+}
+
+impl LargeDomainReport {
+    /// An empty report.
+    pub fn new(quick: bool, threads: usize) -> Self {
+        LargeDomainReport {
+            quick,
+            threads,
+            records: Vec::new(),
+        }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: LargeDomainRecord) {
+        self.records.push(record);
+    }
+
+    /// Renders the report as pretty-printed JSON (hand-rolled: the offline
+    /// build has no serde).
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                "null".to_string()
+            }
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"format\": \"{LARGE_DOMAIN_BENCH_FORMAT}\",");
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"threads\": {},", self.threads);
+        out.push_str("  \"scenarios\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let sep = if i + 1 < self.records.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"scenario\": \"{}\", \"n\": {}, \"queries\": {}, \
+                 \"skipped\": {}, \"select_ns\": {}, \"answer_ns\": {}, \
+                 \"total_ns\": {}}}{sep}",
+                r.scenario,
+                r.n,
+                r.queries,
+                r.skipped,
+                num(r.select_ns),
+                num(r.answer_ns),
+                num(r.total_ns()),
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// The CI regression gate for the matrix-free path.  Two clauses:
+    ///
+    /// 1. the structured path must *complete* `must_complete_n` (the
+    ///    headline large domain) — a missing or skipped record fails;
+    /// 2. at every n >= `min_n` where the dense baseline also ran,
+    ///    structured end-to-end must not lose to dense; at least one such
+    ///    pair must exist (an empty gate must not pass).
+    pub fn gate(&self, min_n: usize, must_complete_n: usize) -> Result<(), String> {
+        let find = |scenario: &str, n: usize| {
+            self.records
+                .iter()
+                .find(|r| r.scenario == scenario && r.n == n)
+        };
+        let mut failures = Vec::new();
+        match find("structured", must_complete_n) {
+            Some(r) if !r.skipped && r.total_ns().is_finite() => {}
+            _ => failures.push(format!(
+                "structured n={must_complete_n} missing, skipped, or unmeasured"
+            )),
+        }
+        let mut pairs = 0usize;
+        for r in &self.records {
+            if r.scenario != "dense" || r.n < min_n || r.skipped {
+                continue;
+            }
+            let Some(s) = find("structured", r.n) else {
+                continue;
+            };
+            if s.skipped {
+                continue;
+            }
+            pairs += 1;
+            let speedup = if s.total_ns() > 0.0 {
+                r.total_ns() / s.total_ns()
+            } else {
+                f64::INFINITY
+            };
+            // A NaN speedup (corrupt timing) must fail the gate, not pass it.
+            if speedup.is_nan() || speedup < 1.0 {
+                failures.push(format!(
+                    "n={}: structured {:.0}ns loses to dense {:.0}ns ({:.2}x)",
+                    r.n,
+                    s.total_ns(),
+                    r.total_ns(),
+                    speedup
+                ));
+            }
+        }
+        if pairs == 0 {
+            failures.push(format!("no structured/dense pair with n >= {min_n}"));
+        }
+        if failures.is_empty() {
+            Ok(())
+        } else {
+            Err(failures.join("; "))
+        }
+    }
+}
+
 /// Formats a float with three significant decimals for table cells.
 pub fn fmt(v: f64) -> String {
     if !v.is_finite() {
@@ -868,6 +1065,87 @@ mod tests {
         assert!(err.contains("10.00x < 20.00x"), "{err}");
         // Sub-threshold sizes are exempt.
         assert!(report.gate_warm_restart(2048, 5.0).is_err());
+    }
+
+    #[test]
+    fn large_domain_report_json_schema() {
+        let mut report = LargeDomainReport::new(true, 4);
+        report.push(LargeDomainRecord::measured(
+            "structured",
+            65536,
+            1024,
+            1000.0,
+            4000.0,
+        ));
+        report.push(LargeDomainRecord::skipped("dense", 65536, 1024));
+        let json = report.to_json();
+        assert!(json.contains("\"format\": \"mm-bench/large-domain-v1\""));
+        assert!(json.contains("\"quick\": true"));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"scenario\": \"structured\""));
+        assert!(json.contains("\"n\": 65536"));
+        assert!(json.contains("\"queries\": 1024"));
+        assert!(json.contains("\"total_ns\": 5000.0"));
+        // Skipped rows stay in the artifact with null timings.
+        assert!(json.contains("\"skipped\": true"));
+        assert!(json.contains("\"select_ns\": null"), "{json}");
+        assert_eq!(json.matches("\"scenario\"").count(), 2);
+    }
+
+    #[test]
+    fn large_domain_gate() {
+        let mut report = LargeDomainReport::new(true, 1);
+        // Structured completes the headline size but no dense pair exists
+        // yet: the comparison clause must fail, not vacuously pass.
+        report.push(LargeDomainRecord::measured(
+            "structured",
+            65536,
+            1024,
+            1_000.0,
+            50_000.0,
+        ));
+        report.push(LargeDomainRecord::skipped("dense", 65536, 1024));
+        assert!(report.gate(4096, 65536).is_err());
+        // A winning pair at n >= min_n satisfies both clauses.
+        report.push(LargeDomainRecord::measured(
+            "structured",
+            4096,
+            1024,
+            1_000.0,
+            10_000.0,
+        ));
+        report.push(LargeDomainRecord::measured(
+            "dense", 4096, 1024, 500_000.0, 900_000.0,
+        ));
+        assert!(report.gate(4096, 65536).is_ok());
+        // Small-n dense wins are exempt (below min_n).
+        report.push(LargeDomainRecord::measured(
+            "structured",
+            1024,
+            1024,
+            1_000.0,
+            10_000.0,
+        ));
+        report.push(LargeDomainRecord::measured("dense", 1024, 1024, 10.0, 20.0));
+        assert!(report.gate(4096, 65536).is_ok());
+        // A losing large-n pair trips the gate with a description.
+        report.push(LargeDomainRecord::measured(
+            "structured",
+            8192,
+            1024,
+            1_000.0,
+            999_000.0,
+        ));
+        report.push(LargeDomainRecord::measured(
+            "dense", 8192, 1024, 100.0, 900.0,
+        ));
+        let err = report.gate(4096, 65536).unwrap_err();
+        assert!(err.contains("n=8192"), "{err}");
+        // A skipped headline size fails the completion clause.
+        let mut incomplete = LargeDomainReport::new(true, 1);
+        incomplete.push(LargeDomainRecord::skipped("structured", 65536, 1024));
+        let err = incomplete.gate(4096, 65536).unwrap_err();
+        assert!(err.contains("structured n=65536"), "{err}");
     }
 
     #[test]

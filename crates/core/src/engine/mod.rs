@@ -67,6 +67,7 @@ pub mod cache;
 pub mod selector;
 pub mod session;
 pub mod store;
+pub mod structured;
 
 pub use cache::{
     CachedSelection, EvictionPolicy, FlightPoison, Lookup, SelectionGuard, StrategyCache,
@@ -78,6 +79,10 @@ pub use selector::{
 };
 pub use session::{BudgetLedger, OwnedSession, PrivacyBudget, Session};
 pub use store::{StrategyStore, STORE_VERSION};
+pub use structured::{
+    FixedStructuredSelector, OperatorStore, StructuredAnswer, StructuredCache, StructuredSelector,
+    TreeStructuredSelector, OPERATOR_STORE_VERSION,
+};
 
 use crate::accounting::{Accountant, AccountantFactory, SequentialAccounting};
 use crate::error::predicted_rms_error;
@@ -106,6 +111,7 @@ pub struct EngineBuilder {
     cache_shards: usize,
     eviction_policy: EvictionPolicy,
     strategy_store: Option<PathBuf>,
+    structured_selector: Option<Arc<dyn StructuredSelector>>,
 }
 
 impl EngineBuilder {
@@ -196,6 +202,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the structured (matrix-free) strategy selector used by
+    /// [`Engine::answer_structured`] and friends (default:
+    /// [`TreeStructuredSelector`] — Haar wavelets on power-of-two domains,
+    /// binary hierarchies otherwise).
+    pub fn structured_selector(mut self, selector: impl StructuredSelector + 'static) -> Self {
+        self.structured_selector = Some(Arc::new(selector));
+        self
+    }
+
+    /// Sets an already-shared structured selector.
+    pub fn structured_selector_arc(mut self, selector: Arc<dyn StructuredSelector>) -> Self {
+        self.structured_selector = Some(selector);
+        self
+    }
+
     /// Builds the engine, validating that the backend is compatible with the
     /// privacy parameters (e.g. the Gaussian backend rejects δ = 0).
     pub fn build(self) -> crate::Result<Engine> {
@@ -209,16 +230,21 @@ impl EngineBuilder {
             self.cache_shards,
             self.eviction_policy,
         );
-        let store = match self.strategy_store {
+        let structured_cache = StructuredCache::new(self.cache_capacity);
+        let (store, operator_store) = match self.strategy_store {
             Some(dir) => {
+                // Both stores share one directory, separated by file
+                // extension (`.mmsel` dense factors, `.mmop` descriptors).
+                let operator_store = OperatorStore::open(dir.clone())?;
+                operator_store.warm(&structured_cache, structured_cache.capacity());
                 let store = StrategyStore::open(dir)?;
                 // Warm restart: fill the cache from disk up to its capacity
                 // (corrupt entries are skipped and cleared; they will be
                 // recomputed and rewritten on first use).
                 store.warm(&cache, cache.capacity());
-                Some(store)
+                (Some(store), Some(operator_store))
             }
-            None => None,
+            None => (None, None),
         };
         Ok(Engine {
             privacy: self.privacy,
@@ -231,12 +257,22 @@ impl EngineBuilder {
                 .unwrap_or_else(|| Arc::new(SequentialAccounting)),
             cache,
             store,
+            structured_selector: self
+                .structured_selector
+                .unwrap_or_else(|| Arc::new(TreeStructuredSelector::default())),
+            structured_cache,
+            operator_store,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             selections: AtomicU64::new(0),
             store_hits: AtomicU64::new(0),
             store_writes: AtomicU64::new(0),
             poisoned_flights: AtomicU64::new(0),
+            structured_hits: AtomicU64::new(0),
+            structured_misses: AtomicU64::new(0),
+            structured_selections: AtomicU64::new(0),
+            structured_store_hits: AtomicU64::new(0),
+            structured_store_writes: AtomicU64::new(0),
         })
     }
 }
@@ -270,6 +306,18 @@ pub struct EngineStats {
     /// leader's flight was poisoned (selector error, panic or abandonment) —
     /// the typed-poison retry path.
     pub poisoned_flights: u64,
+    /// Structured (matrix-free) calls served from the structured cache.
+    pub structured_cache_hits: u64,
+    /// Structured calls that missed the structured cache.
+    pub structured_cache_misses: u64,
+    /// Times the structured selector ran successfully.
+    pub structured_selections: u64,
+    /// Structured cache misses served by the persisted [`OperatorStore`]
+    /// (always 0 without a configured store; excludes build-time warming).
+    pub structured_store_hits: u64,
+    /// Fresh structured selections persisted to the [`OperatorStore`]
+    /// (write-once per fingerprint).
+    pub structured_store_writes: u64,
 }
 
 /// Everything produced by one `answer` call.
@@ -301,12 +349,20 @@ pub struct Engine {
     accountant: Arc<dyn AccountantFactory>,
     cache: StrategyCache,
     store: Option<StrategyStore>,
+    structured_selector: Arc<dyn StructuredSelector>,
+    structured_cache: StructuredCache,
+    operator_store: Option<OperatorStore>,
     hits: AtomicU64,
     misses: AtomicU64,
     selections: AtomicU64,
     store_hits: AtomicU64,
     store_writes: AtomicU64,
     poisoned_flights: AtomicU64,
+    structured_hits: AtomicU64,
+    structured_misses: AtomicU64,
+    structured_selections: AtomicU64,
+    structured_store_hits: AtomicU64,
+    structured_store_writes: AtomicU64,
 }
 
 impl Engine {
@@ -321,6 +377,7 @@ impl Engine {
             cache_shards: DEFAULT_SHARD_COUNT,
             eviction_policy: EvictionPolicy::default(),
             strategy_store: None,
+            structured_selector: None,
         }
     }
 
@@ -362,6 +419,11 @@ impl Engine {
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_writes: self.store_writes.load(Ordering::Relaxed),
             poisoned_flights: self.poisoned_flights.load(Ordering::Relaxed),
+            structured_cache_hits: self.structured_hits.load(Ordering::Relaxed),
+            structured_cache_misses: self.structured_misses.load(Ordering::Relaxed),
+            structured_selections: self.structured_selections.load(Ordering::Relaxed),
+            structured_store_hits: self.structured_store_hits.load(Ordering::Relaxed),
+            structured_store_writes: self.structured_store_writes.load(Ordering::Relaxed),
         }
     }
 

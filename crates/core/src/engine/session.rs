@@ -14,13 +14,13 @@
 //! is drawn or data touched, so a failed call spends nothing.
 
 use crate::accounting::{Accountant, MechanismEvent, SequentialAccountant};
-use crate::engine::{Engine, EngineAnswer};
+use crate::engine::{Engine, EngineAnswer, StructuredAnswer};
 use crate::privacy::PrivacyParams;
 // Referenced by the accounting-contract doc links (and the tests).
 #[allow(unused_imports)]
 use crate::MechanismError;
 use mm_strategies::Strategy;
-use mm_workload::Workload;
+use mm_workload::{StructuredWorkload, Workload};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -243,6 +243,19 @@ impl SessionCore {
         engine.answer_with_strategy_accounted(workload, strategy, x, rng, &mut self.ledger)
     }
 
+    fn answer_structured<W: StructuredWorkload + ?Sized, R: Rng>(
+        &mut self,
+        engine: &Engine,
+        workload: &W,
+        privacy: PrivacyParams,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<StructuredAnswer> {
+        let probe = engine.backend().mechanism_event(&privacy, 1.0);
+        self.ledger.check_event_many(&probe, 1)?;
+        engine.answer_structured_accounted(workload, privacy, x, rng, &mut self.ledger)
+    }
+
     fn answer_batch<W: Workload + ?Sized, R: Rng>(
         &mut self,
         engine: &Engine,
@@ -361,6 +374,34 @@ impl<'e> Session<'e> {
             .answer_with_strategy(self.engine, workload, strategy, x, rng)
     }
 
+    /// Answers a structured workload through the engine's matrix-free path
+    /// ([`Engine::answer_structured`]), charging the engine's per-answer
+    /// (ε, δ) to the ledger exactly like [`Session::answer`] — the
+    /// structured path spends privacy identically to the dense one.
+    pub fn answer_structured<W: StructuredWorkload + ?Sized, R: Rng>(
+        &mut self,
+        workload: &W,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<StructuredAnswer> {
+        self.core
+            .answer_structured(self.engine, workload, *self.engine.privacy(), x, rng)
+    }
+
+    /// Answers a structured workload at explicit per-call privacy
+    /// parameters, charging them to the ledger (the structured analogue of
+    /// [`Session::answer_with_privacy`]).
+    pub fn answer_structured_with_privacy<W: StructuredWorkload + ?Sized, R: Rng>(
+        &mut self,
+        workload: &W,
+        privacy: PrivacyParams,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<StructuredAnswer> {
+        self.core
+            .answer_structured(self.engine, workload, privacy, x, rng)
+    }
+
     /// Answers many data vectors under one workload
     /// ([`Engine::answer_batch`]), charging the engine's per-answer (ε, δ)
     /// once *per vector*.  The whole batch must fit the accountant's
@@ -458,6 +499,33 @@ impl OwnedSession {
     ) -> crate::Result<EngineAnswer> {
         self.core
             .answer_with_strategy(&self.engine, workload, strategy, x, rng)
+    }
+
+    /// Answers a structured workload through the engine's matrix-free path,
+    /// charging the engine's per-answer (ε, δ) (see
+    /// [`Session::answer_structured`]).
+    pub fn answer_structured<W: StructuredWorkload + ?Sized, R: Rng>(
+        &mut self,
+        workload: &W,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<StructuredAnswer> {
+        let privacy = *self.engine.privacy();
+        self.core
+            .answer_structured(&self.engine, workload, privacy, x, rng)
+    }
+
+    /// Answers a structured workload at explicit per-call privacy
+    /// parameters (see [`Session::answer_structured_with_privacy`]).
+    pub fn answer_structured_with_privacy<W: StructuredWorkload + ?Sized, R: Rng>(
+        &mut self,
+        workload: &W,
+        privacy: PrivacyParams,
+        x: &[f64],
+        rng: &mut R,
+    ) -> crate::Result<StructuredAnswer> {
+        self.core
+            .answer_structured(&self.engine, workload, privacy, x, rng)
     }
 
     /// Answers many data vectors under one workload, charging once per

@@ -68,7 +68,7 @@ const MAGIC: [u8; 8] = *b"MMSTRAT\n";
 /// FNV-1a 64-bit, the store's integrity checksum: not cryptographic, but it
 /// reliably catches the failure modes a strategy store actually sees
 /// (truncation, torn writes, bit rot).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;

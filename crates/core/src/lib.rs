@@ -58,7 +58,9 @@ pub use accounting::{
 #[allow(deprecated)]
 pub use adaptive::{AdaptiveAnswer, AdaptiveMechanism, AdaptiveOptions};
 pub use eigen_design::{eigen_design, EigenDesignOptions, EigenDesignResult};
-pub use engine::{Engine, EngineAnswer, EngineBuilder, OwnedSession, PrivacyBudget, Session};
+pub use engine::{
+    Engine, EngineAnswer, EngineBuilder, OwnedSession, PrivacyBudget, Session, StructuredAnswer,
+};
 pub use error::{predicted_rms_error, rms_workload_error, total_squared_error};
 pub use mechanism::{GaussianBackend, LaplaceBackend, NoiseBackend};
 pub use privacy::PrivacyParams;

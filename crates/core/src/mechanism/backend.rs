@@ -34,6 +34,16 @@ pub trait NoiseBackend: std::fmt::Debug + Send + Sync {
     /// The sensitivity of a strategy under this backend's norm (Prop. 1).
     fn sensitivity(&self, strategy: &Strategy) -> f64;
 
+    /// Picks this backend's sensitivity from precomputed (L2, L1) column
+    /// norms — the matrix-free analogue of [`NoiseBackend::sensitivity`] for
+    /// strategies that never materialise a [`Strategy`] (structured
+    /// operators carry both norms instead).  The default is the L2 norm
+    /// (the Gaussian calibration); the Laplace backend overrides it with L1.
+    fn sensitivity_from_norms(&self, l2: f64, l1: f64) -> f64 {
+        let _ = l1;
+        l2
+    }
+
     /// The noise scale for a query set of the given sensitivity (σ for the
     /// Gaussian mechanism, b for Laplace).
     fn noise_scale(&self, privacy: &PrivacyParams, sensitivity: f64) -> f64;
@@ -130,6 +140,11 @@ impl NoiseBackend for LaplaceBackend {
         strategy.l1_sensitivity()
     }
 
+    fn sensitivity_from_norms(&self, l2: f64, l1: f64) -> f64 {
+        let _ = l2;
+        l1
+    }
+
     fn noise_scale(&self, privacy: &PrivacyParams, sensitivity: f64) -> f64 {
         privacy.laplace_scale(sensitivity)
     }
@@ -197,6 +212,21 @@ mod tests {
             w.l1_sensitivity(),
             1e-12
         ));
+    }
+
+    #[test]
+    fn sensitivity_from_norms_picks_the_backend_norm() {
+        let w = wavelet_1d(8);
+        let (l2, l1) = (w.l2_sensitivity(), w.l1_sensitivity());
+        // The norm-pair path must agree bit for bit with the Strategy path.
+        assert_eq!(
+            GaussianBackend.sensitivity_from_norms(l2, l1).to_bits(),
+            GaussianBackend.sensitivity(&w).to_bits()
+        );
+        assert_eq!(
+            LaplaceBackend.sensitivity_from_norms(l2, l1).to_bits(),
+            LaplaceBackend.sensitivity(&w).to_bits()
+        );
     }
 
     #[test]

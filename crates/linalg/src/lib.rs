@@ -26,6 +26,7 @@
 pub mod decomp;
 pub mod error;
 pub mod matrix;
+pub mod operator;
 pub mod ops;
 pub mod parallel;
 pub mod solve;
@@ -33,6 +34,7 @@ pub mod vector;
 
 pub use error::{LinalgError, Result};
 pub use matrix::Matrix;
+pub use operator::{ExplicitOperator, LinearOperator};
 
 /// Default absolute tolerance used when comparing floating point results in
 /// this workspace (tests, rank decisions, convergence checks).

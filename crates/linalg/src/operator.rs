@@ -1,0 +1,202 @@
+//! Matrix-free linear operators: apply `A` and `Aᵀ` without materialising `A`.
+//!
+//! Everything else in this crate stores matrices densely, which caps the
+//! served domain near n ≈ 1024 (O(n²) memory, O(n³) factorizations).  The
+//! matrix mechanism's core workloads and strategies are *structured*,
+//! though: range/prefix workloads are O(n) prefix sums, the Haar wavelet
+//! strategy is an O(n log n) transform, hierarchical strategies are sparse
+//! row sets.  [`LinearOperator`] abstracts exactly what the serving stack
+//! needs from such a family — `y = A·x`, `x = Aᵀ·y`, the gram diagonal for
+//! diagnostics, and an optional dense materialization for small-n
+//! cross-validation — so selection and answering can run via applies and a
+//! conjugate-gradient solve instead of dense factorizations.
+//!
+//! # Bitwise contract
+//!
+//! Structured implementations are required to be **bit-identical** to the
+//! dense kernels they replace: `apply` must produce the same bits as the
+//! width-1 fast path of [`ops::matmul`] on the materialized matrix
+//! (sequential ascending-index accumulation, skipping exactly-zero
+//! coefficients), and `apply_transpose` the same bits as the width-1 path of
+//! [`ops::matmul_transpose_left`] (ascending row-major scatter, skipping
+//! zeros).  [`ExplicitOperator`] routes through those very kernels, making
+//! it the oracle: for every structured operator in the workspace,
+//! `op.apply(x)` equals `ExplicitOperator::new(op.materialize().unwrap())
+//! .apply(x)` bit for bit (`tests/structured.rs` enforces this).  Skipping
+//! an exactly-zero coefficient never changes a sum's bits because adding
+//! `±0.0` to a finite accumulator is an identity in IEEE 754 round-to-
+//! nearest unless the accumulator is `-0.0`, which an ascending sum of
+//! products starting from `0.0` only produces via a `-0.0` product — and
+//! those are exactly the skipped terms.
+
+use crate::matrix::Matrix;
+use crate::ops;
+
+/// A linear map `A : ℝⁿ → ℝᵐ` given by its action rather than its entries.
+///
+/// Implementations must be consistent: `apply_transpose` must be the exact
+/// adjoint of `apply` (same conceptual matrix), and `materialize`, when it
+/// returns a matrix, must return that matrix.  Both apply methods panic on
+/// dimension mismatch (like [`crate::Matrix::matvec`] callers, the serving
+/// engine validates lengths before calling).
+pub trait LinearOperator: std::fmt::Debug + Send + Sync {
+    /// The shape `(m, n)` of the conceptual matrix: `apply` maps length-`n`
+    /// vectors to length-`m` vectors.
+    fn dims(&self) -> (usize, usize);
+
+    /// Computes `A·x`.  Panics when `x.len() != dims().1`.
+    fn apply(&self, x: &[f64]) -> Vec<f64>;
+
+    /// Computes `Aᵀ·y`.  Panics when `y.len() != dims().0`.
+    fn apply_transpose(&self, y: &[f64]) -> Vec<f64>;
+
+    /// The diagonal of the gram matrix `AᵀA` (the squared column norms),
+    /// when the operator can produce it cheaply.  The default returns
+    /// `None`.
+    fn gram_diag(&self) -> Option<Vec<f64>> {
+        None
+    }
+
+    /// The dense matrix of this operator, when it is reasonable to
+    /// materialise (small-n cross-validation; the default returns `None`).
+    fn materialize(&self) -> Option<Matrix> {
+        None
+    }
+}
+
+/// Dense adapter: wraps an explicit [`Matrix`] as a [`LinearOperator`].
+///
+/// Applies route through the same width-1 [`ops::matmul`] /
+/// [`ops::matmul_transpose_left`] kernels the dense engine path uses for
+/// `K = 1` batches, so this adapter *is* the canonical bitwise semantics
+/// structured operators are validated against.
+#[derive(Debug, Clone)]
+pub struct ExplicitOperator {
+    matrix: Matrix,
+}
+
+impl ExplicitOperator {
+    /// Wraps a dense matrix.  Panics when the matrix is empty.
+    pub fn new(matrix: Matrix) -> Self {
+        assert!(
+            matrix.rows() > 0 && matrix.cols() > 0,
+            "operator must be non-empty"
+        );
+        ExplicitOperator { matrix }
+    }
+
+    /// The wrapped matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+}
+
+impl LinearOperator for ExplicitOperator {
+    fn dims(&self) -> (usize, usize) {
+        (self.matrix.rows(), self.matrix.cols())
+    }
+
+    fn apply(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.matrix.cols(), "apply: dimension mismatch");
+        let xm = Matrix::from_vec(x.len(), 1, x.to_vec()).expect("length checked above");
+        let y = ops::matmul(&self.matrix, &xm).expect("dimensions checked above");
+        y.as_slice().to_vec()
+    }
+
+    fn apply_transpose(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(
+            y.len(),
+            self.matrix.rows(),
+            "apply_transpose: dimension mismatch"
+        );
+        let ym = Matrix::from_vec(y.len(), 1, y.to_vec()).expect("length checked above");
+        let x = ops::matmul_transpose_left(&self.matrix, &ym).expect("dimensions checked above");
+        x.as_slice().to_vec()
+    }
+
+    fn gram_diag(&self) -> Option<Vec<f64>> {
+        // Ascending-row sequential accumulation per column, skipping
+        // exactly-zero entries: the canonical order structured operators
+        // reproduce (their coefficients are ±1, so the sums are exact
+        // integer counts either way).
+        let mut diag = vec![0.0; self.matrix.cols()];
+        for i in 0..self.matrix.rows() {
+            for (d, &aij) in diag.iter_mut().zip(self.matrix.row(i).iter()) {
+                if aij == 0.0 {
+                    continue;
+                }
+                *d += aij * aij;
+            }
+        }
+        Some(diag)
+    }
+
+    fn materialize(&self) -> Option<Matrix> {
+        Some(self.matrix.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 0.0, -2.0, 0.5],
+            vec![0.0, 3.0, 0.0, 0.0],
+            vec![-1.5, 2.0, 4.0, -0.25],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn explicit_apply_matches_matmul_bitwise() {
+        let m = sample_matrix();
+        let op = ExplicitOperator::new(m.clone());
+        assert_eq!(op.dims(), (3, 4));
+        let x = vec![0.1, -0.2, 0.3, 0.7];
+        let xm = Matrix::from_vec(4, 1, x.clone()).unwrap();
+        let expect = m.matmul(&xm).unwrap();
+        let got = op.apply(&x);
+        for (g, e) in got.iter().zip(expect.as_slice().iter()) {
+            assert_eq!(g.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn explicit_transpose_matches_kernel_bitwise() {
+        let m = sample_matrix();
+        let op = ExplicitOperator::new(m.clone());
+        let y = vec![1.25, -0.5, 2.0];
+        let ym = Matrix::from_vec(3, 1, y.clone()).unwrap();
+        let expect = m.matmul_transpose_left(&ym).unwrap();
+        let got = op.apply_transpose(&y);
+        for (g, e) in got.iter().zip(expect.as_slice().iter()) {
+            assert_eq!(g.to_bits(), e.to_bits());
+        }
+    }
+
+    #[test]
+    fn gram_diag_is_squared_column_norms() {
+        let m = sample_matrix();
+        let op = ExplicitOperator::new(m.clone());
+        let diag = op.gram_diag().unwrap();
+        let norms = m.col_norms_l2();
+        for (d, n) in diag.iter().zip(norms.iter()) {
+            assert!(crate::approx_eq(*d, n * n, 1e-12));
+        }
+    }
+
+    #[test]
+    fn materialize_round_trips() {
+        let m = sample_matrix();
+        let op = ExplicitOperator::new(m.clone());
+        assert_eq!(op.materialize().unwrap(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn apply_rejects_wrong_length() {
+        ExplicitOperator::new(Matrix::identity(3)).apply(&[1.0, 2.0]);
+    }
+}

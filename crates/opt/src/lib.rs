@@ -43,6 +43,7 @@ pub mod gd;
 pub mod weighting;
 
 pub use barrier::{solve_barrier_newton, BarrierOptions};
+pub use cg::{cg_normal_equations, conjugate_gradient, CgOptions};
 pub use error::{OptError, Result};
 pub use gd::{solve_log_gd, GdOptions};
 pub use weighting::{WeightingProblem, WeightingSolution};

@@ -17,9 +17,9 @@
 
 use crate::{Inner, ServeError};
 use mm_core::accounting::UserLedger;
-use mm_core::engine::EngineAnswer;
+use mm_core::engine::{EngineAnswer, StructuredAnswer};
 use mm_core::MechanismError;
-use mm_workload::{Fingerprint, Workload};
+use mm_workload::{Fingerprint, StructuredWorkload, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::future::Future;
@@ -280,6 +280,101 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> Future for BatchFuture<W> {
         };
         this.state = FutState::Finished;
         Poll::Ready(result)
+    }
+}
+
+/// Future of a structured (matrix-free) request: resolves to one
+/// [`StructuredAnswer`] or a [`ServeError`].  Created by
+/// [`crate::ServeEngine::answer_structured`] /
+/// [`crate::ServeEngine::answer_structured_for`].
+///
+/// Unlike [`BatchFuture`], this future never touches the worker pool:
+/// structured selection is O(n log n) (microseconds even at n = 65 536, no
+/// eigendecomposition), so the whole request — cache probe, selection,
+/// noisy observations, conjugate-gradient reconstruction — runs inline on
+/// the first poll.  Answers are bit-identical to a direct
+/// `engine.answer_structured` with a `StdRng` seeded the same way.
+pub struct StructuredFuture<W: StructuredWorkload + Send + Sync + ?Sized + 'static> {
+    inner: Arc<Inner>,
+    workload: Arc<W>,
+    x: Vec<f64>,
+    seed: u64,
+    ledger: Option<UserLedger>,
+    state: FutState,
+}
+
+impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> std::fmt::Debug
+    for StructuredFuture<W>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StructuredFuture")
+            .field("n", &self.x.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> StructuredFuture<W> {
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        workload: Arc<W>,
+        x: Vec<f64>,
+        seed: u64,
+        ledger: Option<UserLedger>,
+    ) -> Self {
+        StructuredFuture {
+            inner,
+            workload,
+            x,
+            seed,
+            ledger,
+            state: FutState::Active,
+        }
+    }
+
+    /// A future rejected at submit time (no budget headroom).
+    pub(crate) fn failed(inner: Arc<Inner>, workload: Arc<W>, error: ServeError) -> Self {
+        StructuredFuture {
+            inner,
+            workload,
+            x: Vec::new(),
+            seed: 0,
+            ledger: None,
+            state: FutState::Failed(Some(error)),
+        }
+    }
+}
+
+impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> Future for StructuredFuture<W> {
+    type Output = Result<StructuredAnswer, ServeError>;
+
+    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        match std::mem::replace(&mut this.state, FutState::Finished) {
+            FutState::Failed(Some(error)) => return Poll::Ready(Err(error)),
+            FutState::Failed(None) | FutState::Finished => {
+                // mm-lint: allow(serve-panic-freedom): polling a resolved future violates the Future contract — panicking in the caller's task (as std combinators do) beats silently hanging it, and no flight waiter is affected
+                panic!("StructuredFuture polled after completion")
+            }
+            FutState::Active => {}
+        }
+        // Same seeding discipline as the dense path: the noise draw is a
+        // pure function of the submitted seed, so served answers replay.
+        let mut rng = StdRng::seed_from_u64(this.seed);
+        let result = match &this.ledger {
+            Some(ledger) => {
+                let mut session = this.inner.engine.user_session(ledger);
+                session.answer_structured(&*this.workload, &this.x, &mut rng)
+            }
+            None => this
+                .inner
+                .engine
+                .answer_structured(&*this.workload, &this.x, &mut rng),
+        };
+        match &result {
+            Ok(_) => this.inner.completed.fetch_add(1, Ordering::Relaxed),
+            Err(_) => this.inner.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        Poll::Ready(result.map_err(ServeError::from))
     }
 }
 

@@ -67,12 +67,12 @@ mod executor;
 mod future;
 
 pub use executor::{block_on, join_all, JoinAll};
-pub use future::{AnswerFuture, BatchFuture};
+pub use future::{AnswerFuture, BatchFuture, StructuredFuture};
 
 use mm_core::accounting::UserLedger;
 use mm_core::engine::Engine;
 use mm_core::MechanismError;
-use mm_workload::{try_gram_fingerprint, Workload};
+use mm_workload::{try_gram_fingerprint, StructuredWorkload, Workload};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -147,6 +147,10 @@ pub struct ServeStats {
     /// deduplication this stays at one per distinct cold fingerprint no
     /// matter how many requests pile onto it.
     pub selection_jobs: u64,
+    /// Requests submitted through the structured (matrix-free) path
+    /// ([`ServeEngine::answer_structured`]); these never enqueue worker
+    /// jobs, so they are excluded from `selection_jobs`.
+    pub structured: u64,
 }
 
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -164,6 +168,7 @@ pub(crate) struct Inner {
     pub(crate) shed: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) selection_jobs: AtomicU64,
+    pub(crate) structured: AtomicU64,
 }
 
 impl std::fmt::Debug for Inner {
@@ -261,6 +266,7 @@ impl ServeEngineBuilder {
             shed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             selection_jobs: AtomicU64::new(0),
+            structured: AtomicU64::new(0),
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -310,6 +316,7 @@ impl ServeEngine {
             shed: self.inner.shed.load(Ordering::Relaxed),
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             selection_jobs: self.inner.selection_jobs.load(Ordering::Relaxed),
+            structured: self.inner.structured.load(Ordering::Relaxed),
         }
     }
 
@@ -363,6 +370,67 @@ impl ServeEngine {
         W: Workload + Send + Sync + ?Sized + 'static,
     {
         self.submit(workload, xs, seed, Some(ledger.clone()))
+    }
+
+    /// Answers a structured workload through the engine's matrix-free path
+    /// ([`mm_core::Engine::answer_structured`]): noisy observations through
+    /// the strategy operator, conjugate-gradient reconstruction, O(n) peak
+    /// memory — the path that serves n = 65 536 where the dense tier cannot
+    /// even materialise its gram matrix.  The request never enqueues a
+    /// worker job (structured selection is O(n log n)); everything runs on
+    /// the first poll, and the answer is bit-identical to a direct engine
+    /// call with a `StdRng` seeded the same way.
+    pub fn answer_structured<W>(
+        &self,
+        workload: Arc<W>,
+        x: Vec<f64>,
+        seed: u64,
+    ) -> StructuredFuture<W>
+    where
+        W: StructuredWorkload + Send + Sync + ?Sized + 'static,
+    {
+        self.submit_structured(workload, x, seed, None)
+    }
+
+    /// [`ServeEngine::answer_structured`] charged to a principal's shared
+    /// [`UserLedger`]: probed against the ledger's headroom at submit time,
+    /// charged in full (actual sensitivity, backend noise scale) on release.
+    pub fn answer_structured_for<W>(
+        &self,
+        ledger: &UserLedger,
+        workload: Arc<W>,
+        x: Vec<f64>,
+        seed: u64,
+    ) -> StructuredFuture<W>
+    where
+        W: StructuredWorkload + Send + Sync + ?Sized + 'static,
+    {
+        self.submit_structured(workload, x, seed, Some(ledger.clone()))
+    }
+
+    fn submit_structured<W>(
+        &self,
+        workload: Arc<W>,
+        x: Vec<f64>,
+        seed: u64,
+        ledger: Option<UserLedger>,
+    ) -> StructuredFuture<W>
+    where
+        W: StructuredWorkload + Send + Sync + ?Sized + 'static,
+    {
+        self.inner.submitted.fetch_add(1, Ordering::Relaxed);
+        self.inner.structured.fetch_add(1, Ordering::Relaxed);
+        // Same admission filter as the dense path — but no gram is ever
+        // computed or hashed: the structured descriptor is the identity.
+        if let Some(ledger) = &ledger {
+            let engine = &self.inner.engine;
+            let probe = engine.backend().mechanism_event(engine.privacy(), 1.0);
+            if let Err(e) = ledger.check_event_many(&probe, 1) {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return StructuredFuture::failed(self.inner.clone(), workload, e.into());
+            }
+        }
+        StructuredFuture::new(self.inner.clone(), workload, x, seed, ledger)
     }
 
     fn submit<W>(
@@ -677,6 +745,53 @@ mod tests {
         assert!(retry.is_ok());
         assert_eq!(serve.stats().completed, 1);
         assert_eq!(serve.stats().selection_jobs, 2);
+    }
+
+    #[test]
+    fn served_structured_answers_are_bit_identical_to_sync() {
+        let engine = Arc::new(Engine::builder().build().unwrap());
+        let serve = ServeEngine::builder(engine.clone()).build();
+        let w = Arc::new(mm_workload::RangeQueryWorkload::prefixes(64));
+        let x = data(64);
+
+        let served = block_on(serve.answer_structured(w.clone(), x.clone(), 41)).unwrap();
+        let mut rng = StdRng::seed_from_u64(41);
+        let direct = engine.answer_structured(&*w, &x, &mut rng).unwrap();
+
+        assert_eq!(served.answers.len(), direct.answers.len());
+        for (a, b) in served.answers.iter().zip(&direct.answers) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let stats = serve.stats();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.structured, 1);
+        // Structured selection runs inline — the worker pool never sees it.
+        assert_eq!(stats.selection_jobs, 0);
+    }
+
+    #[test]
+    fn structured_budget_is_probed_at_submit_and_charged_on_release() {
+        let engine = Arc::new(Engine::builder().build().unwrap());
+        let per_answer = engine.privacy().epsilon;
+        let serve = ServeEngine::builder(engine).build();
+        let w = Arc::new(mm_workload::RangeQueryWorkload::prefixes(16));
+        let ledger = UserLedger::new("dave", PrivacyBudget::new(per_answer * 1.5, 1e-2));
+
+        let first = block_on(serve.answer_structured_for(&ledger, w.clone(), data(16), 5));
+        assert!(first.is_ok());
+        assert!(ledger.spent().epsilon > 0.0);
+        let second = block_on(serve.answer_structured_for(&ledger, w, data(16), 6));
+        match second {
+            Err(ServeError::Mechanism(e)) => {
+                assert!(matches!(&*e, MechanismError::BudgetExhausted { .. }));
+            }
+            other => panic!("expected budget rejection, got {other:?}"),
+        }
+        let stats = serve.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.structured, 2);
     }
 
     #[test]

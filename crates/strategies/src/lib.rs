@@ -23,7 +23,12 @@ pub mod datacube;
 pub mod fourier;
 pub mod hierarchical;
 pub mod identity;
+pub mod operator;
 pub mod strategy;
 pub mod wavelet;
 
+pub use operator::{
+    haar_strategy, hierarchical_strategy_structured, Run, RunRowsOperator, StrategyDescriptor,
+    StructuredStrategy,
+};
 pub use strategy::Strategy;

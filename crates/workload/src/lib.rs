@@ -39,6 +39,7 @@ pub mod predicate;
 pub mod prefix;
 pub mod query;
 pub mod range;
+pub mod structured;
 pub mod tensor;
 pub mod transform;
 pub mod union;
@@ -46,9 +47,11 @@ pub mod union;
 pub use domain::Domain;
 pub use explicit::{ExplicitWorkload, IdentityWorkload, TotalWorkload};
 pub use fingerprint::{
-    gram_fingerprint, try_gram_fingerprint, workload_fingerprint, Fingerprint, NanGramEntry,
+    gram_fingerprint, structured_fingerprint, try_gram_fingerprint, workload_fingerprint,
+    Fingerprint, NanGramEntry, WorkloadDescriptor,
 };
 pub use query::LinearQuery;
+pub use structured::{RangeQueryWorkload, StructuredWorkload};
 
 use mm_linalg::Matrix;
 

@@ -14,7 +14,7 @@ use adaptive_dp::core::{Engine, PrivacyParams};
 use adaptive_dp::linalg::decomp::{Cholesky, SymmetricEigen};
 use adaptive_dp::linalg::{ops, parallel, Matrix};
 use adaptive_dp::workload::range::AllRangeWorkload;
-use adaptive_dp::workload::{Domain, Workload};
+use adaptive_dp::workload::{Domain, RangeQueryWorkload, Workload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,6 +30,8 @@ struct KernelBits {
     matmul: Vec<u64>,
     engine_answers: Vec<u64>,
     engine_estimate: Vec<u64>,
+    structured_answers: Vec<u64>,
+    structured_estimate: Vec<u64>,
 }
 
 fn bits_of(values: &[f64]) -> Vec<u64> {
@@ -88,6 +90,17 @@ fn run_kernels() -> KernelBits {
         .answer(&workload, &data, &mut rng)
         .expect("engine answers");
 
+    // The matrix-free structured path: interval workload, run-length Haar
+    // strategy, CG reconstruction.  Large enough (n = 4096) that any
+    // thread-count-dependent accumulation in the operator applies, the CG
+    // reductions, or the evaluation pass would surface in the bits.
+    let sw = RangeQueryWorkload::prefixes(4096);
+    let sdata: Vec<f64> = (0..4096).map(|i| 60.0 + (i % 23) as f64).collect();
+    let mut rng = StdRng::seed_from_u64(43);
+    let structured = engine
+        .answer_structured(&sw, &sdata, &mut rng)
+        .expect("structured engine answers");
+
     KernelBits {
         cholesky_factor: bits_of(factor.l().as_slice()),
         trace_term: trace.to_bits(),
@@ -98,6 +111,8 @@ fn run_kernels() -> KernelBits {
         matmul: bits_of(prod.as_slice()),
         engine_answers: bits_of(&answer.answers),
         engine_estimate: bits_of(&answer.estimate),
+        structured_answers: bits_of(&structured.answers),
+        structured_estimate: bits_of(&structured.estimate),
     }
 }
 
