@@ -27,7 +27,7 @@ pub const RULES: &[RuleInfo] = &[
         id: "determinism-hygiene",
         description: "no HashMap/HashSet iteration, Instant/SystemTime-derived values, or \
                       unordered read_dir results in numeric kernels, cache keys, or the \
-                      .mmsel store (mm-linalg, mm-core::engine, mm-workload)",
+                      .mmplan store (mm-linalg, mm-core::engine, mm-workload)",
     },
     RuleInfo {
         id: "blessed-reduction",
@@ -142,7 +142,7 @@ pub const ALLOWLIST: &[AllowEntry] = &[
     },
     AllowEntry {
         rule: "determinism-hygiene",
-        path_suffix: "crates/core/src/engine/store.rs",
+        path_suffix: "crates/core/src/engine/store/mod.rs",
         function: Some("len"),
         reason: "read_dir used only to count persisted entries; a count is \
                  order-independent",

@@ -143,7 +143,7 @@ fn determinism_hygiene(file: &SourceFile, out: &mut Vec<RawFinding>) {
                 col: t.col,
                 message: format!(
                     "`{}::now()` is wall-clock-derived and must not flow into numeric \
-                     kernels, cache keys, or the .mmsel store",
+                     kernels, cache keys, or the .mmplan store",
                     t.text
                 ),
             });

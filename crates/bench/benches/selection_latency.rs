@@ -23,20 +23,29 @@
 //!   `Engine::select` against the cold miss for the eigen-design, weighted
 //!   design-set (Fourier), Haar-wavelet and workload-rows selectors: the
 //!   cache win on the same engine the serving path uses (workload-rows runs
-//!   on the n-row prefix workload; the others on all-range).
+//!   on the n-row prefix workload; the others on all-range);
+//! * `selection_low_rank_r{16,64,256}` — the Low-Rank Mechanism's cold miss
+//!   (`Engine::builder().low_rank(r)`: truncated eigendecomposition +
+//!   eigen-design in the r-dimensional subspace, O(nr² + r³)) against the
+//!   full dense cold miss on the same engine machinery, at n ∈ {1024, 4096}
+//!   (quick mode runs n = 4096 at r ∈ {16, 64} — the gated pair).
 //!
 //! Environment knobs (all optional):
 //!
-//! * `MM_BENCH_QUICK=1` — short CI mode: fewer samples, n ≤ 512;
+//! * `MM_BENCH_QUICK=1` — short CI mode: fewer samples, n ≤ 512 for the
+//!   kernel scenarios (the low-rank scenario still runs its gated n = 4096
+//!   pair — that comparison *is* the point of the low-rank path);
 //! * `MM_BENCH_JSON=PATH` — where to write `BENCH_selection.json` (default:
 //!   the workspace root);
-//! * `MM_BENCH_GATE=1` — exit non-zero unless the blocked-parallel Cholesky
-//!   beats the scalar reference at every measured n ≥ 512 (the wide-margin
-//!   scenario, like the batch gate; the full-path and hit ratios are
-//!   recorded but not gated — CI's quick mode does not reach n = 1024).
+//! * `MM_BENCH_GATE=1` — exit non-zero unless (a) the blocked-parallel
+//!   Cholesky beats the scalar reference at every measured n ≥ 512, and
+//!   (b) the low-rank cold miss at n = 4096 beats the full dense cold miss
+//!   at every gated rank r ≤ 64 (the full-path and hit ratios are recorded
+//!   but not gated).
 
 use criterion::{black_box, Criterion};
 use mm_bench::report::{SelectionBenchRecord, SelectionBenchReport};
+use mm_bench::runs::timed;
 use mm_core::design_set::{weighted_design_strategy_with_costs, DesignWeightingOptions};
 use mm_core::engine::{DesignSetSelector, Engine};
 use mm_core::{eigen_design, EigenDesignOptions, PrivacyParams};
@@ -50,6 +59,10 @@ use mm_workload::{Domain, Workload};
 struct Config {
     quick: bool,
     ns: Vec<usize>,
+    /// `(n, ranks)` pairs for the low-rank scenario.  Quick mode keeps only
+    /// the gated n = 4096 pair at r ≤ 64; the full run adds n = 1024 and
+    /// r = 256.
+    low_rank: Vec<(usize, Vec<usize>)>,
 }
 
 impl Config {
@@ -63,6 +76,11 @@ impl Config {
                 vec![256, 512]
             } else {
                 vec![256, 512, 1024]
+            },
+            low_rank: if quick {
+                vec![(4096, vec![16, 64])]
+            } else {
+                vec![(1024, vec![16, 64, 256]), (4096, vec![16, 64, 256])]
             },
         }
     }
@@ -280,6 +298,64 @@ fn bench_miss_vs_hit(c: &mut Criterion, report: &mut SelectionBenchReport, cfg: 
     group.finish();
 }
 
+/// The Low-Rank Mechanism's cold miss against the full dense cold miss, on
+/// the same `Engine::select` machinery (gram + fingerprint + cache probe +
+/// selector).  The dense baseline at n = 4096 is minutes of O(n³) work, so
+/// it is measured with one timed call instead of the sampling loop — at
+/// that scale a single sample is exact to within noise far smaller than the
+/// orders-of-magnitude gap being recorded.
+fn bench_low_rank(
+    c: &mut Criterion,
+    report: &mut SelectionBenchReport,
+    cfg: &Config,
+    n: usize,
+    ranks: &[usize],
+) {
+    let workload = AllRangeWorkload::new(Domain::one_dim(n));
+    let mut group = c.benchmark_group(format!("selection_low_rank/n={n}"));
+    group.sample_size(if n >= 4096 { 1 } else { cfg.samples(n) });
+
+    let dense_engine = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .build()
+        .expect("dense engine builds");
+    let dense_ns = if n >= 4096 {
+        let (_, secs) = timed(|| dense_engine.select(&workload).expect("dense selection"));
+        println!("selection_low_rank/n={n}/dense/miss             time: [{secs:.3} s]  (1 sample)");
+        secs * 1e9
+    } else {
+        group
+            .bench_function_stats("dense/miss", |b| {
+                b.iter(|| {
+                    dense_engine.clear_cache();
+                    black_box(dense_engine.select(&workload).unwrap())
+                })
+            })
+            .min_ns()
+    };
+
+    for &r in ranks {
+        let engine = Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .low_rank(r)
+            .build()
+            .expect("low-rank engine builds");
+        let stats = group.bench_function_stats(format!("r={r}/miss"), |b| {
+            b.iter(|| {
+                engine.clear_cache();
+                black_box(engine.select(&workload).unwrap())
+            })
+        });
+        report.push(SelectionBenchRecord::new(
+            format!("selection_low_rank_r{r}"),
+            n,
+            stats.min_ns(),
+            dense_ns,
+        ));
+    }
+    group.finish();
+}
+
 fn default_json_path() -> String {
     // Anchor on the crate manifest so the artifact lands at the workspace
     // root regardless of the invoking directory.
@@ -294,6 +370,9 @@ fn main() {
         bench_kernels(&mut criterion, &mut report, &cfg, n);
         bench_miss_path(&mut criterion, &mut report, &cfg, n);
         bench_miss_vs_hit(&mut criterion, &mut report, &cfg, n);
+    }
+    for (n, ranks) in &cfg.low_rank {
+        bench_low_rank(&mut criterion, &mut report, &cfg, *n, ranks);
     }
 
     println!("\n== speedups (baseline / optimized) ==");
@@ -325,6 +404,21 @@ fn main() {
             Err(failures) => {
                 eprintln!("perf gate FAILED: {failures}");
                 std::process::exit(1);
+            }
+        }
+        // The Low-Rank Mechanism's acceptance gate: a truncating rank r <= 64
+        // must make cold selection at n = 4096 strictly cheaper than the
+        // full dense pipeline it replaces (r = 256 is recorded but ungated —
+        // its margin depends on the truncated eigensolver's iteration count).
+        for r in [16u32, 64] {
+            match report.gate(&format!("selection_low_rank_r{r}"), 4096, 1.0) {
+                Ok(()) => {
+                    println!("perf gate passed: low-rank r={r} beats full dense at n >= 4096")
+                }
+                Err(failures) => {
+                    eprintln!("perf gate FAILED: {failures}");
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -4,9 +4,10 @@
 //! Strategy selection is data independent, so a selected strategy is valid
 //! for every database and every privacy level (the strategy scales out of the
 //! error expression; only the noise calibration changes).  The cache maps a
-//! workload [`Fingerprint`] (gram-matrix hash) to the selected strategy,
-//! letting repeated `answer` calls on the same workload skip selection — by
-//! far the dominant cost — entirely.
+//! workload [`Fingerprint`] (gram-matrix hash, or structured descriptor
+//! hash) to the selected [`SelectionPlan`] — dense, structured and low-rank
+//! plans share one cache — letting repeated `answer` calls on the same
+//! workload skip selection, by far the dominant cost, entirely.
 //!
 //! # Concurrency
 //!
@@ -49,6 +50,7 @@
 //! to the expected parallelism, and the policy to the workload mix (all
 //! [`EngineBuilder`](crate::engine::EngineBuilder) knobs).
 
+use super::plan::SelectionPlan;
 use mm_linalg::decomp::Cholesky;
 use mm_linalg::Matrix;
 use mm_strategies::Strategy;
@@ -203,7 +205,7 @@ struct Flight {
 #[derive(Debug)]
 enum FlightState {
     Pending,
-    Done(Arc<CachedSelection>),
+    Done(Arc<SelectionPlan>),
     Poisoned(FlightPoison),
 }
 
@@ -224,7 +226,7 @@ impl Flight {
     /// [`FlightPoison::Abandoned`] for every waiter.  Panicking on the
     /// poison flag instead would take down every thread that ever touches
     /// the same shard.
-    fn wait(&self) -> Result<Arc<CachedSelection>, FlightPoison> {
+    fn wait(&self) -> Result<Arc<SelectionPlan>, FlightPoison> {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             match &*state {
@@ -237,7 +239,7 @@ impl Flight {
         }
     }
 
-    fn resolve(&self, outcome: Result<Arc<CachedSelection>, FlightPoison>) {
+    fn resolve(&self, outcome: Result<Arc<SelectionPlan>, FlightPoison>) {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         *state = match outcome {
             Ok(entry) => FlightState::Done(entry),
@@ -249,7 +251,7 @@ impl Flight {
 
 #[derive(Debug)]
 struct CacheEntry {
-    selection: Arc<CachedSelection>,
+    selection: Arc<SelectionPlan>,
     /// Recency stamp: the shard tick at the entry's last `get` or insert.
     last_used: u64,
 }
@@ -262,7 +264,7 @@ struct ShardInner {
 }
 
 impl ShardInner {
-    fn touch(&mut self, fp: Fingerprint) -> Option<Arc<CachedSelection>> {
+    fn touch(&mut self, fp: Fingerprint) -> Option<Arc<SelectionPlan>> {
         self.tick += 1;
         let tick = self.tick;
         self.map.get_mut(&fp).map(|e| {
@@ -278,10 +280,10 @@ impl ShardInner {
     fn insert(
         &mut self,
         fp: Fingerprint,
-        selection: Arc<CachedSelection>,
+        selection: Arc<SelectionPlan>,
         capacity: usize,
         policy: EvictionPolicy,
-    ) -> Arc<CachedSelection> {
+    ) -> Arc<SelectionPlan> {
         if let Some(existing) = self.map.get(&fp) {
             return existing.selection.clone();
         }
@@ -354,10 +356,10 @@ struct Shard {
 #[derive(Debug)]
 pub enum Lookup<'c> {
     /// The fingerprint was resident; the entry's recency was refreshed.
-    Hit(Arc<CachedSelection>),
+    Hit(Arc<SelectionPlan>),
     /// Another thread was already selecting this fingerprint; the caller
     /// blocked and received the leader's entry without doing any work.
-    Shared(Arc<CachedSelection>),
+    Shared(Arc<SelectionPlan>),
     /// The caller is the selection leader: it must run the selector and
     /// [`SelectionGuard::publish`] the result (dropping the guard without
     /// publishing marks the flight failed and wakes any waiters).
@@ -383,7 +385,7 @@ impl SelectionGuard<'_> {
     /// — if a concurrent `insert` won the race for this fingerprint, that
     /// earlier entry is what waiters receive and what is returned, keeping
     /// every caller on one strategy per fingerprint.
-    pub fn publish(mut self, selection: Arc<CachedSelection>) -> Arc<CachedSelection> {
+    pub fn publish(mut self, selection: Arc<SelectionPlan>) -> Arc<SelectionPlan> {
         let Some(flight) = self.flight.take() else {
             return selection; // caching disabled
         };
@@ -435,9 +437,9 @@ impl Drop for SelectionGuard<'_> {
     }
 }
 
-/// A bounded, sharded map from workload fingerprints to selected strategies
-/// with single-flight selection and a pluggable eviction policy (see the
-/// module docs).
+/// A bounded, sharded map from workload fingerprints to selected
+/// [`SelectionPlan`]s with single-flight selection and a pluggable eviction
+/// policy (see the module docs).
 #[derive(Debug)]
 pub struct StrategyCache {
     capacity: usize,
@@ -549,7 +551,7 @@ impl StrategyCache {
 
     /// Looks up the selection cached for a fingerprint, refreshing its
     /// recency (no single-flight; see [`StrategyCache::begin`]).
-    pub fn get(&self, fp: Fingerprint) -> Option<Arc<CachedSelection>> {
+    pub fn get(&self, fp: Fingerprint) -> Option<Arc<SelectionPlan>> {
         if self.capacity == 0 {
             return None;
         }
@@ -564,7 +566,7 @@ impl StrategyCache {
     /// when full.  Returns the selection now cached for the fingerprint (an
     /// earlier entry wins a race between two concurrent selections, keeping
     /// results stable).
-    pub fn insert(&self, fp: Fingerprint, selection: Arc<CachedSelection>) -> Arc<CachedSelection> {
+    pub fn insert(&self, fp: Fingerprint, selection: Arc<SelectionPlan>) -> Arc<SelectionPlan> {
         if self.capacity == 0 {
             return selection;
         }
@@ -616,8 +618,12 @@ mod tests {
         Fingerprint(v)
     }
 
-    fn entry(n: usize) -> Arc<CachedSelection> {
+    fn dense_entry(n: usize) -> Arc<CachedSelection> {
         Arc::new(CachedSelection::new(Arc::new(identity_strategy(n))))
+    }
+
+    fn entry(n: usize) -> Arc<SelectionPlan> {
+        Arc::new(SelectionPlan::Dense(dense_entry(n)))
     }
 
     /// A one-shard cache so eviction order is deterministic.
@@ -668,11 +674,11 @@ mod tests {
         assert!(Arc::ptr_eq(&cache.get(fp(0)).unwrap(), &hot));
     }
 
-    fn costed(n: usize, cost_ns: u64) -> Arc<CachedSelection> {
-        Arc::new(CachedSelection::with_cost(
+    fn costed(n: usize, cost_ns: u64) -> Arc<SelectionPlan> {
+        Arc::new(SelectionPlan::Dense(Arc::new(CachedSelection::with_cost(
             Arc::new(identity_strategy(n)),
             cost_ns,
-        ))
+        ))))
     }
 
     #[test]
@@ -924,7 +930,7 @@ mod tests {
 
     #[test]
     fn with_parts_preseeds_derived_quantities() {
-        let fresh = entry(5);
+        let fresh = dense_entry(5);
         let factor = fresh.factor().unwrap();
         let gram = mm_linalg::Matrix::identity(5);
         let trace = fresh.trace_term(&gram).unwrap();
@@ -941,7 +947,7 @@ mod tests {
 
     #[test]
     fn factor_is_computed_once_and_shared() {
-        let e = entry(6);
+        let e = dense_entry(6);
         let f1 = e.factor().unwrap();
         let f2 = e.factor().unwrap();
         assert!(Arc::ptr_eq(&f1, &f2));

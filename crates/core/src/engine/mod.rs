@@ -9,13 +9,21 @@
 //!       .privacy(ε, δ)                            │ charge (ε,δ) per answer
 //!       .selector(…)      ──► Engine::answer ◄────┘   (BudgetLedger)
 //!       .backend(…)             │
-//!       .build()                ├── gram fingerprint ──► StrategyCache
-//!                               │     (sharded LRU; hit: skip selection)
-//!                               ├── StrategySelector (miss: single-flight —
-//!                               │     concurrent misses select once)
+//!       .build()                ├── plan fingerprint ──► StrategyCache
+//!                               │     (sharded LRU of SelectionPlans;
+//!                               │      hit: skip selection)
+//!                               ├── selection (miss: single-flight) —
+//!                               │     dense StrategySelector, or the
+//!                               │     Low-Rank Mechanism (builder knob
+//!                               │     `low_rank(r)`: eigen-design in the
+//!                               │     top-r subspace, O(nr² + r³))
 //!                               └── NoiseBackend: noisy y = Ax + noise,
 //!                                   x̂ = A⁺y, answers = W x̂
 //! ```
+//!
+//! Every selection pipeline — dense, structured (matrix-free) and low-rank —
+//! produces one [`SelectionPlan`], the single currency of the cache, the
+//! persistent [`StrategyStore`] and the answer paths (see [`plan`]).
 //!
 //! The engine is a concurrent server: all methods take `&self`, the cache is
 //! sharded and single-flight (N threads missing on one workload run one
@@ -64,6 +72,8 @@
 //! ```
 
 pub mod cache;
+mod low_rank;
+pub mod plan;
 pub mod selector;
 pub mod session;
 pub mod store;
@@ -73,18 +83,21 @@ pub use cache::{
     CachedSelection, EvictionPolicy, FlightPoison, Lookup, SelectionGuard, StrategyCache,
     DEFAULT_SHARD_COUNT,
 };
+pub use plan::{LowRankPlan, PlanKind, SelectionPlan};
 pub use selector::{
     DesignBasis, DesignSetSelector, EigenDesignSelector, FixedStrategySelector,
     MatrixDesignSelector, PureDpSelector, SelectionContext, StrategySelector,
 };
 pub use session::{BudgetLedger, OwnedSession, PrivacyBudget, Session};
-pub use store::{StrategyStore, STORE_VERSION};
+pub use store::{
+    StrategyStore, OPERATOR_STORE_VERSION, PLAN_STORE_EXTENSION, PLAN_STORE_VERSION, STORE_VERSION,
+};
 pub use structured::{
-    FixedStructuredSelector, OperatorStore, StructuredAnswer, StructuredCache, StructuredSelector,
-    TreeStructuredSelector, OPERATOR_STORE_VERSION,
+    FixedStructuredSelector, StructuredAnswer, StructuredSelector, TreeStructuredSelector,
 };
 
 use crate::accounting::{Accountant, AccountantFactory, SequentialAccounting};
+use crate::eigen_design::EigenDesignOptions;
 use crate::error::predicted_rms_error;
 use crate::mechanism::backend::{default_backend, NoiseBackend};
 use crate::privacy::PrivacyParams;
@@ -112,6 +125,7 @@ pub struct EngineBuilder {
     eviction_policy: EvictionPolicy,
     strategy_store: Option<PathBuf>,
     structured_selector: Option<Arc<dyn StructuredSelector>>,
+    low_rank: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -217,6 +231,21 @@ impl EngineBuilder {
         self
     }
 
+    /// Answers dense workloads through the Low-Rank Mechanism: strategy
+    /// selection runs inside the top-`rank` eigen-subspace of the workload
+    /// gram (extracted by truncated block subspace iteration) in
+    /// O(nr² + r³) instead of the dense selector's O(n³), trading a small,
+    /// predictable truncation bias (see [`LowRankPlan::predicted_rms_error`])
+    /// for selection speed on workloads whose gram has low effective rank.
+    ///
+    /// A rank at or above a workload's dimension does not truncate; such
+    /// workloads fall through to the dense selector, so full-rank answers
+    /// are bit-identical to an engine without this knob.
+    pub fn low_rank(mut self, rank: usize) -> Self {
+        self.low_rank = Some(rank);
+        self
+    }
+
     /// Builds the engine, validating that the backend is compatible with the
     /// privacy parameters (e.g. the Gaussian backend rejects δ = 0).
     pub fn build(self) -> crate::Result<Engine> {
@@ -225,26 +254,27 @@ impl EngineBuilder {
             None => default_backend(&self.privacy),
         };
         backend.validate(&self.privacy)?;
+        if self.low_rank == Some(0) {
+            return Err(MechanismError::InvalidArgument(
+                "low-rank rank must be at least 1".into(),
+            ));
+        }
         let cache = StrategyCache::with_shards_and_policy(
             self.cache_capacity,
             self.cache_shards,
             self.eviction_policy,
         );
-        let structured_cache = StructuredCache::new(self.cache_capacity);
-        let (store, operator_store) = match self.strategy_store {
+        let store = match self.strategy_store {
             Some(dir) => {
-                // Both stores share one directory, separated by file
-                // extension (`.mmsel` dense factors, `.mmop` descriptors).
-                let operator_store = OperatorStore::open(dir.clone())?;
-                operator_store.warm(&structured_cache, structured_cache.capacity());
                 let store = StrategyStore::open(dir)?;
-                // Warm restart: fill the cache from disk up to its capacity
-                // (corrupt entries are skipped and cleared; they will be
-                // recomputed and rewritten on first use).
+                // Warm restart: fill the cache from disk up to its capacity —
+                // every plan kind, unified and legacy formats alike (corrupt
+                // entries are skipped and cleared; they will be recomputed
+                // and rewritten on first use).
                 store.warm(&cache, cache.capacity());
-                (Some(store), Some(operator_store))
+                Some(store)
             }
-            None => (None, None),
+            None => None,
         };
         Ok(Engine {
             privacy: self.privacy,
@@ -260,11 +290,12 @@ impl EngineBuilder {
             structured_selector: self
                 .structured_selector
                 .unwrap_or_else(|| Arc::new(TreeStructuredSelector::default())),
-            structured_cache,
-            operator_store,
+            low_rank: self.low_rank,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             selections: AtomicU64::new(0),
+            dense_selections: AtomicU64::new(0),
+            low_rank_selections: AtomicU64::new(0),
             store_hits: AtomicU64::new(0),
             store_writes: AtomicU64::new(0),
             poisoned_flights: AtomicU64::new(0),
@@ -292,9 +323,15 @@ pub struct EngineStats {
     /// `answer`/`select` calls that led a selection (cold fingerprint, or
     /// caching disabled).
     pub cache_misses: u64,
-    /// Times the selector ran *successfully* (failed selections are not
-    /// counted, and errors are never cached).
+    /// Times a (dense or low-rank) selection ran *successfully* — the sum of
+    /// `dense_selections` and `low_rank_selections` (failed selections are
+    /// not counted, and errors are never cached).
     pub selections: u64,
+    /// Selections among `selections` that ran the dense selector.
+    pub dense_selections: u64,
+    /// Selections among `selections` that ran the Low-Rank Mechanism's
+    /// subspace pipeline (builder knob [`EngineBuilder::low_rank`]).
+    pub low_rank_selections: u64,
     /// Cache misses served by loading a persisted selection from the
     /// [`StrategyStore`] instead of running the selector (always 0 without a
     /// configured store; does not include entries warmed at build time).
@@ -312,10 +349,10 @@ pub struct EngineStats {
     pub structured_cache_misses: u64,
     /// Times the structured selector ran successfully.
     pub structured_selections: u64,
-    /// Structured cache misses served by the persisted [`OperatorStore`]
+    /// Structured cache misses served by the persisted [`StrategyStore`]
     /// (always 0 without a configured store; excludes build-time warming).
     pub structured_store_hits: u64,
-    /// Fresh structured selections persisted to the [`OperatorStore`]
+    /// Fresh structured selections persisted to the [`StrategyStore`]
     /// (write-once per fingerprint).
     pub structured_store_writes: u64,
 }
@@ -328,7 +365,10 @@ pub struct EngineAnswer {
     pub answers: Vec<f64>,
     /// The noisy estimate of the data vector the answers derive from.
     pub estimate: Vec<f64>,
-    /// The strategy used (shared with the engine's cache).
+    /// The strategy used (shared with the engine's cache).  Under a low-rank
+    /// plan this is the subspace design `A_sub`, whose recorded sensitivities
+    /// are those of the end-to-end map `A_sub·L̃` actually applied to the
+    /// data (see [`LowRankPlan`]).
     pub strategy: Arc<Strategy>,
     /// The analytically predicted RMS workload error under the engine's
     /// backend (Prop. 4, resp. its L1 analogue).
@@ -350,11 +390,14 @@ pub struct Engine {
     cache: StrategyCache,
     store: Option<StrategyStore>,
     structured_selector: Arc<dyn StructuredSelector>,
-    structured_cache: StructuredCache,
-    operator_store: Option<OperatorStore>,
+    /// Low-Rank Mechanism knob: when set, dense workloads of dimension
+    /// greater than the rank select in the top-`rank` eigen-subspace.
+    low_rank: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
     selections: AtomicU64,
+    dense_selections: AtomicU64,
+    low_rank_selections: AtomicU64,
     store_hits: AtomicU64,
     store_writes: AtomicU64,
     poisoned_flights: AtomicU64,
@@ -378,6 +421,7 @@ impl Engine {
             eviction_policy: EvictionPolicy::default(),
             strategy_store: None,
             structured_selector: None,
+            low_rank: None,
         }
     }
 
@@ -416,6 +460,8 @@ impl Engine {
             cache_hits: self.hits.load(Ordering::Relaxed),
             cache_misses: self.misses.load(Ordering::Relaxed),
             selections: self.selections.load(Ordering::Relaxed),
+            dense_selections: self.dense_selections.load(Ordering::Relaxed),
+            low_rank_selections: self.low_rank_selections.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_writes: self.store_writes.load(Ordering::Relaxed),
             poisoned_flights: self.poisoned_flights.load(Ordering::Relaxed),
@@ -432,12 +478,47 @@ impl Engine {
         self.store.as_ref()
     }
 
-    /// A non-blocking cache probe by fingerprint, refreshing the entry's
-    /// recency on a hit.  Unlike the `answer`/`select` paths this never joins
-    /// or founds an in-flight selection, which makes it the right primitive
-    /// for async front-ends that must not block an executor thread.
-    pub fn cached_selection(&self, fp: Fingerprint) -> Option<Arc<CachedSelection>> {
+    /// A non-blocking cache probe by fingerprint for any plan kind,
+    /// refreshing the entry's recency on a hit.  Unlike the `answer`/`select`
+    /// paths this never joins or founds an in-flight selection, which makes
+    /// it the right primitive for async front-ends that must not block an
+    /// executor thread.
+    pub fn cached_plan(&self, fp: Fingerprint) -> Option<Arc<SelectionPlan>> {
         self.cache.get(fp)
+    }
+
+    /// Like [`Engine::cached_plan`], narrowed to the dense selection: `None`
+    /// when nothing is cached *or* when the cached plan is not dense.
+    pub fn cached_selection(&self, fp: Fingerprint) -> Option<Arc<CachedSelection>> {
+        self.cache.get(fp).and_then(|p| p.as_dense().cloned())
+    }
+
+    /// The cache/store key this engine uses for a workload with base (gram)
+    /// fingerprint `base` and dimension `dim`.
+    ///
+    /// On a default engine this is `base` itself.  When the
+    /// [`EngineBuilder::low_rank`] knob is set *and* actually truncates
+    /// (`rank < dim`), the rank is mixed into the fingerprint so a low-rank
+    /// plan never collides with the dense plan for the same workload — in
+    /// the shared in-memory cache or a shared persistent store directory.
+    pub fn plan_fingerprint(&self, base: Fingerprint, dim: usize) -> Fingerprint {
+        match self.low_rank {
+            Some(rank) if rank < dim => {
+                // splitmix64-style avalanche of (base, rank): any rank change
+                // flips about half the bits, so mixed keys spread over cache
+                // shards exactly like base fingerprints do.
+                let mut z = base.0 ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                Fingerprint(z ^ (z >> 31))
+            }
+            _ => base,
+        }
+    }
+
+    /// The configured Low-Rank Mechanism rank, when the builder knob is set.
+    pub fn low_rank_rank(&self) -> Option<usize> {
+        self.low_rank
     }
 
     /// Drops every cached strategy (counters are kept).
@@ -482,15 +563,39 @@ impl Engine {
     }
 
     /// Selects (or fetches from cache) the strategy for a workload, returning
-    /// it with its fingerprint and whether it was a cache hit.
+    /// it with its fingerprint and whether it was a cache hit.  Under the
+    /// [`EngineBuilder::low_rank`] knob the returned strategy is the subspace
+    /// design `A_sub` (see [`LowRankPlan`]); use [`Engine::select_plan_for`]
+    /// to get at the full plan.
     pub fn select<W: Workload + ?Sized>(
         &self,
         workload: &W,
     ) -> crate::Result<(Arc<Strategy>, Fingerprint, bool)> {
+        let (plan, fp, hit) = self.select_plan_for(workload)?;
+        let strategy = match &*plan {
+            SelectionPlan::Dense(entry) => entry.strategy().clone(),
+            SelectionPlan::LowRank(lr) => lr.selection().strategy().clone(),
+            SelectionPlan::Structured(_) => {
+                return Err(MechanismError::InvalidArgument(
+                    "a structured plan carries no dense strategy; use the structured answer paths"
+                        .into(),
+                ))
+            }
+        };
+        Ok((strategy, fp, hit))
+    }
+
+    /// Selects (or fetches from cache) the full [`SelectionPlan`] for a
+    /// workload, returning it with its fingerprint and whether it was a
+    /// cache hit.
+    pub fn select_plan_for<W: Workload + ?Sized>(
+        &self,
+        workload: &W,
+    ) -> crate::Result<(Arc<SelectionPlan>, Fingerprint, bool)> {
         let gram = workload.gram();
-        let fp = try_gram_fingerprint(&gram)?;
-        let (entry, hit) = self.select_entry(workload, &gram, fp)?;
-        Ok((entry.strategy().clone(), fp, hit))
+        let fp = self.plan_fingerprint(try_gram_fingerprint(&gram)?, gram.rows());
+        let (plan, hit) = self.select_plan(workload, &gram, fp)?;
+        Ok((plan, fp, hit))
     }
 
     /// Cache lookup / selection over a precomputed gram matrix.  The gram is
@@ -502,16 +607,16 @@ impl Engine {
     /// receives the leader's entry, counted as a cache hit.  A selection
     /// error is returned to the leader only; waiters retry (one at a time)
     /// and errors are never cached.
-    fn select_entry<W: Workload + ?Sized>(
+    fn select_plan<W: Workload + ?Sized>(
         &self,
         workload: &W,
         gram: &Matrix,
         fp: Fingerprint,
-    ) -> crate::Result<(Arc<CachedSelection>, bool)> {
+    ) -> crate::Result<(Arc<SelectionPlan>, bool)> {
         match self.cache.begin(fp) {
-            Lookup::Hit(cached) | Lookup::Shared(cached) => {
+            Lookup::Hit(plan) | Lookup::Shared(plan) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Ok((cached, true))
+                Ok((plan, true))
             }
             Lookup::Miss(guard) => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -523,42 +628,63 @@ impl Engine {
                 // Before selecting, probe the persistent store: another run
                 // (or process) may have already paid for this fingerprint.
                 if let Some(store) = &self.store {
-                    if let Some(entry) = store.load(fp) {
+                    if let Some(plan) = store.load(fp) {
                         self.store_hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok((guard.publish(entry), true));
+                        return Ok((guard.publish(plan), true));
                     }
                 }
-                let ctx = if self.selector.needs_workload_matrix() {
-                    let rows = workload.to_matrix();
-                    SelectionContext::from_gram_and_rows(gram.clone(), rows)
-                } else {
-                    SelectionContext::from_gram(gram.clone())
-                };
-                // On error the flight is failed with the error's message so
-                // waiters retry knowing why; the selections counter moves
-                // only on success, keeping failed selections out of the
-                // stats.  Selection wall-time is recorded on the entry for
-                // the cost-aware eviction policy.
-                // mm-lint: allow(determinism-hygiene): wall-clock feeds only the advisory eviction-cost metadata, never a released answer or cache key
-                let started = std::time::Instant::now();
-                let strategy = match self.selector.select(&ctx) {
-                    Ok(s) => Arc::new(s),
-                    Err(e) => {
-                        guard.fail(e.to_string());
-                        return Err(e);
+                let plan = if let Some(rank) = self.low_rank.filter(|&r| r < gram.rows()) {
+                    // Low-Rank Mechanism: eigen-design inside the top-`rank`
+                    // subspace.  (A non-truncating rank falls through to the
+                    // dense selector below, which keeps full-rank answers
+                    // bit-identical to a plain dense engine.)
+                    match low_rank::select_low_rank(gram, rank, &EigenDesignOptions::default()) {
+                        Ok(lr) => {
+                            self.selections.fetch_add(1, Ordering::Relaxed);
+                            self.low_rank_selections.fetch_add(1, Ordering::Relaxed);
+                            Arc::new(SelectionPlan::LowRank(Arc::new(lr)))
+                        }
+                        Err(e) => {
+                            guard.fail(e.to_string());
+                            return Err(e);
+                        }
                     }
+                } else {
+                    let ctx = if self.selector.needs_workload_matrix() {
+                        let rows = workload.to_matrix();
+                        SelectionContext::from_gram_and_rows(gram.clone(), rows)
+                    } else {
+                        SelectionContext::from_gram(gram.clone())
+                    };
+                    // On error the flight is failed with the error's message
+                    // so waiters retry knowing why; the selection counters
+                    // move only on success, keeping failed selections out of
+                    // the stats.  Selection wall-time is recorded on the
+                    // entry for the cost-aware eviction policy.
+                    // mm-lint: allow(determinism-hygiene): wall-clock feeds only the advisory eviction-cost metadata, never a released answer or cache key
+                    let started = std::time::Instant::now();
+                    let strategy = match self.selector.select(&ctx) {
+                        Ok(s) => Arc::new(s),
+                        Err(e) => {
+                            guard.fail(e.to_string());
+                            return Err(e);
+                        }
+                    };
+                    let cost_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    self.selections.fetch_add(1, Ordering::Relaxed);
+                    self.dense_selections.fetch_add(1, Ordering::Relaxed);
+                    Arc::new(SelectionPlan::Dense(Arc::new(CachedSelection::with_cost(
+                        strategy, cost_ns,
+                    ))))
                 };
-                let cost_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
-                self.selections.fetch_add(1, Ordering::Relaxed);
-                let entry = Arc::new(CachedSelection::with_cost(strategy, cost_ns));
                 if let Some(store) = &self.store {
                     // Persist before publishing so a restart racing this
                     // process sees the entry as soon as waiters do.
-                    if store.save(fp, &entry, gram) {
+                    if store.save(fp, &plan, Some(gram)) {
                         self.store_writes.fetch_add(1, Ordering::Relaxed);
                     }
                 }
-                Ok((guard.publish(entry), false))
+                Ok((guard.publish(plan), false))
             }
         }
     }
@@ -666,12 +792,12 @@ impl Engine {
     ) -> crate::Result<Vec<EngineAnswer>> {
         self.backend.validate(&privacy)?;
         let gram = workload.gram();
-        let fingerprint = try_gram_fingerprint(&gram)?;
-        let (entry, cache_hit) = self.select_entry(workload, &gram, fingerprint)?;
+        let fingerprint = self.plan_fingerprint(try_gram_fingerprint(&gram)?, gram.rows());
+        let (plan, cache_hit) = self.select_plan(workload, &gram, fingerprint)?;
         self.answer_parts(
             workload,
             &gram,
-            entry,
+            plan,
             fingerprint,
             cache_hit,
             privacy,
@@ -723,11 +849,13 @@ impl Engine {
         self.backend.validate(&self.privacy)?;
         let gram = workload.gram();
         let fingerprint = try_gram_fingerprint(&gram)?;
-        let entry = Arc::new(CachedSelection::new(strategy));
+        let plan = Arc::new(SelectionPlan::Dense(Arc::new(CachedSelection::new(
+            strategy,
+        ))));
         let mut answers = self.answer_parts(
             workload,
             &gram,
-            entry,
+            plan,
             fingerprint,
             false,
             self.privacy,
@@ -765,7 +893,7 @@ impl Engine {
         &self,
         workload: &W,
         workload_gram: &Matrix,
-        entry: Arc<CachedSelection>,
+        plan: Arc<SelectionPlan>,
         fingerprint: Fingerprint,
         cache_hit: bool,
         privacy: PrivacyParams,
@@ -773,20 +901,39 @@ impl Engine {
         rng: &mut R,
         mut ledger: Option<&mut session::BudgetLedger>,
     ) -> crate::Result<Vec<EngineAnswer>> {
+        // Dispatch on the plan kind: a dense plan runs the classic pipeline
+        // against the workload gram; a low-rank plan runs the *identical*
+        // pipeline inside the subspace (project the data through the basis,
+        // answer there, recombine), with its trace term taken against the
+        // projected gram `L̃GL̃ᵀ`; structured plans are matrix-free and
+        // answered through the structured paths.
+        let (entry, basis, trace_gram): (&CachedSelection, Option<&Matrix>, &Matrix) = match &*plan
+        {
+            SelectionPlan::Dense(entry) => (entry.as_ref(), None, workload_gram),
+            SelectionPlan::LowRank(lr) => (lr.selection(), Some(lr.basis()), lr.subspace_gram()),
+            SelectionPlan::Structured(_) => {
+                return Err(MechanismError::InvalidArgument(
+                    "a structured plan cannot be answered through the dense path; \
+                     use the structured answer paths"
+                        .into(),
+                ))
+            }
+        };
         let strategy = entry.strategy().clone();
-        if workload.dim() != strategy.dim() {
+        let dim = plan.dim();
+        if workload.dim() != dim {
             return Err(MechanismError::InvalidArgument(format!(
                 "workload covers {} cells but the strategy covers {}",
                 workload.dim(),
-                strategy.dim()
+                dim
             )));
         }
         for x in xs {
-            if x.len() != strategy.dim() {
+            if x.len() != dim {
                 return Err(MechanismError::InvalidArgument(format!(
                     "data vector has {} cells but the strategy covers {}",
                     x.len(),
-                    strategy.dim()
+                    dim
                 )));
             }
         }
@@ -807,12 +954,14 @@ impl Engine {
         }
         // Predicted error through the cached factor and trace term
         // (Prop. 4 / Sec. 3.5) — both are data- and privacy-independent.
+        // A low-rank strategy's sensitivities are those of the end-to-end
+        // map `A_sub·L̃`, so the calibration below covers the whole release.
         let factor = entry.factor()?;
         let sens = self.backend.sensitivity(&strategy);
         let tse = self.backend.error_constant(&privacy)?
             * sens
             * sens
-            * entry.trace_term(workload_gram)?;
+            * entry.trace_term(trace_gram)?;
         let expected_rms_error = (tse / m as f64).sqrt();
         let scale = self.backend.noise_scale(&privacy, sens);
 
@@ -823,12 +972,17 @@ impl Engine {
             ledger.check_event_many(&event, k)?;
         }
 
-        let n = strategy.dim();
-        // Pack the K data vectors as columns of X (n × K).
-        let x_mat = Matrix::from_fn(n, k, |i, c| xs[c][i]);
+        // Pack the K data vectors as columns of X (n × K); a low-rank plan
+        // first projects them into the subspace, Z = L̃·X, where the rest of
+        // the pipeline is column-for-column the dense one.
+        let x_mat = Matrix::from_fn(dim, k, |i, c| xs[c][i]);
+        let design_in = match basis {
+            Some(b) => b.matmul(&x_mat)?,
+            None => x_mat,
+        };
         // Noisy strategy answers for the whole batch: Y = A·X + N, with one
         // independent length-p noise draw per column (p strategy queries).
-        let mut y = a.matmul(&x_mat)?;
+        let mut y = a.matmul(&design_in)?;
         let p = y.rows();
         for c in 0..k {
             let noise = self.backend.sample(rng, scale, p);
@@ -838,9 +992,14 @@ impl Engine {
             }
         }
         // Batched least-squares inference through the shared factor:
-        // X̂ = L⁻ᵀ(L⁻¹(AᵀY)).
+        // X̂ = L⁻ᵀ(L⁻¹(AᵀY)); a low-rank plan recovers the subspace
+        // coordinates Ẑ and recombines through the basis, X̂ = L̃ᵀ·Ẑ.
         let aty = a.matmul_transpose_left(&y)?;
-        let estimates = factor.solve_upper_multi(&factor.solve_lower_multi(&aty)?)?;
+        let solved = factor.solve_upper_multi(&factor.solve_lower_multi(&aty)?)?;
+        let estimates = match basis {
+            Some(b) => b.matmul_transpose_left(&solved)?,
+            None => solved,
+        };
         // Workload evaluation stays vectorised too: `W·X̂` in one pass
         // (explicit workloads route it through the blocked matmul kernel),
         // column-wise bit-identical to per-vector evaluation.

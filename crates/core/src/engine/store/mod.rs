@@ -1,0 +1,817 @@
+//! Persistent plan store: spills [`SelectionPlan`]s to disk so engine
+//! restarts (and independent processes sharing a directory) skip selection
+//! entirely — O(n³) dense selections, O(nr² + r³) low-rank selections, and
+//! structured selections alike.
+//!
+//! Strategy selection is data independent and keyed by the workload's
+//! [`Fingerprint`] (gram-entry bits for the dense/low-rank paths, the
+//! structured descriptor hash for the matrix-free path) — valid across
+//! processes and machines.  Each store entry records everything the answer
+//! path derives from a selection, pre-seeded on load (Cholesky factor,
+//! Prop. 4 trace term, low-rank basis, selection cost), so a warm restart
+//! answers bit-identically to the run that produced the entry — nothing is
+//! refactorized or re-derived.
+//!
+//! # File format (`.mmplan`, version 1)
+//!
+//! One file per fingerprint, named `<fingerprint as 16 hex digits>.mmplan`,
+//! framed by [`entry`] (magic, version, fingerprint, length, payload,
+//! FNV-1a checksum).  The payload starts with one *kind* byte:
+//!
+//! * `0` **dense** — strategy name, row count, dimension, L2/L1
+//!   sensitivities, optional explicit matrix, strategy gram, Cholesky
+//!   factor `L`, trace term, selection cost (f64 via `to_bits`, all LE).
+//! * `1` **structured** — the encoded
+//!   [`StrategyDescriptor`] (a few bytes; the operator is
+//!   re-instantiated on load).
+//! * `2` **low-rank** — requested rank, total gram trace, captured
+//!   spectral mass, the subspace basis `L̃`, the projected gram `L̃GL̃ᵀ`,
+//!   then the subspace selection in the dense field layout.
+//!
+//! # Migration
+//!
+//! Stores written before the unification hold dense `.mmsel`
+//! (`b"MMSTRAT\n"`) and structured `.mmop` (`b"MMOPDSC\n"`) entries.  Both
+//! stay readable: [`StrategyStore::load`] probes `.mmplan` first, then each
+//! legacy format, and [`StrategyStore::warm`] scans all three extensions.
+//! New entries are only ever written as `.mmplan`; an existing legacy entry
+//! for a fingerprint blocks a rewrite (write-once is per fingerprint, not
+//! per format).
+//!
+//! # Durability and concurrency
+//!
+//! * **Atomic writes.** Entries are written to a temporary file in the same
+//!   directory and `rename`d into place, so readers never observe a partial
+//!   entry under a crashed writer.
+//! * **Write-once.** A fingerprint identifies its selection input exactly,
+//!   and selection is deterministic, so the first process to write an entry
+//!   wins; later saves for the same fingerprint are skipped.  Concurrent
+//!   writers racing on one fingerprint each rename a complete,
+//!   identical-content file — the last rename wins and every reader sees a
+//!   whole entry.
+//! * **Corruption falls back to recompute.** A truncated file, a checksum
+//!   mismatch (bit flip), a wrong version or a mismatched fingerprint makes
+//!   [`StrategyStore::load`] delete the entry and return `None`: the caller
+//!   runs a fresh selection and rewrites a valid entry.  A corrupt store can
+//!   cost time, never correctness.
+
+pub(crate) mod entry;
+
+use super::cache::{CachedSelection, StrategyCache};
+use super::plan::{LowRankPlan, SelectionPlan};
+use crate::MechanismError;
+use entry::Cursor;
+use mm_linalg::decomp::Cholesky;
+use mm_linalg::Matrix;
+use mm_strategies::{Strategy, StrategyDescriptor};
+use mm_workload::Fingerprint;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Current unified store format version (bumped on any encoding change;
+/// entries with any other version are treated as corrupt and recomputed).
+pub const PLAN_STORE_VERSION: u32 = 1;
+
+/// File extension of unified store entries.
+pub const PLAN_STORE_EXTENSION: &str = "mmplan";
+
+const PLAN_MAGIC: [u8; 8] = *b"MMPLAN0\n";
+
+/// Format version of legacy dense `.mmsel` entries (read-only migration
+/// path; new entries are written as `.mmplan`).
+pub const STORE_VERSION: u32 = 1;
+
+/// File extension of legacy dense store entries.
+pub const STORE_EXTENSION: &str = "mmsel";
+
+const LEGACY_DENSE_MAGIC: [u8; 8] = *b"MMSTRAT\n";
+
+/// Format version of legacy structured `.mmop` entries (read-only migration
+/// path; new entries are written as `.mmplan`).
+pub const OPERATOR_STORE_VERSION: u32 = 1;
+
+/// File extension of legacy structured store entries.
+pub const OPERATOR_STORE_EXTENSION: &str = "mmop";
+
+const LEGACY_OPERATOR_MAGIC: [u8; 8] = *b"MMOPDSC\n";
+
+const KIND_DENSE: u8 = 0;
+const KIND_STRUCTURED: u8 = 1;
+const KIND_LOW_RANK: u8 = 2;
+
+fn encode_dense_fields(out: &mut Vec<u8>, e: &CachedSelection, factor: &Cholesky, trace: f64) {
+    let strategy = e.strategy();
+    let name = strategy.name().as_bytes();
+    entry::push_u32(out, name.len() as u32);
+    out.extend_from_slice(name);
+    entry::push_u64(out, strategy.rows() as u64);
+    entry::push_u64(out, strategy.dim() as u64);
+    entry::push_f64(out, strategy.l2_sensitivity());
+    entry::push_f64(out, strategy.l1_sensitivity());
+    match strategy.matrix() {
+        Some(m) => {
+            out.push(1);
+            entry::push_matrix(out, m);
+        }
+        None => out.push(0),
+    }
+    entry::push_matrix(out, strategy.gram());
+    entry::push_matrix(out, factor.l());
+    entry::push_f64(out, trace);
+    entry::push_u64(out, e.selection_cost_ns());
+}
+
+fn decode_dense_fields(c: &mut Cursor<'_>) -> Option<CachedSelection> {
+    let name_len = usize::try_from(c.u32()?).ok()?;
+    let name = String::from_utf8(c.take(name_len)?.to_vec()).ok()?;
+    let rows = usize::try_from(c.u64()?).ok()?;
+    let dim = usize::try_from(c.u64()?).ok()?;
+    let l2 = c.f64()?;
+    let l1 = c.f64()?;
+    let matrix = match c.u8()? {
+        0 => None,
+        1 => Some(c.matrix()?),
+        _ => return None,
+    };
+    let gram = c.matrix()?;
+    let factor_l = c.matrix()?;
+    let trace = c.f64()?;
+    let cost_ns = c.u64()?;
+    // Validate shapes before `Strategy::from_parts`, whose contract
+    // violations are asserts (panics), not parse failures.
+    if gram.rows() != dim || !gram.is_square() || dim == 0 {
+        return None;
+    }
+    if let Some(m) = &matrix {
+        if m.cols() != dim || m.rows() != rows {
+            return None;
+        }
+    }
+    if factor_l.rows() != dim {
+        return None;
+    }
+    if !(l2.is_finite() && l1.is_finite() && trace.is_finite()) {
+        return None;
+    }
+    let factor = Cholesky::from_factor(factor_l).ok()?;
+    let strategy = Arc::new(Strategy::from_parts(name, matrix, gram, l2, l1, rows));
+    Some(CachedSelection::with_parts(
+        strategy,
+        cost_ns,
+        Arc::new(factor),
+        trace,
+    ))
+}
+
+fn decode_plan_file(fp: Fingerprint, bytes: &[u8]) -> Option<SelectionPlan> {
+    let payload = entry::decode_framed(&PLAN_MAGIC, PLAN_STORE_VERSION, fp, bytes)?;
+    let mut c = Cursor::new(payload);
+    match c.u8()? {
+        KIND_DENSE => {
+            let e = decode_dense_fields(&mut c)?;
+            if !c.done() {
+                return None; // trailing garbage
+            }
+            Some(SelectionPlan::Dense(Arc::new(e)))
+        }
+        KIND_STRUCTURED => {
+            let descriptor = StrategyDescriptor::decode(c.rest())?;
+            Some(SelectionPlan::Structured(Arc::new(descriptor.instantiate())))
+        }
+        KIND_LOW_RANK => {
+            let rank = usize::try_from(c.u64()?).ok()?;
+            let total_gram_trace = c.f64()?;
+            let captured_mass = c.f64()?;
+            let basis = c.matrix()?;
+            let subspace_gram = c.matrix()?;
+            let selection = decode_dense_fields(&mut c)?;
+            if !c.done() {
+                return None;
+            }
+            if rank == 0 || basis.rows() == 0 || basis.cols() == 0 {
+                return None;
+            }
+            if !subspace_gram.is_square() || subspace_gram.rows() != basis.rows() {
+                return None;
+            }
+            if selection.strategy().dim() != basis.rows() {
+                return None;
+            }
+            if !(total_gram_trace.is_finite() && captured_mass.is_finite()) {
+                return None;
+            }
+            Some(SelectionPlan::LowRank(Arc::new(LowRankPlan::from_parts(
+                basis,
+                selection,
+                subspace_gram,
+                rank,
+                total_gram_trace,
+                captured_mass,
+            ))))
+        }
+        _ => None,
+    }
+}
+
+fn decode_legacy_dense_file(fp: Fingerprint, bytes: &[u8]) -> Option<CachedSelection> {
+    let payload = entry::decode_framed(&LEGACY_DENSE_MAGIC, STORE_VERSION, fp, bytes)?;
+    let mut c = Cursor::new(payload);
+    let e = decode_dense_fields(&mut c)?;
+    if !c.done() {
+        return None;
+    }
+    Some(e)
+}
+
+fn decode_legacy_operator_file(fp: Fingerprint, bytes: &[u8]) -> Option<StrategyDescriptor> {
+    let payload = entry::decode_framed(&LEGACY_OPERATOR_MAGIC, OPERATOR_STORE_VERSION, fp, bytes)?;
+    StrategyDescriptor::decode(payload)
+}
+
+/// Reads and decodes one entry file; a corrupt entry is deleted (best
+/// effort — a failed delete only means the next load re-detects the
+/// corruption) so a fresh selection can rewrite a valid one.
+fn load_file<T>(path: &Path, decode: impl FnOnce(&[u8]) -> Option<T>) -> Option<T> {
+    let bytes = std::fs::read(path).ok()?;
+    match decode(&bytes) {
+        Some(v) => Some(v),
+        None => {
+            let _ = std::fs::remove_file(path);
+            None
+        }
+    }
+}
+
+/// A directory of persisted selection plans, shared by any number of engines
+/// and processes (see the module docs for format, migration and concurrency
+/// semantics).
+#[derive(Debug)]
+pub struct StrategyStore {
+    dir: PathBuf,
+}
+
+impl StrategyStore {
+    /// Opens (creating if needed) a store directory.
+    pub fn open(dir: impl Into<PathBuf>) -> crate::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(|e| {
+            MechanismError::Store(format!(
+                "cannot create store directory {}: {e}",
+                dir.display()
+            ))
+        })?;
+        Ok(StrategyStore { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path of a fingerprint's unified entry.
+    pub fn entry_path(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fp}.{PLAN_STORE_EXTENSION}"))
+    }
+
+    /// The on-disk path a pre-unification dense entry would occupy.
+    pub fn legacy_dense_path(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fp}.{STORE_EXTENSION}"))
+    }
+
+    /// The on-disk path a pre-unification structured entry would occupy.
+    pub fn legacy_operator_path(&self, fp: Fingerprint) -> PathBuf {
+        self.dir.join(format!("{fp}.{OPERATOR_STORE_EXTENSION}"))
+    }
+
+    /// Loads a fingerprint's plan, pre-seeded with every persisted derived
+    /// quantity.  Probes the unified format first, then each legacy format.
+    /// Any corruption (truncation, checksum mismatch, wrong version,
+    /// mismatched fingerprint, malformed payload) deletes the offending
+    /// entry and falls through, so the caller recomputes and rewrites it.
+    pub fn load(&self, fp: Fingerprint) -> Option<Arc<SelectionPlan>> {
+        if let Some(plan) = load_file(&self.entry_path(fp), |b| decode_plan_file(fp, b)) {
+            return Some(Arc::new(plan));
+        }
+        if let Some(e) = load_file(&self.legacy_dense_path(fp), |b| {
+            decode_legacy_dense_file(fp, b)
+        }) {
+            return Some(Arc::new(SelectionPlan::Dense(Arc::new(e))));
+        }
+        if let Some(d) = load_file(&self.legacy_operator_path(fp), |b| {
+            decode_legacy_operator_file(fp, b)
+        }) {
+            return Some(Arc::new(SelectionPlan::Structured(Arc::new(
+                d.instantiate(),
+            ))));
+        }
+        None
+    }
+
+    /// Persists a plan (write-once per fingerprint, across formats): returns
+    /// `true` when this call wrote the entry, `false` when any entry already
+    /// existed or the write failed.
+    ///
+    /// Dense plans need the `workload_gram` they were selected for to derive
+    /// their trace term (if not already materialised); structured and
+    /// low-rank plans ignore it — a low-rank plan carries its own subspace
+    /// gram.  Underivable entries (e.g. a singular strategy gram) stay
+    /// memory-only.
+    pub fn save(
+        &self,
+        fp: Fingerprint,
+        plan: &SelectionPlan,
+        workload_gram: Option<&Matrix>,
+    ) -> bool {
+        let path = self.entry_path(fp);
+        if path.exists()
+            || self.legacy_dense_path(fp).exists()
+            || self.legacy_operator_path(fp).exists()
+        {
+            return false; // write-once per fingerprint
+        }
+        let payload = match plan {
+            SelectionPlan::Dense(e) => {
+                let Some(gram) = workload_gram else {
+                    return false;
+                };
+                let (Ok(factor), Ok(trace)) = (e.factor(), e.trace_term(gram)) else {
+                    return false;
+                };
+                let mut out = vec![KIND_DENSE];
+                encode_dense_fields(&mut out, e, &factor, trace);
+                out
+            }
+            SelectionPlan::Structured(s) => {
+                let mut out = vec![KIND_STRUCTURED];
+                out.extend_from_slice(&s.descriptor().encode());
+                out
+            }
+            SelectionPlan::LowRank(p) => {
+                let sel = p.selection();
+                let (Ok(factor), Ok(trace)) = (sel.factor(), sel.trace_term(p.subspace_gram()))
+                else {
+                    return false;
+                };
+                let mut out = vec![KIND_LOW_RANK];
+                entry::push_u64(&mut out, p.requested_rank() as u64);
+                entry::push_f64(&mut out, p.total_gram_trace());
+                entry::push_f64(&mut out, p.captured_mass());
+                entry::push_matrix(&mut out, p.basis());
+                entry::push_matrix(&mut out, p.subspace_gram());
+                encode_dense_fields(&mut out, sel, &factor, trace);
+                out
+            }
+        };
+        let bytes = entry::encode_framed(&PLAN_MAGIC, PLAN_STORE_VERSION, fp, &payload);
+        let tmp_name = format!(".{fp}.tmp.{}", std::process::id());
+        entry::atomic_write(&self.dir, &tmp_name, &path, &bytes)
+    }
+
+    /// Loads up to `limit` plans into a [`StrategyCache`] (deterministic
+    /// ascending-fingerprint order, all formats), returning how many were
+    /// inserted.  Corrupt entries are skipped (and deleted) exactly as in
+    /// [`StrategyStore::load`].
+    pub fn warm(&self, cache: &StrategyCache, limit: usize) -> usize {
+        // Collect into an ordered set: directory order is arbitrary and a
+        // fingerprint can appear under several extensions, but which entries
+        // warm under a `limit` must be a pure function of the store's
+        // contents.
+        // mm-lint: allow(determinism-hygiene): directory order is discarded — fingerprints are deduplicated and re-sorted numerically below before any are loaded
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut fps: BTreeSet<u64> = BTreeSet::new();
+        for entry in dir.flatten() {
+            let path = entry.path();
+            let Some(ext) = path.extension().and_then(|e| e.to_str()) else {
+                continue;
+            };
+            if ext != PLAN_STORE_EXTENSION && ext != STORE_EXTENSION && ext != OPERATOR_STORE_EXTENSION
+            {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(raw) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            fps.insert(raw);
+        }
+        let mut inserted = 0;
+        for raw in fps.into_iter().take(limit) {
+            let fp = Fingerprint(raw);
+            if let Some(plan) = self.load(fp) {
+                cache.insert(fp, plan);
+                inserted += 1;
+            }
+        }
+        inserted
+    }
+
+    /// Number of distinct fingerprints with (undamaged or not-yet-inspected)
+    /// entries on disk, across all formats.
+    pub fn len(&self) -> usize {
+        // mm-lint: allow(determinism-hygiene): the count is order-independent and diagnostic only — no serving decision keys on directory iteration order
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut fps: BTreeSet<u64> = BTreeSet::new();
+        for entry in dir.flatten() {
+            let path = entry.path();
+            let Some(ext) = path.extension().and_then(|e| e.to_str()) else {
+                continue;
+            };
+            if ext != PLAN_STORE_EXTENSION && ext != STORE_EXTENSION && ext != OPERATOR_STORE_EXTENSION
+            {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(raw) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            fps.insert(raw);
+        }
+        fps.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Legacy dense `.mmsel` encoder, kept (test-only) so the migration read
+/// path has a byte-exact regression oracle.
+#[cfg(test)]
+pub(crate) fn encode_legacy_dense_file(
+    fp: Fingerprint,
+    e: &CachedSelection,
+    workload_gram: &Matrix,
+) -> Option<Vec<u8>> {
+    let factor = e.factor().ok()?;
+    let trace = e.trace_term(workload_gram).ok()?;
+    let mut payload = Vec::new();
+    encode_dense_fields(&mut payload, e, &factor, trace);
+    Some(entry::encode_framed(
+        &LEGACY_DENSE_MAGIC,
+        STORE_VERSION,
+        fp,
+        &payload,
+    ))
+}
+
+/// Legacy structured `.mmop` encoder, kept (test-only) so the migration
+/// read path has a byte-exact regression oracle.
+#[cfg(test)]
+pub(crate) fn encode_legacy_operator_file(fp: Fingerprint, d: &StrategyDescriptor) -> Vec<u8> {
+    entry::encode_framed(&LEGACY_OPERATOR_MAGIC, OPERATOR_STORE_VERSION, fp, &d.encode())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::entry::fnv1a;
+    use super::*;
+    use crate::eigen_design::EigenDesignOptions;
+    use crate::engine::low_rank::select_low_rank;
+    use mm_strategies::identity::identity_strategy;
+    use mm_workload::prefix::PrefixWorkload;
+    use mm_workload::Workload;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mm-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn dense_entry(n: usize) -> CachedSelection {
+        CachedSelection::with_cost(Arc::new(identity_strategy(n)), 42_000)
+    }
+
+    fn dense_plan(n: usize) -> SelectionPlan {
+        SelectionPlan::Dense(Arc::new(dense_entry(n)))
+    }
+
+    #[test]
+    fn dense_round_trip_is_bit_identical() {
+        let dir = tmp_dir("roundtrip");
+        let store = StrategyStore::open(&dir).unwrap();
+        let fp = Fingerprint(0xDEAD_BEEF_0BAD_F00D);
+        let e = dense_entry(6);
+        let gram = Matrix::identity(6);
+        // Force the derived quantities so we can compare them bit-for-bit.
+        let factor = e.factor().unwrap();
+        let trace = e.trace_term(&gram).unwrap();
+        let plan = SelectionPlan::Dense(Arc::new(e));
+        assert!(store.save(fp, &plan, Some(&gram)), "first save writes");
+        assert!(!store.save(fp, &plan, Some(&gram)), "second save is write-once");
+        assert_eq!(store.len(), 1);
+
+        let loaded = store.load(fp).expect("entry loads");
+        let loaded = loaded.as_dense().expect("dense plan kind");
+        let s0 = plan.as_dense().unwrap().strategy();
+        let s1 = loaded.strategy();
+        assert_eq!(s0.name(), s1.name());
+        assert_eq!(s0.rows(), s1.rows());
+        assert_eq!(s0.dim(), s1.dim());
+        assert_eq!(s0.l2_sensitivity().to_bits(), s1.l2_sensitivity().to_bits());
+        assert_eq!(s0.l1_sensitivity().to_bits(), s1.l1_sensitivity().to_bits());
+        for (a, b) in s0
+            .matrix()
+            .unwrap()
+            .as_slice()
+            .iter()
+            .zip(s1.matrix().unwrap().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in s0.gram().as_slice().iter().zip(s1.gram().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let loaded_factor = loaded.factor().unwrap();
+        for (a, b) in factor
+            .l()
+            .as_slice()
+            .iter()
+            .zip(loaded_factor.l().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(trace.to_bits(), loaded.trace_term(&gram).unwrap().to_bits());
+        assert_eq!(loaded.selection_cost_ns(), 42_000);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn matrixless_strategy_round_trips() {
+        let dir = tmp_dir("gramonly");
+        let store = StrategyStore::open(&dir).unwrap();
+        let fp = Fingerprint(7);
+        let gram = Matrix::identity(4);
+        let strategy = Arc::new(Strategy::from_parts(
+            "implicit",
+            None,
+            gram.clone(),
+            1.0,
+            1.0,
+            4,
+        ));
+        let plan = SelectionPlan::Dense(Arc::new(CachedSelection::new(strategy)));
+        assert!(store.save(fp, &plan, Some(&gram)));
+        let loaded = store.load(fp).unwrap();
+        let loaded = loaded.as_dense().unwrap();
+        assert!(loaded.strategy().matrix().is_none());
+        assert_eq!(loaded.strategy().dim(), 4);
+        // A dense plan cannot be saved without its workload gram.
+        assert!(!store.save(Fingerprint(8), &dense_plan(4), None));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn structured_plan_round_trips() {
+        let dir = tmp_dir("structured");
+        let store = StrategyStore::open(&dir).unwrap();
+        let fp = Fingerprint(0xFEED_F00D);
+        let d = StrategyDescriptor::Haar { n: 64 };
+        let plan = SelectionPlan::Structured(Arc::new(d.instantiate()));
+        assert!(store.save(fp, &plan, None), "first save writes");
+        assert!(!store.save(fp, &plan, None), "second save is write-once");
+        assert_eq!(store.len(), 1);
+        let loaded = store.load(fp).expect("entry loads");
+        let loaded = loaded.as_structured().expect("structured plan kind");
+        assert_eq!(loaded.descriptor(), d);
+        assert_eq!(loaded.dim(), 64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn low_rank_plan_round_trips_bit_identically() {
+        let dir = tmp_dir("lowrank");
+        let store = StrategyStore::open(&dir).unwrap();
+        let fp = Fingerprint(0x10_CA1);
+        let g = PrefixWorkload::new(16).gram();
+        let plan = select_low_rank(&g, 4, &EigenDesignOptions::default()).unwrap();
+        let plan = SelectionPlan::LowRank(Arc::new(plan));
+        assert!(store.save(fp, &plan, None));
+        let loaded = store.load(fp).expect("entry loads");
+        let (orig, back) = (plan.as_low_rank().unwrap(), loaded.as_low_rank().unwrap());
+        assert_eq!(orig.requested_rank(), back.requested_rank());
+        assert_eq!(orig.retained_rank(), back.retained_rank());
+        assert_eq!(
+            orig.total_gram_trace().to_bits(),
+            back.total_gram_trace().to_bits()
+        );
+        assert_eq!(orig.captured_mass().to_bits(), back.captured_mass().to_bits());
+        for (a, b) in orig
+            .basis()
+            .as_slice()
+            .iter()
+            .zip(back.basis().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in orig
+            .subspace_gram()
+            .as_slice()
+            .iter()
+            .zip(back.subspace_gram().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let (f0, f1) = (
+            orig.selection().factor().unwrap(),
+            back.selection().factor().unwrap(),
+        );
+        for (a, b) in f0.l().as_slice().iter().zip(f1.l().as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            orig.selection()
+                .trace_term(orig.subspace_gram())
+                .unwrap()
+                .to_bits(),
+            back.selection()
+                .trace_term(back.subspace_gram())
+                .unwrap()
+                .to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_checksum_flip_and_wrong_version_all_fall_back() {
+        let fp = Fingerprint(0xABCD);
+        for (tag, corrupt) in [
+            (
+                "truncate",
+                Box::new(|bytes: &mut Vec<u8>| bytes.truncate(bytes.len() / 2))
+                    as Box<dyn Fn(&mut Vec<u8>)>,
+            ),
+            (
+                "bitflip",
+                Box::new(|bytes: &mut Vec<u8>| {
+                    let mid = bytes.len() / 2;
+                    bytes[mid] ^= 0x40;
+                }),
+            ),
+            (
+                "version",
+                Box::new(|bytes: &mut Vec<u8>| {
+                    // Rewrite the version field and re-checksum so *only* the
+                    // version check can reject it.
+                    bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+                    let body_len = bytes.len() - 8;
+                    let sum = fnv1a(&bytes[..body_len]);
+                    let at = bytes.len() - 8;
+                    bytes[at..].copy_from_slice(&sum.to_le_bytes());
+                }),
+            ),
+        ] {
+            let dir = tmp_dir(tag);
+            let store = StrategyStore::open(&dir).unwrap();
+            let gram = Matrix::identity(5);
+            assert!(store.save(fp, &dense_plan(5), Some(&gram)));
+            let path = store.entry_path(fp);
+            let mut bytes = std::fs::read(&path).unwrap();
+            corrupt(&mut bytes);
+            std::fs::write(&path, &bytes).unwrap();
+
+            assert!(store.load(fp).is_none(), "{tag}: corrupt entry rejected");
+            assert!(!path.exists(), "{tag}: corrupt entry deleted");
+            // The slot is clear: a fresh save rewrites a valid entry.
+            assert!(
+                store.save(fp, &dense_plan(5), Some(&gram)),
+                "{tag}: rewrite succeeds"
+            );
+            assert!(store.load(fp).is_some(), "{tag}: rewritten entry loads");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn mismatched_fingerprint_is_rejected() {
+        let dir = tmp_dir("fpmismatch");
+        let store = StrategyStore::open(&dir).unwrap();
+        let gram = Matrix::identity(3);
+        assert!(store.save(Fingerprint(1), &dense_plan(3), Some(&gram)));
+        // Copy the entry under another fingerprint's filename.
+        std::fs::copy(
+            store.entry_path(Fingerprint(1)),
+            store.entry_path(Fingerprint(2)),
+        )
+        .unwrap();
+        assert!(store.load(Fingerprint(2)).is_none());
+        assert!(store.load(Fingerprint(1)).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_dense_entries_stay_readable() {
+        let dir = tmp_dir("legacy-dense");
+        let store = StrategyStore::open(&dir).unwrap();
+        let fp = Fingerprint(0xBEEF);
+        let e = dense_entry(5);
+        let gram = Matrix::identity(5);
+        let factor = e.factor().unwrap();
+        let trace = e.trace_term(&gram).unwrap();
+        let bytes = encode_legacy_dense_file(fp, &e, &gram).unwrap();
+        std::fs::write(store.legacy_dense_path(fp), &bytes).unwrap();
+        assert_eq!(store.len(), 1);
+
+        let loaded = store.load(fp).expect("legacy entry loads");
+        let loaded = loaded.as_dense().expect("dense plan kind");
+        for (a, b) in factor
+            .l()
+            .as_slice()
+            .iter()
+            .zip(loaded.factor().unwrap().l().as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "legacy factor bit-identical");
+        }
+        assert_eq!(trace.to_bits(), loaded.trace_term(&gram).unwrap().to_bits());
+        assert_eq!(loaded.selection_cost_ns(), 42_000);
+
+        // A live legacy entry blocks a unified rewrite (write-once spans
+        // formats), and a corrupted one is deleted and falls through.
+        assert!(!store.save(fp, &dense_plan(5), Some(&gram)));
+        let mut corrupted = bytes.clone();
+        let mid = corrupted.len() / 2;
+        corrupted[mid] ^= 0x08;
+        std::fs::write(store.legacy_dense_path(fp), &corrupted).unwrap();
+        assert!(store.load(fp).is_none());
+        assert!(!store.legacy_dense_path(fp).exists(), "corrupt legacy deleted");
+        assert!(store.save(fp, &dense_plan(5), Some(&gram)), "slot clear again");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_operator_entries_stay_readable() {
+        let dir = tmp_dir("legacy-op");
+        let store = StrategyStore::open(&dir).unwrap();
+        let fp = Fingerprint(0xF00D);
+        let d = StrategyDescriptor::Hierarchical { n: 10, branching: 2 };
+        let bytes = encode_legacy_operator_file(fp, &d);
+        std::fs::write(store.legacy_operator_path(fp), &bytes).unwrap();
+        assert_eq!(store.len(), 1);
+
+        let loaded = store.load(fp).expect("legacy entry loads");
+        let loaded = loaded.as_structured().expect("structured plan kind");
+        assert_eq!(loaded.descriptor(), d);
+
+        assert!(
+            !store.save(fp, &SelectionPlan::Structured(Arc::new(d.instantiate())), None),
+            "live legacy entry blocks a rewrite"
+        );
+        let mut corrupted = bytes.clone();
+        corrupted.truncate(corrupted.len() / 2);
+        std::fs::write(store.legacy_operator_path(fp), &corrupted).unwrap();
+        assert!(store.load(fp).is_none());
+        assert!(!store.legacy_operator_path(fp).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_fills_a_cache_across_formats_in_deterministic_order() {
+        let dir = tmp_dir("warm");
+        let store = StrategyStore::open(&dir).unwrap();
+        let gram = Matrix::identity(4);
+        // fp 1: unified dense, fp 2: legacy dense, fp 3: legacy structured.
+        assert!(store.save(Fingerprint(1), &dense_plan(4), Some(&gram)));
+        let legacy = encode_legacy_dense_file(Fingerprint(2), &dense_entry(4), &gram).unwrap();
+        std::fs::write(store.legacy_dense_path(Fingerprint(2)), &legacy).unwrap();
+        let op = encode_legacy_operator_file(Fingerprint(3), &StrategyDescriptor::Haar { n: 8 });
+        std::fs::write(store.legacy_operator_path(Fingerprint(3)), &op).unwrap();
+        assert_eq!(store.len(), 3);
+
+        let cache = StrategyCache::new(8);
+        assert_eq!(store.warm(&cache, 8), 3);
+        assert_eq!(cache.len(), 3);
+        for v in 1..=3u64 {
+            assert!(cache.get(Fingerprint(v)).is_some());
+        }
+        assert!(cache.get(Fingerprint(3)).unwrap().as_structured().is_some());
+        // The limit caps how much is loaded, lowest fingerprints first.
+        let small = StrategyCache::new(8);
+        assert_eq!(store.warm(&small, 2), 2);
+        assert!(small.get(Fingerprint(1)).is_some());
+        assert!(small.get(Fingerprint(2)).is_some());
+        assert!(small.get(Fingerprint(3)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_rejects_unwritable_path() {
+        // A path under a regular file cannot be a directory.
+        let dir = tmp_dir("notadir");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("plain");
+        std::fs::write(&file, b"x").unwrap();
+        let err = StrategyStore::open(file.join("sub")).unwrap_err();
+        assert!(matches!(err, MechanismError::Store(_)));
+        assert!(err.to_string().contains("store"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

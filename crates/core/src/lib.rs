@@ -24,9 +24,11 @@
 //! * [`engine`] — **the primary entry point**: a serving [`engine::Engine`]
 //!   with pluggable strategy selection ([`engine::StrategySelector`]), a
 //!   Gaussian/Laplace noise backend behind one answer path
-//!   ([`mechanism::NoiseBackend`]), an internal strategy cache keyed by
-//!   workload fingerprint, and budgeted [`engine::Session`]s charging
-//!   through a pluggable [`accounting::Accountant`];
+//!   ([`mechanism::NoiseBackend`]), every selection artifact (dense,
+//!   structured, low-rank) unified behind one [`engine::SelectionPlan`]
+//!   currency flowing through one cache and one persistent store, and
+//!   budgeted [`engine::Session`]s charging through a pluggable
+//!   [`accounting::Accountant`];
 //! * [`accounting`] — privacy accounting: sequential composition (default),
 //!   the advanced (strong) composition bound, and Rényi-DP accounting with
 //!   per-mechanism curves, all behind one object-safe trait;
@@ -59,7 +61,8 @@ pub use accounting::{
 pub use adaptive::{AdaptiveAnswer, AdaptiveMechanism, AdaptiveOptions};
 pub use eigen_design::{eigen_design, EigenDesignOptions, EigenDesignResult};
 pub use engine::{
-    Engine, EngineAnswer, EngineBuilder, OwnedSession, PrivacyBudget, Session, StructuredAnswer,
+    Engine, EngineAnswer, EngineBuilder, LowRankPlan, OwnedSession, PlanKind, PrivacyBudget,
+    SelectionPlan, Session, StructuredAnswer,
 };
 pub use error::{predicted_rms_error, rms_workload_error, total_squared_error};
 pub use mechanism::{GaussianBackend, LaplaceBackend, NoiseBackend};

@@ -1,11 +1,13 @@
-//! The serving futures: [`BatchFuture`] / [`AnswerFuture`] and the shared
-//! in-flight [`SelectionTask`] they register wakers on.
+//! The serving futures: one generic [`ServeFuture`] state machine over a
+//! [`ServeRequest`], with [`BatchFuture`] / [`AnswerFuture`] /
+//! [`StructuredFuture`] as its public faces, plus the shared in-flight
+//! [`SelectionTask`] waiters register wakers on.
 //!
 //! The state machine is deliberately small.  A future is born `Active`
 //! (or `Failed` when rejected at submit); each poll either
 //!
-//! 1. finds the selection cached and answers immediately through the
-//!    engine's own batch path, or
+//! 1. finds the request's [`SelectionPlan`](mm_core::engine::SelectionPlan)
+//!    cached and answers immediately through the engine's own paths, or
 //! 2. joins (or founds) the one in-flight [`SelectionTask`] for its
 //!    fingerprint, registers its waker, and returns `Pending`.
 //!
@@ -13,11 +15,13 @@
 //! poll of each lands in case 1.  Answer assembly thus always happens on
 //! the polling task with its own seeded RNG — the worker pool only ever
 //! runs selections, which is what makes served answers bit-identical to
-//! direct engine calls.
+//! direct engine calls.  Requests whose selection is too cheap to be worth
+//! a worker round-trip (the structured path) return no fingerprint and run
+//! entirely inline on the first poll.
 
 use crate::{Inner, ServeError};
 use mm_core::accounting::UserLedger;
-use mm_core::engine::{EngineAnswer, StructuredAnswer};
+use mm_core::engine::{Engine, EngineAnswer, StructuredAnswer};
 use mm_core::MechanismError;
 use mm_workload::{Fingerprint, StructuredWorkload, Workload};
 use rand::rngs::StdRng;
@@ -84,6 +88,29 @@ impl SelectionTask {
     }
 }
 
+/// One admitted serving request: what the generic [`ServeFuture`] needs to
+/// key, select, and answer it.  Implemented by the dense batch request and
+/// the structured request; both front-ends collapse onto the one state
+/// machine through this trait.
+pub(crate) trait ServeRequest {
+    /// What the future resolves to on success.
+    type Output;
+
+    /// The plan fingerprint to deduplicate cold selections on, or `None`
+    /// when selection is cheap enough to run inline on the polling task
+    /// (the structured path) — such requests never touch the worker pool.
+    fn fingerprint(&self) -> Option<Fingerprint>;
+
+    /// The selection work a founded worker job runs for this request
+    /// (only called when [`ServeRequest::fingerprint`] is `Some`).
+    fn selection(&self) -> Box<dyn FnOnce(&Engine) -> mm_core::Result<()> + Send + 'static>;
+
+    /// Produces the answer through the engine's own sync paths, so served
+    /// semantics (batching, accounting, noise draws) are exactly the direct
+    /// ones.
+    fn answer(&mut self, inner: &Inner) -> Result<Self::Output, ServeError>;
+}
+
 enum FutState {
     /// Rejected at submit; resolves with the stored error on first poll.
     Failed(Option<ServeError>),
@@ -93,92 +120,57 @@ enum FutState {
     Finished,
 }
 
-/// Future of a batched request: resolves to one [`EngineAnswer`] per
-/// submitted data vector, or a [`ServeError`].
-///
-/// Created by [`crate::ServeEngine::answer_batch`] /
-/// [`crate::ServeEngine::answer_batch_for`].  `Unpin` by construction, so
-/// it composes with [`crate::join_all`] without pinning ceremony.
-pub struct BatchFuture<W: Workload + Send + Sync + ?Sized + 'static> {
+/// The one serving state machine: every front-end future wraps this.
+pub(crate) struct ServeFuture<R: ServeRequest> {
     inner: Arc<Inner>,
-    workload: Arc<W>,
-    xs: Vec<Vec<f64>>,
-    seed: u64,
-    ledger: Option<UserLedger>,
-    fp: Fingerprint,
+    request: R,
     task: Option<Arc<SelectionTask>>,
     state: FutState,
 }
 
-impl<W: Workload + Send + Sync + ?Sized + 'static> std::fmt::Debug for BatchFuture<W> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("BatchFuture")
-            .field("fp", &self.fp)
-            .field("batch", &self.xs.len())
-            .finish_non_exhaustive()
-    }
-}
-
-impl<W: Workload + Send + Sync + ?Sized + 'static> BatchFuture<W> {
-    pub(crate) fn new(
-        inner: Arc<Inner>,
-        workload: Arc<W>,
-        xs: Vec<Vec<f64>>,
-        seed: u64,
-        ledger: Option<UserLedger>,
-        fp: Fingerprint,
-    ) -> Self {
-        BatchFuture {
+impl<R: ServeRequest> ServeFuture<R> {
+    pub(crate) fn new(inner: Arc<Inner>, request: R) -> Self {
+        ServeFuture {
             inner,
-            workload,
-            xs,
-            seed,
-            ledger,
-            fp,
+            request,
             task: None,
             state: FutState::Active,
         }
     }
 
     /// A future rejected at submit time (NaN gram, no budget headroom).
-    pub(crate) fn failed(inner: Arc<Inner>, workload: Arc<W>, error: ServeError) -> Self {
-        BatchFuture {
+    pub(crate) fn failed(inner: Arc<Inner>, request: R, error: ServeError) -> Self {
+        ServeFuture {
             inner,
-            workload,
-            xs: Vec::new(),
-            seed: 0,
-            ledger: None,
-            fp: Fingerprint(0),
+            request,
             task: None,
             state: FutState::Failed(Some(error)),
         }
     }
 
-    /// Joins the in-flight selection for `self.fp`, or founds one by
-    /// enqueueing a selection job.  Returns the shed error if the queue is
-    /// full.
-    fn join_or_found(&mut self) -> Result<(), ServeError> {
+    /// Joins the in-flight selection for `fp`, or founds one by enqueueing
+    /// a selection job.  Returns the shed error if the queue is full.
+    fn join_or_found(&mut self, fp: Fingerprint) -> Result<(), ServeError> {
         let mut pending = self
             .inner
             .pending
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if let Some(task) = pending.get(&self.fp.0) {
+        if let Some(task) = pending.get(&fp.0) {
             self.task = Some(task.clone());
             return Ok(());
         }
         let task = SelectionTask::new();
+        let select = self.request.selection();
         let job: crate::Job = {
             let inner = self.inner.clone();
-            let workload = self.workload.clone();
             let task = task.clone();
-            let fp = self.fp;
             Box::new(move || {
                 // The engine's own single-flight guard handles concurrent
                 // sync callers; catch_unwind converts a panicking selector
                 // into a typed poison every waiter can observe.
                 let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    inner.engine.select(&*workload).map(|_| ())
+                    select(&inner.engine)
                 }));
                 inner
                     .pending
@@ -214,34 +206,15 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> BatchFuture<W> {
                 capacity: self.inner.queue_capacity(),
             });
         }
-        pending.insert(self.fp.0, task.clone());
+        pending.insert(fp.0, task.clone());
         self.inner.selection_jobs.fetch_add(1, Ordering::Relaxed);
         self.task = Some(task);
         Ok(())
     }
-
-    /// The selection is warm (or this is the retry after a completed job):
-    /// produce the answers through the engine's own batch path, so batching
-    /// semantics, accounting, and noise draws are exactly the sync ones.
-    fn answer_now(&mut self) -> Result<Vec<EngineAnswer>, ServeError> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let xs = std::mem::take(&mut self.xs);
-        let result = match &self.ledger {
-            Some(ledger) => {
-                let mut session = self.inner.engine.user_session(ledger);
-                session.answer_batch(&*self.workload, &xs, &mut rng)
-            }
-            None => self
-                .inner
-                .engine
-                .answer_batch(&*self.workload, &xs, &mut rng),
-        };
-        result.map_err(ServeError::from)
-    }
 }
 
-impl<W: Workload + Send + Sync + ?Sized + 'static> Future for BatchFuture<W> {
-    type Output = Result<Vec<EngineAnswer>, ServeError>;
+impl<R: ServeRequest + Unpin> Future for ServeFuture<R> {
+    type Output = Result<R::Output, ServeError>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let this = self.get_mut();
@@ -249,37 +222,189 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> Future for BatchFuture<W> {
             FutState::Failed(Some(error)) => return Poll::Ready(Err(error)),
             FutState::Failed(None) | FutState::Finished => {
                 // mm-lint: allow(serve-panic-freedom): polling a resolved future violates the Future contract — panicking in the caller's task (as std combinators do) beats silently hanging it, and no flight waiter is affected
-                panic!("BatchFuture polled after completion")
+                panic!("serve future polled after completion")
             }
             FutState::Active => this.state = FutState::Active,
         }
-        // A completed selection job clears `task`, so losing a poll race
-        // just re-runs the (cheap) cache probe.
-        if this.task.is_none() && this.inner.engine.cached_selection(this.fp).is_none() {
-            if let Err(shed) = this.join_or_found() {
-                this.state = FutState::Finished;
-                return Poll::Ready(Err(shed));
-            }
-        }
-        if let Some(task) = &this.task {
-            match task.poll_done(cx.waker()) {
-                None => return Poll::Pending,
-                Some(Err(error)) => {
-                    this.task = None;
-                    this.inner.failed.fetch_add(1, Ordering::Relaxed);
+        if let Some(fp) = this.request.fingerprint() {
+            // A completed selection job clears `task`, so losing a poll race
+            // just re-runs the (cheap) cache probe.  The probe is plan-kind
+            // agnostic: a cached low-rank plan is as warm as a dense one.
+            if this.task.is_none() && this.inner.engine.cached_plan(fp).is_none() {
+                if let Err(shed) = this.join_or_found(fp) {
                     this.state = FutState::Finished;
-                    return Poll::Ready(Err(ServeError::Mechanism(error)));
+                    return Poll::Ready(Err(shed));
                 }
-                Some(Ok(())) => this.task = None,
+            }
+            if let Some(task) = &this.task {
+                match task.poll_done(cx.waker()) {
+                    None => return Poll::Pending,
+                    Some(Err(error)) => {
+                        this.task = None;
+                        this.inner.failed.fetch_add(1, Ordering::Relaxed);
+                        this.state = FutState::Finished;
+                        return Poll::Ready(Err(ServeError::Mechanism(error)));
+                    }
+                    Some(Ok(())) => this.task = None,
+                }
             }
         }
-        let result = this.answer_now();
+        let result = this.request.answer(&this.inner);
         match &result {
             Ok(_) => this.inner.completed.fetch_add(1, Ordering::Relaxed),
             Err(_) => this.inner.failed.fetch_add(1, Ordering::Relaxed),
         };
         this.state = FutState::Finished;
         Poll::Ready(result)
+    }
+}
+
+/// The dense (batch) request: keyed by the engine's plan fingerprint, cold
+/// selections run on the worker pool.
+pub(crate) struct BatchRequest<W: Workload + Send + Sync + ?Sized + 'static> {
+    workload: Arc<W>,
+    xs: Vec<Vec<f64>>,
+    seed: u64,
+    ledger: Option<UserLedger>,
+    fp: Fingerprint,
+}
+
+impl<W: Workload + Send + Sync + ?Sized + 'static> ServeRequest for BatchRequest<W> {
+    type Output = Vec<EngineAnswer>;
+
+    fn fingerprint(&self) -> Option<Fingerprint> {
+        Some(self.fp)
+    }
+
+    fn selection(&self) -> Box<dyn FnOnce(&Engine) -> mm_core::Result<()> + Send + 'static> {
+        let workload = self.workload.clone();
+        // select_plan_for warms whichever plan kind the engine is
+        // configured for (dense or low-rank) under the same fingerprint the
+        // answer path will look up.
+        Box::new(move |engine| engine.select_plan_for(&*workload).map(|_| ()))
+    }
+
+    /// The selection is warm (or this is the retry after a completed job):
+    /// produce the answers through the engine's own batch path, so batching
+    /// semantics, accounting, and noise draws are exactly the sync ones.
+    fn answer(&mut self, inner: &Inner) -> Result<Vec<EngineAnswer>, ServeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let xs = std::mem::take(&mut self.xs);
+        let result = match &self.ledger {
+            Some(ledger) => {
+                let mut session = inner.engine.user_session(ledger);
+                session.answer_batch(&*self.workload, &xs, &mut rng)
+            }
+            None => inner.engine.answer_batch(&*self.workload, &xs, &mut rng),
+        };
+        result.map_err(ServeError::from)
+    }
+}
+
+/// The structured (matrix-free) request: selection is O(n log n), so the
+/// whole request runs inline on the polling task — no fingerprint, no
+/// worker job.
+pub(crate) struct StructuredRequest<W: StructuredWorkload + Send + Sync + ?Sized + 'static> {
+    workload: Arc<W>,
+    x: Vec<f64>,
+    seed: u64,
+    ledger: Option<UserLedger>,
+}
+
+impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> ServeRequest for StructuredRequest<W> {
+    type Output = StructuredAnswer;
+
+    fn fingerprint(&self) -> Option<Fingerprint> {
+        None
+    }
+
+    fn selection(&self) -> Box<dyn FnOnce(&Engine) -> mm_core::Result<()> + Send + 'static> {
+        // Never founded: fingerprint() is None, so the future answers inline.
+        Box::new(|_| Ok(()))
+    }
+
+    fn answer(&mut self, inner: &Inner) -> Result<StructuredAnswer, ServeError> {
+        // Same seeding discipline as the dense path: the noise draw is a
+        // pure function of the submitted seed, so served answers replay.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let result = match &self.ledger {
+            Some(ledger) => {
+                let mut session = inner.engine.user_session(ledger);
+                session.answer_structured(&*self.workload, &self.x, &mut rng)
+            }
+            None => inner
+                .engine
+                .answer_structured(&*self.workload, &self.x, &mut rng),
+        };
+        result.map_err(ServeError::from)
+    }
+}
+
+/// Future of a batched request: resolves to one [`EngineAnswer`] per
+/// submitted data vector, or a [`ServeError`].
+///
+/// Created by [`crate::ServeEngine::answer_batch`] /
+/// [`crate::ServeEngine::answer_batch_for`].  `Unpin` by construction, so
+/// it composes with [`crate::join_all`] without pinning ceremony.
+pub struct BatchFuture<W: Workload + Send + Sync + ?Sized + 'static> {
+    fut: ServeFuture<BatchRequest<W>>,
+}
+
+impl<W: Workload + Send + Sync + ?Sized + 'static> std::fmt::Debug for BatchFuture<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchFuture")
+            .field("fp", &self.fut.request.fp)
+            .field("batch", &self.fut.request.xs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Workload + Send + Sync + ?Sized + 'static> BatchFuture<W> {
+    pub(crate) fn new(
+        inner: Arc<Inner>,
+        workload: Arc<W>,
+        xs: Vec<Vec<f64>>,
+        seed: u64,
+        ledger: Option<UserLedger>,
+        fp: Fingerprint,
+    ) -> Self {
+        BatchFuture {
+            fut: ServeFuture::new(
+                inner,
+                BatchRequest {
+                    workload,
+                    xs,
+                    seed,
+                    ledger,
+                    fp,
+                },
+            ),
+        }
+    }
+
+    /// A future rejected at submit time (NaN gram, no budget headroom).
+    pub(crate) fn failed(inner: Arc<Inner>, workload: Arc<W>, error: ServeError) -> Self {
+        BatchFuture {
+            fut: ServeFuture::failed(
+                inner,
+                BatchRequest {
+                    workload,
+                    xs: Vec::new(),
+                    seed: 0,
+                    ledger: None,
+                    fp: Fingerprint(0),
+                },
+                error,
+            ),
+        }
+    }
+}
+
+impl<W: Workload + Send + Sync + ?Sized + 'static> Future for BatchFuture<W> {
+    type Output = Result<Vec<EngineAnswer>, ServeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.get_mut().fut).poll(cx)
     }
 }
 
@@ -295,12 +420,7 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> Future for BatchFuture<W> {
 /// the first poll.  Answers are bit-identical to a direct
 /// `engine.answer_structured` with a `StdRng` seeded the same way.
 pub struct StructuredFuture<W: StructuredWorkload + Send + Sync + ?Sized + 'static> {
-    inner: Arc<Inner>,
-    workload: Arc<W>,
-    x: Vec<f64>,
-    seed: u64,
-    ledger: Option<UserLedger>,
-    state: FutState,
+    fut: ServeFuture<StructuredRequest<W>>,
 }
 
 impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> std::fmt::Debug
@@ -308,7 +428,7 @@ impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> std::fmt::Debug
 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StructuredFuture")
-            .field("n", &self.x.len())
+            .field("n", &self.fut.request.x.len())
             .finish_non_exhaustive()
     }
 }
@@ -322,24 +442,31 @@ impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> StructuredFuture<W>
         ledger: Option<UserLedger>,
     ) -> Self {
         StructuredFuture {
-            inner,
-            workload,
-            x,
-            seed,
-            ledger,
-            state: FutState::Active,
+            fut: ServeFuture::new(
+                inner,
+                StructuredRequest {
+                    workload,
+                    x,
+                    seed,
+                    ledger,
+                },
+            ),
         }
     }
 
     /// A future rejected at submit time (no budget headroom).
     pub(crate) fn failed(inner: Arc<Inner>, workload: Arc<W>, error: ServeError) -> Self {
         StructuredFuture {
-            inner,
-            workload,
-            x: Vec::new(),
-            seed: 0,
-            ledger: None,
-            state: FutState::Failed(Some(error)),
+            fut: ServeFuture::failed(
+                inner,
+                StructuredRequest {
+                    workload,
+                    x: Vec::new(),
+                    seed: 0,
+                    ledger: None,
+                },
+                error,
+            ),
         }
     }
 }
@@ -347,34 +474,8 @@ impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> StructuredFuture<W>
 impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> Future for StructuredFuture<W> {
     type Output = Result<StructuredAnswer, ServeError>;
 
-    fn poll(self: Pin<&mut Self>, _cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let this = self.get_mut();
-        match std::mem::replace(&mut this.state, FutState::Finished) {
-            FutState::Failed(Some(error)) => return Poll::Ready(Err(error)),
-            FutState::Failed(None) | FutState::Finished => {
-                // mm-lint: allow(serve-panic-freedom): polling a resolved future violates the Future contract — panicking in the caller's task (as std combinators do) beats silently hanging it, and no flight waiter is affected
-                panic!("StructuredFuture polled after completion")
-            }
-            FutState::Active => {}
-        }
-        // Same seeding discipline as the dense path: the noise draw is a
-        // pure function of the submitted seed, so served answers replay.
-        let mut rng = StdRng::seed_from_u64(this.seed);
-        let result = match &this.ledger {
-            Some(ledger) => {
-                let mut session = this.inner.engine.user_session(ledger);
-                session.answer_structured(&*this.workload, &this.x, &mut rng)
-            }
-            None => this
-                .inner
-                .engine
-                .answer_structured(&*this.workload, &this.x, &mut rng),
-        };
-        match &result {
-            Ok(_) => this.inner.completed.fetch_add(1, Ordering::Relaxed),
-            Err(_) => this.inner.failed.fetch_add(1, Ordering::Relaxed),
-        };
-        Poll::Ready(result.map_err(ServeError::from))
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        Pin::new(&mut self.get_mut().fut).poll(cx)
     }
 }
 

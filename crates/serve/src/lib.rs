@@ -445,9 +445,13 @@ impl ServeEngine {
     {
         self.inner.submitted.fetch_add(1, Ordering::Relaxed);
         // The fingerprint is the dedup key for waker registration; a NaN
-        // gram is rejected here, before anything is queued or charged.
-        let fp = match try_gram_fingerprint(&workload.gram()) {
-            Ok(fp) => fp,
+        // gram is rejected here, before anything is queued or charged.  The
+        // base fingerprint is mixed through the engine's plan keying so a
+        // low-rank engine's futures wait on (and probe for) the same cache
+        // entry its answer path writes.
+        let gram = workload.gram();
+        let fp = match try_gram_fingerprint(&gram) {
+            Ok(base) => self.inner.engine.plan_fingerprint(base, gram.rows()),
             Err(nan) => {
                 self.inner.rejected.fetch_add(1, Ordering::Relaxed);
                 return BatchFuture::failed(

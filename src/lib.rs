@@ -12,10 +12,11 @@
 //! * [`workload`] — linear counting query workloads and their gram matrices;
 //! * [`strategies`] — prior-work strategies (identity, hierarchical, wavelet,
 //!   Fourier, DataCube);
-//! * [`core`] — the serving `Engine` (strategy selection, noise backends,
-//!   strategy caching, budgeted sessions), the matrix mechanism, error
-//!   analysis, the Eigen-Design algorithm (Program 2) and the performance
-//!   optimizations of Sec. 4;
+//! * [`core`] — the serving `Engine` (strategy selection — dense, low-rank
+//!   and structured, unified behind one `SelectionPlan` — noise backends,
+//!   plan caching and persistence, budgeted sessions), the matrix mechanism,
+//!   error analysis, the Eigen-Design algorithm (Program 2) and the
+//!   performance optimizations of Sec. 4;
 //! * [`serve`] — the async serving tier: executor-agnostic futures over the
 //!   engine, bounded admission, per-principal shared budgets, and (via
 //!   [`core::engine::Engine::builder`]'s `strategy_store`) persistent

@@ -215,6 +215,124 @@ fn persisted_selections_round_trip_bit_identically() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// The full-rank parity half of the Low-Rank Mechanism's contract: when the
+/// requested rank covers the whole spectrum (r ≥ n) the engine delegates to
+/// the dense selector under the *unmixed* fingerprint, so a low-rank engine
+/// is the dense engine — same plan kind, same fingerprint, and bit-identical
+/// answers on the same rng stream.
+#[test]
+fn full_rank_low_rank_engine_is_bit_identical_to_dense() {
+    use adaptive_dp::core::PlanKind;
+
+    let workload = AllRangeWorkload::new(Domain::one_dim(64));
+    let data: Vec<f64> = (0..64).map(|i| 80.0 + (i % 11) as f64).collect();
+
+    let dense = Engine::new(PrivacyParams::paper_default());
+    let mut rng = StdRng::seed_from_u64(5);
+    let dense_answer = dense
+        .answer(&workload, &data, &mut rng)
+        .expect("dense answer");
+
+    let low_rank = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .low_rank(64)
+        .build()
+        .expect("full-rank low-rank engine builds");
+    let mut rng = StdRng::seed_from_u64(5);
+    let lr_answer = low_rank
+        .answer(&workload, &data, &mut rng)
+        .expect("full-rank answer");
+
+    assert_eq!(
+        bits_of(&dense_answer.answers),
+        bits_of(&lr_answer.answers),
+        "full-rank low-rank answers drifted from dense"
+    );
+    assert_eq!(
+        bits_of(&dense_answer.estimate),
+        bits_of(&lr_answer.estimate),
+        "full-rank low-rank estimate drifted from dense"
+    );
+
+    let (_, dense_fp, _) = dense.select(&workload).expect("dense select");
+    let (plan, lr_fp, _) = low_rank
+        .select_plan_for(&workload)
+        .expect("full-rank select");
+    assert_eq!(lr_fp, dense_fp, "rank ≥ n must not mix the fingerprint");
+    assert_eq!(plan.kind(), PlanKind::Dense, "rank ≥ n delegates to dense");
+    assert_eq!(low_rank.stats().dense_selections, 1);
+    assert_eq!(low_rank.stats().low_rank_selections, 0);
+}
+
+/// The low-rank persistence half: a `SelectionPlan::LowRank` spilled to the
+/// unified `.mmplan` store and warm-loaded by a fresh engine reproduces the
+/// original bit-for-bit — basis, subspace gram, captured mass and, with a
+/// fixed rng, the final answers — without ever re-running the selector.
+#[test]
+fn persisted_low_rank_plans_round_trip_bit_identically() {
+    use adaptive_dp::core::PlanKind;
+
+    let dir = std::env::temp_dir().join(format!("mm-determinism-lowrank-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let workload = AllRangeWorkload::new(Domain::one_dim(96));
+    let data: Vec<f64> = (0..96).map(|i| 70.0 + (i % 19) as f64).collect();
+
+    let cold = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .strategy_store(&dir)
+        .low_rank(24)
+        .build()
+        .expect("cold low-rank engine builds");
+    let mut rng = StdRng::seed_from_u64(11);
+    let cold_answer = cold
+        .answer(&workload, &data, &mut rng)
+        .expect("cold low-rank answer");
+    let (cold_plan, fp, _) = cold.select_plan_for(&workload).expect("cold plan");
+    assert_eq!(cold_plan.kind(), PlanKind::LowRank);
+    assert_eq!(cold.stats().low_rank_selections, 1);
+    assert_eq!(cold.stats().store_writes, 1, "plan spilled to the store");
+
+    let warm = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .strategy_store(&dir)
+        .low_rank(24)
+        .build()
+        .expect("warm low-rank engine builds");
+    let mut rng = StdRng::seed_from_u64(11);
+    let warm_answer = warm
+        .answer(&workload, &data, &mut rng)
+        .expect("warm low-rank answer");
+    let (warm_plan, warm_fp, hit) = warm.select_plan_for(&workload).expect("warm plan");
+    assert_eq!(warm_fp, fp, "store round-trip must preserve the mixed key");
+    assert!(hit, "warm engine serves the persisted plan from cache");
+    assert_eq!(warm.stats().selections, 0, "warm engine never selects");
+
+    let cold_lr = cold_plan.as_low_rank().expect("cold plan is low-rank");
+    let warm_lr = warm_plan.as_low_rank().expect("warm plan is low-rank");
+    assert_eq!(
+        bits_of(cold_lr.basis().as_slice()),
+        bits_of(warm_lr.basis().as_slice()),
+        "bases differ after the store round-trip"
+    );
+    assert_eq!(
+        bits_of(cold_lr.subspace_gram().as_slice()),
+        bits_of(warm_lr.subspace_gram().as_slice()),
+        "subspace grams differ after the store round-trip"
+    );
+    assert_eq!(cold_lr.retained_rank(), warm_lr.retained_rank());
+    assert_eq!(
+        cold_lr.captured_mass().to_bits(),
+        warm_lr.captured_mass().to_bits()
+    );
+    assert_eq!(bits_of(&cold_answer.answers), bits_of(&warm_answer.answers));
+    assert_eq!(
+        bits_of(&cold_answer.estimate),
+        bits_of(&warm_answer.estimate)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn kernels_and_engine_are_bit_identical_across_thread_counts() {
     let single = {

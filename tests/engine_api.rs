@@ -438,6 +438,60 @@ fn batched_answers_equal_sequential_answers_through_facade() {
     assert_eq!(session.ledger().charges().len(), 1);
 }
 
+/// The `low_rank` builder knob: rank 0 fails at build time, the rank is
+/// visible through the accessor, a truncating rank mixes the plan
+/// fingerprint and yields a `LowRank` plan, sessions answer (and charge)
+/// through it, and the per-kind stats counters split dense from low-rank.
+#[test]
+fn low_rank_knob_dispatches_and_counts_per_plan_kind() {
+    use adaptive_dp::core::PlanKind;
+
+    assert!(matches!(
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .low_rank(0)
+            .build(),
+        Err(MechanismError::InvalidArgument(_))
+    ));
+
+    let engine = Engine::builder()
+        .privacy(PrivacyParams::paper_default())
+        .low_rank(8)
+        .build()
+        .unwrap();
+    assert_eq!(engine.low_rank_rank(), Some(8));
+
+    let w = range_workload(24);
+    let x: Vec<f64> = (0..24).map(|i| 20.0 + i as f64).collect();
+    let mut rng = StdRng::seed_from_u64(13);
+    let ans = engine.answer(&w, &x, &mut rng).unwrap();
+    assert_eq!(ans.answers.len(), w.query_count());
+    let (plan, fp, hit) = engine.select_plan_for(&w).unwrap();
+    assert!(hit, "plan cached by the answer call");
+    assert_eq!(plan.kind(), PlanKind::LowRank);
+    assert_ne!(
+        fp,
+        workload_fingerprint(&w),
+        "a truncating rank must mix the plan fingerprint"
+    );
+    assert_eq!(engine.stats().low_rank_selections, 1);
+    assert_eq!(engine.stats().dense_selections, 0);
+    assert_eq!(engine.stats().selections, 1);
+
+    // Sessions answer (and charge) through the same low-rank plan.
+    let mut session = engine.session(PrivacyBudget::new(1.0, 1e-3));
+    assert!(session.answer(&w, &x, &mut rng).is_ok());
+    assert_eq!(session.ledger().charges().len(), 1);
+
+    // A workload the rank covers entirely (r ≥ n) falls back to the dense
+    // selector, and the per-kind counters keep the split.
+    let small = range_workload(8);
+    engine.answer(&small, &vec![5.0; 8], &mut rng).unwrap();
+    assert_eq!(engine.stats().dense_selections, 1);
+    assert_eq!(engine.stats().low_rank_selections, 1);
+    assert_eq!(engine.stats().selections, 2);
+}
+
 /// `MechanismError` is non-exhaustive and the new variants format usefully.
 /// (`BudgetExhausted` is itself non-exhaustive, so it can only be obtained
 /// from a ledger, never constructed by downstream code.)

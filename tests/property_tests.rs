@@ -184,6 +184,45 @@ fn eigen_design_respects_bound() {
     }
 }
 
+/// The Low-Rank Mechanism's rank knob is monotone: on a fixed workload, the
+/// predicted RMS error (the Prop. 4 noise error of the subspace mechanism
+/// plus the dropped-mass truncation-bias proxy) never increases as the
+/// requested rank grows — more retained spectrum can only help.
+#[test]
+fn low_rank_predicted_error_is_monotone_in_rank() {
+    use adaptive_dp::core::Engine;
+
+    let p = PrivacyParams::paper_default();
+    let ec = p.gaussian_error_constant();
+    let n = 32usize;
+    for case in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(800 + case);
+        let w = RandomRangeWorkload::sample(Domain::one_dim(n), 40, &mut rng);
+        let m = w.query_count();
+        let mut prev = f64::INFINITY;
+        for rank in [2usize, 4, 8, 16, 24] {
+            let engine = Engine::builder()
+                .privacy(PrivacyParams::paper_default())
+                .low_rank(rank)
+                .build()
+                .unwrap();
+            let (plan, _, _) = engine.select_plan_for(&w).unwrap();
+            let lr = plan
+                .as_low_rank()
+                .expect("rank < n must yield a low-rank plan");
+            let sens = lr.selection().strategy().l2_sensitivity();
+            // A data scale far above the noise floor, so the truncation bias
+            // dominates wherever mass is dropped.
+            let err = lr.predicted_rms_error(m, ec, sens, 1e4).unwrap();
+            assert!(
+                err <= prev * (1.0 + 1e-6),
+                "predicted error rose from {prev} to {err} at rank {rank} (case {case})"
+            );
+            prev = err;
+        }
+    }
+}
+
 /// Scaling every query of a workload by a constant scales the error of any
 /// strategy by the same constant (error linearity, Sec. 3.4).
 #[test]

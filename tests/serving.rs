@@ -6,7 +6,7 @@
 use adaptive_dp::core::accounting::UserLedger;
 use adaptive_dp::core::engine::{
     Engine, PrivacyBudget, SelectionContext, StrategyCache, StrategySelector, StrategyStore,
-    STORE_VERSION,
+    PLAN_STORE_VERSION,
 };
 use adaptive_dp::core::{MechanismError, PrivacyParams};
 use adaptive_dp::strategies::Strategy;
@@ -32,13 +32,13 @@ fn store_engine(dir: &Path) -> Engine {
         .expect("engine with store builds")
 }
 
-/// The single `.mmsel` entry file in a store directory.
+/// The single `.mmplan` entry file in a store directory.
 fn entry_file(dir: &Path) -> PathBuf {
     let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
         .expect("store dir exists")
         .flatten()
         .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|e| e == "mmsel"))
+        .filter(|p| p.extension().is_some_and(|e| e == "mmplan"))
         .collect();
     assert_eq!(entries.len(), 1, "expected exactly one store entry");
     entries.pop().unwrap()
@@ -119,7 +119,7 @@ fn store_warm_order_is_ascending_fingerprints_not_directory_order() {
         .expect("store dir exists")
         .flatten()
         .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|e| e == "mmsel"))
+        .filter(|p| p.extension().is_some_and(|e| e == "mmplan"))
         .filter_map(|p| {
             p.file_stem()
                 .and_then(|s| s.to_str())
@@ -168,7 +168,7 @@ fn store_recovers_from_wrong_version_header() {
         let mut bytes = std::fs::read(path).expect("read entry");
         // Bytes 8..12 hold the format version (little-endian u32, after the
         // 8-byte magic).
-        let bumped = (STORE_VERSION + 1).to_le_bytes();
+        let bumped = (PLAN_STORE_VERSION + 1).to_le_bytes();
         bytes[8..12].copy_from_slice(&bumped);
         std::fs::write(path, bytes).expect("rewrite entry");
     });
@@ -332,6 +332,51 @@ fn serve_tier_over_persistent_store_restarts_warm() {
         0,
         "the restarted tier serves from the persisted selection"
     );
+    for (a, b) in cold.answers.iter().zip(&warm.answers) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The serve tier round-trips `SelectionPlan::LowRank` through the unified
+/// store: a low-rank engine's futures key on the mixed plan fingerprint,
+/// the plan persists as a `.mmplan` entry, and a restarted serve tier over
+/// the same directory answers warm and bit-identically without selecting.
+#[test]
+fn serve_tier_round_trips_low_rank_plans_through_the_store() {
+    use adaptive_dp::core::engine::PlanKind;
+    use adaptive_dp::serve::{block_on, ServeEngine};
+
+    let dir = scratch_dir("serve-lowrank");
+    let low_rank_engine = |dir: &Path| {
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .strategy_store(dir)
+            .low_rank(16)
+            .build()
+            .expect("low-rank engine with store builds")
+    };
+    let workload = Arc::new(AllRangeWorkload::new(Domain::one_dim(40)));
+    let data: Vec<f64> = (0..40).map(|i| 30.0 + i as f64).collect();
+
+    let first = ServeEngine::builder(Arc::new(low_rank_engine(&dir))).build();
+    let cold = block_on(first.answer(workload.clone(), data.clone(), 21)).expect("cold serve");
+    assert_eq!(first.engine().stats().low_rank_selections, 1);
+    assert_eq!(first.engine().stats().store_writes, 1);
+    let (plan, _, _) = first.engine().select_plan_for(&*workload).expect("plan");
+    assert_eq!(plan.kind(), PlanKind::LowRank);
+    drop(first);
+
+    let second = ServeEngine::builder(Arc::new(low_rank_engine(&dir))).build();
+    let warm = block_on(second.answer(workload.clone(), data, 21)).expect("warm serve");
+    assert_eq!(
+        second.engine().stats().selections,
+        0,
+        "the restarted tier serves the persisted low-rank plan"
+    );
+    let (plan, _, _) = second.engine().select_plan_for(&*workload).expect("warm plan");
+    assert_eq!(plan.kind(), PlanKind::LowRank);
     for (a, b) in cold.answers.iter().zip(&warm.answers) {
         assert_eq!(a.to_bits(), b.to_bits());
     }
