@@ -71,6 +71,7 @@
 //! assert!(session.answer(&workload, &x, &mut rng).is_err()); // ε exhausted
 //! ```
 
+pub mod breaker;
 pub mod cache;
 mod low_rank;
 pub mod plan;
@@ -79,6 +80,9 @@ pub mod session;
 pub mod store;
 pub mod structured;
 
+pub use breaker::{
+    BreakerState, StoreBreaker, StoreHealth, DEFAULT_BREAKER_COOLDOWN, DEFAULT_BREAKER_THRESHOLD,
+};
 pub use cache::{
     CachedSelection, EvictionPolicy, FlightPoison, Lookup, SelectionGuard, StrategyCache,
     DEFAULT_SHARD_COUNT,
@@ -90,7 +94,8 @@ pub use selector::{
 };
 pub use session::{BudgetLedger, OwnedSession, PrivacyBudget, Session};
 pub use store::{
-    StrategyStore, OPERATOR_STORE_VERSION, PLAN_STORE_EXTENSION, PLAN_STORE_VERSION, STORE_VERSION,
+    SaveOutcome, StrategyStore, OPERATOR_STORE_VERSION, PLAN_STORE_EXTENSION, PLAN_STORE_VERSION,
+    STORE_VERSION,
 };
 pub use structured::{
     FixedStructuredSelector, StructuredAnswer, StructuredSelector, TreeStructuredSelector,
@@ -99,6 +104,7 @@ pub use structured::{
 use crate::accounting::{Accountant, AccountantFactory, SequentialAccounting};
 use crate::eigen_design::EigenDesignOptions;
 use crate::error::predicted_rms_error;
+use crate::faults::{Fault, FaultInjector, FaultSite, NoFaults};
 use crate::mechanism::backend::{default_backend, NoiseBackend};
 use crate::privacy::PrivacyParams;
 use crate::MechanismError;
@@ -109,9 +115,18 @@ use rand::Rng;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Default number of distinct workloads the strategy cache holds.
 pub const DEFAULT_CACHE_CAPACITY: usize = 32;
+
+/// Bounded retry for transient store-save failures: total attempts per
+/// save (first try + retries), with exponential backoff between attempts
+/// starting at [`STORE_SAVE_BACKOFF`].
+pub const STORE_SAVE_ATTEMPTS: u32 = 3;
+
+/// Initial backoff before the first store-save retry (doubles per retry).
+pub const STORE_SAVE_BACKOFF: Duration = Duration::from_millis(1);
 
 /// Builder for [`Engine`].
 #[derive(Debug)]
@@ -126,6 +141,8 @@ pub struct EngineBuilder {
     strategy_store: Option<PathBuf>,
     structured_selector: Option<Arc<dyn StructuredSelector>>,
     low_rank: Option<usize>,
+    fault_injector: Option<Arc<dyn FaultInjector>>,
+    store_breaker: Option<(u32, Duration)>,
 }
 
 impl EngineBuilder {
@@ -246,6 +263,37 @@ impl EngineBuilder {
         self
     }
 
+    /// Threads a [`FaultInjector`] (see [`crate::faults`]) through the
+    /// engine: the strategy store's reads and writes and the selector path
+    /// consult it, and the serve tier reads it back via
+    /// [`Engine::fault_injector`] for its worker pool.  Default:
+    /// [`NoFaults`].  This is the seam every chaos test drives; production
+    /// engines leave it alone.
+    pub fn fault_injector(mut self, injector: impl FaultInjector + 'static) -> Self {
+        self.fault_injector = Some(Arc::new(injector));
+        self
+    }
+
+    /// Sets an already-shared fault injector (e.g. a
+    /// [`crate::faults::FaultSchedule`] a test also keeps a handle to).
+    pub fn fault_injector_arc(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.fault_injector = Some(injector);
+        self
+    }
+
+    /// Configures the store circuit breaker: after `threshold` consecutive
+    /// persistence failures (min 1) the engine degrades to memory-only
+    /// caching — no store loads or saves — for `cooldown`, then probes
+    /// half-open (see [`breaker`]).  Default:
+    /// [`DEFAULT_BREAKER_THRESHOLD`] failures,
+    /// [`DEFAULT_BREAKER_COOLDOWN`] cool-down.  The breaker never affects
+    /// answers: selection recomputes what the store would have provided,
+    /// bit-identically.
+    pub fn store_breaker(mut self, threshold: u32, cooldown: Duration) -> Self {
+        self.store_breaker = Some((threshold, cooldown));
+        self
+    }
+
     /// Builds the engine, validating that the backend is compatible with the
     /// privacy parameters (e.g. the Gaussian backend rejects δ = 0).
     pub fn build(self) -> crate::Result<Engine> {
@@ -264,9 +312,11 @@ impl EngineBuilder {
             self.cache_shards,
             self.eviction_policy,
         );
+        let faults: Arc<dyn FaultInjector> =
+            self.fault_injector.unwrap_or_else(|| Arc::new(NoFaults));
         let store = match self.strategy_store {
             Some(dir) => {
-                let store = StrategyStore::open(dir)?;
+                let store = StrategyStore::open(dir)?.with_injector(faults.clone());
                 // Warm restart: fill the cache from disk up to its capacity —
                 // every plan kind, unified and legacy formats alike (corrupt
                 // entries are skipped and cleared; they will be recomputed
@@ -275,6 +325,10 @@ impl EngineBuilder {
                 Some(store)
             }
             None => None,
+        };
+        let breaker = match self.store_breaker {
+            Some((threshold, cooldown)) => StoreBreaker::new(threshold, cooldown),
+            None => StoreBreaker::default(),
         };
         Ok(Engine {
             privacy: self.privacy,
@@ -291,6 +345,8 @@ impl EngineBuilder {
                 .structured_selector
                 .unwrap_or_else(|| Arc::new(TreeStructuredSelector::default())),
             low_rank: self.low_rank,
+            faults,
+            breaker,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             selections: AtomicU64::new(0),
@@ -298,6 +354,7 @@ impl EngineBuilder {
             low_rank_selections: AtomicU64::new(0),
             store_hits: AtomicU64::new(0),
             store_writes: AtomicU64::new(0),
+            store_save_failures: AtomicU64::new(0),
             poisoned_flights: AtomicU64::new(0),
             structured_hits: AtomicU64::new(0),
             structured_misses: AtomicU64::new(0),
@@ -339,6 +396,15 @@ pub struct EngineStats {
     /// Fresh selections persisted to the [`StrategyStore`] (write-once:
     /// fingerprints another process persisted first are not re-counted).
     pub store_writes: u64,
+    /// Store save attempts that failed (each attempt of a bounded-retry
+    /// save counts; always 0 without a configured store).  These drive the
+    /// store circuit breaker — see [`Engine::store_health`].
+    pub store_save_failures: u64,
+    /// Corrupt store entries silently dropped (deleted and recomputed):
+    /// truncated files, checksum mismatches, wrong versions, mismatched
+    /// fingerprints, malformed payloads.  Always 0 without a configured
+    /// store.
+    pub store_corrupt_dropped: u64,
     /// Times a caller became selection leader only because a previous
     /// leader's flight was poisoned (selector error, panic or abandonment) —
     /// the typed-poison retry path.
@@ -393,6 +459,13 @@ pub struct Engine {
     /// Low-Rank Mechanism knob: when set, dense workloads of dimension
     /// greater than the rank select in the top-`rank` eigen-subspace.
     low_rank: Option<usize>,
+    /// Fault-injection seam (default [`NoFaults`]): consulted by the store
+    /// (reads/writes), the selector path, and — through
+    /// [`Engine::fault_injector`] — the serve tier's workers.
+    faults: Arc<dyn FaultInjector>,
+    /// Store circuit breaker: gates all store traffic, driven by save
+    /// outcomes (see [`breaker`]).
+    breaker: StoreBreaker,
     hits: AtomicU64,
     misses: AtomicU64,
     selections: AtomicU64,
@@ -400,6 +473,7 @@ pub struct Engine {
     low_rank_selections: AtomicU64,
     store_hits: AtomicU64,
     store_writes: AtomicU64,
+    store_save_failures: AtomicU64,
     poisoned_flights: AtomicU64,
     structured_hits: AtomicU64,
     structured_misses: AtomicU64,
@@ -422,6 +496,8 @@ impl Engine {
             strategy_store: None,
             structured_selector: None,
             low_rank: None,
+            fault_injector: None,
+            store_breaker: None,
         }
     }
 
@@ -464,6 +540,8 @@ impl Engine {
             low_rank_selections: self.low_rank_selections.load(Ordering::Relaxed),
             store_hits: self.store_hits.load(Ordering::Relaxed),
             store_writes: self.store_writes.load(Ordering::Relaxed),
+            store_save_failures: self.store_save_failures.load(Ordering::Relaxed),
+            store_corrupt_dropped: self.store.as_ref().map_or(0, |s| s.corrupt_dropped()),
             poisoned_flights: self.poisoned_flights.load(Ordering::Relaxed),
             structured_cache_hits: self.structured_hits.load(Ordering::Relaxed),
             structured_cache_misses: self.structured_misses.load(Ordering::Relaxed),
@@ -476,6 +554,79 @@ impl Engine {
     /// The persistent strategy store, when one is configured.
     pub fn strategy_store(&self) -> Option<&StrategyStore> {
         self.store.as_ref()
+    }
+
+    /// The configured fault injector ([`NoFaults`] unless
+    /// [`EngineBuilder::fault_injector`] set one).  The serve tier consults
+    /// this for its worker-pool injection site.
+    pub fn fault_injector(&self) -> &Arc<dyn FaultInjector> {
+        &self.faults
+    }
+
+    /// Health snapshot of the persistence layer: breaker state, failure
+    /// streak, corrupt entries dropped, failed save attempts.  An engine
+    /// without a configured store reports a permanently closed breaker and
+    /// zero counters.
+    pub fn store_health(&self) -> StoreHealth {
+        StoreHealth {
+            breaker: self.breaker.state(),
+            consecutive_failures: self.breaker.consecutive_failures(),
+            corrupt_dropped: self.store.as_ref().map_or(0, |s| s.corrupt_dropped()),
+            save_failures: self.store_save_failures.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Probes the persistent store for a plan, gated by the circuit
+    /// breaker: an open breaker skips the probe entirely (memory-only
+    /// degradation), so a broken disk cannot stall every cache miss.
+    fn store_probe(&self, fp: Fingerprint) -> Option<Arc<SelectionPlan>> {
+        let store = self.store.as_ref()?;
+        if !self.breaker.allow() {
+            return None;
+        }
+        store.load(fp)
+    }
+
+    /// Persists a plan with bounded retry and exponential backoff
+    /// ([`STORE_SAVE_ATTEMPTS`] attempts, [`STORE_SAVE_BACKOFF`] doubling),
+    /// recording every attempt's outcome on the circuit breaker.  Returns
+    /// whether this call wrote the entry.  An open breaker skips the save
+    /// (the selection stays memory-cached; a later cool-down probe can
+    /// rewrite it — fingerprints are write-once, so nothing is lost).
+    fn persist_plan(
+        &self,
+        fp: Fingerprint,
+        plan: &SelectionPlan,
+        workload_gram: Option<&Matrix>,
+    ) -> bool {
+        let Some(store) = self.store.as_ref() else {
+            return false;
+        };
+        if !self.breaker.allow() {
+            return false;
+        }
+        let mut backoff = STORE_SAVE_BACKOFF;
+        for attempt in 1..=STORE_SAVE_ATTEMPTS {
+            match store.try_save(fp, plan, workload_gram) {
+                SaveOutcome::Written => {
+                    self.breaker.record_success();
+                    return true;
+                }
+                // Not a persistence failure: the entry already exists (or
+                // the plan stays memory-only by design).  No health signal.
+                SaveOutcome::Skipped => return false,
+                SaveOutcome::Failed => {
+                    self.store_save_failures.fetch_add(1, Ordering::Relaxed);
+                    self.breaker.record_failure();
+                    if attempt == STORE_SAVE_ATTEMPTS || !self.breaker.allow() {
+                        return false;
+                    }
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+            }
+        }
+        false
     }
 
     /// A non-blocking cache probe by fingerprint for any plan kind,
@@ -572,16 +723,15 @@ impl Engine {
         workload: &W,
     ) -> crate::Result<(Arc<Strategy>, Fingerprint, bool)> {
         let (plan, fp, hit) = self.select_plan_for(workload)?;
-        let strategy = match &*plan {
-            SelectionPlan::Dense(entry) => entry.strategy().clone(),
-            SelectionPlan::LowRank(lr) => lr.selection().strategy().clone(),
-            SelectionPlan::Structured(_) => {
-                return Err(MechanismError::InvalidArgument(
+        let strategy =
+            match &*plan {
+                SelectionPlan::Dense(entry) => entry.strategy().clone(),
+                SelectionPlan::LowRank(lr) => lr.selection().strategy().clone(),
+                SelectionPlan::Structured(_) => return Err(MechanismError::InvalidArgument(
                     "a structured plan carries no dense strategy; use the structured answer paths"
                         .into(),
-                ))
-            }
-        };
+                )),
+            };
         Ok((strategy, fp, hit))
     }
 
@@ -627,11 +777,22 @@ impl Engine {
                 }
                 // Before selecting, probe the persistent store: another run
                 // (or process) may have already paid for this fingerprint.
-                if let Some(store) = &self.store {
-                    if let Some(plan) = store.load(fp) {
-                        self.store_hits.fetch_add(1, Ordering::Relaxed);
-                        return Ok((guard.publish(plan), true));
-                    }
+                // The probe is breaker-gated: an open breaker degrades to
+                // memory-only caching and recomputes instead.
+                if let Some(plan) = self.store_probe(fp) {
+                    self.store_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok((guard.publish(plan), true));
+                }
+                // Fault-injection seam for the selection itself: a scheduled
+                // panic crashes the leader exactly like a buggy selector
+                // would (the guard's drop poisons the flight; waiters
+                // observe a typed poison and retry); scheduled latency
+                // models a selection stall, which is what request deadlines
+                // in the serve tier must survive.
+                match self.faults.inject(FaultSite::Selector) {
+                    Some(Fault::Panic) => panic!("injected selector fault (scheduled chaos)"),
+                    Some(Fault::LatencyMs(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                    _ => {}
                 }
                 let plan = if let Some(rank) = self.low_rank.filter(|&r| r < gram.rows()) {
                     // Low-Rank Mechanism: eigen-design inside the top-`rank`
@@ -677,12 +838,12 @@ impl Engine {
                         strategy, cost_ns,
                     ))))
                 };
-                if let Some(store) = &self.store {
-                    // Persist before publishing so a restart racing this
-                    // process sees the entry as soon as waiters do.
-                    if store.save(fp, &plan, Some(gram)) {
-                        self.store_writes.fetch_add(1, Ordering::Relaxed);
-                    }
+                // Persist before publishing so a restart racing this
+                // process sees the entry as soon as waiters do.  Failures
+                // are retried with backoff, then absorbed: persistence is
+                // an optimisation, never a correctness dependency.
+                if self.persist_plan(fp, &plan, Some(gram)) {
+                    self.store_writes.fetch_add(1, Ordering::Relaxed);
                 }
                 Ok((guard.publish(plan), false))
             }
@@ -958,10 +1119,8 @@ impl Engine {
         // map `A_sub·L̃`, so the calibration below covers the whole release.
         let factor = entry.factor()?;
         let sens = self.backend.sensitivity(&strategy);
-        let tse = self.backend.error_constant(&privacy)?
-            * sens
-            * sens
-            * entry.trace_term(trace_gram)?;
+        let tse =
+            self.backend.error_constant(&privacy)? * sens * sens * entry.trace_term(trace_gram)?;
         let expected_rms_error = (tse / m as f64).sqrt();
         let scale = self.backend.noise_scale(&privacy, sens);
 

@@ -191,8 +191,10 @@ impl LowRankPlan {
                 "workload has no queries".into(),
             ));
         }
-        let noise_tse =
-            error_constant * sensitivity * sensitivity * self.selection.trace_term(&self.subspace_gram)?;
+        let noise_tse = error_constant
+            * sensitivity
+            * sensitivity
+            * self.selection.trace_term(&self.subspace_gram)?;
         let bias_tse = self.dropped_mass() * data_scale * data_scale;
         Ok(((noise_tse + bias_tse) / query_count as f64).sqrt())
     }

@@ -199,6 +199,17 @@ pub(crate) fn atomic_write(dir: &Path, tmp_name: &str, path: &Path, bytes: &[u8]
     true
 }
 
+/// Fault-injection hook for torn/short writes: lands a *truncated prefix*
+/// of `bytes` directly at `path` — deliberately skipping the
+/// [`atomic_write`] tmp+rename protocol — to simulate a writer that crashed
+/// mid-write on a filesystem without atomic rename.  Best effort; the
+/// half-entry (cut inside the payload, past the header) is exactly what the
+/// checksum/truncation read path must detect and drop.
+pub(crate) fn torn_write(path: &Path, bytes: &[u8]) {
+    let keep = bytes.len() / 2;
+    let _ = std::fs::write(path, &bytes[..keep]);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,7 +15,7 @@
 //! # File format (`.mmplan`, version 1)
 //!
 //! One file per fingerprint, named `<fingerprint as 16 hex digits>.mmplan`,
-//! framed by [`entry`] (magic, version, fingerprint, length, payload,
+//! framed by the `entry` module (magic, version, fingerprint, length, payload,
 //! FNV-1a checksum).  The payload starts with one *kind* byte:
 //!
 //! * `0` **dense** — strategy name, row count, dimension, L2/L1
@@ -59,6 +59,7 @@ pub(crate) mod entry;
 
 use super::cache::{CachedSelection, StrategyCache};
 use super::plan::{LowRankPlan, SelectionPlan};
+use crate::faults::{Fault, FaultInjector, FaultSite, NoFaults};
 use crate::MechanismError;
 use entry::Cursor;
 use mm_linalg::decomp::Cholesky;
@@ -67,6 +68,7 @@ use mm_strategies::{Strategy, StrategyDescriptor};
 use mm_workload::Fingerprint;
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Current unified store format version (bumped on any encoding change;
@@ -177,7 +179,9 @@ fn decode_plan_file(fp: Fingerprint, bytes: &[u8]) -> Option<SelectionPlan> {
         }
         KIND_STRUCTURED => {
             let descriptor = StrategyDescriptor::decode(c.rest())?;
-            Some(SelectionPlan::Structured(Arc::new(descriptor.instantiate())))
+            Some(SelectionPlan::Structured(Arc::new(
+                descriptor.instantiate(),
+            )))
         }
         KIND_LOW_RANK => {
             let rank = usize::try_from(c.u64()?).ok()?;
@@ -229,18 +233,20 @@ fn decode_legacy_operator_file(fp: Fingerprint, bytes: &[u8]) -> Option<Strategy
     StrategyDescriptor::decode(payload)
 }
 
-/// Reads and decodes one entry file; a corrupt entry is deleted (best
-/// effort — a failed delete only means the next load re-detects the
-/// corruption) so a fresh selection can rewrite a valid one.
-fn load_file<T>(path: &Path, decode: impl FnOnce(&[u8]) -> Option<T>) -> Option<T> {
-    let bytes = std::fs::read(path).ok()?;
-    match decode(&bytes) {
-        Some(v) => Some(v),
-        None => {
-            let _ = std::fs::remove_file(path);
-            None
-        }
-    }
+/// Outcome of a [`StrategyStore::try_save`] attempt.  The tri-state matters
+/// to the engine's circuit breaker: an existing entry is *not* a
+/// persistence failure, and a failed write is *not* a write-once skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaveOutcome {
+    /// This call wrote the entry.
+    Written,
+    /// An entry for the fingerprint already existed (any format) — the
+    /// write-once contract skipped the write.  Also returned for plans the
+    /// store cannot derive a complete entry for (e.g. a dense plan without
+    /// its workload gram), which stay memory-only by design.
+    Skipped,
+    /// The write was attempted and failed (I/O error, torn write).
+    Failed,
 }
 
 /// A directory of persisted selection plans, shared by any number of engines
@@ -249,6 +255,11 @@ fn load_file<T>(path: &Path, decode: impl FnOnce(&[u8]) -> Option<T>) -> Option<
 #[derive(Debug)]
 pub struct StrategyStore {
     dir: PathBuf,
+    /// Fault-injection seam for reads and writes (default: [`NoFaults`]).
+    injector: Arc<dyn FaultInjector>,
+    /// Corrupt entries silently dropped (deleted so a fresh selection can
+    /// rewrite them) since this store handle was opened.
+    corrupt_dropped: AtomicU64,
 }
 
 impl StrategyStore {
@@ -261,7 +272,43 @@ impl StrategyStore {
                 dir.display()
             ))
         })?;
-        Ok(StrategyStore { dir })
+        Ok(StrategyStore {
+            dir,
+            injector: Arc::new(NoFaults),
+            corrupt_dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Routes this store's reads and writes through a
+    /// [`FaultInjector`] (see [`crate::faults`]); used by the engine
+    /// builder to thread one injector through the whole stack.
+    pub fn with_injector(mut self, injector: Arc<dyn FaultInjector>) -> Self {
+        self.injector = injector;
+        self
+    }
+
+    /// Corrupt entries dropped (deleted for recompute) by this store handle
+    /// — truncated files, checksum mismatches, wrong versions, mismatched
+    /// fingerprints, malformed payloads.  Unreadable files (I/O errors,
+    /// including injected read faults) are not counted: nothing was
+    /// inspected, so nothing was judged corrupt.
+    pub fn corrupt_dropped(&self) -> u64 {
+        self.corrupt_dropped.load(Ordering::Relaxed)
+    }
+
+    /// Reads and decodes one entry file; a corrupt entry is counted and
+    /// deleted (best effort — a failed delete only means the next load
+    /// re-detects the corruption) so a fresh selection can rewrite it.
+    fn load_file<T>(&self, path: &Path, decode: impl FnOnce(&[u8]) -> Option<T>) -> Option<T> {
+        let bytes = std::fs::read(path).ok()?;
+        match decode(&bytes) {
+            Some(v) => Some(v),
+            None => {
+                self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                let _ = std::fs::remove_file(path);
+                None
+            }
+        }
     }
 
     /// The store directory.
@@ -290,15 +337,23 @@ impl StrategyStore {
     /// mismatched fingerprint, malformed payload) deletes the offending
     /// entry and falls through, so the caller recomputes and rewrites it.
     pub fn load(&self, fp: Fingerprint) -> Option<Arc<SelectionPlan>> {
-        if let Some(plan) = load_file(&self.entry_path(fp), |b| decode_plan_file(fp, b)) {
+        // Fault-injection seam, consulted once per load (not per probed
+        // format): a read fault behaves exactly like an unreadable file —
+        // the caller recomputes; nothing is deleted or counted corrupt.
+        match self.injector.inject(FaultSite::StoreRead) {
+            Some(Fault::Fail | Fault::Torn) => return None,
+            Some(Fault::LatencyMs(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            _ => {}
+        }
+        if let Some(plan) = self.load_file(&self.entry_path(fp), |b| decode_plan_file(fp, b)) {
             return Some(Arc::new(plan));
         }
-        if let Some(e) = load_file(&self.legacy_dense_path(fp), |b| {
+        if let Some(e) = self.load_file(&self.legacy_dense_path(fp), |b| {
             decode_legacy_dense_file(fp, b)
         }) {
             return Some(Arc::new(SelectionPlan::Dense(Arc::new(e))));
         }
-        if let Some(d) = load_file(&self.legacy_operator_path(fp), |b| {
+        if let Some(d) = self.load_file(&self.legacy_operator_path(fp), |b| {
             decode_legacy_operator_file(fp, b)
         }) {
             return Some(Arc::new(SelectionPlan::Structured(Arc::new(
@@ -310,33 +365,46 @@ impl StrategyStore {
 
     /// Persists a plan (write-once per fingerprint, across formats): returns
     /// `true` when this call wrote the entry, `false` when any entry already
-    /// existed or the write failed.
-    ///
-    /// Dense plans need the `workload_gram` they were selected for to derive
-    /// their trace term (if not already materialised); structured and
-    /// low-rank plans ignore it — a low-rank plan carries its own subspace
-    /// gram.  Underivable entries (e.g. a singular strategy gram) stay
-    /// memory-only.
+    /// existed or the write failed.  [`StrategyStore::try_save`] exposes
+    /// which of the two it was.
     pub fn save(
         &self,
         fp: Fingerprint,
         plan: &SelectionPlan,
         workload_gram: Option<&Matrix>,
     ) -> bool {
+        self.try_save(fp, plan, workload_gram) == SaveOutcome::Written
+    }
+
+    /// Persists a plan (write-once per fingerprint, across formats),
+    /// distinguishing a skipped write from a failed one — the signal the
+    /// engine's store circuit breaker runs on.
+    ///
+    /// Dense plans need the `workload_gram` they were selected for to derive
+    /// their trace term (if not already materialised); structured and
+    /// low-rank plans ignore it — a low-rank plan carries its own subspace
+    /// gram.  Underivable entries (e.g. a singular strategy gram) stay
+    /// memory-only and report [`SaveOutcome::Skipped`].
+    pub fn try_save(
+        &self,
+        fp: Fingerprint,
+        plan: &SelectionPlan,
+        workload_gram: Option<&Matrix>,
+    ) -> SaveOutcome {
         let path = self.entry_path(fp);
         if path.exists()
             || self.legacy_dense_path(fp).exists()
             || self.legacy_operator_path(fp).exists()
         {
-            return false; // write-once per fingerprint
+            return SaveOutcome::Skipped; // write-once per fingerprint
         }
         let payload = match plan {
             SelectionPlan::Dense(e) => {
                 let Some(gram) = workload_gram else {
-                    return false;
+                    return SaveOutcome::Skipped;
                 };
                 let (Ok(factor), Ok(trace)) = (e.factor(), e.trace_term(gram)) else {
-                    return false;
+                    return SaveOutcome::Skipped;
                 };
                 let mut out = vec![KIND_DENSE];
                 encode_dense_fields(&mut out, e, &factor, trace);
@@ -351,7 +419,7 @@ impl StrategyStore {
                 let sel = p.selection();
                 let (Ok(factor), Ok(trace)) = (sel.factor(), sel.trace_term(p.subspace_gram()))
                 else {
-                    return false;
+                    return SaveOutcome::Skipped;
                 };
                 let mut out = vec![KIND_LOW_RANK];
                 entry::push_u64(&mut out, p.requested_rank() as u64);
@@ -364,8 +432,24 @@ impl StrategyStore {
             }
         };
         let bytes = entry::encode_framed(&PLAN_MAGIC, PLAN_STORE_VERSION, fp, &payload);
+        // Fault-injection seam: a `Fail` is a clean I/O error (no bytes
+        // land); a `Torn` write lands a truncated entry at the final path —
+        // the mid-crash case the checksumming read path must catch.
+        match self.injector.inject(FaultSite::StoreWrite) {
+            Some(Fault::Fail) => return SaveOutcome::Failed,
+            Some(Fault::Torn) => {
+                entry::torn_write(&path, &bytes);
+                return SaveOutcome::Failed;
+            }
+            Some(Fault::LatencyMs(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
+            _ => {}
+        }
         let tmp_name = format!(".{fp}.tmp.{}", std::process::id());
-        entry::atomic_write(&self.dir, &tmp_name, &path, &bytes)
+        if entry::atomic_write(&self.dir, &tmp_name, &path, &bytes) {
+            SaveOutcome::Written
+        } else {
+            SaveOutcome::Failed
+        }
     }
 
     /// Loads up to `limit` plans into a [`StrategyCache`] (deterministic
@@ -387,7 +471,9 @@ impl StrategyStore {
             let Some(ext) = path.extension().and_then(|e| e.to_str()) else {
                 continue;
             };
-            if ext != PLAN_STORE_EXTENSION && ext != STORE_EXTENSION && ext != OPERATOR_STORE_EXTENSION
+            if ext != PLAN_STORE_EXTENSION
+                && ext != STORE_EXTENSION
+                && ext != OPERATOR_STORE_EXTENSION
             {
                 continue;
             }
@@ -423,7 +509,9 @@ impl StrategyStore {
             let Some(ext) = path.extension().and_then(|e| e.to_str()) else {
                 continue;
             };
-            if ext != PLAN_STORE_EXTENSION && ext != STORE_EXTENSION && ext != OPERATOR_STORE_EXTENSION
+            if ext != PLAN_STORE_EXTENSION
+                && ext != STORE_EXTENSION
+                && ext != OPERATOR_STORE_EXTENSION
             {
                 continue;
             }
@@ -468,7 +556,12 @@ pub(crate) fn encode_legacy_dense_file(
 /// read path has a byte-exact regression oracle.
 #[cfg(test)]
 pub(crate) fn encode_legacy_operator_file(fp: Fingerprint, d: &StrategyDescriptor) -> Vec<u8> {
-    entry::encode_framed(&LEGACY_OPERATOR_MAGIC, OPERATOR_STORE_VERSION, fp, &d.encode())
+    entry::encode_framed(
+        &LEGACY_OPERATOR_MAGIC,
+        OPERATOR_STORE_VERSION,
+        fp,
+        &d.encode(),
+    )
 }
 
 #[cfg(test)]
@@ -507,7 +600,10 @@ mod tests {
         let trace = e.trace_term(&gram).unwrap();
         let plan = SelectionPlan::Dense(Arc::new(e));
         assert!(store.save(fp, &plan, Some(&gram)), "first save writes");
-        assert!(!store.save(fp, &plan, Some(&gram)), "second save is write-once");
+        assert!(
+            !store.save(fp, &plan, Some(&gram)),
+            "second save is write-once"
+        );
         assert_eq!(store.len(), 1);
 
         let loaded = store.load(fp).expect("entry loads");
@@ -604,13 +700,11 @@ mod tests {
             orig.total_gram_trace().to_bits(),
             back.total_gram_trace().to_bits()
         );
-        assert_eq!(orig.captured_mass().to_bits(), back.captured_mass().to_bits());
-        for (a, b) in orig
-            .basis()
-            .as_slice()
-            .iter()
-            .zip(back.basis().as_slice())
-        {
+        assert_eq!(
+            orig.captured_mass().to_bits(),
+            back.captured_mass().to_bits()
+        );
+        for (a, b) in orig.basis().as_slice().iter().zip(back.basis().as_slice()) {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         for (a, b) in orig
@@ -742,8 +836,14 @@ mod tests {
         corrupted[mid] ^= 0x08;
         std::fs::write(store.legacy_dense_path(fp), &corrupted).unwrap();
         assert!(store.load(fp).is_none());
-        assert!(!store.legacy_dense_path(fp).exists(), "corrupt legacy deleted");
-        assert!(store.save(fp, &dense_plan(5), Some(&gram)), "slot clear again");
+        assert!(
+            !store.legacy_dense_path(fp).exists(),
+            "corrupt legacy deleted"
+        );
+        assert!(
+            store.save(fp, &dense_plan(5), Some(&gram)),
+            "slot clear again"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -752,7 +852,10 @@ mod tests {
         let dir = tmp_dir("legacy-op");
         let store = StrategyStore::open(&dir).unwrap();
         let fp = Fingerprint(0xF00D);
-        let d = StrategyDescriptor::Hierarchical { n: 10, branching: 2 };
+        let d = StrategyDescriptor::Hierarchical {
+            n: 10,
+            branching: 2,
+        };
         let bytes = encode_legacy_operator_file(fp, &d);
         std::fs::write(store.legacy_operator_path(fp), &bytes).unwrap();
         assert_eq!(store.len(), 1);
@@ -762,7 +865,11 @@ mod tests {
         assert_eq!(loaded.descriptor(), d);
 
         assert!(
-            !store.save(fp, &SelectionPlan::Structured(Arc::new(d.instantiate())), None),
+            !store.save(
+                fp,
+                &SelectionPlan::Structured(Arc::new(d.instantiate())),
+                None
+            ),
             "live legacy entry blocks a rewrite"
         );
         let mut corrupted = bytes.clone();
@@ -799,6 +906,101 @@ mod tests {
         assert!(small.get(Fingerprint(1)).is_some());
         assert!(small.get(Fingerprint(2)).is_some());
         assert!(small.get(Fingerprint(3)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_drops_are_counted_per_store_handle() {
+        let dir = tmp_dir("corrupt-count");
+        let store = StrategyStore::open(&dir).unwrap();
+        let gram = Matrix::identity(4);
+        assert!(store.save(Fingerprint(1), &dense_plan(4), Some(&gram)));
+        assert_eq!(store.corrupt_dropped(), 0);
+        // Bit-flip the entry: the next load drops it and counts the drop.
+        let path = store.entry_path(Fingerprint(1));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load(Fingerprint(1)).is_none());
+        assert_eq!(store.corrupt_dropped(), 1);
+        // A load of a simply-absent fingerprint is not a corruption.
+        assert!(store.load(Fingerprint(2)).is_none());
+        assert_eq!(store.corrupt_dropped(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_write_fault_fails_without_landing_bytes() {
+        use crate::faults::{Fault, FaultSchedule, FaultSite};
+        let dir = tmp_dir("inject-write");
+        let store = StrategyStore::open(&dir).unwrap().with_injector(Arc::new(
+            FaultSchedule::new().inject_at(FaultSite::StoreWrite, 0, Fault::Fail),
+        ));
+        let gram = Matrix::identity(4);
+        let fp = Fingerprint(9);
+        assert_eq!(
+            store.try_save(fp, &dense_plan(4), Some(&gram)),
+            SaveOutcome::Failed
+        );
+        assert!(!store.entry_path(fp).exists(), "clean failure: no bytes");
+        // The schedule only faulted op 0: the retry writes.
+        assert_eq!(
+            store.try_save(fp, &dense_plan(4), Some(&gram)),
+            SaveOutcome::Written
+        );
+        assert_eq!(
+            store.try_save(fp, &dense_plan(4), Some(&gram)),
+            SaveOutcome::Skipped,
+            "write-once skip is not a failure"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_write_lands_a_half_entry_the_reader_drops() {
+        use crate::faults::{Fault, FaultSchedule, FaultSite};
+        let dir = tmp_dir("inject-torn");
+        let store = StrategyStore::open(&dir).unwrap().with_injector(Arc::new(
+            FaultSchedule::new().inject_at(FaultSite::StoreWrite, 0, Fault::Torn),
+        ));
+        let gram = Matrix::identity(4);
+        let fp = Fingerprint(11);
+        assert_eq!(
+            store.try_save(fp, &dense_plan(4), Some(&gram)),
+            SaveOutcome::Failed
+        );
+        assert!(
+            store.entry_path(fp).exists(),
+            "torn write left a half-entry"
+        );
+        // The reader detects the truncation, counts and deletes it …
+        assert!(store.load(fp).is_none());
+        assert_eq!(store.corrupt_dropped(), 1);
+        assert!(!store.entry_path(fp).exists());
+        // … and the slot is clear for a clean rewrite.
+        assert_eq!(
+            store.try_save(fp, &dense_plan(4), Some(&gram)),
+            SaveOutcome::Written
+        );
+        assert!(store.load(fp).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_read_fault_skips_without_judging_the_entry() {
+        use crate::faults::{Fault, FaultSchedule, FaultSite};
+        let dir = tmp_dir("inject-read");
+        let store = StrategyStore::open(&dir).unwrap().with_injector(Arc::new(
+            FaultSchedule::new().inject_at(FaultSite::StoreRead, 0, Fault::Fail),
+        ));
+        let gram = Matrix::identity(4);
+        let fp = Fingerprint(13);
+        assert!(store.save(fp, &dense_plan(4), Some(&gram)));
+        assert!(store.load(fp).is_none(), "injected read error");
+        assert_eq!(store.corrupt_dropped(), 0, "nothing was judged corrupt");
+        assert!(store.entry_path(fp).exists(), "entry untouched");
+        assert!(store.load(fp).is_some(), "next read succeeds");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -30,7 +30,7 @@
 //!
 //! Selections persist through the engine's unified
 //! [`StrategyStore`](super::StrategyStore) as structured
-//! [`SelectionPlan`](super::SelectionPlan) entries carrying only the
+//! [`SelectionPlan`] entries carrying only the
 //! [`StrategyDescriptor`] (a few bytes, not an n×n factor); a warm restart
 //! rebuilds the operator from the descriptor and answers bit-identically to
 //! the run that wrote it.  Legacy `.mmop` entries written by earlier
@@ -260,15 +260,14 @@ impl super::Engine {
         self.structured_misses.fetch_add(1, Ordering::Relaxed);
         // Probe the persistent store before selecting: another run (or
         // process) may have already recorded this fingerprint's descriptor.
-        if let Some(store) = &self.store {
-            if let Some(plan) = store.load(fp) {
-                if let Some(strategy) = plan.as_structured().cloned() {
-                    self.structured_store_hits.fetch_add(1, Ordering::Relaxed);
-                    let cached = self.cache.insert(fp, plan);
-                    // A racing insert of a different plan kind under this
-                    // fingerprint keeps us on the strategy we just loaded.
-                    return Ok((cached.as_structured().cloned().unwrap_or(strategy), true));
-                }
+        // Breaker-gated like the dense path: a degraded store is skipped.
+        if let Some(plan) = self.store_probe(fp) {
+            if let Some(strategy) = plan.as_structured().cloned() {
+                self.structured_store_hits.fetch_add(1, Ordering::Relaxed);
+                let cached = self.cache.insert(fp, plan);
+                // A racing insert of a different plan kind under this
+                // fingerprint keeps us on the strategy we just loaded.
+                return Ok((cached.as_structured().cloned().unwrap_or(strategy), true));
             }
         }
         let strategy = Arc::new(self.structured_selector.select(descriptor)?);
@@ -283,10 +282,8 @@ impl super::Engine {
         }
         self.structured_selections.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(SelectionPlan::Structured(strategy.clone()));
-        if let Some(store) = &self.store {
-            if store.save(fp, &plan, None) {
-                self.structured_store_writes.fetch_add(1, Ordering::Relaxed);
-            }
+        if self.persist_plan(fp, &plan, None) {
+            self.structured_store_writes.fetch_add(1, Ordering::Relaxed);
         }
         // No single-flight: selection is O(n log n), and being deterministic
         // a lost insert race still leaves every caller on one shared object.

@@ -29,6 +29,10 @@
 //!   currency flowing through one cache and one persistent store, and
 //!   budgeted [`engine::Session`]s charging through a pluggable
 //!   [`accounting::Accountant`];
+//! * [`faults`] — deterministic fault injection for the serving stack: a
+//!   seeded [`FaultInjector`] threaded through the strategy store's I/O, the
+//!   selector path, and the serve tier's workers, so robustness tests replay
+//!   exact failure schedules;
 //! * [`accounting`] — privacy accounting: sequential composition (default),
 //!   the advanced (strong) composition bound, and Rényi-DP accounting with
 //!   per-mechanism curves, all behind one object-safe trait;
@@ -45,6 +49,7 @@ pub mod design_set;
 pub mod eigen_design;
 pub mod engine;
 pub mod error;
+pub mod faults;
 pub mod mechanism;
 pub mod principal;
 pub mod privacy;
@@ -65,6 +70,7 @@ pub use engine::{
     SelectionPlan, Session, StructuredAnswer,
 };
 pub use error::{predicted_rms_error, rms_workload_error, total_squared_error};
+pub use faults::{Fault, FaultInjector, FaultSchedule, FaultSite, NoFaults};
 pub use mechanism::{GaussianBackend, LaplaceBackend, NoiseBackend};
 pub use privacy::PrivacyParams;
 
@@ -127,6 +133,28 @@ pub enum MechanismError {
     /// A selection this caller was waiting on died with the leader (panic or
     /// abandonment) and was not retried on the caller's behalf.
     PoisonedSelection(String),
+}
+
+impl MechanismError {
+    /// Whether retrying the same request could plausibly succeed without
+    /// any caller-side change.
+    ///
+    /// * **Transient** — [`MechanismError::Store`] (an I/O failure: the disk
+    ///   may recover, and the engine degrades to memory-only caching
+    ///   meanwhile) and [`MechanismError::PoisonedSelection`] (the poison is
+    ///   cleared when the waiter observes it; a retry founds a fresh
+    ///   selection).
+    /// * **Permanent** — everything else: invalid arguments, dimension
+    ///   mismatches, NaN workloads, incompatible backends, selector errors
+    ///   and exhausted budgets are deterministic functions of the request
+    ///   (or of state that only moves further against the caller), so
+    ///   retrying unchanged cannot help.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            MechanismError::Store(_) | MechanismError::PoisonedSelection(_)
+        )
+    }
 }
 
 impl std::fmt::Display for MechanismError {
@@ -213,5 +241,17 @@ mod tests {
         assert!(MechanismError::InvalidArgument("arg".into())
             .to_string()
             .contains("arg"));
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(MechanismError::Store("disk on fire".into()).is_transient());
+        assert!(MechanismError::PoisonedSelection("leader died".into()).is_transient());
+        assert!(!MechanismError::InvalidArgument("bad".into()).is_transient());
+        assert!(!MechanismError::StrategyNotMaterialized("w".into()).is_transient());
+        assert!(!MechanismError::IncompatibleBackend("b".into()).is_transient());
+        assert!(!MechanismError::NanWorkloadGram { row: 0, col: 1 }.is_transient());
+        let e: MechanismError = mm_linalg::LinalgError::Empty.into();
+        assert!(!e.is_transient());
     }
 }

@@ -275,8 +275,8 @@ mod tests {
         d[2] = 1.0;
         let g = spectrum_matrix(n, &d);
         let trunc = TruncatedEigen::new(&g, 6).unwrap();
-        for k in 0..3 {
-            assert!(approx_eq(trunc.ritz_values()[k], d[k], 1e-8));
+        for (k, &dk) in d.iter().enumerate().take(3) {
+            assert!(approx_eq(trunc.ritz_values()[k], dk, 1e-8));
         }
         for k in 3..6 {
             assert!(trunc.ritz_values()[k].abs() < 1e-8);

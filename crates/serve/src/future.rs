@@ -18,6 +18,14 @@
 //! direct engine calls.  Requests whose selection is too cheap to be worth
 //! a worker round-trip (the structured path) return no fingerprint and run
 //! entirely inline on the first poll.
+//!
+//! Every future may additionally carry a **deadline** (builder default or a
+//! per-future override): an expired request resolves with the typed
+//! [`ServeError::DeadlineExceeded`] instead of waiting further, a pending
+//! one arms the serving tier's watchdog so the expiry fires even when the
+//! selection it waits on never completes, and a queued selection job whose
+//! founder's deadline passed is skipped by the worker ([`TaskFailure::Expired`])
+//! rather than run stale — live waiters simply re-found the flight.
 
 use crate::{Inner, ServeError};
 use mm_core::accounting::UserLedger;
@@ -31,6 +39,20 @@ use std::pin::Pin;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::task::{Context, Poll, Waker};
+use std::time::{Duration, Instant};
+
+/// Why a selection flight resolved without a usable plan.
+#[derive(Clone)]
+pub(crate) enum TaskFailure {
+    /// The selection itself failed (selector error, panic, shutdown);
+    /// shared, because one failed selection fails every waiter.
+    Mechanism(Arc<MechanismError>),
+    /// The founding request's deadline passed before the job ran, so the
+    /// worker skipped the (stale) selection.  Not an error for the *other*
+    /// waiters: any still-live one re-founds the flight under its own
+    /// deadline on the next poll.
+    Expired,
+}
 
 /// One in-flight selection: waiters register wakers, the worker completes.
 pub(crate) struct SelectionTask {
@@ -39,7 +61,7 @@ pub(crate) struct SelectionTask {
 
 enum TaskState {
     Pending(Vec<Waker>),
-    Done(Result<(), Arc<MechanismError>>),
+    Done(Result<(), TaskFailure>),
 }
 
 impl SelectionTask {
@@ -51,7 +73,7 @@ impl SelectionTask {
 
     /// Returns the outcome if the selection finished, otherwise registers
     /// the waker (deduplicated via [`Waker::will_wake`]) and returns `None`.
-    pub(crate) fn poll_done(&self, waker: &Waker) -> Option<Result<(), Arc<MechanismError>>> {
+    pub(crate) fn poll_done(&self, waker: &Waker) -> Option<Result<(), TaskFailure>> {
         // Poison recovery: the task state is always written whole (one
         // enum assignment), so a panic elsewhere leaves nothing torn — and
         // panicking here would take every waiter down with the poisoner.
@@ -70,7 +92,7 @@ impl SelectionTask {
     /// Resolves the task and wakes every registered waiter.  Idempotent:
     /// only the first completion sticks (the shutdown path in
     /// `ServeEngine::drop` may race a finishing worker).
-    pub(crate) fn complete(&self, result: Result<(), Arc<MechanismError>>) {
+    pub(crate) fn complete(&self, result: Result<(), TaskFailure>) {
         let wakers = {
             let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             match &mut *state {
@@ -88,6 +110,9 @@ impl SelectionTask {
     }
 }
 
+/// The deferred selection work a founded worker job runs for a request.
+pub(crate) type SelectionJob = Box<dyn FnOnce(&Engine) -> mm_core::Result<()> + Send + 'static>;
+
 /// One admitted serving request: what the generic [`ServeFuture`] needs to
 /// key, select, and answer it.  Implemented by the dense batch request and
 /// the structured request; both front-ends collapse onto the one state
@@ -103,7 +128,7 @@ pub(crate) trait ServeRequest {
 
     /// The selection work a founded worker job runs for this request
     /// (only called when [`ServeRequest::fingerprint`] is `Some`).
-    fn selection(&self) -> Box<dyn FnOnce(&Engine) -> mm_core::Result<()> + Send + 'static>;
+    fn selection(&self) -> SelectionJob;
 
     /// Produces the answer through the engine's own sync paths, so served
     /// semantics (batching, accounting, noise draws) are exactly the direct
@@ -126,15 +151,21 @@ pub(crate) struct ServeFuture<R: ServeRequest> {
     request: R,
     task: Option<Arc<SelectionTask>>,
     state: FutState,
+    /// When set, the request fails with [`ServeError::DeadlineExceeded`]
+    /// once `.0` passes; `.1` is the originally configured duration (for
+    /// the error message).
+    deadline: Option<(Instant, Duration)>,
 }
 
 impl<R: ServeRequest> ServeFuture<R> {
     pub(crate) fn new(inner: Arc<Inner>, request: R) -> Self {
+        let deadline = inner.default_deadline.map(|d| (Instant::now() + d, d));
         ServeFuture {
             inner,
             request,
             task: None,
             state: FutState::Active,
+            deadline,
         }
     }
 
@@ -145,7 +176,13 @@ impl<R: ServeRequest> ServeFuture<R> {
             request,
             task: None,
             state: FutState::Failed(Some(error)),
+            deadline: None,
         }
+    }
+
+    /// Replaces the deadline: the clock starts now, not at submit.
+    pub(crate) fn set_deadline(&mut self, after: Duration) {
+        self.deadline = Some((Instant::now() + after, after));
     }
 
     /// Joins the in-flight selection for `fp`, or founds one by enqueueing
@@ -162,10 +199,24 @@ impl<R: ServeRequest> ServeFuture<R> {
         }
         let task = SelectionTask::new();
         let select = self.request.selection();
+        // The founder's deadline rides along with the job: a queued
+        // selection nobody can still be served by (its founder gave up and
+        // every re-join would have re-founded) is skipped, not run stale.
+        let expires = self.deadline.map(|(at, _)| at);
         let job: crate::Job = {
             let inner = self.inner.clone();
             let task = task.clone();
             Box::new(move || {
+                if expires.is_some_and(|at| Instant::now() >= at) {
+                    inner
+                        .pending
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .remove(&fp.0);
+                    inner.jobs_expired.fetch_add(1, Ordering::Relaxed);
+                    task.complete(Err(TaskFailure::Expired));
+                    return;
+                }
                 // The engine's own single-flight guard handles concurrent
                 // sync callers; catch_unwind converts a panicking selector
                 // into a typed poison every waiter can observe.
@@ -179,7 +230,7 @@ impl<R: ServeRequest> ServeFuture<R> {
                     .remove(&fp.0);
                 let outcome = match outcome {
                     Ok(Ok(())) => Ok(()),
-                    Ok(Err(e)) => Err(Arc::new(e)),
+                    Ok(Err(e)) => Err(TaskFailure::Mechanism(Arc::new(e))),
                     Err(panic) => {
                         let msg = if let Some(s) = panic.downcast_ref::<&str>() {
                             (*s).to_string()
@@ -188,7 +239,9 @@ impl<R: ServeRequest> ServeFuture<R> {
                         } else {
                             "selection worker panicked".to_string()
                         };
-                        Err(Arc::new(MechanismError::PoisonedSelection(msg)))
+                        Err(TaskFailure::Mechanism(Arc::new(
+                            MechanismError::PoisonedSelection(msg),
+                        )))
                     }
                 };
                 task.complete(outcome);
@@ -226,26 +279,67 @@ impl<R: ServeRequest + Unpin> Future for ServeFuture<R> {
             }
             FutState::Active => this.state = FutState::Active,
         }
+        // Deadline check before any new work: an expired request resolves
+        // typed instead of joining (or founding) a flight it cannot use.
+        if let Some((at, after)) = this.deadline {
+            if Instant::now() >= at {
+                this.task = None;
+                this.inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                this.state = FutState::Finished;
+                return Poll::Ready(Err(ServeError::DeadlineExceeded {
+                    deadline_ms: after.as_millis() as u64,
+                }));
+            }
+        }
         if let Some(fp) = this.request.fingerprint() {
             // A completed selection job clears `task`, so losing a poll race
             // just re-runs the (cheap) cache probe.  The probe is plan-kind
             // agnostic: a cached low-rank plan is as warm as a dense one.
-            if this.task.is_none() && this.inner.engine.cached_plan(fp).is_none() {
-                if let Err(shed) = this.join_or_found(fp) {
-                    this.state = FutState::Finished;
-                    return Poll::Ready(Err(shed));
-                }
-            }
-            if let Some(task) = &this.task {
-                match task.poll_done(cx.waker()) {
-                    None => return Poll::Pending,
-                    Some(Err(error)) => {
-                        this.task = None;
-                        this.inner.failed.fetch_add(1, Ordering::Relaxed);
+            loop {
+                if this.task.is_none() && this.inner.engine.cached_plan(fp).is_none() {
+                    if let Err(shed) = this.join_or_found(fp) {
                         this.state = FutState::Finished;
-                        return Poll::Ready(Err(ServeError::Mechanism(error)));
+                        return Poll::Ready(Err(shed));
                     }
-                    Some(Ok(())) => this.task = None,
+                }
+                match &this.task {
+                    None => break,
+                    Some(task) => match task.poll_done(cx.waker()) {
+                        None => {
+                            // Waiting on the flight: also arm the watchdog,
+                            // so an expired deadline wakes this task even if
+                            // the selection never completes.
+                            if let Some((at, _)) = this.deadline {
+                                this.inner.register_timer(at, cx.waker().clone());
+                            }
+                            return Poll::Pending;
+                        }
+                        Some(Err(TaskFailure::Expired)) => {
+                            // The *founder's* deadline killed the job; this
+                            // waiter re-probes and re-founds under its own
+                            // clock — unless that clock ran out meanwhile.
+                            this.task = None;
+                            if let Some((at, after)) = this.deadline {
+                                if Instant::now() >= at {
+                                    this.inner.deadline_expired.fetch_add(1, Ordering::Relaxed);
+                                    this.state = FutState::Finished;
+                                    return Poll::Ready(Err(ServeError::DeadlineExceeded {
+                                        deadline_ms: after.as_millis() as u64,
+                                    }));
+                                }
+                            }
+                        }
+                        Some(Err(TaskFailure::Mechanism(error))) => {
+                            this.task = None;
+                            this.inner.failed.fetch_add(1, Ordering::Relaxed);
+                            this.state = FutState::Finished;
+                            return Poll::Ready(Err(ServeError::Mechanism(error)));
+                        }
+                        Some(Ok(())) => {
+                            this.task = None;
+                            break;
+                        }
+                    },
                 }
             }
         }
@@ -276,7 +370,7 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> ServeRequest for BatchRequest
         Some(self.fp)
     }
 
-    fn selection(&self) -> Box<dyn FnOnce(&Engine) -> mm_core::Result<()> + Send + 'static> {
+    fn selection(&self) -> SelectionJob {
         let workload = self.workload.clone();
         // select_plan_for warms whichever plan kind the engine is
         // configured for (dense or low-rank) under the same fingerprint the
@@ -318,7 +412,7 @@ impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> ServeRequest for St
         None
     }
 
-    fn selection(&self) -> Box<dyn FnOnce(&Engine) -> mm_core::Result<()> + Send + 'static> {
+    fn selection(&self) -> SelectionJob {
         // Never founded: fingerprint() is None, so the future answers inline.
         Box::new(|_| Ok(()))
     }
@@ -398,6 +492,16 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> BatchFuture<W> {
             ),
         }
     }
+
+    /// Fails the request with [`ServeError::DeadlineExceeded`] unless it
+    /// resolves within `after` of this call, overriding the serving tier's
+    /// default deadline (see
+    /// [`crate::ServeEngineBuilder::default_deadline`]).  Queued selection
+    /// jobs whose founder's deadline has passed are skipped, not run stale.
+    pub fn deadline(mut self, after: Duration) -> Self {
+        self.fut.set_deadline(after);
+        self
+    }
 }
 
 impl<W: Workload + Send + Sync + ?Sized + 'static> Future for BatchFuture<W> {
@@ -469,6 +573,15 @@ impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> StructuredFuture<W>
             ),
         }
     }
+
+    /// Fails the request with [`ServeError::DeadlineExceeded`] unless it
+    /// resolves within `after` of this call (override of the builder
+    /// default).  The structured path runs inline on the first poll, so the
+    /// deadline only bites when that poll itself starts too late.
+    pub fn deadline(mut self, after: Duration) -> Self {
+        self.fut.set_deadline(after);
+        self
+    }
 }
 
 impl<W: StructuredWorkload + Send + Sync + ?Sized + 'static> Future for StructuredFuture<W> {
@@ -497,6 +610,14 @@ impl<W: Workload + Send + Sync + ?Sized + 'static> std::fmt::Debug for AnswerFut
 impl<W: Workload + Send + Sync + ?Sized + 'static> AnswerFuture<W> {
     pub(crate) fn new(batch: BatchFuture<W>) -> Self {
         AnswerFuture { batch }
+    }
+
+    /// Fails the request with [`ServeError::DeadlineExceeded`] unless it
+    /// resolves within `after` of this call (override of the builder
+    /// default; see [`BatchFuture::deadline`]).
+    pub fn deadline(mut self, after: Duration) -> Self {
+        self.batch = self.batch.deadline(after);
+        self
     }
 }
 

@@ -26,6 +26,16 @@
 //!   poisons only that flight: every waiter receives a typed
 //!   [`MechanismError::PoisonedSelection`] / the selector's error, and the
 //!   fingerprint can be retried fresh.
+//! * **Graceful degradation.** Requests can carry **deadlines** (a builder
+//!   default, or per-future): an expired request resolves with the typed
+//!   [`ServeError::DeadlineExceeded`] — a watchdog thread wakes it even if
+//!   the selection it waits on never finishes — and a queued selection job
+//!   whose founder expired is skipped, never run stale.  Failures classify
+//!   as transient or permanent ([`ServeError::is_transient`]), the engine
+//!   below retries transient store faults with bounded backoff behind a
+//!   circuit breaker, and [`ServeEngine::health`] exposes one degradation
+//!   snapshot (queue depth, shed/expiry counters, poisoned flights, store
+//!   breaker state) for operators and the chaos suite.
 //!
 //! Answers are produced by the engine's own paths, so everything the engine
 //! guarantees (bit-identical batching, persistent-store round-trips, budget
@@ -70,14 +80,16 @@ pub use executor::{block_on, join_all, JoinAll};
 pub use future::{AnswerFuture, BatchFuture, StructuredFuture};
 
 use mm_core::accounting::UserLedger;
-use mm_core::engine::Engine;
-use mm_core::MechanismError;
+use mm_core::engine::{Engine, StoreHealth};
+use mm_core::{Fault, FaultSite, MechanismError};
 use mm_workload::{try_gram_fingerprint, StructuredWorkload, Workload};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::task::Waker;
+use std::time::{Duration, Instant};
 
-use future::SelectionTask;
+use future::{SelectionTask, TaskFailure};
 
 /// Default number of selection worker threads.
 pub const DEFAULT_WORKERS: usize = 2;
@@ -87,12 +99,21 @@ pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
 
 /// Why the serving tier failed a request.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub enum ServeError {
     /// The selection queue was full: the request was shed at admission
     /// without doing any work.  Retry later, or grow the queue/worker pool.
     Overloaded {
         /// The configured queue bound that was hit.
         capacity: usize,
+    },
+    /// The request's deadline passed before it resolved (builder default or
+    /// per-future override).  No answer was produced and nothing was charged
+    /// to a ledger; a selection the request founded may still complete and
+    /// warm the cache for later requests.
+    DeadlineExceeded {
+        /// The configured deadline, in milliseconds.
+        deadline_ms: u64,
     },
     /// The underlying mechanism failed (selector error, poisoned selection,
     /// exhausted budget, invalid argument, …).  Shared, because one failed
@@ -105,7 +126,24 @@ impl ServeError {
     pub fn mechanism(&self) -> Option<&MechanismError> {
         match self {
             ServeError::Mechanism(e) => Some(e),
-            ServeError::Overloaded { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// Whether retrying the same request could plausibly succeed without
+    /// any caller-side change.
+    ///
+    /// [`ServeError::Overloaded`] and [`ServeError::DeadlineExceeded`] are
+    /// load conditions — transient by nature (and the shed/expired request
+    /// may even find the cache warmed by the flight it abandoned).
+    /// [`ServeError::Mechanism`] delegates to
+    /// [`MechanismError::is_transient`]: store I/O failures and poisoned
+    /// selections are retryable, everything else is a deterministic
+    /// function of the request.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            ServeError::Overloaded { .. } | ServeError::DeadlineExceeded { .. } => true,
+            ServeError::Mechanism(e) => e.is_transient(),
         }
     }
 }
@@ -117,12 +155,22 @@ impl std::fmt::Display for ServeError {
                 f,
                 "serving tier overloaded: selection queue at capacity {capacity}"
             ),
+            ServeError::DeadlineExceeded { deadline_ms } => {
+                write!(f, "request deadline of {deadline_ms} ms exceeded")
+            }
             ServeError::Mechanism(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Mechanism(e) => Some(&**e as &(dyn std::error::Error + 'static)),
+            ServeError::Overloaded { .. } | ServeError::DeadlineExceeded { .. } => None,
+        }
+    }
+}
 
 impl From<MechanismError> for ServeError {
     fn from(e: MechanismError) -> Self {
@@ -151,6 +199,42 @@ pub struct ServeStats {
     /// ([`ServeEngine::answer_structured`]); these never enqueue worker
     /// jobs, so they are excluded from `selection_jobs`.
     pub structured: u64,
+    /// Requests that resolved with [`ServeError::DeadlineExceeded`]
+    /// (counted here, not in `failed`).
+    pub deadline_expired: u64,
+    /// Queued selection jobs skipped by a worker because the founding
+    /// request's deadline had already passed when the job was dequeued.
+    pub jobs_expired: u64,
+}
+
+/// A point-in-time degradation snapshot of a [`ServeEngine`] — see
+/// [`ServeEngine::health`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ServeHealth {
+    /// Selection jobs currently queued (admitted, not yet dequeued).
+    pub queue_depth: usize,
+    /// The configured queue bound ([`ServeEngineBuilder::queue_capacity`]).
+    pub queue_capacity: usize,
+    /// Selection flights currently in progress (founded, not yet resolved).
+    pub pending_selections: usize,
+    /// Requests shed with [`ServeError::Overloaded`] since construction.
+    pub shed: u64,
+    /// Requests rejected at submit (budget headroom, NaN gram) since
+    /// construction.
+    pub rejected: u64,
+    /// Requests that resolved [`ServeError::DeadlineExceeded`].
+    pub deadline_expired: u64,
+    /// Queued selection jobs skipped because their founder's deadline
+    /// passed before they ran.
+    pub jobs_expired: u64,
+    /// Selection flights that were poisoned (selector error, panic or
+    /// abandonment) and retried by a later leader, from the engine.
+    pub poisoned_flights: u64,
+    /// The persistent store's health: circuit-breaker state, consecutive
+    /// save failures, corruption drops, total save failures.  All-default
+    /// (closed breaker, zero counters) when no store is configured.
+    pub store: StoreHealth,
 }
 
 pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -162,6 +246,15 @@ pub(crate) struct Inner {
     queue_capacity: usize,
     shutdown: AtomicBool,
     pub(crate) pending: Mutex<HashMap<u64, Arc<SelectionTask>>>,
+    /// Deadline → waker registrations serviced by the watchdog thread, so a
+    /// pending future whose deadline passes is woken (and resolves
+    /// [`ServeError::DeadlineExceeded`]) even if the selection it waits on
+    /// never completes.
+    timers: Mutex<Vec<(Instant, Waker)>>,
+    timer_cv: Condvar,
+    /// Deadline applied to every future at submit unless overridden
+    /// per-future; `None` means requests wait indefinitely.
+    pub(crate) default_deadline: Option<Duration>,
     pub(crate) submitted: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
@@ -169,6 +262,8 @@ pub(crate) struct Inner {
     pub(crate) rejected: AtomicU64,
     pub(crate) selection_jobs: AtomicU64,
     pub(crate) structured: AtomicU64,
+    pub(crate) deadline_expired: AtomicU64,
+    pub(crate) jobs_expired: AtomicU64,
 }
 
 impl std::fmt::Debug for Inner {
@@ -218,8 +313,87 @@ impl Inner {
                 }
             };
             match job {
-                Some(job) => job(),
+                Some(job) => {
+                    // The worker fault site honours latency only: a stalled
+                    // worker (CPU contention, scheduling delay) is what
+                    // deadline tests need to reproduce deterministically.
+                    if let Some(Fault::LatencyMs(ms)) =
+                        self.engine.fault_injector().inject(FaultSite::Worker)
+                    {
+                        std::thread::sleep(Duration::from_millis(ms));
+                    }
+                    job()
+                }
                 None => return, // shutdown with a drained queue
+            }
+        }
+    }
+
+    /// Registers a waker to be woken at `at` by the watchdog thread
+    /// (deduplicated per `(instant, task)` so repolls don't accumulate).
+    pub(crate) fn register_timer(&self, at: Instant, waker: Waker) {
+        {
+            let mut timers = self.timers.lock().unwrap_or_else(PoisonError::into_inner);
+            if timers.iter().any(|(t, w)| *t == at && w.will_wake(&waker)) {
+                return;
+            }
+            timers.push((at, waker));
+        }
+        self.timer_cv.notify_all();
+    }
+
+    /// The watchdog loop: wakes every registered waker whose deadline has
+    /// passed, sleeping until the earliest outstanding deadline otherwise.
+    /// Woken futures observe their expiry on the next poll; the watchdog
+    /// itself never resolves anything, so a racing completion always wins.
+    fn timer_loop(&self) {
+        loop {
+            let due: Vec<Waker> = {
+                let mut timers = self.timers.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        // Shutdown: wake everything so no future stays
+                        // parked on a watchdog that no longer runs.
+                        break timers.drain(..).map(|(_, w)| w).collect();
+                    }
+                    let now = Instant::now();
+                    let mut expired = Vec::new();
+                    let mut live = Vec::new();
+                    for (at, waker) in timers.drain(..) {
+                        if at <= now {
+                            expired.push(waker);
+                        } else {
+                            live.push((at, waker));
+                        }
+                    }
+                    *timers = live;
+                    if !expired.is_empty() {
+                        break expired;
+                    }
+                    match timers.iter().map(|(at, _)| *at).min() {
+                        Some(next) => {
+                            let wait = next.saturating_duration_since(now);
+                            let (guard, _) = self
+                                .timer_cv
+                                .wait_timeout(timers, wait)
+                                .unwrap_or_else(PoisonError::into_inner);
+                            timers = guard;
+                        }
+                        None => {
+                            timers = self
+                                .timer_cv
+                                .wait(timers)
+                                .unwrap_or_else(PoisonError::into_inner);
+                        }
+                    }
+                }
+            };
+            let stop = self.shutdown.load(Ordering::Acquire);
+            for waker in due {
+                waker.wake();
+            }
+            if stop {
+                return;
             }
         }
     }
@@ -231,6 +405,7 @@ pub struct ServeEngineBuilder {
     engine: Arc<Engine>,
     workers: usize,
     queue_capacity: usize,
+    default_deadline: Option<Duration>,
 }
 
 impl ServeEngineBuilder {
@@ -251,7 +426,19 @@ impl ServeEngineBuilder {
         self
     }
 
-    /// Builds the serving engine and starts its worker threads.
+    /// Deadline applied to every request at submit time (overridable
+    /// per-future with `.deadline(...)` on the returned future).  A request
+    /// that has not resolved within the deadline fails with the typed
+    /// [`ServeError::DeadlineExceeded`]; a queued selection job whose
+    /// founding request expired is skipped rather than run stale.  Default:
+    /// no deadline (requests wait indefinitely).
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Builds the serving engine and starts its worker threads (plus the
+    /// deadline watchdog thread).
     pub fn build(self) -> ServeEngine {
         let inner = Arc::new(Inner {
             engine: self.engine,
@@ -260,6 +447,9 @@ impl ServeEngineBuilder {
             queue_capacity: self.queue_capacity,
             shutdown: AtomicBool::new(false),
             pending: Mutex::new(HashMap::new()),
+            timers: Mutex::new(Vec::new()),
+            timer_cv: Condvar::new(),
+            default_deadline: self.default_deadline,
             submitted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
@@ -267,6 +457,8 @@ impl ServeEngineBuilder {
             rejected: AtomicU64::new(0),
             selection_jobs: AtomicU64::new(0),
             structured: AtomicU64::new(0),
+            deadline_expired: AtomicU64::new(0),
+            jobs_expired: AtomicU64::new(0),
         });
         let workers = (0..self.workers)
             .map(|i| {
@@ -278,7 +470,19 @@ impl ServeEngineBuilder {
                     .expect("spawn serve worker")
             })
             .collect();
-        ServeEngine { inner, workers }
+        let watchdog = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("mm-serve-timer".into())
+                .spawn(move || inner.timer_loop())
+                // mm-lint: allow(serve-panic-freedom): spawn runs at construction, before any flight exists — failing fast at startup cannot poison a waiter
+                .expect("spawn serve watchdog")
+        };
+        ServeEngine {
+            inner,
+            workers,
+            watchdog: Some(watchdog),
+        }
     }
 }
 
@@ -290,6 +494,7 @@ impl ServeEngineBuilder {
 pub struct ServeEngine {
     inner: Arc<Inner>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    watchdog: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ServeEngine {
@@ -299,6 +504,7 @@ impl ServeEngine {
             engine,
             workers: DEFAULT_WORKERS,
             queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            default_deadline: None,
         }
     }
 
@@ -317,6 +523,40 @@ impl ServeEngine {
             rejected: self.inner.rejected.load(Ordering::Relaxed),
             selection_jobs: self.inner.selection_jobs.load(Ordering::Relaxed),
             structured: self.inner.structured.load(Ordering::Relaxed),
+            deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
+            jobs_expired: self.inner.jobs_expired.load(Ordering::Relaxed),
+        }
+    }
+
+    /// One coherent degradation snapshot: current load (queue depth,
+    /// in-flight selections), every shedding/expiry counter, the engine's
+    /// poisoned-flight count, and the persistent store's health (circuit
+    /// breaker state, consecutive failures, corruption drops).  This is what
+    /// an operator (or the chaos suite's artifact) reads to tell *how* the
+    /// tier is degraded, not just that requests are failing.
+    pub fn health(&self) -> ServeHealth {
+        let queue_depth = self
+            .inner
+            .queue
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        let pending_selections = self
+            .inner
+            .pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        ServeHealth {
+            queue_depth,
+            queue_capacity: self.inner.queue_capacity,
+            pending_selections,
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            deadline_expired: self.inner.deadline_expired.load(Ordering::Relaxed),
+            jobs_expired: self.inner.jobs_expired.load(Ordering::Relaxed),
+            poisoned_flights: self.inner.engine.stats().poisoned_flights,
+            store: self.inner.engine.store_health(),
         }
     }
 
@@ -482,8 +722,12 @@ impl Drop for ServeEngine {
     fn drop(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
         self.inner.queue_cv.notify_all();
+        self.inner.timer_cv.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
         }
         // Workers drain the queue before exiting, so every admitted job ran;
         // any task still pending here lost its job to a worker that died
@@ -497,8 +741,10 @@ impl Drop for ServeEngine {
             .map(|(_, task)| task)
             .collect();
         for task in leftovers {
-            task.complete(Err(Arc::new(MechanismError::PoisonedSelection(
-                "serving tier shut down before the selection completed".into(),
+            task.complete(Err(TaskFailure::Mechanism(Arc::new(
+                MechanismError::PoisonedSelection(
+                    "serving tier shut down before the selection completed".into(),
+                ),
             ))));
         }
     }
@@ -819,5 +1065,185 @@ mod tests {
         let stats = serve.stats();
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.selection_jobs, 0);
+    }
+
+    /// Every `ServeError` variant: Display round-trips its key facts,
+    /// `source()` chains exactly for `Mechanism`, and the transient /
+    /// permanent classification matches the documented taxonomy.
+    #[test]
+    fn serve_error_display_source_and_transience_cover_every_variant() {
+        use std::error::Error;
+
+        let overloaded = ServeError::Overloaded { capacity: 7 };
+        assert!(overloaded.to_string().contains("capacity 7"));
+        assert!(overloaded.source().is_none());
+        assert!(overloaded.mechanism().is_none());
+        assert!(overloaded.is_transient());
+
+        let expired = ServeError::DeadlineExceeded { deadline_ms: 250 };
+        assert!(expired.to_string().contains("250 ms"));
+        assert!(expired.source().is_none());
+        assert!(expired.mechanism().is_none());
+        assert!(expired.is_transient());
+
+        let transient_inner = MechanismError::Store("disk gone".into());
+        let transient = ServeError::from(transient_inner);
+        assert!(transient.to_string().contains("disk gone"));
+        assert!(transient
+            .source()
+            .is_some_and(|s| s.to_string().contains("disk gone")));
+        assert!(transient.mechanism().is_some());
+        assert!(transient.is_transient());
+
+        let permanent = ServeError::from(MechanismError::InvalidArgument("bad dims".into()));
+        assert!(permanent.to_string().contains("bad dims"));
+        assert!(permanent
+            .source()
+            .is_some_and(|s| s.to_string().contains("bad dims")));
+        assert!(!permanent.is_transient());
+    }
+
+    /// A worker stalled by injected latency pushes the request past its
+    /// deadline: the watchdog wakes the parked future, which resolves with
+    /// the typed error instead of hanging — and the tier stays serviceable.
+    #[test]
+    fn deadline_expires_under_injected_worker_latency() {
+        use mm_core::{Fault, FaultSchedule, FaultSite};
+        use std::time::Duration;
+
+        let engine = Arc::new(
+            Engine::builder()
+                .fault_injector(FaultSchedule::new().inject_at(
+                    FaultSite::Worker,
+                    0,
+                    Fault::LatencyMs(400),
+                ))
+                .build()
+                .unwrap(),
+        );
+        let serve = ServeEngine::builder(engine)
+            .workers(1)
+            .default_deadline(Duration::from_millis(40))
+            .build();
+        let w = workload(8);
+
+        let started = std::time::Instant::now();
+        let result = block_on(serve.answer(w.clone(), data(8), 1));
+        match result {
+            Err(ServeError::DeadlineExceeded { deadline_ms }) => assert_eq!(deadline_ms, 40),
+            other => panic!("expected deadline expiry, got {other:?}"),
+        }
+        assert!(
+            started.elapsed() < Duration::from_millis(350),
+            "the watchdog resolved the future before the stalled worker finished"
+        );
+        assert_eq!(serve.stats().deadline_expired, 1);
+
+        // When the stalled worker finally dequeues the job, the founder's
+        // deadline has long passed: the selection is skipped, not run stale.
+        let drained = std::time::Instant::now() + Duration::from_secs(5);
+        while serve.stats().jobs_expired == 0 && std::time::Instant::now() < drained {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(serve.stats().jobs_expired, 1);
+
+        // Only the first dequeue was stalled; with the worker free again, a
+        // fresh request (its own full deadline) founds a new flight and
+        // succeeds.
+        let retry = block_on(serve.answer(w, data(8), 2));
+        assert!(retry.is_ok(), "tier stays serviceable: {retry:?}");
+        let stats = serve.stats();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.deadline_expired, 1);
+    }
+
+    /// A queued job whose founder's deadline passed before a worker got to
+    /// it is skipped (`jobs_expired`), never run stale — and a later
+    /// request for the same workload selects fresh.
+    #[test]
+    fn queued_jobs_expire_instead_of_running_stale() {
+        use std::time::Duration;
+
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let started = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let engine = Arc::new(
+            Engine::builder()
+                .selector(GatedSelector {
+                    release: release.clone(),
+                    started: started.clone(),
+                    inner: Default::default(),
+                })
+                .build()
+                .unwrap(),
+        );
+        let serve = ServeEngine::builder(engine).workers(1).build();
+
+        // f1 occupies the only worker (no deadline); f2's job sits queued
+        // behind it with a deadline that will pass before it can run.
+        let mut f1 = serve.answer(workload(8), data(8), 1);
+        let waker = std::task::Waker::noop();
+        let mut cx = std::task::Context::from_waker(waker);
+        assert!(Pin::new(&mut f1).poll(&mut cx).is_pending());
+        {
+            let (count, cv) = &*started;
+            let mut count = count.lock().unwrap();
+            while *count == 0 {
+                count = cv.wait(count).unwrap();
+            }
+        }
+        let mut f2 = serve
+            .answer(workload(9), data(9), 2)
+            .deadline(Duration::from_millis(20));
+        assert!(Pin::new(&mut f2).poll(&mut cx).is_pending());
+        std::thread::sleep(Duration::from_millis(40));
+
+        // Release the gate: the worker finishes f1's selection, then
+        // dequeues f2's job and skips it as expired.
+        {
+            let (open, cv) = &*release;
+            *open.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        assert!(block_on(f1).is_ok());
+        match block_on(f2) {
+            Err(ServeError::DeadlineExceeded { deadline_ms }) => assert_eq!(deadline_ms, 20),
+            other => panic!("expected deadline expiry, got {other:?}"),
+        }
+        // The skip is observable once the worker has drained the queue.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while serve.stats().jobs_expired == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = serve.stats();
+        assert_eq!(stats.jobs_expired, 1);
+        assert_eq!(stats.deadline_expired, 1);
+
+        // The expired fingerprint is retryable: a fresh (undeadlined)
+        // request founds a new flight and resolves.
+        let retry = block_on(serve.answer(workload(9), data(9), 3));
+        assert!(retry.is_ok(), "expired job slot is retryable: {retry:?}");
+    }
+
+    /// `health()` composes the tier's own gauges with the engine's store
+    /// health into one snapshot.
+    #[test]
+    fn health_snapshot_reflects_load_and_store_state() {
+        use mm_core::engine::BreakerState;
+
+        let engine = Arc::new(Engine::builder().build().unwrap());
+        let serve = ServeEngine::builder(engine).queue_capacity(5).build();
+        let h = serve.health();
+        assert_eq!(h.queue_depth, 0);
+        assert_eq!(h.queue_capacity, 5);
+        assert_eq!(h.pending_selections, 0);
+        assert_eq!(h.store.breaker, BreakerState::Closed);
+        assert_eq!(h.store.corrupt_dropped, 0);
+        assert_eq!(h.store.save_failures, 0);
+
+        let w = workload(8);
+        assert!(block_on(serve.answer(w, data(8), 1)).is_ok());
+        let h = serve.health();
+        assert_eq!(h.pending_selections, 0, "flight resolved");
+        assert_eq!(h.poisoned_flights, 0);
     }
 }

@@ -486,7 +486,7 @@ fn low_rank_knob_dispatches_and_counts_per_plan_kind() {
     // A workload the rank covers entirely (r ≥ n) falls back to the dense
     // selector, and the per-kind counters keep the split.
     let small = range_workload(8);
-    engine.answer(&small, &vec![5.0; 8], &mut rng).unwrap();
+    engine.answer(&small, &[5.0; 8], &mut rng).unwrap();
     assert_eq!(engine.stats().dense_selections, 1);
     assert_eq!(engine.stats().low_rank_selections, 1);
     assert_eq!(engine.stats().selections, 2);

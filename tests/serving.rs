@@ -193,6 +193,12 @@ impl StrategySelector for PanicOnceSelector {
 
     fn select(&self, ctx: &SelectionContext) -> adaptive_dp::core::Result<Strategy> {
         if !self.panicked.swap(true, Ordering::SeqCst) {
+            // Pin the flight open long enough for every barrier-released
+            // peer to join it as a waiter before the panic lands: the
+            // poisoned-flight counter only moves when a *waiter* becomes
+            // the retry leader, so an instant panic would race the waiters
+            // to `begin` and flake under parallel-test CPU load.
+            std::thread::sleep(std::time::Duration::from_millis(100));
             panic!("injected selector crash");
         }
         self.inner.select(ctx)
@@ -375,11 +381,280 @@ fn serve_tier_round_trips_low_rank_plans_through_the_store() {
         0,
         "the restarted tier serves the persisted low-rank plan"
     );
-    let (plan, _, _) = second.engine().select_plan_for(&*workload).expect("warm plan");
+    let (plan, _, _) = second
+        .engine()
+        .select_plan_for(&*workload)
+        .expect("warm plan");
     assert_eq!(plan.kind(), PlanKind::LowRank);
     for (a, b) in cold.answers.iter().zip(&warm.answers) {
         assert_eq!(a.to_bits(), b.to_bits());
     }
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Blocks every selection on a shared gate after signalling entry,
+/// optionally panicking on the first gated call — the driver for the
+/// stampede tests, which need a worker observably *held* mid-selection.
+struct GatedStampedeSelector {
+    release: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    started: Arc<(std::sync::Mutex<usize>, std::sync::Condvar)>,
+    panic_first: bool,
+    panicked: AtomicBool,
+    inner: adaptive_dp::core::engine::EigenDesignSelector,
+}
+
+impl std::fmt::Debug for GatedStampedeSelector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GatedStampedeSelector")
+            .finish_non_exhaustive()
+    }
+}
+
+impl StrategySelector for GatedStampedeSelector {
+    fn name(&self) -> String {
+        "gated-stampede".into()
+    }
+
+    fn select(&self, ctx: &SelectionContext) -> adaptive_dp::core::Result<Strategy> {
+        {
+            let (count, cv) = &*self.started;
+            *count.lock().unwrap() += 1;
+            cv.notify_all();
+        }
+        {
+            let (open, cv) = &*self.release;
+            let mut open = open.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+        }
+        if self.panic_first && !self.panicked.swap(true, Ordering::SeqCst) {
+            panic!("injected stampede crash");
+        }
+        self.inner.select(ctx)
+    }
+}
+
+/// A cold-start stampede of distinct workloads against one worker and a
+/// bounded queue: with the worker observably held, admission is exact —
+/// queue-capacity jobs queue, every further request sheds typed — and the
+/// shed counter plus the health snapshot agree with the arithmetic.
+#[test]
+fn cold_start_stampede_sheds_exactly_the_queue_overflow() {
+    use adaptive_dp::serve::{block_on, ServeEngine, ServeError};
+
+    const STAMPEDE: usize = 7;
+    const QUEUE: usize = 2;
+    let release = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let started = Arc::new((std::sync::Mutex::new(0usize), std::sync::Condvar::new()));
+    let engine = Arc::new(
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .selector(GatedStampedeSelector {
+                release: release.clone(),
+                started: started.clone(),
+                panic_first: false,
+                panicked: AtomicBool::new(false),
+                inner: Default::default(),
+            })
+            .build()
+            .expect("engine builds"),
+    );
+    let serve = Arc::new(
+        ServeEngine::builder(engine.clone())
+            .workers(1)
+            .queue_capacity(QUEUE)
+            .build(),
+    );
+
+    // Occupy the only worker and wait until its selection has *started*, so
+    // the queue arithmetic below is deterministic: nothing can drain.
+    let holder = {
+        let serve = serve.clone();
+        std::thread::spawn(move || {
+            let w = Arc::new(AllRangeWorkload::new(Domain::one_dim(8)));
+            let x: Vec<f64> = (0..8).map(|i| 1.0 + i as f64).collect();
+            block_on(serve.answer(w, x, 0)).map(|_| ())
+        })
+    };
+    {
+        let (count, cv) = &*started;
+        let mut count = count.lock().unwrap();
+        while *count == 0 {
+            count = cv.wait(count).unwrap();
+        }
+    }
+
+    // Stampede: seven more *distinct* cold workloads.  Exactly QUEUE of
+    // them can be admitted (the worker is held); the rest shed typed.
+    let stampeders: Vec<_> = (0..STAMPEDE)
+        .map(|i| {
+            let serve = serve.clone();
+            std::thread::spawn(move || {
+                let n = 9 + i;
+                let w = Arc::new(AllRangeWorkload::new(Domain::one_dim(n)));
+                let x: Vec<f64> = (0..n).map(|c| 1.0 + c as f64).collect();
+                block_on(serve.answer(w, x, i as u64)).map(|_| ())
+            })
+        })
+        .collect();
+
+    // Every stampeder either parks (admitted) or resolves Overloaded; the
+    // exact split is visible in the stats and the health snapshot.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while serve.stats().shed < (STAMPEDE - QUEUE) as u64 && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let health = serve.health();
+    assert_eq!(health.queue_depth, QUEUE, "held worker: queue exactly full");
+    assert_eq!(
+        health.pending_selections,
+        QUEUE + 1,
+        "the held flight plus every queued flight is pending"
+    );
+    assert_eq!(health.shed, (STAMPEDE - QUEUE) as u64);
+
+    // Open the gate: the held request and both admitted stampeders resolve.
+    {
+        let (open, cv) = &*release;
+        *open.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    assert!(holder.join().expect("holder thread").is_ok());
+    let mut ok = 0usize;
+    let mut shed = 0usize;
+    for handle in stampeders {
+        match handle.join().expect("stampeder thread") {
+            Ok(()) => ok += 1,
+            Err(ServeError::Overloaded { capacity }) => {
+                assert_eq!(capacity, QUEUE);
+                shed += 1;
+            }
+            Err(other) => panic!("stampeders may only shed, got {other}"),
+        }
+    }
+    assert_eq!(ok, QUEUE, "exactly the admitted stampeders complete");
+    assert_eq!(shed, STAMPEDE - QUEUE);
+    let stats = serve.stats();
+    assert_eq!(stats.completed, (QUEUE + 1) as u64);
+    assert_eq!(stats.shed, (STAMPEDE - QUEUE) as u64);
+    assert_eq!(stats.selection_jobs, (QUEUE + 1) as u64);
+    assert_eq!(engine.stats().selections, (QUEUE + 1) as u64);
+    let health = serve.health();
+    assert_eq!(health.queue_depth, 0, "stampede fully drained");
+    assert_eq!(health.pending_selections, 0);
+}
+
+/// A stampede onto *one* cold workload whose selection leader panics: every
+/// piled-on waiter observes the typed poison (no hangs, no partial
+/// answers), the failure is counted, and the next request recovers the
+/// flight — with the engine recording the poisoned-flight retry.
+#[test]
+fn poisoned_flight_stampede_fails_typed_and_recovers() {
+    use adaptive_dp::serve::{block_on, ServeEngine, ServeError};
+    use std::future::Future;
+    use std::pin::Pin;
+
+    const WAITERS: usize = 6;
+    let release = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+    let started = Arc::new((std::sync::Mutex::new(0usize), std::sync::Condvar::new()));
+    let engine = Arc::new(
+        Engine::builder()
+            .privacy(PrivacyParams::paper_default())
+            .selector(GatedStampedeSelector {
+                release: release.clone(),
+                started: started.clone(),
+                panic_first: true,
+                panicked: AtomicBool::new(false),
+                inner: Default::default(),
+            })
+            .build()
+            .expect("engine builds"),
+    );
+    let serve = ServeEngine::builder(engine.clone()).workers(1).build();
+    let w = Arc::new(AllRangeWorkload::new(Domain::one_dim(20)));
+    let x: Vec<f64> = (0..20).map(|i| 2.0 + i as f64).collect();
+
+    // First poll of each future registers it on the one shared flight while
+    // the leader is observably held inside the (about-to-panic) selector.
+    let mut futures: Vec<_> = (0..WAITERS)
+        .map(|s| serve.answer(w.clone(), x.clone(), s as u64))
+        .collect();
+    let waker = std::task::Waker::noop();
+    let mut cx = std::task::Context::from_waker(waker);
+    for fut in &mut futures {
+        assert!(Pin::new(fut).poll(&mut cx).is_pending());
+    }
+    {
+        let (count, cv) = &*started;
+        let mut count = count.lock().unwrap();
+        while *count == 0 {
+            count = cv.wait(count).unwrap();
+        }
+    }
+    assert_eq!(
+        serve.stats().selection_jobs,
+        1,
+        "one flight for all waiters"
+    );
+    assert_eq!(serve.health().pending_selections, 1);
+
+    // A direct engine caller joins the *engine-level* flight the serve job
+    // leads: when the leader panics, this waiter recovers the poison as the
+    // next leader, which is what `poisoned_flights` counts.  The gate keeps
+    // the flight pinned in-flight, so the generous sleep below is only
+    // about letting the thread reach its wait.
+    let direct = {
+        let engine = engine.clone();
+        let x = x.clone();
+        std::thread::spawn(move || {
+            let w = AllRangeWorkload::new(Domain::one_dim(20));
+            let mut rng = StdRng::seed_from_u64(7);
+            engine.answer(&w, &x, &mut rng).map(|_| ())
+        })
+    };
+    std::thread::sleep(std::time::Duration::from_millis(200));
+
+    // Open the gate: the selector panics, poisoning every waiter at once.
+    {
+        let (open, cv) = &*release;
+        *open.lock().unwrap() = true;
+        cv.notify_all();
+    }
+    for fut in futures {
+        match block_on(fut) {
+            Err(ServeError::Mechanism(e)) => {
+                assert!(
+                    matches!(&*e, MechanismError::PoisonedSelection(_)),
+                    "expected typed poison, got {e}"
+                );
+                assert!(e.to_string().contains("injected stampede crash"));
+            }
+            other => panic!("every stampeded waiter must observe the poison, got {other:?}"),
+        }
+    }
+    let stats = serve.stats();
+    assert_eq!(stats.failed, WAITERS as u64);
+    assert_eq!(stats.completed, 0);
+
+    // The direct waiter recovered the poison, became the retry leader, and
+    // answered — the engine recorded the recovered flight, and the serve
+    // tier's health snapshot surfaces it.
+    assert!(direct.join().expect("direct waiter thread").is_ok());
+    assert_eq!(
+        engine.stats().poisoned_flights,
+        1,
+        "the retry leader must record the poisoned flight it recovered"
+    );
+    assert_eq!(serve.health().poisoned_flights, 1);
+
+    // The poison is typed *and* transient: a served retry resolves (warm —
+    // the direct waiter's recovery already published the plan).
+    let retry = block_on(serve.answer(w, x, 99));
+    assert!(
+        retry.is_ok(),
+        "poisoned flight must be retryable: {retry:?}"
+    );
+    assert_eq!(serve.stats().completed, 1);
 }
